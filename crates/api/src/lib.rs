@@ -1,0 +1,153 @@
+//! Common traits shared by every queue in the Turn-queue reproduction.
+//!
+//! The paper compares four MPMC queues (Turn, Kogan–Petrank, Michael–Scott,
+//! plus lock-based and FAA-based designs in the discussion). The measurement
+//! harness, the stress tests, and the linearizability recorder are all
+//! written once, generically, against the [`ConcurrentQueue`] trait defined
+//! here, so every experiment runs identically over every implementation.
+
+use core::fmt;
+
+/// A multi-producer / multi-consumer unbounded FIFO queue.
+///
+/// Correctness contract (paper §2):
+/// * one call to `enqueue(item)` inserts `item` at the end of the queue;
+/// * one call to `dequeue()` returns either the first item, or `None` when
+///   the queue is empty;
+/// * the implementation is linearizable.
+///
+/// Implementations may register the calling thread in an internal
+/// [`ThreadRegistry`](https://docs.rs/turnq-threadreg) on first use; at most
+/// `max_threads()` distinct threads may operate on one queue instance over
+/// its lifetime (slots are recycled when threads exit).
+pub trait ConcurrentQueue<T: Send>: Send + Sync {
+    /// Insert `item` at the tail of the queue.
+    fn enqueue(&self, item: T);
+
+    /// Remove and return the item at the head of the queue, or `None` if the
+    /// queue is observed empty.
+    fn dequeue(&self) -> Option<T>;
+
+    /// Upper bound on the number of distinct threads that may concurrently
+    /// operate on this instance.
+    fn max_threads(&self) -> usize;
+}
+
+/// Progress condition taxonomy used throughout the paper (§1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Progress {
+    /// A thread holding a lock can block every other thread.
+    Blocking,
+    /// At least one thread finishes in a finite number of steps.
+    LockFree,
+    /// Every call finishes in a finite, but unknown, number of steps.
+    WaitFreeUnbounded,
+    /// Every call finishes in a number of steps bounded by the number of
+    /// threads.
+    WaitFreeBounded,
+    /// Every call finishes in a constant number of steps.
+    WaitFreePopulationOblivious,
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Progress::Blocking => "blocking",
+            Progress::LockFree => "lock-free",
+            Progress::WaitFreeUnbounded => "wf unbounded",
+            Progress::WaitFreeBounded => "wf bounded",
+            Progress::WaitFreePopulationOblivious => "wf pop. oblivious",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static characteristics of a queue implementation, as tabulated in the
+/// paper's Table 1.
+#[derive(Debug, Clone)]
+pub struct QueueProps {
+    /// Short display name ("Turn", "KP", "MS", ...).
+    pub name: &'static str,
+    /// Progress condition of `enqueue()`.
+    pub progress_enqueue: Progress,
+    /// Progress condition of `dequeue()`.
+    pub progress_dequeue: Progress,
+    /// Consensus protocol used to order operations.
+    pub consensus: &'static str,
+    /// Atomic read-modify-write instructions required beyond load/store.
+    pub atomic_instructions: &'static str,
+    /// Memory-reclamation scheme embedded in the implementation.
+    pub reclamation: &'static str,
+    /// Asymptotic fixed memory usage of an empty queue instance.
+    pub min_memory: &'static str,
+}
+
+/// Memory-usage figures for the paper's Table 4, reported by each queue from
+/// its real Rust layout (`core::mem::size_of`), "without padding or cache
+/// line alignment" exactly as the paper's table is.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeReport {
+    /// Bytes of one list node (for a pointer-sized item type).
+    pub node_bytes: usize,
+    /// Bytes of the object allocated per enqueue request (0 = none).
+    pub enqueue_request_bytes: usize,
+    /// Bytes of the object allocated per dequeue request (0 = none).
+    pub dequeue_request_bytes: usize,
+    /// Fixed bytes an empty queue holds per registered thread slot.
+    pub fixed_per_thread_bytes: usize,
+    /// Minimum heap allocations (`Box::new` calls) per item transferred
+    /// through the queue (enqueue + dequeue of one item).
+    pub min_heap_allocs_per_item: usize,
+}
+
+/// Optional introspection implemented by the queues in this workspace so the
+/// Table 1 / Table 4 reports are generated from the code rather than
+/// hand-copied.
+pub trait QueueIntrospect {
+    /// Table 1 row.
+    fn props() -> QueueProps;
+    /// Table 4 row, computed from the actual Rust type layouts.
+    fn size_report() -> SizeReport;
+}
+
+/// A family of queues: a constructor usable generically by the harness.
+///
+/// `QueueFamily` exists (instead of a `new()` method on [`ConcurrentQueue`])
+/// so that the harness can be monomorphized per queue while still selecting
+/// the queue by name at run time.
+pub trait QueueFamily: 'static {
+    /// The concrete queue type for an item type `T`.
+    type Queue<T: Send + 'static>: ConcurrentQueue<T> + 'static;
+
+    /// Display name used in reports and CLI selection.
+    const NAME: &'static str;
+
+    /// Create a queue instance sized for `max_threads` concurrent threads.
+    fn with_max_threads<T: Send + 'static>(max_threads: usize) -> Self::Queue<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_ordering_matches_strength() {
+        // The enum derives Ord in increasing order of guarantee strength.
+        assert!(Progress::Blocking < Progress::LockFree);
+        assert!(Progress::LockFree < Progress::WaitFreeUnbounded);
+        assert!(Progress::WaitFreeUnbounded < Progress::WaitFreeBounded);
+        assert!(Progress::WaitFreeBounded < Progress::WaitFreePopulationOblivious);
+    }
+
+    #[test]
+    fn progress_display_matches_paper_terms() {
+        assert_eq!(Progress::WaitFreeBounded.to_string(), "wf bounded");
+        assert_eq!(Progress::WaitFreeUnbounded.to_string(), "wf unbounded");
+        assert_eq!(Progress::Blocking.to_string(), "blocking");
+        assert_eq!(Progress::LockFree.to_string(), "lock-free");
+        assert_eq!(
+            Progress::WaitFreePopulationOblivious.to_string(),
+            "wf pop. oblivious"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! The lock-based strawman: a `VecDeque` behind a mutex.
+//!
+//! §1.2 of the paper: "Lock-based queues are blocking, and even when
+//! starvation free, it can happen that a thread grabs the lock and goes to
+//! sleep, blocking other threads from enqueueing or dequeueing, thus
+//! causing a fat tail in the latency distribution." This implementation
+//! exists so the latency benches can show that tail.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+
+/// A blocking MPMC queue: `parking_lot::Mutex<VecDeque<T>>`.
+pub struct MutexQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    max_threads: usize,
+}
+
+impl<T> MutexQueue<T> {
+    /// The thread bound is advisory here (locks do not need per-thread
+    /// state); it is kept so the harness treats all queues uniformly.
+    pub fn with_max_threads(max_threads: usize) -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::new()),
+            max_threads,
+        }
+    }
+
+    /// Blocking enqueue.
+    pub fn enqueue(&self, item: T) {
+        self.inner.lock().push_back(item);
+    }
+
+    /// Blocking dequeue.
+    pub fn dequeue(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of items currently queued (exact under the lock).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for MutexQueue<T> {
+    fn enqueue(&self, item: T) {
+        MutexQueue::enqueue(self, item);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        MutexQueue::dequeue(self)
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+}
+
+impl<T> QueueIntrospect for MutexQueue<T> {
+    fn props() -> QueueProps {
+        QueueProps {
+            name: "Mutex",
+            progress_enqueue: Progress::Blocking,
+            progress_dequeue: Progress::Blocking,
+            consensus: "mutual exclusion",
+            atomic_instructions: "CAS (lock impl.)",
+            reclamation: "owned buffer",
+            min_memory: "O(1)",
+        }
+    }
+
+    fn size_report() -> SizeReport {
+        SizeReport {
+            node_bytes: std::mem::size_of::<Box<u64>>(), // slot in the ring
+            enqueue_request_bytes: 0,
+            dequeue_request_bytes: 0,
+            fixed_per_thread_bytes: 0,
+            // Amortized zero: VecDeque reallocates geometrically.
+            min_heap_allocs_per_item: 0,
+        }
+    }
+}
+
+/// [`QueueFamily`] selector for the mutex queue.
+pub struct MutexFamily;
+
+impl QueueFamily for MutexFamily {
+    type Queue<T: Send + 'static> = MutexQueue<T>;
+    const NAME: &'static str = "mutex";
+
+    fn with_max_threads<T: Send + 'static>(max_threads: usize) -> MutexQueue<T> {
+        MutexQueue::with_max_threads(max_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_empty() {
+        let q: MutexQueue<u32> = MutexQueue::with_max_threads(4);
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn concurrent_delivery() {
+        const N: u64 = 10_000;
+        let q: Arc<MutexQueue<u64>> = Arc::new(MutexQueue::with_max_threads(2));
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                qp.enqueue(i);
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = q.dequeue() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,286 @@
+//! A bounded wait-free SPSC ring buffer (Lamport), the design family the
+//! paper's §1 credits to Herlihy & Wing: "a simple Single-Producer-
+//! Single-Consumer (SPSC) wait-free queue … but it is memory bounded".
+//!
+//! Included as the memory-*bounded* contrast to the Turn queue: both ends
+//! are wait-free **population oblivious** (a constant number of steps, the
+//! strongest class in §1.1) but the queue can refuse an enqueue — which is
+//! exactly the trade the memory-unbounded MPMC queues of the paper refuse
+//! to make.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Error returned by [`SpscProducer::try_enqueue`] on a full ring; carries the
+/// rejected item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Full<T>(pub T);
+
+/// A bounded single-producer / single-consumer FIFO ring.
+///
+/// ```
+/// use turnq_baselines::SpscRing;
+///
+/// let ring: SpscRing<u32> = SpscRing::with_capacity(4);
+/// let (mut tx, mut rx) = ring.split().unwrap();
+/// assert!(tx.try_enqueue(1).is_ok());
+/// assert_eq!(rx.dequeue(), Some(1));
+/// assert_eq!(rx.dequeue(), None);
+/// ```
+pub struct SpscRing<T> {
+    /// Capacity + 1 slots; one is kept empty to distinguish full/empty.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the producer writes.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the consumer reads.
+    tail: CachePadded<AtomicUsize>,
+    producer_claimed: AtomicBool,
+    consumer_claimed: AtomicBool,
+}
+
+// SAFETY: items cross from producer to consumer; slot ownership is
+// partitioned by the head/tail indices.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// A ring holding at most `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        let slots = (0..capacity + 1)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscRing {
+            slots,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            producer_claimed: AtomicBool::new(false),
+            consumer_claimed: AtomicBool::new(false),
+        }
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Claim both endpoints at once; `None` if either is already claimed.
+    pub fn split(&self) -> Option<(SpscProducer<'_, T>, SpscConsumer<'_, T>)> {
+        let p = self.producer()?;
+        // If the consumer is taken, dropping `p` releases the producer claim.
+        self.consumer().map(|c| (p, c))
+    }
+
+    /// Claim the producer endpoint.
+    pub fn producer(&self) -> Option<SpscProducer<'_, T>> {
+        self.producer_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+            .then_some(SpscProducer {
+                ring: self,
+                _not_send: PhantomData,
+            })
+    }
+
+    /// Claim the consumer endpoint.
+    pub fn consumer(&self) -> Option<SpscConsumer<'_, T>> {
+        self.consumer_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+            .then_some(SpscConsumer {
+                ring: self,
+                _not_send: PhantomData,
+            })
+    }
+
+    fn next(&self, i: usize) -> usize {
+        let n = i + 1;
+        if n == self.slots.len() {
+            0
+        } else {
+            n
+        }
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the items still in [tail, head).
+        let mut i = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        while i != head {
+            // SAFETY: slots in [tail, head) hold initialized items.
+            unsafe { (*self.slots[i].get()).assume_init_drop() };
+            i = self.next(i);
+        }
+    }
+}
+
+/// Exclusive producer endpoint.
+pub struct SpscProducer<'a, T> {
+    ring: &'a SpscRing<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> SpscProducer<'_, T> {
+    /// Enqueue in a constant number of steps, or give the item back when
+    /// the ring is full (bounded memory is the whole point here).
+    pub fn try_enqueue(&mut self, item: T) -> Result<(), Full<T>> {
+        let ring = self.ring;
+        let head = ring.head.load(Ordering::Relaxed); // producer-owned
+        let next = ring.next(head);
+        if next == ring.tail.load(Ordering::Acquire) {
+            return Err(Full(item));
+        }
+        // SAFETY: slot `head` is outside [tail, head) — producer territory.
+        unsafe { (*ring.slots[head].get()).write(item) };
+        ring.head.store(next, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> Drop for SpscProducer<'_, T> {
+    fn drop(&mut self) {
+        self.ring.producer_claimed.store(false, Ordering::Release);
+    }
+}
+
+/// Exclusive consumer endpoint.
+pub struct SpscConsumer<'a, T> {
+    ring: &'a SpscRing<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> SpscConsumer<'_, T> {
+    /// Dequeue in a constant number of steps; `None` when empty.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let ring = self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed); // consumer-owned
+        if tail == ring.head.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: slot `tail` is the oldest initialized item; the Release
+        // store below transfers the slot back to the producer.
+        let item = unsafe { (*ring.slots[tail].get()).assume_init_read() };
+        ring.tail.store(ring.next(tail), Ordering::Release);
+        Some(item)
+    }
+}
+
+impl<T> Drop for SpscConsumer<'_, T> {
+    fn drop(&mut self) {
+        self.ring.consumer_claimed.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let ring: SpscRing<u32> = SpscRing::with_capacity(3);
+        assert_eq!(ring.capacity(), 3);
+        let (mut tx, mut rx) = ring.split().unwrap();
+        assert!(tx.try_enqueue(1).is_ok());
+        assert!(tx.try_enqueue(2).is_ok());
+        assert!(tx.try_enqueue(3).is_ok());
+        assert_eq!(tx.try_enqueue(4), Err(Full(4)));
+        assert_eq!(rx.dequeue(), Some(1));
+        assert!(tx.try_enqueue(4).is_ok());
+        assert_eq!(rx.dequeue(), Some(2));
+        assert_eq!(rx.dequeue(), Some(3));
+        assert_eq!(rx.dequeue(), Some(4));
+        assert_eq!(rx.dequeue(), None);
+    }
+
+    #[test]
+    fn endpoints_are_exclusive() {
+        let ring: SpscRing<u32> = SpscRing::with_capacity(2);
+        let tx = ring.producer().unwrap();
+        assert!(ring.producer().is_none());
+        drop(tx);
+        assert!(ring.producer().is_some());
+        let rx = ring.consumer().unwrap();
+        assert!(ring.consumer().is_none());
+        drop(rx);
+        assert!(ring.split().is_some());
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        const N: u64 = 30_000;
+        let ring: Arc<SpscRing<u64>> = Arc::new(SpscRing::with_capacity(64));
+        std::thread::scope(|s| {
+            {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    let mut tx = ring.producer().unwrap();
+                    for i in 0..N {
+                        let mut item = i;
+                        loop {
+                            match tx.try_enqueue(item) {
+                                Ok(()) => break,
+                                Err(Full(back)) => {
+                                    item = back;
+                                    // One core: let the consumer run.
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let mut rx = ring.consumer().unwrap();
+            let mut expected = 0;
+            while expected < N {
+                if let Some(v) = rx.dequeue() {
+                    assert_eq!(v, expected, "FIFO violated");
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(rx.dequeue(), None);
+        });
+    }
+
+    #[test]
+    fn drop_releases_residents() {
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let ring: SpscRing<D> = SpscRing::with_capacity(8);
+            let (mut tx, mut rx) = ring.split().unwrap();
+            for _ in 0..5 {
+                assert!(tx.try_enqueue(D(Arc::clone(&drops))).is_ok());
+            }
+            drop(rx.dequeue()); // one consumed
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 5, "ring residue freed");
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let ring: SpscRing<u64> = SpscRing::with_capacity(2);
+        let (mut tx, mut rx) = ring.split().unwrap();
+        for i in 0..1_000 {
+            assert!(tx.try_enqueue(i).is_ok());
+            assert_eq!(rx.dequeue(), Some(i));
+        }
+        assert_eq!(rx.dequeue(), None);
+    }
+}

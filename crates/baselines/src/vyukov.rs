@@ -1,0 +1,252 @@
+//! Dmitry Vyukov's non-intrusive MPSC node-based queue.
+//!
+//! Mentioned in the paper's §1 as an "honorable mention": enqueue is
+//! wait-free population oblivious (one `swap` + one store), but dequeue is
+//! **blocking** — "a lagging enqueuer can block all dequeuers indefinitely":
+//! between a producer's `swap` on the push end and its `next` store, the
+//! list is disconnected and the consumer cannot make progress past the gap.
+//! The `lagging_producer_blocks_consumer` test below demonstrates exactly
+//! that window.
+//!
+//! Included as a comparison point for the MPSC variant of the Turn queue
+//! (whose enqueue is wait-free *bounded* and never disconnects the list).
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+struct VNode<T> {
+    item: UnsafeCell<Option<T>>,
+    next: AtomicPtr<VNode<T>>,
+}
+
+impl<T> VNode<T> {
+    fn alloc(item: Option<T>) -> *mut VNode<T> {
+        Box::into_raw(Box::new(VNode {
+            item: UnsafeCell::new(item),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// Vyukov's unbounded MPSC queue. Any thread may
+/// [`enqueue`](VyukovMpscQueue::enqueue); a single claimed consumer
+/// dequeues.
+///
+/// No hazard pointers are needed: only the consumer frees nodes, and it
+/// frees a node only after following its `next` link, which a producer
+/// publishes *after* it can no longer touch the node.
+pub struct VyukovMpscQueue<T> {
+    /// Push end (Vyukov calls this `head`): producers `swap` themselves in.
+    push_end: CachePadded<AtomicPtr<VNode<T>>>,
+    /// Pop end, owned by the single consumer.
+    pop_end: CachePadded<UnsafeCell<*mut VNode<T>>>,
+    consumer_claimed: AtomicBool,
+}
+
+// SAFETY: producers only touch `push_end` (atomic); `pop_end` is guarded by
+// the consumer claim.
+unsafe impl<T: Send> Send for VyukovMpscQueue<T> {}
+unsafe impl<T: Send> Sync for VyukovMpscQueue<T> {}
+
+impl<T> VyukovMpscQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        let stub = VNode::<T>::alloc(None);
+        VyukovMpscQueue {
+            push_end: CachePadded::new(AtomicPtr::new(stub)),
+            pop_end: CachePadded::new(UnsafeCell::new(stub)),
+            consumer_claimed: AtomicBool::new(false),
+        }
+    }
+
+    /// Wait-free population-oblivious enqueue: one atomic `swap`, one store.
+    ///
+    /// (This is the one queue in this workspace allowed to use `swap`; the
+    /// Turn queue's claim is CAS-only, this baseline's claim is not.)
+    pub fn enqueue(&self, item: T) {
+        let node = VNode::alloc(Some(item));
+        let prev = self.push_end.swap(node, Ordering::AcqRel);
+        // The queue is momentarily disconnected here — the root cause of
+        // the blocking dequeue. SAFETY: `prev` cannot be freed by the
+        // consumer before this store: the consumer only advances past a
+        // node after reading a non-null `next` from it.
+        unsafe { &*prev }.next.store(node, Ordering::Release);
+    }
+
+    /// Claim the consumer endpoint; `None` if already claimed.
+    pub fn consumer(&self) -> Option<VyukovConsumer<'_, T>> {
+        if self
+            .consumer_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Some(VyukovConsumer {
+                queue: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Default for VyukovMpscQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for VyukovMpscQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk from the pop end and free everything.
+        let mut node = unsafe { *self.pop_end.get() };
+        while !node.is_null() {
+            let next = unsafe { &*node }.next.load(Ordering::Relaxed);
+            unsafe { drop(Box::from_raw(node)) };
+            node = next;
+        }
+    }
+}
+
+/// Exclusive consumer endpoint of a [`VyukovMpscQueue`].
+pub struct VyukovConsumer<'a, T> {
+    queue: &'a VyukovMpscQueue<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> VyukovConsumer<'_, T> {
+    /// Dequeue the head item.
+    ///
+    /// Returns `None` both when the queue is empty *and* when a producer is
+    /// mid-enqueue (swapped but not yet linked) — in the latter case the
+    /// item is already "in" the queue but unreachable, which is why the
+    /// paper classifies this dequeue as blocking.
+    pub fn dequeue(&mut self) -> Option<T> {
+        // SAFETY: exclusive consumer (claim guard).
+        let tail = unsafe { *self.queue.pop_end.get() };
+        let next = unsafe { &*tail }.next.load(Ordering::Acquire);
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` is linked and owned by the consumer side now.
+        let item = unsafe { (*next).item.get().as_mut().unwrap().take() };
+        debug_assert!(item.is_some());
+        unsafe { *self.queue.pop_end.get() = next };
+        // SAFETY: old stub node is unreachable: producers past it published
+        // `next`, and we just followed it.
+        unsafe { drop(Box::from_raw(tail)) };
+        item
+    }
+}
+
+impl<T> Drop for VyukovConsumer<'_, T> {
+    fn drop(&mut self) {
+        self.queue.consumer_claimed.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q: VyukovMpscQueue<u32> = VyukovMpscQueue::new();
+        let mut c = q.consumer().unwrap();
+        assert_eq!(c.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(c.dequeue(), Some(1));
+        assert_eq!(c.dequeue(), Some(2));
+        assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn consumer_exclusive() {
+        let q: VyukovMpscQueue<u32> = VyukovMpscQueue::new();
+        let c = q.consumer().unwrap();
+        assert!(q.consumer().is_none());
+        drop(c);
+        assert!(q.consumer().is_some());
+    }
+
+    #[test]
+    fn multi_producer_delivery() {
+        const PRODUCERS: usize = 4;
+        const PER: u64 = 5_000;
+        let q: Arc<VyukovMpscQueue<u64>> = Arc::new(VyukovMpscQueue::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        q.enqueue((p as u64) << 32 | i);
+                    }
+                });
+            }
+            let mut c = q.consumer().unwrap();
+            let mut got = Vec::new();
+            while got.len() < PRODUCERS * PER as usize {
+                if let Some(v) = c.dequeue() {
+                    got.push(v);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got.len(), PRODUCERS * PER as usize);
+        });
+    }
+
+    #[test]
+    fn drop_frees_pending() {
+        use std::sync::atomic::AtomicUsize;
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q: VyukovMpscQueue<D> = VyukovMpscQueue::new();
+            for _ in 0..6 {
+                q.enqueue(D(Arc::clone(&drops)));
+            }
+            let mut c = q.consumer().unwrap();
+            drop(c.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 6);
+    }
+
+    /// The paper's §1 claim made executable: a producer stalled between its
+    /// `swap` and its `next` store hides *all* later items from the
+    /// consumer, even items whose enqueue fully completed afterwards.
+    #[test]
+    fn lagging_producer_blocks_consumer() {
+        let q: VyukovMpscQueue<u32> = VyukovMpscQueue::new();
+
+        // Simulate a stalled producer by performing only the first half of
+        // enqueue() manually: swap without the next-store.
+        let orphan = VNode::alloc(Some(77u32));
+        let prev = q.push_end.swap(orphan, Ordering::AcqRel);
+
+        // A second producer completes a full enqueue afterwards.
+        q.enqueue(88);
+
+        // The consumer cannot see *either* item.
+        let mut c = q.consumer().unwrap();
+        assert_eq!(c.dequeue(), None, "dequeue is blocked by the lagging producer");
+
+        // The stalled producer finally finishes; everything unblocks.
+        unsafe { &*prev }.next.store(orphan, Ordering::Release);
+        assert_eq!(c.dequeue(), Some(77));
+        assert_eq!(c.dequeue(), Some(88));
+    }
+}

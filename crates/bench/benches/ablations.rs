@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices the paper calls out.
+//!
+//! * `hp_scan_threshold` — §3.1: the paper picks `R = 0` "to reduce
+//!   latency on dequeue() as much as possible". Larger `R` batches the
+//!   retire scans (fewer, bigger) at the cost of a larger bounded backlog.
+//! * `max_threads_sizing` — the enqueue/dequeue helping scans are
+//!   `O(max_threads)`, so oversizing the bound has a direct per-op cost;
+//!   this measures it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use turn_queue::TurnQueue;
+
+fn bench_hp_scan_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hp_scan_threshold");
+    for r in [0usize, 8, 64] {
+        let q: TurnQueue<u64> = TurnQueue::with_config(2, r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| {
+                q.enqueue(black_box(1));
+                black_box(q.dequeue())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_threads_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_threads_sizing");
+    for n in [2usize, 8, 32, 128] {
+        let q: TurnQueue<u64> = TurnQueue::with_max_threads(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                q.enqueue(black_box(1));
+                black_box(q.dequeue())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// §4.1's deliberate-backoff observation: after publishing a request, spin
+/// briefly betting a helper completes it. Measured as multi-threaded pairs
+/// throughput (the contended regime where backoff can pay off).
+fn bench_backoff(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    let mut group = c.benchmark_group("deliberate_backoff");
+    group.sample_size(10);
+    for spins in [0u32, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(spins), &spins, |b, &spins| {
+            b.iter_custom(|iters| {
+                const THREADS: usize = 4;
+                let q: Arc<TurnQueue<u64>> =
+                    Arc::new(TurnQueue::with_full_config(THREADS, 0, spins));
+                let barrier = Arc::new(Barrier::new(THREADS));
+                let total_ns = Arc::new(AtomicU64::new(0));
+                let per_thread = (iters as usize / THREADS).max(1) as u64;
+                std::thread::scope(|s| {
+                    for _ in 0..THREADS {
+                        let q = Arc::clone(&q);
+                        let barrier = Arc::clone(&barrier);
+                        let total_ns = Arc::clone(&total_ns);
+                        s.spawn(move || {
+                            barrier.wait();
+                            let t0 = std::time::Instant::now();
+                            for i in 0..per_thread {
+                                q.enqueue(i);
+                                let _ = q.dequeue();
+                            }
+                            total_ns.fetch_add(
+                                t0.elapsed().as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                        });
+                    }
+                });
+                // Average per-thread wall time stands in for the batch.
+                std::time::Duration::from_nanos(
+                    total_ns.load(Ordering::Relaxed) / THREADS as u64,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hp_scan_threshold, bench_max_threads_sizing, bench_backoff
+);
+criterion_main!(benches);

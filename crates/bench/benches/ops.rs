@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks: uncontended per-operation cost of every
+//! queue, the Turn queue's handle-vs-TLS lookup overhead, and the cost of
+//! the reclamation/registry substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use turnq_api::QueueFamily;
+use turnq_harness::QueueKind;
+use turnq_harness::with_queue_family;
+use turnq_hazard::HazardPointers;
+use turnq_threadreg::ThreadRegistry;
+use turn_queue::TurnQueue;
+
+fn bench_pair_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_pair");
+    for kind in QueueKind::all() {
+        with_queue_family!(kind, F => {
+            let q = F::with_max_threads::<u64>(2);
+            group.bench_function(kind.name(), |b| {
+                b.iter(|| {
+                    q.enqueue(black_box(1));
+                    black_box(q.dequeue())
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_handle_vs_tls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("turn_api");
+    let q: TurnQueue<u64> = TurnQueue::with_max_threads(2);
+    group.bench_function("tls_lookup", |b| {
+        b.iter(|| {
+            q.enqueue(black_box(1));
+            black_box(q.dequeue())
+        })
+    });
+    let h = q.handle().unwrap();
+    group.bench_function("cached_handle", |b| {
+        b.iter(|| {
+            h.enqueue(black_box(1));
+            black_box(h.dequeue())
+        })
+    });
+    group.finish();
+}
+
+fn bench_hazard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hazard");
+    let hp: HazardPointers<u64> = HazardPointers::new(8, 3);
+    let p = Box::into_raw(Box::new(7u64));
+    group.bench_function("protect_clear", |b| {
+        b.iter(|| {
+            hp.protect_ptr(0, 0, black_box(p));
+            hp.clear_one(0, 0);
+        })
+    });
+    group.bench_function("retire_unprotected", |b| {
+        b.iter(|| {
+            let x = Box::into_raw(Box::new(1u64));
+            // SAFETY: unique, unlinked allocation.
+            unsafe { hp.retire(0, x) };
+        })
+    });
+    // SAFETY: bench-local allocation, protected slot cleared above.
+    unsafe { drop(Box::from_raw(p)) };
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threadreg");
+    let reg = ThreadRegistry::new(32);
+    let _ = reg.current_index();
+    group.bench_function("cached_lookup", |b| {
+        b.iter(|| black_box(reg.current_index()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pair_cost, bench_handle_vs_tls, bench_hazard, bench_registry
+);
+criterion_main!(benches);

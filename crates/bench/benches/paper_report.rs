@@ -1,0 +1,88 @@
+//! `cargo bench` entry point that regenerates every quantitative table and
+//! figure of the paper at a deliberately tiny scale, so a plain
+//! `cargo bench --workspace` exercises all five reproductions end to end.
+//! For presentable numbers run the dedicated binaries
+//! (`cargo run --release -p turnq-bench --bin table3_latency`, …) with a
+//! larger scale.
+
+use turnq_harness::latency::measure_latency;
+use turnq_harness::stats::{min_max_per_quantile, ns_to_us, PAPER_QUANTILE_LABELS};
+use turnq_harness::throughput::{measure_bursts, measure_pairs};
+use turnq_harness::{QueueKind, Scale, Table};
+
+fn main() {
+    // `cargo bench -- --some-filter` passes args; a bench harness must
+    // tolerate (and here: ignore) them.
+    let scale = Scale::quick();
+    println!("\n################ paper_report (quick scale) ################");
+    println!(
+        "scale: threads={} bursts={} burst_items={} runs={} pairs={}\n",
+        scale.threads, scale.bursts, scale.burst_items, scale.runs, scale.pairs
+    );
+
+    // ---- Table 3 (latency quantiles) + Figure 1 single point ----------
+    println!("--- Table 3 (latency quantiles, us, min-max of {} runs) ---", scale.runs);
+    for (label, pick) in [("enqueue()", 0usize), ("dequeue()", 1usize)] {
+        let mut headers = vec![label.to_string()];
+        headers.extend(PAPER_QUANTILE_LABELS.iter().map(|s| s.to_string()));
+        let mut t = Table::new(headers);
+        for kind in QueueKind::paper_set() {
+            let runs = measure_latency(kind, &scale);
+            let per_run = if pick == 0 { &runs.enqueue } else { &runs.dequeue };
+            let mm = min_max_per_quantile(per_run);
+            let mut row = vec![kind.name().to_string()];
+            row.extend(mm.iter().map(|(lo, hi)| format!("{}-{}", ns_to_us(*lo), ns_to_us(*hi))));
+            t.add_row(row);
+        }
+        println!("{t}");
+    }
+
+    // ---- Figure 2 (pairs throughput + ratio vs KP) ---------------------
+    println!("--- Figure 2 (pairs throughput, ops/s) ---");
+    let mut t = Table::new(vec!["queue", "ops/s", "vs KP"]);
+    let kp_ops = measure_pairs(QueueKind::Kp, &scale).ops_per_sec;
+    for kind in QueueKind::paper_set() {
+        let ops = if kind == QueueKind::Kp {
+            kp_ops
+        } else {
+            measure_pairs(kind, &scale).ops_per_sec
+        };
+        t.add_row(vec![
+            kind.name().to_string(),
+            format!("{:.2}M", ops as f64 / 1e6),
+            format!("{:.2}x", ops as f64 / kp_ops as f64),
+        ]);
+    }
+    println!("{t}");
+
+    // ---- Figure 3 (burst throughput per side) --------------------------
+    println!("--- Figure 3 (burst throughput, items/s) ---");
+    let mut t = Table::new(vec!["queue", "enqueue/s", "dequeue/s"]);
+    for kind in QueueKind::paper_set() {
+        let r = measure_bursts(kind, &scale);
+        t.add_row(vec![
+            kind.name().to_string(),
+            format!("{:.2}M", r.enqueue_items_per_sec as f64 / 1e6),
+            format!("{:.2}M", r.dequeue_items_per_sec as f64 / 1e6),
+        ]);
+    }
+    println!("{t}");
+
+    // ---- Table 4 (static sizes; allocation measurement lives in the
+    //      table4_memory binary, which registers the counting allocator) --
+    println!("--- Table 4 (sizes from the real layouts, bytes) ---");
+    let mut t = Table::new(vec!["queue", "node", "enq req", "deq req", "fixed/thread", "min allocs/item"]);
+    for kind in QueueKind::all() {
+        let r = kind.size_report();
+        t.add_row(vec![
+            kind.name().to_string(),
+            r.node_bytes.to_string(),
+            r.enqueue_request_bytes.to_string(),
+            r.dequeue_request_bytes.to_string(),
+            r.fixed_per_thread_bytes.to_string(),
+            r.min_heap_allocs_per_item.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("################ end paper_report ################\n");
+}

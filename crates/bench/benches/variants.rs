@@ -1,0 +1,66 @@
+//! Criterion benches for the single-consumer / single-producer variants:
+//! the Turn MPSC (wait-free bounded enqueue, §5's plug-in claim) against
+//! Vyukov's MPSC (wait-free population-oblivious enqueue, blocking
+//! dequeue) and the bounded SPSC ring — the §1 related-work landscape as
+//! measurable trade-offs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use turnq_baselines::{SpscRing, VyukovMpscQueue};
+use turn_queue::{TurnMpscQueue, TurnSpmcQueue};
+
+fn bench_mpsc_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpsc_pair_single_thread");
+
+    let turn: TurnMpscQueue<u64> = TurnMpscQueue::with_max_threads(2);
+    let mut turn_consumer = turn.consumer().unwrap();
+    group.bench_function("turn_mpsc", |b| {
+        b.iter(|| {
+            turn.enqueue(black_box(1));
+            black_box(turn_consumer.dequeue())
+        })
+    });
+
+    let vyukov: VyukovMpscQueue<u64> = VyukovMpscQueue::new();
+    let mut vyukov_consumer = vyukov.consumer().unwrap();
+    group.bench_function("vyukov_mpsc", |b| {
+        b.iter(|| {
+            vyukov.enqueue(black_box(1));
+            black_box(vyukov_consumer.dequeue())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_spsc_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_pair_single_thread");
+
+    let ring: SpscRing<u64> = SpscRing::with_capacity(1024);
+    let (mut tx, mut rx) = ring.split().unwrap();
+    group.bench_function("spsc_ring_bounded", |b| {
+        b.iter(|| {
+            let _ = tx.try_enqueue(black_box(1));
+            black_box(rx.dequeue())
+        })
+    });
+
+    let spmc: TurnSpmcQueue<u64> = TurnSpmcQueue::with_max_threads(2);
+    let mut producer = spmc.producer().unwrap();
+    group.bench_function("turn_spmc", |b| {
+        b.iter(|| {
+            producer.enqueue(black_box(1));
+            black_box(spmc.dequeue())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mpsc_pair, bench_spsc_pair
+);
+criterion_main!(benches);

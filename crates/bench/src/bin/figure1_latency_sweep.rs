@@ -1,0 +1,107 @@
+//! Figure 1 reproduction: latency quantiles as a function of the number of
+//! competing threads, for `enqueue()` and `dequeue()`.
+//!
+//! Prints one block per queue and operation: rows are thread counts,
+//! columns the six quantiles (median across runs, microseconds). Pass
+//! `--csv` for machine-readable output.
+
+use turnq_bench::{banner, scale_from};
+use turnq_harness::latency::sweep_latency;
+use turnq_harness::plot::{ascii_chart, Series};
+use turnq_harness::stats::{fmt_us, PAPER_QUANTILE_LABELS};
+use turnq_harness::{Args, QueueKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from(&args);
+    let kinds = QueueKind::parse_list(args.get("queues"));
+    let max_threads = scale.threads;
+    // Thread axis: 1,2,3,4,6,8,...,max (paper sweeps 1..30).
+    let mut axis: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 30]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    if axis.last() != Some(&max_threads) {
+        axis.push(max_threads);
+    }
+    banner("Figure 1: latency quantiles vs thread count (us, median of runs)", &scale);
+
+    let csv = args.has_flag("csv");
+    let plot = args.has_flag("plot");
+    if csv {
+        println!("queue,op,threads,{}", PAPER_QUANTILE_LABELS.join(","));
+    }
+    // series[(op, quantile)] -> one Series per queue for the charts.
+    let mut p50_series: Vec<Series> = Vec::new();
+    let mut tail_series: Vec<Series> = Vec::new();
+
+    for &kind in &kinds {
+        eprintln!("sweeping {} over threads {:?} ...", kind.name(), axis);
+        let points = sweep_latency(kind, &scale, &axis);
+        if plot {
+            p50_series.push(Series::new(
+                kind.name(),
+                points
+                    .iter()
+                    .map(|(t, enq, _)| (*t as f64, enq[0] as f64 / 1000.0))
+                    .collect(),
+            ));
+            tail_series.push(Series::new(
+                kind.name(),
+                points
+                    .iter()
+                    .map(|(t, enq, _)| (*t as f64, enq[5] as f64 / 1000.0))
+                    .collect(),
+            ));
+        }
+        for (op, idx) in [("enqueue", 0usize), ("dequeue", 1usize)] {
+            if csv {
+                for (threads, enq, deq) in &points {
+                    let q = if idx == 0 { enq } else { deq };
+                    let cells: Vec<String> =
+                        q.iter().map(|&v| fmt_us(v)).collect();
+                    println!("{},{},{},{}", kind.name(), op, threads, cells.join(","));
+                }
+            } else {
+                let mut headers = vec![format!("{} {}", kind.name(), op)];
+                headers.extend(PAPER_QUANTILE_LABELS.iter().map(|s| s.to_string()));
+                let mut table = Table::new(headers);
+                for (threads, enq, deq) in &points {
+                    let q = if idx == 0 { enq } else { deq };
+                    let mut row = vec![format!("{threads} thr")];
+                    row.extend(q.iter().map(|&v| fmt_us(v)));
+                    table.add_row(row);
+                }
+                println!("{table}");
+            }
+        }
+    }
+
+    if plot {
+        print!(
+            "{}",
+            ascii_chart(
+                "enqueue p50 (us, log) vs threads",
+                &p50_series,
+                60,
+                14,
+                true
+            )
+        );
+        println!();
+        print!(
+            "{}",
+            ascii_chart(
+                "enqueue p99.999 (us, log) vs threads",
+                &tail_series,
+                60,
+                14,
+                true
+            )
+        );
+    }
+    if !csv {
+        println!("expected shape: MS quantiles climb steeply with threads (fat tail),");
+        println!("KP and Turn stay nearly flat — the paper's core latency claim.");
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 2 reproduction: single-enqueue-single-dequeue pairs throughput
+//! vs thread count, plus the right panel's ratio normalized to KP.
+
+use turnq_bench::{banner, ratio, scale_from};
+use turnq_harness::plot::{ascii_chart, Series};
+use turnq_harness::throughput::measure_pairs;
+use turnq_harness::{Args, QueueKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from(&args);
+    let kinds = QueueKind::parse_list(args.get("queues"));
+    let mut axis: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32]
+        .into_iter()
+        .filter(|&t| t <= scale.threads)
+        .collect();
+    if axis.last() != Some(&scale.threads) {
+        axis.push(scale.threads);
+    }
+    banner("Figure 2: enqueue-dequeue pairs throughput (ops/s, median of runs)", &scale);
+
+    // results[kind][thread_idx]
+    let mut headers = vec!["threads".to_string()];
+    headers.extend(kinds.iter().map(|k| k.name().to_string()));
+    headers.extend(kinds.iter().map(|k| format!("{}/KP", k.name())));
+    let mut table = Table::new(headers);
+
+    let mut chart_series: Vec<Series> =
+        kinds.iter().map(|k| Series::new(k.name(), Vec::new())).collect();
+    for &threads in &axis {
+        let s = turnq_harness::Scale { threads, ..scale };
+        let mut row = vec![threads.to_string()];
+        let mut by_kind = Vec::new();
+        for (ki, &kind) in kinds.iter().enumerate() {
+            eprintln!("pairs: {} @ {} threads ...", kind.name(), threads);
+            let r = measure_pairs(kind, &s);
+            by_kind.push(r.ops_per_sec);
+            chart_series[ki]
+                .points
+                .push((threads as f64, r.ops_per_sec as f64 / 1e6));
+            row.push(format!("{:.2}M", r.ops_per_sec as f64 / 1e6));
+        }
+        let kp = kinds
+            .iter()
+            .position(|&k| k == QueueKind::Kp)
+            .map(|i| by_kind[i])
+            .unwrap_or(0);
+        for &v in &by_kind {
+            row.push(ratio(v, kp));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+    if args.has_flag("plot") {
+        print!(
+            "{}",
+            ascii_chart("pairs throughput (Mops/s, log) vs threads", &chart_series, 60, 14, true)
+        );
+    }
+    println!("paper reference: Turn/KP ranges 2x-5x on this microbenchmark;");
+    println!("Turn drops to ~0.5x of MS as contention grows.");
+}

@@ -1,0 +1,67 @@
+//! Figure 3 reproduction: burst throughput, with enqueue and dequeue
+//! measured separately (all threads do the same operation at a time),
+//! plus the ratio panels normalized to KP.
+
+use turnq_bench::{banner, ratio, scale_from};
+use turnq_harness::throughput::{measure_bursts, BurstResult};
+use turnq_harness::{Args, QueueKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from(&args);
+    let kinds = QueueKind::parse_list(args.get("queues"));
+    let mut axis: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32]
+        .into_iter()
+        .filter(|&t| t <= scale.threads)
+        .collect();
+    if axis.last() != Some(&scale.threads) {
+        axis.push(scale.threads);
+    }
+    banner(
+        "Figure 3: burst throughput per operation (items/s, median of bursts)",
+        &scale,
+    );
+
+    // Measure once per (thread count, queue); print two tables from it.
+    let mut measured: Vec<(usize, Vec<BurstResult>)> = Vec::new();
+    for &threads in &axis {
+        let s = turnq_harness::Scale { threads, ..scale };
+        let mut per_kind = Vec::new();
+        for &kind in &kinds {
+            eprintln!("bursts: {} @ {} threads ...", kind.name(), threads);
+            per_kind.push(measure_bursts(kind, &s));
+        }
+        measured.push((threads, per_kind));
+    }
+
+    for (op, pick) in [("enqueue", 0usize), ("dequeue", 1usize)] {
+        let mut headers = vec![format!("{op} thr")];
+        headers.extend(kinds.iter().map(|k| k.name().to_string()));
+        headers.extend(kinds.iter().map(|k| format!("{}/KP", k.name())));
+        let mut table = Table::new(headers);
+        for (threads, per_kind) in &measured {
+            let values: Vec<u64> = per_kind
+                .iter()
+                .map(|r| {
+                    if pick == 0 {
+                        r.enqueue_items_per_sec
+                    } else {
+                        r.dequeue_items_per_sec
+                    }
+                })
+                .collect();
+            let mut row = vec![threads.to_string()];
+            row.extend(values.iter().map(|&v| format!("{:.2}M", v as f64 / 1e6)));
+            let kp = kinds
+                .iter()
+                .position(|&k| k == QueueKind::Kp)
+                .map(|i| values[i])
+                .unwrap_or(0);
+            row.extend(values.iter().map(|&v| ratio(v, kp)));
+            table.add_row(row);
+        }
+        println!("{table}");
+    }
+    println!("paper reference: Turn beats KP by 1.4x-4x on both sides;");
+    println!("MS leads at low thread counts.");
+}

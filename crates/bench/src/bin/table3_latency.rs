@@ -1,0 +1,61 @@
+//! Table 3 reproduction: latency quantiles (min–max over runs) for
+//! `enqueue()` and `dequeue()` under full contention.
+//!
+//! Paper: 30 threads, 2×10⁸ measurements, 7 runs on a 32-core Opteron.
+//! Here: scaled defaults (see `--help` output of the flags in
+//! `turnq-bench`'s crate docs); pass `--paper` on real hardware.
+
+use turnq_bench::{banner, scale_from};
+use turnq_harness::latency::{measure_latency, measure_latency_hist};
+use turnq_harness::stats::{fmt_us, min_max_per_quantile, PAPER_QUANTILE_LABELS};
+use turnq_harness::{Args, QueueKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from(&args);
+    let kinds = QueueKind::parse_list(args.get("queues"));
+    banner("Table 3: latency quantiles (microseconds, min-max over runs)", &scale);
+
+    // --histogram: constant-memory accumulation for paper-scale runs.
+    let use_hist = args.has_flag("histogram");
+    let results: Vec<(QueueKind, _)> = kinds
+        .iter()
+        .map(|&kind| {
+            eprintln!("measuring {} ...", kind.name());
+            let runs = if use_hist {
+                measure_latency_hist(kind, &scale)
+            } else {
+                measure_latency(kind, &scale)
+            };
+            (kind, runs)
+        })
+        .collect();
+
+    for (op, pick) in [
+        ("enqueue()", 0usize),
+        ("dequeue()", 1usize),
+    ] {
+        let mut headers = vec![op.to_string()];
+        headers.extend(PAPER_QUANTILE_LABELS.iter().map(|s| s.to_string()));
+        let mut table = Table::new(headers);
+        for (kind, runs) in &results {
+            let per_run = if pick == 0 { &runs.enqueue } else { &runs.dequeue };
+            let mm = min_max_per_quantile(per_run);
+            let mut row = vec![kind.name().to_string()];
+            row.extend(
+                mm.iter()
+                    .map(|(lo, hi)| format!("{} - {}", fmt_us(*lo), fmt_us(*hi))),
+            );
+            table.add_row(row);
+        }
+        println!("{table}");
+    }
+
+    println!(
+        "paper reference (30 thr, us): enq 99.999%: MS 3193-3557, KP 706-773, Turn 1127-1155;"
+    );
+    println!(
+        "                              deq 99.999%: MS 13336-23637, KP 750-792, Turn 857-896."
+    );
+    println!("expected shape: MS tail >> KP/Turn tails; KP/Turn flat across quantiles.");
+}

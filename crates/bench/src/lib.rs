@@ -1,0 +1,80 @@
+//! Shared helpers for the per-table/per-figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1_characteristics` | Table 1 — qualitative queue comparison |
+//! | `table2_reclamation`     | Table 2 — reclamation progress + blocking-epoch demo |
+//! | `table3_latency`         | Table 3 — latency quantiles, min–max over runs |
+//! | `table4_memory`          | Table 4 — sizes and measured allocations/item |
+//! | `figure1_latency_sweep`  | Figure 1 — latency quantiles vs thread count |
+//! | `figure2_throughput_pairs` | Figure 2 — pairs throughput + ratio vs KP |
+//! | `figure3_bursts`         | Figure 3 — burst throughput per side + ratios |
+//!
+//! All binaries accept `--threads= --bursts= --burst-items= --runs=
+//! --pairs= --warmup=` plus `--queues=turn,kp,ms,mutex,faa|all`, `--quick`
+//! and `--paper` scale presets, and honour the `TURNQ_*` environment
+//! variables (see `turnq_harness::config`).
+
+use turnq_harness::{Args, Scale};
+
+/// Resolve the scale from presets + env + explicit flags.
+pub fn scale_from(args: &Args) -> Scale {
+    let base = if args.has_flag("quick") {
+        Scale::quick()
+    } else if args.has_flag("paper") {
+        Scale::paper()
+    } else {
+        Scale::from_env()
+    };
+    base.apply_args(args)
+}
+
+/// `x.yz×` ratio formatting used by the Figure 2/3 ratio panels.
+pub fn ratio(numerator: u64, denominator: u64) -> String {
+    if denominator == 0 {
+        return "n/a".to_string();
+    }
+    format!("{:.2}x", numerator as f64 / denominator as f64)
+}
+
+/// Standard header printed by every binary.
+pub fn banner(what: &str, scale: &Scale) {
+    println!("=== {what} ===");
+    println!(
+        "scale: threads={} bursts={} burst_items={} runs={} pairs={} warmup={}",
+        scale.threads, scale.bursts, scale.burst_items, scale.runs, scale.pairs, scale.warmup
+    );
+    println!(
+        "note: absolute numbers are environment-dependent ({} hardware threads here, \
+         paper used 32 cores); compare *shapes* and *ratios*.",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(200, 100), "2.00x");
+        assert_eq!(ratio(150, 100), "1.50x");
+        assert_eq!(ratio(1, 0), "n/a");
+    }
+
+    #[test]
+    fn scale_presets() {
+        let quick = scale_from(&Args::parse(["--quick".to_string()]));
+        assert_eq!(quick, Scale::quick());
+        let paper = scale_from(&Args::parse(["--paper".to_string()]));
+        assert_eq!(paper, Scale::paper());
+        let tweaked = scale_from(&Args::parse([
+            "--quick".to_string(),
+            "--threads=5".to_string(),
+        ]));
+        assert_eq!(tweaked.threads, 5);
+    }
+}

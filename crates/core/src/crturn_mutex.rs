@@ -1,0 +1,239 @@
+//! A starvation-free, CAS-only mutual-exclusion lock built on the same
+//! turn/handoff idea as the queue's consensus.
+//!
+//! The paper derives the Turn queue's consensus from "the CRTurn
+//! starvation-free mutual exclusion lock by Correia and Ramalhete [5],
+//! inspired by Lamport's One Bit Solution, where each thread publishes its
+//! intent … and the decision of who is the next thread is based on who is
+//! the next request to the right of the current turn". Reference [5] is an
+//! informal tech report, so this module is a *reconstruction in that
+//! spirit*, kept deliberately small enough to prove:
+//!
+//! * Each thread publishes intent in `intents[i]`.
+//! * Ownership is a single `grant` word: `grant == i` means thread `i`
+//!   holds (or has been handed) the lock; `NO_OWNER` means it is free.
+//! * On unlock, the holder scans *to the right of its own slot*
+//!   (circularly) and hands the lock to the first thread with published
+//!   intent — the queue's `searchNext` in miniature. Only if no intent is
+//!   found does the lock become free, to be claimed by `CAS(NO_OWNER → i)`.
+//!
+//! **Mutual exclusion**: `grant` is written only by (a) the current holder
+//! (handoff store or release store) and (b) `CAS(NO_OWNER → i)`, which can
+//! only succeed while no thread holds. So at most one thread ever observes
+//! `grant == self`. **Starvation freedom**: a waiting thread's intent stays
+//! published; every unlock scan covers all other slots, so a waiter is
+//! granted after at most `N - 1` critical sections once the handoff chain
+//! is running, and the free-lock CAS race only arises when no intents were
+//! visible, in which case some requester wins and restarts the chain.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+use turnq_threadreg::ThreadRegistry;
+
+/// `grant` value meaning "nobody holds the lock".
+const NO_OWNER: usize = usize::MAX;
+
+/// A starvation-free mutex using only loads, stores and CAS.
+///
+/// ```
+/// use turn_queue::CRTurnMutex;
+///
+/// let m = CRTurnMutex::with_max_threads(4);
+/// {
+///     let _g = m.lock();
+///     // critical section
+/// } // unlocked on drop
+/// ```
+pub struct CRTurnMutex {
+    grant: CachePadded<AtomicUsize>,
+    intents: Box<[CachePadded<AtomicBool>]>,
+    registry: ThreadRegistry,
+}
+
+impl CRTurnMutex {
+    /// A mutex usable by at most `max_threads` distinct threads.
+    pub fn with_max_threads(max_threads: usize) -> Self {
+        assert!(max_threads >= 1);
+        CRTurnMutex {
+            grant: CachePadded::new(AtomicUsize::new(NO_OWNER)),
+            intents: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            registry: ThreadRegistry::new(max_threads),
+        }
+    }
+
+    /// Number of thread slots.
+    pub fn max_threads(&self) -> usize {
+        self.intents.len()
+    }
+
+    /// Acquire the lock, blocking (spinning with yields) until granted.
+    pub fn lock(&self) -> CRTurnGuard<'_> {
+        let me = self.registry.current_index();
+        self.intents[me].store(true, Ordering::SeqCst);
+        let mut spins = 0u32;
+        loop {
+            let g = self.grant.load(Ordering::SeqCst);
+            if g == me {
+                // Handed to us by an unlocking holder.
+                break;
+            }
+            if g == NO_OWNER
+                && self
+                    .grant
+                    .compare_exchange(NO_OWNER, me, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                break;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                // Mandatory on oversubscribed machines: the holder needs
+                // CPU time to reach its unlock.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        CRTurnGuard { mutex: self, me }
+    }
+
+    /// Unlock, handing off to the next intent to the right (circularly).
+    fn unlock(&self, me: usize) {
+        debug_assert_eq!(self.grant.load(Ordering::SeqCst), me);
+        self.intents[me].store(false, Ordering::SeqCst);
+        let n = self.intents.len();
+        for d in 1..n {
+            let j = (me + d) % n;
+            if self.intents[j].load(Ordering::SeqCst) {
+                // Handoff: `grant` moves holder→holder without going
+                // through NO_OWNER, so latecomers cannot barge past `j`.
+                self.grant.store(j, Ordering::SeqCst);
+                return;
+            }
+        }
+        // No visible intent: free the lock. A requester that published
+        // after our scan passed it will acquire via the CAS path.
+        self.grant.store(NO_OWNER, Ordering::SeqCst);
+    }
+}
+
+// SAFETY: all state is atomics.
+unsafe impl Send for CRTurnMutex {}
+unsafe impl Sync for CRTurnMutex {}
+
+/// RAII guard: the lock is released when this drops.
+pub struct CRTurnGuard<'a> {
+    mutex: &'a CRTurnMutex,
+    me: usize,
+}
+
+impl Drop for CRTurnGuard<'_> {
+    fn drop(&mut self) {
+        self.mutex.unlock(self.me);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_lock_unlock() {
+        let m = CRTurnMutex::with_max_threads(1);
+        for _ in 0..100 {
+            let _g = m.lock();
+        }
+    }
+
+    #[test]
+    fn reentrant_sequence() {
+        let m = CRTurnMutex::with_max_threads(2);
+        let g = m.lock();
+        drop(g);
+        let _g2 = m.lock(); // must not deadlock after release
+    }
+
+    #[test]
+    fn mutual_exclusion_counter() {
+        const THREADS: usize = 4;
+        const PER: usize = 5_000;
+        let m = Arc::new(CRTurnMutex::with_max_threads(THREADS));
+        // A non-atomic counter protected only by the lock.
+        #[allow(clippy::arc_with_non_send_sync)] // SendPtr wrapper carries the Send proof
+        let counter = Arc::new(std::cell::UnsafeCell::new(0u64));
+        struct SendPtr(Arc<std::cell::UnsafeCell<u64>>);
+        unsafe impl Send for SendPtr {}
+        impl SendPtr {
+            /// # Safety: caller holds the lock protecting the counter.
+            unsafe fn incr(&self) {
+                unsafe { *self.0.get() += 1 };
+            }
+        }
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let m = Arc::clone(&m);
+                let c = SendPtr(Arc::clone(&counter));
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        let _g = m.lock();
+                        // SAFETY: inside the critical section.
+                        unsafe { c.incr() };
+                    }
+                });
+            }
+        });
+        assert_eq!(unsafe { *counter.get() }, (THREADS * PER) as u64);
+    }
+
+    #[test]
+    fn no_starvation_all_threads_finish() {
+        // Starvation-freedom smoke test: every thread completes a fixed
+        // number of acquisitions even with the lock permanently contended.
+        const THREADS: usize = 6;
+        const PER: usize = 1_000;
+        let m = Arc::new(CRTurnMutex::with_max_threads(THREADS));
+        let acquired: Vec<_> = std::thread::scope(|s| {
+            (0..THREADS)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || {
+                        let mut n = 0usize;
+                        for _ in 0..PER {
+                            let _g = m.lock();
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(acquired.iter().all(|&n| n == PER));
+    }
+
+    #[test]
+    fn handoff_prefers_waiting_thread() {
+        // With one waiter publishing intent, an unlock must hand the lock
+        // to it rather than freeing it.
+        let m = Arc::new(CRTurnMutex::with_max_threads(2));
+        let g = m.lock(); // main thread holds (slot 0)
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            let _g = m2.lock(); // publishes intent in slot 1, waits
+        });
+        // Give the waiter time to publish its intent.
+        while !m.intents[1].load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        drop(g); // unlock: must grant slot 1 directly
+        waiter.join().unwrap();
+        assert_eq!(m.grant.load(Ordering::SeqCst), NO_OWNER);
+    }
+}

@@ -1,0 +1,110 @@
+//! The list node shared by the Turn queue and its MPSC/SPMC variants
+//! (paper Algorithm 1).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicI32, AtomicPtr, Ordering};
+
+/// "No thread" marker for [`Node::deq_tid`] (the paper's `IDX_NONE`).
+pub(crate) const IDX_NONE: i32 = -1;
+
+/// A singly-linked-list node carrying one item.
+///
+/// Field-for-field the paper's `Node` struct:
+///
+/// * `item` — the enqueued value. The paper stores `T*`; we store the value
+///   inline (`Option<T>`), which is what lets the Turn queue claim *one*
+///   heap allocation per item (Table 4, last row). `UnsafeCell` because the
+///   single thread the node is assigned to (unique `deq_tid`, paper
+///   Invariant 9) takes the value out while other threads still hold `&Node`
+///   references for pointer comparisons.
+/// * `enq_tid` — which thread enqueued the node; drives the *enqueue* turn.
+///   Immutable after construction, hence not atomic (paper §2.1).
+/// * `deq_tid` — which thread the node's dequeue is assigned to; drives the
+///   *dequeue* turn. CAS'd exactly once from [`IDX_NONE`].
+/// * `next` — list linkage.
+///
+/// With a pointer-sized `T` this is 24 bytes, matching the paper's Table 4.
+pub(crate) struct Node<T> {
+    pub(crate) item: UnsafeCell<Option<T>>,
+    pub(crate) enq_tid: u32,
+    pub(crate) deq_tid: AtomicI32,
+    pub(crate) next: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    /// Allocate a node and return its raw pointer (ownership transfers to
+    /// the queue's reclamation protocol).
+    pub(crate) fn alloc(item: Option<T>, enq_tid: u32) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            item: UnsafeCell::new(item),
+            enq_tid,
+            deq_tid: AtomicI32::new(IDX_NONE),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    /// The paper's `casDeqTid`: assign the node to a dequeue request.
+    /// Returns whether this call performed the assignment.
+    #[inline]
+    pub(crate) fn cas_deq_tid(&self, expected: i32, desired: i32) -> bool {
+        self.deq_tid
+            .compare_exchange(expected, desired, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Take the item out of the node.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the unique owner of the item: either the thread this
+    /// node's dequeue was assigned to (paper Invariant 9 — the assignment
+    /// never changes), or a context with exclusive access (`Drop`).
+    #[inline]
+    pub(crate) unsafe fn take_item(&self) -> Option<T> {
+        // SAFETY: unique-owner contract above; no other thread reads or
+        // writes `item` (helpers only compare node *pointers*).
+        unsafe { (*self.item.get()).take() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_24_bytes_for_pointer_sized_items() {
+        // Table 4 row 1: item(8) + enqTid(4) + deqTid(4) + next(8) = 24.
+        // The paper's `T* item` is an owned heap pointer, i.e. `Box<T>` —
+        // whose null niche lets `Option<Box<T>>` stay one word.
+        assert_eq!(std::mem::size_of::<Node<Box<u64>>>(), 24);
+        assert_eq!(std::mem::size_of::<Node<std::ptr::NonNull<u8>>>(), 24);
+    }
+
+    #[test]
+    fn cas_deq_tid_assigns_once() {
+        let n = Node::<u32> {
+            item: UnsafeCell::new(Some(5)),
+            enq_tid: 0,
+            deq_tid: AtomicI32::new(IDX_NONE),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        };
+        assert!(n.cas_deq_tid(IDX_NONE, 3));
+        // A second CAS from IDX_NONE must fail and leave the first
+        // assignment in place (Invariant 9: the protocol only ever CASes
+        // from IDX_NONE, so the assignment is permanent).
+        assert!(!n.cas_deq_tid(IDX_NONE, 4));
+        assert_eq!(n.deq_tid.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn alloc_and_take_roundtrip() {
+        let p = Node::alloc(Some(String::from("x")), 7);
+        let node = unsafe { &*p };
+        assert_eq!(node.enq_tid, 7);
+        assert_eq!(node.deq_tid.load(Ordering::SeqCst), IDX_NONE);
+        assert!(node.next.load(Ordering::SeqCst).is_null());
+        assert_eq!(unsafe { node.take_item() }, Some(String::from("x")));
+        assert_eq!(unsafe { node.take_item() }, None);
+        unsafe { drop(Box::from_raw(p)) };
+    }
+}

@@ -1,0 +1,823 @@
+//! The Turn queue (paper §2, Algorithms 2–4): a linearizable MPMC queue
+//! with wait-free-bounded `enqueue` and `dequeue` and embedded wait-free
+//! hazard-pointer reclamation.
+//!
+//! The implementation mirrors the paper's C++14 listings line by line; the
+//! comments cite the paper's line numbers and invariants (Inv. 1–11) so the
+//! code can be reviewed against the text.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+use turnq_hazard::HazardPointers;
+use turnq_threadreg::{RegistryFull, ThreadRegistry};
+
+use crate::node::{Node, IDX_NONE};
+
+/// Hazard slot for `tail` during enqueue and `head` during dequeue (the
+/// paper's `kHpTail`/`kHpHead` — one operation runs at a time per thread,
+/// so the slot is shared, as in the reference implementation).
+const HP_HEAD_TAIL: usize = 0;
+/// Hazard slot for `head->next` (`kHpNext`).
+const HP_NEXT: usize = 1;
+/// Hazard slot for `deqhelp[ldeqTid]` in `casDeqAndHead` (`kHpDeq`), held
+/// purely to prevent the retired-deleted-reused ABA on the closing CAS
+/// (paper §2.4).
+const HP_DEQ: usize = 2;
+/// Hazard slots per thread.
+const HPS_PER_THREAD: usize = 3;
+
+/// Default `MAX_THREADS` when none is given.
+pub const DEFAULT_MAX_THREADS: usize = 32;
+
+/// A memory-unbounded multi-producer/multi-consumer wait-free queue.
+///
+/// * `enqueue()` and `dequeue()` complete in `O(max_threads)` steps
+///   (wait-free bounded, paper Invariant 5 and §2.3).
+/// * The only atomic read-modify-write used is CAS.
+/// * The only per-item heap allocation is the node created by `enqueue()`.
+/// * Nodes are reclaimed by embedded wait-free-bounded hazard pointers.
+///
+/// Up to `max_threads` distinct threads may operate on the queue; threads
+/// register automatically on first use (and their slot is recycled when
+/// they exit). For hot paths, [`handle()`](TurnQueue::handle) returns a
+/// per-thread handle that skips the thread-registry lookup.
+///
+/// ```
+/// use turn_queue::TurnQueue;
+///
+/// let q: TurnQueue<u64> = TurnQueue::with_max_threads(4);
+/// q.enqueue(1);
+/// q.enqueue(2);
+/// assert_eq!(q.dequeue(), Some(1));
+/// assert_eq!(q.dequeue(), Some(2));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+pub struct TurnQueue<T> {
+    pub(crate) max_threads: usize,
+    pub(crate) head: CachePadded<AtomicPtr<Node<T>>>,
+    pub(crate) tail: CachePadded<AtomicPtr<Node<T>>>,
+    /// `enqueuers[i]` — thread `i`'s published enqueue request: the node it
+    /// wants inserted, or null when it has no open request (paper §2.1).
+    pub(crate) enqueuers: Box<[CachePadded<AtomicPtr<Node<T>>>]>,
+    /// `deqself[i] == deqhelp[i]` ⇔ thread `i` has an *open* dequeue
+    /// request (paper §2.3).
+    pub(crate) deqself: Box<[CachePadded<AtomicPtr<Node<T>>>]>,
+    /// `deqhelp[i]` — the node assigned to thread `i`'s most recent
+    /// dequeue; writing a new node here *closes* the request.
+    pub(crate) deqhelp: Box<[CachePadded<AtomicPtr<Node<T>>>]>,
+    pub(crate) hp: HazardPointers<Node<T>>,
+    pub(crate) registry: ThreadRegistry,
+    /// Optional bounded spin after publishing a request, before joining the
+    /// helping loop (§4.1's backoff observation: "a valid (and perhaps
+    /// interesting deliberate) strategy is to backoff and wait a while for
+    /// another thread to help"). 0 disables. Bounded, so wait-freedom is
+    /// unaffected.
+    backoff_spins: u32,
+}
+
+// SAFETY: all shared mutable state is atomics; raw node pointers are
+// managed by the hazard-pointer protocol; items move between threads, hence
+// `T: Send`. Consumers on any thread may receive items, so `Sync` also only
+// needs `T: Send` (a queue never shares `&T`).
+unsafe impl<T: Send> Send for TurnQueue<T> {}
+unsafe impl<T: Send> Sync for TurnQueue<T> {}
+
+impl<T> TurnQueue<T> {
+    /// Create a queue for at most [`DEFAULT_MAX_THREADS`] threads.
+    pub fn new() -> Self {
+        Self::with_max_threads(DEFAULT_MAX_THREADS)
+    }
+
+    /// Create a queue for at most `max_threads` concurrently-operating
+    /// threads. The wait-free bound of every operation is
+    /// `O(max_threads)`, so size this to the real concurrency level.
+    pub fn with_max_threads(max_threads: usize) -> Self {
+        Self::with_config(max_threads, 0)
+    }
+
+    /// Like [`with_max_threads`](Self::with_max_threads), with an explicit
+    /// hazard-pointer scan threshold `R` (the paper uses `R = 0` to
+    /// minimize dequeue latency, §3.1; larger values batch reclamation,
+    /// trading bounded extra memory for fewer scans — see the
+    /// `ablation_hp_r` bench).
+    pub fn with_config(max_threads: usize, hp_scan_threshold: usize) -> Self {
+        Self::with_full_config(max_threads, hp_scan_threshold, 0)
+    }
+
+    /// Full configuration: thread bound, HP scan threshold `R`, and the
+    /// deliberate-backoff spin budget of §4.1 (0 disables). The backoff is
+    /// a *bounded* spin after publishing a request, betting that a helper
+    /// completes it — trading a little uncontended latency for less
+    /// contention on the shared head/tail under load (measured by the
+    /// `ablations` bench).
+    pub fn with_full_config(
+        max_threads: usize,
+        hp_scan_threshold: usize,
+        backoff_spins: u32,
+    ) -> Self {
+        assert!(max_threads >= 1, "max_threads must be at least 1");
+        assert!(
+            max_threads <= u32::MAX as usize,
+            "max_threads must fit the node's enq_tid field"
+        );
+        let mk_slots = || {
+            (0..max_threads)
+                .map(|_| CachePadded::new(AtomicPtr::new(ptr::null_mut())))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        // The initial sentinel; its enq_tid of 0 seeds the enqueue turn
+        // (§2: "could have been any number between 0 and MAX_THREADS-1").
+        let sentinel = Node::<T>::alloc(None, 0);
+        let deqself = mk_slots();
+        let deqhelp = mk_slots();
+        // Each dequeue slot starts with its own unique dummy so that
+        // `deqself[i] != deqhelp[i]` (no open request) and the first
+        // `retire(prReq)` retires a dummy rather than a live node.
+        for i in 0..max_threads {
+            deqself[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
+            deqhelp[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
+        }
+        TurnQueue {
+            max_threads,
+            head: CachePadded::new(AtomicPtr::new(sentinel)),
+            tail: CachePadded::new(AtomicPtr::new(sentinel)),
+            enqueuers: mk_slots(),
+            deqself,
+            deqhelp,
+            hp: HazardPointers::with_scan_threshold(
+                max_threads,
+                HPS_PER_THREAD,
+                hp_scan_threshold,
+            ),
+            registry: ThreadRegistry::new(max_threads),
+            backoff_spins,
+        }
+    }
+
+    /// The `max_threads` bound this queue was built with.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Racy emptiness hint: true if `head == tail` at some instant during
+    /// the call. (A linearizable emptiness *check* is what `dequeue()`
+    /// returning `None` provides.)
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst) == self.tail.load(Ordering::SeqCst)
+    }
+
+    /// A handle that caches the calling thread's registry index, removing
+    /// the TLS lookup from the hot path. The handle cannot be sent to
+    /// another thread.
+    pub fn handle(&self) -> Result<TurnHandle<'_, T>, RegistryFull> {
+        let tid = self.registry.try_current_index()?;
+        Ok(TurnHandle {
+            queue: self,
+            tid,
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Insert `item` at the tail of the queue. Wait-free bounded:
+    /// completes within `max_threads` loop iterations (paper Inv. 5).
+    pub fn enqueue(&self, item: T) {
+        let tid = self.registry.current_index();
+        self.enqueue_with(tid, item);
+    }
+
+    /// Remove and return the head item, or `None` if the queue is empty.
+    /// Wait-free bounded.
+    pub fn dequeue(&self) -> Option<T> {
+        let tid = self.registry.current_index();
+        self.dequeue_with(tid)
+    }
+
+    /// Paper Algorithm 2. `myidx` is the caller's registered index.
+    pub(crate) fn enqueue_with(&self, myidx: usize, item: T) {
+        debug_assert!(myidx < self.max_threads);
+        let my_node = Node::alloc(Some(item), myidx as u32); // line 3
+        self.enqueuers[myidx].store(my_node, Ordering::SeqCst); // line 4: publish request
+        // Optional deliberate backoff (§4.1): our request is published, so
+        // helpers can finish it while we spin instead of contending.
+        for _ in 0..self.backoff_spins {
+            if self.enqueuers[myidx].load(Ordering::SeqCst).is_null() {
+                return; // a helper inserted our node
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..self.max_threads {
+            // line 5
+            // line 6: a helper inserted our node and cleared our slot.
+            if self.enqueuers[myidx].load(Ordering::SeqCst).is_null() {
+                self.hp.clear(myidx); // line 7
+                return;
+            }
+            // lines 10-11: protect + validate tail (Algorithm 5 pattern —
+            // a failed validation means the tail advanced, i.e. some
+            // request completed, so we charge it to our bounded loop).
+            let ltail = self
+                .hp
+                .protect_ptr(myidx, HP_HEAD_TAIL, self.tail.load(Ordering::SeqCst));
+            if ltail != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            // SAFETY: ltail is protected and validated; HP keeps it alive.
+            let ltail_ref = unsafe { &*ltail };
+            // lines 12-15: before inserting after the tail node, ensure the
+            // tail node itself is no longer an open request (Inv. 7 — this
+            // is what prevents double insertion).
+            let turn_slot = &self.enqueuers[ltail_ref.enq_tid as usize];
+            if turn_slot.load(Ordering::SeqCst) == ltail {
+                let _ = turn_slot.compare_exchange(
+                    ltail,
+                    ptr::null_mut(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+            // lines 16-22: help the first open request to the right of the
+            // current turn (the CRTurn consensus step, Inv. 1).
+            for j in 1..=self.max_threads {
+                let node_to_help = self.enqueuers
+                    [(j + ltail_ref.enq_tid as usize) % self.max_threads]
+                    .load(Ordering::SeqCst);
+                if node_to_help.is_null() {
+                    continue;
+                }
+                let _ = ltail_ref.next.compare_exchange(
+                    ptr::null_mut(),
+                    node_to_help,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                break;
+            }
+            // lines 23-24: advance the tail past whatever got inserted
+            // (Inv. 2 — tail only advances after an insertion).
+            let lnext = ltail_ref.next.load(Ordering::SeqCst);
+            if !lnext.is_null() {
+                let _ = self
+                    .tail
+                    .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+        self.hp.clear(myidx); // line 25
+        // line 26: after max_threads iterations Inv. 5 guarantees our node
+        // is in the list, so closing our own slot cannot lose it. `Release`
+        // as in the paper.
+        self.enqueuers[myidx].store(ptr::null_mut(), Ordering::Release);
+    }
+
+    /// Paper Algorithm 3.
+    pub(crate) fn dequeue_with(&self, myidx: usize) -> Option<T> {
+        debug_assert!(myidx < self.max_threads);
+        let pr_req = self.deqself[myidx].load(Ordering::SeqCst); // line 3
+        let my_req = self.deqhelp[myidx].load(Ordering::SeqCst); // line 4
+        // line 5: `deqself[i] == deqhelp[i]` opens the request.
+        self.deqself[myidx].store(my_req, Ordering::SeqCst);
+        // Optional deliberate backoff (§4.1); the loop's line-7 check picks
+        // up a request satisfied during the spin.
+        for _ in 0..self.backoff_spins {
+            if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..self.max_threads {
+            // line 6
+            // line 7: request already satisfied by a helper.
+            if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+                break;
+            }
+            // lines 8-9: protect + validate head.
+            let lhead = self
+                .hp
+                .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(Ordering::SeqCst));
+            if lhead != self.head.load(Ordering::SeqCst) {
+                continue;
+            }
+            if lhead == self.tail.load(Ordering::SeqCst) {
+                // lines 10-18: queue looks empty — attempt to give up.
+                self.deqself[myidx].store(pr_req, Ordering::SeqCst); // line 11: rollback
+                self.give_up(my_req, myidx); // line 12
+                if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+                    // lines 13-15: a helper satisfied us after all; restore
+                    // the bookkeeping and fall through to return the item.
+                    // `Relaxed` as in the paper: only this thread reads
+                    // deqself[myidx] before the next publication.
+                    self.deqself[myidx].store(my_req, Ordering::Relaxed);
+                    break;
+                }
+                self.hp.clear(myidx); // line 17
+                return None; // line 18 — Inv. 11: no node was assigned to us
+            }
+            // SAFETY: lhead protected (line 8) and validated (line 9).
+            let next_ptr = unsafe { &*lhead }.next.load(Ordering::SeqCst);
+            // lines 20-21: protect + validate head->next.
+            let lnext = self.hp.protect_ptr(myidx, HP_NEXT, next_ptr);
+            if lhead != self.head.load(Ordering::SeqCst) {
+                continue;
+            }
+            // line 22: find whose turn it is; if the next node is assigned,
+            // publish the result and advance the head.
+            if self.search_next(lhead, lnext) != IDX_NONE {
+                self.cas_deq_and_head(lhead, lnext, myidx);
+            }
+        }
+        // lines 24-28: our request is satisfied; make sure the head has
+        // moved past the node we were assigned (Inv. 8 guarantees the node
+        // stays reachable to us through deqhelp even after that).
+        let my_node = self.deqhelp[myidx].load(Ordering::SeqCst);
+        let lhead = self
+            .hp
+            .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(Ordering::SeqCst));
+        if lhead == self.head.load(Ordering::SeqCst)
+            // SAFETY: lhead protected + validated (short-circuit order).
+            && my_node == unsafe { &*lhead }.next.load(Ordering::SeqCst)
+        {
+            let _ = self
+                .head
+                .compare_exchange(lhead, my_node, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        self.hp.clear(myidx); // line 29
+        // line 30: retire the node from two dequeues ago — only now is it
+        // out of both deqself[myidx] and deqhelp[myidx] (§2.4), and Inv. 10
+        // says we are the only thread that may retire it.
+        // SAFETY: pr_req is a unique Box-allocated node, now unreachable
+        // from every shared variable, retired exactly once (Inv. 10).
+        unsafe { self.hp.retire(myidx, pr_req) };
+        // line 31: the item belongs to us — unique assignment (Inv. 9).
+        // SAFETY: my_node is reachable through deqhelp[myidx] (Inv. 8) and
+        // only retired by us, two dequeues from now.
+        let assigned = unsafe { &*my_node }.deq_tid.load(Ordering::SeqCst);
+        debug_assert_eq!(assigned, myidx as i32, "node must be assigned to us");
+        // SAFETY: see above.
+        let taken = unsafe { (*my_node).take_item() };
+        debug_assert!(taken.is_some(), "assigned node must still hold its item");
+        taken
+    }
+
+    /// Paper Algorithm 4, `searchNext` (lines 34-45): determine which open
+    /// request the node `lnext` should be assigned to, assign it by CAS,
+    /// and return the final assignment.
+    fn search_next(&self, lhead: *mut Node<T>, lnext: *mut Node<T>) -> i32 {
+        // SAFETY: both pointers are protected by the caller's hazard slots
+        // (HP_HEAD_TAIL and HP_NEXT) and validated against head.
+        let lhead_ref = unsafe { &*lhead };
+        let lnext_ref = unsafe { &*lnext };
+        // The dequeue turn is the deqTid of the current head (the last
+        // satisfied request); IDX_NONE (initial sentinel) starts at slot 0.
+        let turn = lhead_ref.deq_tid.load(Ordering::SeqCst);
+        for d in 1..=self.max_threads as i32 {
+            let id_deq = (turn + d).rem_euclid(self.max_threads as i32) as usize;
+            // line 38: closed request (deqself != deqhelp) — skip. Pointer
+            // comparison only; no dereference, hence no hazard needed. The
+            // possible ABA here is harmless (§2.4): a closed request can be
+            // misread as open, but then line 39's check fails because the
+            // head must have advanced twice for that reuse to happen,
+            // meaning lnext is already assigned.
+            if self.deqself[id_deq].load(Ordering::SeqCst)
+                != self.deqhelp[id_deq].load(Ordering::SeqCst)
+            {
+                continue;
+            }
+            if lnext_ref.deq_tid.load(Ordering::SeqCst) == IDX_NONE {
+                // line 40
+                lnext_ref.cas_deq_tid(IDX_NONE, id_deq as i32);
+            }
+            break;
+        }
+        lnext_ref.deq_tid.load(Ordering::SeqCst) // line 44
+    }
+
+    /// Paper Algorithm 4, `casDeqAndHead` (lines 47-58): publish the
+    /// assigned node into the owner's `deqhelp` slot (closing the request),
+    /// then advance the head.
+    fn cas_deq_and_head(&self, lhead: *mut Node<T>, lnext: *mut Node<T>, myidx: usize) {
+        // SAFETY: lnext protected by the caller (HP_NEXT) and assigned.
+        let ldeq_tid = unsafe { &*lnext }.deq_tid.load(Ordering::SeqCst);
+        debug_assert_ne!(ldeq_tid, IDX_NONE);
+        let ldeq_tid = usize::try_from(ldeq_tid).expect("assigned tid is non-negative");
+        if ldeq_tid == myidx {
+            // line 50: closing our own request needs no CAS; `Release` as
+            // in the paper (the read side validates through head).
+            self.deqhelp[ldeq_tid].store(lnext, Ordering::Release);
+        } else {
+            // lines 52-54. The hazard on deqhelp[ldeqTid] is *not* for a
+            // dereference — it pins the old value so it cannot go through
+            // retire→free→realloc→enqueue→dequeue and reappear here, which
+            // would let the CAS succeed on a stale request (ABA, §2.4).
+            let ldeqhelp = self.hp.protect_ptr(
+                myidx,
+                HP_DEQ,
+                self.deqhelp[ldeq_tid].load(Ordering::SeqCst),
+            );
+            if ldeqhelp != lnext && lhead == self.head.load(Ordering::SeqCst) {
+                let _ = self.deqhelp[ldeq_tid].compare_exchange(
+                    ldeqhelp,
+                    lnext,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+        }
+        // line 57: Inv. 8 — the head only advances after the assignment is
+        // visible in deqhelp, so the owner can always reach its node.
+        let _ = self
+            .head
+            .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Paper Algorithm 4, `giveUp` (lines 60-71): executed when a dequeuer
+    /// saw an empty queue and rolled its request back. It must either
+    /// confirm no node was assigned to the request (so `None` is correct),
+    /// or make sure the first node of the queue gets assigned — possibly to
+    /// itself — before returning (§2.3.1).
+    fn give_up(&self, my_req: *mut Node<T>, myidx: usize) {
+        let lhead = self.head.load(Ordering::SeqCst); // line 61
+        if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+            return; // line 62: someone satisfied us — dequeue() will see it
+        }
+        if lhead == self.tail.load(Ordering::SeqCst) {
+            return; // line 63: still empty — the rollback stands
+        }
+        // lines 64-65: protect + validate head. A change means a dequeue
+        // completed; the head advance publishes our rollback (§2.3.1).
+        self.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
+        if lhead != self.head.load(Ordering::SeqCst) {
+            return;
+        }
+        // lines 66-67: protect + validate head->next.
+        // SAFETY: lhead protected and validated just above.
+        let lnext = self
+            .hp
+            .protect_ptr(myidx, HP_NEXT, unsafe { &*lhead }.next.load(Ordering::SeqCst));
+        if lhead != self.head.load(Ordering::SeqCst) {
+            return;
+        }
+        // lines 68-70: ensure the first node is assigned to somebody; if no
+        // request is open, assign it to ourselves (re-satisfying the
+        // request we are rolling back).
+        if self.search_next(lhead, lnext) == IDX_NONE {
+            // SAFETY: lnext protected (HP_NEXT) and validated.
+            unsafe { &*lnext }.cas_deq_tid(IDX_NONE, myidx as i32);
+        }
+        self.cas_deq_and_head(lhead, lnext, myidx); // line 71
+    }
+}
+
+impl<T> Default for TurnQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for TurnQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access (&mut self): no concurrent operations. Free
+        // every node exactly once. Live list nodes still hold their items
+        // (dropped by Node's Option). The request-tracking slots hold
+        // already-dequeued nodes (items taken) plus the initial dummies;
+        // `deqhelp[i]` may alias the current head sentinel, so dedupe.
+        let mut to_free: Vec<*mut Node<T>> = Vec::new();
+        let mut node = self.head.load(Ordering::Relaxed);
+        while !node.is_null() {
+            to_free.push(node);
+            node = unsafe { &*node }.next.load(Ordering::Relaxed);
+        }
+        for slots in [&self.deqself, &self.deqhelp] {
+            for slot in slots.iter() {
+                let p = slot.load(Ordering::Relaxed);
+                if !p.is_null() && !to_free.contains(&p) {
+                    to_free.push(p);
+                }
+            }
+        }
+        for slot in self.enqueuers.iter() {
+            // A published-but-never-inserted request is impossible once all
+            // threads returned from enqueue() (Inv. 6).
+            debug_assert!(slot.load(Ordering::Relaxed).is_null());
+        }
+        for p in to_free {
+            // SAFETY: collected exactly once each; exclusive access.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+        // Retired-but-protected nodes are freed by HazardPointers::drop.
+    }
+}
+
+/// A per-thread handle to a [`TurnQueue`] with the registry index cached.
+///
+/// Not `Send`: the cached index is only valid on the thread that created
+/// the handle.
+pub struct TurnHandle<'a, T> {
+    queue: &'a TurnQueue<T>,
+    tid: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> TurnHandle<'_, T> {
+    /// See [`TurnQueue::enqueue`].
+    #[inline]
+    pub fn enqueue(&self, item: T) {
+        self.queue.enqueue_with(self.tid, item);
+    }
+
+    /// See [`TurnQueue::dequeue`].
+    #[inline]
+    pub fn dequeue(&self) -> Option<T> {
+        self.queue.dequeue_with(self.tid)
+    }
+
+    /// The registry index this handle caches.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for TurnQueue<T> {
+    fn enqueue(&self, item: T) {
+        TurnQueue::enqueue(self, item);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        TurnQueue::dequeue(self)
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+}
+
+impl<T> QueueIntrospect for TurnQueue<T> {
+    fn props() -> QueueProps {
+        QueueProps {
+            name: "Turn",
+            progress_enqueue: Progress::WaitFreeBounded,
+            progress_dequeue: Progress::WaitFreeBounded,
+            consensus: "Turn (CRTurn) algorithm",
+            atomic_instructions: "CAS",
+            reclamation: "wait-free bounded HP",
+            min_memory: "O(N_threads)",
+        }
+    }
+
+    fn size_report() -> SizeReport {
+        SizeReport {
+            node_bytes: std::mem::size_of::<Node<Box<u64>>>(),
+            enqueue_request_bytes: 0, // the request *is* the node pointer
+            dequeue_request_bytes: 0, // requests reuse queue nodes (§2.3)
+            // enqueuers[i] + deqself[i] + deqhelp[i], unpadded as in Table 4
+            fixed_per_thread_bytes: 3 * std::mem::size_of::<*mut u8>(),
+            min_heap_allocs_per_item: 1, // just the node
+        }
+    }
+}
+
+/// [`QueueFamily`] selector for the Turn queue.
+pub struct TurnFamily;
+
+impl QueueFamily for TurnFamily {
+    type Queue<T: Send + 'static> = TurnQueue<T>;
+    const NAME: &'static str = "turn";
+
+    fn with_max_threads<T: Send + 'static>(max_threads: usize) -> TurnQueue<T> {
+        TurnQueue::with_max_threads(max_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q: TurnQueue<u32> = TurnQueue::with_max_threads(2);
+        assert_eq!(q.dequeue(), None);
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved_enq_deq() {
+        let q: TurnQueue<u32> = TurnQueue::with_max_threads(2);
+        q.enqueue(1);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn is_empty_hint() {
+        let q: TurnQueue<u32> = TurnQueue::with_max_threads(1);
+        assert!(q.is_empty());
+        q.enqueue(1);
+        assert!(!q.is_empty());
+        q.dequeue();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_with_items_left_frees_everything() {
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q: TurnQueue<D> = TurnQueue::with_max_threads(4);
+            for _ in 0..10 {
+                q.enqueue(D(Arc::clone(&drops)));
+            }
+            for _ in 0..3 {
+                q.dequeue();
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 3);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10, "remaining 7 items dropped");
+    }
+
+    #[test]
+    fn handle_round_trip() {
+        let q: TurnQueue<u64> = TurnQueue::with_max_threads(2);
+        let h = q.handle().unwrap();
+        h.enqueue(42);
+        assert_eq!(h.dequeue(), Some(42));
+        assert_eq!(h.dequeue(), None);
+        assert!(h.tid() < 2);
+    }
+
+    #[test]
+    fn two_thread_producer_consumer() {
+        const N: u64 = 10_000;
+        let q: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(2));
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                qp.enqueue(i);
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = q.dequeue() {
+                assert_eq!(v, expected, "per-producer FIFO must hold");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_dup() {
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: u64 = 3_000;
+        let q: Arc<TurnQueue<u64>> =
+            Arc::new(TurnQueue::with_max_threads(PRODUCERS + CONSUMERS));
+        let received = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.enqueue((p as u64) << 32 | i);
+                    }
+                });
+            }
+            let mut sinks = Vec::new();
+            for _ in 0..CONSUMERS {
+                let q = Arc::clone(&q);
+                let received = Arc::clone(&received);
+                sinks.push(s.spawn(move || {
+                    let mut got = Vec::new();
+                    while received.load(Ordering::SeqCst)
+                        < PRODUCERS * PER_PRODUCER as usize
+                    {
+                        if let Some(v) = q.dequeue() {
+                            received.fetch_add(1, Ordering::SeqCst);
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                }));
+            }
+            let mut all: Vec<u64> = sinks
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(
+                all.len(),
+                PRODUCERS * PER_PRODUCER as usize,
+                "every item delivered exactly once"
+            );
+        });
+    }
+
+    #[test]
+    fn size_report_matches_table4() {
+        let r = TurnQueue::<u64>::size_report();
+        assert_eq!(r.node_bytes, 24);
+        assert_eq!(r.enqueue_request_bytes, 0);
+        assert_eq!(r.dequeue_request_bytes, 0);
+        assert_eq!(r.fixed_per_thread_bytes, 24);
+        assert_eq!(r.min_heap_allocs_per_item, 1);
+    }
+
+    #[test]
+    fn backoff_config_preserves_semantics() {
+        let q: TurnQueue<u32> = TurnQueue::with_full_config(2, 0, 256);
+        for i in 0..200 {
+            q.enqueue(i);
+        }
+        for i in 0..200 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn backoff_mpmc_delivery() {
+        const THREADS: usize = 4;
+        const PER: u64 = 2_000;
+        let q: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_full_config(THREADS, 0, 64));
+        let received = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for p in 0..THREADS / 2 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        q.enqueue((p as u64) << 32 | i);
+                    }
+                });
+            }
+            for _ in 0..THREADS / 2 {
+                let q = Arc::clone(&q);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    while received.load(Ordering::SeqCst)
+                        < (THREADS / 2) * PER as usize
+                    {
+                        if q.dequeue().is_some() {
+                            received.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(received.load(Ordering::SeqCst), (THREADS / 2) * PER as usize);
+    }
+
+    #[test]
+    fn core_uses_cas_only() {
+        // Table 1: the Turn queue needs no atomic instruction beyond CAS.
+        // Pin the claim by scanning this crate's sources for fetch-and-add
+        // style RMWs.
+        let src_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        for entry in std::fs::read_dir(src_dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).unwrap();
+                // Only the non-test portion of each module carries the
+                // claim (tests may count with fetch_add freely).
+                let algorithm_code = text.split("#[cfg(test)]").next().unwrap();
+                for forbidden in ["fetch_add", "fetch_sub", "fetch_or", ".swap("] {
+                    assert!(
+                        !algorithm_code.contains(forbidden),
+                        "{} uses forbidden RMW {forbidden}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! A log-linear latency histogram (HdrHistogram-style).
+//!
+//! The paper's procedure stores every sample — 2×10⁸ × 8 bytes ≈ 1.6 GB
+//! per run at paper scale. That is fine on the authors' 32-core server and
+//! hopeless in a small container, so the harness also supports this
+//! compact accumulator: buckets are linear within a power-of-two range and
+//! geometric across ranges, giving a bounded relative error (≤ 1/subbuckets
+//! per range) at ~KB of memory regardless of sample count.
+//!
+//! The quantile semantics mirror [`crate::stats::quantile_sorted`]
+//! (nearest-rank), so at equal inputs the histogram answer differs from
+//! the exact answer only by the bucket width — a property the tests check.
+
+/// Log-linear histogram for `u64` values (nanoseconds, typically).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `sub_bucket_bits` linear buckets per power-of-two range.
+    sub_bucket_bits: u32,
+    /// counts[range][sub] flattened.
+    counts: Vec<u64>,
+    total: u64,
+    max_seen: u64,
+    min_seen: u64,
+}
+
+const RANGES: usize = 64;
+
+impl LatencyHistogram {
+    /// A histogram with `2^sub_bucket_bits` linear sub-buckets per
+    /// power-of-two range (6 bits → ≤ ~1.6 % relative error, 32 KiB).
+    pub fn new(sub_bucket_bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&sub_bucket_bits),
+            "sub_bucket_bits must be in 1..=16"
+        );
+        LatencyHistogram {
+            sub_bucket_bits,
+            counts: vec![0; RANGES << sub_bucket_bits],
+            total: 0,
+            max_seen: 0,
+            min_seen: u64::MAX,
+        }
+    }
+
+    /// Default resolution: 64 sub-buckets per range.
+    pub fn with_default_resolution() -> Self {
+        Self::new(6)
+    }
+
+    /// Flat bucket index for `value`.
+    ///
+    /// Range 0 covers `[0, 2^b)` with width-1 buckets (exact); range
+    /// `r ≥ 1` covers `[2^(b+r-1), 2^(b+r))` with `2^b` buckets of width
+    /// `2^(r-1)` — bounded relative error `2^-b` per value.
+    fn index(&self, value: u64) -> usize {
+        let b = self.sub_bucket_bits;
+        if value < (1u64 << b) {
+            return value as usize;
+        }
+        let msb = 63 - u64::leading_zeros(value); // >= b here
+        let range = (msb - b + 1) as usize;
+        let sub = ((value >> (range - 1)) - (1u64 << b)) as usize;
+        let idx = (range << b) + sub;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Lowest value representable by bucket `idx` (inverse of `index`).
+    fn bucket_low(&self, idx: usize) -> u64 {
+        let b = self.sub_bucket_bits;
+        let range = idx >> b;
+        let sub = (idx & ((1usize << b) - 1)) as u64;
+        if range == 0 {
+            sub
+        } else {
+            ((1u64 << b) + sub) << (range - 1)
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(value);
+        self.min_seen = self.min_seen.min(value);
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Exact minimum recorded value (or 0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_seen
+        }
+    }
+
+    /// Merge another histogram (same resolution) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.sub_bucket_bits, other.sub_bucket_bits,
+            "cannot merge histograms of different resolution"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+        self.min_seen = self.min_seen.min(other.min_seen);
+    }
+
+    /// Nearest-rank quantile, reported as the lower bound of the bucket
+    /// containing that rank (so the answer under-reports by at most one
+    /// bucket width, never over-reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(self.total > 0, "quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the true extremes for exactness at the ends.
+                return self.bucket_low(idx).clamp(self.min(), self.max());
+            }
+        }
+        self.max_seen
+    }
+
+    /// The paper's six quantiles.
+    pub fn paper_quantiles(&self) -> [u64; 6] {
+        let mut out = [0u64; 6];
+        for (i, &q) in crate::stats::PAPER_QUANTILES.iter().enumerate() {
+            out[i] = self.quantile(q);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::quantile_sorted;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new(6);
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // Range 0 buckets are width-1: quantiles are exact.
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.total(), 64);
+    }
+
+    #[test]
+    fn larger_values_bounded_error() {
+        let mut h = LatencyHistogram::new(6);
+        let value = 1_000_000u64;
+        for _ in 0..100 {
+            h.record(value);
+        }
+        let q = h.quantile(0.5);
+        // Relative error bounded by one sub-bucket of the containing range.
+        let rel = (value as f64 - q as f64).abs() / value as f64;
+        assert!(rel <= 1.0 / 32.0, "relative error {rel} too large (got {q})");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LatencyHistogram::new(6);
+        let mut b = LatencyHistogram::new(6);
+        let mut u = LatencyHistogram::new(6);
+        for v in [5u64, 100, 10_000, 123_456] {
+            a.record(v);
+            u.record(v);
+        }
+        for v in [9u64, 300, 7_777_777] {
+            b.record(v);
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), u.total());
+        assert_eq!(a.max(), u.max());
+        assert_eq!(a.min(), u.min());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), u.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolution")]
+    fn merge_rejects_mismatched_resolution() {
+        let mut a = LatencyHistogram::new(6);
+        let b = LatencyHistogram::new(7);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_quantile_panics() {
+        let h = LatencyHistogram::new(6);
+        let _ = h.quantile(0.5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The histogram's quantile must track the exact quantile within
+        /// the documented relative error, never over-reporting.
+        #[test]
+        fn tracks_exact_quantiles(
+            mut samples in proptest::collection::vec(0u64..10_000_000, 1..400),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut h = LatencyHistogram::new(6);
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let exact = quantile_sorted(&samples, q);
+            let approx = h.quantile(q);
+            prop_assert!(approx <= exact, "over-reported: {approx} > {exact}");
+            // Bounded relative error (one sub-bucket), plus slack for the
+            // clamp at the minimum.
+            let floor = (exact as f64) * (1.0 - 1.0/32.0) - 1.0;
+            prop_assert!(
+                (approx as f64) >= floor.max(0.0),
+                "under-reported too far: {approx} < {exact}"
+            );
+        }
+
+        #[test]
+        fn totals_and_extremes(samples in proptest::collection::vec(0u64..u32::MAX as u64, 1..200)) {
+            let mut h = LatencyHistogram::with_default_resolution();
+            for &s in &samples {
+                h.record(s);
+            }
+            prop_assert_eq!(h.total(), samples.len() as u64);
+            prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+            prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        }
+
+        /// Quantiles are monotone in q.
+        #[test]
+        fn monotone_quantiles(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = LatencyHistogram::new(6);
+            for &s in &samples {
+                h.record(s);
+            }
+            let qs = h.paper_quantiles();
+            for w in qs.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

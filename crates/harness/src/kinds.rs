@@ -1,0 +1,182 @@
+//! Run-time queue selection over the statically-typed
+//! [`QueueFamily`](turnq_api::QueueFamily)s.
+
+use turnq_api::{QueueIntrospect, QueueProps, SizeReport};
+use turnq_baselines::{FaaArrayQueue, MSQueue, MutexQueue};
+use turnq_kp::KPQueue;
+use turn_queue::TurnQueue;
+
+/// The queues the harness can drive, selectable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// The paper's contribution.
+    Turn,
+    /// Kogan–Petrank (wait-free baseline).
+    Kp,
+    /// Michael–Scott (lock-free baseline).
+    Ms,
+    /// Lock-based strawman.
+    Mutex,
+    /// FAA-array queue (FAA-consensus comparator).
+    Faa,
+}
+
+impl QueueKind {
+    /// Every implemented queue.
+    pub fn all() -> [QueueKind; 5] {
+        [
+            QueueKind::Ms,
+            QueueKind::Kp,
+            QueueKind::Turn,
+            QueueKind::Mutex,
+            QueueKind::Faa,
+        ]
+    }
+
+    /// The three queues every figure/table of the paper compares
+    /// (MS, KP, Turn — §4: FK and YMC are excluded by the authors).
+    pub fn paper_set() -> [QueueKind; 3] {
+        [QueueKind::Ms, QueueKind::Kp, QueueKind::Turn]
+    }
+
+    /// Display name, matching the paper's labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueKind::Turn => "Turn",
+            QueueKind::Kp => "KP",
+            QueueKind::Ms => "MS",
+            QueueKind::Mutex => "Mutex",
+            QueueKind::Faa => "FAA-array",
+        }
+    }
+
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<QueueKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "turn" => Some(QueueKind::Turn),
+            "kp" => Some(QueueKind::Kp),
+            "ms" => Some(QueueKind::Ms),
+            "mutex" | "lock" => Some(QueueKind::Mutex),
+            "faa" | "faa-array" => Some(QueueKind::Faa),
+            _ => None,
+        }
+    }
+
+    /// Parse a comma-separated list, defaulting to the paper set.
+    pub fn parse_list(s: Option<&str>) -> Vec<QueueKind> {
+        match s {
+            None => QueueKind::paper_set().to_vec(),
+            Some("all") => QueueKind::all().to_vec(),
+            Some(list) => list
+                .split(',')
+                .map(|name| {
+                    QueueKind::parse(name.trim())
+                        .unwrap_or_else(|| panic!("unknown queue '{name}'"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Table 1 row for this queue.
+    pub fn props(&self) -> QueueProps {
+        match self {
+            QueueKind::Turn => TurnQueue::<u64>::props(),
+            QueueKind::Kp => KPQueue::<u64>::props(),
+            QueueKind::Ms => MSQueue::<u64>::props(),
+            QueueKind::Mutex => MutexQueue::<u64>::props(),
+            QueueKind::Faa => FaaArrayQueue::<u64>::props(),
+        }
+    }
+
+    /// Table 4 row for this queue, from the real Rust layouts.
+    pub fn size_report(&self) -> SizeReport {
+        match self {
+            QueueKind::Turn => TurnQueue::<u64>::size_report(),
+            QueueKind::Kp => KPQueue::<u64>::size_report(),
+            QueueKind::Ms => MSQueue::<u64>::size_report(),
+            QueueKind::Mutex => MutexQueue::<u64>::size_report(),
+            QueueKind::Faa => FaaArrayQueue::<u64>::size_report(),
+        }
+    }
+}
+
+/// Dispatch a generic function over the queue kind. Each harness entry
+/// point funnels through a `match` like this so the measurement loops stay
+/// fully monomorphized (no virtual dispatch on the hot path).
+#[macro_export]
+macro_rules! with_queue_family {
+    ($kind:expr, $family:ident => $body:expr) => {
+        match $kind {
+            $crate::QueueKind::Turn => {
+                type $family = ::turn_queue::TurnFamily;
+                $body
+            }
+            $crate::QueueKind::Kp => {
+                type $family = ::turnq_kp::KpFamily;
+                $body
+            }
+            $crate::QueueKind::Ms => {
+                type $family = ::turnq_baselines::MsFamily;
+                $body
+            }
+            $crate::QueueKind::Mutex => {
+                type $family = ::turnq_baselines::MutexFamily;
+                $body
+            }
+            $crate::QueueKind::Faa => {
+                type $family = ::turnq_baselines::FaaFamily;
+                $body
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnq_api::QueueFamily;
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in QueueKind::all() {
+            assert_eq!(QueueKind::parse(kind.name()), Some(kind));
+            assert_eq!(QueueKind::parse(&kind.name().to_lowercase()), Some(kind));
+        }
+        assert_eq!(QueueKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn parse_list_defaults_to_paper_set() {
+        assert_eq!(QueueKind::parse_list(None), QueueKind::paper_set().to_vec());
+        assert_eq!(QueueKind::parse_list(Some("all")).len(), 5);
+        assert_eq!(
+            QueueKind::parse_list(Some("turn, ms")),
+            vec![QueueKind::Turn, QueueKind::Ms]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown queue")]
+    fn parse_list_rejects_unknown() {
+        let _ = QueueKind::parse_list(Some("bogus"));
+    }
+
+    #[test]
+    fn props_names_match() {
+        for kind in QueueKind::all() {
+            assert_eq!(kind.props().name, kind.name());
+        }
+    }
+
+    #[test]
+    fn dispatch_macro_builds_working_queues() {
+        for kind in QueueKind::all() {
+            let delivered = with_queue_family!(kind, F => {
+                let q = F::with_max_threads::<u64>(2);
+                q.enqueue(7);
+                q.dequeue()
+            });
+            assert_eq!(delivered, Some(7), "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Heap-allocation accounting for the Table 4 reproduction.
+//!
+//! Table 4's bottom row ("Heap allocations per item") is measured, not
+//! inferred: a counting [`GlobalAlloc`] wrapper tallies every allocation,
+//! and [`measure_allocs_per_item`] runs a transfer workload against a queue
+//! and reports allocations per enqueued+dequeued item.
+//!
+//! The binary that wants measurement must register the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: turnq_harness::CountingAllocator = turnq_harness::CountingAllocator;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use turnq_api::{ConcurrentQueue, QueueFamily};
+
+use crate::kinds::QueueKind;
+use crate::with_queue_family;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations, frees, and bytes.
+pub struct CountingAllocator;
+
+// SAFETY: delegates the actual allocation to `System`, which satisfies the
+// GlobalAlloc contract; the counters are side effects only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Count a realloc as one allocation (it may move).
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Snapshot of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of `alloc`/`realloc` calls so far.
+    pub allocs: u64,
+    /// Number of `dealloc` calls so far.
+    pub frees: u64,
+    /// Total bytes requested so far.
+    pub bytes: u64,
+}
+
+/// Read the counters.
+pub fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Allocations per item for `kind`: builds the queue, then measures
+/// `items` single-threaded enqueue+dequeue cycles (steady-state transfer,
+/// excluding construction).
+///
+/// Returns `(allocs_per_item, leaked_allocs)` where `leaked_allocs` is the
+/// alloc/free imbalance *after the queue is dropped* — it must be ~0 for a
+/// queue with working reclamation, and is exactly the number the paper uses
+/// against FK ("successive enqueues will allocate new nodes that will never
+/// be deleted", §4).
+pub fn measure_allocs_per_item(kind: QueueKind, items: u64) -> (f64, i64) {
+    assert!(items > 0);
+    with_queue_family!(kind, F => measure_generic::<F>(items))
+}
+
+fn measure_generic<F: QueueFamily>(items: u64) -> (f64, i64) {
+    let queue = F::with_max_threads::<u64>(2);
+    // Warm the structure (first ops may lazily allocate registry slots).
+    queue.enqueue(0);
+    let _ = queue.dequeue();
+
+    let before = alloc_snapshot();
+    for i in 0..items {
+        queue.enqueue(i);
+        let got = queue.dequeue();
+        debug_assert_eq!(got, Some(i));
+    }
+    let mid = alloc_snapshot();
+    drop(queue);
+    let after = alloc_snapshot();
+
+    let per_item = (mid.allocs - before.allocs) as f64 / items as f64;
+    let leaked = (after.allocs - before.allocs) as i64 - (after.frees - before.frees) as i64;
+    (per_item, leaked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not register CountingAllocator globally, so we
+    // exercise the wrapper by calling it directly.
+    #[test]
+    fn wrapper_counts_alloc_and_free() {
+        let a = CountingAllocator;
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let before = alloc_snapshot();
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        unsafe { a.dealloc(p, layout) };
+        let after = alloc_snapshot();
+        assert_eq!(after.allocs - before.allocs, 1);
+        assert_eq!(after.frees - before.frees, 1);
+        assert!(after.bytes - before.bytes >= 64);
+    }
+
+    #[test]
+    fn wrapper_counts_realloc_as_alloc() {
+        let a = CountingAllocator;
+        let layout = Layout::from_size_align(32, 8).unwrap();
+        let p = unsafe { a.alloc(layout) };
+        let before = alloc_snapshot();
+        let p2 = unsafe { a.realloc(p, layout, 128) };
+        assert!(!p2.is_null());
+        let after = alloc_snapshot();
+        assert_eq!(after.allocs - before.allocs, 1);
+        unsafe { a.dealloc(p2, Layout::from_size_align(128, 8).unwrap()) };
+    }
+
+    // Without the global registration the per-item measurement sees zero
+    // deltas; assert the plumbing tolerates that rather than dividing by a
+    // surprise. (The real measurement happens in the table4 binary, which
+    // registers the allocator — the integration test `reclamation.rs`
+    // asserts the leak numbers.)
+    #[test]
+    fn measurement_runs_without_global_registration() {
+        let (per_item, leaked) = measure_allocs_per_item(QueueKind::Turn, 100);
+        assert!(per_item >= 0.0);
+        // leaked can be 0 here because nothing was counted.
+        assert!(leaked.abs() < 1_000);
+    }
+}

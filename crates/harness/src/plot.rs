@@ -1,0 +1,215 @@
+//! Minimal ASCII line charts, so the `figure*` binaries can render
+//! figure-shaped output in a terminal next to their tables.
+//!
+//! No external plotting dependency (workspace policy); the figures in the
+//! paper are log-scale latency/throughput curves, which read fine as
+//! character rasters at 60×20.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points; x must be finite, y must be finite and non-negative.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new<S: Into<String>>(name: S, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render series as an ASCII chart.
+///
+/// * `log_y` — plot `log10(y)` (the paper's latency figures are log-scale).
+/// * The chart is `width × height` characters plus axes and a legend.
+///
+/// Returns an empty string if no series has any points.
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    assert!(width >= 8 && height >= 4, "chart too small to be readable");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let tx = |x: f64| x;
+    let ty = |y: f64| {
+        if log_y {
+            (y.max(1e-9)).log10()
+        } else {
+            y
+        }
+    };
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        assert!(x.is_finite() && y.is_finite(), "non-finite point");
+        x_min = x_min.min(tx(x));
+        x_max = x_max.max(tx(x));
+        y_min = y_min.min(ty(y));
+        y_max = y_max.max(ty(y));
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((tx(x) - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((ty(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            // Later series win collisions; a '.' marks overplotting.
+            let cell = &mut grid[row][cx.min(width - 1)];
+            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '.' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let y_hi_label = if log_y {
+        format!("1e{y_max:.1}")
+    } else {
+        format!("{y_max:.1}")
+    };
+    let y_lo_label = if log_y {
+        format!("1e{y_min:.1}")
+    } else {
+        format!("{y_min:.1}")
+    };
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_hi_label:>8} ")
+        } else if r == height - 1 {
+            format!("{y_lo_label:>8} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10}{:<width$}\n",
+        format!("{x_min:.0} "),
+        format!("{:>w$.0}", x_max, w = width - 1),
+        width = width
+    ));
+    out.push_str("  legend: ");
+    for (si, s) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str("  ");
+        }
+        out.push(GLYPHS[si % GLYPHS.len()]);
+        out.push('=');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let chart = ascii_chart(
+            "latency",
+            &[
+                Series::new("MS", vec![(1.0, 10.0), (8.0, 1000.0)]),
+                Series::new("Turn", vec![(1.0, 20.0), (8.0, 40.0)]),
+            ],
+            40,
+            10,
+            true,
+        );
+        assert!(chart.contains('*'), "{chart}");
+        assert!(chart.contains('o'), "{chart}");
+        assert!(chart.contains("legend: *=MS  o=Turn"), "{chart}");
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        assert_eq!(ascii_chart("t", &[Series::new("a", vec![])], 40, 10, false), "");
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let chart = ascii_chart(
+            "single",
+            &[Series::new("a", vec![(2.0, 5.0)])],
+            20,
+            5,
+            false,
+        );
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn higher_y_lands_higher_on_the_grid() {
+        let chart = ascii_chart(
+            "mono",
+            &[Series::new("a", vec![(0.0, 0.0), (10.0, 100.0)])],
+            21,
+            7,
+            false,
+        );
+        let rows: Vec<&str> = chart.lines().collect();
+        // Row 1 is the top of the grid (after the title), and the high
+        // point is at the right edge.
+        let top_row = rows.iter().find(|r| r.contains('*')).unwrap();
+        assert!(top_row.trim_end().ends_with('*'), "{chart}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite point")]
+    fn rejects_nan() {
+        let _ = ascii_chart(
+            "bad",
+            &[Series::new("a", vec![(f64::NAN, 1.0)])],
+            20,
+            5,
+            false,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        let _ = ascii_chart("t", &[Series::new("a", vec![(0.0, 1.0)])], 2, 2, false);
+    }
+
+    #[test]
+    fn collision_marks_overplot() {
+        let chart = ascii_chart(
+            "overlap",
+            &[
+                Series::new("a", vec![(1.0, 1.0)]),
+                Series::new("b", vec![(1.0, 1.0)]),
+            ],
+            20,
+            5,
+            false,
+        );
+        assert!(chart.contains('.'), "{chart}");
+    }
+}

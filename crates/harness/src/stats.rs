@@ -1,0 +1,197 @@
+//! Quantile and aggregation statistics for the latency/throughput
+//! protocols (paper §4.1, §4.4).
+
+/// The six quantiles of the paper's Table 3 and Figure 1.
+pub const PAPER_QUANTILES: [f64; 6] = [0.50, 0.90, 0.99, 0.999, 0.9999, 0.99999];
+
+/// Human labels for [`PAPER_QUANTILES`].
+pub const PAPER_QUANTILE_LABELS: [&str; 6] =
+    ["50%", "90%", "99%", "99.9%", "99.99%", "99.999%"];
+
+/// The quantile of a **sorted** sample slice, by the nearest-rank method
+/// the paper's procedure implies ("aggregated into a single array … and
+/// then sorted so that we can obtain the delay for a given quantile").
+///
+/// # Panics
+///
+/// Panics on an empty slice or a quantile outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Sort samples in place and return the paper's six quantiles.
+pub fn paper_quantiles(samples: &mut [u64]) -> [u64; 6] {
+    samples.sort_unstable();
+    let mut out = [0u64; 6];
+    for (i, &q) in PAPER_QUANTILES.iter().enumerate() {
+        out[i] = quantile_sorted(samples, q);
+    }
+    out
+}
+
+/// Per-quantile (min, max) across runs — the paper's Table 3 presents
+/// "the minimum and maximum of each run … in units of microseconds".
+pub fn min_max_per_quantile(runs: &[[u64; 6]]) -> [(u64, u64); 6] {
+    assert!(!runs.is_empty());
+    let mut out = [(u64::MAX, 0u64); 6];
+    for run in runs {
+        for (i, &v) in run.iter().enumerate() {
+            out[i].0 = out[i].0.min(v);
+            out[i].1 = out[i].1.max(v);
+        }
+    }
+    out
+}
+
+/// Median of a set of observations (used for Figure 1's "median of 7 runs"
+/// and Figure 2's "median of 5 runs"). For an even count, the lower-middle
+/// element is returned (order statistics, no interpolation).
+pub fn median<T: Copy + Ord>(values: &[T]) -> T {
+    assert!(!values.is_empty(), "median of empty set");
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[(v.len() - 1) / 2]
+}
+
+/// Nanoseconds → microseconds, rounding half-up, for table display.
+pub fn ns_to_us(ns: u64) -> u64 {
+    (ns + 500) / 1000
+}
+
+/// Nanoseconds → fractional microseconds for table display: two decimals
+/// below 10 us (the scaled runs live there), integers above (paper scale).
+pub fn fmt_us(ns: u64) -> String {
+    let us = ns as f64 / 1000.0;
+    if us < 10.0 {
+        format!("{us:.2}")
+    } else {
+        format!("{}", us.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_nearest_rank_basics() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_sorted(&s, 0.50), 50);
+        assert_eq!(quantile_sorted(&s, 0.90), 90);
+        assert_eq!(quantile_sorted(&s, 0.99), 99);
+        assert_eq!(quantile_sorted(&s, 1.0), 100);
+        assert_eq!(quantile_sorted(&s, 0.0), 1);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7], 0.5), 7);
+        assert_eq!(quantile_sorted(&[7], 0.99999), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn quantile_empty_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_out_of_range_panics() {
+        let _ = quantile_sorted(&[1], 1.5);
+    }
+
+    #[test]
+    fn paper_quantiles_sorts_and_extracts() {
+        let mut samples: Vec<u64> = (1..=1000).rev().collect();
+        let q = paper_quantiles(&mut samples);
+        assert_eq!(q[0], 500);
+        assert_eq!(q[1], 900);
+        assert_eq!(q[2], 990);
+        assert_eq!(q[3], 999);
+        assert_eq!(q[4], 1000); // ceil(0.9999 * 1000) = 1000
+        assert_eq!(q[5], 1000);
+    }
+
+    #[test]
+    fn min_max_aggregation() {
+        let runs = [[1, 2, 3, 4, 5, 6], [6, 5, 4, 3, 2, 1]];
+        let mm = min_max_per_quantile(&runs);
+        assert_eq!(mm[0], (1, 6));
+        assert_eq!(mm[2], (3, 4));
+        assert_eq!(mm[5], (1, 6));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[4, 1, 2, 3]), 2); // lower-middle
+        assert_eq!(median(&[9]), 9);
+    }
+
+    #[test]
+    fn fmt_us_picks_precision() {
+        assert_eq!(fmt_us(0), "0.00");
+        assert_eq!(fmt_us(210), "0.21");
+        assert_eq!(fmt_us(9_994), "9.99");
+        assert_eq!(fmt_us(10_400), "10");
+        assert_eq!(fmt_us(3_557_000), "3557");
+    }
+
+    #[test]
+    fn ns_to_us_rounds() {
+        assert_eq!(ns_to_us(0), 0);
+        assert_eq!(ns_to_us(499), 0);
+        assert_eq!(ns_to_us(500), 1);
+        assert_eq!(ns_to_us(1499), 1);
+        assert_eq!(ns_to_us(1500), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_are_monotone(mut samples in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+            let q = paper_quantiles(&mut samples);
+            for w in q.windows(2) {
+                prop_assert!(w[0] <= w[1], "quantiles must be monotone: {q:?}");
+            }
+        }
+
+        #[test]
+        fn quantile_is_a_sample(mut samples in proptest::collection::vec(0u64..1_000_000, 1..200), q in 0.0f64..=1.0) {
+            samples.sort_unstable();
+            let v = quantile_sorted(&samples, q);
+            prop_assert!(samples.contains(&v));
+        }
+
+        #[test]
+        fn quantile_bounded_by_extremes(mut samples in proptest::collection::vec(0u64..1_000_000, 1..200), q in 0.0f64..=1.0) {
+            samples.sort_unstable();
+            let v = quantile_sorted(&samples, q);
+            prop_assert!(v >= samples[0] && v <= *samples.last().unwrap());
+        }
+
+        #[test]
+        fn median_is_order_invariant(samples in proptest::collection::vec(0u64..1000, 1..50)) {
+            let m1 = median(&samples);
+            let mut rev = samples.clone();
+            rev.reverse();
+            prop_assert_eq!(m1, median(&rev));
+        }
+
+        #[test]
+        fn min_max_brackets_every_run(runs in proptest::collection::vec(
+            proptest::array::uniform6(0u64..10_000), 1..10)) {
+            let mm = min_max_per_quantile(&runs);
+            for run in &runs {
+                for i in 0..6 {
+                    prop_assert!(mm[i].0 <= run[i] && run[i] <= mm[i].1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's §4.4 throughput microbenchmarks.
+//!
+//! * **Pairs** (Figure 2): every thread performs `pairs / threads`
+//!   iterations of one `enqueue` followed by one `dequeue`; the metric is
+//!   total operations per second, median of `runs` runs.
+//! * **Bursts** (Figure 3): alternating all-threads-enqueue and
+//!   all-threads-dequeue bursts of `burst_items` items, timed separately,
+//!   so enqueue and dequeue throughput are measured independently and "all
+//!   threads are either enqueueing or all dequeueing".
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use turnq_api::{ConcurrentQueue, QueueFamily};
+
+use crate::config::Scale;
+use crate::kinds::QueueKind;
+use crate::stats::median;
+use crate::with_queue_family;
+
+/// Result of the pairs benchmark: operations per second, median of runs.
+#[derive(Debug, Clone, Copy)]
+pub struct PairsResult {
+    /// Total operations (enqueues + dequeues) per second.
+    pub ops_per_sec: u64,
+}
+
+/// Figure 2 protocol for one queue.
+pub fn measure_pairs(kind: QueueKind, scale: &Scale) -> PairsResult {
+    with_queue_family!(kind, F => measure_pairs_generic::<F>(scale))
+}
+
+fn measure_pairs_generic<F: QueueFamily>(scale: &Scale) -> PairsResult {
+    let mut per_run = Vec::with_capacity(scale.runs);
+    for _ in 0..scale.runs {
+        per_run.push(pairs_once::<F>(scale));
+    }
+    PairsResult {
+        ops_per_sec: median(&per_run),
+    }
+}
+
+fn pairs_once<F: QueueFamily>(scale: &Scale) -> u64 {
+    let threads = scale.threads;
+    let per_thread = (scale.pairs / threads).max(1);
+    let queue = F::with_max_threads::<u64>(threads);
+    let barrier = Barrier::new(threads);
+    // Every worker records its own (start, end) against a shared origin;
+    // wall time = max(end) - min(start). A single observer thread would be
+    // unreliable here: on an oversubscribed machine it can be descheduled
+    // between the barrier release and its timestamp, shrinking the
+    // measured window arbitrarily.
+    let origin = Instant::now();
+    let spans: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                let barrier = &barrier;
+                let origin = &origin;
+                s.spawn(move || {
+                    barrier.wait();
+                    let start = origin.elapsed().as_nanos() as u64;
+                    for i in 0..per_thread {
+                        queue.enqueue(((t * per_thread + i) as u64) + 1);
+                        // A pair leaves at most `threads` items in flight,
+                        // so the dequeue may legitimately observe empty if
+                        // another thread consumed our item first — but an
+                        // item is always consumed per iteration on average.
+                        let _ = queue.dequeue();
+                        crate::latency::artificial_work(scale.work_spins, i as u64);
+                    }
+                    let end = origin.elapsed().as_nanos() as u64;
+                    (start, end)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let start = spans.iter().map(|s| s.0).min().unwrap();
+    let end = spans.iter().map(|s| s.1).max().unwrap();
+    let elapsed_ns = (end - start).max(1);
+    let total_ops = 2 * per_thread as u64 * threads as u64;
+    ((total_ops as f64) / (elapsed_ns as f64 / 1e9)) as u64
+}
+
+/// Result of the burst benchmark: items per second for each side,
+/// median across measured bursts and runs.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstResult {
+    /// Enqueue-side throughput (items/s).
+    pub enqueue_items_per_sec: u64,
+    /// Dequeue-side throughput (items/s).
+    pub dequeue_items_per_sec: u64,
+}
+
+/// Figure 3 protocol for one queue.
+pub fn measure_bursts(kind: QueueKind, scale: &Scale) -> BurstResult {
+    with_queue_family!(kind, F => measure_bursts_generic::<F>(scale))
+}
+
+fn measure_bursts_generic<F: QueueFamily>(scale: &Scale) -> BurstResult {
+    let mut enq_rates = Vec::new();
+    let mut deq_rates = Vec::new();
+    for _ in 0..scale.runs {
+        let (e, d) = bursts_once::<F>(scale);
+        enq_rates.extend(e);
+        deq_rates.extend(d);
+    }
+    BurstResult {
+        enqueue_items_per_sec: median(&enq_rates),
+        dequeue_items_per_sec: median(&deq_rates),
+    }
+}
+
+/// One run of alternating bursts; returns per-burst rates (items/s).
+///
+/// Each worker records its own start/end offsets per burst against a
+/// shared origin; the burst's wall time is `max(end) - min(start)` over
+/// the workers (no separate timekeeper — see `pairs_once` for why).
+fn bursts_once<F: QueueFamily>(scale: &Scale) -> (Vec<u64>, Vec<u64>) {
+    let threads = scale.threads;
+    let per_thread = (scale.burst_items / threads).max(1);
+    let items = per_thread * threads;
+    let queue = F::with_max_threads::<u64>(threads);
+    let barrier = Barrier::new(threads);
+    let total_bursts = scale.warmup + scale.bursts;
+    let origin = Instant::now();
+
+    // spans[thread] = per-burst (enq_start, enq_end, deq_start, deq_end).
+    let spans: Vec<Vec<(u64, u64, u64, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                let barrier = &barrier;
+                let origin = &origin;
+                s.spawn(move || {
+                    let mut mine = Vec::with_capacity(total_bursts);
+                    for burst in 0..total_bursts {
+                        barrier.wait();
+                        let e0 = origin.elapsed().as_nanos() as u64;
+                        for i in 0..per_thread {
+                            queue.enqueue(((burst * items + t * per_thread + i) as u64) + 1);
+                        }
+                        let e1 = origin.elapsed().as_nanos() as u64;
+                        barrier.wait();
+                        let d0 = origin.elapsed().as_nanos() as u64;
+                        for _ in 0..per_thread {
+                            let got = queue.dequeue();
+                            assert!(got.is_some(), "burst protocol lost an item");
+                        }
+                        let d1 = origin.elapsed().as_nanos() as u64;
+                        mine.push((e0, e1, d0, d1));
+                        barrier.wait();
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut enq_rates = Vec::with_capacity(scale.bursts);
+    let mut deq_rates = Vec::with_capacity(scale.bursts);
+    for burst in scale.warmup..total_bursts {
+        let e_start = spans.iter().map(|v| v[burst].0).min().unwrap();
+        let e_end = spans.iter().map(|v| v[burst].1).max().unwrap();
+        let d_start = spans.iter().map(|v| v[burst].2).min().unwrap();
+        let d_end = spans.iter().map(|v| v[burst].3).max().unwrap();
+        let enq_ns = (e_end - e_start).max(1);
+        let deq_ns = (d_end - d_start).max(1);
+        enq_rates.push(((items as f64) / (enq_ns as f64 / 1e9)) as u64);
+        deq_rates.push(((items as f64) / (deq_ns as f64 / 1e9)) as u64);
+    }
+    (enq_rates, deq_rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            threads: 2,
+            bursts: 2,
+            burst_items: 200,
+            runs: 2,
+            pairs: 1_000,
+            warmup: 1,
+            work_spins: 0,
+        }
+    }
+
+    #[test]
+    fn pairs_reports_positive_throughput() {
+        for kind in QueueKind::paper_set() {
+            let r = measure_pairs(kind, &tiny());
+            assert!(r.ops_per_sec > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn bursts_report_both_sides() {
+        for kind in QueueKind::paper_set() {
+            let r = measure_bursts(kind, &tiny());
+            assert!(r.enqueue_items_per_sec > 0, "{}", kind.name());
+            assert!(r.dequeue_items_per_sec > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn single_thread_pairs() {
+        let s = Scale {
+            threads: 1,
+            ..tiny()
+        };
+        let r = measure_pairs(QueueKind::Turn, &s);
+        assert!(r.ops_per_sec > 0);
+    }
+
+    #[test]
+    fn mutex_and_faa_also_run() {
+        let r = measure_pairs(QueueKind::Mutex, &tiny());
+        assert!(r.ops_per_sec > 0);
+        let r = measure_bursts(QueueKind::Faa, &tiny());
+        assert!(r.enqueue_items_per_sec > 0);
+    }
+}

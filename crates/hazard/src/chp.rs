@@ -1,0 +1,299 @@
+//! Conditional Hazard Pointers (paper §3.2).
+//!
+//! In the Kogan–Petrank queue a node's item is read *after* the node has
+//! left the list: the dequeuing thread returns `state[tid].node.next.item`,
+//! and by the time it reads the item another thread may already have
+//! advanced `head` past that node and retired it. No hazard pointer
+//! protects the node at that moment, yet it is still reachable from the
+//! `state` array.
+//!
+//! The paper's fix is a variant of HP where an object, once retired, is
+//! freed only after a per-object *condition* is observed — for KP, "the
+//! item slot has been nulled by the thread that consumed it". This module
+//! implements that variant generically: the stored type declares its
+//! condition through [`ConditionalReclaim`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::matrix::HpMatrix;
+
+/// Condition an object must satisfy (in addition to being unprotected)
+/// before a [`ConditionalHazardPointers`] domain may free it.
+pub trait ConditionalReclaim {
+    /// Whether the object may now be freed. Called on retired objects that
+    /// are still allocated, possibly many times; it must be safe to call
+    /// concurrently with the (single) thread that makes it become true, so
+    /// implementations read atomics.
+    fn can_reclaim(&self) -> bool;
+}
+
+struct RetiredList<T> {
+    list: UnsafeCell<Vec<*mut T>>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for RetiredList<T> {
+    fn default() -> Self {
+        RetiredList {
+            list: UnsafeCell::new(Vec::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A hazard-pointer domain whose retire scan additionally requires
+/// [`ConditionalReclaim::can_reclaim`] before freeing.
+///
+/// Unlike plain HP, the backlog bound gains a term for objects whose
+/// condition is still pending: at most one per in-flight operation, i.e.
+/// `max_threads`, because in KP a node's condition is made true by the
+/// single thread that consumes its item and every thread has at most one
+/// outstanding operation.
+pub struct ConditionalHazardPointers<T: ConditionalReclaim> {
+    matrix: HpMatrix<T>,
+    retired: Box<[CachePadded<RetiredList<T>>]>,
+}
+
+// SAFETY: identical reasoning to `HazardPointers`.
+unsafe impl<T: ConditionalReclaim + Send> Send for ConditionalHazardPointers<T> {}
+unsafe impl<T: ConditionalReclaim + Send> Sync for ConditionalHazardPointers<T> {}
+
+impl<T: ConditionalReclaim> ConditionalHazardPointers<T> {
+    /// A domain for `max_threads` threads with `k` hazard slots each.
+    pub fn new(max_threads: usize, k: usize) -> Self {
+        let retired = (0..max_threads)
+            .map(|_| CachePadded::new(RetiredList::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ConditionalHazardPointers {
+            matrix: HpMatrix::new(max_threads, k),
+            retired,
+        }
+    }
+
+    /// Number of thread rows in the domain.
+    pub fn max_threads(&self) -> usize {
+        self.matrix.max_threads()
+    }
+
+    /// Hazard slots per thread.
+    pub fn k(&self) -> usize {
+        self.matrix.k()
+    }
+
+    /// Publish `ptr` in hazard slot `index` of thread `tid` and return it.
+    #[inline]
+    pub fn protect_ptr(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
+        self.matrix.protect(tid, index, ptr)
+    }
+
+    /// One load-publish-validate round over `src`; see
+    /// [`HazardPointers::try_protect`](crate::HazardPointers::try_protect).
+    #[inline]
+    pub fn try_protect(
+        &self,
+        tid: usize,
+        index: usize,
+        src: &std::sync::atomic::AtomicPtr<T>,
+    ) -> Result<*mut T, *mut T> {
+        let ptr = src.load(Ordering::SeqCst);
+        self.matrix.protect(tid, index, ptr);
+        let now = src.load(Ordering::SeqCst);
+        if now == ptr {
+            Ok(ptr)
+        } else {
+            Err(now)
+        }
+    }
+
+    /// Clear hazard slot `index` of thread `tid`.
+    #[inline]
+    pub fn clear_one(&self, tid: usize, index: usize) {
+        self.matrix.clear_one(tid, index);
+    }
+
+    /// Clear all hazard slots of thread `tid`.
+    #[inline]
+    pub fn clear(&self, tid: usize) {
+        self.matrix.clear(tid);
+    }
+
+    /// Whether any thread currently protects `ptr`.
+    pub fn is_protected(&self, ptr: *mut T) -> bool {
+        self.matrix.is_protected(ptr)
+    }
+
+    /// Number of objects thread `tid` has retired but not yet freed.
+    pub fn retired_count(&self, tid: usize) -> usize {
+        self.retired[tid].len.load(Ordering::Relaxed)
+    }
+
+    /// Retire `ptr`; free every retired entry of this thread that is both
+    /// unprotected *and* reclaimable per its condition.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as
+    /// [`HazardPointers::retire`](crate::HazardPointers::retire), with one
+    /// relaxation: the object
+    /// may still be reachable through shared variables *for reading fields
+    /// covered by the condition* (in KP: the atomic item slot). The
+    /// condition must only become true once no thread will dereference the
+    /// object again.
+    pub unsafe fn retire(&self, tid: usize, ptr: *mut T) {
+        let row = &self.retired[tid];
+        // SAFETY: `tid` exclusivity (caller contract).
+        let list = unsafe { &mut *row.list.get() };
+        list.push(ptr);
+        self.scan(list);
+        row.len.store(list.len(), Ordering::Relaxed);
+    }
+
+    /// Re-run the scan without retiring anything new. Useful when a
+    /// condition may have become true since the last retire on this thread.
+    ///
+    /// # Safety
+    ///
+    /// `tid` is the caller's registered index (exclusive use).
+    pub unsafe fn flush(&self, tid: usize) {
+        let row = &self.retired[tid];
+        // SAFETY: `tid` exclusivity (caller contract).
+        let list = unsafe { &mut *row.list.get() };
+        self.scan(list);
+        row.len.store(list.len(), Ordering::Relaxed);
+    }
+
+    fn scan(&self, list: &mut Vec<*mut T>) {
+        let mut i = 0;
+        while i < list.len() {
+            let candidate = list[i];
+            // SAFETY: retired objects stay allocated until this scan frees
+            // them, so reading the condition is in-bounds; the condition
+            // only reads atomics (trait contract).
+            let reclaimable = unsafe { (*candidate).can_reclaim() };
+            if reclaimable && !self.matrix.is_protected(candidate) {
+                list.swap_remove(i);
+                // SAFETY: unprotected, condition satisfied — per the trait
+                // contract nothing will dereference it again.
+                unsafe { drop(Box::from_raw(candidate)) };
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<T: ConditionalReclaim> Drop for ConditionalHazardPointers<T> {
+    fn drop(&mut self) {
+        // Exclusive access at drop: conditions are moot, free everything.
+        for row in self.retired.iter() {
+            let list = unsafe { &mut *row.list.get() };
+            for &ptr in list.iter() {
+                unsafe { drop(Box::from_raw(ptr)) };
+            }
+            list.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Gated {
+        open: AtomicBool,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl ConditionalReclaim for Gated {
+        fn can_reclaim(&self) -> bool {
+            self.open.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Drop for Gated {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn gated(open: bool, drops: &Arc<AtomicUsize>) -> *mut Gated {
+        Box::into_raw(Box::new(Gated {
+            open: AtomicBool::new(open),
+            drops: Arc::clone(drops),
+        }))
+    }
+
+    #[test]
+    fn open_condition_frees_like_plain_hp() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let chp: ConditionalHazardPointers<Gated> = ConditionalHazardPointers::new(2, 1);
+        let p = gated(true, &drops);
+        unsafe { chp.retire(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn closed_condition_defers_even_when_unprotected() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let chp: ConditionalHazardPointers<Gated> = ConditionalHazardPointers::new(2, 1);
+        let p = gated(false, &drops);
+        unsafe { chp.retire(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(chp.retired_count(0), 1);
+
+        // Open the condition "from the consuming thread" and flush.
+        unsafe { (*p).open.store(true, Ordering::SeqCst) };
+        unsafe { chp.flush(0) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(chp.retired_count(0), 0);
+    }
+
+    #[test]
+    fn protection_defers_even_when_condition_open() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let chp: ConditionalHazardPointers<Gated> = ConditionalHazardPointers::new(2, 1);
+        let p = gated(true, &drops);
+        chp.protect_ptr(1, 0, p);
+        unsafe { chp.retire(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        chp.clear(1);
+        unsafe { chp.flush(0) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_frees_regardless_of_condition() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let chp: ConditionalHazardPointers<Gated> = ConditionalHazardPointers::new(1, 1);
+            let p = gated(false, &drops);
+            unsafe { chp.retire(0, p) };
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn mixed_batch_frees_only_eligible() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let chp: ConditionalHazardPointers<Gated> = ConditionalHazardPointers::new(2, 1);
+        let open_unprotected = gated(true, &drops);
+        let closed = gated(false, &drops);
+        let open_protected = gated(true, &drops);
+        chp.protect_ptr(1, 0, open_protected);
+        unsafe {
+            chp.retire(0, closed);
+            chp.retire(0, open_protected);
+            chp.retire(0, open_unprotected);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1); // only open_unprotected
+        assert_eq!(chp.retired_count(0), 2);
+        // Cleanup via Drop.
+    }
+}

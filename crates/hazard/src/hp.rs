@@ -1,0 +1,405 @@
+//! Plain hazard pointers with the paper's `R = 0` eager-scan policy.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::matrix::HpMatrix;
+
+/// A per-thread list of retired-but-not-yet-freed pointers.
+///
+/// Only the owning thread (`tid`) touches `list`; the atomic `len` mirror
+/// exists so other threads (tests, reports) can observe the backlog safely.
+struct RetiredList<T> {
+    list: UnsafeCell<Vec<*mut T>>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for RetiredList<T> {
+    fn default() -> Self {
+        RetiredList {
+            list: UnsafeCell::new(Vec::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Hazard-pointer domain for objects of type `T`.
+///
+/// All pointers passed to [`retire`](Self::retire) must originate from
+/// [`Box::into_raw`]; reclamation is `drop(Box::from_raw(p))`.
+///
+/// The *protect* operation is a plain publication
+/// ([`protect_ptr`](Self::protect_ptr)); the wait-free usage pattern
+/// (publish, then re-validate the source, charging failures to the caller's
+/// bounded loop — paper Algorithm 5) is the caller's responsibility, or use
+/// the [`try_protect`](Self::try_protect) convenience which performs one
+/// load-publish-validate round.
+pub struct HazardPointers<T> {
+    matrix: HpMatrix<T>,
+    retired: Box<[CachePadded<RetiredList<T>>]>,
+    /// The scan threshold `R` of Michael's HP paper: a retire only scans
+    /// when the retired list exceeds `R` entries. The paper's queues use
+    /// `R = 0` ("with the purpose of reducing latency on dequeue() as much
+    /// as possible", §3.1); the ablation bench measures other values.
+    scan_threshold: usize,
+}
+
+// SAFETY: the raw pointers inside are managed under the HP protocol; the
+// per-thread retired lists are only mutated by their owning thread (enforced
+// by the `tid` contract on the unsafe methods).
+unsafe impl<T: Send> Send for HazardPointers<T> {}
+unsafe impl<T: Send> Sync for HazardPointers<T> {}
+
+impl<T> HazardPointers<T> {
+    /// A domain for `max_threads` threads with `k` hazard slots each and
+    /// the paper's `R = 0` scan policy.
+    pub fn new(max_threads: usize, k: usize) -> Self {
+        Self::with_scan_threshold(max_threads, k, 0)
+    }
+
+    /// A domain with an explicit scan threshold `R` (see
+    /// [`Self::retire`]); the unreclaimed bound becomes
+    /// `max_threads × k + R + 1`.
+    pub fn with_scan_threshold(max_threads: usize, k: usize, scan_threshold: usize) -> Self {
+        let retired = (0..max_threads)
+            .map(|_| CachePadded::new(RetiredList::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        HazardPointers {
+            matrix: HpMatrix::new(max_threads, k),
+            retired,
+            scan_threshold,
+        }
+    }
+
+    /// Number of thread rows in the domain.
+    pub fn max_threads(&self) -> usize {
+        self.matrix.max_threads()
+    }
+
+    /// Hazard slots per thread.
+    pub fn k(&self) -> usize {
+        self.matrix.k()
+    }
+
+    /// Publish `ptr` in hazard slot `index` of thread `tid` and return it
+    /// (the paper's `hp.protectPtr(index, ptr)`).
+    ///
+    /// Publishing alone does **not** make a dereference safe — the caller
+    /// must re-validate the shared source after publishing, exactly as in
+    /// the paper's listings.
+    #[inline]
+    pub fn protect_ptr(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
+        self.matrix.protect(tid, index, ptr)
+    }
+
+    /// One load-publish-validate round over `src` (paper Algorithm 5,
+    /// `waitFreeBoundedMethod` body): returns `Ok(ptr)` if `src` still held
+    /// `ptr` after publication (safe to dereference while the slot stays
+    /// published), `Err(new_value)` if `src` changed — which proves some
+    /// other thread completed a step, so the caller advances its own
+    /// bounded loop.
+    #[inline]
+    pub fn try_protect(
+        &self,
+        tid: usize,
+        index: usize,
+        src: &std::sync::atomic::AtomicPtr<T>,
+    ) -> Result<*mut T, *mut T> {
+        let ptr = src.load(Ordering::SeqCst);
+        self.matrix.protect(tid, index, ptr);
+        let now = src.load(Ordering::SeqCst);
+        if now == ptr {
+            Ok(ptr)
+        } else {
+            Err(now)
+        }
+    }
+
+    /// Clear hazard slot `index` of thread `tid`.
+    #[inline]
+    pub fn clear_one(&self, tid: usize, index: usize) {
+        self.matrix.clear_one(tid, index);
+    }
+
+    /// Clear all hazard slots of thread `tid` (the paper's `hp.clear()`).
+    #[inline]
+    pub fn clear(&self, tid: usize) {
+        self.matrix.clear(tid);
+    }
+
+    /// Whether any thread currently protects `ptr` (used by tests and by
+    /// the epoch-comparison demo).
+    pub fn is_protected(&self, ptr: *mut T) -> bool {
+        self.matrix.is_protected(ptr)
+    }
+
+    /// Number of objects thread `tid` has retired but not yet freed.
+    ///
+    /// With `R = 0` this is bounded by
+    /// [`retired_bound`](crate::retired_bound): each entry that survives a
+    /// scan is pinned by one of the `max_threads × k` hazard slots.
+    pub fn retired_count(&self, tid: usize) -> usize {
+        self.retired[tid].len.load(Ordering::Relaxed)
+    }
+
+    /// Retire `ptr`, then run the `R = 0` scan: every entry of the calling
+    /// thread's retired list that no hazard slot protects is freed
+    /// immediately.
+    ///
+    /// The scan does `O(list_len × max_threads × k)` work with `list_len`
+    /// bounded as above, so reclaim is wait-free bounded (paper Table 2,
+    /// first row).
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from `Box::into_raw` for this `T`;
+    /// * `ptr` has been unlinked from every shared variable, so no thread
+    ///   can newly reach it (threads holding stale copies must follow the
+    ///   publish-validate discipline and will not dereference);
+    /// * `ptr` is retired at most once across all threads;
+    /// * `tid` is the caller's registered index and no other thread uses it
+    ///   concurrently.
+    pub unsafe fn retire(&self, tid: usize, ptr: *mut T) {
+        let row = &self.retired[tid];
+        // SAFETY: `tid` exclusivity (caller contract) makes this the only
+        // mutable access to the list.
+        let list = unsafe { &mut *row.list.get() };
+        list.push(ptr);
+        if list.len() <= self.scan_threshold {
+            row.len.store(list.len(), Ordering::Relaxed);
+            return;
+        }
+        let mut i = 0;
+        while i < list.len() {
+            let candidate = list[i];
+            if self.matrix.is_protected(candidate) {
+                i += 1;
+            } else {
+                list.swap_remove(i);
+                // SAFETY: unreachable from shared memory (caller contract)
+                // and not protected by any published-and-validated hazard:
+                // a reader that published after unlinking fails validation
+                // and never dereferences.
+                unsafe { drop(Box::from_raw(candidate)) };
+            }
+        }
+        row.len.store(list.len(), Ordering::Relaxed);
+    }
+}
+
+impl<T> Drop for HazardPointers<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free everything still pending. Any pointer left
+        // here is owned by the domain per the retire contract.
+        for row in self.retired.iter() {
+            let list = unsafe { &mut *row.list.get() };
+            for &ptr in list.iter() {
+                unsafe { drop(Box::from_raw(ptr)) };
+            }
+            list.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicPtr;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counted(drops: &Arc<AtomicUsize>) -> *mut DropCounter {
+        Box::into_raw(Box::new(DropCounter(Arc::clone(drops))))
+    }
+
+    #[test]
+    fn unprotected_retire_frees_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let hp: HazardPointers<DropCounter> = HazardPointers::new(2, 2);
+        let p = counted(&drops);
+        unsafe { hp.retire(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(hp.retired_count(0), 0);
+    }
+
+    #[test]
+    fn protected_retire_is_deferred_until_clear() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let hp: HazardPointers<DropCounter> = HazardPointers::new(2, 2);
+        let p = counted(&drops);
+        hp.protect_ptr(1, 0, p); // another thread protects it
+        unsafe { hp.retire(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(hp.retired_count(0), 1);
+
+        hp.clear(1);
+        // Next retire of anything triggers the scan that frees `p`.
+        let q = counted(&drops);
+        unsafe { hp.retire(0, q) };
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        assert_eq!(hp.retired_count(0), 0);
+    }
+
+    #[test]
+    fn own_protection_also_defers() {
+        // The scan does not special-case the retiring thread's own slots;
+        // the paper's queues always clear before retiring.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let hp: HazardPointers<DropCounter> = HazardPointers::new(1, 1);
+        let p = counted(&drops);
+        hp.protect_ptr(0, 0, p);
+        unsafe { hp.retire(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        hp.clear(0);
+        let q = counted(&drops);
+        unsafe { hp.retire(0, q) };
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_frees_pending_retirees() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let hp: HazardPointers<DropCounter> = HazardPointers::new(2, 1);
+            let p = counted(&drops);
+            hp.protect_ptr(1, 0, p);
+            unsafe { hp.retire(0, p) };
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn try_protect_detects_moved_source() {
+        let hp: HazardPointers<u64> = HazardPointers::new(1, 1);
+        let a = Box::into_raw(Box::new(1u64));
+        let b = Box::into_raw(Box::new(2u64));
+        let src = AtomicPtr::new(a);
+        assert_eq!(hp.try_protect(0, 0, &src), Ok(a));
+        src.store(b, Ordering::SeqCst);
+        // try_protect re-loads the source first, so after a quiescent store
+        // it succeeds on the new value (the Err path needs a mutation racing
+        // the publish, which the stress test below exercises).
+        assert_eq!(hp.try_protect(0, 0, &src), Ok(b));
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn retired_backlog_stays_bounded() {
+        let max_threads = 4;
+        let k = 2;
+        let hp: HazardPointers<u64> = HazardPointers::new(max_threads, k);
+        // Thread 1..4 each protect two objects; thread 0 retires a stream
+        // of objects, some of which are the protected ones.
+        let mut protected = Vec::new();
+        for tid in 1..max_threads {
+            for slot in 0..k {
+                let p = Box::into_raw(Box::new(0u64));
+                hp.protect_ptr(tid, slot, p);
+                protected.push(p);
+            }
+        }
+        for &p in &protected {
+            unsafe { hp.retire(0, p) };
+        }
+        for _ in 0..1000 {
+            let p = Box::into_raw(Box::new(0u64));
+            unsafe { hp.retire(0, p) };
+            assert!(
+                hp.retired_count(0) <= crate::retired_bound(max_threads, k),
+                "backlog exceeded the wait-free bound"
+            );
+        }
+        // The protected ones are still pending.
+        assert_eq!(hp.retired_count(0), protected.len());
+        // Cleanup happens in HazardPointers::drop.
+    }
+
+    #[test]
+    fn scan_threshold_batches_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let hp: HazardPointers<DropCounter> = HazardPointers::with_scan_threshold(2, 1, 4);
+        for _ in 0..4 {
+            unsafe { hp.retire(0, counted(&drops)) };
+        }
+        // At or below R: nothing scanned, nothing freed.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(hp.retired_count(0), 4);
+        // Crossing R frees the whole batch.
+        unsafe { hp.retire(0, counted(&drops)) };
+        assert_eq!(drops.load(Ordering::SeqCst), 5);
+        assert_eq!(hp.retired_count(0), 0);
+    }
+
+    #[test]
+    fn concurrent_protect_retire_stress() {
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let hp: Arc<HazardPointers<DropCounter>> = Arc::new(HazardPointers::new(THREADS, 1));
+        let shared: Arc<AtomicPtr<DropCounter>> = Arc::new(AtomicPtr::new(counted(&drops)));
+        let allocated = Arc::new(AtomicUsize::new(1));
+
+        std::thread::scope(|s| {
+            for tid in 0..THREADS {
+                let hp = Arc::clone(&hp);
+                let shared = Arc::clone(&shared);
+                let drops = Arc::clone(&drops);
+                let allocated = Arc::clone(&allocated);
+                s.spawn(move || {
+                    for _ in 0..OPS {
+                        // Install a fresh object; retire the one we displaced.
+                        let fresh = counted(&drops);
+                        allocated.fetch_add(1, Ordering::SeqCst);
+                        // Publish-validate loop to read the current object.
+                        loop {
+                            match hp.try_protect(tid, 0, &shared) {
+                                Ok(cur) => {
+                                    // Safe read while protected.
+                                    let _ = unsafe { &(*cur).0 };
+                                    if shared
+                                        .compare_exchange(
+                                            cur,
+                                            fresh,
+                                            Ordering::SeqCst,
+                                            Ordering::SeqCst,
+                                        )
+                                        .is_ok()
+                                    {
+                                        hp.clear(tid);
+                                        unsafe { hp.retire(tid, cur) };
+                                        break;
+                                    }
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Retire the final survivor.
+        let last = shared.load(Ordering::SeqCst);
+        unsafe { hp.retire(0, last) };
+        drop(Arc::try_unwrap(hp).ok().expect("sole owner"));
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            allocated.load(Ordering::SeqCst),
+            "every allocated object must be dropped exactly once"
+        );
+    }
+}

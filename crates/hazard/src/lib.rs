@@ -1,0 +1,50 @@
+//! Wait-free-bounded memory reclamation for the Turn-queue reproduction.
+//!
+//! The paper (§3) argues that a wait-free queue needs a reclamation scheme
+//! whose *protect* and *reclaim* operations are themselves at least
+//! wait-free bounded, and builds both operations from Michael's Hazard
+//! Pointers used in a specific discipline:
+//!
+//! * **Protect** — instead of the classic retry loop
+//!   (`load; store hp; while (validate fails) reload`), the algorithm does a
+//!   *single* `load; store hp; load` sequence per iteration of the caller's
+//!   already-bounded loop (paper Algorithm 5). A failed validation proves
+//!   another thread made progress, so the caller charges the retry to its
+//!   own `MAX_THREADS`-bounded loop and stays wait-free bounded.
+//! * **Reclaim** — [`HazardPointers::retire`] uses scan threshold `R = 0`
+//!   (paper §3.1): every retire rescans the thread's whole retired list
+//!   against the HP matrix. The scan is `O(MAX_THREADS × K)` and the list
+//!   length is bounded (see `retire`'s docs), so reclaim is wait-free
+//!   bounded too.
+//!
+//! Two variants are provided:
+//!
+//! * [`HazardPointers`] — plain HP; an object is freed as soon as no hazard
+//!   slot holds it.
+//! * [`chp::ConditionalHazardPointers`] — the paper's §3.2 *Conditional
+//!   Hazard Pointers*: an object is freed only when, additionally, a
+//!   per-object predicate ([`chp::ConditionalReclaim::can_reclaim`])
+//!   holds. Needed by the Kogan–Petrank port, where a node's item may be
+//!   read *after* the node left the list.
+//!
+//! [`epoch_demo`] contains a deliberately minimal epoch-based reclaimer used
+//! by the Table 2 reproduction to *demonstrate* (not just assert) that epoch
+//! reclamation blocks: one stalled reader stops all reclamation, while HP
+//! keeps the unreclaimed set bounded.
+
+mod matrix;
+
+pub mod chp;
+pub mod epoch_demo;
+mod hp;
+
+pub use chp::{ConditionalHazardPointers, ConditionalReclaim};
+pub use hp::HazardPointers;
+
+/// Maximum number of objects that can stay unreclaimed per thread for a
+/// reclaimer with `max_threads` threads and `k` hazard slots each: every
+/// entry surviving a full `R = 0` scan is pinned by some hazard slot, and
+/// there are only `max_threads * k` slots in total.
+pub fn retired_bound(max_threads: usize, k: usize) -> usize {
+    max_threads * k + 1
+}

@@ -1,0 +1,149 @@
+//! The shared hazard-pointer slot matrix used by both plain and conditional
+//! hazard pointers.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// A `max_threads × k` matrix of hazard slots.
+///
+/// Row `tid` belongs exclusively to the thread registered under index `tid`;
+/// columns are the per-thread hazard indices (`kHpTail`, `kHpHead`, … in the
+/// paper's listings).
+pub(crate) struct HpMatrix<T> {
+    max_threads: usize,
+    k: usize,
+    /// Row-major `max_threads * k` slots. Each slot is cache-padded: slots
+    /// are written on every protect and scanned on every retire, so false
+    /// sharing here shows up directly in the paper's latency tables.
+    slots: Box<[CachePadded<AtomicPtr<T>>]>,
+}
+
+impl<T> HpMatrix<T> {
+    pub(crate) fn new(max_threads: usize, k: usize) -> Self {
+        assert!(max_threads > 0, "max_threads must be non-zero");
+        assert!(k > 0, "need at least one hazard slot per thread");
+        let slots = (0..max_threads * k)
+            .map(|_| CachePadded::new(AtomicPtr::new(std::ptr::null_mut())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        HpMatrix {
+            max_threads,
+            k,
+            slots,
+        }
+    }
+
+    pub(crate) fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn slot(&self, tid: usize, index: usize) -> &AtomicPtr<T> {
+        debug_assert!(tid < self.max_threads, "tid {tid} out of range");
+        debug_assert!(index < self.k, "hazard index {index} out of range");
+        &self.slots[tid * self.k + index]
+    }
+
+    /// Publish `ptr` in slot (`tid`, `index`).
+    ///
+    /// The store is `SeqCst`: the load-store-load validation pattern of
+    /// paper Algorithm 5 needs the store to be globally ordered before the
+    /// validating re-load, and the retire-side scan needs to observe it.
+    #[inline]
+    pub(crate) fn protect(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
+        self.slot(tid, index).store(ptr, Ordering::SeqCst);
+        ptr
+    }
+
+    /// Clear one slot.
+    #[inline]
+    pub(crate) fn clear_one(&self, tid: usize, index: usize) {
+        self.slot(tid, index).store(std::ptr::null_mut(), Ordering::Release);
+    }
+
+    /// Clear all slots of `tid` (paper's `hp.clear()`).
+    #[inline]
+    pub(crate) fn clear(&self, tid: usize) {
+        for index in 0..self.k {
+            self.clear_one(tid, index);
+        }
+    }
+
+    /// Whether any thread currently protects `ptr`.
+    ///
+    /// `SeqCst` loads pair with the `SeqCst` protect stores so that a scan
+    /// running after a reader's validating re-load cannot miss that reader's
+    /// published hazard.
+    pub(crate) fn is_protected(&self, ptr: *mut T) -> bool {
+        self.slots
+            .iter()
+            .any(|slot| slot.load(Ordering::SeqCst) == ptr)
+    }
+
+    /// Current value of slot (`tid`, `index`) — used by tests.
+    #[cfg(test)]
+    pub(crate) fn peek(&self, tid: usize, index: usize) -> *mut T {
+        self.slot(tid, index).load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protect_publishes_and_clear_removes() {
+        let m: HpMatrix<u32> = HpMatrix::new(2, 3);
+        let p = Box::into_raw(Box::new(7u32));
+        assert!(!m.is_protected(p));
+        assert_eq!(m.protect(0, 1, p), p);
+        assert!(m.is_protected(p));
+        assert_eq!(m.peek(0, 1), p);
+        m.clear_one(0, 1);
+        assert!(!m.is_protected(p));
+        unsafe { drop(Box::from_raw(p)) };
+    }
+
+    #[test]
+    fn clear_wipes_all_columns() {
+        let m: HpMatrix<u32> = HpMatrix::new(1, 4);
+        let ptrs: Vec<*mut u32> = (0..4).map(|v| Box::into_raw(Box::new(v))).collect();
+        for (i, &p) in ptrs.iter().enumerate() {
+            m.protect(0, i, p);
+        }
+        m.clear(0);
+        for &p in &ptrs {
+            assert!(!m.is_protected(p));
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let m: HpMatrix<u32> = HpMatrix::new(2, 1);
+        let p = Box::into_raw(Box::new(1u32));
+        m.protect(0, 0, p);
+        m.clear(1); // clearing the other row must not unprotect
+        assert!(m.is_protected(p));
+        m.clear(0);
+        assert!(!m.is_protected(p));
+        unsafe { drop(Box::from_raw(p)) };
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads must be non-zero")]
+    fn zero_threads_rejected() {
+        let _: HpMatrix<u32> = HpMatrix::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hazard slot")]
+    fn zero_k_rejected() {
+        let _: HpMatrix<u32> = HpMatrix::new(1, 0);
+    }
+}

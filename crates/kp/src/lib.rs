@@ -1,0 +1,34 @@
+//! # Kogan–Petrank wait-free queue, ported to native code with HP + CHP
+//!
+//! The KP queue (Kogan & Petrank, PPoPP 2011) is the paper's main wait-free
+//! baseline: wait-free bounded enqueue and dequeue built on Lamport-bakery
+//! style phase numbers and universal helping, originally published in Java
+//! and reliant on the JVM's garbage collector.
+//!
+//! The Turn-queue paper's §3.2 describes (but does not list code for) a
+//! C++14 port "with wait-free memory reclamation": hazard pointers for the
+//! `OpDesc` state descriptors and the list traversal, plus **Conditional
+//! Hazard Pointers** for the nodes — because in KP a node's value is read
+//! through `state[tid].node.next` *after* the node has left the list, so no
+//! hazard pointer can cover that access; instead the node is freed only
+//! once its value slot has been nulled by the (unique) thread that consumed
+//! it. This crate is that port, in Rust:
+//!
+//! * [`KPQueue`] — the queue; algorithm structure follows the KP paper's
+//!   listings (`enq`, `deq`, `help`, `help_enq`, `help_deq`,
+//!   `help_finish_enq`, `help_finish_deq`, `max_phase`).
+//! * `OpDesc` lifecycle — descriptors are immutable; every transition CASes
+//!   a freshly allocated descriptor into `state[tid]` and the CAS winner
+//!   retires the displaced one through plain HP.
+//! * Node lifecycle — the owner of a completed dequeue retires its
+//!   descriptor's node through CHP; the consumer of a node's value nulls
+//!   the value slot, which is the CHP reclamation condition.
+//!
+//! The port also fixes, by construction, the validation bug the paper found
+//! in YMC: every dereference of a node reached from `head`/`tail` happens
+//! under a published-and-revalidated hazard pointer (see
+//! `help_finish_enq`'s double validation).
+
+mod queue;
+
+pub use queue::{KPQueue, KpFamily};

@@ -1,0 +1,397 @@
+//! Wing & Gong linearizability search, specialised for FIFO queues with
+//! distinct values.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::history::{History, OpKind, OpRecord};
+
+/// Outcome of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// A valid linearization exists; the witness is the order of operation
+    /// indices into the (start-sorted) history.
+    Linearizable(Vec<usize>),
+    /// No valid linearization exists.
+    NotLinearizable,
+    /// The search exceeded `max_states` explored states (history too big
+    /// or too concurrent for an exact answer).
+    Inconclusive,
+}
+
+impl CheckResult {
+    /// Whether the history was proven linearizable.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CheckResult::Linearizable(_))
+    }
+}
+
+/// Search state bound so a pathological history cannot hang the tests.
+const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+/// Check a queue history for linearizability.
+///
+/// Requirements on the history (the recorder guarantees both):
+/// * every operation completed (complete history);
+/// * enqueued values are pairwise distinct.
+pub fn check_history(history: &History) -> CheckResult {
+    check_history_bounded(history, DEFAULT_MAX_STATES)
+}
+
+/// [`check_history`] with an explicit search budget.
+pub fn check_history_bounded(history: &History, max_states: usize) -> CheckResult {
+    let ops = history.sorted_by_start();
+    // Fast structural rejections: a value dequeued twice or dequeued but
+    // never enqueued can never linearize.
+    {
+        let enq: HashSet<u64> = history.enqueued_values().into_iter().collect();
+        let deqd = history.dequeued_values();
+        let mut seen = HashSet::new();
+        for v in &deqd {
+            if !enq.contains(v) || !seen.insert(*v) {
+                return CheckResult::NotLinearizable;
+            }
+        }
+        if enq.len() != history.enqueued_values().len() {
+            panic!("history has duplicate enqueue values; the checker requires distinct values");
+        }
+    }
+    let n = ops.len();
+    assert!(n <= 63, "history too long for the bitmask search (max 63 ops)");
+
+    let mut searcher = Searcher {
+        ops: &ops,
+        seen: HashSet::new(),
+        states: 0,
+        max_states,
+        witness: Vec::with_capacity(n),
+    };
+    match searcher.dfs(0, &mut VecDeque::new()) {
+        Some(true) => CheckResult::Linearizable(searcher.witness),
+        Some(false) => CheckResult::NotLinearizable,
+        None => CheckResult::Inconclusive,
+    }
+}
+
+struct Searcher<'a> {
+    ops: &'a [OpRecord],
+    /// Memo of (linearized mask, queue contents) configurations already
+    /// proven dead ends.
+    seen: HashSet<(u64, Vec<u64>)>,
+    states: usize,
+    max_states: usize,
+    witness: Vec<usize>,
+}
+
+impl Searcher<'_> {
+    /// Returns Some(true) on success, Some(false) on exhaustive failure,
+    /// None if the budget ran out.
+    fn dfs(&mut self, done_mask: u64, queue: &mut VecDeque<u64>) -> Option<bool> {
+        let n = self.ops.len();
+        if done_mask == (1u64 << n) - 1 {
+            return Some(true);
+        }
+        self.states += 1;
+        if self.states > self.max_states {
+            return None;
+        }
+        let key = (done_mask, queue.iter().copied().collect::<Vec<_>>());
+        if !self.seen.insert(key) {
+            return Some(false);
+        }
+
+        // An op may linearize next iff no *other* unlinearized op finished
+        // before it started (real-time order).
+        let mut min_end = u64::MAX;
+        for (i, op) in self.ops.iter().enumerate() {
+            if done_mask & (1 << i) == 0 {
+                min_end = min_end.min(op.end);
+            }
+        }
+        for i in 0..n {
+            if done_mask & (1 << i) != 0 {
+                continue;
+            }
+            let op = &self.ops[i];
+            if op.start > min_end {
+                continue; // some pending op finished strictly before this one began
+            }
+            // Apply against the sequential queue model.
+            let applied = match op.kind {
+                OpKind::Enqueue(v) => {
+                    queue.push_back(v);
+                    true
+                }
+                OpKind::Dequeue(expected) => match (queue.front().copied(), expected) {
+                    (Some(f), Some(e)) if f == e => {
+                        queue.pop_front();
+                        true
+                    }
+                    (None, None) => true,
+                    _ => false,
+                },
+            };
+            if !applied {
+                continue;
+            }
+            self.witness.push(i);
+            match self.dfs(done_mask | (1 << i), queue) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+            self.witness.pop();
+            // Undo.
+            match op.kind {
+                OpKind::Enqueue(_) => {
+                    queue.pop_back();
+                }
+                OpKind::Dequeue(Some(v)) => queue.push_front(v),
+                OpKind::Dequeue(None) => {}
+            }
+        }
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(thread: usize, kind: OpKind, start: u64, end: u64) -> OpRecord {
+        OpRecord {
+            thread,
+            kind,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_history(&History::default()).is_ok());
+    }
+
+    #[test]
+    fn sequential_fifo_is_linearizable() {
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Enqueue(2), 2, 3),
+            op(0, OpKind::Dequeue(Some(1)), 4, 5),
+            op(0, OpKind::Dequeue(Some(2)), 6, 7),
+            op(0, OpKind::Dequeue(None), 8, 9),
+        ]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn sequential_lifo_is_not_linearizable() {
+        // Dequeueing in LIFO order from strictly ordered enqueues.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Enqueue(2), 2, 3),
+            op(0, OpKind::Dequeue(Some(2)), 4, 5),
+            op(0, OpKind::Dequeue(Some(1)), 6, 7),
+        ]);
+        assert_eq!(check_history(&h), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_enqueues_may_reorder() {
+        // Two concurrent enqueues can linearize either way, so dequeueing
+        // 2 before 1 is fine.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 10),
+            op(1, OpKind::Enqueue(2), 0, 10),
+            op(0, OpKind::Dequeue(Some(2)), 11, 12),
+            op(1, OpKind::Dequeue(Some(1)), 13, 14),
+        ]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn dequeue_of_never_enqueued_value_fails() {
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Dequeue(Some(9)), 2, 3),
+        ]);
+        assert_eq!(check_history(&h), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn duplicate_dequeue_fails() {
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Dequeue(Some(1)), 2, 3),
+            op(1, OpKind::Dequeue(Some(1)), 2, 3),
+        ]);
+        assert_eq!(check_history(&h), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_dequeue_during_full_queue_fails() {
+        // A dequeue that runs strictly after an enqueue completed and
+        // strictly before any dequeue cannot observe empty.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(1, OpKind::Dequeue(None), 2, 3),
+            op(0, OpKind::Dequeue(Some(1)), 4, 5),
+        ]);
+        assert_eq!(check_history(&h), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_dequeue_overlapping_enqueue_is_fine() {
+        // If the None-dequeue overlaps the enqueue it may linearize first.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 5),
+            op(1, OpKind::Dequeue(None), 1, 2),
+            op(0, OpKind::Dequeue(Some(1)), 6, 7),
+        ]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced_across_threads() {
+        // enqueue(1) finishes before enqueue(2) starts, so 1 must come out
+        // first even though a third thread dequeues concurrently.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(1, OpKind::Enqueue(2), 2, 3),
+            op(2, OpKind::Dequeue(Some(2)), 4, 10),
+            op(2, OpKind::Dequeue(Some(1)), 11, 12),
+        ]);
+        assert_eq!(check_history(&h), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn witness_is_a_legal_sequential_run() {
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 10),
+            op(1, OpKind::Enqueue(2), 0, 10),
+            op(0, OpKind::Dequeue(Some(2)), 11, 12),
+            op(1, OpKind::Dequeue(Some(1)), 13, 14),
+        ]);
+        let CheckResult::Linearizable(witness) = check_history(&h) else {
+            panic!("expected linearizable");
+        };
+        // Replay the witness against a model.
+        let ops = h.sorted_by_start();
+        let mut model = VecDeque::new();
+        for &i in &witness {
+            match ops[i].kind {
+                OpKind::Enqueue(v) => model.push_back(v),
+                OpKind::Dequeue(Some(v)) => assert_eq!(model.pop_front(), Some(v)),
+                OpKind::Dequeue(None) => assert!(model.is_empty()),
+            }
+        }
+        assert_eq!(witness.len(), 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_inconclusive() {
+        // A fully-concurrent history with a tiny budget.
+        let ops: Vec<OpRecord> = (0..12)
+            .map(|i| op(i, OpKind::Enqueue(i as u64), 0, 100))
+            .collect();
+        let h = History::new(ops);
+        assert_eq!(
+            check_history_bounded(&h, 3),
+            CheckResult::Inconclusive
+        );
+    }
+
+    /// Cross-validate the memoised search against a brute-force permutation
+    /// check on tiny histories.
+    #[test]
+    fn agrees_with_brute_force_on_small_histories() {
+        use std::collections::VecDeque;
+
+        fn brute_force(ops: &[OpRecord]) -> bool {
+            fn permute(
+                ops: &[OpRecord],
+                used: &mut Vec<bool>,
+                order: &mut Vec<usize>,
+            ) -> bool {
+                if order.len() == ops.len() {
+                    // Check real-time + sequential legality.
+                    let mut q = VecDeque::new();
+                    for w in order.windows(2) {
+                        if ops[w[1]].end < ops[w[0]].start {
+                            return false;
+                        }
+                    }
+                    // real-time: for all pairs (a before b in order), must
+                    // not have b.end < a.start
+                    for (pos_a, &a) in order.iter().enumerate() {
+                        for &b in order.iter().skip(pos_a + 1) {
+                            if ops[b].end < ops[a].start {
+                                return false;
+                            }
+                        }
+                    }
+                    for &i in order.iter() {
+                        match ops[i].kind {
+                            OpKind::Enqueue(v) => q.push_back(v),
+                            OpKind::Dequeue(Some(v)) => {
+                                if q.pop_front() != Some(v) {
+                                    return false;
+                                }
+                            }
+                            OpKind::Dequeue(None) => {
+                                if !q.is_empty() {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                    return true;
+                }
+                for i in 0..ops.len() {
+                    if !used[i] {
+                        used[i] = true;
+                        order.push(i);
+                        if permute(ops, used, order) {
+                            return true;
+                        }
+                        order.pop();
+                        used[i] = false;
+                    }
+                }
+                false
+            }
+            let mut used = vec![false; ops.len()];
+            let mut order = Vec::new();
+            permute(ops, &mut used, &mut order)
+        }
+
+        // A deterministic batch of small adversarial histories.
+        let cases: Vec<Vec<OpRecord>> = vec![
+            vec![
+                op(0, OpKind::Enqueue(1), 0, 4),
+                op(1, OpKind::Dequeue(Some(1)), 1, 2),
+            ],
+            vec![
+                op(0, OpKind::Enqueue(1), 0, 4),
+                op(1, OpKind::Dequeue(Some(1)), 5, 6),
+                op(2, OpKind::Dequeue(None), 5, 6),
+            ],
+            vec![
+                op(0, OpKind::Enqueue(1), 0, 1),
+                op(1, OpKind::Enqueue(2), 0, 1),
+                op(0, OpKind::Dequeue(Some(2)), 2, 3),
+                op(1, OpKind::Dequeue(None), 2, 3),
+            ],
+            vec![
+                op(0, OpKind::Enqueue(1), 0, 9),
+                op(1, OpKind::Enqueue(2), 1, 2),
+                op(2, OpKind::Dequeue(Some(2)), 3, 4),
+                op(2, OpKind::Dequeue(Some(1)), 5, 6),
+            ],
+        ];
+        for ops in cases {
+            let expect = brute_force(&ops);
+            let got = check_history(&History::new(ops.clone())).is_ok();
+            assert_eq!(got, expect, "disagreement on {ops:?}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Timestamped operation histories.
+
+/// What an operation did. Values must be unique across the history for the
+/// checker's queue-specialisation to be sound (the recorder guarantees it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `enqueue(value)`.
+    Enqueue(u64),
+    /// `dequeue()` and its observed result (`None` = observed empty).
+    Dequeue(Option<u64>),
+}
+
+/// One completed operation with its real-time interval.
+///
+/// Timestamps are nanoseconds from an arbitrary common origin; only their
+/// order matters. `start < end` is not required to be strict (coarse clocks
+/// may tie), but `start <= end` must hold.
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// Which thread issued the operation.
+    pub thread: usize,
+    /// The operation and its outcome.
+    pub kind: OpKind,
+    /// Invocation timestamp.
+    pub start: u64,
+    /// Response timestamp.
+    pub end: u64,
+}
+
+/// A complete history: every recorded operation finished.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The operations, in no particular order.
+    pub ops: Vec<OpRecord>,
+}
+
+impl History {
+    /// Build a history, validating interval sanity.
+    pub fn new(ops: Vec<OpRecord>) -> Self {
+        for op in &ops {
+            assert!(op.start <= op.end, "inverted interval: {op:?}");
+        }
+        History { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All values enqueued in this history.
+    pub fn enqueued_values(&self) -> Vec<u64> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Enqueue(v) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All values successfully dequeued in this history.
+    pub fn dequeued_values(&self) -> Vec<u64> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Dequeue(Some(v)) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Split into windows of at most `window` operations, ordered by start
+    /// time, for piecewise checking of long runs. Windows overlap by the
+    /// set of in-flight values, so this is a *heuristic* decomposition used
+    /// to keep checking tractable; each window is checked as an independent
+    /// history.
+    pub fn sorted_by_start(&self) -> Vec<OpRecord> {
+        let mut ops = self.ops.clone();
+        ops.sort_by_key(|op| (op.start, op.end));
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_extraction() {
+        let h = History::new(vec![
+            OpRecord {
+                thread: 0,
+                kind: OpKind::Enqueue(1),
+                start: 0,
+                end: 1,
+            },
+            OpRecord {
+                thread: 1,
+                kind: OpKind::Dequeue(Some(1)),
+                start: 2,
+                end: 3,
+            },
+            OpRecord {
+                thread: 1,
+                kind: OpKind::Dequeue(None),
+                start: 4,
+                end: 5,
+            },
+        ]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.enqueued_values(), vec![1]);
+        assert_eq!(h.dequeued_values(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_rejected() {
+        let _ = History::new(vec![OpRecord {
+            thread: 0,
+            kind: OpKind::Enqueue(1),
+            start: 5,
+            end: 4,
+        }]);
+    }
+
+    #[test]
+    fn sorted_by_start_orders() {
+        let h = History::new(vec![
+            OpRecord {
+                thread: 0,
+                kind: OpKind::Enqueue(2),
+                start: 10,
+                end: 11,
+            },
+            OpRecord {
+                thread: 0,
+                kind: OpKind::Enqueue(1),
+                start: 0,
+                end: 1,
+            },
+        ]);
+        let sorted = h.sorted_by_start();
+        assert_eq!(sorted[0].kind, OpKind::Enqueue(1));
+        assert_eq!(sorted[1].kind, OpKind::Enqueue(2));
+    }
+}

@@ -1,0 +1,22 @@
+//! Linearizability checking for concurrent queue histories.
+//!
+//! The paper claims (§2.2, §2.3.2) that the Turn queue is linearizable and
+//! sketches invariant-based arguments. This crate makes the claim testable:
+//! it records timestamped operation histories from real concurrent runs
+//! ([`recorder`]) and decides whether a history has a valid linearization
+//! ([`checker`]) — a total order of the operations that (a) respects
+//! real-time order (if op A completed before op B started, A comes first)
+//! and (b) is a legal sequential queue execution.
+//!
+//! The checker is a Wing & Gong style search specialised for queues with
+//! distinct values, memoised on (linearized-set, queue-content) pairs, and
+//! is practical for the small-but-adversarial histories the integration
+//! tests generate (≤ ~24 operations per window).
+
+pub mod checker;
+pub mod history;
+pub mod recorder;
+
+pub use checker::{check_history, CheckResult};
+pub use history::{History, OpKind, OpRecord};
+pub use recorder::record_history;

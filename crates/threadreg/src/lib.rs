@@ -1,0 +1,501 @@
+//! Dense per-thread slot registry — the paper's `getIndex()`.
+//!
+//! Every algorithm in the paper (Turn queue, Kogan–Petrank queue, hazard
+//! pointers) indexes per-thread arrays (`enqueuers`, `deqself`, `deqhelp`,
+//! `state`, the HP matrix, …) by a small dense integer: the thread id `tid`
+//! in `0..MAX_THREADS`. The C++ artifact obtains it from a process-global
+//! registry; here each [`ThreadRegistry`] instance hands out its own ids so
+//! that independent queues can size their arrays independently.
+//!
+//! Properties:
+//!
+//! * **Acquisition is wait-free bounded.** A thread claims the first free
+//!   slot with a `CAS(false → true)` scan. Each failed CAS means another
+//!   thread permanently claimed that slot during the scan, and the scan
+//!   never revisits a slot, so at most `capacity` CAS attempts happen.
+//! * **Lookup is a TLS cache hit.** The id is memoized in a thread-local
+//!   table keyed by registry id; steady-state cost is one TLS access plus a
+//!   short vector scan.
+//! * **Slots are recycled.** When a thread exits, its TLS destructor
+//!   releases every slot it holds, so short-lived threads do not exhaust the
+//!   registry. Slot reuse is safe for the queues in this workspace because
+//!   all per-slot state is quiescent between operations (hazard pointers are
+//!   cleared at the end of each call; `deqself`/`deqhelp` always hold a
+//!   closed request between calls).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use crossbeam_utils::CachePadded;
+
+/// Process-wide source of unique registry ids (used as TLS cache keys).
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Shared state of one registry.
+struct Slots {
+    /// Unique id of this registry instance, used as the TLS cache key.
+    id: u64,
+    /// `in_use[i]` is true while some live thread owns index `i`.
+    in_use: Box<[CachePadded<AtomicBool>]>,
+}
+
+impl Slots {
+    fn release(&self, index: usize) {
+        debug_assert!(self.in_use[index].load(Ordering::Relaxed));
+        self.in_use[index].store(false, Ordering::Release);
+    }
+}
+
+/// Error returned when more than `capacity` threads try to register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryFull {
+    /// The capacity that was exhausted.
+    pub capacity: usize,
+}
+
+impl fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread registry full: more than {} concurrent threads",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RegistryFull {}
+
+/// A registry handing out dense thread indices in `0..capacity`.
+///
+/// Cloning is cheap and shares the underlying slots, so a queue can clone
+/// its registry into helper structures.
+///
+/// ```
+/// use turnq_threadreg::ThreadRegistry;
+///
+/// let reg = ThreadRegistry::new(4);
+/// let idx = reg.current_index();
+/// assert!(idx < 4);
+/// // Repeated calls from the same thread return the same index.
+/// assert_eq!(reg.current_index(), idx);
+/// ```
+pub struct ThreadRegistry {
+    slots: Arc<Slots>,
+}
+
+impl Clone for ThreadRegistry {
+    fn clone(&self) -> Self {
+        ThreadRegistry {
+            slots: Arc::clone(&self.slots),
+        }
+    }
+}
+
+impl fmt::Debug for ThreadRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadRegistry")
+            .field("id", &self.slots.id)
+            .field("capacity", &self.capacity())
+            .field("registered", &self.registered_count())
+            .finish()
+    }
+}
+
+struct TlsEntry {
+    registry_id: u64,
+    index: usize,
+    /// Weak so a dead registry does not linger because of thread caches.
+    slots: Weak<Slots>,
+}
+
+/// Thread-local cache of (registry → index) claims; the `Drop` impl gives
+/// the slots back when the thread exits.
+#[derive(Default)]
+struct TlsCache {
+    entries: Vec<TlsEntry>,
+}
+
+impl Drop for TlsCache {
+    fn drop(&mut self) {
+        for entry in &self.entries {
+            if let Some(slots) = entry.slots.upgrade() {
+                slots.release(entry.index);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<TlsCache> = RefCell::new(TlsCache::default());
+}
+
+impl ThreadRegistry {
+    /// Create a registry with `capacity` slots. `capacity` must be non-zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "registry capacity must be non-zero");
+        let in_use = (0..capacity)
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ThreadRegistry {
+            slots: Arc::new(Slots {
+                id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+                in_use,
+            }),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.in_use.len()
+    }
+
+    /// Number of slots currently claimed by live threads.
+    pub fn registered_count(&self) -> usize {
+        self.slots
+            .in_use
+            .iter()
+            .filter(|s| s.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// The dense index of the calling thread, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `capacity` threads are simultaneously registered,
+    /// or if called from a thread-local destructor after the cache has been
+    /// torn down. Use [`try_current_index`](Self::try_current_index) for a
+    /// fallible variant.
+    pub fn current_index(&self) -> usize {
+        self.try_current_index()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`current_index`](Self::current_index).
+    pub fn try_current_index(&self) -> Result<usize, RegistryFull> {
+        let registry_id = self.slots.id;
+        CACHE
+            .try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                if let Some(entry) = cache
+                    .entries
+                    .iter()
+                    .find(|e| e.registry_id == registry_id)
+                {
+                    return Ok(entry.index);
+                }
+                let index = self.claim_slot()?;
+                cache.entries.push(TlsEntry {
+                    registry_id,
+                    index,
+                    slots: Arc::downgrade(&self.slots),
+                });
+                Ok(index)
+            })
+            .unwrap_or(Err(RegistryFull {
+                capacity: self.capacity(),
+            }))
+    }
+
+    /// The calling thread's index if it is already registered, without
+    /// registering it.
+    pub fn peek_index(&self) -> Option<usize> {
+        let registry_id = self.slots.id;
+        CACHE
+            .try_with(|cache| {
+                cache
+                    .borrow()
+                    .entries
+                    .iter()
+                    .find(|e| e.registry_id == registry_id)
+                    .map(|e| e.index)
+            })
+            .ok()
+            .flatten()
+    }
+
+    /// Explicitly release the calling thread's slot (it is otherwise
+    /// released automatically at thread exit). A later call to
+    /// [`current_index`](Self::current_index) re-registers, possibly under a
+    /// different index.
+    pub fn release_current(&self) {
+        let registry_id = self.slots.id;
+        let released = CACHE
+            .try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                if let Some(pos) = cache
+                    .entries
+                    .iter()
+                    .position(|e| e.registry_id == registry_id)
+                {
+                    let entry = cache.entries.swap_remove(pos);
+                    Some(entry.index)
+                } else {
+                    None
+                }
+            })
+            .ok()
+            .flatten();
+        if let Some(index) = released {
+            self.slots.release(index);
+        }
+    }
+
+    /// Slot claim: a left-to-right CAS scan, retried through a bounded
+    /// grace period when the registry looks full.
+    ///
+    /// The grace period absorbs a real scheduling artifact: a thread
+    /// spawned with `std::thread::scope` is considered finished (and the
+    /// scope returns) slightly *before* its TLS destructors run, so a
+    /// generation of exiting threads can still hold their slots for a
+    /// moment after `scope()` returned. Rapid spawn/exit churn would
+    /// otherwise see spurious `RegistryFull` errors. The retry is bounded
+    /// (it only helps transient fullness), so a genuinely over-subscribed
+    /// registry still fails deterministically.
+    fn claim_slot(&self) -> Result<usize, RegistryFull> {
+        const GRACE_ROUNDS: usize = 256;
+        for round in 0..GRACE_ROUNDS {
+            for (i, slot) in self.slots.in_use.iter().enumerate() {
+                if !slot.load(Ordering::Relaxed)
+                    && slot
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return Ok(i);
+                }
+            }
+            if round + 1 < GRACE_ROUNDS {
+                std::thread::yield_now();
+            }
+        }
+        Err(RegistryFull {
+            capacity: self.capacity(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Barrier;
+
+    #[test]
+    fn same_thread_same_index() {
+        let reg = ThreadRegistry::new(8);
+        let a = reg.current_index();
+        let b = reg.current_index();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clone_shares_slots() {
+        let reg = ThreadRegistry::new(8);
+        let a = reg.current_index();
+        let reg2 = reg.clone();
+        assert_eq!(reg2.current_index(), a);
+        assert_eq!(reg2.registered_count(), 1);
+    }
+
+    #[test]
+    fn distinct_registries_are_independent() {
+        let r1 = ThreadRegistry::new(2);
+        let r2 = ThreadRegistry::new(2);
+        let i1 = r1.current_index();
+        let i2 = r2.current_index();
+        // Both start from slot 0 because the registries do not share slots.
+        assert_eq!(i1, 0);
+        assert_eq!(i2, 0);
+        assert_eq!(r1.registered_count(), 1);
+        assert_eq!(r2.registered_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_threads_get_unique_indices() {
+        let reg = ThreadRegistry::new(16);
+        let barrier = Barrier::new(16);
+        let indices: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let reg = reg.clone();
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let idx = reg.current_index();
+                        barrier.wait(); // hold the slot until everyone claimed
+                        idx
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let set: HashSet<usize> = indices.iter().copied().collect();
+        assert_eq!(set.len(), 16, "indices must be unique: {indices:?}");
+        assert!(indices.iter().all(|&i| i < 16));
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let reg = ThreadRegistry::new(1);
+        assert_eq!(reg.current_index(), 0);
+        std::thread::scope(|s| {
+            let reg = reg.clone();
+            s.spawn(move || {
+                assert_eq!(
+                    reg.try_current_index(),
+                    Err(RegistryFull { capacity: 1 })
+                );
+            });
+        });
+    }
+
+    #[test]
+    fn slots_released_on_thread_exit() {
+        let reg = ThreadRegistry::new(1);
+        for _ in 0..32 {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                assert_eq!(reg.current_index(), 0);
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(reg.registered_count(), 0);
+    }
+
+    #[test]
+    fn explicit_release_allows_reuse() {
+        let reg = ThreadRegistry::new(1);
+        assert_eq!(reg.current_index(), 0);
+        reg.release_current();
+        assert_eq!(reg.registered_count(), 0);
+        assert_eq!(reg.peek_index(), None);
+        // Re-registering from the same thread works again.
+        assert_eq!(reg.current_index(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_register() {
+        let reg = ThreadRegistry::new(4);
+        assert_eq!(reg.peek_index(), None);
+        assert_eq!(reg.registered_count(), 0);
+        let idx = reg.current_index();
+        assert_eq!(reg.peek_index(), Some(idx));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ThreadRegistry::new(0);
+    }
+
+    #[test]
+    fn release_without_register_is_noop() {
+        let reg = ThreadRegistry::new(2);
+        reg.release_current();
+        assert_eq!(reg.registered_count(), 0);
+    }
+
+    #[test]
+    fn many_threads_churn_through_one_slot_pool() {
+        // More thread *lifetimes* than slots is fine as long as no more
+        // than `capacity` are alive at once.
+        let reg = ThreadRegistry::new(4);
+        for _round in 0..8 {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let reg = reg.clone();
+                    s.spawn(move || {
+                        let idx = reg.current_index();
+                        assert!(idx < 4);
+                    });
+                }
+            });
+        }
+        assert_eq!(reg.registered_count(), 0);
+    }
+
+    #[test]
+    fn dead_registry_does_not_crash_thread_exit() {
+        // Thread registers, registry is dropped first, then the thread
+        // exits; the weak upgrade in the TLS destructor must fail cleanly.
+        let reg = ThreadRegistry::new(2);
+        let reg2 = reg.clone();
+        std::thread::spawn(move || {
+            let _ = reg2.current_index();
+            drop(reg2);
+            // reg (other Arc) still alive here, dropped by main thread later
+        })
+        .join()
+        .unwrap();
+        drop(reg);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Claims that are all held concurrently (barrier-synchronised)
+        /// get unique indices within capacity, and never more than
+        /// `capacity` succeed.
+        #[test]
+        fn concurrent_claims_stay_unique(capacity in 1usize..12, claimers in 1usize..12) {
+            let reg = ThreadRegistry::new(capacity);
+            let barrier = std::sync::Barrier::new(claimers);
+            let results: Vec<Result<usize, RegistryFull>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..claimers)
+                    .map(|_| {
+                        let reg = reg.clone();
+                        let barrier = &barrier;
+                        s.spawn(move || {
+                            let r = reg.try_current_index();
+                            // Hold the slot until every thread has tried,
+                            // so successful claims genuinely overlap.
+                            barrier.wait();
+                            r
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let successes: Vec<usize> =
+                results.iter().filter_map(|r| r.ok()).collect();
+            let mut sorted = successes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), successes.len(), "duplicate live indices");
+            prop_assert!(successes.iter().all(|&i| i < capacity));
+            prop_assert!(successes.len() <= capacity);
+            // Everyone beyond capacity must have been refused.
+            prop_assert_eq!(
+                results.iter().filter(|r| r.is_err()).count(),
+                claimers.saturating_sub(capacity)
+            );
+            // And all slots are recycled after the scope (the claim path's
+            // bounded grace period absorbs TLS-destructor lag, so a fresh
+            // claim from this thread must succeed too).
+            prop_assert!(reg.try_current_index().is_ok());
+            reg.release_current();
+        }
+
+        /// Sequential claim/release cycles never leak slots.
+        #[test]
+        fn claim_release_cycles_conserve_slots(rounds in 1usize..20) {
+            let reg = ThreadRegistry::new(2);
+            for _ in 0..rounds {
+                let idx = reg.current_index();
+                prop_assert!(idx < 2);
+                reg.release_current();
+            }
+            prop_assert_eq!(reg.registered_count(), 0);
+        }
+    }
+}

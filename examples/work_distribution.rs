@@ -1,0 +1,120 @@
+//! Work distribution: a task farm built from two Turn queues (jobs out,
+//! results back), showing the *fairness* that wait-freedom buys.
+//!
+//! ```sh
+//! cargo run --release --example work_distribution [-- --jobs=100000 --workers=4]
+//! ```
+//!
+//! Because every queue operation completes in a bounded number of steps —
+//! other threads help a stalled requester instead of overtaking it forever
+//! — no worker can be starved of jobs. We print how many jobs each worker
+//! processed; with a lock-free job queue under oversubscription this
+//! distribution can be wildly skewed, which is the starvation the paper's
+//! §1.2 describes.
+
+use std::sync::Arc;
+
+use turnq_repro::harness::Args;
+use turnq_repro::TurnQueue;
+
+/// A unit of work: integrate a small chunk numerically.
+struct Job {
+    id: u64,
+    lo: f64,
+    hi: f64,
+}
+
+/// A completed result.
+struct Done {
+    worker: usize,
+    #[allow(dead_code)]
+    id: u64,
+    value: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let jobs: u64 = args.get_usize("jobs").unwrap_or(100_000) as u64;
+    let workers = args.get_usize("workers").unwrap_or(4);
+
+    // +1 slot for the coordinator thread on each queue.
+    let job_q: Arc<TurnQueue<Job>> = Arc::new(TurnQueue::with_max_threads(workers + 1));
+    let done_q: Arc<TurnQueue<Done>> = Arc::new(TurnQueue::with_max_threads(workers + 1));
+
+    println!("distributing {jobs} integration jobs over {workers} workers...");
+
+    let per_worker_counts = std::thread::scope(|s| {
+        // Workers: pull a job, compute, push the result.
+        for w in 0..workers {
+            let job_q = Arc::clone(&job_q);
+            let done_q = Arc::clone(&done_q);
+            s.spawn(move || {
+                let jobs_in = job_q.handle().expect("worker slot");
+                let results_out = done_q.handle().expect("worker slot");
+                loop {
+                    match jobs_in.dequeue() {
+                        Some(Job { id: u64::MAX, .. }) => break, // poison pill
+                        Some(job) => {
+                            // Midpoint-rule integration of sin(x) over the
+                            // chunk: enough arithmetic to be a real "task".
+                            let steps = 64;
+                            let dx = (job.hi - job.lo) / steps as f64;
+                            let mut acc = 0.0;
+                            for k in 0..steps {
+                                let x = job.lo + (k as f64 + 0.5) * dx;
+                                acc += x.sin() * dx;
+                            }
+                            results_out.enqueue(Done {
+                                worker: w,
+                                id: job.id,
+                                value: acc,
+                            });
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+
+        // Coordinator: feed jobs, collect results, then poison the farm.
+        let feeder = job_q.handle().expect("coordinator slot");
+        let collector = done_q.handle().expect("coordinator slot");
+        let span = std::f64::consts::PI;
+        for id in 0..jobs {
+            let lo = span * id as f64 / jobs as f64;
+            let hi = span * (id + 1) as f64 / jobs as f64;
+            feeder.enqueue(Job { id, lo, hi });
+        }
+        let mut total = 0.0;
+        let mut counts = vec![0u64; workers];
+        let mut received = 0;
+        while received < jobs {
+            if let Some(done) = collector.dequeue() {
+                total += done.value;
+                counts[done.worker] += 1;
+                received += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for _ in 0..workers {
+            feeder.enqueue(Job {
+                id: u64::MAX,
+                lo: 0.0,
+                hi: 0.0,
+            });
+        }
+        // ∫₀^π sin(x) dx = 2.
+        println!("integral of sin over [0, pi] = {total:.6} (expected 2.0)");
+        assert!((total - 2.0).abs() < 1e-3);
+        counts
+    });
+
+    println!("\njobs per worker (fair helping should keep these balanced):");
+    let total: u64 = per_worker_counts.iter().sum();
+    for (w, &n) in per_worker_counts.iter().enumerate() {
+        let pct = 100.0 * n as f64 / total as f64;
+        println!("  worker {w}: {n:>8} ({pct:5.1}%)");
+    }
+    assert_eq!(total, jobs);
+}

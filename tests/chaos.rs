@@ -1,0 +1,179 @@
+//! Chaos tests: scheduling perturbation and thread-lifecycle churn.
+//!
+//! The paper's wait-freedom argument is about *adversarial scheduling* — a
+//! thread can be preempted at any instruction and the others must finish
+//! its operation. We cannot force preemption points from safe code, but we
+//! can maximise scheduling diversity: random yields and sleeps between
+//! operations, threads that switch roles mid-run, and threads that exit
+//! and are replaced (recycling registry slots) while the queue stays live.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use turnq_repro::api::{ConcurrentQueue, QueueFamily};
+use turnq_repro::harness::with_queue_family;
+use turnq_repro::harness::QueueKind;
+
+/// Tiny deterministic rng (xorshift), seeded per thread.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn chaos_round<F: QueueFamily>(seed: u64, threads: usize, ops: u64) {
+    let q = Arc::new(F::with_max_threads::<u64>(threads));
+    let enq_count = Arc::new(AtomicU64::new(0));
+    let deq_count = Arc::new(AtomicU64::new(0));
+    let checksum_in = Arc::new(AtomicU64::new(0));
+    let checksum_out = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let q = Arc::clone(&q);
+            let enq_count = Arc::clone(&enq_count);
+            let deq_count = Arc::clone(&deq_count);
+            let checksum_in = Arc::clone(&checksum_in);
+            let checksum_out = Arc::clone(&checksum_out);
+            s.spawn(move || {
+                let mut rng = Rng::new(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
+                for i in 0..ops {
+                    let r = rng.next();
+                    // Random role per op, with perturbation in between.
+                    if r & 1 == 0 {
+                        let v = ((t as u64) << 40) | i;
+                        q.enqueue(v);
+                        enq_count.fetch_add(1, Ordering::Relaxed);
+                        checksum_in.fetch_add(v, Ordering::Relaxed);
+                    } else if let Some(v) = q.dequeue() {
+                        deq_count.fetch_add(1, Ordering::Relaxed);
+                        checksum_out.fetch_add(v, Ordering::Relaxed);
+                    }
+                    match (r >> 8) % 37 {
+                        0 => std::thread::yield_now(),
+                        1 => std::thread::sleep(Duration::from_micros((r >> 16) % 50)),
+                        _ => {}
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain the residue single-threaded and settle the books.
+    while let Some(v) = q.dequeue() {
+        deq_count.fetch_add(1, Ordering::Relaxed);
+        checksum_out.fetch_add(v, Ordering::Relaxed);
+    }
+    assert_eq!(
+        enq_count.load(Ordering::Relaxed),
+        deq_count.load(Ordering::Relaxed),
+        "items lost or invented"
+    );
+    assert_eq!(
+        checksum_in.load(Ordering::Relaxed),
+        checksum_out.load(Ordering::Relaxed),
+        "payload corruption"
+    );
+}
+
+#[test]
+fn chaos_mixed_roles_all_queues() {
+    for kind in QueueKind::all() {
+        with_queue_family!(kind, F => chaos_round::<F>(0xC0FFEE, 4, 2_000));
+    }
+}
+
+#[test]
+fn chaos_mixed_roles_many_seeds_turn() {
+    for seed in 1..6u64 {
+        with_queue_family!(QueueKind::Turn, F => chaos_round::<F>(seed, 5, 1_500));
+    }
+}
+
+/// Threads come and go while the queue lives on: registry slots are
+/// recycled across generations mid-traffic.
+#[test]
+fn thread_lifecycle_churn() {
+    for kind in [QueueKind::Turn, QueueKind::Kp, QueueKind::Ms] {
+        with_queue_family!(kind, F => {
+            let q = Arc::new(F::with_max_threads::<u64>(4));
+            let total_in = Arc::new(AtomicU64::new(0));
+            let total_out = Arc::new(AtomicU64::new(0));
+            for generation in 0..12u64 {
+                std::thread::scope(|s| {
+                    for t in 0..3 {
+                        let q = Arc::clone(&q);
+                        let total_in = Arc::clone(&total_in);
+                        let total_out = Arc::clone(&total_out);
+                        s.spawn(move || {
+                            for i in 0..300u64 {
+                                q.enqueue((generation << 32) | (t << 20) | i);
+                                total_in.fetch_add(1, Ordering::Relaxed);
+                                if i % 2 == 0 && q.dequeue().is_some() {
+                                    total_out.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                });
+                // All generation threads exited; their slots must be free
+                // for the next generation (otherwise this panics on
+                // RegistryFull).
+            }
+            while q.dequeue().is_some() {
+                total_out.fetch_add(1, Ordering::Relaxed);
+            }
+            assert_eq!(
+                total_in.load(Ordering::Relaxed),
+                total_out.load(Ordering::Relaxed)
+            );
+        });
+    }
+}
+
+/// A "straggler" thread that sleeps mid-workload must not stop the others
+/// (wait-freedom smoke) nor corrupt state when it resumes.
+#[test]
+fn straggler_resume() {
+    with_queue_family!(QueueKind::Turn, F => {
+        let q = Arc::new(F::with_max_threads::<u64>(4));
+        std::thread::scope(|s| {
+            // Straggler: enqueue, nap well past several scheduler quanta,
+            // then continue.
+            {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        q.enqueue(1_000_000 + i);
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                });
+            }
+            // Busy threads churn at full speed meanwhile.
+            for t in 0..2 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..30_000u64 {
+                        q.enqueue((t << 40) | i);
+                        let _ = q.dequeue();
+                    }
+                });
+            }
+        });
+        let mut residue = 0;
+        while q.dequeue().is_some() {
+            residue += 1;
+        }
+        // 50 straggler items + up to 2 in-flight pair items.
+        assert!(residue >= 48, "straggler items lost: residue {residue}");
+    });
+}

@@ -1,0 +1,130 @@
+//! Item-type edge cases across every queue: zero-sized types, large
+//! values, heap-owning values, and !Copy types. Exercises the layout and
+//! ownership assumptions (the `UnsafeCell<Option<T>>` moves, the boxed
+//! values in KP/FAA) far from the comfortable `u64` the benches use.
+
+use std::sync::Arc;
+
+use turnq_repro::api::{ConcurrentQueue, QueueFamily};
+use turnq_repro::harness::with_queue_family;
+use turnq_repro::harness::QueueKind;
+
+fn roundtrip<T, F, M, C>(make: M, check: C, n: u64)
+where
+    T: Send + 'static,
+    F: QueueFamily,
+    M: Fn(u64) -> T,
+    C: Fn(u64, T),
+{
+    let q = F::with_max_threads::<T>(2);
+    for i in 0..n {
+        q.enqueue(make(i));
+    }
+    for i in 0..n {
+        let got = q.dequeue();
+        match got {
+            Some(v) => check(i, v),
+            None => panic!("item {i} missing"),
+        }
+    }
+    assert!(q.dequeue().is_none());
+}
+
+#[test]
+fn zero_sized_items() {
+    for kind in QueueKind::all() {
+        with_queue_family!(kind, F => {
+            roundtrip::<(), F, _, _>(|_| (), |_, ()| {}, 500);
+        });
+    }
+}
+
+#[test]
+fn large_inline_items() {
+    // 256-byte payloads stress the node layout and the move paths.
+    #[derive(Clone)]
+    struct Big {
+        tag: u64,
+        payload: [u64; 31],
+    }
+    for kind in QueueKind::all() {
+        with_queue_family!(kind, F => {
+            roundtrip::<Big, F, _, _>(
+                |i| Big { tag: i, payload: [i; 31] },
+                |i, b| {
+                    assert_eq!(b.tag, i);
+                    assert!(b.payload.iter().all(|&x| x == i));
+                },
+                200,
+            );
+        });
+    }
+}
+
+#[test]
+fn heap_owning_items() {
+    for kind in QueueKind::all() {
+        with_queue_family!(kind, F => {
+            roundtrip::<String, F, _, _>(
+                |i| format!("value-{i}-{}", "x".repeat((i % 40) as usize)),
+                |i, s| assert!(s.starts_with(&format!("value-{i}-"))),
+                300,
+            );
+        });
+    }
+}
+
+#[test]
+fn boxed_trait_object_items() {
+    trait Describe: Send {
+        fn id(&self) -> u64;
+    }
+    struct Item(u64);
+    impl Describe for Item {
+        fn id(&self) -> u64 {
+            self.0
+        }
+    }
+    for kind in QueueKind::paper_set() {
+        with_queue_family!(kind, F => {
+            roundtrip::<Box<dyn Describe>, F, _, _>(
+                |i| Box::new(Item(i)) as Box<dyn Describe>,
+                |i, b| assert_eq!(b.id(), i),
+                200,
+            );
+        });
+    }
+}
+
+#[test]
+fn concurrent_string_transfer_no_corruption() {
+    const N: u64 = 5_000;
+    for kind in QueueKind::paper_set() {
+        with_queue_family!(kind, F => {
+            let q = Arc::new(F::with_max_threads::<String>(2));
+            let qp = Arc::clone(&q);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..N {
+                        qp.enqueue(format!("{i}:{}", i.wrapping_mul(0x9E37_79B9)));
+                    }
+                });
+                let mut next = 0;
+                while next < N {
+                    if let Some(v) = q.dequeue() {
+                        let (idx, tag) = v.split_once(':').expect("format intact");
+                        let idx: u64 = idx.parse().expect("uncorrupted index");
+                        assert_eq!(idx, next, "single-producer FIFO");
+                        assert_eq!(
+                            tag.parse::<u64>().expect("uncorrupted tag"),
+                            idx.wrapping_mul(0x9E37_79B9)
+                        );
+                        next += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,99 @@
+//! Mechanical linearizability checking of the real queues (paper §2.2,
+//! §2.3.2 claim linearizability for the Turn queue; we check every queue).
+//!
+//! Many small adversarial windows beat one big history: the checker is
+//! exact, so each run is a proof for its window. Seeds make failures
+//! replayable.
+
+use turnq_repro::api::QueueFamily;
+use turnq_repro::harness::with_queue_family;
+use turnq_repro::harness::QueueKind;
+use turnq_repro::linearize::recorder::RecordConfig;
+use turnq_repro::linearize::{check_history, record_history, CheckResult};
+
+fn check_queue<F: QueueFamily>(name: &str, config: RecordConfig, seeds: std::ops::Range<u64>) {
+    for seed in seeds {
+        // Fresh queue per window so values never repeat and the initial
+        // state is empty (what the checker's model assumes).
+        let q = F::with_max_threads::<u64>(config.threads + 1);
+        let history = record_history(&q, config, seed);
+        let result = check_history(&history);
+        match result {
+            CheckResult::Linearizable(_) => {}
+            CheckResult::NotLinearizable => {
+                panic!("{name}: NOT linearizable (seed {seed}): {history:?}")
+            }
+            CheckResult::Inconclusive => {
+                // Extremely unlikely at these window sizes; treat as a
+                // test-configuration error, not a pass.
+                panic!("{name}: checker budget exhausted (seed {seed})")
+            }
+        }
+    }
+}
+
+fn check_kind(kind: QueueKind, config: RecordConfig, seeds: std::ops::Range<u64>) {
+    with_queue_family!(kind, F => check_queue::<F>(kind.name(), config, seeds));
+}
+
+#[test]
+fn balanced_windows_all_queues() {
+    let config = RecordConfig {
+        threads: 3,
+        ops_per_thread: 6,
+        enqueue_bias: 128,
+    };
+    for kind in QueueKind::all() {
+        check_kind(kind, config, 1..15);
+    }
+}
+
+#[test]
+fn dequeue_heavy_windows_exercise_giveup() {
+    // Mostly dequeues on a near-empty queue: drives the Turn queue's
+    // giveUp()/rollback path and KP's empty-completion path while
+    // enqueues race in.
+    let config = RecordConfig {
+        threads: 3,
+        ops_per_thread: 6,
+        enqueue_bias: 60,
+    };
+    for kind in [QueueKind::Turn, QueueKind::Kp, QueueKind::Ms] {
+        check_kind(kind, config, 100..130);
+    }
+}
+
+#[test]
+fn enqueue_heavy_windows() {
+    let config = RecordConfig {
+        threads: 3,
+        ops_per_thread: 6,
+        enqueue_bias: 220,
+    };
+    for kind in QueueKind::paper_set() {
+        check_kind(kind, config, 200..220);
+    }
+}
+
+#[test]
+fn four_thread_windows_turn() {
+    // Slightly wider windows for the primary contribution.
+    let config = RecordConfig {
+        threads: 4,
+        ops_per_thread: 5,
+        enqueue_bias: 128,
+    };
+    check_kind(QueueKind::Turn, config, 300..330);
+}
+
+#[test]
+fn two_thread_long_windows() {
+    let config = RecordConfig {
+        threads: 2,
+        ops_per_thread: 10,
+        enqueue_bias: 128,
+    };
+    for kind in QueueKind::paper_set() {
+        check_kind(kind, config, 400..420);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: every queue behaves exactly like `VecDeque` under
+//! arbitrary sequential operation programs, for arbitrary item types, and
+//! the Turn variants/lock uphold their contracts.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use turnq_repro::api::{ConcurrentQueue, QueueFamily};
+use turnq_repro::harness::with_queue_family;
+use turnq_repro::harness::QueueKind;
+use turnq_repro::{CRTurnMutex, TurnMpscQueue, TurnQueue, TurnSpmcQueue};
+
+/// A sequential program over a queue.
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue(u64),
+    Dequeue,
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Op::Enqueue),
+            Just(Op::Dequeue),
+        ],
+        0..max_len,
+    )
+}
+
+fn run_model<F: QueueFamily>(ops: &[Op]) {
+    let q = F::with_max_threads::<u64>(2);
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for op in ops {
+        match op {
+            Op::Enqueue(v) => {
+                q.enqueue(*v);
+                model.push_back(*v);
+            }
+            Op::Dequeue => {
+                assert_eq!(q.dequeue(), model.pop_front());
+            }
+        }
+    }
+    // Drain and compare the residue.
+    while let Some(expected) = model.pop_front() {
+        assert_eq!(q.dequeue(), Some(expected));
+    }
+    assert_eq!(q.dequeue(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn turn_matches_vecdeque(ops in ops_strategy(200)) {
+        with_queue_family!(QueueKind::Turn, F => run_model::<F>(&ops));
+    }
+
+    #[test]
+    fn kp_matches_vecdeque(ops in ops_strategy(120)) {
+        with_queue_family!(QueueKind::Kp, F => run_model::<F>(&ops));
+    }
+
+    #[test]
+    fn ms_matches_vecdeque(ops in ops_strategy(200)) {
+        with_queue_family!(QueueKind::Ms, F => run_model::<F>(&ops));
+    }
+
+    #[test]
+    fn faa_matches_vecdeque(ops in ops_strategy(200)) {
+        with_queue_family!(QueueKind::Faa, F => run_model::<F>(&ops));
+    }
+
+    #[test]
+    fn mutex_matches_vecdeque(ops in ops_strategy(200)) {
+        with_queue_family!(QueueKind::Mutex, F => run_model::<F>(&ops));
+    }
+
+    #[test]
+    fn mpsc_variant_matches_vecdeque(ops in ops_strategy(150)) {
+        let q: TurnMpscQueue<u64> = TurnMpscQueue::with_max_threads(2);
+        let mut consumer = q.consumer().unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match op {
+                Op::Enqueue(v) => {
+                    q.enqueue(*v);
+                    model.push_back(*v);
+                }
+                Op::Dequeue => {
+                    prop_assert_eq!(consumer.dequeue(), model.pop_front());
+                }
+            }
+        }
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(consumer.dequeue(), Some(expected));
+        }
+        prop_assert_eq!(consumer.dequeue(), None);
+    }
+
+    #[test]
+    fn spmc_variant_matches_vecdeque(ops in ops_strategy(150)) {
+        let q: TurnSpmcQueue<u64> = TurnSpmcQueue::with_max_threads(2);
+        let mut producer = q.producer().unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match op {
+                Op::Enqueue(v) => {
+                    producer.enqueue(*v);
+                    model.push_back(*v);
+                }
+                Op::Dequeue => {
+                    prop_assert_eq!(q.dequeue(), model.pop_front());
+                }
+            }
+        }
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(expected));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn items_with_heap_payloads_survive(strings in proptest::collection::vec(".*", 0..40)) {
+        // String items: double frees or leaks would trip the allocator or
+        // drop-check under churn.
+        let q: TurnQueue<String> = TurnQueue::with_max_threads(2);
+        for s in &strings {
+            q.enqueue(s.clone());
+        }
+        for s in &strings {
+            prop_assert_eq!(q.dequeue(), Some(s.clone()));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn crturn_mutex_excludes(sequence in proptest::collection::vec(0u8..4, 1..12)) {
+        // Interpreted as lock/unlock rounds across a few threads; the
+        // protected counter must equal the number of critical sections.
+        let m = std::sync::Arc::new(CRTurnMutex::with_max_threads(4));
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..sequence.len().min(4) {
+                let m = std::sync::Arc::clone(&m);
+                let counter = std::sync::Arc::clone(&counter);
+                let rounds = sequence.len();
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        let _g = m.lock();
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(
+            counter.load(std::sync::atomic::Ordering::SeqCst),
+            sequence.len().min(4) * sequence.len()
+        );
+    }
+}

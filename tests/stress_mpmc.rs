@@ -1,0 +1,118 @@
+//! Cross-crate stress tests in the style of the paper's §4 stress suite
+//! ("missing items that were enqueued but never dequeued" is the failure
+//! mode it caught in YMC): run every queue through the same generic MPMC
+//! workloads and verify exactly-once delivery and per-producer FIFO.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use turnq_repro::api::{ConcurrentQueue, QueueFamily};
+use turnq_repro::harness::QueueKind;
+use turnq_repro::harness::with_queue_family;
+
+/// Encode (producer, seq) so consumers can check per-producer order.
+fn encode(producer: usize, seq: u64) -> u64 {
+    ((producer as u64) << 40) | seq
+}
+
+fn decode(v: u64) -> (usize, u64) {
+    ((v >> 40) as usize, v & ((1 << 40) - 1))
+}
+
+fn stress_generic<F: QueueFamily>(producers: usize, consumers: usize, per_producer: u64) {
+    let q = Arc::new(F::with_max_threads::<u64>(producers + consumers));
+    let received = Arc::new(AtomicUsize::new(0));
+    let total = producers * per_producer as usize;
+
+    let collected: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    q.enqueue(encode(p, i));
+                }
+            });
+        }
+        let sinks: Vec<_> = (0..consumers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while received.load(Ordering::SeqCst) < total {
+                        if let Some(v) = q.dequeue() {
+                            received.fetch_add(1, Ordering::SeqCst);
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        sinks.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Per-consumer, per-producer sequences must be increasing (FIFO).
+    for lane in &collected {
+        let mut last = vec![-1i64; producers];
+        for &v in lane {
+            let (p, seq) = decode(v);
+            assert!(
+                (seq as i64) > last[p],
+                "per-producer FIFO violated: producer {p} seq {seq} after {}",
+                last[p]
+            );
+            last[p] = seq as i64;
+        }
+    }
+    // Union must be the exact multiset.
+    let mut all: Vec<u64> = collected.into_iter().flatten().collect();
+    assert_eq!(all.len(), total, "wrong delivery count");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), total, "duplicate deliveries detected");
+}
+
+fn stress_all(producers: usize, consumers: usize, per_producer: u64) {
+    for kind in QueueKind::all() {
+        with_queue_family!(kind, F => stress_generic::<F>(producers, consumers, per_producer));
+    }
+}
+
+#[test]
+fn balanced_3x3() {
+    stress_all(3, 3, 3_000);
+}
+
+#[test]
+fn producer_heavy_6x2() {
+    stress_all(6, 2, 1_500);
+}
+
+#[test]
+fn consumer_heavy_2x6() {
+    stress_all(2, 6, 4_000);
+}
+
+#[test]
+fn oversubscribed_8x8() {
+    // Way more threads than cores in the CI container: this is the regime
+    // the paper says wait-freedom is for.
+    stress_all(8, 8, 800);
+}
+
+#[test]
+fn single_producer_single_consumer() {
+    stress_all(1, 1, 20_000);
+}
+
+#[test]
+fn repeated_small_rounds_reuse_thread_slots() {
+    // Spawning fresh threads each round exercises registry slot recycling
+    // under every queue.
+    for round in 0..5 {
+        stress_all(2, 2, 500 + round * 100);
+    }
+}

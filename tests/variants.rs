@@ -1,0 +1,232 @@
+//! Integration tests for the pluggable variants (§5): composing the Turn
+//! MPSC and SPMC halves into pipelines, and cross-checking them against
+//! the Vyukov MPSC and the bounded SPSC ring on the same workloads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use turnq_repro::baselines::{Full, SpscRing, VyukovMpscQueue};
+use turnq_repro::{TurnMpscQueue, TurnSpmcQueue};
+
+/// Fan-in then fan-out: producers → (Turn MPSC) → router thread →
+/// (Turn SPMC) → consumers. Exercises both variants simultaneously with
+/// ownership of the single-sided endpoints living on the router.
+#[test]
+fn mpsc_to_spmc_pipeline() {
+    const PRODUCERS: usize = 3;
+    const CONSUMERS: usize = 3;
+    const PER: u64 = 4_000;
+    const TOTAL: u64 = PRODUCERS as u64 * PER;
+
+    let fan_in: Arc<TurnMpscQueue<u64>> =
+        Arc::new(TurnMpscQueue::with_max_threads(PRODUCERS + 1));
+    let fan_out: Arc<TurnSpmcQueue<u64>> =
+        Arc::new(TurnSpmcQueue::with_max_threads(CONSUMERS + 1));
+    let routed = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let fan_in = Arc::clone(&fan_in);
+            s.spawn(move || {
+                for i in 0..PER {
+                    fan_in.enqueue((p as u64) << 40 | i);
+                }
+            });
+        }
+        {
+            // Router: the exclusive consumer of fan_in and the exclusive
+            // producer of fan_out.
+            let fan_in = Arc::clone(&fan_in);
+            let fan_out = Arc::clone(&fan_out);
+            let routed = Arc::clone(&routed);
+            s.spawn(move || {
+                let mut rx = fan_in.consumer().expect("router owns fan-in");
+                let mut tx = fan_out.producer().expect("router owns fan-out");
+                let mut moved = 0;
+                while moved < TOTAL {
+                    if let Some(v) = rx.dequeue() {
+                        tx.enqueue(v);
+                        moved += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                routed.store(true, Ordering::Release);
+            });
+        }
+        let sinks: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let fan_out = Arc::clone(&fan_out);
+                let routed = Arc::clone(&routed);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match fan_out.dequeue() {
+                            Some(v) => got.push(v),
+                            None if routed.load(Ordering::Acquire) => break,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = sinks
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), TOTAL as usize, "pipeline lost or duplicated items");
+    });
+}
+
+/// The same MPSC workload through Turn and Vyukov must deliver identical
+/// multisets with identical per-producer orderings.
+#[test]
+fn turn_and_vyukov_mpsc_agree() {
+    const PRODUCERS: usize = 3;
+    const PER: u64 = 3_000;
+
+    fn run_turn(producers: usize, per: u64) -> Vec<u64> {
+        let q: Arc<TurnMpscQueue<u64>> =
+            Arc::new(TurnMpscQueue::with_max_threads(producers + 1));
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue((p as u64) << 40 | i);
+                    }
+                });
+            }
+            let mut c = q.consumer().unwrap();
+            let mut got = Vec::new();
+            while got.len() < producers * per as usize {
+                match c.dequeue() {
+                    Some(v) => got.push(v),
+                    None => std::thread::yield_now(),
+                }
+            }
+            got
+        })
+    }
+
+    fn run_vyukov(producers: usize, per: u64) -> Vec<u64> {
+        let q: Arc<VyukovMpscQueue<u64>> = Arc::new(VyukovMpscQueue::new());
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue((p as u64) << 40 | i);
+                    }
+                });
+            }
+            let mut c = q.consumer().unwrap();
+            let mut got = Vec::new();
+            while got.len() < producers * per as usize {
+                match c.dequeue() {
+                    Some(v) => got.push(v),
+                    None => std::thread::yield_now(),
+                }
+            }
+            got
+        })
+    }
+
+    for got in [run_turn(PRODUCERS, PER), run_vyukov(PRODUCERS, PER)] {
+        // Exact multiset.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), PRODUCERS * PER as usize);
+        // Per-producer FIFO.
+        let mut last = [-1i64; PRODUCERS];
+        for v in got {
+            let (p, i) = ((v >> 40) as usize, (v & 0xff_ffff_ffff) as i64);
+            assert!(i > last[p]);
+            last[p] = i;
+        }
+    }
+}
+
+/// Backpressure loop: bounded SPSC ring feeding a Turn SPMC stage. The
+/// bounded stage applies backpressure (Full errors); nothing may be lost.
+#[test]
+fn bounded_front_unbounded_back() {
+    const TOTAL: u64 = 20_000;
+    const CONSUMERS: usize = 2;
+    let ring: Arc<SpscRing<u64>> = Arc::new(SpscRing::with_capacity(32));
+    let stage2: Arc<TurnSpmcQueue<u64>> =
+        Arc::new(TurnSpmcQueue::with_max_threads(CONSUMERS + 1));
+    let pumped = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                let mut tx = ring.producer().unwrap();
+                let mut backpressure_hits = 0u64;
+                for i in 0..TOTAL {
+                    let mut item = i;
+                    loop {
+                        match tx.try_enqueue(item) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                item = back;
+                                backpressure_hits += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                // A 32-slot ring in front of 20k items must push back.
+                assert!(backpressure_hits > 0, "backpressure never engaged");
+            });
+        }
+        {
+            let ring = Arc::clone(&ring);
+            let stage2 = Arc::clone(&stage2);
+            let pumped = Arc::clone(&pumped);
+            s.spawn(move || {
+                let mut rx = ring.consumer().unwrap();
+                let mut tx = stage2.producer().unwrap();
+                let mut moved = 0;
+                while moved < TOTAL {
+                    match rx.dequeue() {
+                        Some(v) => {
+                            tx.enqueue(v);
+                            moved += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                pumped.store(true, Ordering::Release);
+            });
+        }
+        let sinks: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let stage2 = Arc::clone(&stage2);
+                let pumped = Arc::clone(&pumped);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match stage2.dequeue() {
+                            Some(v) => got.push(v),
+                            None if pumped.load(Ordering::Acquire) => break,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = sinks
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..TOTAL).collect::<Vec<_>>());
+    });
+}
