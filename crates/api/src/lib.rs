@@ -98,6 +98,45 @@ pub struct SizeReport {
     /// Minimum heap allocations (`Box::new` calls) per item transferred
     /// through the queue (enqueue + dequeue of one item).
     pub min_heap_allocs_per_item: usize,
+    /// Heap allocations per item in steady state, once warm-up traffic has
+    /// primed any internal caches. Equals `min_heap_allocs_per_item` for
+    /// queues without recycling; 0 for the Turn queue's node pool, whose
+    /// hazard-pointer sink feeds reclaimed nodes back to the enqueue path
+    /// instead of the allocator.
+    pub steady_state_allocs_per_item: usize,
+}
+
+/// Counters exposed by a queue's internal node-recycling pool, aggregated
+/// over all per-thread caches. All counts are monotonic except
+/// [`pooled_now`](PoolStats::pooled_now).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocation requests served from a per-thread free list (no
+    /// allocator call).
+    pub hits: u64,
+    /// Allocation requests that fell through to the allocator because the
+    /// caller's free list was empty.
+    pub misses: u64,
+    /// Reclaimed nodes accepted into a free list for reuse.
+    pub recycled: u64,
+    /// Reclaimed nodes freed to the allocator because the free list was at
+    /// capacity.
+    pub overflows: u64,
+    /// Nodes currently sitting in free lists (racy snapshot).
+    pub pooled_now: u64,
+}
+
+impl PoolStats {
+    /// Fraction of allocation requests served without the allocator, in
+    /// `[0, 1]`; 1.0 when no requests have been made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Optional introspection implemented by the queues in this workspace so the
@@ -108,6 +147,10 @@ pub trait QueueIntrospect {
     fn props() -> QueueProps;
     /// Table 4 row, computed from the actual Rust type layouts.
     fn size_report() -> SizeReport;
+    /// Live counters of the queue's node-recycling pool, if it has one.
+    fn pool_stats(&self) -> Option<PoolStats> {
+        None
+    }
 }
 
 /// A family of queues: a constructor usable generically by the harness.
@@ -116,8 +159,10 @@ pub trait QueueIntrospect {
 /// so that the harness can be monomorphized per queue while still selecting
 /// the queue by name at run time.
 pub trait QueueFamily: 'static {
-    /// The concrete queue type for an item type `T`.
-    type Queue<T: Send + 'static>: ConcurrentQueue<T> + 'static;
+    /// The concrete queue type for an item type `T`. Introspection is part
+    /// of the bound so generic harness code can read Table 1/4 data and
+    /// live pool counters without per-queue downcasts.
+    type Queue<T: Send + 'static>: ConcurrentQueue<T> + QueueIntrospect + 'static;
 
     /// Display name used in reports and CLI selection.
     const NAME: &'static str;
@@ -137,6 +182,17 @@ mod tests {
         assert!(Progress::LockFree < Progress::WaitFreeUnbounded);
         assert!(Progress::WaitFreeUnbounded < Progress::WaitFreeBounded);
         assert!(Progress::WaitFreeBounded < Progress::WaitFreePopulationOblivious);
+    }
+
+    #[test]
+    fn pool_hit_rate_handles_empty_and_mixed_counts() {
+        assert_eq!(PoolStats::default().hit_rate(), 1.0);
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            ..PoolStats::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
     }
 
     #[test]

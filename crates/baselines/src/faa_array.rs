@@ -285,6 +285,7 @@ impl<T> QueueIntrospect for FaaArrayQueue<T> {
             fixed_per_thread_bytes: 0,
             // One box per item; the node is amortized over BUFFER_SIZE.
             min_heap_allocs_per_item: 1,
+            steady_state_allocs_per_item: 1, // no recycling layer
         }
     }
 }

@@ -215,6 +215,7 @@ impl<T> QueueIntrospect for MSQueue<T> {
             dequeue_request_bytes: 0,
             fixed_per_thread_bytes: 0, // "no thread-local variables" (§4.1)
             min_heap_allocs_per_item: 1,
+            steady_state_allocs_per_item: 1, // no recycling layer
         }
     }
 }

@@ -83,6 +83,7 @@ impl<T> QueueIntrospect for MutexQueue<T> {
             fixed_per_thread_bytes: 0,
             // Amortized zero: VecDeque reallocates geometrically.
             min_heap_allocs_per_item: 0,
+            steady_state_allocs_per_item: 0,
         }
     }
 }

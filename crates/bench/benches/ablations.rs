@@ -87,9 +87,68 @@ fn bench_backoff(c: &mut Criterion) {
     group.finish();
 }
 
+/// The node-recycling pool ablation: pool-on vs pool-off (capacity 0 —
+/// every reclaim frees, every enqueue allocates) on otherwise identical
+/// queues, across thread counts. Each thread runs enqueue+dequeue pairs,
+/// the regime where recycling closes the allocate/free loop entirely
+/// (steady-state hit rate ≈ 100%, see `steady_state_allocs.rs`).
+fn bench_node_pool(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    fn run_pairs(threads: usize, pool_on: bool, iters: u64) -> std::time::Duration {
+        let q: Arc<TurnQueue<u64>> = Arc::new(if pool_on {
+            // Default capacity: retired_bound-sized free lists.
+            TurnQueue::with_full_config(threads, 0, 0)
+        } else {
+            TurnQueue::with_pool_config(threads, 0, 0, 0)
+        });
+        let barrier = Arc::new(Barrier::new(threads));
+        let total_ns = Arc::new(AtomicU64::new(0));
+        let per_thread = (iters as usize / threads).max(1) as u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                let total_ns = Arc::clone(&total_ns);
+                s.spawn(move || {
+                    barrier.wait();
+                    let t0 = std::time::Instant::now();
+                    for i in 0..per_thread {
+                        q.enqueue(black_box(i));
+                        black_box(q.dequeue());
+                    }
+                    total_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        std::time::Duration::from_nanos(total_ns.load(Ordering::Relaxed) / threads as u64)
+    }
+
+    let mut group = c.benchmark_group("ablation_node_pool");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        for pool_on in [true, false] {
+            let label = format!(
+                "{threads}t/pool_{}",
+                if pool_on { "on" } else { "off" }
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&label),
+                &(threads, pool_on),
+                |b, &(threads, pool_on)| {
+                    b.iter_custom(|iters| run_pairs(threads, pool_on, iters))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_hp_scan_threshold, bench_max_threads_sizing, bench_backoff
+    targets = bench_hp_scan_threshold, bench_max_threads_sizing, bench_backoff,
+        bench_node_pool
 );
 criterion_main!(benches);

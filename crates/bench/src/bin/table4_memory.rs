@@ -8,7 +8,7 @@
 //! balance after dropping the queue doubles as a leak check (the test the
 //! FK queue fails per §4).
 
-use turnq_harness::memusage::{alloc_snapshot, measure_allocs_per_item};
+use turnq_harness::memusage::{alloc_snapshot, measure_memory};
 use turnq_harness::{Args, QueueKind, Table};
 
 #[global_allocator]
@@ -27,20 +27,37 @@ fn main() {
         "sizeof(DeqReq)",
         "fixed/thread",
         "allocs/item (measured)",
+        "steady allocs/item",
+        "pool hit rate",
         "leak after drop",
     ]);
     for &kind in &kinds {
         let r = kind.size_report();
         eprintln!("measuring allocations for {} ({items} items) ...", kind.name());
-        let (per_item, leaked) = measure_allocs_per_item(kind, items);
+        let m = measure_memory(kind, items);
         table.add_row(vec![
             kind.name().to_string(),
             r.node_bytes.to_string(),
             r.enqueue_request_bytes.to_string(),
             r.dequeue_request_bytes.to_string(),
             r.fixed_per_thread_bytes.to_string(),
-            format!("{per_item:.2} (min {})", r.min_heap_allocs_per_item),
-            leaked.to_string(),
+            format!(
+                "{:.2} (min {})",
+                m.allocs_per_item, r.min_heap_allocs_per_item
+            ),
+            format!(
+                "{:.4} (claim {})",
+                m.steady_allocs_per_item, r.steady_state_allocs_per_item
+            ),
+            match m.pool {
+                Some(p) => format!(
+                    "{:.1}% ({} recycled)",
+                    p.hit_rate() * 100.0,
+                    p.recycled
+                ),
+                None => "-".to_string(),
+            },
+            m.leaked_allocs.to_string(),
         ]);
     }
     println!("{table}");

@@ -60,9 +60,13 @@
 
 mod crturn_mutex;
 mod node;
+mod pool;
 mod queue;
 mod variants;
 
 pub use crturn_mutex::{CRTurnGuard, CRTurnMutex};
 pub use queue::{TurnFamily, TurnHandle, TurnQueue, DEFAULT_MAX_THREADS};
+// Re-exported so `TurnQueue::pool_stats` is usable without a separate
+// turnq-api dependency.
+pub use turnq_api::PoolStats;
 pub use variants::{MpscConsumer, SpmcProducer, TurnMpscQueue, TurnSpmcQueue};

@@ -43,6 +43,31 @@ impl<T> Node<T> {
         }))
     }
 
+    /// Re-initialize a recycled node in place to the exact state
+    /// [`Node::alloc`] would produce, so a pool hit is indistinguishable
+    /// from a fresh allocation to the queue protocol.
+    ///
+    /// Plain (non-atomic) stores via `get_mut` are correct here: the node
+    /// came out of the caller's *own* free list, so no other thread can
+    /// reach it until the caller publishes it with a SeqCst CAS on `tail`
+    /// (or `next`), which orders these writes before any reader.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` is valid, came from `Box::into_raw`, and is exclusively
+    ///   owned by the caller (unlinked and reclaimed — no thread holds a
+    ///   validated hazard pointer to it);
+    /// * any previous item payload has already been dropped or taken.
+    #[inline]
+    pub(crate) unsafe fn reset(ptr: *mut Node<T>, item: Option<T>, enq_tid: u32) {
+        // SAFETY: exclusive ownership per the contract above.
+        let node = unsafe { &mut *ptr };
+        *node.item.get_mut() = item;
+        node.enq_tid = enq_tid;
+        *node.deq_tid.get_mut() = IDX_NONE;
+        *node.next.get_mut() = std::ptr::null_mut();
+    }
+
     /// The paper's `casDeqTid`: assign the node to a dequeue request.
     /// Returns whether this call performed the assignment.
     #[inline]
@@ -105,6 +130,25 @@ mod tests {
         assert!(node.next.load(Ordering::SeqCst).is_null());
         assert_eq!(unsafe { node.take_item() }, Some(String::from("x")));
         assert_eq!(unsafe { node.take_item() }, None);
+        unsafe { drop(Box::from_raw(p)) };
+    }
+
+    #[test]
+    fn reset_restores_freshly_allocated_state() {
+        let p = Node::alloc(Some(String::from("first")), 1);
+        // Dirty every mutable field the way a completed dequeue would.
+        {
+            let node = unsafe { &*p };
+            assert!(node.cas_deq_tid(IDX_NONE, 5));
+            node.next.store(p, Ordering::SeqCst);
+            assert_eq!(unsafe { node.take_item() }, Some(String::from("first")));
+        }
+        unsafe { Node::reset(p, Some(String::from("second")), 9) };
+        let node = unsafe { &*p };
+        assert_eq!(node.enq_tid, 9);
+        assert_eq!(node.deq_tid.load(Ordering::SeqCst), IDX_NONE);
+        assert!(node.next.load(Ordering::SeqCst).is_null());
+        assert_eq!(unsafe { node.take_item() }, Some(String::from("second")));
         unsafe { drop(Box::from_raw(p)) };
     }
 }

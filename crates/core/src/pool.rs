@@ -1,0 +1,304 @@
+//! Wait-free node recycling: per-thread caches fed by hazard-pointer
+//! reclamation.
+//!
+//! The Turn queue pays exactly one heap allocation per item (Table 4) — the
+//! node — and one matching free when the hazard-pointer scan reclaims it.
+//! Under steady traffic that allocate/free pair is pure overhead: the node
+//! freed by a dequeue's scan is bit-compatible with the node the next
+//! enqueue is about to allocate. This module closes the loop. A
+//! [`PoolSink`] installed as the queue's [`ReclaimSink`] diverts reclaimed
+//! nodes into a [`NodePool`] of per-thread free lists, and the enqueue path
+//! pops from the caller's list before falling back to the allocator.
+//!
+//! ## Why wait-freedom is untouched
+//!
+//! Each free list is owned by exactly one registered thread index and is
+//! only ever touched by the thread holding that index (the same exclusivity
+//! contract the hazard-pointer retired lists already rely on): `acquire`
+//! runs inside the owner's enqueue, and `release` runs inside the owner's
+//! retire-scan, on the same thread. Owner-only access means pops and pushes
+//! are plain loads and stores — no CAS, no RMW, no retry loop — so both are
+//! O(1) population-oblivious and the queue's `O(max_threads)` bounds are
+//! preserved. (The counters are atomics only so other threads may *read*
+//! them; the owner updates them with load+store, never fetch-and-add,
+//! keeping the crate's CAS-only claim intact.)
+//!
+//! ## Why the capacity is `retired_bound`
+//!
+//! A scan delivers at most the thread's whole retired backlog in one burst,
+//! and that backlog is bounded by
+//! [`retired_bound(max_threads, k)`](turnq_hazard::retired_bound) (plus the
+//! scan threshold `R` when nonzero). Sizing each free list to exactly that
+//! bound means a list can absorb the worst-case reclamation burst without
+//! overflowing, while keeping pooled memory bounded by
+//! `max_threads × retired_bound` nodes per queue — the same asymptotic
+//! class as the hazard-pointer backlog itself. Anything beyond capacity
+//! overflows to the allocator, so a capacity of 0 reproduces the classic
+//! free-to-allocator behavior exactly.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use turnq_api::PoolStats;
+use turnq_hazard::ReclaimSink;
+
+use crate::node::Node;
+
+/// One thread's free list plus its counters.
+///
+/// `free` is owner-only (see module docs); the atomics mirror state for
+/// cross-thread readers and are written with plain load+store by the owner.
+struct PoolSlot<T> {
+    free: UnsafeCell<Vec<*mut Node<T>>>,
+    len: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    overflows: AtomicU64,
+}
+
+impl<T> PoolSlot<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        PoolSlot {
+            // Pre-size so a release never allocates inside the scan.
+            free: UnsafeCell::new(Vec::with_capacity(capacity)),
+            len: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Owner-only counter bump: a load+store, deliberately not a fetch-and-add
+/// RMW, so the crate-wide CAS-only claim (`core_uses_cas_only`) holds.
+/// Exact because only the slot's owning thread writes its counters.
+#[inline]
+fn bump(counter: &AtomicU64) {
+    counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+}
+
+/// Per-thread caches of recycled queue nodes.
+///
+/// Crate-private: the pool's `Send`/`Sync` are asserted unconditionally
+/// (see below) and are only sound because every access path is gated behind
+/// `TurnQueue`'s own `T: Send` bounds.
+pub(crate) struct NodePool<T> {
+    slots: Box<[CachePadded<PoolSlot<T>>]>,
+    capacity: usize,
+}
+
+// SAFETY: slot `i` is only accessed by the thread registered at index `i`
+// (module-doc contract), except under exclusive access (`Drop`). The raw
+// node pointers may own `T` payloads, but the pool is only reachable
+// through `TurnQueue`/its variants, whose `Send`/`Sync` impls require
+// `T: Send`.
+unsafe impl<T> Send for NodePool<T> {}
+unsafe impl<T> Sync for NodePool<T> {}
+
+impl<T> NodePool<T> {
+    /// A pool with one free list per thread index, each holding at most
+    /// `capacity` nodes. `capacity == 0` disables recycling entirely.
+    pub(crate) fn new(max_threads: usize, capacity: usize) -> Self {
+        NodePool {
+            slots: (0..max_threads)
+                .map(|_| CachePadded::new(PoolSlot::with_capacity(capacity)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    /// Per-thread free-list capacity this pool was built with.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pop a recycled node from the caller's free list, if any. O(1),
+    /// plain loads/stores only.
+    ///
+    /// # Safety
+    ///
+    /// `tid` is the caller's registered index and no other thread uses it
+    /// concurrently.
+    #[inline]
+    pub(crate) unsafe fn acquire(&self, tid: usize) -> Option<*mut Node<T>> {
+        let slot = &self.slots[tid];
+        // SAFETY: `tid` exclusivity (caller contract) makes this the only
+        // access to the list.
+        let free = unsafe { &mut *slot.free.get() };
+        match free.pop() {
+            Some(ptr) => {
+                slot.len.store(free.len() as u64, Ordering::Relaxed);
+                bump(&slot.hits);
+                Some(ptr)
+            }
+            None => {
+                bump(&slot.misses);
+                None
+            }
+        }
+    }
+
+    /// Take ownership of a reclaimed node: cache it in the `tid`'s free
+    /// list, or free it to the allocator if the list is full. O(1) aside
+    /// from dropping any stale item payload.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from `Box::into_raw` and the caller transfers sole
+    ///   ownership (it is unreachable — the hazard-pointer scan contract);
+    /// * `tid` is the caller's registered index (or access is exclusive,
+    ///   as during drop).
+    pub(crate) unsafe fn release(&self, tid: usize, ptr: *mut Node<T>) {
+        // Drop any leftover payload now, not when the node is reused:
+        // pooled nodes must not prolong `T` lifetimes. (On the queue's
+        // paths the item was already taken by the assigned dequeuer.)
+        // SAFETY: sole ownership per the contract above.
+        unsafe { *(*ptr).item.get() = None };
+        let slot = &self.slots[tid];
+        // SAFETY: `tid` exclusivity (caller contract).
+        let free = unsafe { &mut *slot.free.get() };
+        if free.len() < self.capacity {
+            free.push(ptr);
+            slot.len.store(free.len() as u64, Ordering::Relaxed);
+            bump(&slot.recycled);
+        } else {
+            bump(&slot.overflows);
+            // SAFETY: sole ownership; allocated by `Box::into_raw`.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+
+    /// Aggregate counters over all per-thread slots. Safe to call from any
+    /// thread; the snapshot is racy but each counter is individually exact.
+    pub(crate) fn stats(&self) -> PoolStats {
+        let mut s = PoolStats::default();
+        for slot in self.slots.iter() {
+            s.hits += slot.hits.load(Ordering::Relaxed);
+            s.misses += slot.misses.load(Ordering::Relaxed);
+            s.recycled += slot.recycled.load(Ordering::Relaxed);
+            s.overflows += slot.overflows.load(Ordering::Relaxed);
+            s.pooled_now += slot.len.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+impl<T> Drop for NodePool<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free every cached node. `release` already
+        // cleared item payloads, so these are plain node frees.
+        for slot in self.slots.iter() {
+            let free = unsafe { &mut *slot.free.get() };
+            for &ptr in free.iter() {
+                // SAFETY: the pool owns its cached nodes exclusively.
+                unsafe { drop(Box::from_raw(ptr)) };
+            }
+            free.clear();
+        }
+    }
+}
+
+/// The queue's [`ReclaimSink`]: routes nodes the hazard-pointer scan has
+/// proven unreachable into the retiring thread's free list.
+pub(crate) struct PoolSink<T> {
+    pool: Arc<NodePool<T>>,
+}
+
+impl<T> PoolSink<T> {
+    pub(crate) fn new(pool: Arc<NodePool<T>>) -> Self {
+        PoolSink { pool }
+    }
+}
+
+impl<T> ReclaimSink<Node<T>> for PoolSink<T> {
+    unsafe fn reclaim(&self, tid: usize, ptr: *mut Node<T>) {
+        // SAFETY: the sink contract is exactly the release contract — sole
+        // ownership of an unreachable `Box::into_raw` pointer, called with
+        // the scanning thread's index (or exclusively during drop).
+        unsafe { self.pool.release(tid, ptr) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_on_empty_pool_misses() {
+        let pool: NodePool<u64> = NodePool::new(2, 4);
+        assert_eq!(unsafe { pool.acquire(0) }, None);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(s.pooled_now, 0);
+    }
+
+    #[test]
+    fn release_then_acquire_round_trips_the_same_node() {
+        let pool: NodePool<u64> = NodePool::new(1, 4);
+        let p = Node::alloc(Some(7u64), 0);
+        unsafe { pool.release(0, p) };
+        assert_eq!(pool.stats().pooled_now, 1);
+        assert_eq!(unsafe { pool.acquire(0) }, Some(p));
+        assert_eq!(pool.stats().pooled_now, 0);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.recycled, s.overflows), (1, 0, 1, 0));
+        unsafe { drop(Box::from_raw(p)) };
+    }
+
+    #[test]
+    fn release_beyond_capacity_overflows_to_allocator() {
+        let pool: NodePool<u64> = NodePool::new(1, 2);
+        for _ in 0..5 {
+            unsafe { pool.release(0, Node::alloc(None, 0)) };
+        }
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.overflows, s.pooled_now), (2, 3, 2));
+        // The two cached nodes are freed by NodePool::drop.
+    }
+
+    #[test]
+    fn capacity_zero_never_caches() {
+        let pool: NodePool<u64> = NodePool::new(1, 0);
+        unsafe { pool.release(0, Node::alloc(None, 0)) };
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.overflows, s.pooled_now), (0, 1, 0));
+        assert_eq!(unsafe { pool.acquire(0) }, None);
+    }
+
+    #[test]
+    fn release_drops_stale_payload_immediately() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc as StdArc;
+
+        struct D(StdArc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = StdArc::new(AtomicUsize::new(0));
+        let pool: NodePool<D> = NodePool::new(1, 4);
+        let p = Node::alloc(Some(D(StdArc::clone(&drops))), 0);
+        unsafe { pool.release(0, p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "payload dropped on release");
+        drop(pool);
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "node freed without double drop");
+    }
+
+    #[test]
+    fn slots_are_independent_per_thread() {
+        let pool: NodePool<u64> = NodePool::new(2, 4);
+        let p = Node::alloc(None, 0);
+        unsafe { pool.release(0, p) };
+        // Thread 1's list is unaffected by thread 0's release.
+        assert_eq!(unsafe { pool.acquire(1) }, None);
+        assert_eq!(unsafe { pool.acquire(0) }, Some(p));
+        unsafe { drop(Box::from_raw(p)) };
+    }
+}

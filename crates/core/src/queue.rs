@@ -9,13 +9,17 @@
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+use turnq_api::{
+    ConcurrentQueue, PoolStats, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport,
+};
 use turnq_hazard::HazardPointers;
 use turnq_threadreg::{RegistryFull, ThreadRegistry};
 
 use crate::node::{Node, IDX_NONE};
+use crate::pool::{NodePool, PoolSink};
 
 /// Hazard slot for `tail` during enqueue and `head` during dequeue (the
 /// paper's `kHpTail`/`kHpHead` — one operation runs at a time per thread,
@@ -69,7 +73,12 @@ pub struct TurnQueue<T> {
     /// `deqhelp[i]` — the node assigned to thread `i`'s most recent
     /// dequeue; writing a new node here *closes* the request.
     pub(crate) deqhelp: Box<[CachePadded<AtomicPtr<Node<T>>>]>,
-    pub(crate) hp: HazardPointers<Node<T>>,
+    pub(crate) hp: HazardPointers<Node<T>, PoolSink<T>>,
+    /// Per-thread caches of recycled nodes. The hazard-pointer sink above
+    /// feeds reclaimed nodes in; [`alloc_node`](Self::alloc_node) pops them
+    /// back out on enqueue. Capacity 0 disables recycling (every reclaim
+    /// frees, every enqueue allocates — the pre-pool behavior).
+    pub(crate) pool: Arc<NodePool<T>>,
     pub(crate) registry: ThreadRegistry,
     /// Optional bounded spin after publishing a request, before joining the
     /// helping loop (§4.1's backoff observation: "a valid (and perhaps
@@ -114,10 +123,41 @@ impl<T> TurnQueue<T> {
     /// completes it — trading a little uncontended latency for less
     /// contention on the shared head/tail under load (measured by the
     /// `ablations` bench).
+    ///
+    /// The node pool defaults to its recommended capacity (see
+    /// [`with_pool_config`](Self::with_pool_config)) when the `node-pool`
+    /// feature is on (the default), and to 0 (disabled) when it is off.
     pub fn with_full_config(
         max_threads: usize,
         hp_scan_threshold: usize,
         backoff_spins: u32,
+    ) -> Self {
+        let pool_capacity = if cfg!(feature = "node-pool") {
+            // One free list can then absorb the worst-case reclamation
+            // burst a single scan may deliver (see `pool` module docs).
+            turnq_hazard::retired_bound_with_threshold(
+                max_threads,
+                HPS_PER_THREAD,
+                hp_scan_threshold,
+            )
+        } else {
+            0
+        };
+        Self::with_pool_config(max_threads, hp_scan_threshold, backoff_spins, pool_capacity)
+    }
+
+    /// [`with_full_config`](Self::with_full_config) plus an explicit
+    /// per-thread node-pool capacity (0 disables recycling). Used by the
+    /// `ablation_node_pool` bench to compare pool-on/pool-off on otherwise
+    /// identical queues; sizes above
+    /// [`retired_bound_with_threshold`](turnq_hazard::retired_bound_with_threshold)
+    /// buy nothing, since a free list can never receive more nodes than the
+    /// reclamation backlog bound.
+    pub fn with_pool_config(
+        max_threads: usize,
+        hp_scan_threshold: usize,
+        backoff_spins: u32,
+        pool_capacity: usize,
     ) -> Self {
         assert!(max_threads >= 1, "max_threads must be at least 1");
         assert!(
@@ -142,6 +182,7 @@ impl<T> TurnQueue<T> {
             deqself[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
             deqhelp[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
         }
+        let pool = Arc::new(NodePool::new(max_threads, pool_capacity));
         TurnQueue {
             max_threads,
             head: CachePadded::new(AtomicPtr::new(sentinel)),
@@ -149,14 +190,45 @@ impl<T> TurnQueue<T> {
             enqueuers: mk_slots(),
             deqself,
             deqhelp,
-            hp: HazardPointers::with_scan_threshold(
+            hp: HazardPointers::with_sink(
                 max_threads,
                 HPS_PER_THREAD,
                 hp_scan_threshold,
+                PoolSink::new(Arc::clone(&pool)),
             ),
+            pool,
             registry: ThreadRegistry::new(max_threads),
             backoff_spins,
         }
+    }
+
+    /// Pop a recycled node from the caller's free list, or allocate a fresh
+    /// one. Either way the returned node is in the exact state
+    /// [`Node::alloc`] produces.
+    #[inline]
+    pub(crate) fn alloc_node(&self, myidx: usize, item: Option<T>) -> *mut Node<T> {
+        // SAFETY: `myidx` is the caller's registered index (the same
+        // exclusivity contract as `hp.retire`).
+        match unsafe { self.pool.acquire(myidx) } {
+            Some(recycled) => {
+                // SAFETY: the node came off our own free list, so we own it
+                // exclusively and its previous payload was cleared on
+                // release.
+                unsafe { Node::reset(recycled, item, myidx as u32) };
+                recycled
+            }
+            None => Node::alloc(item, myidx as u32),
+        }
+    }
+
+    /// Aggregated counters of the node-recycling pool (all threads).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Per-thread node-pool capacity (0 = recycling disabled).
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
     }
 
     /// The `max_threads` bound this queue was built with.
@@ -174,6 +246,7 @@ impl<T> TurnQueue<T> {
     /// A handle that caches the calling thread's registry index, removing
     /// the TLS lookup from the hot path. The handle cannot be sent to
     /// another thread.
+    #[inline]
     pub fn handle(&self) -> Result<TurnHandle<'_, T>, RegistryFull> {
         let tid = self.registry.try_current_index()?;
         Ok(TurnHandle {
@@ -185,6 +258,7 @@ impl<T> TurnQueue<T> {
 
     /// Insert `item` at the tail of the queue. Wait-free bounded:
     /// completes within `max_threads` loop iterations (paper Inv. 5).
+    #[inline]
     pub fn enqueue(&self, item: T) {
         let tid = self.registry.current_index();
         self.enqueue_with(tid, item);
@@ -192,6 +266,7 @@ impl<T> TurnQueue<T> {
 
     /// Remove and return the head item, or `None` if the queue is empty.
     /// Wait-free bounded.
+    #[inline]
     pub fn dequeue(&self) -> Option<T> {
         let tid = self.registry.current_index();
         self.dequeue_with(tid)
@@ -200,12 +275,16 @@ impl<T> TurnQueue<T> {
     /// Paper Algorithm 2. `myidx` is the caller's registered index.
     pub(crate) fn enqueue_with(&self, myidx: usize, item: T) {
         debug_assert!(myidx < self.max_threads);
-        let my_node = Node::alloc(Some(item), myidx as u32); // line 3
-        self.enqueuers[myidx].store(my_node, Ordering::SeqCst); // line 4: publish request
+        let my_node = self.alloc_node(myidx, Some(item)); // line 3
+        // Our own request slot, hoisted: the publish, the backoff spin, and
+        // every helping-loop iteration re-check it, and the bounds check +
+        // CachePadded indirection need not repeat.
+        let my_slot = &self.enqueuers[myidx];
+        my_slot.store(my_node, Ordering::SeqCst); // line 4: publish request
         // Optional deliberate backoff (§4.1): our request is published, so
         // helpers can finish it while we spin instead of contending.
         for _ in 0..self.backoff_spins {
-            if self.enqueuers[myidx].load(Ordering::SeqCst).is_null() {
+            if my_slot.load(Ordering::SeqCst).is_null() {
                 return; // a helper inserted our node
             }
             std::hint::spin_loop();
@@ -213,7 +292,7 @@ impl<T> TurnQueue<T> {
         for _ in 0..self.max_threads {
             // line 5
             // line 6: a helper inserted our node and cleared our slot.
-            if self.enqueuers[myidx].load(Ordering::SeqCst).is_null() {
+            if my_slot.load(Ordering::SeqCst).is_null() {
                 self.hp.clear(myidx); // line 7
                 return;
             }
@@ -270,20 +349,24 @@ impl<T> TurnQueue<T> {
         // line 26: after max_threads iterations Inv. 5 guarantees our node
         // is in the list, so closing our own slot cannot lose it. `Release`
         // as in the paper.
-        self.enqueuers[myidx].store(ptr::null_mut(), Ordering::Release);
+        my_slot.store(ptr::null_mut(), Ordering::Release);
     }
 
     /// Paper Algorithm 3.
     pub(crate) fn dequeue_with(&self, myidx: usize) -> Option<T> {
         debug_assert!(myidx < self.max_threads);
-        let pr_req = self.deqself[myidx].load(Ordering::SeqCst); // line 3
-        let my_req = self.deqhelp[myidx].load(Ordering::SeqCst); // line 4
+        // Our own request slots, hoisted out of the backoff spin and the
+        // helping loop (same reasoning as in `enqueue_with`).
+        let my_deqself = &self.deqself[myidx];
+        let my_deqhelp = &self.deqhelp[myidx];
+        let pr_req = my_deqself.load(Ordering::SeqCst); // line 3
+        let my_req = my_deqhelp.load(Ordering::SeqCst); // line 4
         // line 5: `deqself[i] == deqhelp[i]` opens the request.
-        self.deqself[myidx].store(my_req, Ordering::SeqCst);
+        my_deqself.store(my_req, Ordering::SeqCst);
         // Optional deliberate backoff (§4.1); the loop's line-7 check picks
         // up a request satisfied during the spin.
         for _ in 0..self.backoff_spins {
-            if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+            if my_deqhelp.load(Ordering::SeqCst) != my_req {
                 break;
             }
             std::hint::spin_loop();
@@ -291,7 +374,7 @@ impl<T> TurnQueue<T> {
         for _ in 0..self.max_threads {
             // line 6
             // line 7: request already satisfied by a helper.
-            if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+            if my_deqhelp.load(Ordering::SeqCst) != my_req {
                 break;
             }
             // lines 8-9: protect + validate head.
@@ -303,14 +386,14 @@ impl<T> TurnQueue<T> {
             }
             if lhead == self.tail.load(Ordering::SeqCst) {
                 // lines 10-18: queue looks empty — attempt to give up.
-                self.deqself[myidx].store(pr_req, Ordering::SeqCst); // line 11: rollback
+                my_deqself.store(pr_req, Ordering::SeqCst); // line 11: rollback
                 self.give_up(my_req, myidx); // line 12
-                if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+                if my_deqhelp.load(Ordering::SeqCst) != my_req {
                     // lines 13-15: a helper satisfied us after all; restore
                     // the bookkeeping and fall through to return the item.
                     // `Relaxed` as in the paper: only this thread reads
                     // deqself[myidx] before the next publication.
-                    self.deqself[myidx].store(my_req, Ordering::Relaxed);
+                    my_deqself.store(my_req, Ordering::Relaxed);
                     break;
                 }
                 self.hp.clear(myidx); // line 17
@@ -332,7 +415,7 @@ impl<T> TurnQueue<T> {
         // lines 24-28: our request is satisfied; make sure the head has
         // moved past the node we were assigned (Inv. 8 guarantees the node
         // stays reachable to us through deqhelp even after that).
-        let my_node = self.deqhelp[myidx].load(Ordering::SeqCst);
+        let my_node = my_deqhelp.load(Ordering::SeqCst);
         let lhead = self
             .hp
             .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(Ordering::SeqCst));
@@ -541,10 +624,12 @@ impl<T> TurnHandle<'_, T> {
 }
 
 impl<T: Send> ConcurrentQueue<T> for TurnQueue<T> {
+    #[inline]
     fn enqueue(&self, item: T) {
         TurnQueue::enqueue(self, item);
     }
 
+    #[inline]
     fn dequeue(&self) -> Option<T> {
         TurnQueue::dequeue(self)
     }
@@ -575,7 +660,15 @@ impl<T> QueueIntrospect for TurnQueue<T> {
             // enqueuers[i] + deqself[i] + deqhelp[i], unpadded as in Table 4
             fixed_per_thread_bytes: 3 * std::mem::size_of::<*mut u8>(),
             min_heap_allocs_per_item: 1, // just the node
+            // With the node pool (default config) a steady-state enqueue
+            // reuses the node the previous dequeue's scan reclaimed, so no
+            // allocator call remains per item.
+            steady_state_allocs_per_item: if cfg!(feature = "node-pool") { 0 } else { 1 },
         }
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        Some(self.pool.stats())
     }
 }
 
@@ -749,6 +842,8 @@ mod tests {
         assert_eq!(r.dequeue_request_bytes, 0);
         assert_eq!(r.fixed_per_thread_bytes, 24);
         assert_eq!(r.min_heap_allocs_per_item, 1);
+        let expected_steady = if cfg!(feature = "node-pool") { 0 } else { 1 };
+        assert_eq!(r.steady_state_allocs_per_item, expected_steady);
     }
 
     #[test]

@@ -19,7 +19,6 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::node::Node;
 use crate::queue::TurnQueue;
 
 /// Multi-producer / single-consumer Turn queue.
@@ -54,6 +53,7 @@ impl<T> TurnMpscQueue<T> {
 
     /// Wait-free-bounded enqueue (paper Algorithm 2), callable from any
     /// registered thread.
+    #[inline]
     pub fn enqueue(&self, item: T) {
         let tid = self.inner.registry.current_index();
         self.inner.enqueue_with(tid, item);
@@ -109,6 +109,7 @@ impl<T> MpscConsumer<'_, T> {
     /// Dequeue the head item. Completes in a constant number of steps
     /// (wait-free population oblivious): with a single consumer there is
     /// nothing to reach consensus about.
+    #[inline]
     pub fn dequeue(&mut self) -> Option<T> {
         let inner = &self.queue.inner;
         let lhead = inner.head.load(Ordering::SeqCst);
@@ -172,6 +173,7 @@ impl<T> TurnSpmcQueue<T> {
 
     /// Wait-free-bounded dequeue (paper Algorithm 3), callable from any
     /// registered thread.
+    #[inline]
     pub fn dequeue(&self) -> Option<T> {
         let tid = self.inner.registry.current_index();
         self.inner.dequeue_with(tid)
@@ -221,9 +223,13 @@ pub struct SpmcProducer<'a, T> {
 impl<T> SpmcProducer<'_, T> {
     /// Enqueue an item. Constant number of steps (wait-free population
     /// oblivious): with a single producer, `tail` is privately owned.
+    #[inline]
     pub fn enqueue(&mut self, item: T) {
         let inner = &self.queue.inner;
-        let node = Node::alloc(Some(item), self.tid);
+        // Reuse a recycled node from this producer's pool list when one is
+        // available (the pool's acquire is also O(1), so the progress bound
+        // is unchanged).
+        let node = inner.alloc_node(self.tid as usize, Some(item));
         // Only this producer writes tail, so the load needs no validation.
         let ltail = inner.tail.load(Ordering::SeqCst);
         // SAFETY: dequeuers retire only nodes strictly behind head, and

@@ -1,0 +1,72 @@
+//! The acceptance check for node recycling, measured at the allocator:
+//! a steady-state enqueue+dequeue performs **zero** heap allocations.
+//!
+//! This file deliberately holds a single test: the counting
+//! `#[global_allocator]` tallies every allocation in the process, so the
+//! measured window must not race with sibling tests.
+
+#![cfg(feature = "node-pool")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use turn_queue::TurnQueue;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates to `System`; the counter is a side effect only.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+#[test]
+fn steady_state_ping_pong_makes_zero_allocator_calls() {
+    const WARMUP: u64 = 100;
+    const MEASURED: u64 = 10_000;
+    let q: TurnQueue<u64> = TurnQueue::with_max_threads(2);
+    // Warm-up primes the pool (the first dequeues retire the sentinel and
+    // the per-thread request dummies into it) and lets the hazard-pointer
+    // retired `Vec`s reach their steady capacity.
+    for i in 0..WARMUP {
+        q.enqueue(i);
+        assert_eq!(q.dequeue(), Some(i));
+    }
+    let warm_stats = q.pool_stats();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..MEASURED {
+        q.enqueue(i);
+        assert_eq!(q.dequeue(), Some(i));
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state transfer must not touch the allocator \
+         ({} allocations over {MEASURED} enqueue+dequeue pairs)",
+        after - before
+    );
+    // Cross-check against the pool's own accounting (the only miss on
+    // record is the cold first enqueue, before any node had been retired).
+    let s = q.pool_stats();
+    assert_eq!(s.misses, warm_stats.misses, "warm pool must serve every node: {s:?}");
+}

@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use turnq_api::{ConcurrentQueue, QueueFamily};
+use turnq_api::{ConcurrentQueue, PoolStats, QueueFamily, QueueIntrospect};
 
 use crate::kinds::QueueKind;
 use crate::with_queue_family;
@@ -72,21 +72,43 @@ pub fn alloc_snapshot() -> AllocSnapshot {
     }
 }
 
-/// Allocations per item for `kind`: builds the queue, then measures
-/// `items` single-threaded enqueue+dequeue cycles (steady-state transfer,
-/// excluding construction).
-///
-/// Returns `(allocs_per_item, leaked_allocs)` where `leaked_allocs` is the
-/// alloc/free imbalance *after the queue is dropped* — it must be ~0 for a
-/// queue with working reclamation, and is exactly the number the paper uses
-/// against FK ("successive enqueues will allocate new nodes that will never
-/// be deleted", §4).
-pub fn measure_allocs_per_item(kind: QueueKind, items: u64) -> (f64, i64) {
+/// Full memory measurement of one transfer workload — see
+/// [`measure_memory`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemMeasurement {
+    /// Allocations per item over the *first* `items` transfers, which
+    /// includes priming any internal caches (cold start).
+    pub allocs_per_item: f64,
+    /// Allocations per item over a *second* window of `items` transfers,
+    /// after the first window has warmed the queue — 0.0 for a queue that
+    /// recycles its nodes.
+    pub steady_allocs_per_item: f64,
+    /// Alloc/free imbalance after the queue is dropped — must be ~0 for a
+    /// queue with working reclamation, and is exactly the number the paper
+    /// uses against FK ("successive enqueues will allocate new nodes that
+    /// will never be deleted", §4).
+    pub leaked_allocs: i64,
+    /// The queue's node-pool counters at the end of the run, if it has a
+    /// recycling pool.
+    pub pool: Option<PoolStats>,
+}
+
+/// Allocations per item for `kind`: builds the queue, then measures two
+/// back-to-back windows of `items` single-threaded enqueue+dequeue cycles
+/// (cold, then steady-state), excluding construction.
+pub fn measure_memory(kind: QueueKind, items: u64) -> MemMeasurement {
     assert!(items > 0);
     with_queue_family!(kind, F => measure_generic::<F>(items))
 }
 
-fn measure_generic<F: QueueFamily>(items: u64) -> (f64, i64) {
+/// Compatibility wrapper for [`measure_memory`]: `(allocs_per_item,
+/// leaked_allocs)` of the cold window.
+pub fn measure_allocs_per_item(kind: QueueKind, items: u64) -> (f64, i64) {
+    let m = measure_memory(kind, items);
+    (m.allocs_per_item, m.leaked_allocs)
+}
+
+fn measure_generic<F: QueueFamily>(items: u64) -> MemMeasurement {
     let queue = F::with_max_threads::<u64>(2);
     // Warm the structure (first ops may lazily allocate registry slots).
     queue.enqueue(0);
@@ -99,12 +121,25 @@ fn measure_generic<F: QueueFamily>(items: u64) -> (f64, i64) {
         debug_assert_eq!(got, Some(i));
     }
     let mid = alloc_snapshot();
+    // Second window: the first has primed any recycling caches, so this is
+    // the steady-state figure.
+    for i in 0..items {
+        queue.enqueue(i);
+        let got = queue.dequeue();
+        debug_assert_eq!(got, Some(i));
+    }
+    let steady = alloc_snapshot();
+    let pool = queue.pool_stats();
     drop(queue);
     let after = alloc_snapshot();
 
-    let per_item = (mid.allocs - before.allocs) as f64 / items as f64;
-    let leaked = (after.allocs - before.allocs) as i64 - (after.frees - before.frees) as i64;
-    (per_item, leaked)
+    MemMeasurement {
+        allocs_per_item: (mid.allocs - before.allocs) as f64 / items as f64,
+        steady_allocs_per_item: (steady.allocs - mid.allocs) as f64 / items as f64,
+        leaked_allocs: (after.allocs - before.allocs) as i64
+            - (after.frees - before.frees) as i64,
+        pool,
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_utils::CachePadded;
 
 use crate::matrix::HpMatrix;
+use crate::sink::{BoxDropSink, ReclaimSink};
 
 /// Condition an object must satisfy (in addition to being unprotected)
 /// before a [`ConditionalHazardPointers`] domain may free it.
@@ -52,18 +53,34 @@ impl<T> Default for RetiredList<T> {
 /// `max_threads`, because in KP a node's condition is made true by the
 /// single thread that consumes its item and every thread has at most one
 /// outstanding operation.
-pub struct ConditionalHazardPointers<T: ConditionalReclaim> {
+pub struct ConditionalHazardPointers<T: ConditionalReclaim, S: ReclaimSink<T> = BoxDropSink> {
     matrix: HpMatrix<T>,
     retired: Box<[CachePadded<RetiredList<T>>]>,
+    sink: S,
 }
 
 // SAFETY: identical reasoning to `HazardPointers`.
-unsafe impl<T: ConditionalReclaim + Send> Send for ConditionalHazardPointers<T> {}
-unsafe impl<T: ConditionalReclaim + Send> Sync for ConditionalHazardPointers<T> {}
+unsafe impl<T: ConditionalReclaim + Send, S: ReclaimSink<T>> Send
+    for ConditionalHazardPointers<T, S>
+{
+}
+unsafe impl<T: ConditionalReclaim + Send, S: ReclaimSink<T>> Sync
+    for ConditionalHazardPointers<T, S>
+{
+}
 
 impl<T: ConditionalReclaim> ConditionalHazardPointers<T> {
-    /// A domain for `max_threads` threads with `k` hazard slots each.
+    /// A domain for `max_threads` threads with `k` hazard slots each,
+    /// freeing to the allocator.
     pub fn new(max_threads: usize, k: usize) -> Self {
+        Self::with_sink(max_threads, k, BoxDropSink)
+    }
+}
+
+impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
+    /// A domain delivering reclaimed pointers to `sink` instead of freeing
+    /// them; the scan (and backlog bound) is unchanged.
+    pub fn with_sink(max_threads: usize, k: usize, sink: S) -> Self {
         let retired = (0..max_threads)
             .map(|_| CachePadded::new(RetiredList::default()))
             .collect::<Vec<_>>()
@@ -71,7 +88,13 @@ impl<T: ConditionalReclaim> ConditionalHazardPointers<T> {
         ConditionalHazardPointers {
             matrix: HpMatrix::new(max_threads, k),
             retired,
+            sink,
         }
+    }
+
+    /// The installed reclaim sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
     }
 
     /// Number of thread rows in the domain.
@@ -148,7 +171,7 @@ impl<T: ConditionalReclaim> ConditionalHazardPointers<T> {
         // SAFETY: `tid` exclusivity (caller contract).
         let list = unsafe { &mut *row.list.get() };
         list.push(ptr);
-        self.scan(list);
+        self.scan(tid, list);
         row.len.store(list.len(), Ordering::Relaxed);
     }
 
@@ -162,23 +185,24 @@ impl<T: ConditionalReclaim> ConditionalHazardPointers<T> {
         let row = &self.retired[tid];
         // SAFETY: `tid` exclusivity (caller contract).
         let list = unsafe { &mut *row.list.get() };
-        self.scan(list);
+        self.scan(tid, list);
         row.len.store(list.len(), Ordering::Relaxed);
     }
 
-    fn scan(&self, list: &mut Vec<*mut T>) {
+    fn scan(&self, tid: usize, list: &mut Vec<*mut T>) {
         let mut i = 0;
         while i < list.len() {
             let candidate = list[i];
-            // SAFETY: retired objects stay allocated until this scan frees
-            // them, so reading the condition is in-bounds; the condition
-            // only reads atomics (trait contract).
+            // SAFETY: retired objects stay allocated until this scan
+            // reclaims them, so reading the condition is in-bounds; the
+            // condition only reads atomics (trait contract).
             let reclaimable = unsafe { (*candidate).can_reclaim() };
             if reclaimable && !self.matrix.is_protected(candidate) {
                 list.swap_remove(i);
                 // SAFETY: unprotected, condition satisfied — per the trait
-                // contract nothing will dereference it again.
-                unsafe { drop(Box::from_raw(candidate)) };
+                // contract nothing will dereference it again. The sink
+                // becomes sole owner.
+                unsafe { self.sink.reclaim(tid, candidate) };
             } else {
                 i += 1;
             }
@@ -186,13 +210,14 @@ impl<T: ConditionalReclaim> ConditionalHazardPointers<T> {
     }
 }
 
-impl<T: ConditionalReclaim> Drop for ConditionalHazardPointers<T> {
+impl<T: ConditionalReclaim, S: ReclaimSink<T>> Drop for ConditionalHazardPointers<T, S> {
     fn drop(&mut self) {
-        // Exclusive access at drop: conditions are moot, free everything.
-        for row in self.retired.iter() {
+        // Exclusive access at drop: conditions are moot, deliver everything
+        // to the sink.
+        for (tid, row) in self.retired.iter().enumerate() {
             let list = unsafe { &mut *row.list.get() };
             for &ptr in list.iter() {
-                unsafe { drop(Box::from_raw(ptr)) };
+                unsafe { self.sink.reclaim(tid, ptr) };
             }
             list.clear();
         }

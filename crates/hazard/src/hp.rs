@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_utils::CachePadded;
 
 use crate::matrix::HpMatrix;
+use crate::sink::{BoxDropSink, ReclaimSink};
 
 /// A per-thread list of retired-but-not-yet-freed pointers.
 ///
@@ -28,7 +29,10 @@ impl<T> Default for RetiredList<T> {
 /// Hazard-pointer domain for objects of type `T`.
 ///
 /// All pointers passed to [`retire`](Self::retire) must originate from
-/// [`Box::into_raw`]; reclamation is `drop(Box::from_raw(p))`.
+/// [`Box::into_raw`]. What happens to a pointer once the scan proves it
+/// unreachable is decided by the domain's [`ReclaimSink`] `S`: the default
+/// [`BoxDropSink`] frees it (`drop(Box::from_raw(p))`, the classic HP
+/// behavior); queues can install a sink that recycles nodes instead.
 ///
 /// The *protect* operation is a plain publication
 /// ([`protect_ptr`](Self::protect_ptr)); the wait-free usage pattern
@@ -36,7 +40,7 @@ impl<T> Default for RetiredList<T> {
 /// bounded loop — paper Algorithm 5) is the caller's responsibility, or use
 /// the [`try_protect`](Self::try_protect) convenience which performs one
 /// load-publish-validate round.
-pub struct HazardPointers<T> {
+pub struct HazardPointers<T, S: ReclaimSink<T> = BoxDropSink> {
     matrix: HpMatrix<T>,
     retired: Box<[CachePadded<RetiredList<T>>]>,
     /// The scan threshold `R` of Michael's HP paper: a retire only scans
@@ -44,17 +48,19 @@ pub struct HazardPointers<T> {
     /// `R = 0` ("with the purpose of reducing latency on dequeue() as much
     /// as possible", §3.1); the ablation bench measures other values.
     scan_threshold: usize,
+    sink: S,
 }
 
 // SAFETY: the raw pointers inside are managed under the HP protocol; the
 // per-thread retired lists are only mutated by their owning thread (enforced
-// by the `tid` contract on the unsafe methods).
-unsafe impl<T: Send> Send for HazardPointers<T> {}
-unsafe impl<T: Send> Sync for HazardPointers<T> {}
+// by the `tid` contract on the unsafe methods). `S` is `Send + Sync` by the
+// `ReclaimSink` supertraits.
+unsafe impl<T: Send, S: ReclaimSink<T>> Send for HazardPointers<T, S> {}
+unsafe impl<T: Send, S: ReclaimSink<T>> Sync for HazardPointers<T, S> {}
 
 impl<T> HazardPointers<T> {
     /// A domain for `max_threads` threads with `k` hazard slots each and
-    /// the paper's `R = 0` scan policy.
+    /// the paper's `R = 0` scan policy, freeing to the allocator.
     pub fn new(max_threads: usize, k: usize) -> Self {
         Self::with_scan_threshold(max_threads, k, 0)
     }
@@ -63,6 +69,16 @@ impl<T> HazardPointers<T> {
     /// [`Self::retire`]); the unreclaimed bound becomes
     /// `max_threads × k + R + 1`.
     pub fn with_scan_threshold(max_threads: usize, k: usize, scan_threshold: usize) -> Self {
+        Self::with_sink(max_threads, k, scan_threshold, BoxDropSink)
+    }
+}
+
+impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
+    /// A domain delivering reclaimed pointers to `sink` instead of freeing
+    /// them. The scan logic — and therefore the
+    /// [`retired_bound`](crate::retired_bound) backlog guarantee — is
+    /// identical to the default domain; only the disposal step changes.
+    pub fn with_sink(max_threads: usize, k: usize, scan_threshold: usize, sink: S) -> Self {
         let retired = (0..max_threads)
             .map(|_| CachePadded::new(RetiredList::default()))
             .collect::<Vec<_>>()
@@ -71,7 +87,13 @@ impl<T> HazardPointers<T> {
             matrix: HpMatrix::new(max_threads, k),
             retired,
             scan_threshold,
+            sink,
         }
+    }
+
+    /// The installed reclaim sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
     }
 
     /// Number of thread rows in the domain.
@@ -146,12 +168,13 @@ impl<T> HazardPointers<T> {
     }
 
     /// Retire `ptr`, then run the `R = 0` scan: every entry of the calling
-    /// thread's retired list that no hazard slot protects is freed
-    /// immediately.
+    /// thread's retired list that no hazard slot protects is handed to the
+    /// sink immediately.
     ///
     /// The scan does `O(list_len × max_threads × k)` work with `list_len`
     /// bounded as above, so reclaim is wait-free bounded (paper Table 2,
-    /// first row).
+    /// first row) — provided the sink's `reclaim` is itself bounded, which
+    /// holds for the allocator sink and the node-pool sink alike.
     ///
     /// # Safety
     ///
@@ -182,22 +205,24 @@ impl<T> HazardPointers<T> {
                 // SAFETY: unreachable from shared memory (caller contract)
                 // and not protected by any published-and-validated hazard:
                 // a reader that published after unlinking fails validation
-                // and never dereferences.
-                unsafe { drop(Box::from_raw(candidate)) };
+                // and never dereferences. The sink becomes sole owner.
+                unsafe { self.sink.reclaim(tid, candidate) };
             }
         }
         row.len.store(list.len(), Ordering::Relaxed);
     }
 }
 
-impl<T> Drop for HazardPointers<T> {
+impl<T, S: ReclaimSink<T>> Drop for HazardPointers<T, S> {
     fn drop(&mut self) {
-        // Exclusive access: free everything still pending. Any pointer left
-        // here is owned by the domain per the retire contract.
-        for row in self.retired.iter() {
+        // Exclusive access: deliver everything still pending to the sink.
+        // Any pointer left here is owned by the domain per the retire
+        // contract, and protection no longer matters — no thread can be
+        // inside a protected dereference while the domain is being dropped.
+        for (tid, row) in self.retired.iter().enumerate() {
             let list = unsafe { &mut *row.list.get() };
             for &ptr in list.iter() {
-                unsafe { drop(Box::from_raw(ptr)) };
+                unsafe { self.sink.reclaim(tid, ptr) };
             }
             list.clear();
         }
@@ -342,6 +367,51 @@ mod tests {
         unsafe { hp.retire(0, counted(&drops)) };
         assert_eq!(drops.load(Ordering::SeqCst), 5);
         assert_eq!(hp.retired_count(0), 0);
+    }
+
+    #[test]
+    fn custom_sink_receives_reclaimed_pointers() {
+        use crate::sink::ReclaimSink;
+        use std::sync::Mutex;
+
+        /// Collects reclaimed pointers (as addresses, keeping the sink
+        /// trivially `Send + Sync`) instead of freeing them.
+        struct Collect {
+            got: Arc<Mutex<Vec<(usize, usize)>>>,
+        }
+        impl ReclaimSink<u64> for Collect {
+            unsafe fn reclaim(&self, tid: usize, ptr: *mut u64) {
+                self.got.lock().unwrap().push((tid, ptr as usize));
+            }
+        }
+
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let hp: HazardPointers<u64, Collect> =
+            HazardPointers::with_sink(2, 1, 0, Collect { got: Arc::clone(&got) });
+        let free_now = Box::into_raw(Box::new(7u64));
+        let pinned = Box::into_raw(Box::new(8u64));
+        hp.protect_ptr(1, 0, pinned);
+        unsafe {
+            hp.retire(0, free_now);
+            hp.retire(0, pinned);
+        }
+        // The unprotected pointer reached the sink from tid 0; the
+        // protected one is still in the backlog.
+        assert_eq!(got.lock().unwrap().as_slice(), &[(0, free_now as usize)]);
+        assert_eq!(hp.retired_count(0), 1);
+
+        // Dropping the domain flushes the backlog into the sink too.
+        drop(hp);
+        let collected = std::mem::take(&mut *got.lock().unwrap());
+        assert_eq!(
+            collected,
+            vec![(0, free_now as usize), (0, pinned as usize)]
+        );
+        for (_, addr) in collected {
+            // SAFETY: round-trips the exact Box::into_raw addresses above;
+            // the sink captured instead of freeing, so this is the one free.
+            unsafe { drop(Box::from_raw(addr as *mut u64)) };
+        }
     }
 
     #[test]

@@ -37,14 +37,36 @@ mod matrix;
 pub mod chp;
 pub mod epoch_demo;
 mod hp;
+pub mod sink;
 
 pub use chp::{ConditionalHazardPointers, ConditionalReclaim};
 pub use hp::HazardPointers;
+pub use sink::{BoxDropSink, ReclaimSink};
 
 /// Maximum number of objects that can stay unreclaimed per thread for a
 /// reclaimer with `max_threads` threads and `k` hazard slots each: every
 /// entry surviving a full `R = 0` scan is pinned by some hazard slot, and
 /// there are only `max_threads * k` slots in total.
+///
+/// This is the single source of truth for sizing anything that must absorb
+/// a worst-case reclamation burst — the per-thread node-cache capacity in
+/// the Turn queue's recycling pool is exactly this value.
 pub fn retired_bound(max_threads: usize, k: usize) -> usize {
     max_threads * k + 1
+}
+
+/// [`retired_bound`] generalized to a nonzero scan threshold `R`
+/// ([`HazardPointers::with_scan_threshold`]): up to `R` entries may sit in
+/// the list without any scan having run, on top of the pinned ones.
+pub fn retired_bound_with_threshold(max_threads: usize, k: usize, scan_threshold: usize) -> usize {
+    max_threads * k + scan_threshold + 1
+}
+
+/// Backlog bound for a [`ConditionalHazardPointers`] domain: besides the
+/// hazard-pinned entries, each of the `max_threads` threads can hold at
+/// most one object whose condition is still pending (in KP, the node whose
+/// item that thread consumed but has not yet nulled — every thread has at
+/// most one operation in flight).
+pub fn conditional_retired_bound(max_threads: usize, k: usize) -> usize {
+    retired_bound(max_threads, k) + max_threads
 }

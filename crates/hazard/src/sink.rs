@@ -1,0 +1,43 @@
+//! Pluggable destination for reclaimed pointers.
+//!
+//! The hazard-pointer scan decides *when* a retired object is safe to
+//! reclaim (no slot protects it); a [`ReclaimSink`] decides *what happens*
+//! to it. The default [`BoxDropSink`] frees to the allocator, which is the
+//! classic HP behavior. The Turn queue instead installs a sink that feeds
+//! reclaimed nodes into per-thread free lists, so a dequeue's retire can
+//! become a later enqueue's allocation without touching the allocator.
+
+/// Receives pointers the hazard-pointer scan has proven unreachable.
+///
+/// `reclaim` runs on the thread that performed the scan: the retiring
+/// thread itself during [`retire`](crate::HazardPointers::retire), or the
+/// dropping thread (with exclusive access) when the domain is dropped.
+/// `tid` is that thread's registered index, which lets sinks route to
+/// per-thread structures without re-querying a registry.
+pub trait ReclaimSink<T>: Send + Sync {
+    /// Take ownership of `ptr` and dispose of it (free, cache, …).
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from `Box::into_raw` for this `T`;
+    /// * no thread can reach `ptr` any more (the scan verified no hazard
+    ///   slot protects it, and the retire contract already guaranteed it
+    ///   was unlinked);
+    /// * the sink receives each pointer at most once and becomes its sole
+    ///   owner;
+    /// * `tid` is the calling thread's registered index (or an arbitrary
+    ///   valid row index during a domain drop, where access is exclusive).
+    unsafe fn reclaim(&self, tid: usize, ptr: *mut T);
+}
+
+/// The classic hazard-pointer reclamation: free to the allocator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BoxDropSink;
+
+impl<T> ReclaimSink<T> for BoxDropSink {
+    unsafe fn reclaim(&self, _tid: usize, ptr: *mut T) {
+        // SAFETY: forwarded from the caller contract — `ptr` came from
+        // `Box::into_raw` and we are its sole owner.
+        unsafe { drop(Box::from_raw(ptr)) };
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no reachable crates.io mirror, so this shim
+//! reimplements the slice of criterion's API the workspace benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_custom`, and
+//! `BenchmarkId`. Measurement is deliberately simple — a warmup pass, then
+//! `sample_size` timed batches, reporting the median ns/iter — because the
+//! workspace's presentable numbers come from the dedicated harness binaries,
+//! not from criterion statistics.
+//!
+//! CLI compatibility (what `cargo bench -- ...` forwards):
+//!
+//! * `--test`  — run every benchmark exactly once and report `ok` (the smoke
+//!   mode CI uses);
+//! * `--quick` — cut sample sizes to 3 and batch time to ~2 ms;
+//! * any bare string argument — substring filter on `group/name` ids.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group, e.g. `group/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Run-mode configuration derived from CLI args + builder calls.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    batch_target: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            batch_target: Duration::from_millis(10),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up time (accepted for API compatibility; the shim warms up with
+    /// a single untimed batch regardless).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Target measurement time per benchmark, split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.batch_target = d / (self.sample_size.max(1) as u32);
+        self
+    }
+
+    /// Apply `cargo bench -- ...` style CLI arguments.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--quick" => {
+                    self.sample_size = self.sample_size.min(3);
+                    self.batch_target = Duration::from_millis(2);
+                }
+                "--bench" | "--verbose" | "--noplot" => {}
+                other => {
+                    if !other.starts_with('-') {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&cfg, &id.to_string(), f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_benchmark(&cfg, &format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (criterion requires it; the shim prints a spacer).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Timing modes a benchmark body can request.
+enum Sample {
+    /// Measure `iters` iterations of a uniform closure.
+    Uniform(Duration, u64),
+    /// The body measured itself (`iter_custom`).
+    Custom(Duration, u64),
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Time `self.iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.sample = Some(Sample::Uniform(start.elapsed(), self.iters));
+    }
+
+    /// Let the body do its own timing over `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = self.iters;
+        let elapsed = f(iters);
+        self.sample = Some(Sample::Custom(elapsed, iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(cfg: &Criterion, id: &str, mut f: F) {
+    if let Some(filter) = &cfg.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if cfg.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            sample: None,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibration: start at one iteration and grow until a batch takes at
+    // least ~1/4 of the target, then size batches to the target.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher { iters, sample: None };
+        f(&mut b);
+        let (elapsed, n) = match b.sample {
+            Some(Sample::Uniform(d, n)) | Some(Sample::Custom(d, n)) => (d, n),
+            None => (Duration::ZERO, iters), // body ignored the bencher
+        };
+        if elapsed >= cfg.batch_target / 4 || iters >= 1 << 20 {
+            break (elapsed.as_nanos() as f64 / n.max(1) as f64).max(0.01);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let batch_iters =
+        ((cfg.batch_target.as_nanos() as f64 / per_iter) as u64).clamp(1, 10_000_000);
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: batch_iters,
+            sample: None,
+        };
+        f(&mut b);
+        if let Some(Sample::Uniform(d, n)) | Some(Sample::Custom(d, n)) = b.sample {
+            per_iter_ns.push(d.as_nanos() as f64 / n.max(1) as f64);
+        }
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns
+        .get(per_iter_ns.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
+    let (lo, hi) = (
+        per_iter_ns.first().copied().unwrap_or(f64::NAN),
+        per_iter_ns.last().copied().unwrap_or(f64::NAN),
+    );
+    println!(
+        "{id:<40} median {median:>10.1} ns/iter   (min {lo:.1} .. max {hi:.1}, {} samples x {batch_iters} iters)",
+        per_iter_ns.len()
+    );
+}
+
+/// Define a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_sample() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(3u32), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_is_honoured() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(0u64);
+                }
+                t0.elapsed()
+            })
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no reachable crates.io mirror, so this shim
+//! reimplements the slice of proptest the workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, `Just`,
+//! `prop_oneof!`, integer/float range strategies, `".*"` string strategies,
+//! `collection::vec`, `array::uniform6`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the case
+//!   number; inputs are deterministic per (test name, case index), so a
+//!   failure reproduces by re-running the same test binary.
+//! * **String strategies ignore the regex.** Any `&str` strategy produces
+//!   arbitrary short strings (including multi-byte chars); the workspace
+//!   only ever uses `".*"`, for which this is the correct distribution
+//!   shape anyway.
+//! * Value generation is a plain xorshift64* stream — good enough to
+//!   exercise model-checking tests, with zero dependencies.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Per-test-case deterministic RNG (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name and case index so every case is
+        /// deterministic yet distinct.
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            // FNV-1a over the name, then mix in the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng {
+                state: if h == 0 { 0x853c_49e6_748f_ea9b } else { h },
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform `f64` in `[0, 1]` (both endpoints reachable).
+        pub fn unit_f64_inclusive(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+        }
+    }
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Matches real proptest's default.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// is simply a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy producing `f(v)` for each generated `v`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map: f }
+        }
+
+        /// Type-erase the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64_inclusive() * (hi - lo)
+        }
+    }
+
+    /// String strategy: the pattern is accepted but NOT interpreted as a
+    /// regex — arbitrary short strings are produced (the workspace only
+    /// uses `".*"`, for which that is the right shape).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            const ALPHABET: &[char] = &[
+                'a', 'b', 'z', 'Q', '0', '9', ' ', '_', '-', '.', '!', '"', '\\', '\n', '\t',
+                'é', 'ß', '中', '🦀', '\u{0}',
+            ];
+            let len = rng.below(17);
+            (0..len)
+                .map(|_| ALPHABET[rng.below(ALPHABET.len())])
+                .collect()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `[T; 6]` arrays (see [`uniform6`]).
+    pub struct Uniform6<S> {
+        element: S,
+    }
+
+    /// An array of six values drawn from the same strategy.
+    pub fn uniform6<S: Strategy>(element: S) -> Uniform6<S> {
+        Uniform6 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform6<S> {
+        type Value = [S::Value; 6];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 6] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+/// Everything a property test module typically imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports the real macro's shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(mut xs in proptest::collection::vec(0u64..10, 0..50), q in 0.0f64..=1.0) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+    )*};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $var:ident in $strat:expr) => {
+        let mut $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $var:ident in $strat:expr) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property (no shrinking: failures panic immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(usize),
+        B,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![(0..4usize).prop_map(Op::A), Just(Op::B)]
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let u = (0usize..3).generate(&mut rng);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = op_strategy();
+        let mut rng = TestRng::for_case("oneof", 1);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Op::A(x) => {
+                    assert!(x < 4);
+                    saw_a = true;
+                }
+                Op::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    #[test]
+    fn vec_and_array_shapes() {
+        let mut rng = TestRng::for_case("shapes", 2);
+        let v = crate::collection::vec(0u8..4, 1..12).generate(&mut rng);
+        assert!((1..12).contains(&v.len()));
+        let a = crate::collection::vec(crate::array::uniform6(0u64..10_000), 1..10)
+            .generate(&mut rng);
+        assert!(a.iter().all(|run| run.iter().all(|&x| x < 10_000)));
+        let s = ".*".generate(&mut rng);
+        assert!(s.chars().count() < 17);
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("det", 7);
+        let mut b = TestRng::for_case("det", 7);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::for_case("det", 8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings (incl. `mut` and trailing comma) work.
+        #[test]
+        fn macro_round_trip(
+            mut xs in crate::collection::vec(0u64..100, 0..20),
+            q in 0.0f64..=1.0,
+        ) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!((0.0..=1.0).contains(&q));
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` as a (dev-)dependency but the build
+//! environment has no reachable crates.io mirror, so this shim provides a
+//! small deterministic xorshift64* generator with the handful of entry
+//! points callers expect (`thread_rng`, `Rng::gen_range`, `random`). It is
+//! NOT cryptographically secure and makes no distribution-quality claims —
+//! it exists so tests and benches have a cheap source of variety.
+
+use std::cell::Cell;
+
+/// Minimal subset of the `rand::Rng` interface.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + self.next_u64() % span
+    }
+
+    /// A random `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// xorshift64* PRNG.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator; a zero seed is remapped to a fixed constant.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+thread_local! {
+    static THREAD_SEED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A per-thread generator seeded from the thread id and a counter.
+pub fn thread_rng() -> SmallRng {
+    THREAD_SEED.with(|seed| {
+        let next = seed.get().wrapping_add(1);
+        seed.set(next);
+        // Mix in a per-thread component so distinct threads diverge.
+        let tid = std::thread::current().id();
+        let tid_bits = format!("{tid:?}").bytes().fold(0u64, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(b as u64)
+        });
+        SmallRng::seed_from_u64(next.wrapping_mul(0x9E37).wrapping_add(tid_bits))
+    })
+}
+
+/// One-shot random `u64`.
+pub fn random() -> u64 {
+    thread_rng().next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}
