@@ -20,7 +20,7 @@
 //!   amortized `1/BUFFER_SIZE` node allocation (Table 4 discussion).
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use turnq_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};

@@ -10,9 +10,9 @@
 //! head/tail CAS indefinitely — this is precisely the fat latency tail that
 //! Table 3 and Figure 1 of the paper measure.
 
-use std::cell::UnsafeCell;
+use turnq_sync::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};

@@ -8,10 +8,10 @@
 //! exactly the trade the memory-unbounded MPMC queues of the paper refuse
 //! to make.
 
-use std::cell::UnsafeCell;
+use turnq_sync::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 

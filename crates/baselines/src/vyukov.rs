@@ -11,10 +11,10 @@
 //! Included as a comparison point for the MPSC variant of the Turn queue
 //! (whose enqueue is wait-free *bounded* and never disconnects the list).
 
-use std::cell::UnsafeCell;
+use turnq_sync::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -103,6 +103,7 @@ impl<T> Default for VyukovMpscQueue<T> {
 impl<T> Drop for VyukovMpscQueue<T> {
     fn drop(&mut self) {
         // Exclusive access: walk from the pop end and free everything.
+        // SAFETY: `&mut self` in Drop — exclusive access to the whole list.
         let mut node = unsafe { *self.pop_end.get() };
         while !node.is_null() {
             let next = unsafe { &*node }.next.load(Ordering::Relaxed);
@@ -245,6 +246,8 @@ mod tests {
         assert_eq!(c.dequeue(), None, "dequeue is blocked by the lagging producer");
 
         // The stalled producer finally finishes; everything unblocks.
+        // SAFETY: `prev` is alive — the consumer frees nodes only after
+        // dequeuing past them, and it is still blocked before `prev`.
         unsafe { &*prev }.next.store(orphan, Ordering::Release);
         assert_eq!(c.dequeue(), Some(77));
         assert_eq!(c.dequeue(), Some(88));

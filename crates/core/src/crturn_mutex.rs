@@ -26,7 +26,7 @@
 //! is running, and the free-lock CAS race only arises when no intents were
 //! visible, in which case some requester wins and restarts the chain.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_threadreg::ThreadRegistry;
@@ -93,9 +93,9 @@ impl CRTurnMutex {
             if spins.is_multiple_of(64) {
                 // Mandatory on oversubscribed machines: the holder needs
                 // CPU time to reach its unlock.
-                std::thread::yield_now();
+                turnq_sync::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                turnq_sync::hint::spin_loop();
             }
         }
         CRTurnGuard { mutex: self, me }
@@ -167,6 +167,7 @@ mod tests {
         #[allow(clippy::arc_with_non_send_sync)] // SendPtr wrapper carries the Send proof
         let counter = Arc::new(std::cell::UnsafeCell::new(0u64));
         struct SendPtr(Arc<std::cell::UnsafeCell<u64>>);
+        // SAFETY: the pointee is only touched under the mutex (see `incr`).
         unsafe impl Send for SendPtr {}
         impl SendPtr {
             /// # Safety: caller holds the lock protecting the counter.

@@ -1,8 +1,8 @@
 //! The list node shared by the Turn queue and its MPSC/SPMC variants
 //! (paper Algorithm 1).
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicI32, AtomicPtr, Ordering};
+use turnq_sync::cell::UnsafeCell;
+use turnq_sync::atomic::{AtomicI32, AtomicPtr, Ordering};
 
 /// "No thread" marker for [`Node::deq_tid`] (the paper's `IDX_NONE`).
 pub(crate) const IDX_NONE: i32 = -1;
@@ -124,6 +124,7 @@ mod tests {
     #[test]
     fn alloc_and_take_roundtrip() {
         let p = Node::alloc(Some(String::from("x")), 7);
+        // SAFETY: the node is alive: this context owns it exclusively (or frees it last).
         let node = unsafe { &*p };
         assert_eq!(node.enq_tid, 7);
         assert_eq!(node.deq_tid.load(Ordering::SeqCst), IDX_NONE);
@@ -138,6 +139,7 @@ mod tests {
         let p = Node::alloc(Some(String::from("first")), 1);
         // Dirty every mutable field the way a completed dequeue would.
         {
+            // SAFETY: the node is alive: this context owns it exclusively (or frees it last).
             let node = unsafe { &*p };
             assert!(node.cas_deq_tid(IDX_NONE, 5));
             node.next.store(p, Ordering::SeqCst);

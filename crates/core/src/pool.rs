@@ -36,8 +36,8 @@
 //! overflows to the allocator, so a capacity of 0 reproduces the classic
 //! free-to-allocator behavior exactly.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use turnq_sync::cell::UnsafeCell;
+use turnq_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -193,6 +193,7 @@ impl<T> Drop for NodePool<T> {
         // Exclusive access: free every cached node. `release` already
         // cleared item payloads, so these are plain node frees.
         for slot in self.slots.iter() {
+            // SAFETY: `&mut self` in Drop — exclusive access to every slot.
             let free = unsafe { &mut *slot.free.get() };
             for &ptr in free.iter() {
                 // SAFETY: the pool owns its cached nodes exclusively.
@@ -216,6 +217,7 @@ impl<T> PoolSink<T> {
 }
 
 impl<T> ReclaimSink<Node<T>> for PoolSink<T> {
+    // SAFETY: contract inherited from `ReclaimSink::reclaim` — `ptr` is unreachable and exclusively owned.
     unsafe fn reclaim(&self, tid: usize, ptr: *mut Node<T>) {
         // SAFETY: the sink contract is exactly the release contract — sole
         // ownership of an unreachable `Box::into_raw` pointer, called with
@@ -241,6 +243,7 @@ mod tests {
     fn release_then_acquire_round_trips_the_same_node() {
         let pool: NodePool<u64> = NodePool::new(1, 4);
         let p = Node::alloc(Some(7u64), 0);
+        // SAFETY: test-owned fresh nodes; this thread is the only user of the tid.
         unsafe { pool.release(0, p) };
         assert_eq!(pool.stats().pooled_now, 1);
         assert_eq!(unsafe { pool.acquire(0) }, Some(p));
@@ -264,6 +267,7 @@ mod tests {
     #[test]
     fn capacity_zero_never_caches() {
         let pool: NodePool<u64> = NodePool::new(1, 0);
+        // SAFETY: test-owned fresh nodes; this thread is the only user of the tid.
         unsafe { pool.release(0, Node::alloc(None, 0)) };
         let s = pool.stats();
         assert_eq!((s.recycled, s.overflows, s.pooled_now), (0, 1, 0));
@@ -285,6 +289,7 @@ mod tests {
         let drops = StdArc::new(AtomicUsize::new(0));
         let pool: NodePool<D> = NodePool::new(1, 4);
         let p = Node::alloc(Some(D(StdArc::clone(&drops))), 0);
+        // SAFETY: test-owned fresh nodes; this thread is the only user of the tid.
         unsafe { pool.release(0, p) };
         assert_eq!(drops.load(Ordering::SeqCst), 1, "payload dropped on release");
         drop(pool);
@@ -299,6 +304,7 @@ mod tests {
         // Thread 1's list is unaffected by thread 0's release.
         assert_eq!(unsafe { pool.acquire(1) }, None);
         assert_eq!(unsafe { pool.acquire(0) }, Some(p));
+        // SAFETY: sole ownership — allocated by this test, freed exactly once.
         unsafe { drop(Box::from_raw(p)) };
     }
 }

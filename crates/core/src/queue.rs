@@ -8,7 +8,7 @@
 
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -287,7 +287,7 @@ impl<T> TurnQueue<T> {
             if my_slot.load(Ordering::SeqCst).is_null() {
                 return; // a helper inserted our node
             }
-            std::hint::spin_loop();
+            turnq_sync::hint::spin_loop();
         }
         for _ in 0..self.max_threads {
             // line 5
@@ -369,7 +369,7 @@ impl<T> TurnQueue<T> {
             if my_deqhelp.load(Ordering::SeqCst) != my_req {
                 break;
             }
-            std::hint::spin_loop();
+            turnq_sync::hint::spin_loop();
         }
         for _ in 0..self.max_threads {
             // line 6
@@ -571,6 +571,7 @@ impl<T> Drop for TurnQueue<T> {
         let mut node = self.head.load(Ordering::Relaxed);
         while !node.is_null() {
             to_free.push(node);
+            // SAFETY: the node is alive: this context owns it exclusively (or frees it last).
             node = unsafe { &*node }.next.load(Ordering::Relaxed);
         }
         for slots in [&self.deqself, &self.deqhelp] {
@@ -897,18 +898,35 @@ mod tests {
         // Table 1: the Turn queue needs no atomic instruction beyond CAS.
         // Pin the claim by scanning this crate's sources for fetch-and-add
         // style RMWs.
+        // The needles are assembled at runtime so this test's own source
+        // never contains them verbatim — otherwise the scan below would be
+        // one truncation bug away from matching itself (the same trick the
+        // workspace SAFETY/ordering lints use).
+        let test_marker = ["#[cfg(te", "st)]"].concat();
+        let forbidden: Vec<String> = ["add", "sub", "or"]
+            .iter()
+            .map(|op| format!("fetch_{op}"))
+            .chain([[".sw", "ap("].concat()])
+            .collect();
         let src_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
         for entry in std::fs::read_dir(src_dir).unwrap() {
             let path = entry.unwrap().path();
             if path.extension().is_some_and(|e| e == "rs") {
                 let text = std::fs::read_to_string(&path).unwrap();
                 // Only the non-test portion of each module carries the
-                // claim (tests may count with fetch_add freely).
-                let algorithm_code = text.split("#[cfg(test)]").next().unwrap();
-                for forbidden in ["fetch_add", "fetch_sub", "fetch_or", ".swap("] {
+                // claim (tests may count with fetch_add-style RMWs freely).
+                // Truncate at the first *line* that is exactly the test-mod
+                // attribute — a line-anchored match cannot be fooled by the
+                // marker appearing inside a string literal or a comment.
+                let algorithm_code: String = text
+                    .lines()
+                    .take_while(|line| line.trim() != test_marker)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                for needle in &forbidden {
                     assert!(
-                        !algorithm_code.contains(forbidden),
-                        "{} uses forbidden RMW {forbidden}",
+                        !algorithm_code.contains(needle.as_str()),
+                        "{} uses forbidden RMW {needle}",
                         path.display()
                     );
                 }

@@ -17,7 +17,7 @@
 //! when the guard drops.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
+use turnq_sync::atomic::{AtomicBool, Ordering};
 
 use crate::queue::TurnQueue;
 
@@ -63,9 +63,9 @@ impl<T> TurnMpscQueue<T> {
     /// the authoritative check). True when no *visible* item is linked.
     pub fn is_empty(&self) -> bool {
         let head = self.inner.head.load(Ordering::SeqCst);
-        // The consumer is the only thread that frees nodes, so the head
-        // cannot be freed between this load and the dereference — at worst
-        // this is a stale answer, which a hint permits.
+        // SAFETY: the consumer is the only thread that frees nodes, so the
+        // head cannot be freed between this load and the dereference — at
+        // worst this is a stale answer, which a hint permits.
         unsafe { &*head }.next.load(Ordering::SeqCst).is_null()
     }
 

@@ -153,6 +153,7 @@ mod tests {
         let a = CountingAllocator;
         let layout = Layout::from_size_align(64, 8).unwrap();
         let before = alloc_snapshot();
+        // SAFETY: the layout is valid and matches the allocation being freed or resized.
         let p = unsafe { a.alloc(layout) };
         assert!(!p.is_null());
         unsafe { a.dealloc(p, layout) };
@@ -168,6 +169,7 @@ mod tests {
         let layout = Layout::from_size_align(32, 8).unwrap();
         let p = unsafe { a.alloc(layout) };
         let before = alloc_snapshot();
+        // SAFETY: the layout is valid and matches the allocation being freed or resized.
         let p2 = unsafe { a.realloc(p, layout, 128) };
         assert!(!p2.is_null());
         let after = alloc_snapshot();

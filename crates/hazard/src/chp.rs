@@ -13,8 +13,8 @@
 //! implements that variant generically: the stored type declares its
 //! condition through [`ConditionalReclaim`].
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use turnq_sync::cell::UnsafeCell;
+use turnq_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -120,7 +120,7 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         &self,
         tid: usize,
         index: usize,
-        src: &std::sync::atomic::AtomicPtr<T>,
+        src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
         let ptr = src.load(Ordering::SeqCst);
         self.matrix.protect(tid, index, ptr);
@@ -215,6 +215,7 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> Drop for ConditionalHazardPointer
         // Exclusive access at drop: conditions are moot, deliver everything
         // to the sink.
         for (tid, row) in self.retired.iter().enumerate() {
+            // SAFETY: `&mut self` in Drop — exclusive access to every row.
             let list = unsafe { &mut *row.list.get() };
             for &ptr in list.iter() {
                 unsafe { self.sink.reclaim(tid, ptr) };
@@ -259,6 +260,7 @@ mod tests {
         let drops = Arc::new(AtomicUsize::new(0));
         let chp: ConditionalHazardPointers<Gated> = ConditionalHazardPointers::new(2, 1);
         let p = gated(true, &drops);
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { chp.retire(0, p) };
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
@@ -273,6 +275,7 @@ mod tests {
         assert_eq!(chp.retired_count(0), 1);
 
         // Open the condition "from the consuming thread" and flush.
+        // SAFETY: `p` is retired but not freed (condition closed), so still allocated.
         unsafe { (*p).open.store(true, Ordering::SeqCst) };
         unsafe { chp.flush(0) };
         assert_eq!(drops.load(Ordering::SeqCst), 1);
@@ -288,6 +291,7 @@ mod tests {
         unsafe { chp.retire(0, p) };
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         chp.clear(1);
+        // SAFETY: the tid is this (single-threaded) test's own row.
         unsafe { chp.flush(0) };
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
@@ -312,6 +316,8 @@ mod tests {
         let closed = gated(false, &drops);
         let open_protected = gated(true, &drops);
         chp.protect_ptr(1, 0, open_protected);
+        // SAFETY: fresh `Box::into_raw` pointers owned by this test, each
+        // unlinked and retired exactly once.
         unsafe {
             chp.retire(0, closed);
             chp.retire(0, open_protected);

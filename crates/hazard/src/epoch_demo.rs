@@ -18,8 +18,8 @@
 //! * under the identical schedule, [`HazardPointers`](crate::HazardPointers)
 //!   keeps the backlog at `≤ max_threads × k + 1`.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use turnq_sync::cell::UnsafeCell;
+use turnq_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -150,6 +150,7 @@ impl<T> EpochDomain<T> {
 impl<T> Drop for EpochDomain<T> {
     fn drop(&mut self) {
         for bucket in self.retired.iter() {
+            // SAFETY: `&mut self` in Drop — exclusive access to every row.
             let list = unsafe { &mut *bucket.list.get() };
             for &(_, ptr) in list.iter() {
                 unsafe { drop(Box::from_raw(ptr)) };
@@ -168,6 +169,7 @@ mod tests {
         let dom: EpochDomain<u64> = EpochDomain::new(2);
         for _ in 0..16 {
             let p = Box::into_raw(Box::new(1u64));
+            // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
             unsafe { dom.retire(0, p) };
         }
         // With nobody pinned the epoch free-runs and the backlog stays small
@@ -182,6 +184,7 @@ mod tests {
         let epoch_at_pin = dom.global_epoch();
         for _ in 0..100 {
             let p = Box::into_raw(Box::new(1u64));
+            // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
             unsafe { dom.retire(0, p) };
         }
         // After one possible advance right after the pin, nothing moves and
@@ -204,6 +207,7 @@ mod tests {
         dom.pin(0);
         dom.unpin(0);
         let p = Box::into_raw(Box::new(9u64));
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { dom.retire(0, p) };
         // No self-deadlock: the unpinned thread doesn't block itself.
         assert!(dom.retired_count(0) <= 1);

@@ -1,7 +1,7 @@
 //! Plain hazard pointers with the paper's `R = 0` eager-scan policy.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use turnq_sync::cell::UnsafeCell;
+use turnq_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -128,7 +128,7 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         &self,
         tid: usize,
         index: usize,
-        src: &std::sync::atomic::AtomicPtr<T>,
+        src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
         let ptr = src.load(Ordering::SeqCst);
         self.matrix.protect(tid, index, ptr);
@@ -220,6 +220,7 @@ impl<T, S: ReclaimSink<T>> Drop for HazardPointers<T, S> {
         // contract, and protection no longer matters — no thread can be
         // inside a protected dereference while the domain is being dropped.
         for (tid, row) in self.retired.iter().enumerate() {
+            // SAFETY: `&mut self` in Drop — exclusive access to every row.
             let list = unsafe { &mut *row.list.get() };
             for &ptr in list.iter() {
                 unsafe { self.sink.reclaim(tid, ptr) };
@@ -232,7 +233,7 @@ impl<T, S: ReclaimSink<T>> Drop for HazardPointers<T, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicPtr;
+    use turnq_sync::atomic::AtomicPtr;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -252,6 +253,7 @@ mod tests {
         let drops = Arc::new(AtomicUsize::new(0));
         let hp: HazardPointers<DropCounter> = HazardPointers::new(2, 2);
         let p = counted(&drops);
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { hp.retire(0, p) };
         assert_eq!(drops.load(Ordering::SeqCst), 1);
         assert_eq!(hp.retired_count(0), 0);
@@ -270,6 +272,7 @@ mod tests {
         hp.clear(1);
         // Next retire of anything triggers the scan that frees `p`.
         let q = counted(&drops);
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { hp.retire(0, q) };
         assert_eq!(drops.load(Ordering::SeqCst), 2);
         assert_eq!(hp.retired_count(0), 0);
@@ -287,6 +290,7 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         hp.clear(0);
         let q = counted(&drops);
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { hp.retire(0, q) };
         assert_eq!(drops.load(Ordering::SeqCst), 2);
     }
@@ -316,6 +320,7 @@ mod tests {
         // it succeeds on the new value (the Err path needs a mutation racing
         // the publish, which the stress test below exercises).
         assert_eq!(hp.try_protect(0, 0, &src), Ok(b));
+        // SAFETY: sole ownership — allocated by this test, freed exactly once.
         unsafe {
             drop(Box::from_raw(a));
             drop(Box::from_raw(b));
@@ -338,6 +343,7 @@ mod tests {
             }
         }
         for &p in &protected {
+            // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
             unsafe { hp.retire(0, p) };
         }
         for _ in 0..1000 {
@@ -358,6 +364,7 @@ mod tests {
         let drops = Arc::new(AtomicUsize::new(0));
         let hp: HazardPointers<DropCounter> = HazardPointers::with_scan_threshold(2, 1, 4);
         for _ in 0..4 {
+            // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
             unsafe { hp.retire(0, counted(&drops)) };
         }
         // At or below R: nothing scanned, nothing freed.
@@ -380,6 +387,7 @@ mod tests {
             got: Arc<Mutex<Vec<(usize, usize)>>>,
         }
         impl ReclaimSink<u64> for Collect {
+            // SAFETY: contract inherited from `ReclaimSink::reclaim` — `ptr` is unreachable and exclusively owned.
             unsafe fn reclaim(&self, tid: usize, ptr: *mut u64) {
                 self.got.lock().unwrap().push((tid, ptr as usize));
             }
@@ -439,6 +447,7 @@ mod tests {
                             match hp.try_protect(tid, 0, &shared) {
                                 Ok(cur) => {
                                     // Safe read while protected.
+                                    // SAFETY: `cur` is validated-protected by this thread's hazard slot.
                                     let _ = unsafe { &(*cur).0 };
                                     if shared
                                         .compare_exchange(
@@ -464,6 +473,7 @@ mod tests {
 
         // Retire the final survivor.
         let last = shared.load(Ordering::SeqCst);
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { hp.retire(0, last) };
         drop(Arc::try_unwrap(hp).ok().expect("sole owner"));
         assert_eq!(

@@ -1,7 +1,7 @@
 //! The shared hazard-pointer slot matrix used by both plain and conditional
 //! hazard pointers.
 
-use std::sync::atomic::{AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -106,6 +106,7 @@ mod tests {
         assert_eq!(m.peek(0, 1), p);
         m.clear_one(0, 1);
         assert!(!m.is_protected(p));
+        // SAFETY: sole ownership — allocated by this test, freed exactly once.
         unsafe { drop(Box::from_raw(p)) };
     }
 
@@ -132,6 +133,7 @@ mod tests {
         assert!(m.is_protected(p));
         m.clear(0);
         assert!(!m.is_protected(p));
+        // SAFETY: sole ownership — allocated by this test, freed exactly once.
         unsafe { drop(Box::from_raw(p)) };
     }
 

@@ -35,6 +35,7 @@ pub trait ReclaimSink<T>: Send + Sync {
 pub struct BoxDropSink;
 
 impl<T> ReclaimSink<T> for BoxDropSink {
+    // SAFETY: contract inherited from `ReclaimSink::reclaim` — `ptr` is unreachable and exclusively owned.
     unsafe fn reclaim(&self, _tid: usize, ptr: *mut T) {
         // SAFETY: forwarded from the caller contract — `ptr` came from
         // `Box::into_raw` and we are its sole owner.

@@ -2,7 +2,7 @@
 //! pointer reclamation. See the crate docs for the reclamation design.
 
 use std::ptr;
-use std::sync::atomic::{AtomicI32, AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicI32, AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};

@@ -17,6 +17,6 @@ pub mod checker;
 pub mod history;
 pub mod recorder;
 
-pub use checker::{check_history, CheckResult};
+pub use checker::{check_history, check_history_bounded, CheckResult};
 pub use history::{History, OpKind, OpRecord};
 pub use recorder::record_history;

@@ -1,0 +1,223 @@
+//! Negative-case tests: the checker must *reject* buggy queues.
+//!
+//! `turnq-linearize` is the oracle behind both the stress tests and the
+//! `turnq-modelcheck` interleaving explorer. An oracle that accepts
+//! everything is worse than none — a bug in the checker's legality rules
+//! would silently green-light broken queues across the whole workspace. So
+//! alongside the checker's unit tests (hand-built histories), this suite
+//! runs deliberately broken *implementations* through the same
+//! history-building path a real test would use and asserts each class of
+//! bug is caught:
+//!
+//! * reordering (a stack posing as a queue),
+//! * duplication (dequeue that forgets to pop),
+//! * loss (enqueue that drops items),
+//! * fabrication (dequeue invents values),
+//! * real-time violation (reading a value "from the future").
+//!
+//! A correct locked queue runs through the identical harness as a positive
+//! control, so a regression that rejects everything is caught too.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use turnq_api::ConcurrentQueue;
+use turnq_linearize::{check_history, CheckResult, History, OpKind, OpRecord};
+
+/// Drive `queue` sequentially and record each op with logical timestamps
+/// (op i spans [2i, 2i+1], so the real-time order is total). Sequential
+/// recording makes the test deterministic: a buggy queue cannot hide a
+/// wrong answer behind permissible concurrent reorderings.
+///
+/// `script` entries: `Some(v)` = enqueue v, `None` = dequeue.
+fn run_sequential<Q: ConcurrentQueue<u64>>(queue: &Q, script: &[Option<u64>]) -> History {
+    let ops = script
+        .iter()
+        .enumerate()
+        .map(|(i, step)| {
+            let kind = match step {
+                Some(v) => {
+                    queue.enqueue(*v);
+                    OpKind::Enqueue(*v)
+                }
+                None => OpKind::Dequeue(queue.dequeue()),
+            };
+            OpRecord {
+                thread: 0,
+                kind,
+                start: 2 * i as u64,
+                end: 2 * i as u64 + 1,
+            }
+        })
+        .collect();
+    History::new(ops)
+}
+
+fn assert_rejected(history: &History, what: &str) {
+    assert_eq!(
+        check_history(history),
+        CheckResult::NotLinearizable,
+        "checker failed to reject a {what}: {history:?}"
+    );
+}
+
+/// A LIFO stack behind the queue interface: items come back in reverse.
+struct StackNotQueue(Mutex<Vec<u64>>);
+
+impl ConcurrentQueue<u64> for StackNotQueue {
+    fn enqueue(&self, item: u64) {
+        self.0.lock().unwrap().push(item);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        self.0.lock().unwrap().pop()
+    }
+    fn max_threads(&self) -> usize {
+        64
+    }
+}
+
+#[test]
+fn reordering_is_rejected() {
+    let q = StackNotQueue(Mutex::new(Vec::new()));
+    let h = run_sequential(&q, &[Some(1), Some(2), None, None]);
+    // The stack returns 2 then 1; FIFO demands 1 then 2.
+    assert_rejected(&h, "LIFO reordering");
+}
+
+/// Dequeue peeks the front but forgets to pop: every item is returned on
+/// every subsequent dequeue.
+struct DuplicatingQueue(Mutex<VecDeque<u64>>);
+
+impl ConcurrentQueue<u64> for DuplicatingQueue {
+    fn enqueue(&self, item: u64) {
+        self.0.lock().unwrap().push_back(item);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        self.0.lock().unwrap().front().copied()
+    }
+    fn max_threads(&self) -> usize {
+        64
+    }
+}
+
+#[test]
+fn duplication_is_rejected() {
+    let q = DuplicatingQueue(Mutex::new(VecDeque::new()));
+    let h = run_sequential(&q, &[Some(7), None, None]);
+    // Both dequeues observe 7 — the structural duplicate-dequeue rejection.
+    assert_rejected(&h, "duplicated dequeue");
+}
+
+/// Drops every second enqueue on the floor.
+struct LossyQueue {
+    inner: Mutex<VecDeque<u64>>,
+    parity: Mutex<bool>,
+}
+
+impl ConcurrentQueue<u64> for LossyQueue {
+    fn enqueue(&self, item: u64) {
+        let mut drop_it = self.parity.lock().unwrap();
+        if !*drop_it {
+            self.inner.lock().unwrap().push_back(item);
+        }
+        *drop_it = !*drop_it;
+    }
+    fn dequeue(&self) -> Option<u64> {
+        self.inner.lock().unwrap().pop_front()
+    }
+    fn max_threads(&self) -> usize {
+        64
+    }
+}
+
+#[test]
+fn loss_is_rejected() {
+    let q = LossyQueue {
+        inner: Mutex::new(VecDeque::new()),
+        parity: Mutex::new(false),
+    };
+    // Enqueue 1 (kept), enqueue 2 (dropped), dequeue 1, then a dequeue that
+    // observes empty even though enqueue(2) completed long before — no
+    // linearization can place that empty-dequeue legally.
+    let h = run_sequential(&q, &[Some(1), Some(2), None, None]);
+    assert_rejected(&h, "lost item");
+}
+
+/// Fabricates values that were never enqueued.
+struct PhantomQueue(Mutex<u64>);
+
+impl ConcurrentQueue<u64> for PhantomQueue {
+    fn enqueue(&self, _item: u64) {}
+    fn dequeue(&self) -> Option<u64> {
+        let mut next = self.0.lock().unwrap();
+        *next += 1;
+        Some(1000 + *next)
+    }
+    fn max_threads(&self) -> usize {
+        64
+    }
+}
+
+#[test]
+fn fabricated_values_are_rejected() {
+    let q = PhantomQueue(Mutex::new(0));
+    let h = run_sequential(&q, &[Some(1), None]);
+    // Dequeue returns 1001, which no one enqueued.
+    assert_rejected(&h, "fabricated value");
+}
+
+#[test]
+fn value_from_the_future_is_rejected() {
+    // Hand-built: the dequeue *completes* before the enqueue of the value
+    // it returns even *starts*. No implementation harness can produce this
+    // (the recorder timestamps around real calls), but a checker bug in the
+    // real-time rule would accept it, so pin it directly.
+    let h = History::new(vec![
+        OpRecord {
+            thread: 0,
+            kind: OpKind::Dequeue(Some(5)),
+            start: 0,
+            end: 1,
+        },
+        OpRecord {
+            thread: 1,
+            kind: OpKind::Enqueue(5),
+            start: 10,
+            end: 11,
+        },
+    ]);
+    assert_rejected(&h, "value read before its enqueue started");
+}
+
+#[test]
+fn non_ok_results_are_not_ok() {
+    // `is_ok` must be true only for a proven linearization — treating
+    // `Inconclusive` (budget exhausted) as success would let an oracle
+    // "pass" by being too slow to decide.
+    assert!(!CheckResult::NotLinearizable.is_ok());
+    assert!(!CheckResult::Inconclusive.is_ok());
+}
+
+/// Positive control: the identical harness accepts a correct queue, so the
+/// rejections above demonstrate sensitivity, not a checker that fails
+/// everything.
+struct LockedQueue(Mutex<VecDeque<u64>>);
+
+impl ConcurrentQueue<u64> for LockedQueue {
+    fn enqueue(&self, item: u64) {
+        self.0.lock().unwrap().push_back(item);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        self.0.lock().unwrap().pop_front()
+    }
+    fn max_threads(&self) -> usize {
+        64
+    }
+}
+
+#[test]
+fn control_correct_queue_is_accepted() {
+    let q = LockedQueue(Mutex::new(VecDeque::new()));
+    let h = run_sequential(&q, &[Some(1), Some(2), None, Some(3), None, None, None]);
+    assert!(check_history(&h).is_ok(), "harness rejected a correct queue: {h:?}");
+}

@@ -1,0 +1,189 @@
+//! Model-check suites for the Kogan–Petrank baseline and the Conditional
+//! Hazard Pointers domain.
+//!
+//! The KP suite mirrors the Turn-queue acceptance history (linearizability,
+//! step bound, and race freedom on every explored schedule) under
+//! [`kp_step_bound`], KP's larger constant.
+//!
+//! The CHP suite machine-checks the *condition latch*: a retired object
+//! whose [`ConditionalReclaim::can_reclaim`] still reads `false` must
+//! survive every scan, no matter how retire, protect, clear, and the
+//! condition flip interleave. The invariant is asserted at the only place
+//! it can break — inside the [`ReclaimSink`], at the moment of
+//! reclamation.
+
+use std::sync::Arc;
+use turnq_hazard::{ConditionalHazardPointers, ConditionalReclaim, ReclaimSink};
+use turnq_kp::KPQueue;
+use turnq_modelcheck::{explore, kp_step_bound, Config, Scenario};
+use turnq_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Two-thread KP history: the same shape as the Turn-queue acceptance
+/// test, bounded by KP's own step polynomial.
+#[test]
+fn kp_two_thread_history() {
+    let cfg = Config {
+        threads: 2,
+        budget: 700,
+        dfs_budget: 600,
+        step_bound: Some(kp_step_bound(2)),
+        step_limit: 200_000,
+        ..Config::default()
+    };
+    let report = explore(&cfg, |log| {
+        let q = Arc::new(KPQueue::<u64>::with_max_threads(2));
+        let qp = Arc::clone(&q);
+        let q0 = Arc::clone(&q);
+        let q1 = q;
+        let l0 = log.clone();
+        let l1 = log;
+        Scenario {
+            bodies: vec![
+                Box::new(move || {
+                    l0.enqueue(0, 1, || q0.enqueue(1));
+                    l0.dequeue(0, || q0.dequeue());
+                }),
+                Box::new(move || {
+                    l1.enqueue(1, 2, || q1.enqueue(2));
+                    l1.dequeue(1, || q1.dequeue());
+                }),
+            ],
+            // Teardown on the controller, outside the modeled history
+            // (see `Scenario`).
+            post: Some(Box::new(move || {
+                drop(qp);
+                Ok(())
+            })),
+        }
+    });
+    report.assert_clean();
+    assert!(report.max_enqueue_steps <= kp_step_bound(2));
+    assert!(report.max_dequeue_steps <= kp_step_bound(2));
+    println!(
+        "kp 2-thread: executed={} dfs_complete={} max_enqueue_steps={} \
+         max_dequeue_steps={} bound={}",
+        report.executed,
+        report.dfs_complete,
+        report.max_enqueue_steps,
+        report.max_dequeue_steps,
+        kp_step_bound(2)
+    );
+}
+
+/// A retired object guarded by a boolean condition (the KP node pattern:
+/// the condition flips true when the item slot is consumed).
+struct CondNode {
+    ready: AtomicBool,
+}
+
+impl ConditionalReclaim for CondNode {
+    fn can_reclaim(&self) -> bool {
+        self.ready.load(Ordering::SeqCst)
+    }
+}
+
+/// Counts reclamations and asserts the latch invariant at reclaim time.
+struct LatchSink {
+    freed: Arc<AtomicUsize>,
+}
+
+impl ReclaimSink<CondNode> for LatchSink {
+    // SAFETY: contract inherited from `ReclaimSink::reclaim` — `ptr` is unreachable and exclusively owned.
+    unsafe fn reclaim(&self, _tid: usize, ptr: *mut CondNode) {
+        // SAFETY: the scan (or the exclusive domain drop) proved `ptr`
+        // unreachable and hands us sole ownership; it is still allocated
+        // here, so reading the condition is in-bounds.
+        let node = unsafe { &*ptr };
+        // The latch: in this scenario the condition is flipped exactly
+        // once, strictly after the flipping thread's last access, so a
+        // reclaim that observes `ready == false` means a scan freed a
+        // conditioned object early.
+        assert!(
+            node.ready.load(Ordering::SeqCst),
+            "condition latch violated: object reclaimed while can_reclaim() was false"
+        );
+        self.freed.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: sole ownership per the sink contract; allocated by
+        // `Box::into_raw` in the factory below.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+}
+
+/// CHP condition latch: T0 retires a not-yet-ready object and flushes;
+/// T1 protects it, reads it, unprotects, and only then flips the
+/// condition. Every interleaving must (a) never reclaim before the flip
+/// (sink assert), (b) reclaim exactly once by teardown, and (c) keep the
+/// owner-only retired-list accesses race-free.
+#[test]
+fn chp_condition_latch() {
+    let cfg = Config {
+        threads: 2,
+        budget: 3_000,
+        dfs_budget: 3_000,
+        step_bound: None,
+        ..Config::default()
+    };
+    let report = explore(&cfg, |_log| {
+        let freed = Arc::new(AtomicUsize::new(0));
+        let chp = Arc::new(ConditionalHazardPointers::<CondNode, LatchSink>::with_sink(
+            2,
+            1,
+            LatchSink {
+                freed: Arc::clone(&freed),
+            },
+        ));
+        let node = Box::into_raw(Box::new(CondNode {
+            ready: AtomicBool::new(false),
+        })) as usize;
+        let chp0 = Arc::clone(&chp);
+        let chp1 = Arc::clone(&chp);
+        let freed_post = Arc::clone(&freed);
+        Scenario {
+            bodies: vec![
+                // T0: retirer. The object is unlinked from T0's point of
+                // view; whether the scan may free it is the condition's
+                // (and the hazard matrix's) call.
+                Box::new(move || {
+                    let p = node as *mut CondNode;
+                    // SAFETY: `p` came from `Box::into_raw`, is retired
+                    // exactly once, and T1 only dereferences it before
+                    // flipping the condition (the CHP retire relaxation).
+                    unsafe { chp0.retire(0, p) };
+                    // Re-scan after the condition may have flipped.
+                    // SAFETY: row 0 is this thread's row.
+                    unsafe { chp0.flush(0) };
+                }),
+                // T1: reader-then-latcher. Protection and the reads stay
+                // strictly before the flip; after the flip T1 never
+                // touches the object again.
+                Box::new(move || {
+                    let p = node as *mut CondNode;
+                    chp1.protect_ptr(1, 0, p);
+                    // SAFETY: `ready` is still false (only this thread
+                    // flips it), so no scan can have freed `p` yet.
+                    let before = unsafe { &*p }.ready.load(Ordering::SeqCst);
+                    assert!(!before, "nobody else flips the condition");
+                    chp1.clear(1);
+                    // SAFETY: same liveness argument as above.
+                    unsafe { &*p }.ready.store(true, Ordering::SeqCst);
+                }),
+            ],
+            post: Some(Box::new(move || {
+                // Teardown on the controller: the domain drop delivers any
+                // leftover (ready, but never re-scanned) object to the
+                // sink, so exactly one reclaim must have happened in
+                // total.
+                drop(chp);
+                match freed_post.load(Ordering::SeqCst) {
+                    1 => Ok(()),
+                    n => Err(format!("expected exactly 1 reclaim, saw {n}")),
+                }
+            })),
+        }
+    });
+    report.assert_clean();
+    println!(
+        "chp latch: executed={} dfs_complete={}",
+        report.executed, report.dfs_complete
+    );
+}

@@ -1,0 +1,214 @@
+//! Seeded-bug mutants: each test plants a known concurrency bug and
+//! asserts the model checker catches it with the *right* violation class.
+//! This is the negative control for the whole subsystem — a checker that
+//! cannot catch a planted bug proves nothing when it reports clean runs.
+//!
+//! One mutant per detection layer:
+//!
+//! * lost-update enqueue  → `not-linearizable` (the oracle),
+//! * non-owner pool push  → `race` (the vector-clock detector),
+//! * spin on a dead flag  → `step-limit` (the scheduler valve),
+//! * absurdly small bound → `step-bound` (the wait-freedom auditor).
+
+use std::sync::Arc;
+use turn_queue::TurnQueue;
+use turnq_modelcheck::{explore, turn_step_bound, Config, Scenario};
+use turnq_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use turnq_sync::cell::UnsafeCell;
+
+/// A bounded "queue" with a classic ordering bug: the enqueue reserves a
+/// slot with a plain load-then-store on `len` instead of a fetch-add, so
+/// two concurrent enqueues can claim the same slot and one value is lost.
+/// All accesses are atomic — the race detector stays quiet and the
+/// linearizability oracle must do the catching.
+struct LostUpdateQueue {
+    buf: Vec<AtomicU64>,
+    len: AtomicUsize,
+    head: AtomicUsize,
+}
+
+impl LostUpdateQueue {
+    fn new(cap: usize) -> Self {
+        LostUpdateQueue {
+            buf: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            len: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    fn enqueue(&self, v: u64) {
+        // BUG (deliberate): load + store is not a reservation.
+        let i = self.len.load(Ordering::SeqCst);
+        self.buf[i].store(v, Ordering::SeqCst);
+        self.len.store(i + 1, Ordering::SeqCst);
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        let h = self.head.fetch_add(1, Ordering::SeqCst);
+        if h >= self.len.load(Ordering::SeqCst) {
+            return None;
+        }
+        match self.buf[h].swap(0, Ordering::SeqCst) {
+            0 => None,
+            v => Some(v),
+        }
+    }
+}
+
+#[test]
+fn lost_update_mutant_is_not_linearizable() {
+    let cfg = Config {
+        threads: 2,
+        budget: 2_000,
+        dfs_budget: 2_000,
+        step_bound: None,
+        ..Config::default()
+    };
+    let report = explore(&cfg, |log| {
+        let q = Arc::new(LostUpdateQueue::new(4));
+        let q0 = Arc::clone(&q);
+        let q1 = q;
+        let l0 = log.clone();
+        let l1 = log;
+        Scenario {
+            bodies: vec![
+                Box::new(move || {
+                    l0.enqueue(0, 1, || q0.enqueue(1));
+                    l0.dequeue(0, || q0.dequeue());
+                }),
+                Box::new(move || {
+                    l1.enqueue(1, 2, || q1.enqueue(2));
+                    l1.dequeue(1, || q1.dequeue());
+                }),
+            ],
+            post: None,
+        }
+    });
+    // Both enqueues complete, yet in the lost-update interleaving one
+    // value vanishes and a dequeue returns None from a non-empty queue.
+    report.assert_caught("not-linearizable");
+}
+
+/// The PR-1 node-pool shape with its central invariant broken: free lists
+/// are owner-only by design, but this mutant's thread 1 "helpfully"
+/// pushes into thread 0's list. Two plain accesses, no happens-before
+/// edge — exactly what the detector exists to flag.
+struct BrokenPool {
+    slots: [UnsafeCell<Vec<u64>>; 2],
+}
+
+// SAFETY: *intentionally wrong* for the system under test — the mutant
+// violates the owner-only discipline this impl would normally encode. The
+// test itself stays sound because the model-check scheduler serializes
+// all accesses (at most one worker runs at any instant).
+unsafe impl Sync for BrokenPool {}
+
+#[test]
+fn non_owner_pool_push_is_a_race() {
+    let cfg = Config {
+        threads: 2,
+        budget: 200,
+        dfs_budget: 200,
+        step_bound: None,
+        ..Config::default()
+    };
+    let report = explore(&cfg, |_log| {
+        let pool = Arc::new(BrokenPool {
+            slots: [UnsafeCell::new(Vec::new()), UnsafeCell::new(Vec::new())],
+        });
+        let p0 = Arc::clone(&pool);
+        let p1 = pool;
+        Scenario {
+            bodies: vec![
+                Box::new(move || {
+                    // Owner fast path: thread 0 on its own list.
+                    // SAFETY: serialized by the model-check scheduler (and
+                    // the bug under test is the *discipline* violation,
+                    // which the detector must report).
+                    unsafe { (*p0.slots[0].get()).push(10) };
+                }),
+                Box::new(move || {
+                    // BUG (deliberate): non-owner push into list 0.
+                    // SAFETY: as above.
+                    unsafe { (*p1.slots[0].get()).push(20) };
+                }),
+            ],
+            post: None,
+        }
+    });
+    report.assert_caught("race");
+}
+
+#[test]
+fn dead_flag_spin_hits_the_step_limit() {
+    let cfg = Config {
+        threads: 2,
+        budget: 10,
+        dfs_budget: 10,
+        step_bound: None,
+        step_limit: 500,
+        ..Config::default()
+    };
+    let report = explore(&cfg, |_log| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f0 = Arc::clone(&flag);
+        let f1 = flag;
+        Scenario {
+            bodies: vec![
+                Box::new(move || {
+                    // BUG (deliberate): nobody ever sets the flag; this is
+                    // not wait-free, not lock-free, not anything.
+                    while !f0.load(Ordering::SeqCst) {
+                        turnq_sync::hint::spin_loop();
+                    }
+                }),
+                Box::new(move || {
+                    f1.fetch_and(true, Ordering::SeqCst);
+                }),
+            ],
+            post: None,
+        }
+    });
+    report.assert_caught("step-limit");
+}
+
+/// The real Turn queue with a bound far below its true step complexity:
+/// the auditor (not the oracle) must object. Guards against a silently
+/// vacuous step audit — if `max_*_steps` were miscounted as 0, this test
+/// would fail.
+#[test]
+fn absurd_bound_trips_the_step_auditor() {
+    let cfg = Config {
+        threads: 2,
+        budget: 50,
+        dfs_budget: 50,
+        step_bound: Some(5),
+        ..Config::default()
+    };
+    assert!(turn_step_bound(2) > 5, "mutant bound must be below the real one");
+    let report = explore(&cfg, |log| {
+        let q = Arc::new(TurnQueue::<u64>::with_max_threads(2));
+        let qp = Arc::clone(&q);
+        let q0 = Arc::clone(&q);
+        let q1 = q;
+        let l0 = log.clone();
+        let l1 = log;
+        Scenario {
+            bodies: vec![
+                Box::new(move || {
+                    let h = q0.handle().expect("registry slot");
+                    l0.enqueue(0, 1, || h.enqueue(1));
+                }),
+                Box::new(move || {
+                    let h = q1.handle().expect("registry slot");
+                    l1.dequeue(1, || h.dequeue());
+                }),
+            ],
+            post: Some(Box::new(move || {
+                drop(qp);
+                Ok(())
+            })),
+        }
+    });
+    report.assert_caught("step-bound");
+}

@@ -1,0 +1,316 @@
+//! Instrumented drop-in replacements for `std::sync::atomic::*` and
+//! `std::cell::UnsafeCell` (compiled only with the `modelcheck` feature).
+//!
+//! Every wrapper is `#[repr(transparent)]` around the std type, so struct
+//! layouts (and therefore the Table 4 per-node memory numbers) are
+//! identical to normal builds. Each shared-memory access does three things:
+//!
+//! 1. [`rt::sync_point`] — parks the thread until the model-check scheduler
+//!    picks it, making the access an interleaving point and charging one
+//!    *step* to the running operation (the unit of the paper's
+//!    `O(MAX_THREADS)` wait-freedom bounds);
+//! 2. the real std operation, executed while this thread is the only one
+//!    running;
+//! 3. [`rt::record_atomic`] / [`rt::record_plain`] — vector-clock
+//!    bookkeeping for the happens-before race detector.
+//!
+//! On threads not owned by the scheduler all hooks are a thread-local
+//! check that falls through to the std operation.
+//!
+//! Known under-approximation: `UnsafeCell::get` records one plain access at
+//! the time the pointer is obtained; later dereferences of the same raw
+//! pointer are not individually visible. The workspace's owner-only pools
+//! and retired lists obtain and use the pointer within one scheduling
+//! slice, so this does not hide their cross-thread ordering obligations.
+
+use crate::rt;
+use std::sync::atomic::Ordering;
+
+macro_rules! int_atomic {
+    ($Name:ident, $Prim:ty) => {
+        /// Instrumented counterpart of the std atomic with the same name.
+        #[repr(transparent)]
+        #[derive(Default)]
+        pub struct $Name {
+            inner: std::sync::atomic::$Name,
+        }
+
+        impl $Name {
+            #[inline]
+            pub const fn new(v: $Prim) -> Self {
+                Self {
+                    inner: std::sync::atomic::$Name::new(v),
+                }
+            }
+
+            #[inline]
+            fn loc(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $Prim {
+                rt::sync_point();
+                let v = self.inner.load(order);
+                rt::record_atomic(self.loc(), rt::Acc::Load);
+                v
+            }
+
+            #[inline]
+            pub fn store(&self, v: $Prim, order: Ordering) {
+                rt::sync_point();
+                self.inner.store(v, order);
+                rt::record_atomic(self.loc(), rt::Acc::Store);
+            }
+
+            #[inline]
+            pub fn swap(&self, v: $Prim, order: Ordering) -> $Prim {
+                rt::sync_point();
+                let old = self.inner.swap(v, order);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                old
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $Prim,
+                new: $Prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$Prim, $Prim> {
+                rt::sync_point();
+                let r = self.inner.compare_exchange(current, new, success, failure);
+                // A failed CAS is a read; only a successful one publishes.
+                rt::record_atomic(
+                    self.loc(),
+                    if r.is_ok() { rt::Acc::Rmw } else { rt::Acc::Load },
+                );
+                r
+            }
+
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $Prim,
+                new: $Prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$Prim, $Prim> {
+                // Under the serialized scheduler there is no spurious
+                // failure; semantics match the strong variant.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            #[inline]
+            pub fn fetch_or(&self, v: $Prim, order: Ordering) -> $Prim {
+                rt::sync_point();
+                let old = self.inner.fetch_or(v, order);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                old
+            }
+
+            #[inline]
+            pub fn fetch_and(&self, v: $Prim, order: Ordering) -> $Prim {
+                rt::sync_point();
+                let old = self.inner.fetch_and(v, order);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                old
+            }
+
+            /// Exclusive access; recorded as a *plain* write so the race
+            /// detector can order it against concurrent atomic accesses
+            /// reached through raw pointers.
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $Prim {
+                rt::record_plain(self as *const Self as usize);
+                self.inner.get_mut()
+            }
+
+            #[inline]
+            pub fn into_inner(self) -> $Prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $Name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+/// Arithmetic RMWs, which `AtomicBool` lacks.
+macro_rules! int_atomic_arith {
+    ($Name:ident, $Prim:ty) => {
+        impl $Name {
+            #[inline]
+            pub fn fetch_add(&self, v: $Prim, order: Ordering) -> $Prim {
+                rt::sync_point();
+                let old = self.inner.fetch_add(v, order);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                old
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, v: $Prim, order: Ordering) -> $Prim {
+                rt::sync_point();
+                let old = self.inner.fetch_sub(v, order);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                old
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicIsize, isize);
+int_atomic!(AtomicU32, u32);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicI32, i32);
+int_atomic!(AtomicI64, i64);
+int_atomic!(AtomicBool, bool);
+int_atomic_arith!(AtomicUsize, usize);
+int_atomic_arith!(AtomicIsize, isize);
+int_atomic_arith!(AtomicU32, u32);
+int_atomic_arith!(AtomicU64, u64);
+int_atomic_arith!(AtomicI32, i32);
+int_atomic_arith!(AtomicI64, i64);
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicPtr<T>`.
+#[repr(transparent)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    #[inline]
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    #[inline]
+    fn loc(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        rt::sync_point();
+        let v = self.inner.load(order);
+        rt::record_atomic(self.loc(), rt::Acc::Load);
+        v
+    }
+
+    #[inline]
+    pub fn store(&self, v: *mut T, order: Ordering) {
+        rt::sync_point();
+        self.inner.store(v, order);
+        rt::record_atomic(self.loc(), rt::Acc::Store);
+    }
+
+    #[inline]
+    pub fn swap(&self, v: *mut T, order: Ordering) -> *mut T {
+        rt::sync_point();
+        let old = self.inner.swap(v, order);
+        rt::record_atomic(self.loc(), rt::Acc::Rmw);
+        old
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        rt::sync_point();
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        rt::record_atomic(
+            self.loc(),
+            if r.is_ok() { rt::Acc::Rmw } else { rt::Acc::Load },
+        );
+        r
+    }
+
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// See the integer atomics' `get_mut`.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        rt::record_plain(self as *const Self as usize);
+        self.inner.get_mut()
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Instrumented counterpart of `std::cell::UnsafeCell<T>`.
+///
+/// `get()` is both a scheduling point and a recorded *plain* access, which
+/// is what lets the model checker flag owner-only fast paths (the PR-1 node
+/// pool) whose plain loads/stores are not ordered with a concurrent
+/// thread's atomic accesses to the same location.
+#[repr(transparent)]
+#[derive(Default)]
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Raw pointer to the contents. Conservatively recorded as a plain
+    /// *write* (callers that only read still establish the same
+    /// owner-only obligations in this workspace).
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        rt::sync_point();
+        rt::record_plain(self.inner.get() as usize);
+        self.inner.get()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        rt::record_plain(self.inner.get() as usize);
+        self.inner.get_mut()
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}

@@ -1,0 +1,111 @@
+//! # `turnq-sync` — the workspace atomics facade
+//!
+//! Every queue crate in this workspace (`turn-queue`, `turnq-hazard`,
+//! `turnq-kp`, `turnq-threadreg`) imports its atomics and `UnsafeCell`
+//! from here instead of from `std` directly:
+//!
+//! ```
+//! use turnq_sync::atomic::{AtomicUsize, Ordering};
+//! let x = AtomicUsize::new(0);
+//! x.store(1, Ordering::SeqCst);
+//! assert_eq!(x.load(Ordering::SeqCst), 1);
+//! ```
+//!
+//! ## Two personalities
+//!
+//! * **Normal builds** (default): every item is a *re-export* of the std
+//!   type — `turnq_sync::atomic::AtomicUsize` *is*
+//!   `std::sync::atomic::AtomicUsize`. Zero cost by construction; release
+//!   binaries are bit-identical to the pre-facade code.
+//! * **`modelcheck` feature**: the same names resolve to `#[repr(transparent)]`
+//!   wrappers that route every load/store/CAS (and every `UnsafeCell`
+//!   access) through the [`rt`] runtime: a cooperative scheduler that
+//!   serializes threads at shared-memory access points so an explorer can
+//!   enumerate interleavings, a per-thread *step counter* used to
+//!   machine-check the paper's `O(MAX_THREADS)` wait-freedom bounds, and a
+//!   vector-clock race detector that flags same-location plain/atomic
+//!   access pairs that are not ordered by happens-before (the node pool's
+//!   owner-only fast paths are exactly such a pattern).
+//!
+//! The switch is a cargo *feature*, not a `--cfg`, so that
+//! `cargo test -p turnq-modelcheck` instruments the whole dependency graph
+//! through ordinary feature unification while the root tier-1 graph and the
+//! benchmark graph never see it.
+//!
+//! ## What is instrumented
+//!
+//! Only the types below. Code outside the facade (e.g. `Box` allocation,
+//! `Vec` internals, the harness's `std::sync::Mutex`) executes natively
+//! inside the current thread's scheduling slice. Threads that are not
+//! running under [`rt`] (the default) take a single thread-local branch and
+//! fall through to the std operation.
+
+#[cfg(not(feature = "modelcheck"))]
+mod imp {
+    /// Atomic integer/pointer types and memory orderings (std re-export).
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicI32, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64,
+            AtomicUsize, Ordering,
+        };
+    }
+    /// Interior-mutability cell (std re-export).
+    pub mod cell {
+        pub use std::cell::UnsafeCell;
+    }
+    /// Spin-loop hint (std re-export).
+    pub mod hint {
+        pub use std::hint::spin_loop;
+    }
+    /// Scheduling hints (std re-export).
+    pub mod thread {
+        pub use std::thread::yield_now;
+    }
+}
+
+#[cfg(feature = "modelcheck")]
+mod imp {
+    pub mod atomic {
+        pub use crate::instrumented::{
+            AtomicBool, AtomicI32, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64,
+            AtomicUsize,
+        };
+        pub use std::sync::atomic::Ordering;
+    }
+    pub mod cell {
+        pub use crate::instrumented::UnsafeCell;
+    }
+    pub mod hint {
+        /// Spin-loop hint. Not a scheduling point: the shared load that any
+        /// correct spin loop performs next is one already.
+        #[inline]
+        pub fn spin_loop() {
+            std::hint::spin_loop();
+        }
+    }
+    pub mod thread {
+        /// Cooperative yield. Under the model-check scheduler this is a
+        /// scheduling point (the explorer may preempt here); outside it,
+        /// it is `std::thread::yield_now`.
+        #[inline]
+        pub fn yield_now() {
+            if crate::rt::in_controlled_thread() {
+                crate::rt::sync_point();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+pub use imp::{atomic, cell, hint, thread};
+
+#[cfg(feature = "modelcheck")]
+mod instrumented;
+#[cfg(feature = "modelcheck")]
+pub mod rt;
+
+/// `true` when this build of the facade routes accesses through the
+/// instrumented runtime. Lets test code assert it is (or is not) running
+/// under the model checker.
+pub const INSTRUMENTED: bool = cfg!(feature = "modelcheck");

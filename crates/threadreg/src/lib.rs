@@ -25,7 +25,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use crossbeam_utils::CachePadded;
@@ -268,7 +268,7 @@ impl ThreadRegistry {
                 }
             }
             if round + 1 < GRACE_ROUNDS {
-                std::thread::yield_now();
+                turnq_sync::thread::yield_now();
             }
         }
         Err(RegistryFull {
@@ -414,6 +414,13 @@ mod tests {
                     });
                 }
             });
+        }
+        // `scope` can return before the exiting threads' TLS destructors
+        // release their slots (the lag documented in DESIGN.md §9 — the
+        // claim path absorbs it with a grace period, and so must we).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while reg.registered_count() != 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
         }
         assert_eq!(reg.registered_count(), 0);
     }

@@ -18,6 +18,7 @@ pub struct CachePadded<T> {
 }
 
 // The padding carries no data of its own.
+// SAFETY: padding carries no data; `T`'s own auto traits are the real gate.
 unsafe impl<T: Send> Send for CachePadded<T> {}
 unsafe impl<T: Sync> Sync for CachePadded<T> {}
 

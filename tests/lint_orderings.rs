@@ -1,0 +1,120 @@
+//! Workspace lint: every `Ordering::SeqCst` site must be accounted for in
+//! `docs/orderings.md`.
+//!
+//! The paper's algorithms are specified under sequential consistency and
+//! this reproduction deliberately keeps almost every atomic at `SeqCst`
+//! (ROADMAP: relaxations are a measured, per-site decision, not a
+//! default). To keep that deliberate, `docs/orderings.md` carries one row
+//! per file — `path | SeqCst count | justification` — and this test fails
+//! when
+//!
+//! * a file uses `SeqCst` but has no row (new sites need a justification),
+//! * a row's count is stale (sites were added or removed silently), or
+//! * a row points at a file that no longer uses `SeqCst` (dead row).
+//!
+//! Comment lines don't count: prose may discuss orderings freely.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+fn count_seqcst(text: &str) -> usize {
+    text.lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            !t.starts_with("//") && !t.starts_with("//!") && !t.starts_with("///")
+        })
+        .map(|l| l.matches("SeqCst").count())
+        .sum()
+}
+
+/// `path -> count` for every *production* source file that uses SeqCst
+/// (`src/` trees only: in test and bench code `SeqCst` is the
+/// uncontroversial default and needs no per-site defense).
+fn measured(root: &Path) -> BTreeMap<String, usize> {
+    let mut src_roots = vec![root.join("src")];
+    for parent in ["crates", "shims"] {
+        let parent = root.join(parent);
+        if !parent.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&parent).expect("readable dir") {
+            let path = entry.expect("readable entry").path();
+            if path.is_dir() {
+                src_roots.push(path.join("src"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    let mut stack = src_roots;
+    while let Some(dir) = stack.pop() {
+        if !dir.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&dir).expect("readable dir") {
+            let path = entry.expect("readable entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.to_string_lossy().ends_with(".rs") {
+                let n = count_seqcst(&fs::read_to_string(&path).expect("readable source"));
+                if n > 0 {
+                    let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                    out.insert(rel, n);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse `docs/orderings.md` table rows: `| path | count | justification |`.
+fn allowlist(root: &Path) -> BTreeMap<String, usize> {
+    let doc = fs::read_to_string(root.join("docs/orderings.md"))
+        .expect("docs/orderings.md must exist (the SeqCst allowlist)");
+    let mut out = BTreeMap::new();
+    for line in doc.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // | path | count | justification |  →  ["", path, count, just, ""]
+        if cells.len() >= 4 && cells[1].ends_with(".rs") {
+            let count: usize = cells[2]
+                .parse()
+                .unwrap_or_else(|_| panic!("bad count in orderings.md row: {line}"));
+            out.insert(cells[1].to_string(), count);
+        }
+    }
+    assert!(!out.is_empty(), "no table rows parsed from docs/orderings.md");
+    out
+}
+
+#[test]
+fn every_seqcst_site_is_accounted_for() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let measured = measured(root);
+    let allowed = allowlist(root);
+
+    let mut problems = Vec::new();
+    for (file, &n) in &measured {
+        match allowed.get(file) {
+            None => problems.push(format!(
+                "{file}: {n} SeqCst site(s) but no row in docs/orderings.md"
+            )),
+            Some(&m) if m != n => problems.push(format!(
+                "{file}: {n} SeqCst site(s) but docs/orderings.md says {m} — update the row \
+                 (and its justification, if the new sites change the story)"
+            )),
+            Some(_) => {}
+        }
+    }
+    for file in allowed.keys() {
+        if !measured.contains_key(file) {
+            problems.push(format!(
+                "{file}: listed in docs/orderings.md but has no SeqCst sites — remove the row"
+            ));
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "SeqCst allowlist out of sync:\n{}",
+        problems.join("\n")
+    );
+}

@@ -91,6 +91,7 @@ fn hp_backlog_bound_under_live_protections() {
         }
     }
     for &p in &pinned {
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { hp.retire(0, p) };
     }
     for _ in 0..10_000 {
@@ -109,6 +110,7 @@ fn epoch_blocks_hp_does_not() {
     epoch.pin(1);
     for _ in 0..N {
         let p = Box::into_raw(Box::new(0u64));
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { epoch.retire(0, p) };
     }
     assert_eq!(epoch.retired_count(0), N, "stalled reader must block epochs");
@@ -128,6 +130,7 @@ fn epoch_blocks_hp_does_not() {
     epoch.unpin(1);
     for _ in 0..4 {
         let p = Box::into_raw(Box::new(0u64));
+        // SAFETY: fresh `Box::into_raw` pointer owned by this test, unlinked, retired exactly once.
         unsafe { epoch.retire(0, p) };
     }
     assert!(epoch.retired_count(0) <= 3);
