@@ -8,6 +8,8 @@
 
 use core::fmt;
 
+pub use turnq_telemetry::TelemetrySnapshot;
+
 /// A multi-producer / multi-consumer unbounded FIFO queue.
 ///
 /// Correctness contract (paper §2):
@@ -149,6 +151,18 @@ pub trait QueueIntrospect {
     fn size_report() -> SizeReport;
     /// Live counters of the queue's node-recycling pool, if it has one.
     fn pool_stats(&self) -> Option<PoolStats> {
+        None
+    }
+
+    /// Aggregated telemetry for this queue instance, if it carries a
+    /// telemetry sheet: op/helping/CAS-retry/HP/pool counters, gauges, and
+    /// the helping-depth histogram (see `turnq-telemetry`).
+    ///
+    /// Returns `Some` for the instrumented queues in this workspace even
+    /// when the `telemetry` feature is off (the snapshot is then all-zero,
+    /// so harness code needs no cfg); `None` for queues with no sheet at
+    /// all. Values are exact once concurrent operations have quiesced.
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
         None
     }
 }

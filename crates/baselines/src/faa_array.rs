@@ -24,7 +24,9 @@ use turnq_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+use std::sync::Arc;
 use turnq_hazard::HazardPointers;
+use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
 use turnq_threadreg::ThreadRegistry;
 
 /// Item slots per node.
@@ -87,6 +89,8 @@ pub struct FaaArrayQueue<T> {
     tail: CachePadded<AtomicPtr<FaaNode<T>>>,
     hp: HazardPointers<FaaNode<T>>,
     registry: ThreadRegistry,
+    /// Observer-only probes (see `turnq-telemetry`).
+    telemetry: Arc<TelemetrySheet>,
 }
 
 // SAFETY: atomics + HP-managed pointers, as in the other queues.
@@ -98,13 +102,32 @@ impl<T> FaaArrayQueue<T> {
     pub fn with_max_threads(max_threads: usize) -> Self {
         assert!(max_threads >= 1);
         let sentinel = FaaNode::<T>::alloc(ptr::null_mut());
+        let telemetry = Arc::new(TelemetrySheet::new(max_threads));
+        let mut hp = HazardPointers::new(max_threads, HPS_PER_THREAD);
+        hp.attach_telemetry(TelemetryHandle::connected(&telemetry));
         FaaArrayQueue {
             max_threads,
             head: CachePadded::new(AtomicPtr::new(sentinel)),
             tail: CachePadded::new(AtomicPtr::new(sentinel)),
-            hp: HazardPointers::new(max_threads, HPS_PER_THREAD),
+            hp,
             registry: ThreadRegistry::new(max_threads),
+            telemetry,
         }
+    }
+
+    /// Aggregate this queue's telemetry (op, CAS-retry and HP counters,
+    /// plus backlog/registry gauges). All-zero with the feature off.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        // Keep the `probe`-off ⇒ all-zero contract (the registry tallies
+        // below are recorded unconditionally).
+        if turnq_telemetry::ENABLED {
+            snap.set_gauge("hp_retired_backlog", self.hp.retired_backlog() as u64);
+            snap.set_gauge("registry_registered", self.registry.registered_count() as u64);
+            snap.add_counter("slot_claim", self.registry.slot_claims());
+            snap.add_counter("slot_release", self.registry.slot_releases());
+        }
+        snap
     }
 
     /// The thread bound.
@@ -115,6 +138,7 @@ impl<T> FaaArrayQueue<T> {
     /// Lock-free enqueue: take a ticket, CAS the item into the cell.
     pub fn enqueue(&self, item: T) {
         let tid = self.registry.current_index();
+        self.telemetry.event(tid, EventKind::OpStart, 0);
         let item_ptr = Box::into_raw(Box::new(item));
         loop {
             let ltail = match self.hp.try_protect(tid, HP_NODE, &self.tail) {
@@ -149,8 +173,13 @@ impl<T> FaaArrayQueue<T> {
                             Ordering::SeqCst,
                         );
                         self.hp.clear(tid);
+                        self.telemetry.bump(tid, CounterId::EnqOps);
+                        self.telemetry.event(tid, EventKind::OpFinish, 0);
                         return;
                     }
+                    self.telemetry.bump(tid, CounterId::CasFailNext);
+                    self.telemetry
+                        .event(tid, EventKind::CasFail, CounterId::CasFailNext as u64);
                     // Lost the append race: reclaim our speculative node
                     // (nobody saw it) but keep the item for the next round.
                     // SAFETY: new_node never escaped; clear cell 0 first so
@@ -179,6 +208,8 @@ impl<T> FaaArrayQueue<T> {
                 .is_ok()
             {
                 self.hp.clear(tid);
+                self.telemetry.bump(tid, CounterId::EnqOps);
+                self.telemetry.event(tid, EventKind::OpFinish, 0);
                 return;
             }
             // A dequeuer poisoned our cell; burn the ticket and retry.
@@ -188,6 +219,7 @@ impl<T> FaaArrayQueue<T> {
     /// Lock-free dequeue: take a ticket, swap the cell out.
     pub fn dequeue(&self) -> Option<T> {
         let tid = self.registry.current_index();
+        self.telemetry.event(tid, EventKind::OpStart, 1);
         loop {
             let lhead = match self.hp.try_protect(tid, HP_NODE, &self.head) {
                 Ok(p) => p,
@@ -200,6 +232,8 @@ impl<T> FaaArrayQueue<T> {
                 && head_ref.next.load(Ordering::SeqCst).is_null()
             {
                 self.hp.clear(tid);
+                self.telemetry.bump(tid, CounterId::DeqEmpty);
+                self.telemetry.event(tid, EventKind::OpFinish, 0);
                 return None;
             }
             let idx = head_ref.deqidx.fetch_add(1, Ordering::SeqCst);
@@ -208,6 +242,8 @@ impl<T> FaaArrayQueue<T> {
                 let lnext = head_ref.next.load(Ordering::SeqCst);
                 if lnext.is_null() {
                     self.hp.clear(tid);
+                    self.telemetry.bump(tid, CounterId::DeqEmpty);
+                    self.telemetry.event(tid, EventKind::OpFinish, 0);
                     return None;
                 }
                 if self
@@ -231,6 +267,8 @@ impl<T> FaaArrayQueue<T> {
                 continue;
             }
             self.hp.clear(tid);
+            self.telemetry.bump(tid, CounterId::DeqOps);
+            self.telemetry.event(tid, EventKind::OpFinish, 0);
             // SAFETY: unique swap winner for a real item pointer.
             return Some(*unsafe { Box::from_raw(it) });
         }
@@ -287,6 +325,10 @@ impl<T> QueueIntrospect for FaaArrayQueue<T> {
             min_heap_allocs_per_item: 1,
             steady_state_allocs_per_item: 1, // no recycling layer
         }
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Some(FaaArrayQueue::telemetry_snapshot(self))
     }
 }
 

@@ -16,7 +16,9 @@ use turnq_sync::atomic::{AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+use std::sync::Arc;
 use turnq_hazard::HazardPointers;
+use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
 use turnq_threadreg::ThreadRegistry;
 
 /// Hazard slot for head/tail.
@@ -49,6 +51,10 @@ pub struct MSQueue<T> {
     tail: CachePadded<AtomicPtr<MsNode<T>>>,
     hp: HazardPointers<MsNode<T>>,
     registry: ThreadRegistry,
+    /// Observer-only probes (see `turnq-telemetry`). MS being lock-free,
+    /// its CAS-fail counters are unbounded per op — exactly the contrast
+    /// with the Turn queue the telemetry tables exist to show.
+    telemetry: Arc<TelemetrySheet>,
 }
 
 // SAFETY: same reasoning as TurnQueue — atomics + HP-managed raw pointers.
@@ -60,13 +66,32 @@ impl<T> MSQueue<T> {
     pub fn with_max_threads(max_threads: usize) -> Self {
         assert!(max_threads >= 1);
         let sentinel = MsNode::<T>::alloc(None);
+        let telemetry = Arc::new(TelemetrySheet::new(max_threads));
+        let mut hp = HazardPointers::new(max_threads, HPS_PER_THREAD);
+        hp.attach_telemetry(TelemetryHandle::connected(&telemetry));
         MSQueue {
             max_threads,
             head: CachePadded::new(AtomicPtr::new(sentinel)),
             tail: CachePadded::new(AtomicPtr::new(sentinel)),
-            hp: HazardPointers::new(max_threads, HPS_PER_THREAD),
+            hp,
             registry: ThreadRegistry::new(max_threads),
+            telemetry,
         }
+    }
+
+    /// Aggregate this queue's telemetry (op, CAS-retry and HP counters,
+    /// plus backlog/registry gauges). All-zero with the feature off.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        // Keep the `probe`-off ⇒ all-zero contract (the registry tallies
+        // below are recorded unconditionally).
+        if turnq_telemetry::ENABLED {
+            snap.set_gauge("hp_retired_backlog", self.hp.retired_backlog() as u64);
+            snap.set_gauge("registry_registered", self.registry.registered_count() as u64);
+            snap.add_counter("slot_claim", self.registry.slot_claims());
+            snap.add_counter("slot_release", self.registry.slot_releases());
+        }
+        snap
     }
 
     /// The thread bound.
@@ -87,6 +112,7 @@ impl<T> MSQueue<T> {
     }
 
     pub(crate) fn enqueue_with(&self, tid: usize, item: T) {
+        self.telemetry.event(tid, EventKind::OpStart, 0);
         let node = MsNode::alloc(Some(item));
         loop {
             let ltail = match self.hp.try_protect(tid, HP_HEAD_TAIL, &self.tail) {
@@ -113,6 +139,9 @@ impl<T> MSQueue<T> {
                     );
                     break;
                 }
+                self.telemetry.bump(tid, CounterId::CasFailNext);
+                self.telemetry
+                    .event(tid, EventKind::CasFail, CounterId::CasFailNext as u64);
             } else {
                 // Help swing a lagging tail.
                 let _ =
@@ -121,9 +150,12 @@ impl<T> MSQueue<T> {
             }
         }
         self.hp.clear(tid);
+        self.telemetry.bump(tid, CounterId::EnqOps);
+        self.telemetry.event(tid, EventKind::OpFinish, 0);
     }
 
     pub(crate) fn dequeue_with(&self, tid: usize) -> Option<T> {
+        self.telemetry.event(tid, EventKind::OpStart, 1);
         loop {
             let lhead = match self.hp.try_protect(tid, HP_HEAD_TAIL, &self.head) {
                 Ok(p) => p,
@@ -140,6 +172,8 @@ impl<T> MSQueue<T> {
             if lhead == ltail {
                 if lnext.is_null() {
                     self.hp.clear(tid);
+                    self.telemetry.bump(tid, CounterId::DeqEmpty);
+                    self.telemetry.event(tid, EventKind::OpFinish, 0);
                     return None; // observed empty
                 }
                 // Tail is lagging: help it, then retry.
@@ -163,8 +197,13 @@ impl<T> MSQueue<T> {
                 // SAFETY: lhead is now unreachable (head moved past it);
                 // only the CAS winner retires it.
                 unsafe { self.hp.retire(tid, lhead) };
+                self.telemetry.bump(tid, CounterId::DeqOps);
+                self.telemetry.event(tid, EventKind::OpFinish, 0);
                 return item;
             }
+            self.telemetry.bump(tid, CounterId::CasFailHead);
+            self.telemetry
+                .event(tid, EventKind::CasFail, CounterId::CasFailHead as u64);
         }
     }
 }
@@ -173,6 +212,8 @@ impl<T> Drop for MSQueue<T> {
     fn drop(&mut self) {
         let mut node = self.head.load(Ordering::Relaxed);
         while !node.is_null() {
+            // SAFETY: `&mut self` means no concurrent access; every node
+            // in the list is a live Box::into_raw allocation.
             let next = unsafe { &*node }.next.load(Ordering::Relaxed);
             // SAFETY: exclusive access; list nodes freed exactly once.
             unsafe { drop(Box::from_raw(node)) };
@@ -217,6 +258,10 @@ impl<T> QueueIntrospect for MSQueue<T> {
             min_heap_allocs_per_item: 1,
             steady_state_allocs_per_item: 1, // no recycling layer
         }
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Some(MSQueue::telemetry_snapshot(self))
     }
 }
 

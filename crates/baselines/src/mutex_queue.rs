@@ -7,14 +7,19 @@
 //! exists so the latency benches can show that tail.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+use turnq_telemetry::{CounterId, TelemetrySheet, TelemetrySnapshot};
 
 /// A blocking MPMC queue: `parking_lot::Mutex<VecDeque<T>>`.
 pub struct MutexQueue<T> {
     inner: Mutex<VecDeque<T>>,
     max_threads: usize,
+    /// Op counters. The lock already serializes everything, so all bumps
+    /// go to row 0: mutual exclusion makes single-writer trivially true.
+    telemetry: Arc<TelemetrySheet>,
 }
 
 impl<T> MutexQueue<T> {
@@ -24,17 +29,41 @@ impl<T> MutexQueue<T> {
         MutexQueue {
             inner: Mutex::new(VecDeque::new()),
             max_threads,
+            telemetry: Arc::new(TelemetrySheet::new(1)),
         }
+    }
+
+    /// Aggregate this queue's telemetry (op counters and the current
+    /// queue-size gauge). All-zero with the feature off.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        // Keep the `probe`-off ⇒ all-zero contract.
+        if turnq_telemetry::ENABLED {
+            snap.set_gauge("queue_size", self.len() as u64);
+        }
+        snap
     }
 
     /// Blocking enqueue.
     pub fn enqueue(&self, item: T) {
-        self.inner.lock().push_back(item);
+        let mut q = self.inner.lock();
+        q.push_back(item);
+        self.telemetry.bump(0, CounterId::EnqOps);
     }
 
     /// Blocking dequeue.
     pub fn dequeue(&self) -> Option<T> {
-        self.inner.lock().pop_front()
+        let mut q = self.inner.lock();
+        let item = q.pop_front();
+        self.telemetry.bump(
+            0,
+            if item.is_some() {
+                CounterId::DeqOps
+            } else {
+                CounterId::DeqEmpty
+            },
+        );
+        item
     }
 
     /// Number of items currently queued (exact under the lock).
@@ -85,6 +114,10 @@ impl<T> QueueIntrospect for MutexQueue<T> {
             min_heap_allocs_per_item: 0,
             steady_state_allocs_per_item: 0,
         }
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Some(MutexQueue::telemetry_snapshot(self))
     }
 }
 

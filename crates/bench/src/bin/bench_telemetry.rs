@@ -1,0 +1,96 @@
+//! Telemetry-annotated throughput run: the Figure 2 pairs protocol on one
+//! long-lived queue per kind, reporting throughput *and* what the
+//! algorithm did to get it (helping, CAS retries, HP and pool traffic,
+//! helping-depth histogram). Writes a machine-readable
+//! `BENCH_telemetry.json` artifact — schema in `docs/bench_format.md`.
+//!
+//! Extra flags beyond the common set: `--out=PATH` (artifact path,
+//! default `BENCH_telemetry.json`; `--out=-` skips the file).
+
+use std::fmt::Write as _;
+
+use turnq_bench::{banner, scale_from};
+use turnq_harness::telemetry::{
+    comparison_table, helping_depth_table, measure_pairs_with_telemetry, snapshot_table,
+};
+use turnq_harness::{Args, QueueKind};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from(&args);
+    let kinds = QueueKind::parse_list(args.get("queues"));
+    banner(
+        "Telemetry: pairs throughput with queue-internals counters",
+        &scale,
+    );
+    if !turnq_telemetry::ENABLED {
+        println!("(telemetry feature OFF — counters read zero; rebuild with default features)\n");
+    }
+
+    let mut measured = Vec::new();
+    for &kind in &kinds {
+        eprintln!("pairs+telemetry: {} ...", kind.name());
+        let r = measure_pairs_with_telemetry(kind, &scale);
+        measured.push((kind, r));
+    }
+
+    let with_snapshots: Vec<_> = measured
+        .iter()
+        .filter_map(|(kind, r)| r.snapshot.as_ref().map(|s| (kind.name(), s)))
+        .collect();
+    println!("{}", comparison_table(&with_snapshots));
+
+    for (kind, r) in &measured {
+        let Some(snap) = &r.snapshot else { continue };
+        println!(
+            "--- {} ({} ops/s) ---",
+            kind.name(),
+            r.throughput.ops_per_sec
+        );
+        println!("{}", snapshot_table(snap));
+        if snap.helping_depth_count() > 0 {
+            println!("helping depth (completion iteration; paper bound = threads-1):");
+            println!("{}", helping_depth_table(snap));
+        }
+    }
+
+    // Machine-readable artifact (hand-rolled JSON; schema versioned in
+    // docs/bench_format.md).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"turnq-bench-telemetry/1\",");
+    let _ = writeln!(json, "  \"benchmark\": \"pairs\",");
+    let _ = writeln!(
+        json,
+        "  \"telemetry_enabled\": {},",
+        turnq_telemetry::ENABLED
+    );
+    let _ = writeln!(
+        json,
+        "  \"scale\": {{\"threads\": {}, \"pairs\": {}, \"runs\": {}, \"work_spins\": {}}},",
+        scale.threads, scale.pairs, scale.runs, scale.work_spins
+    );
+    json.push_str("  \"queues\": [\n");
+    for (i, (kind, r)) in measured.iter().enumerate() {
+        let snap_json = r
+            .snapshot
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |s| s.to_json());
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {}, \"telemetry\": {}}}",
+            kind.name(),
+            r.throughput.ops_per_sec,
+            snap_json
+        );
+        json.push_str(if i + 1 < measured.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = args.get("out").unwrap_or("BENCH_telemetry.json");
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json).expect("write telemetry artifact");
+        println!("wrote {out}");
+    }
+}

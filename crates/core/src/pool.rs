@@ -43,6 +43,7 @@ use std::sync::Arc;
 use crossbeam_utils::CachePadded;
 use turnq_api::PoolStats;
 use turnq_hazard::ReclaimSink;
+use turnq_telemetry::{EventKind, TelemetryHandle};
 
 use crate::node::Node;
 
@@ -89,6 +90,10 @@ fn bump(counter: &AtomicU64) {
 pub(crate) struct NodePool<T> {
     slots: Box<[CachePadded<PoolSlot<T>>]>,
     capacity: usize,
+    /// Observer-only probes: hit/miss/refill ring events. The exact
+    /// hit/miss *counters* stay on the slots above (single source of
+    /// truth); the owning queue folds them into telemetry snapshots.
+    telemetry: TelemetryHandle,
 }
 
 // SAFETY: slot `i` is only accessed by the thread registered at index `i`
@@ -109,7 +114,14 @@ impl<T> NodePool<T> {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             capacity,
+            telemetry: TelemetryHandle::disconnected(),
         }
+    }
+
+    /// Emit hit/miss/refill events into `handle`'s sheet. Must run before
+    /// the pool is shared (the queue constructor attaches pre-`Arc`).
+    pub(crate) fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
     }
 
     /// Per-thread free-list capacity this pool was built with.
@@ -134,10 +146,12 @@ impl<T> NodePool<T> {
             Some(ptr) => {
                 slot.len.store(free.len() as u64, Ordering::Relaxed);
                 bump(&slot.hits);
+                self.telemetry.event(tid, EventKind::PoolHit, 0);
                 Some(ptr)
             }
             None => {
                 bump(&slot.misses);
+                self.telemetry.event(tid, EventKind::PoolMiss, 0);
                 None
             }
         }
@@ -166,6 +180,7 @@ impl<T> NodePool<T> {
             free.push(ptr);
             slot.len.store(free.len() as u64, Ordering::Relaxed);
             bump(&slot.recycled);
+            self.telemetry.event(tid, EventKind::PoolRefill, 0);
         } else {
             bump(&slot.overflows);
             // SAFETY: sole ownership; allocated by `Box::into_raw`.

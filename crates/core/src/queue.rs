@@ -16,6 +16,7 @@ use turnq_api::{
     ConcurrentQueue, PoolStats, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport,
 };
 use turnq_hazard::HazardPointers;
+use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
 use turnq_threadreg::{RegistryFull, ThreadRegistry};
 
 use crate::node::{Node, IDX_NONE};
@@ -80,6 +81,13 @@ pub struct TurnQueue<T> {
     /// frees, every enqueue allocates — the pre-pool behavior).
     pub(crate) pool: Arc<NodePool<T>>,
     pub(crate) registry: ThreadRegistry,
+    /// Observer-only telemetry sheet: op/helping/CAS-fail counters, the
+    /// helping-depth histogram, and per-thread event rings. Shared (via
+    /// handles) with the hazard domain and the node pool. Recording is
+    /// plain owner-only stores — see `turnq-telemetry` for why this cannot
+    /// affect wait-freedom or the CAS-only claim. An inert shell when the
+    /// `telemetry` feature is off.
+    pub(crate) telemetry: Arc<TelemetrySheet>,
     /// Optional bounded spin after publishing a request, before joining the
     /// helping loop (§4.1's backoff observation: "a valid (and perhaps
     /// interesting deliberate) strategy is to backoff and wait a while for
@@ -182,7 +190,17 @@ impl<T> TurnQueue<T> {
             deqself[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
             deqhelp[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
         }
-        let pool = Arc::new(NodePool::new(max_threads, pool_capacity));
+        let telemetry = Arc::new(TelemetrySheet::new(max_threads));
+        let mut pool = NodePool::new(max_threads, pool_capacity);
+        pool.attach_telemetry(TelemetryHandle::connected(&telemetry));
+        let pool = Arc::new(pool);
+        let mut hp = HazardPointers::with_sink(
+            max_threads,
+            HPS_PER_THREAD,
+            hp_scan_threshold,
+            PoolSink::new(Arc::clone(&pool)),
+        );
+        hp.attach_telemetry(TelemetryHandle::connected(&telemetry));
         TurnQueue {
             max_threads,
             head: CachePadded::new(AtomicPtr::new(sentinel)),
@@ -190,14 +208,10 @@ impl<T> TurnQueue<T> {
             enqueuers: mk_slots(),
             deqself,
             deqhelp,
-            hp: HazardPointers::with_sink(
-                max_threads,
-                HPS_PER_THREAD,
-                hp_scan_threshold,
-                PoolSink::new(Arc::clone(&pool)),
-            ),
+            hp,
             pool,
             registry: ThreadRegistry::new(max_threads),
+            telemetry,
             backoff_spins,
         }
     }
@@ -224,6 +238,39 @@ impl<T> TurnQueue<T> {
     /// Aggregated counters of the node-recycling pool (all threads).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Aggregate this queue's telemetry: sheet counters and the
+    /// helping-depth histogram, plus fold-in counters from the node pool
+    /// (hits/misses/recycles/overflows) and level gauges (pooled nodes,
+    /// HP retired backlog, live registrations). All-zero when the
+    /// `telemetry` feature is off; exact once concurrent ops quiesce.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        // The pool and registry tallies are recorded unconditionally (they
+        // predate the probes and feed their own tests), but the snapshot
+        // keeps the `probe`-off ⇒ all-zero contract, so fold them in only
+        // when the probes exist.
+        if turnq_telemetry::ENABLED {
+            let pool = self.pool.stats();
+            snap.add_counter("pool_hit", pool.hits);
+            snap.add_counter("pool_miss", pool.misses);
+            snap.add_counter("pool_recycled", pool.recycled);
+            snap.add_counter("pool_overflow", pool.overflows);
+            snap.set_gauge("pool_pooled_now", pool.pooled_now);
+            snap.set_gauge("hp_retired_backlog", self.hp.retired_backlog() as u64);
+            snap.set_gauge("registry_registered", self.registry.registered_count() as u64);
+            snap.add_counter("slot_claim", self.registry.slot_claims());
+            snap.add_counter("slot_release", self.registry.slot_releases());
+        }
+        snap
+    }
+
+    /// The raw telemetry sheet (per-thread event rings, thread-level
+    /// counters). Prefer [`telemetry_snapshot`](Self::telemetry_snapshot)
+    /// for aggregates.
+    pub fn telemetry(&self) -> &TelemetrySheet {
+        &self.telemetry
     }
 
     /// Per-thread node-pool capacity (0 = recycling disabled).
@@ -272,9 +319,21 @@ impl<T> TurnQueue<T> {
         self.dequeue_with(tid)
     }
 
+    /// Record a finished enqueue: ops counter, helping-depth histogram
+    /// bucket, and the finish event. `depth` is the helping-loop iteration
+    /// at which this thread *observed* its request complete — by Inv. 5
+    /// always at most `max_threads - 1`, the paper's overtaking bound.
+    #[inline]
+    fn record_enqueue(&self, myidx: usize, depth: usize) {
+        self.telemetry.bump(myidx, CounterId::EnqOps);
+        self.telemetry.record_depth(myidx, depth);
+        self.telemetry.event(myidx, EventKind::OpFinish, depth as u64);
+    }
+
     /// Paper Algorithm 2. `myidx` is the caller's registered index.
     pub(crate) fn enqueue_with(&self, myidx: usize, item: T) {
         debug_assert!(myidx < self.max_threads);
+        self.telemetry.event(myidx, EventKind::OpStart, 0);
         let my_node = self.alloc_node(myidx, Some(item)); // line 3
         // Our own request slot, hoisted: the publish, the backoff spin, and
         // every helping-loop iteration re-check it, and the bounds check +
@@ -285,15 +344,17 @@ impl<T> TurnQueue<T> {
         // helpers can finish it while we spin instead of contending.
         for _ in 0..self.backoff_spins {
             if my_slot.load(Ordering::SeqCst).is_null() {
+                self.record_enqueue(myidx, 0); // helped before we took a step
                 return; // a helper inserted our node
             }
             turnq_sync::hint::spin_loop();
         }
-        for _ in 0..self.max_threads {
+        for iter in 0..self.max_threads {
             // line 5
             // line 6: a helper inserted our node and cleared our slot.
             if my_slot.load(Ordering::SeqCst).is_null() {
                 self.hp.clear(myidx); // line 7
+                self.record_enqueue(myidx, iter);
                 return;
             }
             // lines 10-11: protect + validate tail (Algorithm 5 pattern —
@@ -328,21 +389,42 @@ impl<T> TurnQueue<T> {
                 if node_to_help.is_null() {
                     continue;
                 }
-                let _ = ltail_ref.next.compare_exchange(
+                match ltail_ref.next.compare_exchange(
                     ptr::null_mut(),
                     node_to_help,
                     Ordering::SeqCst,
                     Ordering::SeqCst,
-                );
+                ) {
+                    Ok(_) if node_to_help != my_node => {
+                        // Inserted a node published by another thread's
+                        // request: the paper's helping mechanism at work.
+                        self.telemetry.bump(myidx, CounterId::HelpEnqueue);
+                        self.telemetry.event(myidx, EventKind::HelpOther, 0);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        self.telemetry.bump(myidx, CounterId::CasFailNext);
+                        self.telemetry.event(
+                            myidx,
+                            EventKind::CasFail,
+                            CounterId::CasFailNext as u64,
+                        );
+                    }
+                }
                 break;
             }
             // lines 23-24: advance the tail past whatever got inserted
             // (Inv. 2 — tail only advances after an insertion).
             let lnext = ltail_ref.next.load(Ordering::SeqCst);
-            if !lnext.is_null() {
-                let _ = self
+            if !lnext.is_null()
+                && self
                     .tail
-                    .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst);
+                    .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+            {
+                self.telemetry.bump(myidx, CounterId::CasFailTail);
+                self.telemetry
+                    .event(myidx, EventKind::CasFail, CounterId::CasFailTail as u64);
             }
         }
         self.hp.clear(myidx); // line 25
@@ -350,11 +432,27 @@ impl<T> TurnQueue<T> {
         // is in the list, so closing our own slot cannot lose it. `Release`
         // as in the paper.
         my_slot.store(ptr::null_mut(), Ordering::Release);
+        // The loop bound itself completed the request (Inv. 5), so the
+        // observed depth is the bound's last iteration.
+        self.record_enqueue(myidx, self.max_threads - 1);
+    }
+
+    /// Dequeue counterpart of [`record_enqueue`](Self::record_enqueue).
+    #[inline]
+    fn record_dequeue(&self, myidx: usize, depth: usize) {
+        self.telemetry.bump(myidx, CounterId::DeqOps);
+        self.telemetry.record_depth(myidx, depth);
+        self.telemetry.event(myidx, EventKind::OpFinish, depth as u64);
     }
 
     /// Paper Algorithm 3.
     pub(crate) fn dequeue_with(&self, myidx: usize) -> Option<T> {
         debug_assert!(myidx < self.max_threads);
+        self.telemetry.event(myidx, EventKind::OpStart, 1);
+        // Iteration of the helping loop at which we observed our request
+        // satisfied; `None` after the loop means the bound itself completed
+        // it (the paper's worst case, depth `max_threads - 1`).
+        let mut depth: Option<usize> = None;
         // Our own request slots, hoisted out of the backoff spin and the
         // helping loop (same reasoning as in `enqueue_with`).
         let my_deqself = &self.deqself[myidx];
@@ -371,10 +469,11 @@ impl<T> TurnQueue<T> {
             }
             turnq_sync::hint::spin_loop();
         }
-        for _ in 0..self.max_threads {
+        for iter in 0..self.max_threads {
             // line 6
             // line 7: request already satisfied by a helper.
             if my_deqhelp.load(Ordering::SeqCst) != my_req {
+                depth = Some(iter);
                 break;
             }
             // lines 8-9: protect + validate head.
@@ -394,9 +493,14 @@ impl<T> TurnQueue<T> {
                     // `Relaxed` as in the paper: only this thread reads
                     // deqself[myidx] before the next publication.
                     my_deqself.store(my_req, Ordering::Relaxed);
+                    depth = Some(iter);
                     break;
                 }
                 self.hp.clear(myidx); // line 17
+                // Empty dequeues do not enter the depth histogram — it
+                // counts completed transfers only.
+                self.telemetry.bump(myidx, CounterId::DeqEmpty);
+                self.telemetry.event(myidx, EventKind::OpFinish, iter as u64);
                 return None; // line 18 — Inv. 11: no node was assigned to us
             }
             // SAFETY: lhead protected (line 8) and validated (line 9).
@@ -422,10 +526,14 @@ impl<T> TurnQueue<T> {
         if lhead == self.head.load(Ordering::SeqCst)
             // SAFETY: lhead protected + validated (short-circuit order).
             && my_node == unsafe { &*lhead }.next.load(Ordering::SeqCst)
-        {
-            let _ = self
+            && self
                 .head
-                .compare_exchange(lhead, my_node, Ordering::SeqCst, Ordering::SeqCst);
+                .compare_exchange(lhead, my_node, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+        {
+            self.telemetry.bump(myidx, CounterId::CasFailHead);
+            self.telemetry
+                .event(myidx, EventKind::CasFail, CounterId::CasFailHead as u64);
         }
         self.hp.clear(myidx); // line 29
         // line 30: retire the node from two dequeues ago — only now is it
@@ -442,6 +550,7 @@ impl<T> TurnQueue<T> {
         // SAFETY: see above.
         let taken = unsafe { (*my_node).take_item() };
         debug_assert!(taken.is_some(), "assigned node must still hold its item");
+        self.record_dequeue(myidx, depth.unwrap_or(self.max_threads - 1));
         taken
     }
 
@@ -501,19 +610,39 @@ impl<T> TurnQueue<T> {
                 self.deqhelp[ldeq_tid].load(Ordering::SeqCst),
             );
             if ldeqhelp != lnext && lhead == self.head.load(Ordering::SeqCst) {
-                let _ = self.deqhelp[ldeq_tid].compare_exchange(
+                match self.deqhelp[ldeq_tid].compare_exchange(
                     ldeqhelp,
                     lnext,
                     Ordering::SeqCst,
                     Ordering::SeqCst,
-                );
+                ) {
+                    Ok(_) => {
+                        // Closed another thread's dequeue request for it.
+                        self.telemetry.bump(myidx, CounterId::HelpDequeue);
+                        self.telemetry.event(myidx, EventKind::HelpOther, 1);
+                    }
+                    Err(_) => {
+                        self.telemetry.bump(myidx, CounterId::CasFailDeqHelp);
+                        self.telemetry.event(
+                            myidx,
+                            EventKind::CasFail,
+                            CounterId::CasFailDeqHelp as u64,
+                        );
+                    }
+                }
             }
         }
         // line 57: Inv. 8 — the head only advances after the assignment is
         // visible in deqhelp, so the owner can always reach its node.
-        let _ = self
+        if self
             .head
-            .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst);
+            .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            self.telemetry.bump(myidx, CounterId::CasFailHead);
+            self.telemetry
+                .event(myidx, EventKind::CasFail, CounterId::CasFailHead as u64);
+        }
     }
 
     /// Paper Algorithm 4, `giveUp` (lines 60-71): executed when a dequeuer
@@ -670,6 +799,10 @@ impl<T> QueueIntrospect for TurnQueue<T> {
 
     fn pool_stats(&self) -> Option<PoolStats> {
         Some(self.pool.stats())
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Some(TurnQueue::telemetry_snapshot(self))
     }
 }
 

@@ -74,6 +74,13 @@ impl<T> TurnMpscQueue<T> {
         self.inner.max_threads
     }
 
+    /// Telemetry aggregate of the underlying Turn queue (the wait-free
+    /// enqueue side records ops, helping and CAS-retry counters; the
+    /// exclusive consumer walk records nothing).
+    pub fn telemetry_snapshot(&self) -> turnq_telemetry::TelemetrySnapshot {
+        self.inner.telemetry_snapshot()
+    }
+
     /// Claim the consumer endpoint. Returns `None` if it is already
     /// claimed. The endpoint is released when the returned guard drops.
     pub fn consumer(&self) -> Option<MpscConsumer<'_, T>> {
@@ -187,6 +194,13 @@ impl<T> TurnSpmcQueue<T> {
     /// The `max_threads` bound.
     pub fn max_threads(&self) -> usize {
         self.inner.max_threads
+    }
+
+    /// Telemetry aggregate of the underlying Turn queue (the wait-free
+    /// dequeue side records ops, helping and CAS-retry counters; the
+    /// exclusive producer link-and-advance records nothing).
+    pub fn telemetry_snapshot(&self) -> turnq_telemetry::TelemetrySnapshot {
+        self.inner.telemetry_snapshot()
     }
 
     /// Claim the producer endpoint. Returns `None` if it is already

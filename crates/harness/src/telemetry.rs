@@ -1,0 +1,178 @@
+//! Fold queue telemetry into the harness reports.
+//!
+//! The measurement protocols in [`crate::throughput`] answer "how fast";
+//! the telemetry sheets every queue carries (see `turnq-telemetry`) answer
+//! "what did the algorithm do to get there": helping pressure, CAS-retry
+//! rates, HP scan/retire traffic, pool hit rates, and the helping-depth
+//! histogram — the runtime face of the paper's `MAX_THREADS - 1`
+//! overtaking bound. This module runs a workload against one long-lived
+//! queue instance and renders its accumulated snapshot next to the
+//! throughput number.
+//!
+//! With the `telemetry` feature off every counter reads zero; the tables
+//! still render (all-zero), so callers need no `cfg`.
+
+use turnq_api::{ConcurrentQueue, QueueFamily, QueueIntrospect, TelemetrySnapshot};
+
+use crate::config::Scale;
+use crate::kinds::QueueKind;
+use crate::stats::median;
+use crate::tables::Table;
+use crate::throughput::{pairs_once_on, PairsResult};
+use crate::with_queue_family;
+
+/// A pairs-benchmark result bundled with the telemetry the queue
+/// accumulated while producing it.
+#[derive(Debug, Clone)]
+pub struct PairsTelemetry {
+    /// Median throughput over the runs (same protocol as
+    /// [`measure_pairs`](crate::throughput::measure_pairs), but all runs
+    /// share one queue instance so counters accumulate).
+    pub throughput: PairsResult,
+    /// The queue's aggregated telemetry after the last run, or `None` for
+    /// a queue with no telemetry sheet.
+    pub snapshot: Option<TelemetrySnapshot>,
+}
+
+/// Run the Figure 2 pairs protocol on a single queue instance and return
+/// the throughput together with the queue's telemetry snapshot.
+pub fn measure_pairs_with_telemetry(kind: QueueKind, scale: &Scale) -> PairsTelemetry {
+    with_queue_family!(kind, F => pairs_with_telemetry_generic::<F>(scale))
+}
+
+fn pairs_with_telemetry_generic<F: QueueFamily>(scale: &Scale) -> PairsTelemetry {
+    let queue = F::with_max_threads::<u64>(scale.threads);
+    let mut per_run = Vec::with_capacity(scale.runs);
+    for _ in 0..scale.runs {
+        per_run.push(pairs_once_on(&queue, scale));
+    }
+    // Drain whatever the pairs protocol left in flight so the snapshot
+    // describes a quiesced queue (enqueues == dequeues).
+    while queue.dequeue().is_some() {}
+    let snapshot = queue.telemetry_snapshot();
+    PairsTelemetry {
+        throughput: PairsResult {
+            ops_per_sec: median(&per_run),
+        },
+        snapshot,
+    }
+}
+
+/// Counters every queue reports, in the order the comparison table shows
+/// them. `(short name, table header)`.
+const TABLE_COUNTERS: &[(&str, &str)] = &[
+    ("enq_ops", "enq"),
+    ("deq_ops", "deq"),
+    ("deq_empty", "deq-empty"),
+    ("help_enqueue", "help-enq"),
+    ("help_dequeue", "help-deq"),
+    ("cas_fail_tail", "casf-tail"),
+    ("cas_fail_next", "casf-next"),
+    ("cas_fail_head", "casf-head"),
+    ("cas_fail_deqhelp", "casf-dh"),
+    ("hp_scan", "hp-scan"),
+    ("hp_reclaim", "hp-free"),
+    ("pool_hit", "pool-hit"),
+    ("pool_miss", "pool-miss"),
+];
+
+/// One comparison table over several queues' snapshots: a column per
+/// headline counter plus the observed maximum helping depth.
+pub fn comparison_table(entries: &[(&str, &TelemetrySnapshot)]) -> Table {
+    let mut headers = vec!["queue".to_string()];
+    headers.extend(TABLE_COUNTERS.iter().map(|(_, h)| h.to_string()));
+    headers.push("depth-max".to_string());
+    let mut table = Table::new(headers);
+    for (name, snap) in entries {
+        let mut row = vec![name.to_string()];
+        row.extend(
+            TABLE_COUNTERS
+                .iter()
+                .map(|(key, _)| snap.get(key).to_string()),
+        );
+        row.push(
+            snap.helping_depth_max()
+                .map_or_else(|| "-".to_string(), |d| d.to_string()),
+        );
+        table.add_row(row);
+    }
+    table
+}
+
+/// Render one snapshot's full counter/gauge set as a two-column table.
+pub fn snapshot_table(snap: &TelemetrySnapshot) -> Table {
+    let mut table = Table::new(vec!["metric", "value"]);
+    for &(name, v) in snap.counters() {
+        table.add_row(vec![format!("turnq_{name}_total"), v.to_string()]);
+    }
+    for &(name, v) in snap.gauges() {
+        table.add_row(vec![format!("turnq_{name}"), v.to_string()]);
+    }
+    table
+}
+
+/// Render the helping-depth histogram — depth bucket per row — in the
+/// style of the latency histograms ([`crate::histogram`]). Each bar is
+/// scaled to the largest bucket.
+pub fn helping_depth_table(snap: &TelemetrySnapshot) -> Table {
+    const BAR_WIDTH: u64 = 40;
+    let peak = snap.helping_depth().iter().copied().max().unwrap_or(0);
+    let mut table = Table::new(vec!["depth", "ops", "share"]);
+    for (d, &n) in snap.helping_depth().iter().enumerate() {
+        let width = (n * BAR_WIDTH).checked_div(peak).unwrap_or(0);
+        table.add_row(vec![d.to_string(), n.to_string(), "#".repeat(width as usize)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            threads: 2,
+            bursts: 2,
+            burst_items: 200,
+            runs: 2,
+            pairs: 1_000,
+            warmup: 1,
+            work_spins: 0,
+        }
+    }
+
+    #[test]
+    fn every_queue_yields_a_snapshot() {
+        for kind in QueueKind::all() {
+            let r = measure_pairs_with_telemetry(kind, &tiny());
+            assert!(r.throughput.ops_per_sec > 0, "{}", kind.name());
+            let snap = r.snapshot.expect("all workspace queues carry a sheet");
+            if turnq_telemetry::ENABLED {
+                // The pairs protocol plus drain moves every enqueued item
+                // out again: enqueues == dequeues once quiesced.
+                assert_eq!(
+                    snap.get("enq_ops"),
+                    snap.get("deq_ops"),
+                    "{}",
+                    kind.name()
+                );
+                assert!(snap.get("enq_ops") > 0, "{}", kind.name());
+            } else {
+                assert_eq!(snap.get("enq_ops"), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_render_for_turn_queue() {
+        let r = measure_pairs_with_telemetry(QueueKind::Turn, &tiny());
+        let snap = r.snapshot.unwrap();
+        let cmp = comparison_table(&[("Turn", &snap)]);
+        assert_eq!(cmp.row_count(), 1);
+        assert!(cmp.render().contains("Turn"));
+        let full = snapshot_table(&snap);
+        assert!(full.render().contains("turnq_enq_ops_total"));
+        let hist = helping_depth_table(&snap);
+        assert!(hist.row_count() >= 1);
+    }
+}

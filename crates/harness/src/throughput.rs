@@ -41,9 +41,16 @@ fn measure_pairs_generic<F: QueueFamily>(scale: &Scale) -> PairsResult {
 }
 
 fn pairs_once<F: QueueFamily>(scale: &Scale) -> u64 {
+    let queue = F::with_max_threads::<u64>(scale.threads);
+    pairs_once_on(&queue, scale)
+}
+
+/// One pairs run against an externally owned queue, so a caller can reuse
+/// the instance across runs and read its accumulated telemetry afterwards
+/// (see [`crate::telemetry`]).
+pub fn pairs_once_on<Q: ConcurrentQueue<u64>>(queue: &Q, scale: &Scale) -> u64 {
     let threads = scale.threads;
     let per_thread = (scale.pairs / threads).max(1);
-    let queue = F::with_max_threads::<u64>(threads);
     let barrier = Barrier::new(threads);
     // Every worker records its own (start, end) against a shared origin;
     // wall time = max(end) - min(start). A single observer thread would be
@@ -54,7 +61,6 @@ fn pairs_once<F: QueueFamily>(scale: &Scale) -> u64 {
     let spans: Vec<(u64, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let queue = &queue;
                 let barrier = &barrier;
                 let origin = &origin;
                 s.spawn(move || {

@@ -18,6 +18,8 @@ use turnq_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+use turnq_telemetry::{CounterId, EventKind, TelemetryHandle};
+
 use crate::matrix::HpMatrix;
 use crate::sink::{BoxDropSink, ReclaimSink};
 
@@ -57,6 +59,9 @@ pub struct ConditionalHazardPointers<T: ConditionalReclaim, S: ReclaimSink<T> = 
     matrix: HpMatrix<T>,
     retired: Box<[CachePadded<RetiredList<T>>]>,
     sink: S,
+    /// Observer-only probes (`chp_*` counters); disconnected unless an
+    /// owner attaches its sheet.
+    telemetry: TelemetryHandle,
 }
 
 // SAFETY: identical reasoning to `HazardPointers`.
@@ -89,7 +94,21 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
             matrix: HpMatrix::new(max_threads, k),
             retired,
             sink,
+            telemetry: TelemetryHandle::disconnected(),
         }
+    }
+
+    /// Record this domain's traffic into `handle`'s sheet (counters:
+    /// `hp_protect`, `chp_scan`, `chp_retire`, `chp_reclaim`). Observation
+    /// only — attaching changes no reclamation behavior.
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
+    }
+
+    /// Total retired-but-unfreed objects across all thread rows (the
+    /// conditional-retire queue depth gauge).
+    pub fn retired_backlog(&self) -> usize {
+        (0..self.max_threads()).map(|t| self.retired_count(t)).sum()
     }
 
     /// The installed reclaim sink.
@@ -110,6 +129,7 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
     /// Publish `ptr` in hazard slot `index` of thread `tid` and return it.
     #[inline]
     pub fn protect_ptr(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
+        self.telemetry.bump(tid, CounterId::HpProtect);
         self.matrix.protect(tid, index, ptr)
     }
 
@@ -122,6 +142,7 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         index: usize,
         src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
+        self.telemetry.bump(tid, CounterId::HpProtect);
         let ptr = src.load(Ordering::SeqCst);
         self.matrix.protect(tid, index, ptr);
         let now = src.load(Ordering::SeqCst);
@@ -170,6 +191,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         let row = &self.retired[tid];
         // SAFETY: `tid` exclusivity (caller contract).
         let list = unsafe { &mut *row.list.get() };
+        self.telemetry.bump(tid, CounterId::ChpRetire);
+        self.telemetry.event(tid, EventKind::HpRetire, 0);
         list.push(ptr);
         self.scan(tid, list);
         row.len.store(list.len(), Ordering::Relaxed);
@@ -190,6 +213,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
     }
 
     fn scan(&self, tid: usize, list: &mut Vec<*mut T>) {
+        self.telemetry.bump(tid, CounterId::ChpScan);
+        let mut reclaimed = 0u64;
         let mut i = 0;
         while i < list.len() {
             let candidate = list[i];
@@ -199,6 +224,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
             let reclaimable = unsafe { (*candidate).can_reclaim() };
             if reclaimable && !self.matrix.is_protected(candidate) {
                 list.swap_remove(i);
+                reclaimed += 1;
+                self.telemetry.event(tid, EventKind::HpFree, 0);
                 // SAFETY: unprotected, condition satisfied — per the trait
                 // contract nothing will dereference it again. The sink
                 // becomes sole owner.
@@ -207,6 +234,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
                 i += 1;
             }
         }
+        self.telemetry.add(tid, CounterId::ChpReclaim, reclaimed);
+        self.telemetry.event(tid, EventKind::HpScan, reclaimed);
     }
 }
 

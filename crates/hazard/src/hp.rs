@@ -5,6 +5,8 @@ use turnq_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+use turnq_telemetry::{CounterId, EventKind, TelemetryHandle};
+
 use crate::matrix::HpMatrix;
 use crate::sink::{BoxDropSink, ReclaimSink};
 
@@ -49,6 +51,9 @@ pub struct HazardPointers<T, S: ReclaimSink<T> = BoxDropSink> {
     /// as possible", §3.1); the ablation bench measures other values.
     scan_threshold: usize,
     sink: S,
+    /// Observer-only probes (protect/scan/retire/reclaim counters, scan
+    /// events); disconnected unless an owner attaches its sheet.
+    telemetry: TelemetryHandle,
 }
 
 // SAFETY: the raw pointers inside are managed under the HP protocol; the
@@ -88,7 +93,21 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
             retired,
             scan_threshold,
             sink,
+            telemetry: TelemetryHandle::disconnected(),
         }
+    }
+
+    /// Record this domain's HP traffic into `handle`'s sheet (counters:
+    /// `hp_protect`, `hp_scan`, `hp_retire`, `hp_reclaim`). Telemetry is
+    /// observation only — attaching changes no reclamation behavior.
+    pub fn attach_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = handle;
+    }
+
+    /// Total retired-but-unfreed objects across all thread rows (the
+    /// backlog gauge owners fold into telemetry snapshots).
+    pub fn retired_backlog(&self) -> usize {
+        (0..self.max_threads()).map(|t| self.retired_count(t)).sum()
     }
 
     /// The installed reclaim sink.
@@ -114,6 +133,7 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
     /// the paper's listings.
     #[inline]
     pub fn protect_ptr(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
+        self.telemetry.bump(tid, CounterId::HpProtect);
         self.matrix.protect(tid, index, ptr)
     }
 
@@ -130,6 +150,7 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         index: usize,
         src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
+        self.telemetry.bump(tid, CounterId::HpProtect);
         let ptr = src.load(Ordering::SeqCst);
         self.matrix.protect(tid, index, ptr);
         let now = src.load(Ordering::SeqCst);
@@ -186,6 +207,8 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
     /// * `tid` is the caller's registered index and no other thread uses it
     ///   concurrently.
     pub unsafe fn retire(&self, tid: usize, ptr: *mut T) {
+        self.telemetry.bump(tid, CounterId::HpRetire);
+        self.telemetry.event(tid, EventKind::HpRetire, 0);
         let row = &self.retired[tid];
         // SAFETY: `tid` exclusivity (caller contract) makes this the only
         // mutable access to the list.
@@ -195,6 +218,8 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
             row.len.store(list.len(), Ordering::Relaxed);
             return;
         }
+        self.telemetry.bump(tid, CounterId::HpScan);
+        let mut reclaimed = 0u64;
         let mut i = 0;
         while i < list.len() {
             let candidate = list[i];
@@ -202,6 +227,8 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
                 i += 1;
             } else {
                 list.swap_remove(i);
+                reclaimed += 1;
+                self.telemetry.event(tid, EventKind::HpFree, 0);
                 // SAFETY: unreachable from shared memory (caller contract)
                 // and not protected by any published-and-validated hazard:
                 // a reader that published after unlinking fails validation
@@ -209,6 +236,8 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
                 unsafe { self.sink.reclaim(tid, candidate) };
             }
         }
+        self.telemetry.add(tid, CounterId::HpReclaim, reclaimed);
+        self.telemetry.event(tid, EventKind::HpScan, reclaimed);
         row.len.store(list.len(), Ordering::Relaxed);
     }
 }

@@ -6,7 +6,9 @@ use turnq_sync::atomic::{AtomicI32, AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
+use std::sync::Arc;
 use turnq_hazard::{ConditionalHazardPointers, ConditionalReclaim, HazardPointers};
+use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
 use turnq_threadreg::ThreadRegistry;
 
 const IDX_NONE: i32 = -1;
@@ -95,6 +97,11 @@ pub struct KPQueue<T> {
     node_hp: ConditionalHazardPointers<KpNode<T>>,
     desc_hp: HazardPointers<OpDesc<T>>,
     registry: ThreadRegistry,
+    /// Observer-only probes (see `turnq-telemetry`): op counters plus the
+    /// HP/CHP traffic recorded by the two hazard domains. KP has no
+    /// helping-depth notion (phases replace per-slot turns), so its depth
+    /// histogram stays empty.
+    telemetry: Arc<TelemetrySheet>,
 }
 
 // SAFETY: atomics plus HP/CHP-managed raw pointers; items are moved across
@@ -120,15 +127,38 @@ impl<T> KPQueue<T> {
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let telemetry = Arc::new(TelemetrySheet::new(max_threads));
+        let mut node_hp = ConditionalHazardPointers::new(max_threads, NODE_HPS);
+        node_hp.attach_telemetry(TelemetryHandle::connected(&telemetry));
+        let mut desc_hp = HazardPointers::new(max_threads, DESC_HPS);
+        desc_hp.attach_telemetry(TelemetryHandle::connected(&telemetry));
         KPQueue {
             max_threads,
             head: CachePadded::new(AtomicPtr::new(sentinel)),
             tail: CachePadded::new(AtomicPtr::new(sentinel)),
             state,
-            node_hp: ConditionalHazardPointers::new(max_threads, NODE_HPS),
-            desc_hp: HazardPointers::new(max_threads, DESC_HPS),
+            node_hp,
+            desc_hp,
             registry: ThreadRegistry::new(max_threads),
+            telemetry,
         }
+    }
+
+    /// Aggregate this queue's telemetry: op counters, HP/CHP traffic from
+    /// both hazard domains, retirement-backlog gauges, and registry churn.
+    /// All-zero when the `telemetry` feature is off.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        // Keep the `probe`-off ⇒ all-zero contract (the registry tallies
+        // below are recorded unconditionally).
+        if turnq_telemetry::ENABLED {
+            snap.set_gauge("hp_retired_backlog", self.desc_hp.retired_backlog() as u64);
+            snap.set_gauge("chp_retired_backlog", self.node_hp.retired_backlog() as u64);
+            snap.set_gauge("registry_registered", self.registry.registered_count() as u64);
+            snap.add_counter("slot_claim", self.registry.slot_claims());
+            snap.add_counter("slot_release", self.registry.slot_releases());
+        }
+        snap
     }
 
     /// The thread bound.
@@ -149,6 +179,7 @@ impl<T> KPQueue<T> {
     }
 
     pub(crate) fn enqueue_with(&self, tid: usize, item: T) {
+        self.telemetry.event(tid, EventKind::OpStart, 0);
         let value = Box::into_raw(Box::new(item));
         let phase = self.max_phase(tid) + 1;
         let node = KpNode::alloc(value, tid as i32);
@@ -157,9 +188,12 @@ impl<T> KPQueue<T> {
         self.help(tid, phase);
         self.help_finish_enq(tid);
         self.clear_all(tid);
+        self.telemetry.bump(tid, CounterId::EnqOps);
+        self.telemetry.event(tid, EventKind::OpFinish, 0);
     }
 
     pub(crate) fn dequeue_with(&self, tid: usize) -> Option<T> {
+        self.telemetry.event(tid, EventKind::OpStart, 1);
         let phase = self.max_phase(tid) + 1;
         let desc = OpDesc::alloc(phase, true, false, ptr::null_mut());
         self.install_descriptor(tid, desc);
@@ -174,6 +208,8 @@ impl<T> KPQueue<T> {
         let node = unsafe { &*my_desc }.node;
         if node.is_null() {
             self.clear_all(tid);
+            self.telemetry.bump(tid, CounterId::DeqEmpty);
+            self.telemetry.event(tid, EventKind::OpFinish, 0);
             return None; // empty queue
         }
         // Our request was assigned `node` (the head at linearization); the
@@ -199,6 +235,8 @@ impl<T> KPQueue<T> {
         // SAFETY: see above; CHP defers the free until its value slot is
         // nulled by the thread consuming *its* value.
         unsafe { self.node_hp.retire(tid, node) };
+        self.telemetry.bump(tid, CounterId::DeqOps);
+        self.telemetry.event(tid, EventKind::OpFinish, 0);
         // SAFETY: unique Box::into_raw value pointer, unique consumer.
         Some(*unsafe { Box::from_raw(value) })
     }
@@ -563,6 +601,10 @@ impl<T> QueueIntrospect for KPQueue<T> {
             min_heap_allocs_per_item: 6,
             steady_state_allocs_per_item: 6, // no recycling layer
         }
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Some(KPQueue::telemetry_snapshot(self))
     }
 }
 

@@ -100,6 +100,32 @@ mod imp {
 
 pub use imp::{atomic, cell, hint, thread};
 
+/// Atomics for *observers* — telemetry counters, event rings, and other
+/// measurement-only state that is **not** part of any algorithm's shared
+/// protocol surface.
+///
+/// These are always the std types, even under the `modelcheck` feature.
+/// That exemption is deliberate, twice over:
+///
+/// * **State-space hygiene.** The model checker treats every facade access
+///   as a scheduling point and enumerates interleavings around it. Counter
+///   bumps carry no algorithmic information — instrumenting them would
+///   multiply the interleaving space (and the per-op step count audited
+///   against the paper's `O(MAX_THREADS)` bound) without making any new
+///   behaviour reachable.
+/// * **Honest step accounting.** The step auditor exists to machine-check
+///   the *paper's* bound. Telemetry is bookkeeping about the algorithm, not
+///   part of it; counting its stores would conflate the two.
+///
+/// Code routed through this module must therefore never carry algorithmic
+/// state: nothing the queue, hazard-pointer, or registry logic branches on
+/// may live behind `observer` atomics. The telemetry crate upholds this by
+/// construction — its sheets are write-only on hot paths and read only by
+/// snapshot aggregation.
+pub mod observer {
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+}
+
 #[cfg(feature = "modelcheck")]
 mod instrumented;
 #[cfg(feature = "modelcheck")]

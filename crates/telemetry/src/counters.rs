@@ -1,0 +1,126 @@
+//! The closed set of per-thread counters.
+//!
+//! Counters are identified by a dense enum so a thread's row can be a plain
+//! array indexed without hashing. Adding a counter means adding a variant,
+//! a row in [`CounterId::ALL`], a name, and a `docs/metrics.md` entry (the
+//! `lint_metrics` test in the root crate fails on the last one if
+//! forgotten).
+
+/// Identifier of one sharded counter.
+///
+/// The discriminant is the index into each per-thread row; keep the
+/// variants dense and `ALL` in discriminant order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Completed enqueue operations.
+    EnqOps = 0,
+    /// Dequeue operations that returned an item.
+    DeqOps,
+    /// Dequeue operations that returned `None` (queue observed empty).
+    DeqEmpty,
+    /// Enqueue-side helping: this thread inserted a node published by
+    /// *another* thread's request.
+    HelpEnqueue,
+    /// Dequeue-side helping: this thread completed another thread's open
+    /// dequeue request (`deqhelp` CAS on a peer's slot).
+    HelpDequeue,
+    /// Failed CAS on the queue tail (another helper advanced it first).
+    CasFailTail,
+    /// Failed CAS on a node's `next` link during enqueue helping.
+    CasFailNext,
+    /// Failed CAS on the queue head during dequeue.
+    CasFailHead,
+    /// Failed CAS on a peer's `deqhelp` slot (someone else helped first).
+    CasFailDeqHelp,
+    /// Hazard-pointer publications (successful `protect_ptr`/`try_protect`).
+    HpProtect,
+    /// Hazard-pointer scans over the protection matrix.
+    HpScan,
+    /// Nodes handed to hazard-pointer retirement.
+    HpRetire,
+    /// Nodes a hazard-pointer scan found unprotected and reclaimed.
+    HpReclaim,
+    /// Objects handed to conditional-HP retirement (Kogan–Petrank).
+    ChpRetire,
+    /// Conditional-HP scans.
+    ChpScan,
+    /// Objects reclaimed by conditional-HP scans.
+    ChpReclaim,
+    /// Registry slots claimed (first use of a thread index).
+    SlotClaim,
+    /// Registry slots released (thread exit or explicit release).
+    SlotRelease,
+}
+
+impl CounterId {
+    /// Every counter, in discriminant order (`ALL[i] as usize == i`).
+    pub const ALL: [CounterId; N_COUNTERS] = [
+        CounterId::EnqOps,
+        CounterId::DeqOps,
+        CounterId::DeqEmpty,
+        CounterId::HelpEnqueue,
+        CounterId::HelpDequeue,
+        CounterId::CasFailTail,
+        CounterId::CasFailNext,
+        CounterId::CasFailHead,
+        CounterId::CasFailDeqHelp,
+        CounterId::HpProtect,
+        CounterId::HpScan,
+        CounterId::HpRetire,
+        CounterId::HpReclaim,
+        CounterId::ChpRetire,
+        CounterId::ChpScan,
+        CounterId::ChpReclaim,
+        CounterId::SlotClaim,
+        CounterId::SlotRelease,
+    ];
+
+    /// Short name, used as the key in snapshots and to derive the exported
+    /// metric name (`turnq_<name>_total`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::EnqOps => "enq_ops",
+            CounterId::DeqOps => "deq_ops",
+            CounterId::DeqEmpty => "deq_empty",
+            CounterId::HelpEnqueue => "help_enqueue",
+            CounterId::HelpDequeue => "help_dequeue",
+            CounterId::CasFailTail => "cas_fail_tail",
+            CounterId::CasFailNext => "cas_fail_next",
+            CounterId::CasFailHead => "cas_fail_head",
+            CounterId::CasFailDeqHelp => "cas_fail_deqhelp",
+            CounterId::HpProtect => "hp_protect",
+            CounterId::HpScan => "hp_scan",
+            CounterId::HpRetire => "hp_retire",
+            CounterId::HpReclaim => "hp_reclaim",
+            CounterId::ChpRetire => "chp_retire",
+            CounterId::ChpScan => "chp_scan",
+            CounterId::ChpReclaim => "chp_reclaim",
+            CounterId::SlotClaim => "slot_claim",
+            CounterId::SlotRelease => "slot_release",
+        }
+    }
+}
+
+/// Number of counters (row width of a telemetry sheet).
+pub const N_COUNTERS: usize = 18;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_in_order() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "ALL out of order at {}", c.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_COUNTERS);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-thread event ring: cheap always-on tracing of the last few dozen
+//! interesting moments per thread.
+//!
+//! Each event is packed into a single `u64` — `kind` in the top byte, a
+//! 56-bit argument below — so recording is one plain store into a
+//! thread-owned slot plus a position bump. The ring is fixed-size and
+//! overwrites oldest-first; it answers "what was this thread doing just
+//! now", not "what happened since startup" (counters do that).
+
+/// Ring capacity per thread, in events. Small by design: the ring is a
+/// flight recorder, not a log.
+pub const RING_CAPACITY: usize = 128;
+
+/// What happened. The variants mirror the instrumentation points across
+/// the stack (queue ops, helping, CAS retries, HP traffic, pool traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An enqueue or dequeue began (`arg`: 0 = enqueue, 1 = dequeue).
+    OpStart = 0,
+    /// An operation completed (`arg` = observed helping depth).
+    OpFinish,
+    /// This thread completed part of *another* thread's request
+    /// (`arg`: 0 = enqueue help, 1 = dequeue help).
+    HelpOther,
+    /// A CAS failed and will be retried or abandoned (`arg` = the
+    /// `CounterId` discriminant of the matching `cas_fail_*` counter).
+    CasFail,
+    /// A hazard pointer was published (`arg` = HP index).
+    HpProtect,
+    /// A hazard-pointer scan ran (`arg` = objects reclaimed by the scan).
+    HpScan,
+    /// An object entered HP retirement (`arg` unused).
+    HpRetire,
+    /// An object left retirement and was freed/recycled (`arg` unused).
+    HpFree,
+    /// The node pool served an acquire from its cache (`arg` unused).
+    PoolHit,
+    /// The node pool fell back to a heap allocation (`arg` unused).
+    PoolMiss,
+    /// A reclaimed node refilled the pool (`arg` unused).
+    PoolRefill,
+}
+
+impl EventKind {
+    #[cfg_attr(not(feature = "probe"), allow(dead_code))]
+    const ALL: [EventKind; 11] = [
+        EventKind::OpStart,
+        EventKind::OpFinish,
+        EventKind::HelpOther,
+        EventKind::CasFail,
+        EventKind::HpProtect,
+        EventKind::HpScan,
+        EventKind::HpRetire,
+        EventKind::HpFree,
+        EventKind::PoolHit,
+        EventKind::PoolMiss,
+        EventKind::PoolRefill,
+    ];
+
+    #[cfg_attr(not(feature = "probe"), allow(dead_code))]
+    fn from_code(code: u8) -> Option<EventKind> {
+        EventKind::ALL.get(code as usize).copied()
+    }
+}
+
+/// One decoded ring entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific argument (56 bits; see each [`EventKind`] variant).
+    pub arg: u64,
+}
+
+#[cfg_attr(not(feature = "probe"), allow(dead_code))]
+const ARG_BITS: u32 = 56;
+#[cfg_attr(not(feature = "probe"), allow(dead_code))]
+const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
+
+/// Pack an event into the single-word ring representation.
+#[inline]
+#[cfg_attr(not(feature = "probe"), allow(dead_code))]
+pub(crate) fn pack(kind: EventKind, arg: u64) -> u64 {
+    ((kind as u64) << ARG_BITS) | (arg & ARG_MASK)
+}
+
+/// Decode a ring word. `None` for a corrupt kind byte (only possible on a
+/// torn read of a slot being overwritten, which the reader tolerates).
+#[cfg_attr(not(feature = "probe"), allow(dead_code))]
+pub(crate) fn unpack(word: u64) -> Option<Event> {
+    EventKind::from_code((word >> ARG_BITS) as u8).map(|kind| Event {
+        kind,
+        arg: word & ARG_MASK,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for kind in EventKind::ALL {
+            let ev = unpack(pack(kind, 0x00ff_ffee_ddcc_bbaa & ARG_MASK)).unwrap();
+            assert_eq!(ev.kind, kind);
+            assert_eq!(ev.arg, 0x00ff_ffee_ddcc_bbaa & ARG_MASK);
+        }
+    }
+
+    #[test]
+    fn arg_is_truncated_to_56_bits() {
+        let ev = unpack(pack(EventKind::OpFinish, u64::MAX)).unwrap();
+        assert_eq!(ev.arg, ARG_MASK);
+    }
+
+    #[test]
+    fn bad_kind_byte_is_rejected() {
+        assert_eq!(unpack(0xff << ARG_BITS), None);
+    }
+}

@@ -1,0 +1,343 @@
+//! The recording side: per-thread rows of counters, a helping-depth
+//! histogram, and an event ring.
+//!
+//! ## Why plain load+store and not `fetch_add`
+//!
+//! Every cell is owned by exactly one recording thread (the row index is
+//! the dense registry tid), so `c.store(c.load(Relaxed) + 1, Relaxed)` is
+//! exact: no other thread ever writes the cell, hence no increment can be
+//! lost. Aggregators only read. This keeps hot paths free of RMW — the
+//! paper's CAS-only claim and wait-freedom bounds are untouched, because a
+//! plain store is a single machine instruction with no retry loop. The
+//! same idiom already carries the node pool's stats (`pool.rs::bump`).
+//!
+//! The atomics come from `turnq_sync::observer` — always std, never the
+//! model checker's instrumented wrappers (see that module's docs for why
+//! observers are exempt).
+
+#[cfg(feature = "probe")]
+use crossbeam_utils::CachePadded;
+use std::sync::Arc;
+#[cfg(feature = "probe")]
+use turnq_sync::observer::{AtomicU64, Ordering};
+
+use crate::counters::CounterId;
+#[cfg(feature = "probe")]
+use crate::counters::N_COUNTERS;
+use crate::events::EventKind;
+#[cfg(feature = "probe")]
+use crate::events::{pack, unpack, RING_CAPACITY};
+use crate::events::Event;
+use crate::snapshot::TelemetrySnapshot;
+
+/// One thread's private recording area. Padded so rows never share a
+/// cache line with a neighbour's hot cells.
+#[cfg(feature = "probe")]
+struct ThreadRow {
+    /// Counter cells, indexed by `CounterId as usize`.
+    counters: [AtomicU64; N_COUNTERS],
+    /// Helping-depth histogram: `depth[d]` counts operations that
+    /// completed after observing `d` helper iterations.
+    depth: Box<[AtomicU64]>,
+    /// Flight-recorder ring (packed events, see `events.rs`).
+    ring: [AtomicU64; RING_CAPACITY],
+    /// Total events ever recorded by this thread; the next write goes to
+    /// `ring[ring_pos % RING_CAPACITY]`.
+    ring_pos: AtomicU64,
+}
+
+#[cfg(feature = "probe")]
+impl ThreadRow {
+    fn new(depth_buckets: usize) -> Self {
+        ThreadRow {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            depth: (0..depth_buckets).map(|_| AtomicU64::new(0)).collect(),
+            ring: std::array::from_fn(|_| AtomicU64::new(0)),
+            ring_pos: AtomicU64::new(0),
+        }
+    }
+
+    /// Owner-only increment: exact because only the owning thread writes.
+    #[inline]
+    fn bump(&self, cell: &AtomicU64, n: u64) {
+        cell.store(cell.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+    }
+}
+
+/// A telemetry sheet: one row per thread id, sized like the queue's other
+/// per-thread arrays (`max_threads` rows).
+///
+/// With the `probe` feature off this struct stores nothing, every
+/// recording method is an empty inline body, and [`snapshot`] returns an
+/// all-zero snapshot — call sites need no `cfg`.
+///
+/// [`snapshot`]: TelemetrySheet::snapshot
+pub struct TelemetrySheet {
+    max_threads: usize,
+    #[cfg(feature = "probe")]
+    rows: Box<[CachePadded<ThreadRow>]>,
+}
+
+impl TelemetrySheet {
+    /// Create a sheet with `max_threads` rows and as many helping-depth
+    /// buckets per row (depth can reach `max_threads - 1`).
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads > 0, "telemetry sheet needs at least one row");
+        TelemetrySheet {
+            max_threads,
+            #[cfg(feature = "probe")]
+            rows: (0..max_threads)
+                .map(|_| CachePadded::new(ThreadRow::new(max_threads)))
+                .collect(),
+        }
+    }
+
+    /// Number of rows (thread ids this sheet can record for).
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Increment `id`'s counter on `tid`'s row by one.
+    ///
+    /// Must only be called from the thread that owns `tid` (the same
+    /// discipline as every other per-thread array in the stack).
+    #[inline(always)]
+    pub fn bump(&self, tid: usize, id: CounterId) {
+        self.add(tid, id, 1);
+    }
+
+    /// Like [`bump`](Self::bump), adding `n`.
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn add(&self, tid: usize, id: CounterId, n: u64) {
+        #[cfg(feature = "probe")]
+        {
+            let row = &self.rows[tid];
+            row.bump(&row.counters[id as usize], n);
+        }
+    }
+
+    /// Record that an operation by `tid` completed at helping depth
+    /// `depth` (clamped into the last bucket if ever out of range).
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn record_depth(&self, tid: usize, depth: usize) {
+        #[cfg(feature = "probe")]
+        {
+            let row = &self.rows[tid];
+            let d = depth.min(row.depth.len() - 1);
+            row.bump(&row.depth[d], 1);
+        }
+    }
+
+    /// Append an event to `tid`'s ring (overwrites oldest-first).
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn event(&self, tid: usize, kind: EventKind, arg: u64) {
+        #[cfg(feature = "probe")]
+        {
+            let row = &self.rows[tid];
+            let pos = row.ring_pos.load(Ordering::Relaxed);
+            row.ring[(pos as usize) % RING_CAPACITY].store(pack(kind, arg), Ordering::Relaxed);
+            row.ring_pos.store(pos + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Decode `tid`'s ring, oldest surviving event first.
+    ///
+    /// Reads are best-effort while the owner is still recording (a slot
+    /// being overwritten may decode to a fresh event or be dropped); after
+    /// the recording threads quiesce the view is exact.
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn events(&self, tid: usize) -> Vec<Event> {
+        #[cfg(feature = "probe")]
+        {
+            let row = &self.rows[tid];
+            let pos = row.ring_pos.load(Ordering::Relaxed);
+            let live = (pos as usize).min(RING_CAPACITY);
+            let mut out = Vec::with_capacity(live);
+            for i in 0..live {
+                let slot = (pos as usize - live + i) % RING_CAPACITY;
+                if let Some(ev) = unpack(row.ring[slot].load(Ordering::Relaxed)) {
+                    out.push(ev);
+                }
+            }
+            out
+        }
+        #[cfg(not(feature = "probe"))]
+        Vec::new()
+    }
+
+    /// Aggregate every row into a snapshot (Relaxed loads; exact once the
+    /// recording threads have quiesced, a monotone under-estimate while
+    /// they are still running).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        #[cfg_attr(not(feature = "probe"), allow(unused_mut))]
+        let mut snap = TelemetrySnapshot::empty(self.max_threads);
+        #[cfg(feature = "probe")]
+        for row in self.rows.iter() {
+            for id in CounterId::ALL {
+                snap.add_counter(id.name(), row.counters[id as usize].load(Ordering::Relaxed));
+            }
+            for (d, cell) in row.depth.iter().enumerate() {
+                snap.add_depth_bucket(d, cell.load(Ordering::Relaxed));
+            }
+        }
+        snap
+    }
+
+    /// One thread's counter value (test/aggregation aid; Relaxed load).
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn thread_counter(&self, tid: usize, id: CounterId) -> u64 {
+        #[cfg(feature = "probe")]
+        {
+            self.rows[tid].counters[id as usize].load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "probe"))]
+        0
+    }
+
+    /// Sum of one counter across all rows (Relaxed loads).
+    pub fn total(&self, id: CounterId) -> u64 {
+        #[cfg(feature = "probe")]
+        {
+            self.rows
+                .iter()
+                .map(|r| r.counters[id as usize].load(Ordering::Relaxed))
+                .sum()
+        }
+        #[cfg(not(feature = "probe"))]
+        {
+            let _ = id;
+            0
+        }
+    }
+}
+
+/// A cheap, cloneable connection from an instrumented component (hazard
+/// domain, node pool, registry) back to its owner's [`TelemetrySheet`].
+///
+/// Components hold a handle instead of an `Arc<TelemetrySheet>` directly so
+/// that a disconnected default exists: a hazard domain built standalone
+/// records nothing, one built by a queue records into the queue's sheet
+/// after `attach_telemetry`. With `probe` off the handle is a zero-sized
+/// no-op.
+#[derive(Clone, Default)]
+pub struct TelemetryHandle {
+    #[cfg(feature = "probe")]
+    sheet: Option<Arc<TelemetrySheet>>,
+}
+
+impl TelemetryHandle {
+    /// A handle that records nothing (the `Default`).
+    pub fn disconnected() -> Self {
+        TelemetryHandle::default()
+    }
+
+    /// A handle recording into `sheet`.
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn connected(sheet: &Arc<TelemetrySheet>) -> Self {
+        TelemetryHandle {
+            #[cfg(feature = "probe")]
+            sheet: Some(Arc::clone(sheet)),
+        }
+    }
+
+    /// See [`TelemetrySheet::bump`]. Out-of-range `tid`s are ignored (a
+    /// drop-path flush may run on an unregistered thread).
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn bump(&self, tid: usize, id: CounterId) {
+        self.add(tid, id, 1);
+    }
+
+    /// See [`TelemetrySheet::add`].
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn add(&self, tid: usize, id: CounterId, n: u64) {
+        #[cfg(feature = "probe")]
+        if let Some(sheet) = &self.sheet {
+            if tid < sheet.max_threads {
+                sheet.add(tid, id, n);
+            }
+        }
+    }
+
+    /// See [`TelemetrySheet::event`].
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn event(&self, tid: usize, kind: EventKind, arg: u64) {
+        #[cfg(feature = "probe")]
+        if let Some(sheet) = &self.sheet {
+            if tid < sheet.max_threads {
+                sheet.event(tid, kind, arg);
+            }
+        }
+    }
+
+    /// Whether this handle is connected to a live sheet (always `false`
+    /// with `probe` off).
+    pub fn is_connected(&self) -> bool {
+        #[cfg(feature = "probe")]
+        {
+            self.sheet.is_some()
+        }
+        #[cfg(not(feature = "probe"))]
+        false
+    }
+}
+
+#[cfg(all(test, feature = "probe"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_total() {
+        let sheet = TelemetrySheet::new(4);
+        sheet.bump(0, CounterId::EnqOps);
+        sheet.bump(3, CounterId::EnqOps);
+        sheet.add(1, CounterId::EnqOps, 5);
+        assert_eq!(sheet.total(CounterId::EnqOps), 7);
+        assert_eq!(sheet.thread_counter(1, CounterId::EnqOps), 5);
+        assert_eq!(sheet.total(CounterId::DeqOps), 0);
+    }
+
+    #[test]
+    fn depth_is_clamped() {
+        let sheet = TelemetrySheet::new(2);
+        sheet.record_depth(0, 0);
+        sheet.record_depth(0, 1);
+        sheet.record_depth(0, 99); // clamps into bucket 1
+        let snap = sheet.snapshot();
+        assert_eq!(snap.helping_depth(), &[1, 2]);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let sheet = TelemetrySheet::new(1);
+        for i in 0..(crate::events::RING_CAPACITY as u64 + 3) {
+            sheet.event(0, EventKind::OpFinish, i);
+        }
+        let events = sheet.events(0);
+        assert_eq!(events.len(), crate::events::RING_CAPACITY);
+        assert_eq!(events.first().unwrap().arg, 3);
+        assert_eq!(events.last().unwrap().arg, crate::events::RING_CAPACITY as u64 + 2);
+    }
+
+    #[test]
+    fn disconnected_handle_is_inert() {
+        let h = TelemetryHandle::disconnected();
+        assert!(!h.is_connected());
+        h.bump(0, CounterId::HpScan); // must not panic
+    }
+
+    #[test]
+    fn handle_ignores_out_of_range_tid() {
+        let sheet = Arc::new(TelemetrySheet::new(2));
+        let h = TelemetryHandle::connected(&sheet);
+        h.bump(7, CounterId::HpScan); // silently dropped
+        assert_eq!(sheet.total(CounterId::HpScan), 0);
+        h.bump(1, CounterId::HpScan);
+        assert_eq!(sheet.total(CounterId::HpScan), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Point-in-time aggregation and export.
+//!
+//! A [`TelemetrySnapshot`] is plain owned data — no atomics — produced by
+//! [`TelemetrySheet::snapshot`](crate::TelemetrySheet::snapshot) and then
+//! enriched by the owning queue with derived counters (node-pool stats)
+//! and gauges (retired backlog, live registrations). It exports to
+//! Prometheus text exposition format and to JSON; both are hand-rolled
+//! because the workspace builds offline with no serialization crates.
+
+use std::fmt::Write as _;
+
+use crate::counters::CounterId;
+
+/// Counter names that exist only at snapshot level (folded in from the
+/// node pool's own exact per-slot stats rather than double-counted on the
+/// hot path).
+pub const EXTRA_COUNTER_NAMES: &[&str] = &["pool_hit", "pool_miss", "pool_recycled", "pool_overflow"];
+
+/// Gauge names a queue may fold into its snapshot. Gauges are
+/// point-in-time levels, not monotone totals.
+pub const GAUGE_NAMES: &[&str] = &[
+    "pool_pooled_now",
+    "hp_retired_backlog",
+    "chp_retired_backlog",
+    "registry_registered",
+    "queue_size",
+];
+
+/// Histogram metric names (exported with a `depth` label per bucket).
+pub const HISTOGRAM_NAMES: &[&str] = &["helping_depth"];
+
+/// Every exported metric name, fully prefixed, for the `docs/metrics.md`
+/// lint: counters as `turnq_<name>_total`, gauges as `turnq_<name>`,
+/// histograms as `turnq_<name>`.
+pub fn all_metric_names() -> Vec<String> {
+    let mut out: Vec<String> = CounterId::ALL
+        .iter()
+        .map(|c| format!("turnq_{}_total", c.name()))
+        .collect();
+    out.extend(EXTRA_COUNTER_NAMES.iter().map(|n| format!("turnq_{n}_total")));
+    out.extend(GAUGE_NAMES.iter().map(|n| format!("turnq_{n}")));
+    out.extend(HISTOGRAM_NAMES.iter().map(|n| format!("turnq_{n}")));
+    out
+}
+
+/// An aggregated, owned view of one sheet (plus whatever derived metrics
+/// the owner folded in). Always available — with the `probe` feature off
+/// every value is zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Monotone counters: `(name, total)`, one row per known counter.
+    counters: Vec<(&'static str, u64)>,
+    /// Point-in-time gauges folded in by the owner.
+    gauges: Vec<(&'static str, u64)>,
+    /// Helping-depth histogram; bucket `d` counts operations completed at
+    /// observed depth `d`.
+    helping_depth: Vec<u64>,
+}
+
+impl TelemetrySnapshot {
+    /// All-zero snapshot with `depth_buckets` histogram buckets.
+    pub fn empty(depth_buckets: usize) -> Self {
+        TelemetrySnapshot {
+            counters: CounterId::ALL.iter().map(|c| (c.name(), 0)).collect(),
+            gauges: Vec::new(),
+            helping_depth: vec![0; depth_buckets],
+        }
+    }
+
+    /// Add `n` to the counter `name`, appending the row if new.
+    ///
+    /// `name` must be a [`CounterId`] name or one of
+    /// [`EXTRA_COUNTER_NAMES`] (debug-asserted, so the metrics catalogue
+    /// stays the single source of truth).
+    pub fn add_counter(&mut self, name: &'static str, n: u64) {
+        debug_assert!(
+            CounterId::ALL.iter().any(|c| c.name() == name)
+                || EXTRA_COUNTER_NAMES.contains(&name),
+            "unknown counter {name:?} — add it to counters.rs or EXTRA_COUNTER_NAMES"
+        );
+        if let Some(row) = self.counters.iter_mut().find(|(k, _)| *k == name) {
+            row.1 += n;
+        } else {
+            self.counters.push((name, n));
+        }
+    }
+
+    /// Set gauge `name` to `v` (must be listed in [`GAUGE_NAMES`]).
+    pub fn set_gauge(&mut self, name: &'static str, v: u64) {
+        debug_assert!(
+            GAUGE_NAMES.contains(&name),
+            "unknown gauge {name:?} — add it to GAUGE_NAMES"
+        );
+        if let Some(row) = self.gauges.iter_mut().find(|(k, _)| *k == name) {
+            row.1 = v;
+        } else {
+            self.gauges.push((name, v));
+        }
+    }
+
+    /// Add `n` to histogram bucket `d` (the snapshot grows to fit).
+    pub fn add_depth_bucket(&mut self, d: usize, n: u64) {
+        if d >= self.helping_depth.len() {
+            self.helping_depth.resize(d + 1, 0);
+        }
+        self.helping_depth[d] += n;
+    }
+
+    /// A counter's total by id.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.get(id.name())
+    }
+
+    /// A counter or gauge by short name (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .chain(self.gauges.iter())
+            .find(|(k, _)| *k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The helping-depth histogram buckets.
+    pub fn helping_depth(&self) -> &[u64] {
+        &self.helping_depth
+    }
+
+    /// Highest depth bucket with a nonzero count, or `None` if no
+    /// operation recorded a depth.
+    pub fn helping_depth_max(&self) -> Option<usize> {
+        self.helping_depth.iter().rposition(|&n| n > 0)
+    }
+
+    /// Total operations recorded in the depth histogram.
+    pub fn helping_depth_count(&self) -> u64 {
+        self.helping_depth.iter().sum()
+    }
+
+    /// All counter rows, for table rendering.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All gauge rows, for table rendering.
+    pub fn gauges(&self) -> &[(&'static str, u64)] {
+        &self.gauges
+    }
+
+    /// Fold `other` into `self`: counters and histogram buckets add,
+    /// gauges add (summing levels across queues).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for &(name, v) in &other.counters {
+            if let Some(row) = self.counters.iter_mut().find(|(k, _)| *k == name) {
+                row.1 += v;
+            } else {
+                self.counters.push((name, v));
+            }
+        }
+        for &(name, v) in &other.gauges {
+            if let Some(row) = self.gauges.iter_mut().find(|(k, _)| *k == name) {
+                row.1 += v;
+            } else {
+                self.gauges.push((name, v));
+            }
+        }
+        for (d, &n) in other.helping_depth.iter().enumerate() {
+            if n > 0 {
+                self.add_depth_bucket(d, n);
+            }
+        }
+    }
+
+    /// Prometheus text exposition format. Counter names are exported as
+    /// `turnq_<name>_total`, gauges as `turnq_<name>`, and the
+    /// helping-depth histogram as one `turnq_helping_depth{depth="d"}`
+    /// sample per non-empty bucket plus a `_count` convenience sample.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE turnq_{name}_total counter");
+            let _ = writeln!(out, "turnq_{name}_total {v}");
+        }
+        for &(name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE turnq_{name} gauge");
+            let _ = writeln!(out, "turnq_{name} {v}");
+        }
+        let _ = writeln!(out, "# TYPE turnq_helping_depth histogram");
+        for (d, &n) in self.helping_depth.iter().enumerate() {
+            if n > 0 {
+                let _ = writeln!(out, "turnq_helping_depth{{depth=\"{d}\"}} {n}");
+            }
+        }
+        let _ = writeln!(out, "turnq_helping_depth_count {}", self.helping_depth_count());
+        out
+    }
+
+    /// JSON object: `{"counters": {...}, "gauges": {...},
+    /// "helping_depth": [...]}`. Keys are the short metric names.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, &(name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, &(name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"helping_depth\":[");
+        for (d, &n) in self.helping_depth.iter().enumerate() {
+            if d > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{n}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_all_counters_at_zero() {
+        let snap = TelemetrySnapshot::empty(4);
+        for c in CounterId::ALL {
+            assert_eq!(snap.counter(c), 0);
+        }
+        assert_eq!(snap.helping_depth_max(), None);
+    }
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = TelemetrySnapshot::empty(2);
+        a.add_counter("enq_ops", 10);
+        a.add_counter("pool_hit", 7);
+        a.set_gauge("queue_size", 3);
+        a.add_depth_bucket(1, 2);
+
+        let mut b = TelemetrySnapshot::empty(2);
+        b.add_counter("enq_ops", 5);
+        b.set_gauge("queue_size", 4);
+        b.add_depth_bucket(3, 1);
+
+        a.merge(&b);
+        assert_eq!(a.counter(CounterId::EnqOps), 15);
+        assert_eq!(a.get("pool_hit"), 7);
+        assert_eq!(a.get("queue_size"), 7);
+        assert_eq!(a.helping_depth(), &[0, 2, 0, 1]);
+        assert_eq!(a.helping_depth_max(), Some(3));
+        assert_eq!(a.helping_depth_count(), 3);
+    }
+
+    #[test]
+    fn prometheus_text_contains_known_names() {
+        let mut snap = TelemetrySnapshot::empty(2);
+        snap.add_counter("enq_ops", 42);
+        snap.set_gauge("queue_size", 1);
+        snap.add_depth_bucket(0, 42);
+        let text = snap.to_prometheus();
+        assert!(text.contains("turnq_enq_ops_total 42"));
+        assert!(text.contains("turnq_queue_size 1"));
+        assert!(text.contains("turnq_helping_depth{depth=\"0\"} 42"));
+        assert!(text.contains("turnq_helping_depth_count 42"));
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let mut snap = TelemetrySnapshot::empty(2);
+        snap.add_counter("deq_ops", 9);
+        snap.set_gauge("queue_size", 0);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"deq_ops\":9"));
+        assert!(json.contains("\"helping_depth\":[0,0]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn all_metric_names_is_complete_and_unique() {
+        let names = all_metric_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate metric names");
+        assert!(names.iter().any(|n| n == "turnq_enq_ops_total"));
+        assert!(names.iter().any(|n| n == "turnq_helping_depth"));
+        assert!(names.iter().any(|n| n == "turnq_pool_hit_total"));
+    }
+}

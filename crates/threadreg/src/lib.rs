@@ -31,20 +31,57 @@ use std::sync::{Arc, Weak};
 use crossbeam_utils::CachePadded;
 
 /// Process-wide source of unique registry ids (used as TLS cache keys).
+/// Claim/release totals use observer atomics (always std, never the model
+/// checker's instrumented wrappers): they are measurement-only state the
+/// registry logic never branches on, exactly like the node pool's stats
+/// mirrors — see `turnq_sync::observer`.
+use turnq_sync::observer;
+
 static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One registry slot: the ownership flag plus observer-only claim and
+/// release tallies. The tallies use the owner-only plain load+store idiom
+/// (no RMW): between a successful claim CAS and the release store the slot
+/// belongs to exactly one thread, so its increments cannot be lost.
+struct Slot {
+    /// True while some live thread owns this index.
+    in_use: AtomicBool,
+    /// Times this slot was claimed (monotone).
+    claims: observer::AtomicU64,
+    /// Times this slot was released (monotone). Bumped *before* the
+    /// `in_use` store so it still happens under slot ownership; a reader
+    /// that sees `claims == releases` therefore knows every claimer has
+    /// finished its release write.
+    releases: observer::AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            in_use: AtomicBool::new(false),
+            claims: observer::AtomicU64::new(0),
+            releases: observer::AtomicU64::new(0),
+        }
+    }
+}
 
 /// Shared state of one registry.
 struct Slots {
     /// Unique id of this registry instance, used as the TLS cache key.
     id: u64,
-    /// `in_use[i]` is true while some live thread owns index `i`.
-    in_use: Box<[CachePadded<AtomicBool>]>,
+    /// Slot array; `in_use[i]` semantics live in [`Slot`].
+    in_use: Box<[CachePadded<Slot>]>,
 }
 
 impl Slots {
     fn release(&self, index: usize) {
-        debug_assert!(self.in_use[index].load(Ordering::Relaxed));
-        self.in_use[index].store(false, Ordering::Release);
+        let slot = &self.in_use[index];
+        debug_assert!(slot.in_use.load(Ordering::Relaxed));
+        // Owner-only bump while the slot is still exclusively ours; the
+        // Release store below publishes it together with the flag flip.
+        let n = slot.releases.load(observer::Ordering::Relaxed);
+        slot.releases.store(n + 1, observer::Ordering::Relaxed);
+        slot.in_use.store(false, Ordering::Release);
     }
 }
 
@@ -136,7 +173,7 @@ impl ThreadRegistry {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "registry capacity must be non-zero");
         let in_use = (0..capacity)
-            .map(|_| CachePadded::new(AtomicBool::new(false)))
+            .map(|_| CachePadded::new(Slot::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         ThreadRegistry {
@@ -157,8 +194,31 @@ impl ThreadRegistry {
         self.slots
             .in_use
             .iter()
-            .filter(|s| s.load(Ordering::Acquire))
+            .filter(|s| s.in_use.load(Ordering::Acquire))
             .count()
+    }
+
+    /// Total slot claims ever made on this registry (observer counter;
+    /// exact once claiming threads quiesce).
+    pub fn slot_claims(&self) -> u64 {
+        self.slots
+            .in_use
+            .iter()
+            .map(|s| s.claims.load(observer::Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total slot releases ever made on this registry. A release is
+    /// recorded in the TLS destructor *before* the slot's `in_use` flag
+    /// flips, so once `slot_claims() == slot_releases()` every exiting
+    /// thread has given its slot back — the event-driven signal tests wait
+    /// on instead of wall-clock grace sleeps.
+    pub fn slot_releases(&self) -> u64 {
+        self.slots
+            .in_use
+            .iter()
+            .map(|s| s.releases.load(observer::Ordering::Relaxed))
+            .sum()
     }
 
     /// The dense index of the calling thread, registering it on first use.
@@ -259,11 +319,16 @@ impl ThreadRegistry {
         const GRACE_ROUNDS: usize = 256;
         for round in 0..GRACE_ROUNDS {
             for (i, slot) in self.slots.in_use.iter().enumerate() {
-                if !slot.load(Ordering::Relaxed)
+                if !slot.in_use.load(Ordering::Relaxed)
                     && slot
+                        .in_use
                         .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                         .is_ok()
                 {
+                    // Owner-only bump: the CAS just gave this thread the
+                    // slot, so the tally store cannot race another writer.
+                    let n = slot.claims.load(observer::Ordering::Relaxed);
+                    slot.claims.store(n + 1, observer::Ordering::Relaxed);
                     return Ok(i);
                 }
             }
@@ -417,11 +482,16 @@ mod tests {
         }
         // `scope` can return before the exiting threads' TLS destructors
         // release their slots (the lag documented in DESIGN.md §9 — the
-        // claim path absorbs it with a grace period, and so must we).
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while reg.registered_count() != 0 && std::time::Instant::now() < deadline {
+        // claim path absorbs it with a grace period). Wait on the claim and
+        // release tallies instead of a wall-clock deadline: each of the 32
+        // exiting threads *will* run its destructor, and the release bump
+        // happens before the slot flag flips, so this loop is event-driven
+        // and terminates without any timing assumption.
+        assert_eq!(reg.slot_claims(), 32);
+        while reg.slot_releases() < reg.slot_claims() {
             std::thread::yield_now();
         }
+        assert_eq!(reg.slot_releases(), 32);
         assert_eq!(reg.registered_count(), 0);
     }
 

@@ -84,4 +84,11 @@ fn main() {
     assert_eq!(consumed.load(Ordering::Relaxed), expected_count);
     assert_eq!(checksum.load(Ordering::Relaxed), expected_sum);
     println!("exactly-once delivery verified (checksum {expected_sum}).");
+
+    // Every queue carries always-on telemetry (no-op when the `telemetry`
+    // feature is off): op counts, helping pressure, CAS retries, hazard-
+    // pointer and node-pool traffic. All threads are joined, so the
+    // snapshot is exact — Prometheus text, ready to scrape or diff.
+    println!("\n--- telemetry snapshot ---");
+    print!("{}", queue.telemetry_snapshot().to_prometheus());
 }

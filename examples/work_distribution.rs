@@ -117,4 +117,11 @@ fn main() {
         println!("  worker {w}: {n:>8} ({pct:5.1}%)");
     }
     assert_eq!(total, jobs);
+
+    // The job queue's telemetry shows the helping machinery that produced
+    // that balance: `turnq_help_*_total` counts completed-for-another-
+    // thread operations, and the `turnq_helping_depth` histogram stays
+    // within the paper's `max_threads - 1` bound.
+    println!("\n--- job queue telemetry ---");
+    print!("{}", job_q.telemetry_snapshot().to_prometheus());
 }

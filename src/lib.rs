@@ -16,6 +16,9 @@
 //! * [`harness`] — the paper's measurement protocols (`turnq-harness`);
 //! * [`linearize`] — history recording and linearizability checking
 //!   (`turnq-linearize`);
+//! * [`telemetry`] — wait-freedom-preserving counters, event rings and the
+//!   helping-depth histogram every queue records into (`turnq-telemetry`;
+//!   see `docs/metrics.md` for the metric catalogue);
 //! * [`api`] / [`threadreg`] — shared traits and the thread-slot registry.
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system
@@ -32,6 +35,7 @@ pub use turnq_baselines as baselines;
 pub use turnq_harness as harness;
 pub use turnq_hazard as hazard;
 pub use turnq_linearize as linearize;
+pub use turnq_telemetry as telemetry;
 pub use turnq_threadreg as threadreg;
 
 pub use turnq_api::ConcurrentQueue;

@@ -1,0 +1,186 @@
+//! Telemetry consistency under real concurrency.
+//!
+//! The telemetry sheets record with plain owner-only stores (no RMW), so
+//! these tests pin down the guarantee that design rests on: once the
+//! recording threads have joined, aggregates are *exact* — and the
+//! recorded quantities obey the algorithm's own invariants:
+//!
+//! * enqueues == dequeues + items left in the queue,
+//! * pool hits + misses == node acquisitions (one per enqueue),
+//! * observed helping depth never exceeds the paper's `MAX_THREADS - 1`
+//!   overtaking bound,
+//! * registry slot claims == releases once every thread has exited.
+//!
+//! Every exact assertion is gated on `turnq_telemetry::ENABLED`, so the
+//! same test compiles and passes with `--no-default-features` (where the
+//! branch instead asserts that the all-zero snapshot really is inert).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use turnq_repro::telemetry::CounterId;
+use turnq_repro::TurnQueue;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 20_000;
+
+/// Half the threads enqueue, half dequeue until they have drained their
+/// share; returns (items dequeued by workers, items drained at the end).
+fn churn(queue: &Arc<TurnQueue<u64>>) -> (u64, u64) {
+    let producers = THREADS / 2;
+    let consumers = THREADS - producers;
+    let consumed = Arc::new(AtomicU64::new(0));
+    let target = producers as u64 * PER_THREAD;
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let queue = Arc::clone(queue);
+            s.spawn(move || {
+                let handle = queue.handle().expect("slot");
+                for i in 0..PER_THREAD {
+                    handle.enqueue((p as u64) << 32 | i);
+                }
+            });
+        }
+        for _ in 0..consumers {
+            let queue = Arc::clone(queue);
+            let consumed = Arc::clone(&consumed);
+            s.spawn(move || {
+                let handle = queue.handle().expect("slot");
+                // Stop a little early so the final queue is non-empty and
+                // the size term of the invariant is exercised.
+                while consumed.load(Ordering::Relaxed) < target - 64 {
+                    if handle.dequeue().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    let worker_consumed = consumed.load(Ordering::Relaxed);
+    (worker_consumed, target - worker_consumed)
+}
+
+#[test]
+fn counters_are_internally_consistent_after_quiesce() {
+    let queue: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(THREADS + 1));
+    let (worker_consumed, leftover) = churn(&queue);
+
+    // Snapshot *before* draining: enqueues == dequeues + current size.
+    let snap = queue.telemetry_snapshot();
+    if turnq_telemetry::ENABLED {
+        assert_eq!(
+            snap.counter(CounterId::EnqOps),
+            snap.counter(CounterId::DeqOps) + leftover,
+            "enqueues must equal dequeues plus items still queued"
+        );
+        assert_eq!(snap.counter(CounterId::DeqOps), worker_consumed);
+        // Every enqueue acquires exactly one node: from the pool (hit) or
+        // the allocator (miss).
+        assert_eq!(
+            snap.get("pool_hit") + snap.get("pool_miss"),
+            snap.counter(CounterId::EnqOps),
+            "pool hits + misses must equal node acquisitions"
+        );
+        // Completed transfers are exactly the depth-histogram population.
+        assert_eq!(
+            snap.helping_depth_count(),
+            snap.counter(CounterId::EnqOps) + snap.counter(CounterId::DeqOps)
+        );
+    } else {
+        assert_eq!(snap.counter(CounterId::EnqOps), 0);
+        assert_eq!(snap.get("pool_hit"), 0);
+        assert_eq!(snap.helping_depth_count(), 0);
+    }
+
+    // Drain on this thread; afterwards enqueues == dequeues exactly.
+    let mut drained = 0;
+    while queue.dequeue().is_some() {
+        drained += 1;
+    }
+    assert_eq!(drained, leftover);
+    let snap = queue.telemetry_snapshot();
+    if turnq_telemetry::ENABLED {
+        assert_eq!(
+            snap.counter(CounterId::EnqOps),
+            snap.counter(CounterId::DeqOps)
+        );
+    }
+}
+
+#[test]
+fn helping_depth_respects_the_paper_bound() {
+    let max_threads = THREADS + 1;
+    let queue: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(max_threads));
+    let _ = churn(&queue);
+    while queue.dequeue().is_some() {}
+
+    let snap = queue.telemetry_snapshot();
+    if turnq_telemetry::ENABLED {
+        let max_depth = snap
+            .helping_depth_max()
+            .expect("contended run must record depths");
+        assert!(
+            max_depth < max_threads,
+            "observed helping depth {max_depth} exceeds the paper's \
+             MAX_THREADS - 1 = {} bound",
+            max_threads - 1
+        );
+        // The histogram is sized by the bound: no bucket beyond it exists.
+        assert!(snap.helping_depth().len() <= max_threads);
+    } else {
+        assert_eq!(snap.helping_depth_max(), None);
+    }
+}
+
+#[test]
+fn registry_churn_balances_claims_and_releases() {
+    let queue: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(4));
+    for round in 0..3 {
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let queue = Arc::clone(&queue);
+                s.spawn(move || {
+                    queue.enqueue(round * 4 + t);
+                    let _ = queue.dequeue();
+                });
+            }
+        });
+    }
+    // All workers joined and the main thread never registered, so every
+    // claim has a matching release (the release tally is bumped before the
+    // slot flag flips, so joining implies the count is visible).
+    let snap = queue.telemetry_snapshot();
+    if turnq_telemetry::ENABLED {
+        assert_eq!(snap.counter(CounterId::SlotClaim), 12);
+        assert_eq!(
+            snap.counter(CounterId::SlotClaim),
+            snap.counter(CounterId::SlotRelease)
+        );
+        assert_eq!(snap.get("registry_registered"), 0);
+    } else {
+        // Registry tallies are unconditional (they feed the churn test in
+        // turnq-threadreg), but the snapshot path is feature-gated.
+        assert_eq!(snap.counter(CounterId::SlotClaim), 0);
+    }
+}
+
+#[test]
+fn exporters_agree_with_the_snapshot() {
+    let queue: TurnQueue<u64> = TurnQueue::with_max_threads(2);
+    for i in 0..100 {
+        queue.enqueue(i);
+    }
+    while queue.dequeue().is_some() {}
+    let snap = queue.telemetry_snapshot();
+    let prom = snap.to_prometheus();
+    let json = snap.to_json();
+    if turnq_telemetry::ENABLED {
+        assert!(prom.contains("turnq_enq_ops_total 100"), "{prom}");
+        assert!(json.contains("\"enq_ops\":100"), "{json}");
+    } else {
+        assert!(prom.contains("turnq_enq_ops_total 0"));
+        assert!(json.contains("\"enq_ops\":0"));
+    }
+}
