@@ -20,7 +20,8 @@
 //!   amortized `1/BUFFER_SIZE` node allocation (Table 4 discussion).
 
 use std::ptr;
-use turnq_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use turnq_sync::atomic::{AtomicPtr, AtomicUsize};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
@@ -72,7 +73,8 @@ impl<T> Drop for FaaNode<T> {
         // Free any items that were enqueued into this node but never
         // dequeued (possible when the whole queue is dropped).
         for cell in self.items.iter() {
-            let p = cell.load(Ordering::Relaxed);
+            // ORDERING: RELAXED — `&mut self` in Drop: no concurrency.
+            let p = cell.load(ord::RELAXED);
             if !p.is_null() && p != taken::<T>() {
                 // SAFETY: cell values other than null/taken are unique
                 // Box::into_raw item pointers owned by the queue.
@@ -147,30 +149,39 @@ impl<T> FaaArrayQueue<T> {
             };
             // SAFETY: protected + validated.
             let tail_ref = unsafe { &*ltail };
-            let idx = tail_ref.enqidx.fetch_add(1, Ordering::SeqCst);
+            // ORDERING: SEQ_CST — enqueue ticket: the FAA must be ordered
+            // before our item CAS and inside the total order the dequeuer's
+            // empty check (deqidx/enqidx/next reads) observes.
+            let idx = tail_ref.enqidx.fetch_add(1, ord::SEQ_CST);
             if idx >= BUFFER_SIZE {
                 // Node full: append a fresh node (or help whoever did).
-                if ltail != self.tail.load(Ordering::SeqCst) {
+                // ORDERING: SEQ_CST — protect/validate handshake re-load.
+                if ltail != self.tail.load(ord::SEQ_CST) {
                     continue;
                 }
-                let lnext = tail_ref.next.load(Ordering::SeqCst);
+                // ORDERING: ACQUIRE — link read; pairs with the linking
+                // CAS's release half.
+                let lnext = tail_ref.next.load(ord::ACQUIRE);
                 if lnext.is_null() {
                     let new_node = FaaNode::alloc(item_ptr);
+                    // ORDERING: SEQ_CST / RELAXED — the linking CAS:
+                    // publishes the new node (items written plainly in
+                    // alloc) and must sit in the total order the empty
+                    // check's `next` read observes. Failure value unused
+                    // (our node never escaped; we retry).
                     if tail_ref
                         .next
-                        .compare_exchange(
-                            ptr::null_mut(),
-                            new_node,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                        )
+                        .compare_exchange(ptr::null_mut(), new_node, ord::SEQ_CST, ord::RELAXED)
                         .is_ok()
                     {
+                        // ORDERING: SEQ_CST / RELAXED — tail swing; stays
+                        // in the order try_protect validations read.
+                        // Failure value unused (someone helped).
                         let _ = self.tail.compare_exchange(
                             ltail,
                             new_node,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
+                            ord::SEQ_CST,
+                            ord::RELAXED,
                         );
                         self.hp.clear(tid);
                         self.telemetry.bump(tid, CounterId::EnqOps);
@@ -185,26 +196,27 @@ impl<T> FaaArrayQueue<T> {
                     // SAFETY: new_node never escaped; clear cell 0 first so
                     // FaaNode::drop does not free our still-live item.
                     unsafe {
-                        (*new_node).items[0].store(ptr::null_mut(), Ordering::Relaxed);
+                        // ORDERING: RELAXED — new_node never escaped.
+                        (*new_node).items[0].store(ptr::null_mut(), ord::RELAXED);
                         drop(Box::from_raw(new_node));
                     }
                 } else {
+                    // ORDERING: SEQ_CST / RELAXED — tail swing (see above).
                     let _ = self.tail.compare_exchange(
                         ltail,
                         lnext,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        ord::SEQ_CST,
+                        ord::RELAXED,
                     );
                 }
                 continue;
             }
+            // ORDERING: RELEASE / RELAXED — item publication into our
+            // ticket's cell: release pairs with the dequeuer's acquiring
+            // swap so the boxed payload is visible. A failure means a
+            // dequeuer poisoned the cell; the value is discarded.
             if tail_ref.items[idx]
-                .compare_exchange(
-                    ptr::null_mut(),
-                    item_ptr,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                )
+                .compare_exchange(ptr::null_mut(), item_ptr, ord::RELEASE, ord::RELAXED)
                 .is_ok()
             {
                 self.hp.clear(tid);
@@ -228,27 +240,36 @@ impl<T> FaaArrayQueue<T> {
             // SAFETY: protected + validated.
             let head_ref = unsafe { &*lhead };
             // Empty check: all tickets consumed and no successor node.
-            if head_ref.deqidx.load(Ordering::SeqCst) >= head_ref.enqidx.load(Ordering::SeqCst)
-                && head_ref.next.load(Ordering::SeqCst).is_null()
+            // ORDERING: SEQ_CST (all three) — the empty check: the None
+            // answer linearizes against concurrent tickets and appends,
+            // exactly like the Turn queue's Inv. 11 head==tail read.
+            if head_ref.deqidx.load(ord::SEQ_CST) >= head_ref.enqidx.load(ord::SEQ_CST)
+                && head_ref.next.load(ord::SEQ_CST).is_null()
             {
                 self.hp.clear(tid);
                 self.telemetry.bump(tid, CounterId::DeqEmpty);
                 self.telemetry.event(tid, EventKind::OpFinish, 0);
                 return None;
             }
-            let idx = head_ref.deqidx.fetch_add(1, Ordering::SeqCst);
+            // ORDERING: SEQ_CST — dequeue ticket (see enqueue ticket).
+            let idx = head_ref.deqidx.fetch_add(1, ord::SEQ_CST);
             if idx >= BUFFER_SIZE {
                 // Node drained: advance head, retiring the old node.
-                let lnext = head_ref.next.load(Ordering::SeqCst);
+                // ORDERING: SEQ_CST — doubles as link read and empty-check
+                // input (the None below is an emptiness answer).
+                let lnext = head_ref.next.load(ord::SEQ_CST);
                 if lnext.is_null() {
                     self.hp.clear(tid);
                     self.telemetry.bump(tid, CounterId::DeqEmpty);
                     self.telemetry.event(tid, EventKind::OpFinish, 0);
                     return None;
                 }
+                // ORDERING: SEQ_CST / RELAXED — head advance; stays in the
+                // order try_protect validations read (retire safety).
+                // Failure value unused.
                 if self
                     .head
-                    .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(lhead, lnext, ord::SEQ_CST, ord::RELAXED)
                     .is_ok()
                 {
                     self.hp.clear(tid);
@@ -260,7 +281,11 @@ impl<T> FaaArrayQueue<T> {
                 }
                 continue;
             }
-            let it = head_ref.items[idx].swap(taken::<T>(), Ordering::SeqCst);
+            // ORDERING: ACQUIRE — consume-or-poison swap: acquire pairs
+            // with the enqueuer's release CAS so the boxed payload is
+            // visible before we deref it. The poison marker itself carries
+            // no payload, so the store half needs no release.
+            let it = head_ref.items[idx].swap(taken::<T>(), ord::ACQUIRE);
             if it.is_null() {
                 // We beat the enqueuer to this ticket; its cell is burnt
                 // ("will never contain an item", §1). Retry.
@@ -277,9 +302,10 @@ impl<T> FaaArrayQueue<T> {
 
 impl<T> Drop for FaaArrayQueue<T> {
     fn drop(&mut self) {
-        let mut node = self.head.load(Ordering::Relaxed);
+        // ORDERING: RELAXED (both Drop loads) — `&mut self`: no concurrency.
+        let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
-            let next = unsafe { &*node }.next.load(Ordering::Relaxed);
+            let next = unsafe { &*node }.next.load(ord::RELAXED);
             // SAFETY: exclusive access; FaaNode::drop frees residual items.
             unsafe { drop(Box::from_raw(node)) };
             node = next;
@@ -347,7 +373,7 @@ impl QueueFamily for FaaFamily {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

@@ -12,7 +12,8 @@
 
 use turnq_sync::cell::UnsafeCell;
 use std::ptr;
-use turnq_sync::atomic::{AtomicPtr, Ordering};
+use turnq_sync::atomic::AtomicPtr;
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
@@ -121,21 +122,34 @@ impl<T> MSQueue<T> {
             };
             // SAFETY: protected + validated by try_protect.
             let ltail_ref = unsafe { &*ltail };
-            let lnext = ltail_ref.next.load(Ordering::SeqCst);
-            if ltail != self.tail.load(Ordering::SeqCst) {
+            // ORDERING: ACQUIRE — link read; pairs with the linking CAS's
+            // release half (crossbeam-standard MS orderings).
+            let lnext = ltail_ref.next.load(ord::ACQUIRE);
+            // ORDERING: SEQ_CST — protect/validate handshake re-load,
+            // ordered after the SC hazard publication in try_protect.
+            if ltail != self.tail.load(ord::SEQ_CST) {
                 continue;
             }
             if lnext.is_null() {
+                // ORDERING: RELEASE / RELAXED — the linking CAS publishes
+                // the node's plainly-written item to every acquire link
+                // read; MS needs no total order here because every decision
+                // is re-validated against head/tail. Failure value unused.
                 if ltail_ref
                     .next
-                    .compare_exchange(ptr::null_mut(), node, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(ptr::null_mut(), node, ord::RELEASE, ord::RELAXED)
                     .is_ok()
                 {
+                    // ORDERING: SEQ_CST / RELAXED — tail swing: must stay in
+                    // the total order the try_protect validations read (the
+                    // hazard contract: a node is retired only after head
+                    // passed it, and head never passes the tail). Failure
+                    // value unused (someone helped).
                     let _ = self.tail.compare_exchange(
                         ltail,
                         node,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        ord::SEQ_CST,
+                        ord::RELAXED,
                     );
                     break;
                 }
@@ -144,9 +158,10 @@ impl<T> MSQueue<T> {
                     .event(tid, EventKind::CasFail, CounterId::CasFailNext as u64);
             } else {
                 // Help swing a lagging tail.
+                // ORDERING: SEQ_CST / RELAXED — tail swing (see above).
                 let _ =
                     self.tail
-                        .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst);
+                        .compare_exchange(ltail, lnext, ord::SEQ_CST, ord::RELAXED);
             }
         }
         self.hp.clear(tid);
@@ -161,12 +176,18 @@ impl<T> MSQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            let ltail = self.tail.load(Ordering::SeqCst);
+            // ORDERING: SEQ_CST — emptiness-test input (`lhead == ltail`
+            // below): the None answer must be ordered against concurrent
+            // tail swings.
+            let ltail = self.tail.load(ord::SEQ_CST);
             // SAFETY: lhead protected + validated.
+            // ORDERING: ACQUIRE — candidate link read for protection; the
+            // SC head re-load below validates it.
             let lnext = self
                 .hp
-                .protect_ptr(tid, HP_NEXT, unsafe { &*lhead }.next.load(Ordering::SeqCst));
-            if lhead != self.head.load(Ordering::SeqCst) {
+                .protect_ptr(tid, HP_NEXT, unsafe { &*lhead }.next.load(ord::ACQUIRE));
+            // ORDERING: SEQ_CST — protect/validate handshake re-load.
+            if lhead != self.head.load(ord::SEQ_CST) {
                 continue;
             }
             if lhead == ltail {
@@ -177,14 +198,20 @@ impl<T> MSQueue<T> {
                     return None; // observed empty
                 }
                 // Tail is lagging: help it, then retry.
+                // ORDERING: SEQ_CST / RELAXED — tail swing (see enqueue).
                 let _ =
                     self.tail
-                        .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst);
+                        .compare_exchange(ltail, lnext, ord::SEQ_CST, ord::RELAXED);
                 continue;
             }
+            // ORDERING: SEQ_CST / RELAXED — head advance: the dequeue's
+            // decision point; stays in the total order every try_protect
+            // validation and emptiness check reads. Acquire on success also
+            // carries the enqueuer's item into the take below. Failure
+            // value unused (loop re-protects).
             if self
                 .head
-                .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(lhead, lnext, ord::SEQ_CST, ord::RELAXED)
                 .is_ok()
             {
                 // We won the dequeue; the item in the new sentinel is ours.
@@ -210,11 +237,12 @@ impl<T> MSQueue<T> {
 
 impl<T> Drop for MSQueue<T> {
     fn drop(&mut self) {
-        let mut node = self.head.load(Ordering::Relaxed);
+        // ORDERING: RELAXED (both Drop loads) — `&mut self`: no concurrency.
+        let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
             // SAFETY: `&mut self` means no concurrent access; every node
             // in the list is a live Box::into_raw allocation.
-            let next = unsafe { &*node }.next.load(Ordering::Relaxed);
+            let next = unsafe { &*node }.next.load(ord::RELAXED);
             // SAFETY: exclusive access; list nodes freed exactly once.
             unsafe { drop(Box::from_raw(node)) };
             node = next;
@@ -280,7 +308,7 @@ impl QueueFamily for MsFamily {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

@@ -11,7 +11,8 @@
 use turnq_sync::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
-use turnq_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicUsize};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 
@@ -78,8 +79,12 @@ impl<T> SpscRing<T> {
 
     /// Claim the producer endpoint.
     pub fn producer(&self) -> Option<SpscProducer<'_, T>> {
+        // ORDERING: ACQ_REL / RELAXED — endpoint claim: acquire pairs with
+        // the previous endpoint's release drop so its index writes are
+        // visible to the new owner; release publishes the claim. A failure
+        // just returns None.
         self.producer_claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
             .is_ok()
             .then_some(SpscProducer {
                 ring: self,
@@ -89,8 +94,9 @@ impl<T> SpscRing<T> {
 
     /// Claim the consumer endpoint.
     pub fn consumer(&self) -> Option<SpscConsumer<'_, T>> {
+        // ORDERING: ACQ_REL / RELAXED — endpoint claim (see producer()).
         self.consumer_claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
             .is_ok()
             .then_some(SpscConsumer {
                 ring: self,
@@ -111,8 +117,9 @@ impl<T> SpscRing<T> {
 impl<T> Drop for SpscRing<T> {
     fn drop(&mut self) {
         // Exclusive access: drop the items still in [tail, head).
-        let mut i = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Relaxed);
+        // ORDERING: RELAXED (both) — `&mut self` in Drop: no concurrency.
+        let mut i = self.tail.load(ord::RELAXED);
+        let head = self.head.load(ord::RELAXED);
         while i != head {
             // SAFETY: slots in [tail, head) hold initialized items.
             unsafe { (*self.slots[i].get()).assume_init_drop() };
@@ -132,21 +139,30 @@ impl<T> SpscProducer<'_, T> {
     /// the ring is full (bounded memory is the whole point here).
     pub fn try_enqueue(&mut self, item: T) -> Result<(), Full<T>> {
         let ring = self.ring;
-        let head = ring.head.load(Ordering::Relaxed); // producer-owned
+        // ORDERING: RELAXED — producer-owned index; only this endpoint
+        // writes it, so it reads its own latest value.
+        let head = ring.head.load(ord::RELAXED);
         let next = ring.next(head);
-        if next == ring.tail.load(Ordering::Acquire) {
+        // ORDERING: ACQUIRE — pairs with the consumer's release `tail`
+        // store: observing the freed slot also transfers it back to us
+        // (the consumer's read of the old item happened-before).
+        if next == ring.tail.load(ord::ACQUIRE) {
             return Err(Full(item));
         }
         // SAFETY: slot `head` is outside [tail, head) — producer territory.
         unsafe { (*ring.slots[head].get()).write(item) };
-        ring.head.store(next, Ordering::Release);
+        // ORDERING: RELEASE — publishes the slot write above to the
+        // consumer's acquire `head` load (Lamport's classic SPSC edges).
+        ring.head.store(next, ord::RELEASE);
         Ok(())
     }
 }
 
 impl<T> Drop for SpscProducer<'_, T> {
     fn drop(&mut self) {
-        self.ring.producer_claimed.store(false, Ordering::Release);
+        // ORDERING: RELEASE — endpoint hand-back: orders our index writes
+        // before the next claimer's acquire CAS.
+        self.ring.producer_claimed.store(false, ord::RELEASE);
     }
 }
 
@@ -160,29 +176,51 @@ impl<T> SpscConsumer<'_, T> {
     /// Dequeue in a constant number of steps; `None` when empty.
     pub fn dequeue(&mut self) -> Option<T> {
         let ring = self.ring;
-        let tail = ring.tail.load(Ordering::Relaxed); // consumer-owned
-        if tail == ring.head.load(Ordering::Acquire) {
+        // ORDERING: RELAXED — consumer-owned index (see producer side).
+        let tail = ring.tail.load(ord::RELAXED);
+        // ORDERING: ACQUIRE — pairs with the producer's release `head`
+        // store: makes the slot's item write visible before we read it.
+        if tail == ring.head.load(ord::ACQUIRE) {
             return None;
         }
         // SAFETY: slot `tail` is the oldest initialized item; the Release
         // store below transfers the slot back to the producer.
         let item = unsafe { (*ring.slots[tail].get()).assume_init_read() };
-        ring.tail.store(ring.next(tail), Ordering::Release);
+        // ORDERING: RELEASE — transfers the emptied slot back to the
+        // producer's acquire `tail` load.
+        ring.tail.store(ring.next(tail), ord::RELEASE);
         Some(item)
     }
 }
 
 impl<T> Drop for SpscConsumer<'_, T> {
     fn drop(&mut self) {
-        self.ring.consumer_claimed.store(false, Ordering::Release);
+        // ORDERING: RELEASE — endpoint hand-back (see producer drop).
+        self.ring.consumer_claimed.store(false, ord::RELEASE);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    /// The two Lamport indices are the ring's only shared hot words; the
+    /// producer spins on `head` while the consumer publishes `tail` —
+    /// sharing a line would turn every publication into an invalidation
+    /// of the other side's spin.
+    #[test]
+    fn indices_on_distinct_cache_lines() {
+        let line = std::mem::align_of::<CachePadded<AtomicUsize>>();
+        assert!(line >= 64, "CachePadded narrower than a cache line");
+        let head = std::mem::offset_of!(SpscRing<u64>, head);
+        let tail = std::mem::offset_of!(SpscRing<u64>, tail);
+        assert!(
+            head.abs_diff(tail) >= line,
+            "head (+{head}) and tail (+{tail}) share a cache line"
+        );
+    }
 
     #[test]
     fn fifo_and_capacity() {

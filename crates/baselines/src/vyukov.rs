@@ -14,7 +14,8 @@
 use turnq_sync::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::ptr;
-use turnq_sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicPtr};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 
@@ -69,19 +70,28 @@ impl<T> VyukovMpscQueue<T> {
     /// Turn queue's claim is CAS-only, this baseline's claim is not.)
     pub fn enqueue(&self, item: T) {
         let node = VNode::alloc(Some(item));
-        let prev = self.push_end.swap(node, Ordering::AcqRel);
+        // ORDERING: ACQ_REL — the push-end swap: release publishes our
+        // node's plainly-written fields to the *next* producer (which will
+        // dereference it as `prev`); acquire pairs with the previous swap's
+        // release so dereferencing `prev` below is sound.
+        let prev = self.push_end.swap(node, ord::ACQ_REL);
         // The queue is momentarily disconnected here — the root cause of
         // the blocking dequeue. SAFETY: `prev` cannot be freed by the
         // consumer before this store: the consumer only advances past a
         // node after reading a non-null `next` from it.
-        unsafe { &*prev }.next.store(node, Ordering::Release);
+        // ORDERING: RELEASE — the link store: pairs with the consumer's
+        // acquire `next` load, carrying the item into the dequeue.
+        unsafe { &*prev }.next.store(node, ord::RELEASE);
     }
 
     /// Claim the consumer endpoint; `None` if already claimed.
     pub fn consumer(&self) -> Option<VyukovConsumer<'_, T>> {
+        // ORDERING: ACQ_REL / RELAXED — endpoint claim: acquire pairs with
+        // the previous consumer's release drop (pop_end handover); a
+        // failure just returns None.
         if self
             .consumer_claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
             .is_ok()
         {
             Some(VyukovConsumer {
@@ -106,7 +116,8 @@ impl<T> Drop for VyukovMpscQueue<T> {
         // SAFETY: `&mut self` in Drop — exclusive access to the whole list.
         let mut node = unsafe { *self.pop_end.get() };
         while !node.is_null() {
-            let next = unsafe { &*node }.next.load(Ordering::Relaxed);
+            // ORDERING: RELAXED — `&mut self` in Drop: no concurrency.
+            let next = unsafe { &*node }.next.load(ord::RELAXED);
             unsafe { drop(Box::from_raw(node)) };
             node = next;
         }
@@ -129,7 +140,9 @@ impl<T> VyukovConsumer<'_, T> {
     pub fn dequeue(&mut self) -> Option<T> {
         // SAFETY: exclusive consumer (claim guard).
         let tail = unsafe { *self.queue.pop_end.get() };
-        let next = unsafe { &*tail }.next.load(Ordering::Acquire);
+        // ORDERING: ACQUIRE — pairs with the producer's release link
+        // store; makes the node's item visible before take() reads it.
+        let next = unsafe { &*tail }.next.load(ord::ACQUIRE);
         if next.is_null() {
             return None;
         }
@@ -146,14 +159,32 @@ impl<T> VyukovConsumer<'_, T> {
 
 impl<T> Drop for VyukovConsumer<'_, T> {
     fn drop(&mut self) {
-        self.queue.consumer_claimed.store(false, Ordering::Release);
+        // ORDERING: RELEASE — endpoint hand-back: orders our pop_end
+        // writes before the next claimer's acquire CAS.
+        self.queue.consumer_claimed.store(false, ord::RELEASE);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
+
+    /// Producers hammer `push_end` (the swap) while the consumer owns
+    /// `pop_end`; a shared line would couple the two sides' caches for
+    /// no algorithmic reason.
+    #[test]
+    fn endpoints_on_distinct_cache_lines() {
+        let line = std::mem::align_of::<CachePadded<AtomicPtr<VNode<u64>>>>();
+        assert!(line >= 64, "CachePadded narrower than a cache line");
+        let push = std::mem::offset_of!(VyukovMpscQueue<u64>, push_end);
+        let pop = std::mem::offset_of!(VyukovMpscQueue<u64>, pop_end);
+        assert!(
+            push.abs_diff(pop) >= line,
+            "push_end (+{push}) and pop_end (+{pop}) share a cache line"
+        );
+    }
 
     #[test]
     fn fifo_single_thread() {

@@ -1,0 +1,160 @@
+//! Ordering-ablation benchmark: the Figure 2 pairs protocol across a
+//! thread sweep, run once on the relaxed default build and once with
+//! `--features seqcst` (which collapses every `turnq_sync::ord` alias
+//! back to the paper's SC orderings). The two runs merge into one
+//! `BENCH_orderings.json` artifact — schema in `docs/bench_format.md`,
+//! per-site relaxation arguments in `docs/orderings.md`.
+//!
+//! Orderings are compile-time, so one binary measures one mode
+//! (`turnq_sync::SEQCST_BUILD` says which); combining modes takes two
+//! builds:
+//!
+//! ```text
+//! cargo run -q -p turnq-bench --bin bench_orderings -- \
+//!     --out=results/BENCH_orderings.json
+//! cargo run -q -p turnq-bench --features seqcst --bin bench_orderings -- \
+//!     --merge=results/BENCH_orderings.json --out=results/BENCH_orderings.json
+//! ```
+//!
+//! Extra flags beyond the common set: `--queues=turn,kp,ms,faa`,
+//! `--threads-list=1,2,4,8`, `--out=PATH` (default
+//! `BENCH_orderings.json`, `-` prints to stdout), `--merge=PATH` (pull
+//! the *other* mode's section out of an existing artifact).
+
+use std::fmt::Write as _;
+
+use turnq_bench::{banner, scale_from};
+use turnq_harness::throughput::measure_pairs;
+use turnq_harness::{Args, QueueKind, Scale};
+
+fn mode_name() -> &'static str {
+    if turnq_sync::SEQCST_BUILD {
+        "seqcst"
+    } else {
+        "relaxed"
+    }
+}
+
+/// Extract the brace-balanced JSON object following `"<mode>":` from a
+/// previously written artifact. Textual on purpose: the repo has no JSON
+/// dependency, and the artifact is machine-written with balanced braces
+/// and no braces inside strings.
+fn extract_mode_object(text: &str, mode: &str) -> Option<String> {
+    let key = format!("\"{mode}\":");
+    let at = text.find(&key)? + key.len();
+    let start = at + text[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[start..=start + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() {
+    let args = Args::from_env();
+    let base = scale_from(&args);
+    let kinds = QueueKind::parse_list(Some(args.get("queues").unwrap_or("turn,kp,ms,faa")));
+    let threads: Vec<usize> = args
+        .get("threads-list")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads-list: bad thread count"))
+        .collect();
+    assert!(!threads.is_empty(), "--threads-list must name at least one count");
+
+    let mode = mode_name();
+    banner(
+        &format!("Ordering ablation ({mode} build): pairs throughput vs threads"),
+        &base,
+    );
+
+    // measured[kind][thread index] = median ops/sec.
+    let mut measured: Vec<(QueueKind, Vec<u64>)> = Vec::new();
+    for &kind in &kinds {
+        let mut row = Vec::with_capacity(threads.len());
+        for &t in &threads {
+            eprintln!("pairs [{mode}]: {} @ {t} threads ...", kind.name());
+            let scale = Scale { threads: t, ..base };
+            row.push(measure_pairs(kind, &scale).ops_per_sec);
+        }
+        measured.push((kind, row));
+    }
+
+    // Human-readable table for this mode.
+    print!("{:<12}", "queue");
+    for &t in &threads {
+        print!("{:>14}", format!("{t}T ops/s"));
+    }
+    println!();
+    for (kind, row) in &measured {
+        print!("{:<12}", kind.name());
+        for v in row {
+            print!("{v:>14}");
+        }
+        println!();
+    }
+    println!();
+
+    // This mode's JSON section.
+    let mut section = String::from("{\n");
+    let _ = writeln!(
+        section,
+        "      \"threads\": [{}],",
+        threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        section,
+        "      \"scale\": {{\"pairs\": {}, \"runs\": {}, \"work_spins\": {}}},",
+        base.pairs, base.runs, base.work_spins
+    );
+    section.push_str("      \"queues\": [\n");
+    for (i, (kind, row)) in measured.iter().enumerate() {
+        let _ = write!(
+            section,
+            "        {{\"name\": \"{}\", \"ops_per_sec\": [{}]}}",
+            kind.name(),
+            row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        section.push_str(if i + 1 < measured.len() { ",\n" } else { "\n" });
+    }
+    section.push_str("      ]\n    }");
+
+    // The other mode's section, if we're merging onto a prior artifact.
+    let other = if mode == "seqcst" { "relaxed" } else { "seqcst" };
+    let other_section = args.get("merge").and_then(|path| {
+        let prior = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--merge={path}: {e}"));
+        let found = extract_mode_object(&prior, other);
+        if found.is_none() {
+            eprintln!("note: --merge={path} has no \"{other}\" section; writing {mode} only");
+        }
+        found
+    });
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"turnq-bench-orderings/1\",");
+    let _ = writeln!(json, "  \"benchmark\": \"pairs\",");
+    json.push_str("  \"modes\": {\n");
+    let _ = write!(json, "    \"{mode}\": {section}");
+    if let Some(o) = other_section {
+        let _ = write!(json, ",\n    \"{other}\": {o}");
+    }
+    json.push_str("\n  }\n}\n");
+
+    let out = args.get("out").unwrap_or("BENCH_orderings.json");
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json).expect("write orderings artifact");
+        println!("wrote {out}");
+    }
+}

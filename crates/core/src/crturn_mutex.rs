@@ -26,7 +26,8 @@
 //! is running, and the free-lock CAS race only arises when no intents were
 //! visible, in which case some requester wins and restarts the chain.
 
-use turnq_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicUsize};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 use turnq_threadreg::ThreadRegistry;
@@ -73,18 +74,27 @@ impl CRTurnMutex {
     /// Acquire the lock, blocking (spinning with yields) until granted.
     pub fn lock(&self) -> CRTurnGuard<'_> {
         let me = self.registry.current_index();
-        self.intents[me].store(true, Ordering::SeqCst);
+        // ORDERING: SEQ_CST — intent publish, one half of the Dekker with
+        // the unlock scan: either the scan sees our intent (handoff) or we
+        // see its grant write (free/claim); the starvation-freedom bound
+        // counts on published intents being in the scan's total order.
+        self.intents[me].store(true, ord::SEQ_CST);
         let mut spins = 0u32;
         loop {
-            let g = self.grant.load(Ordering::SeqCst);
+            // ORDERING: ACQUIRE — pairs with the unlocker's release store
+            // of `grant`, making the previous critical section visible.
+            let g = self.grant.load(ord::ACQUIRE);
             if g == me {
                 // Handed to us by an unlocking holder.
                 break;
             }
+            // ORDERING: ACQUIRE / RELAXED — lock-acquire CAS: success
+            // pairs with the release that freed the lock; a failure value
+            // is discarded and only causes another spin.
             if g == NO_OWNER
                 && self
                     .grant
-                    .compare_exchange(NO_OWNER, me, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(NO_OWNER, me, ord::ACQUIRE, ord::RELAXED)
                     .is_ok()
             {
                 break;
@@ -103,21 +113,31 @@ impl CRTurnMutex {
 
     /// Unlock, handing off to the next intent to the right (circularly).
     fn unlock(&self, me: usize) {
-        debug_assert_eq!(self.grant.load(Ordering::SeqCst), me);
-        self.intents[me].store(false, Ordering::SeqCst);
+        // ORDERING: RELAXED — holder-only sanity check; we wrote (or were
+        // handed) this value ourselves.
+        debug_assert_eq!(self.grant.load(ord::RELAXED), me);
+        // ORDERING: RELEASE — the next holder reaches its unlock scan only
+        // through an acquire of `grant`, which orders this clear before
+        // that scan; no thread scans intents without holding the lock.
+        self.intents[me].store(false, ord::RELEASE);
         let n = self.intents.len();
         for d in 1..n {
             let j = (me + d) % n;
-            if self.intents[j].load(Ordering::SeqCst) {
+            // ORDERING: SEQ_CST — the unlock scan, the other half of the
+            // Dekker with the intent publish (see lock()).
+            if self.intents[j].load(ord::SEQ_CST) {
                 // Handoff: `grant` moves holder→holder without going
                 // through NO_OWNER, so latecomers cannot barge past `j`.
-                self.grant.store(j, Ordering::SeqCst);
+                // ORDERING: RELEASE — publishes our critical section to
+                // the acquire load in `j`'s lock() spin.
+                self.grant.store(j, ord::RELEASE);
                 return;
             }
         }
         // No visible intent: free the lock. A requester that published
         // after our scan passed it will acquire via the CAS path.
-        self.grant.store(NO_OWNER, Ordering::SeqCst);
+        // ORDERING: RELEASE — pairs with the acquire of the claiming CAS.
+        self.grant.store(NO_OWNER, ord::RELEASE);
     }
 }
 
@@ -140,6 +160,7 @@ impl Drop for CRTurnGuard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     #[test]

@@ -1,8 +1,9 @@
 //! The list node shared by the Turn queue and its MPSC/SPMC variants
 //! (paper Algorithm 1).
 
+use turnq_sync::atomic::{AtomicI32, AtomicPtr};
 use turnq_sync::cell::UnsafeCell;
-use turnq_sync::atomic::{AtomicI32, AtomicPtr, Ordering};
+use turnq_sync::ord;
 
 /// "No thread" marker for [`Node::deq_tid`] (the paper's `IDX_NONE`).
 pub(crate) const IDX_NONE: i32 = -1;
@@ -72,8 +73,14 @@ impl<T> Node<T> {
     /// Returns whether this call performed the assignment.
     #[inline]
     pub(crate) fn cas_deq_tid(&self, expected: i32, desired: i32) -> bool {
+        // ORDERING: ACQ_REL / ACQUIRE — the write-once assignment: the
+        // per-location CAS order alone decides which helper wins (Inv. 9);
+        // release pairs with the acquire deq_tid loads, and acquire on both
+        // outcomes ensures the winner's assignment is visible before the
+        // caller acts on it. The request-level consensus runs on the
+        // SeqCst deqself/deqhelp scans, not on this field.
         self.deq_tid
-            .compare_exchange(expected, desired, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(expected, desired, ord::ACQ_REL, ord::ACQUIRE)
             .is_ok()
     }
 
@@ -95,6 +102,7 @@ impl<T> Node<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn node_is_24_bytes_for_pointer_sized_items() {

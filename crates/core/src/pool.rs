@@ -36,8 +36,9 @@
 //! overflows to the allocator, so a capacity of 0 reproduces the classic
 //! free-to-allocator behavior exactly.
 
+use turnq_sync::atomic::AtomicU64;
 use turnq_sync::cell::UnsafeCell;
-use turnq_sync::atomic::{AtomicU64, Ordering};
+use turnq_sync::ord;
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -79,7 +80,9 @@ impl<T> PoolSlot<T> {
 /// Exact because only the slot's owning thread writes its counters.
 #[inline]
 fn bump(counter: &AtomicU64) {
-    counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    // ORDERING: RELAXED — owner-only counter mirror: one writer per slot,
+    // cross-thread readers take a racy-but-coherent snapshot (stats()).
+    counter.store(counter.load(ord::RELAXED) + 1, ord::RELAXED);
 }
 
 /// Per-thread caches of recycled queue nodes.
@@ -144,7 +147,9 @@ impl<T> NodePool<T> {
         let free = unsafe { &mut *slot.free.get() };
         match free.pop() {
             Some(ptr) => {
-                slot.len.store(free.len() as u64, Ordering::Relaxed);
+                // ORDERING: RELAXED — owner-only gauge mirror of the free
+                // list's length; readers are racy by contract.
+                slot.len.store(free.len() as u64, ord::RELAXED);
                 bump(&slot.hits);
                 self.telemetry.event(tid, EventKind::PoolHit, 0);
                 Some(ptr)
@@ -178,7 +183,8 @@ impl<T> NodePool<T> {
         let free = unsafe { &mut *slot.free.get() };
         if free.len() < self.capacity {
             free.push(ptr);
-            slot.len.store(free.len() as u64, Ordering::Relaxed);
+            // ORDERING: RELAXED — owner-only gauge mirror, as in acquire.
+            slot.len.store(free.len() as u64, ord::RELAXED);
             bump(&slot.recycled);
             self.telemetry.event(tid, EventKind::PoolRefill, 0);
         } else {
@@ -193,11 +199,14 @@ impl<T> NodePool<T> {
     pub(crate) fn stats(&self) -> PoolStats {
         let mut s = PoolStats::default();
         for slot in self.slots.iter() {
-            s.hits += slot.hits.load(Ordering::Relaxed);
-            s.misses += slot.misses.load(Ordering::Relaxed);
-            s.recycled += slot.recycled.load(Ordering::Relaxed);
-            s.overflows += slot.overflows.load(Ordering::Relaxed);
-            s.pooled_now += slot.len.load(Ordering::Relaxed);
+            // ORDERING: RELAXED — racy cross-thread snapshot of owner-only
+            // counters; each value is individually coherent, which is all
+            // the documented contract promises.
+            s.hits += slot.hits.load(ord::RELAXED);
+            s.misses += slot.misses.load(ord::RELAXED);
+            s.recycled += slot.recycled.load(ord::RELAXED);
+            s.overflows += slot.overflows.load(ord::RELAXED);
+            s.pooled_now += slot.len.load(ord::RELAXED);
         }
         s
     }
@@ -244,10 +253,12 @@ impl<T> ReclaimSink<Node<T>> for PoolSink<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn acquire_on_empty_pool_misses() {
         let pool: NodePool<u64> = NodePool::new(2, 4);
+        // SAFETY: single-threaded test; tid 0 is unshared.
         assert_eq!(unsafe { pool.acquire(0) }, None);
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (0, 1));

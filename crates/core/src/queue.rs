@@ -8,7 +8,8 @@
 
 use std::marker::PhantomData;
 use std::ptr;
-use turnq_sync::atomic::{AtomicPtr, Ordering};
+use turnq_sync::atomic::AtomicPtr;
+use turnq_sync::ord;
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -186,9 +187,12 @@ impl<T> TurnQueue<T> {
         // Each dequeue slot starts with its own unique dummy so that
         // `deqself[i] != deqhelp[i]` (no open request) and the first
         // `retire(prReq)` retires a dummy rather than a live node.
+        // ORDERING: RELAXED — single-threaded constructor; whatever shares
+        // the queue afterwards (Arc, scoped spawn) provides the
+        // release/acquire publication edge.
         for i in 0..max_threads {
-            deqself[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
-            deqhelp[i].store(Node::<T>::alloc(None, 0), Ordering::Relaxed);
+            deqself[i].store(Node::<T>::alloc(None, 0), ord::RELAXED);
+            deqhelp[i].store(Node::<T>::alloc(None, 0), ord::RELAXED);
         }
         let telemetry = Arc::new(TelemetrySheet::new(max_threads));
         let mut pool = NodePool::new(max_threads, pool_capacity);
@@ -287,7 +291,9 @@ impl<T> TurnQueue<T> {
     /// the call. (A linearizable emptiness *check* is what `dequeue()`
     /// returning `None` provides.)
     pub fn is_empty(&self) -> bool {
-        self.head.load(Ordering::SeqCst) == self.tail.load(Ordering::SeqCst)
+        // ORDERING: RELAXED — documented racy hint; no algorithm decision
+        // reads it, so no happens-before edge is required.
+        self.head.load(ord::RELAXED) == self.tail.load(ord::RELAXED)
     }
 
     /// A handle that caches the calling thread's registry index, removing
@@ -339,11 +345,19 @@ impl<T> TurnQueue<T> {
         // every helping-loop iteration re-check it, and the bounds check +
         // CachePadded indirection need not repeat.
         let my_slot = &self.enqueuers[myidx];
-        my_slot.store(my_node, Ordering::SeqCst); // line 4: publish request
+        // ORDERING: SEQ_CST — consensus publish (line 4). Helpers scan
+        // `enqueuers` starting at the tail's enq_tid + 1, and we stop
+        // helping after max_threads iterations (line 26 then closes our own
+        // slot); the Inv. 5 bound needs every scan that follows this store
+        // in the single total order to observe it — a StoreLoad guarantee
+        // weaker orderings do not give.
+        my_slot.store(my_node, ord::SEQ_CST); // line 4: publish request
         // Optional deliberate backoff (§4.1): our request is published, so
         // helpers can finish it while we spin instead of contending.
         for _ in 0..self.backoff_spins {
-            if my_slot.load(Ordering::SeqCst).is_null() {
+            // ORDERING: ACQUIRE — completion hint; pairs with the helper's
+            // slot-clearing CAS. A stale non-null read only spins once more.
+            if my_slot.load(ord::ACQUIRE).is_null() {
                 self.record_enqueue(myidx, 0); // helped before we took a step
                 return; // a helper inserted our node
             }
@@ -352,7 +366,9 @@ impl<T> TurnQueue<T> {
         for iter in 0..self.max_threads {
             // line 5
             // line 6: a helper inserted our node and cleared our slot.
-            if my_slot.load(Ordering::SeqCst).is_null() {
+            // ORDERING: ACQUIRE — pairs with the helper's clearing CAS; a
+            // stale non-null read costs one more (bounded) iteration.
+            if my_slot.load(ord::ACQUIRE).is_null() {
                 self.hp.clear(myidx); // line 7
                 self.record_enqueue(myidx, iter);
                 return;
@@ -360,10 +376,16 @@ impl<T> TurnQueue<T> {
             // lines 10-11: protect + validate tail (Algorithm 5 pattern —
             // a failed validation means the tail advanced, i.e. some
             // request completed, so we charge it to our bounded loop).
+            // ORDERING: ACQUIRE — candidate for protection only; the
+            // SeqCst validation below carries the handshake.
             let ltail = self
                 .hp
-                .protect_ptr(myidx, HP_HEAD_TAIL, self.tail.load(Ordering::SeqCst));
-            if ltail != self.tail.load(Ordering::SeqCst) {
+                .protect_ptr(myidx, HP_HEAD_TAIL, self.tail.load(ord::ACQUIRE));
+            // ORDERING: SEQ_CST — validation read of the protect/validate
+            // handshake (Algorithm 5): it must follow the hazard store in
+            // the total order so a concurrent retire scan either sees our
+            // hazard or we see the newer tail (StoreLoad).
+            if ltail != self.tail.load(ord::SEQ_CST) {
                 continue;
             }
             // SAFETY: ltail is protected and validated; HP keeps it alive.
@@ -372,28 +394,41 @@ impl<T> TurnQueue<T> {
             // tail node itself is no longer an open request (Inv. 7 — this
             // is what prevents double insertion).
             let turn_slot = &self.enqueuers[ltail_ref.enq_tid as usize];
-            if turn_slot.load(Ordering::SeqCst) == ltail {
+            // ORDERING: SEQ_CST — consensus scan + close (Inv. 7): the
+            // check and the clearing CAS participate in the same total
+            // order as the line-4 publish, preventing double insertion.
+            if turn_slot.load(ord::SEQ_CST) == ltail {
                 let _ = turn_slot.compare_exchange(
                     ltail,
                     ptr::null_mut(),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    ord::SEQ_CST,
+                    ord::SEQ_CST,
                 );
             }
             // lines 16-22: help the first open request to the right of the
             // current turn (the CRTurn consensus step, Inv. 1).
             for j in 1..=self.max_threads {
+                // ORDERING: SEQ_CST — consensus scan (lines 16-22): must
+                // observe every line-4 publish that precedes it in the
+                // total order, or a request could be skipped for a whole
+                // turn and overrun the Inv. 5 helping bound.
                 let node_to_help = self.enqueuers
                     [(j + ltail_ref.enq_tid as usize) % self.max_threads]
-                    .load(Ordering::SeqCst);
+                    .load(ord::SEQ_CST);
                 if node_to_help.is_null() {
                     continue;
                 }
+                // ORDERING: ACQ_REL / ACQUIRE — the linking CAS (line 18).
+                // Release publishes the node's payload to every later
+                // acquire read of `next`; acquire on both outcomes pairs
+                // with the winning link so the line-23 read below sees a
+                // non-null next. The per-location CAS order alone decides
+                // the race, so SeqCst buys nothing here.
                 match ltail_ref.next.compare_exchange(
                     ptr::null_mut(),
                     node_to_help,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    ord::ACQ_REL,
+                    ord::ACQUIRE,
                 ) {
                     Ok(_) if node_to_help != my_node => {
                         // Inserted a node published by another thread's
@@ -415,11 +450,16 @@ impl<T> TurnQueue<T> {
             }
             // lines 23-24: advance the tail past whatever got inserted
             // (Inv. 2 — tail only advances after an insertion).
-            let lnext = ltail_ref.next.load(Ordering::SeqCst);
+            // ORDERING: ACQUIRE — pairs with the linking CAS's release so
+            // the advancing CAS publishes a fully-initialized node.
+            let lnext = ltail_ref.next.load(ord::ACQUIRE);
+            // ORDERING: SEQ_CST — tail advance (Inv. 2): the new tail's
+            // enq_tid defines the next turn, so the advance must sit in the
+            // same total order as the `enqueuers` publishes and scans.
             if !lnext.is_null()
                 && self
                     .tail
-                    .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(ltail, lnext, ord::SEQ_CST, ord::SEQ_CST)
                     .is_err()
             {
                 self.telemetry.bump(myidx, CounterId::CasFailTail);
@@ -429,9 +469,11 @@ impl<T> TurnQueue<T> {
         }
         self.hp.clear(myidx); // line 25
         // line 26: after max_threads iterations Inv. 5 guarantees our node
-        // is in the list, so closing our own slot cannot lose it. `Release`
-        // as in the paper.
-        my_slot.store(ptr::null_mut(), Ordering::Release);
+        // is in the list, so closing our own slot cannot lose it.
+        // ORDERING: RELEASE — as in the paper: scans treat null as "no open
+        // request", so observing the close late is always safe; it only
+        // must not be reordered before the loop's reads.
+        my_slot.store(ptr::null_mut(), ord::RELEASE);
         // The loop bound itself completed the request (Inv. 5), so the
         // observed depth is the bound's last iteration.
         self.record_enqueue(myidx, self.max_threads - 1);
@@ -457,14 +499,25 @@ impl<T> TurnQueue<T> {
         // helping loop (same reasoning as in `enqueue_with`).
         let my_deqself = &self.deqself[myidx];
         let my_deqhelp = &self.deqhelp[myidx];
-        let pr_req = my_deqself.load(Ordering::SeqCst); // line 3
-        let my_req = my_deqhelp.load(Ordering::SeqCst); // line 4
+        // ORDERING: RELAXED — deqself[myidx] is written only by this
+        // thread; reading back our own last store needs no inter-thread
+        // edge.
+        let pr_req = my_deqself.load(ord::RELAXED); // line 3
+        // ORDERING: ACQUIRE — pairs with the release of the closing
+        // store/CAS that last wrote deqhelp[myidx] (previous dequeue).
+        let my_req = my_deqhelp.load(ord::ACQUIRE); // line 4
         // line 5: `deqself[i] == deqhelp[i]` opens the request.
-        my_deqself.store(my_req, Ordering::SeqCst);
+        // ORDERING: SEQ_CST — consensus publish: helpers scan deqself ==
+        // deqhelp to find open requests (line 38); like the enqueue-side
+        // line 4, the Inv. 5/11 arguments need this store totally ordered
+        // with those scans and with the head == tail emptiness check.
+        my_deqself.store(my_req, ord::SEQ_CST);
         // Optional deliberate backoff (§4.1); the loop's line-7 check picks
         // up a request satisfied during the spin.
         for _ in 0..self.backoff_spins {
-            if my_deqhelp.load(Ordering::SeqCst) != my_req {
+            // ORDERING: ACQUIRE — completion hint; pairs with the closing
+            // CAS. A stale read only spins once more.
+            if my_deqhelp.load(ord::ACQUIRE) != my_req {
                 break;
             }
             turnq_sync::hint::spin_loop();
@@ -472,27 +525,43 @@ impl<T> TurnQueue<T> {
         for iter in 0..self.max_threads {
             // line 6
             // line 7: request already satisfied by a helper.
-            if my_deqhelp.load(Ordering::SeqCst) != my_req {
+            // ORDERING: ACQUIRE — pairs with the closing CAS's release; a
+            // stale read costs one more (bounded) iteration.
+            if my_deqhelp.load(ord::ACQUIRE) != my_req {
                 depth = Some(iter);
                 break;
             }
             // lines 8-9: protect + validate head.
+            // ORDERING: ACQUIRE — candidate for protection; the SeqCst
+            // validation below carries the handshake.
             let lhead = self
                 .hp
-                .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(Ordering::SeqCst));
-            if lhead != self.head.load(Ordering::SeqCst) {
+                .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(ord::ACQUIRE));
+            // ORDERING: SEQ_CST — protect/validate handshake (StoreLoad
+            // against concurrent retire scans), as on the enqueue side.
+            if lhead != self.head.load(ord::SEQ_CST) {
                 continue;
             }
-            if lhead == self.tail.load(Ordering::SeqCst) {
+            // ORDERING: SEQ_CST — emptiness check (line 10): head == tail
+            // must be evaluated against the same total order as enqueue's
+            // publish and tail advance, or a dequeuer could return None
+            // for an item whose enqueue already linearized (Inv. 11).
+            if lhead == self.tail.load(ord::SEQ_CST) {
                 // lines 10-18: queue looks empty — attempt to give up.
-                my_deqself.store(pr_req, Ordering::SeqCst); // line 11: rollback
+                // ORDERING: SEQ_CST — the rollback closes our request in
+                // the same total order the helpers' scans read; give_up's
+                // re-checks below rely on it (§2.3.1).
+                my_deqself.store(pr_req, ord::SEQ_CST); // line 11: rollback
                 self.give_up(my_req, myidx); // line 12
-                if my_deqhelp.load(Ordering::SeqCst) != my_req {
+                // ORDERING: SEQ_CST — conclusive only if ordered after the
+                // rollback store above (StoreLoad): a helper that missed
+                // the rollback may still have closed our request.
+                if my_deqhelp.load(ord::SEQ_CST) != my_req {
                     // lines 13-15: a helper satisfied us after all; restore
                     // the bookkeeping and fall through to return the item.
-                    // `Relaxed` as in the paper: only this thread reads
-                    // deqself[myidx] before the next publication.
-                    my_deqself.store(my_req, Ordering::Relaxed);
+                    // ORDERING: RELAXED — as in the paper: only this thread
+                    // reads deqself[myidx] before its next line-5 publish.
+                    my_deqself.store(my_req, ord::RELAXED);
                     depth = Some(iter);
                     break;
                 }
@@ -504,10 +573,15 @@ impl<T> TurnQueue<T> {
                 return None; // line 18 — Inv. 11: no node was assigned to us
             }
             // SAFETY: lhead protected (line 8) and validated (line 9).
-            let next_ptr = unsafe { &*lhead }.next.load(Ordering::SeqCst);
+            // ORDERING: ACQUIRE — pairs with the linking CAS's release so
+            // the node we are about to assign and dereference is fully
+            // initialized. (This is the edge the weak-ordering mutant in
+            // turnq-modelcheck drops.)
+            let next_ptr = unsafe { &*lhead }.next.load(ord::ACQUIRE);
             // lines 20-21: protect + validate head->next.
+            // ORDERING: SEQ_CST — protect/validate handshake for HP_NEXT.
             let lnext = self.hp.protect_ptr(myidx, HP_NEXT, next_ptr);
-            if lhead != self.head.load(Ordering::SeqCst) {
+            if lhead != self.head.load(ord::SEQ_CST) {
                 continue;
             }
             // line 22: find whose turn it is; if the next node is assigned,
@@ -519,16 +593,22 @@ impl<T> TurnQueue<T> {
         // lines 24-28: our request is satisfied; make sure the head has
         // moved past the node we were assigned (Inv. 8 guarantees the node
         // stays reachable to us through deqhelp even after that).
-        let my_node = my_deqhelp.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — pairs with the closing store/CAS's release:
+        // makes the assigning thread's writes (deq_tid, the link it read
+        // through) visible before we dereference my_node below.
+        let my_node = my_deqhelp.load(ord::ACQUIRE);
+        // ORDERING: ACQUIRE — candidate; SeqCst validation follows.
         let lhead = self
             .hp
-            .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(Ordering::SeqCst));
-        if lhead == self.head.load(Ordering::SeqCst)
+            .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(ord::ACQUIRE));
+        // ORDERING: SEQ_CST (validate) / ACQUIRE (next read) / SEQ_CST
+        // (head advance, Inv. 8) — the same edges as the helping loop.
+        if lhead == self.head.load(ord::SEQ_CST)
             // SAFETY: lhead protected + validated (short-circuit order).
-            && my_node == unsafe { &*lhead }.next.load(Ordering::SeqCst)
+            && my_node == unsafe { &*lhead }.next.load(ord::ACQUIRE)
             && self
                 .head
-                .compare_exchange(lhead, my_node, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(lhead, my_node, ord::SEQ_CST, ord::SEQ_CST)
                 .is_err()
         {
             self.telemetry.bump(myidx, CounterId::CasFailHead);
@@ -545,7 +625,9 @@ impl<T> TurnQueue<T> {
         // line 31: the item belongs to us — unique assignment (Inv. 9).
         // SAFETY: my_node is reachable through deqhelp[myidx] (Inv. 8) and
         // only retired by us, two dequeues from now.
-        let assigned = unsafe { &*my_node }.deq_tid.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — deq_tid is write-once (IDX_NONE → tid, by
+        // CAS); acquire pairs with that CAS's release half.
+        let assigned = unsafe { &*my_node }.deq_tid.load(ord::ACQUIRE);
         debug_assert_eq!(assigned, myidx as i32, "node must be assigned to us");
         // SAFETY: see above.
         let taken = unsafe { (*my_node).take_item() };
@@ -564,7 +646,10 @@ impl<T> TurnQueue<T> {
         let lnext_ref = unsafe { &*lnext };
         // The dequeue turn is the deqTid of the current head (the last
         // satisfied request); IDX_NONE (initial sentinel) starts at slot 0.
-        let turn = lhead_ref.deq_tid.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — the head node's deq_tid is write-once and was
+        // fixed before the head CAS that made lhead the head; the SeqCst
+        // head validation in our caller already ordered that CAS before us.
+        let turn = lhead_ref.deq_tid.load(ord::ACQUIRE);
         for d in 1..=self.max_threads as i32 {
             let id_deq = (turn + d).rem_euclid(self.max_threads as i32) as usize;
             // line 38: closed request (deqself != deqhelp) — skip. Pointer
@@ -573,18 +658,25 @@ impl<T> TurnQueue<T> {
             // misread as open, but then line 39's check fails because the
             // head must have advanced twice for that reuse to happen,
             // meaning lnext is already assigned.
-            if self.deqself[id_deq].load(Ordering::SeqCst)
-                != self.deqhelp[id_deq].load(Ordering::SeqCst)
+            // ORDERING: SEQ_CST — consensus scan (line 38): open/closed is
+            // decided against the same total order as the line-5 publish
+            // and line-11 rollback stores; a weaker read could skip a
+            // request's turn and break the Inv. 5/11 helping bound.
+            if self.deqself[id_deq].load(ord::SEQ_CST)
+                != self.deqhelp[id_deq].load(ord::SEQ_CST)
             {
                 continue;
             }
-            if lnext_ref.deq_tid.load(Ordering::SeqCst) == IDX_NONE {
+            // ORDERING: ACQUIRE — write-once field; the per-location CAS
+            // order of cas_deq_tid decides the assignment race (line 40).
+            if lnext_ref.deq_tid.load(ord::ACQUIRE) == IDX_NONE {
                 // line 40
                 lnext_ref.cas_deq_tid(IDX_NONE, id_deq as i32);
             }
             break;
         }
-        lnext_ref.deq_tid.load(Ordering::SeqCst) // line 44
+        // ORDERING: ACQUIRE — write-once field; see above.
+        lnext_ref.deq_tid.load(ord::ACQUIRE) // line 44
     }
 
     /// Paper Algorithm 4, `casDeqAndHead` (lines 47-58): publish the
@@ -592,29 +684,41 @@ impl<T> TurnQueue<T> {
     /// then advance the head.
     fn cas_deq_and_head(&self, lhead: *mut Node<T>, lnext: *mut Node<T>, myidx: usize) {
         // SAFETY: lnext protected by the caller (HP_NEXT) and assigned.
-        let ldeq_tid = unsafe { &*lnext }.deq_tid.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — write-once field set by cas_deq_tid.
+        let ldeq_tid = unsafe { &*lnext }.deq_tid.load(ord::ACQUIRE);
         debug_assert_ne!(ldeq_tid, IDX_NONE);
         let ldeq_tid = usize::try_from(ldeq_tid).expect("assigned tid is non-negative");
         if ldeq_tid == myidx {
-            // line 50: closing our own request needs no CAS; `Release` as
-            // in the paper (the read side validates through head).
-            self.deqhelp[ldeq_tid].store(lnext, Ordering::Release);
+            // line 50: closing our own request needs no CAS.
+            // ORDERING: RELEASE — as in the paper: publishes the assigned
+            // node (and everything it reaches) to the acquire loads of
+            // deqhelp[myidx]; only this thread opens/closes its own slot,
+            // so no total-order constraint applies.
+            self.deqhelp[ldeq_tid].store(lnext, ord::RELEASE);
         } else {
             // lines 52-54. The hazard on deqhelp[ldeqTid] is *not* for a
             // dereference — it pins the old value so it cannot go through
             // retire→free→realloc→enqueue→dequeue and reappear here, which
             // would let the CAS succeed on a stale request (ABA, §2.4).
+            // ORDERING: ACQUIRE — candidate for the ABA-pinning hazard; a
+            // stale value only makes the CAS below fail harmlessly.
             let ldeqhelp = self.hp.protect_ptr(
                 myidx,
                 HP_DEQ,
-                self.deqhelp[ldeq_tid].load(Ordering::SeqCst),
+                self.deqhelp[ldeq_tid].load(ord::ACQUIRE),
             );
-            if ldeqhelp != lnext && lhead == self.head.load(Ordering::SeqCst) {
+            // ORDERING: SEQ_CST — the head re-check is the §2.4 validation
+            // that the pinned request state is still current.
+            if ldeqhelp != lnext && lhead == self.head.load(ord::SEQ_CST) {
+                // ORDERING: SEQ_CST — closing CAS (line 53): must sit in
+                // the same total order as the owner's line-5 publish and
+                // line-11 rollback, or a rolled-back request could be
+                // "satisfied" and the item lost (Inv. 9).
                 match self.deqhelp[ldeq_tid].compare_exchange(
                     ldeqhelp,
                     lnext,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    ord::SEQ_CST,
+                    ord::SEQ_CST,
                 ) {
                     Ok(_) => {
                         // Closed another thread's dequeue request for it.
@@ -634,9 +738,12 @@ impl<T> TurnQueue<T> {
         }
         // line 57: Inv. 8 — the head only advances after the assignment is
         // visible in deqhelp, so the owner can always reach its node.
+        // ORDERING: SEQ_CST — head advance (Inv. 8): ordered after the
+        // closing store/CAS above in the total order, so the owner can
+        // always reach its assigned node through deqhelp.
         if self
             .head
-            .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(lhead, lnext, ord::SEQ_CST, ord::SEQ_CST)
             .is_err()
         {
             self.telemetry.bump(myidx, CounterId::CasFailHead);
@@ -651,25 +758,34 @@ impl<T> TurnQueue<T> {
     /// or make sure the first node of the queue gets assigned — possibly to
     /// itself — before returning (§2.3.1).
     fn give_up(&self, my_req: *mut Node<T>, myidx: usize) {
-        let lhead = self.head.load(Ordering::SeqCst); // line 61
-        if self.deqhelp[myidx].load(Ordering::SeqCst) != my_req {
+        // ORDERING: SEQ_CST — ordered after our line-11 rollback store
+        // (StoreLoad), mirroring the emptiness-check reasoning (§2.3.1).
+        let lhead = self.head.load(ord::SEQ_CST); // line 61
+        // ORDERING: SEQ_CST — conclusive only if ordered after the
+        // rollback; a stale "unsatisfied" would leak an assigned node.
+        if self.deqhelp[myidx].load(ord::SEQ_CST) != my_req {
             return; // line 62: someone satisfied us — dequeue() will see it
         }
-        if lhead == self.tail.load(Ordering::SeqCst) {
+        // ORDERING: SEQ_CST — emptiness re-check against the same total
+        // order as enqueue's publish and tail advance (line 63).
+        if lhead == self.tail.load(ord::SEQ_CST) {
             return; // line 63: still empty — the rollback stands
         }
         // lines 64-65: protect + validate head. A change means a dequeue
         // completed; the head advance publishes our rollback (§2.3.1).
         self.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
-        if lhead != self.head.load(Ordering::SeqCst) {
+        // ORDERING: SEQ_CST — protect/validate handshake (lines 64-65).
+        if lhead != self.head.load(ord::SEQ_CST) {
             return;
         }
         // lines 66-67: protect + validate head->next.
         // SAFETY: lhead protected and validated just above.
+        // ORDERING: ACQUIRE (next read, pairs with the linking CAS) then
+        // SEQ_CST (protect/validate handshake for HP_NEXT, lines 66-67).
         let lnext = self
             .hp
-            .protect_ptr(myidx, HP_NEXT, unsafe { &*lhead }.next.load(Ordering::SeqCst));
-        if lhead != self.head.load(Ordering::SeqCst) {
+            .protect_ptr(myidx, HP_NEXT, unsafe { &*lhead }.next.load(ord::ACQUIRE));
+        if lhead != self.head.load(ord::SEQ_CST) {
             return;
         }
         // lines 68-70: ensure the first node is assigned to somebody; if no
@@ -696,16 +812,21 @@ impl<T> Drop for TurnQueue<T> {
         // (dropped by Node's Option). The request-tracking slots hold
         // already-dequeued nodes (items taken) plus the initial dummies;
         // `deqhelp[i]` may alias the current head sentinel, so dedupe.
+        // ORDERING: RELAXED — `&mut self`: no concurrent access anywhere
+        // in this destructor, so plain coherence is enough (all loads
+        // below share this justification).
         let mut to_free: Vec<*mut Node<T>> = Vec::new();
-        let mut node = self.head.load(Ordering::Relaxed);
+        let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
             to_free.push(node);
             // SAFETY: the node is alive: this context owns it exclusively (or frees it last).
-            node = unsafe { &*node }.next.load(Ordering::Relaxed);
+            // ORDERING: RELAXED — &mut self, see above.
+            node = unsafe { &*node }.next.load(ord::RELAXED);
         }
         for slots in [&self.deqself, &self.deqhelp] {
             for slot in slots.iter() {
-                let p = slot.load(Ordering::Relaxed);
+                // ORDERING: RELAXED — &mut self, see above.
+                let p = slot.load(ord::RELAXED);
                 if !p.is_null() && !to_free.contains(&p) {
                     to_free.push(p);
                 }
@@ -714,7 +835,8 @@ impl<T> Drop for TurnQueue<T> {
         for slot in self.enqueuers.iter() {
             // A published-but-never-inserted request is impossible once all
             // threads returned from enqueue() (Inv. 6).
-            debug_assert!(slot.load(Ordering::Relaxed).is_null());
+            // ORDERING: RELAXED — &mut self, see above.
+            debug_assert!(slot.load(ord::RELAXED).is_null());
         }
         for p in to_free {
             // SAFETY: collected exactly once each; exclusive access.
@@ -821,8 +943,29 @@ impl QueueFamily for TurnFamily {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    /// Lock in the false-sharing elimination: `head` and `tail` live on
+    /// distinct cache lines, and the per-thread request arrays
+    /// (`enqueuers`/`deqself`/`deqhelp`) give every slot its own line —
+    /// a helper scanning `enqueuers` must not invalidate the line an
+    /// announcer is about to publish on (§4.1's contention argument).
+    #[test]
+    fn hot_fields_on_distinct_cache_lines() {
+        type Slot = CachePadded<AtomicPtr<Node<u64>>>;
+        let line = std::mem::align_of::<Slot>();
+        assert!(line >= 64, "CachePadded narrower than a cache line");
+        // Adjacent array slots cannot share a line...
+        assert!(std::mem::size_of::<Slot>() >= line);
+        // ...and neither can the queue's own head/tail words.
+        let head = std::mem::offset_of!(TurnQueue<u64>, head);
+        let tail = std::mem::offset_of!(TurnQueue<u64>, tail);
+        assert!(
+            head.abs_diff(tail) >= line,
+            "head (+{head}) and tail (+{tail}) share a cache line"
+        );
+    }
 
     #[test]
     fn fifo_single_thread() {

@@ -17,7 +17,8 @@
 //! when the guard drops.
 
 use std::marker::PhantomData;
-use turnq_sync::atomic::{AtomicBool, Ordering};
+use turnq_sync::atomic::AtomicBool;
+use turnq_sync::ord;
 
 use crate::queue::TurnQueue;
 
@@ -62,11 +63,15 @@ impl<T> TurnMpscQueue<T> {
     /// Racy emptiness hint (consumer-side `dequeue()` returning `None` is
     /// the authoritative check). True when no *visible* item is linked.
     pub fn is_empty(&self) -> bool {
-        let head = self.inner.head.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — the dereference below needs the node's
+        // initialization (published by the release half of the store/CAS
+        // that installed it); the answer itself is a racy hint.
+        let head = self.inner.head.load(ord::ACQUIRE);
         // SAFETY: the consumer is the only thread that frees nodes, so the
         // head cannot be freed between this load and the dereference — at
         // worst this is a stale answer, which a hint permits.
-        unsafe { &*head }.next.load(Ordering::SeqCst).is_null()
+        // ORDERING: ACQUIRE — null-or-linked hint; pairs with the link.
+        unsafe { &*head }.next.load(ord::ACQUIRE).is_null()
     }
 
     /// The `max_threads` bound.
@@ -84,9 +89,13 @@ impl<T> TurnMpscQueue<T> {
     /// Claim the consumer endpoint. Returns `None` if it is already
     /// claimed. The endpoint is released when the returned guard drops.
     pub fn consumer(&self) -> Option<MpscConsumer<'_, T>> {
+        // ORDERING: ACQ_REL / ACQUIRE — endpoint claim: acquire pairs with
+        // the releasing store of a previous guard's drop (so this consumer
+        // sees its predecessor's head advances); release publishes the
+        // claim itself.
         if self
             .consumer_claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, ord::ACQ_REL, ord::ACQUIRE)
             .is_ok()
         {
             let tid = self.inner.registry.current_index();
@@ -119,10 +128,15 @@ impl<T> MpscConsumer<'_, T> {
     #[inline]
     pub fn dequeue(&mut self) -> Option<T> {
         let inner = &self.queue.inner;
-        let lhead = inner.head.load(Ordering::SeqCst);
+        // ORDERING: RELAXED — single-consumer contract: only this endpoint
+        // ever advances head, so this reads back our own last store (or the
+        // claim handoff, ordered by the endpoint CAS).
+        let lhead = inner.head.load(ord::RELAXED);
         // SAFETY: only this consumer retires nodes, and it retires a node
         // strictly after moving head past it, so the current head is alive.
-        let lnext = unsafe { &*lhead }.next.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — pairs with the enqueuers' linking CAS
+        // release; makes the node's payload visible to take_item below.
+        let lnext = unsafe { &*lhead }.next.load(ord::ACQUIRE);
         if lnext.is_null() {
             return None;
         }
@@ -130,7 +144,10 @@ impl<T> MpscConsumer<'_, T> {
         // before we advance head past it below.
         let item = unsafe { (*lnext).take_item() };
         debug_assert!(item.is_some());
-        inner.head.store(lnext, Ordering::SeqCst);
+        // ORDERING: RELEASE — publishes the advance to the is_empty hint
+        // and to a successor consumer (via the endpoint claim CAS); no
+        // other protocol step reads head in MPSC mode.
+        inner.head.store(lnext, ord::RELEASE);
         // The old head may still be protected by an enqueuer whose tail
         // snapshot lags (tail can point at the before-last node, Inv. 3),
         // so retirement must go through the HP domain.
@@ -144,7 +161,9 @@ impl<T> MpscConsumer<'_, T> {
 
 impl<T> Drop for MpscConsumer<'_, T> {
     fn drop(&mut self) {
-        self.queue.consumer_claimed.store(false, Ordering::Release);
+        // ORDERING: RELEASE — hands our head advances to the next claimant
+        // (whose claim CAS acquires).
+        self.queue.consumer_claimed.store(false, ord::RELEASE);
     }
 }
 
@@ -206,9 +225,10 @@ impl<T> TurnSpmcQueue<T> {
     /// Claim the producer endpoint. Returns `None` if it is already
     /// claimed. The endpoint is released when the returned guard drops.
     pub fn producer(&self) -> Option<SpmcProducer<'_, T>> {
+        // ORDERING: ACQ_REL / ACQUIRE — endpoint claim; see consumer().
         if self
             .producer_claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, ord::ACQ_REL, ord::ACQUIRE)
             .is_ok()
         {
             let tid = self.inner.registry.current_index();
@@ -245,28 +265,38 @@ impl<T> SpmcProducer<'_, T> {
         // is unchanged).
         let node = inner.alloc_node(self.tid as usize, Some(item));
         // Only this producer writes tail, so the load needs no validation.
-        let ltail = inner.tail.load(Ordering::SeqCst);
+        // ORDERING: RELAXED — single-producer contract: reads back our own
+        // last store (or the claim handoff, ordered by the endpoint CAS).
+        let ltail = inner.tail.load(ord::RELAXED);
         // SAFETY: dequeuers retire only nodes strictly behind head, and
         // head never passes tail (a dequeuer that sees head == tail takes
         // the empty path), so the tail node is alive.
-        unsafe { &*ltail }.next.store(node, Ordering::SeqCst);
+        // ORDERING: RELEASE — the link publishes the node's payload to the
+        // dequeuers' acquire loads of `next`.
+        unsafe { &*ltail }.next.store(node, ord::RELEASE);
         // Publishing tail *after* the link preserves Inv. 3 (tail points to
         // the last or before-last node), which the Turn dequeue relies on
         // for its emptiness check.
-        inner.tail.store(node, Ordering::SeqCst);
+        // ORDERING: SEQ_CST — stands in for the full queue's tail-advance
+        // CAS: the dequeue-side head == tail emptiness check (Inv. 11)
+        // reads tail in the single total order, so the publication must
+        // participate in it too.
+        inner.tail.store(node, ord::SEQ_CST);
     }
 }
 
 impl<T> Drop for SpmcProducer<'_, T> {
     fn drop(&mut self) {
-        self.queue.producer_claimed.store(false, Ordering::Release);
+        // ORDERING: RELEASE — hands our tail advances to the next claimant
+        // (whose claim CAS acquires).
+        self.queue.producer_claimed.store(false, ord::RELEASE);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

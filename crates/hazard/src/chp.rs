@@ -14,7 +14,8 @@
 //! condition through [`ConditionalReclaim`].
 
 use turnq_sync::cell::UnsafeCell;
-use turnq_sync::atomic::{AtomicUsize, Ordering};
+use turnq_sync::atomic::{fence, AtomicUsize};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 
@@ -143,9 +144,13 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
         self.telemetry.bump(tid, CounterId::HpProtect);
-        let ptr = src.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — candidate load; staleness is caught by the
+        // validation below (see HazardPointers::try_protect).
+        let ptr = src.load(ord::ACQUIRE);
         self.matrix.protect(tid, index, ptr);
-        let now = src.load(Ordering::SeqCst);
+        // ORDERING: SEQ_CST — validating re-load, ordered after the SC
+        // protect store (StoreLoad vs the retire scan's SC fence).
+        let now = src.load(ord::SEQ_CST);
         if now == ptr {
             Ok(ptr)
         } else {
@@ -172,7 +177,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
 
     /// Number of objects thread `tid` has retired but not yet freed.
     pub fn retired_count(&self, tid: usize) -> usize {
-        self.retired[tid].len.load(Ordering::Relaxed)
+        // ORDERING: RELAXED — monitoring gauge; the list is owner-private.
+        self.retired[tid].len.load(ord::RELAXED)
     }
 
     /// Retire `ptr`; free every retired entry of this thread that is both
@@ -195,7 +201,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         self.telemetry.event(tid, EventKind::HpRetire, 0);
         list.push(ptr);
         self.scan(tid, list);
-        row.len.store(list.len(), Ordering::Relaxed);
+        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        row.len.store(list.len(), ord::RELAXED);
     }
 
     /// Re-run the scan without retiring anything new. Useful when a
@@ -209,11 +216,18 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         // SAFETY: `tid` exclusivity (caller contract).
         let list = unsafe { &mut *row.list.get() };
         self.scan(tid, list);
-        row.len.store(list.len(), Ordering::Relaxed);
+        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        row.len.store(list.len(), ord::RELAXED);
     }
 
     fn scan(&self, tid: usize, list: &mut Vec<*mut T>) {
         self.telemetry.bump(tid, CounterId::ChpScan);
+        // ORDERING: SEQ_CST fence — scan-side half of the protect/scan
+        // Dekker (see HazardPointers::retire); licenses the acquire slot
+        // loads in `HpMatrix::is_protected` and additionally orders the
+        // `can_reclaim` condition reads below against the consuming
+        // thread's item-null store.
+        fence(ord::SEQ_CST);
         let mut reclaimed = 0u64;
         let mut i = 0;
         while i < list.len() {

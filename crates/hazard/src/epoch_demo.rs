@@ -19,7 +19,8 @@
 //!   keeps the backlog at `≤ max_threads × k + 1`.
 
 use turnq_sync::cell::UnsafeCell;
-use turnq_sync::atomic::{AtomicUsize, Ordering};
+use turnq_sync::atomic::AtomicUsize;
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 
@@ -73,23 +74,34 @@ impl<T> EpochDomain<T> {
     /// Enter a critical section: announce the current global epoch.
     /// This is wait-free population-oblivious (Table 2's `wfpo` row).
     pub fn pin(&self, tid: usize) {
-        let e = self.global_epoch.load(Ordering::SeqCst);
-        self.local_epochs[tid].store(e, Ordering::SeqCst);
+        // ORDERING: SEQ_CST (both) — the announce/scan Dekker of classic
+        // EBR: the announcement store must be ordered before the reader's
+        // subsequent shared loads and visible to `try_advance` scans. This
+        // demo exists to reproduce Table 2's blocking behaviour, not to win
+        // benchmarks, so the whole protocol stays at SC deliberately.
+        let e = self.global_epoch.load(ord::SEQ_CST);
+        self.local_epochs[tid].store(e, ord::SEQ_CST);
     }
 
     /// Leave the critical section.
     pub fn unpin(&self, tid: usize) {
-        self.local_epochs[tid].store(QUIESCENT, Ordering::SeqCst);
+        // ORDERING: RELEASE — orders the critical section's reads before
+        // quiescence; an advance that observes QUIESCENT may free what the
+        // section was reading.
+        self.local_epochs[tid].store(QUIESCENT, ord::RELEASE);
     }
 
     /// Number of objects thread `tid` has retired but not freed.
     pub fn retired_count(&self, tid: usize) -> usize {
-        self.retired[tid].len.load(Ordering::Relaxed)
+        // ORDERING: RELAXED — monitoring gauge; the list is owner-private.
+        self.retired[tid].len.load(ord::RELAXED)
     }
 
     /// Current global epoch (for the demo's reporting).
     pub fn global_epoch(&self) -> usize {
-        self.global_epoch.load(Ordering::SeqCst)
+        // ORDERING: SEQ_CST — reporting, but kept in the protocol's total
+        // order so demo assertions about epoch movement are exact.
+        self.global_epoch.load(ord::SEQ_CST)
     }
 
     /// Retire `ptr`, then attempt to advance the epoch and free everything
@@ -107,7 +119,9 @@ impl<T> EpochDomain<T> {
     /// a unique, unlinked
     /// `Box::into_raw` allocation.
     pub unsafe fn retire(&self, tid: usize, ptr: *mut T) {
-        let epoch = self.global_epoch.load(Ordering::SeqCst);
+        // ORDERING: SEQ_CST — retirement-epoch tag; must not read an epoch
+        // older than any still-pinned reader's announcement (SC demo, see pin).
+        let epoch = self.global_epoch.load(ord::SEQ_CST);
         // SAFETY: `tid` exclusivity (caller contract).
         let list = unsafe { &mut *self.retired[tid].list.get() };
         list.push((epoch, ptr));
@@ -115,7 +129,8 @@ impl<T> EpochDomain<T> {
         self.try_advance();
 
         // Free entries at least two epochs old.
-        let current = self.global_epoch.load(Ordering::SeqCst);
+        // ORDERING: SEQ_CST — free-threshold read (SC demo, see pin).
+        let current = self.global_epoch.load(ord::SEQ_CST);
         let mut i = 0;
         while i < list.len() {
             let (e, p) = list[i];
@@ -128,22 +143,28 @@ impl<T> EpochDomain<T> {
                 i += 1;
             }
         }
-        self.retired[tid].len.store(list.len(), Ordering::Relaxed);
+        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        self.retired[tid].len.store(list.len(), ord::RELAXED);
     }
 
     /// Advance the global epoch iff all pinned threads have caught up.
     fn try_advance(&self) {
-        let e = self.global_epoch.load(Ordering::SeqCst);
+        // ORDERING: SEQ_CST — advance precondition scan (SC demo, see pin).
+        let e = self.global_epoch.load(ord::SEQ_CST);
         for le in self.local_epochs.iter() {
-            let v = le.load(Ordering::SeqCst);
+            // ORDERING: SEQ_CST — must observe every announcement ordered
+            // before this scan (SC demo, see pin).
+            let v = le.load(ord::SEQ_CST);
             if v != QUIESCENT && v != e {
                 return; // a lagging reader blocks the advance
             }
         }
         // Multiple threads may race here; CAS keeps the epoch monotonic.
+        // ORDERING: SEQ_CST / SEQ_CST — monotonic epoch advance (SC demo,
+        // see pin); the failure load is discarded.
         let _ = self
             .global_epoch
-            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+            .compare_exchange(e, e + 1, ord::SEQ_CST, ord::SEQ_CST);
     }
 }
 

@@ -1,7 +1,8 @@
 //! Plain hazard pointers with the paper's `R = 0` eager-scan policy.
 
 use turnq_sync::cell::UnsafeCell;
-use turnq_sync::atomic::{AtomicUsize, Ordering};
+use turnq_sync::atomic::{fence, AtomicUsize};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 
@@ -151,9 +152,14 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
         self.telemetry.bump(tid, CounterId::HpProtect);
-        let ptr = src.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — candidate load; any stale value is caught by
+        // the validation below, so this read needs no SC slot of its own.
+        let ptr = src.load(ord::ACQUIRE);
         self.matrix.protect(tid, index, ptr);
-        let now = src.load(Ordering::SeqCst);
+        // ORDERING: SEQ_CST — the validating re-load: must be ordered after
+        // the SC protect store (StoreLoad) so that a retire scan missing our
+        // hazard implies this load sees the post-unlink value and fails.
+        let now = src.load(ord::SEQ_CST);
         if now == ptr {
             Ok(ptr)
         } else {
@@ -185,7 +191,9 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
     /// [`retired_bound`](crate::retired_bound): each entry that survives a
     /// scan is pinned by one of the `max_threads × k` hazard slots.
     pub fn retired_count(&self, tid: usize) -> usize {
-        self.retired[tid].len.load(Ordering::Relaxed)
+        // ORDERING: RELAXED — monitoring gauge; readers want a recent value,
+        // not an ordered one, and the list itself is owner-private.
+        self.retired[tid].len.load(ord::RELAXED)
     }
 
     /// Retire `ptr`, then run the `R = 0` scan: every entry of the calling
@@ -215,10 +223,19 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         let list = unsafe { &mut *row.list.get() };
         list.push(ptr);
         if list.len() <= self.scan_threshold {
-            row.len.store(list.len(), Ordering::Relaxed);
+            // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+            row.len.store(list.len(), ord::RELAXED);
             return;
         }
         self.telemetry.bump(tid, CounterId::HpScan);
+        // ORDERING: SEQ_CST fence — scan-side half of the protect/scan
+        // Dekker. A reader's SC protect store ordered before this fence is
+        // guaranteed visible to the acquire slot loads below (C11 SC-fence
+        // rule); one ordered after it has its SC validating re-load ordered
+        // after the unlink that happened-before this retire, so the reader
+        // observes the change and never dereferences. This single fence is
+        // what lets `HpMatrix::is_protected` scan with acquire loads.
+        fence(ord::SEQ_CST);
         let mut reclaimed = 0u64;
         let mut i = 0;
         while i < list.len() {
@@ -238,7 +255,8 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         }
         self.telemetry.add(tid, CounterId::HpReclaim, reclaimed);
         self.telemetry.event(tid, EventKind::HpScan, reclaimed);
-        row.len.store(list.len(), Ordering::Relaxed);
+        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        row.len.store(list.len(), ord::RELAXED);
     }
 }
 

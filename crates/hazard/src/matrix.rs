@@ -1,7 +1,8 @@
 //! The shared hazard-pointer slot matrix used by both plain and conditional
 //! hazard pointers.
 
-use turnq_sync::atomic::{AtomicPtr, Ordering};
+use turnq_sync::atomic::AtomicPtr;
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 
@@ -53,17 +54,27 @@ impl<T> HpMatrix<T> {
     ///
     /// The store is `SeqCst`: the load-store-load validation pattern of
     /// paper Algorithm 5 needs the store to be globally ordered before the
-    /// validating re-load, and the retire-side scan needs to observe it.
+    /// validating re-load (a StoreLoad that no weaker ordering provides),
+    /// and the retire-side scan — which runs behind a `SeqCst` fence — must
+    /// either observe this store or be observed by the validation.
     #[inline]
     pub(crate) fn protect(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
-        self.slot(tid, index).store(ptr, Ordering::SeqCst);
+        // ORDERING: SEQ_CST — hazard publication, reader half of the
+        // protect/scan Dekker: the SC store and the SC validating re-load
+        // in `try_protect` bracket the slot write into the single total
+        // order the retire scan's SC fence also participates in (Alg. 5).
+        self.slot(tid, index).store(ptr, ord::SEQ_CST);
         ptr
     }
 
     /// Clear one slot.
     #[inline]
     pub(crate) fn clear_one(&self, tid: usize, index: usize) {
-        self.slot(tid, index).store(std::ptr::null_mut(), Ordering::Release);
+        // ORDERING: RELEASE — un-publication: orders the protected
+        // dereferences (program-order before this) before the clear, so a
+        // scan that observes the null cannot reclaim under a still-running
+        // dereference. Nothing is read after the store, so no acquire side.
+        self.slot(tid, index).store(std::ptr::null_mut(), ord::RELEASE);
     }
 
     /// Clear all slots of `tid` (paper's `hp.clear()`).
@@ -76,19 +87,27 @@ impl<T> HpMatrix<T> {
 
     /// Whether any thread currently protects `ptr`.
     ///
-    /// `SeqCst` loads pair with the `SeqCst` protect stores so that a scan
-    /// running after a reader's validating re-load cannot miss that reader's
-    /// published hazard.
+    /// The slot loads are `Acquire`, **not** `SeqCst`: every retire-scan
+    /// caller issues one `SeqCst` fence before its scan loop (see
+    /// `HazardPointers::retire` / `ConditionalHazardPointers::scan`). By the
+    /// C11 SC-fence rule, any `SeqCst` protect store ordered before that
+    /// fence is visible to these loads; a protect store ordered after the
+    /// fence has its validating re-load ordered after the unlink the caller
+    /// performed before retiring, so validation fails and the reader never
+    /// dereferences. One fence per scan replaces one full barrier per slot.
     pub(crate) fn is_protected(&self, ptr: *mut T) -> bool {
         self.slots
             .iter()
-            .any(|slot| slot.load(Ordering::SeqCst) == ptr)
+            // ORDERING: ACQUIRE — retire-scan slot read; missing-hazard
+            // freedom comes from the caller's SC fence (doc above), acquire
+            // additionally orders the reclaim after the observed clear.
+            .any(|slot| slot.load(ord::ACQUIRE) == ptr)
     }
 
     /// Current value of slot (`tid`, `index`) — used by tests.
     #[cfg(test)]
     pub(crate) fn peek(&self, tid: usize, index: usize) -> *mut T {
-        self.slot(tid, index).load(Ordering::SeqCst)
+        self.slot(tid, index).load(ord::SEQ_CST)
     }
 }
 

@@ -2,7 +2,8 @@
 //! pointer reclamation. See the crate docs for the reclamation design.
 
 use std::ptr;
-use turnq_sync::atomic::{AtomicI32, AtomicPtr, Ordering};
+use turnq_sync::atomic::{AtomicI32, AtomicPtr};
+use turnq_sync::ord;
 
 use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
@@ -49,13 +50,17 @@ impl<T> ConditionalReclaim for KpNode<T> {
         // Safe to delete once the value has been taken (or never existed,
         // as for the sentinel). Until then the consuming thread may still
         // reach this node through its descriptor, GC-style (§3.2).
-        self.value.load(Ordering::SeqCst).is_null()
+        // ORDERING: ACQUIRE — pairs with the consumer's release null-store:
+        // observing null orders every access the consumer made to this node
+        // before the reclaim that a true condition licenses.
+        self.value.load(ord::ACQUIRE).is_null()
     }
 }
 
 impl<T> Drop for KpNode<T> {
     fn drop(&mut self) {
-        let v = self.value.load(Ordering::Relaxed);
+        // ORDERING: RELAXED — `&mut self` in Drop: no concurrency.
+        let v = self.value.load(ord::RELAXED);
         if !v.is_null() {
             // The value was enqueued but never consumed (queue teardown).
             // SAFETY: value pointers are unique Box::into_raw allocations
@@ -217,17 +222,27 @@ impl<T> KPQueue<T> {
         // because *we* are its retirer (below); `next_node` is kept alive
         // by its non-null value slot (the CHP condition).
         // SAFETY: owner-retires discipline, see crate docs.
-        let next_node = unsafe { &*node }.next.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — reads the link published by the linking
+        // CAS's release half; makes next_node's contents (incl. the boxed
+        // value pointer) visible before we dereference them.
+        let next_node = unsafe { &*node }.next.load(ord::ACQUIRE);
         debug_assert!(!next_node.is_null());
         // SAFETY: CHP keeps next_node allocated while value is non-null; we
         // are the unique consumer of this value (node.deqTid == tid).
         let next_ref = unsafe { &*next_node };
-        let value = next_ref.value.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — the boxed payload behind this pointer is
+        // dereferenced below; acquire (with the link acquire above) keeps
+        // the enqueuer's allocation visible. We are the unique consumer, so
+        // no later write to the slot exists yet.
+        let value = next_ref.value.load(ord::ACQUIRE);
         debug_assert!(!value.is_null(), "value consumed twice");
         // Null the slot: this *is* the CHP reclamation condition for
         // next_node — after this store no thread dereferences it again
         // through a descriptor.
-        next_ref.value.store(ptr::null_mut(), Ordering::SeqCst);
+        // ORDERING: RELEASE — the CHP reclamation condition: orders our
+        // final accesses to next_node before the null that lets a scanning
+        // thread (acquire condition read behind its SC fence) free it.
+        next_ref.value.store(ptr::null_mut(), ord::RELEASE);
         self.clear_all(tid);
         // Retire the old head we were assigned. It is unreachable from the
         // list (head advanced past it in help_finish_deq before our
@@ -247,8 +262,14 @@ impl<T> KPQueue<T> {
     fn install_descriptor(&self, tid: usize, desc: *mut OpDesc<T>) {
         loop {
             let cur = self.protect_desc(tid, tid);
+            // ORDERING: SEQ_CST / RELAXED — phase announcement, the Dekker
+            // half paired with every helper's SC descriptor scans: the new
+            // descriptor must be in the total order before our own
+            // `max_phase`/`help` scans so concurrent announcers cannot
+            // mutually miss each other (KP's wait-freedom argument). The
+            // failure value is discarded; the loop re-protects.
             if self.state[tid]
-                .compare_exchange(cur, desc, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(cur, desc, ord::SEQ_CST, ord::RELAXED)
                 .is_ok()
             {
                 self.desc_hp.clear_one(tid, D_HP_CUR);
@@ -316,8 +337,12 @@ impl<T> KPQueue<T> {
                 Err(_) => continue,
             };
             // SAFETY: protected + validated.
-            let next = unsafe { &*last }.next.load(Ordering::SeqCst);
-            if last != self.tail.load(Ordering::SeqCst) {
+            // ORDERING: ACQUIRE — link read; pairs with the linking CAS's
+            // release half so the appended node's fields are visible.
+            let next = unsafe { &*last }.next.load(ord::ACQUIRE);
+            // ORDERING: SEQ_CST — protect/validate handshake re-load (Alg. 5
+            // pattern): ordered after the SC hazard publication.
+            if last != self.tail.load(ord::SEQ_CST) {
                 continue;
             }
             if next.is_null() {
@@ -331,14 +356,15 @@ impl<T> KPQueue<T> {
                         continue;
                     }
                     let node = d.node;
+                    // ORDERING: SEQ_CST / RELAXED — the linking CAS: the
+                    // enqueue's visibility point. Success releases the
+                    // node's plainly-written fields to every acquire link
+                    // read and keeps the append in the protocol's total
+                    // order; a failure value is discarded (retry observes
+                    // state afresh).
                     if unsafe { &*last }
                         .next
-                        .compare_exchange(
-                            ptr::null_mut(),
-                            node,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                        )
+                        .compare_exchange(ptr::null_mut(), node, ord::SEQ_CST, ord::RELAXED)
                         .is_ok()
                     {
                         self.help_finish_enq(tid);
@@ -359,14 +385,18 @@ impl<T> KPQueue<T> {
             Err(_) => return, // tail moved: someone else finished it
         };
         // SAFETY: protected + validated.
+        // ORDERING: ACQUIRE — candidate link read for protection; the SC
+        // tail re-load below is what validates it.
         let next = self
             .node_hp
-            .protect_ptr(tid, N_HP_NEXT, unsafe { &*last }.next.load(Ordering::SeqCst));
+            .protect_ptr(tid, N_HP_NEXT, unsafe { &*last }.next.load(ord::ACQUIRE));
         // Re-validate the tail: while `last == tail`, `next` cannot have
         // been retired (nodes are only retired once head passed them, and
         // head never passes the tail). This is the validation whose absence
         // is the YMC use-after-free the paper reports (§4).
-        if last != self.tail.load(Ordering::SeqCst) {
+        // ORDERING: SEQ_CST — the validating re-load after the SC hazard
+        // publication (the check whose absence is YMC's use-after-free).
+        if last != self.tail.load(ord::SEQ_CST) {
             return;
         }
         if next.is_null() {
@@ -376,20 +406,29 @@ impl<T> KPQueue<T> {
         let owner = unsafe { &*next }.enq_tid;
         if owner == IDX_NONE {
             // The sentinel cannot be mid-enqueue; nothing to finish.
+            // ORDERING: SEQ_CST / RELAXED — tail advance; must stay in the
+            // total order every try_protect validation reads. Failure value
+            // unused.
             let _ = self
                 .tail
-                .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
+                .compare_exchange(last, next, ord::SEQ_CST, ord::RELAXED);
             return;
         }
         let owner = owner as usize;
         let cur_desc = self.protect_desc(tid, owner);
         // SAFETY: protected + validated.
         let d = unsafe { &*cur_desc };
-        if last == self.tail.load(Ordering::SeqCst) && d.node == next {
+        // ORDERING: SEQ_CST — re-validation that `next` is still the node
+        // being appended at the current tail.
+        if last == self.tail.load(ord::SEQ_CST) && d.node == next {
             if d.pending {
                 let new_desc = OpDesc::alloc(d.phase, false, true, next);
+                // ORDERING: SEQ_CST / RELAXED — descriptor transition
+                // (pending→done): releases new_desc's plain fields and
+                // stays in the announcement total order (see
+                // install_descriptor). Failure value unused (loser frees).
                 if self.state[owner]
-                    .compare_exchange(cur_desc, new_desc, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                     .is_ok()
                 {
                     self.desc_hp.clear_one(tid, D_HP_CUR);
@@ -400,9 +439,10 @@ impl<T> KPQueue<T> {
                     unsafe { drop(Box::from_raw(new_desc)) };
                 }
             }
+            // ORDERING: SEQ_CST / RELAXED — tail advance (see above).
             let _ = self
                 .tail
-                .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
+                .compare_exchange(last, next, ord::SEQ_CST, ord::RELAXED);
         }
     }
 
@@ -413,10 +453,15 @@ impl<T> KPQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            let last = self.tail.load(Ordering::SeqCst);
+            // ORDERING: SEQ_CST — emptiness test input (`first == last`
+            // below): must be ordered against concurrent tail advances the
+            // same way the Turn queue's Inv. 11 check is.
+            let last = self.tail.load(ord::SEQ_CST);
             // SAFETY: first protected + validated.
-            let next = unsafe { &*first }.next.load(Ordering::SeqCst);
-            if first != self.head.load(Ordering::SeqCst) {
+            // ORDERING: ACQUIRE — link read (pairs with the linking CAS).
+            let next = unsafe { &*first }.next.load(ord::ACQUIRE);
+            // ORDERING: SEQ_CST — protect/validate handshake re-load.
+            if first != self.head.load(ord::SEQ_CST) {
                 continue;
             }
             if first == last {
@@ -425,18 +470,17 @@ impl<T> KPQueue<T> {
                     let cur_desc = self.protect_desc(tid, owner);
                     // SAFETY: protected + validated.
                     let d = unsafe { &*cur_desc };
-                    if last != self.tail.load(Ordering::SeqCst) {
+                    // ORDERING: SEQ_CST — empty-path re-validation: the
+                    // None answer linearizes against this tail read.
+                    if last != self.tail.load(ord::SEQ_CST) {
                         continue;
                     }
                     if d.pending && !d.enqueue && d.phase <= phase {
                         let new_desc = OpDesc::alloc(d.phase, false, false, ptr::null_mut());
+                        // ORDERING: SEQ_CST / RELAXED — descriptor
+                        // transition (see help_finish_enq).
                         if self.state[owner]
-                            .compare_exchange(
-                                cur_desc,
-                                new_desc,
-                                Ordering::SeqCst,
-                                Ordering::SeqCst,
-                            )
+                            .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                             .is_ok()
                         {
                             self.desc_hp.clear_one(tid, D_HP_CUR);
@@ -459,13 +503,17 @@ impl<T> KPQueue<T> {
                 if !(d.pending && !d.enqueue && d.phase <= phase) {
                     break; // no longer pending
                 }
-                if first == self.head.load(Ordering::SeqCst) && node != first {
+                // ORDERING: SEQ_CST — candidate-head re-validation before
+                // recording it in the owner's descriptor.
+                if first == self.head.load(ord::SEQ_CST) && node != first {
                     // Record the candidate head in the descriptor first
                     // (pointer write only — `node` is never dereferenced
                     // through a descriptor by helpers).
                     let new_desc = OpDesc::alloc(d.phase, true, false, first);
+                    // ORDERING: SEQ_CST / RELAXED — descriptor transition
+                    // (see help_finish_enq).
                     if self.state[owner]
-                        .compare_exchange(cur_desc, new_desc, Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                         .is_ok()
                     {
                         self.desc_hp.clear_one(tid, D_HP_CUR);
@@ -478,11 +526,16 @@ impl<T> KPQueue<T> {
                     }
                 }
                 // SAFETY: first still protected from above.
+                // ORDERING: ACQ_REL / RELAXED — write-once assignment: the
+                // per-location CAS order alone picks the winner; release
+                // pairs with help_finish_deq's acquire deq_tid read, and
+                // the discarded failure value needs no edge (the follow-up
+                // help_finish_deq re-reads it).
                 let _ = unsafe { &*first }.deq_tid.compare_exchange(
                     IDX_NONE,
                     owner as i32,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    ord::ACQ_REL,
+                    ord::RELAXED,
                 );
                 self.help_finish_deq(tid);
             }
@@ -498,8 +551,12 @@ impl<T> KPQueue<T> {
         };
         // SAFETY: protected + validated.
         let first_ref = unsafe { &*first };
-        let next = first_ref.next.load(Ordering::SeqCst);
-        let owner = first_ref.deq_tid.load(Ordering::SeqCst);
+        // ORDERING: ACQUIRE — link read (pairs with the linking CAS).
+        let next = first_ref.next.load(ord::ACQUIRE);
+        // ORDERING: ACQUIRE — pairs with the ACQ_REL assignment CAS in
+        // help_deq: the recorded candidate in the owner's descriptor is
+        // visible once we see the owner id.
+        let owner = first_ref.deq_tid.load(ord::ACQUIRE);
         if owner == IDX_NONE {
             return;
         }
@@ -507,11 +564,14 @@ impl<T> KPQueue<T> {
         let cur_desc = self.protect_desc(tid, owner);
         // SAFETY: protected + validated.
         let d = unsafe { &*cur_desc };
-        if first == self.head.load(Ordering::SeqCst) && !next.is_null() {
+        // ORDERING: SEQ_CST — protect/validate handshake re-load.
+        if first == self.head.load(ord::SEQ_CST) && !next.is_null() {
             if d.pending {
                 let new_desc = OpDesc::alloc(d.phase, false, false, d.node);
+                // ORDERING: SEQ_CST / RELAXED — descriptor transition (see
+                // help_finish_enq).
                 if self.state[owner]
-                    .compare_exchange(cur_desc, new_desc, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                     .is_ok()
                 {
                     self.desc_hp.clear_one(tid, D_HP_CUR);
@@ -522,9 +582,12 @@ impl<T> KPQueue<T> {
                     unsafe { drop(Box::from_raw(new_desc)) };
                 }
             }
+            // ORDERING: SEQ_CST / RELAXED — head advance; stays in the
+            // total order the protect/validate re-loads observe. Failure
+            // value unused.
             let _ = self
                 .head
-                .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst);
+                .compare_exchange(first, next, ord::SEQ_CST, ord::RELAXED);
         }
     }
 
@@ -543,15 +606,16 @@ impl<T> Drop for KPQueue<T> {
         // Exclusive access. Free the list (KpNode::drop releases any
         // unconsumed boxed values) and the final descriptors; the HP/CHP
         // domains free their retired backlogs in their own Drops.
-        let mut node = self.head.load(Ordering::Relaxed);
+        // ORDERING: RELAXED (all Drop loads) — `&mut self`: no concurrency.
+        let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
-            let next = unsafe { &*node }.next.load(Ordering::Relaxed);
+            let next = unsafe { &*node }.next.load(ord::RELAXED);
             // SAFETY: list nodes are uniquely owned here.
             unsafe { drop(Box::from_raw(node)) };
             node = next;
         }
         for slot in self.state.iter() {
-            let desc = slot.load(Ordering::Relaxed);
+            let desc = slot.load(ord::RELAXED);
             if !desc.is_null() {
                 // SAFETY: the resident descriptor was never retired; the
                 // nodes it points to are owned by the list (already freed)
@@ -623,7 +687,7 @@ impl QueueFamily for KpFamily {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

@@ -8,7 +8,10 @@
 //! * lost-update enqueue  → `not-linearizable` (the oracle),
 //! * non-owner pool push  → `race` (the vector-clock detector),
 //! * spin on a dead flag  → `step-limit` (the scheduler valve),
-//! * absurdly small bound → `step-bound` (the wait-freedom auditor).
+//! * absurdly small bound → `step-bound` (the wait-freedom auditor),
+//! * relaxed link read    → `race` (the *ordering-aware* detector: a
+//!   `Relaxed` load where the relaxed build needs `Acquire` drops the
+//!   happens-before edge; the acquire twin is the positive control).
 
 use std::sync::Arc;
 use turn_queue::TurnQueue;
@@ -211,4 +214,79 @@ fn absurd_bound_trips_the_step_auditor() {
         }
     });
     report.assert_caught("step-bound");
+}
+
+/// The message-passing cell of the ordering-relaxation pass: a plainly
+/// written payload published by a `Release` store of `next`, read back
+/// through a load of `next` and a plain payload read. This is the shape
+/// of the Turn queue's dequeue — node fields written plainly, published
+/// by the linking CAS's release half, dereferenced after an `Acquire`
+/// read of `head.next` (see `// ORDERING:` at that site in
+/// `crates/core/src/queue.rs` and docs/orderings.md).
+struct WeakLink {
+    item: UnsafeCell<u64>,
+    next: AtomicUsize,
+}
+
+// SAFETY: the test relies on the model-check scheduler serializing all
+// accesses; the *discipline* violation in the mutant below is exactly
+// what the ordering-aware race detector must report.
+unsafe impl Sync for WeakLink {}
+
+fn explore_link_read(load_order: Ordering) -> turnq_modelcheck::Report {
+    let cfg = Config {
+        threads: 2,
+        budget: 200,
+        dfs_budget: 200,
+        step_bound: None,
+        ..Config::default()
+    };
+    explore(&cfg, move |_log| {
+        let link = Arc::new(WeakLink {
+            item: UnsafeCell::new(0),
+            next: AtomicUsize::new(0),
+        });
+        let l0 = Arc::clone(&link);
+        let l1 = link;
+        Scenario {
+            bodies: vec![
+                Box::new(move || {
+                    // Producer: plain payload write, then release-publish —
+                    // the enqueue side's linking discipline, intact.
+                    // SAFETY: serialized by the model-check scheduler.
+                    unsafe { *l0.item.get() = 42 };
+                    l0.next.store(1, Ordering::Release);
+                }),
+                Box::new(move || {
+                    // Consumer: `load_order` is the mutation point. With
+                    // `Relaxed` (the mutant) observing 1 creates no
+                    // happens-before edge and the plain read below races
+                    // with the producer's plain write.
+                    if l1.next.load(load_order) == 1 {
+                        // SAFETY: as above.
+                        let _v = unsafe { *l1.item.get() };
+                    }
+                }),
+            ],
+            post: None,
+        }
+    })
+}
+
+#[test]
+fn relaxed_link_read_mutant_is_a_race() {
+    let report = explore_link_read(Ordering::Relaxed);
+    // Log the full reproduction recipe (schedule, seed if the random
+    // phase found it) so CI's --nocapture run records it.
+    if let Some(v) = &report.violation {
+        println!("weak-ordering mutant caught:\n{v}");
+    }
+    report.assert_caught("race");
+}
+
+/// Positive control for the mutant above: the exact same program with
+/// the `Acquire` the relaxed build actually uses must explore clean.
+#[test]
+fn acquire_link_read_is_race_free() {
+    explore_link_read(Ordering::Acquire).assert_clean();
 }

@@ -52,7 +52,7 @@ macro_rules! int_atomic {
             pub fn load(&self, order: Ordering) -> $Prim {
                 rt::sync_point();
                 let v = self.inner.load(order);
-                rt::record_atomic(self.loc(), rt::Acc::Load);
+                rt::record_atomic(self.loc(), rt::Acc::Load, order);
                 v
             }
 
@@ -60,14 +60,14 @@ macro_rules! int_atomic {
             pub fn store(&self, v: $Prim, order: Ordering) {
                 rt::sync_point();
                 self.inner.store(v, order);
-                rt::record_atomic(self.loc(), rt::Acc::Store);
+                rt::record_atomic(self.loc(), rt::Acc::Store, order);
             }
 
             #[inline]
             pub fn swap(&self, v: $Prim, order: Ordering) -> $Prim {
                 rt::sync_point();
                 let old = self.inner.swap(v, order);
-                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw, order);
                 old
             }
 
@@ -81,11 +81,12 @@ macro_rules! int_atomic {
             ) -> Result<$Prim, $Prim> {
                 rt::sync_point();
                 let r = self.inner.compare_exchange(current, new, success, failure);
-                // A failed CAS is a read; only a successful one publishes.
-                rt::record_atomic(
-                    self.loc(),
-                    if r.is_ok() { rt::Acc::Rmw } else { rt::Acc::Load },
-                );
+                // A failed CAS is a read. Success publishes with the
+                // success ordering; failure reads with the failure one.
+                match r {
+                    Ok(_) => rt::record_atomic(self.loc(), rt::Acc::Rmw, success),
+                    Err(_) => rt::record_atomic(self.loc(), rt::Acc::Load, failure),
+                }
                 r
             }
 
@@ -106,7 +107,7 @@ macro_rules! int_atomic {
             pub fn fetch_or(&self, v: $Prim, order: Ordering) -> $Prim {
                 rt::sync_point();
                 let old = self.inner.fetch_or(v, order);
-                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw, order);
                 old
             }
 
@@ -114,7 +115,7 @@ macro_rules! int_atomic {
             pub fn fetch_and(&self, v: $Prim, order: Ordering) -> $Prim {
                 rt::sync_point();
                 let old = self.inner.fetch_and(v, order);
-                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw, order);
                 old
             }
 
@@ -149,7 +150,7 @@ macro_rules! int_atomic_arith {
             pub fn fetch_add(&self, v: $Prim, order: Ordering) -> $Prim {
                 rt::sync_point();
                 let old = self.inner.fetch_add(v, order);
-                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw, order);
                 old
             }
 
@@ -157,7 +158,7 @@ macro_rules! int_atomic_arith {
             pub fn fetch_sub(&self, v: $Prim, order: Ordering) -> $Prim {
                 rt::sync_point();
                 let old = self.inner.fetch_sub(v, order);
-                rt::record_atomic(self.loc(), rt::Acc::Rmw);
+                rt::record_atomic(self.loc(), rt::Acc::Rmw, order);
                 old
             }
         }
@@ -201,7 +202,7 @@ impl<T> AtomicPtr<T> {
     pub fn load(&self, order: Ordering) -> *mut T {
         rt::sync_point();
         let v = self.inner.load(order);
-        rt::record_atomic(self.loc(), rt::Acc::Load);
+        rt::record_atomic(self.loc(), rt::Acc::Load, order);
         v
     }
 
@@ -209,14 +210,14 @@ impl<T> AtomicPtr<T> {
     pub fn store(&self, v: *mut T, order: Ordering) {
         rt::sync_point();
         self.inner.store(v, order);
-        rt::record_atomic(self.loc(), rt::Acc::Store);
+        rt::record_atomic(self.loc(), rt::Acc::Store, order);
     }
 
     #[inline]
     pub fn swap(&self, v: *mut T, order: Ordering) -> *mut T {
         rt::sync_point();
         let old = self.inner.swap(v, order);
-        rt::record_atomic(self.loc(), rt::Acc::Rmw);
+        rt::record_atomic(self.loc(), rt::Acc::Rmw, order);
         old
     }
 
@@ -230,10 +231,12 @@ impl<T> AtomicPtr<T> {
     ) -> Result<*mut T, *mut T> {
         rt::sync_point();
         let r = self.inner.compare_exchange(current, new, success, failure);
-        rt::record_atomic(
-            self.loc(),
-            if r.is_ok() { rt::Acc::Rmw } else { rt::Acc::Load },
-        );
+        // Success publishes with the success ordering; failure is a
+        // read with the failure ordering.
+        match r {
+            Ok(_) => rt::record_atomic(self.loc(), rt::Acc::Rmw, success),
+            Err(_) => rt::record_atomic(self.loc(), rt::Acc::Load, failure),
+        }
         r
     }
 

@@ -42,10 +42,11 @@
 
 #[cfg(not(feature = "modelcheck"))]
 mod imp {
-    /// Atomic integer/pointer types and memory orderings (std re-export).
+    /// Atomic integer/pointer types, memory orderings and fences
+    /// (std re-export).
     pub mod atomic {
         pub use std::sync::atomic::{
-            AtomicBool, AtomicI32, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64,
+            fence, AtomicBool, AtomicI32, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64,
             AtomicUsize, Ordering,
         };
     }
@@ -71,6 +72,19 @@ mod imp {
             AtomicUsize,
         };
         pub use std::sync::atomic::Ordering;
+
+        /// Memory fence. Executed natively: the model-check scheduler
+        /// serializes every access under sequential consistency, so a
+        /// fence neither introduces a scheduling point nor charges a step
+        /// (it is not a shared-memory access — keeping it free preserves
+        /// the step-bound audit's accounting). The vector-clock detector
+        /// ignores fences; it tracks the acquire/release edges of the
+        /// accesses themselves, which is conservative (a fence can only
+        /// add ordering, never remove it).
+        #[inline]
+        pub fn fence(order: Ordering) {
+            std::sync::atomic::fence(order);
+        }
     }
     pub mod cell {
         pub use crate::instrumented::UnsafeCell;
@@ -135,3 +149,84 @@ pub mod rt;
 /// instrumented runtime. Lets test code assert it is (or is not) running
 /// under the model checker.
 pub const INSTRUMENTED: bool = cfg!(feature = "modelcheck");
+
+/// `true` when the `seqcst` ablation feature is on and every [`ord`]
+/// alias collapses to `Ordering::SeqCst` (the paper-literal build).
+/// Benchmarks label their output with this so seqcst-vs-relaxed artifacts
+/// can be told apart.
+pub const SEQCST_BUILD: bool = cfg!(feature = "seqcst");
+
+/// The workspace's single source of truth for memory orderings.
+///
+/// Every algorithm crate (`turn-queue`, `turnq-hazard`, `turnq-kp`,
+/// `turnq-threadreg`, `turnq-baselines`) names its orderings through these
+/// aliases instead of `Ordering::*` directly, and annotates each use with
+/// an `// ORDERING:` comment stating the happens-before edge it provides
+/// (cross-checked against the per-site table in `docs/orderings.md` by
+/// `tests/lint_orderings.rs`).
+///
+/// Two build modes:
+///
+/// * **default (relaxed)** — the aliases mean what they say: `ACQUIRE` is
+///   `Ordering::Acquire`, and so on. This is the measured, per-site
+///   relaxation of the paper's sequentially-consistent pseudo-code.
+/// * **`seqcst` feature (paper-literal)** — every alias collapses to
+///   `Ordering::SeqCst`, reproducing the ordering regime the paper's
+///   Algorithms 1–5 are specified under. One flag restores the ablation
+///   baseline; `bench_orderings` measures the difference.
+///
+/// `SEQ_CST` exists so that sites whose correctness argument genuinely
+/// needs a single total order (the Turn consensus publish/scan pair, the
+/// hazard-pointer protect/validate handshake) still route through this
+/// module — the lint requires *all* production orderings to come from
+/// here, which is what makes the per-site table exhaustive.
+pub mod ord {
+    use super::atomic::Ordering;
+
+    #[cfg(not(feature = "seqcst"))]
+    mod imp {
+        use super::Ordering;
+        pub const RELAXED: Ordering = Ordering::Relaxed;
+        pub const ACQUIRE: Ordering = Ordering::Acquire;
+        pub const RELEASE: Ordering = Ordering::Release;
+        pub const ACQ_REL: Ordering = Ordering::AcqRel;
+        pub const SEQ_CST: Ordering = Ordering::SeqCst;
+    }
+
+    #[cfg(feature = "seqcst")]
+    mod imp {
+        use super::Ordering;
+        pub const RELAXED: Ordering = Ordering::SeqCst;
+        pub const ACQUIRE: Ordering = Ordering::SeqCst;
+        pub const RELEASE: Ordering = Ordering::SeqCst;
+        pub const ACQ_REL: Ordering = Ordering::SeqCst;
+        pub const SEQ_CST: Ordering = Ordering::SeqCst;
+    }
+
+    pub use imp::{ACQUIRE, ACQ_REL, RELAXED, RELEASE, SEQ_CST};
+
+    /// Caveat, enforced here once instead of at every call site: a fence
+    /// must never be given `Relaxed` (std panics). `RELAXED` is therefore
+    /// only for loads/stores/RMWs; fences take `ACQUIRE`/`RELEASE`/
+    /// `SEQ_CST`, all of which stay legal when collapsed to SeqCst.
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn aliases_collapse_only_under_seqcst() {
+            if crate::SEQCST_BUILD {
+                assert_eq!(RELAXED, Ordering::SeqCst);
+                assert_eq!(ACQUIRE, Ordering::SeqCst);
+                assert_eq!(RELEASE, Ordering::SeqCst);
+                assert_eq!(ACQ_REL, Ordering::SeqCst);
+            } else {
+                assert_eq!(RELAXED, Ordering::Relaxed);
+                assert_eq!(ACQUIRE, Ordering::Acquire);
+                assert_eq!(RELEASE, Ordering::Release);
+                assert_eq!(ACQ_REL, Ordering::AcqRel);
+            }
+            assert_eq!(SEQ_CST, Ordering::SeqCst);
+        }
+    }
+}

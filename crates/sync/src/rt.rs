@@ -27,17 +27,38 @@
 //!
 //! ## Race detection
 //!
-//! Per-thread vector clocks, merged through atomic locations: an atomic
-//! load acquires the location's clock, a store releases the thread's
-//! clock into it (an RMW does both). Plain accesses (`UnsafeCell`,
-//! `Atomic*::get_mut`) are conservatively treated as writes and must be
-//! ordered by happens-before against *every* other thread's accesses to
-//! the same location — exactly the obligation the node pool's owner-only
-//! fast paths discharge via the hazard-pointer scan, and the first thing
-//! to break if that protocol is miscoded.
+//! Per-thread vector clocks, merged through atomic locations — and, since
+//! the per-site ordering-relaxation pass, **ordering-aware**: only an
+//! *acquiring* load (`Acquire`/`AcqRel`/`SeqCst`) joins the location's
+//! release clock, and only a *releasing* store (`Release`/`SeqCst`)
+//! publishes the thread's clock into it; an RMW does each side according
+//! to its ordering. A `Relaxed` access still participates in the
+//! plain-vs-atomic race check but carries **no** happens-before edge, so
+//! a site that was weakened from `Acquire` to `Relaxed` where an edge is
+//! load-bearing (e.g. the dequeue's `next` read that guards the plain
+//! `take_item`) now produces a reported race — see the `weak-ordering`
+//! mutant in `turnq-modelcheck`.
+//!
+//! Two deliberate approximations, both conservative in the direction of
+//! *fewer false positives* (they can hide at most exotic relaxed-store
+//! races, never invent one):
+//!
+//! * a `Relaxed` store leaves the location's release clock in place
+//!   (pre-C++17 release-sequence semantics) instead of clearing it;
+//! * fences are ignored — the workspace's only fence (the retire scan's
+//!   `SeqCst` fence) adds ordering on top of accesses the detector
+//!   already tracks via acquire loads.
+//!
+//! Plain accesses (`UnsafeCell`, `Atomic*::get_mut`) are conservatively
+//! treated as writes and must be ordered by happens-before against
+//! *every* other thread's accesses to the same location — exactly the
+//! obligation the node pool's owner-only fast paths discharge via the
+//! hazard-pointer scan, and the first thing to break if that protocol is
+//! miscoded.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
@@ -240,9 +261,35 @@ fn park(shared: &Shared, me: usize, count_step: bool) {
     }
 }
 
+/// Whether an access with this ordering *acquires* (joins the location's
+/// release clock on its read side).
+fn acquires(order: Ordering) -> bool {
+    matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Whether an access with this ordering *releases* (publishes the
+/// thread's clock on its write side).
+fn releases(order: Ordering) -> bool {
+    matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
 /// Record an atomic access for happens-before tracking. Must be called by
 /// the worker that just performed the access, before its next sync point.
-pub(crate) fn record_atomic(loc: usize, acc: Acc) {
+/// `order` is the ordering the access actually used — for a CAS, the
+/// success ordering on success and the failure ordering on failure.
+///
+/// Ordering semantics (the serialized scheduler makes "reads-from" exact:
+/// a load always reads the latest store):
+///
+/// * acquiring load — joins the location's release clock;
+/// * releasing store — replaces the location's release clock with the
+///   thread's (exact: a store ends any prior release sequence);
+/// * releasing RMW — joins the thread's clock *into* the release clock
+///   (RMWs continue a release sequence, so earlier release stores stay
+///   visible to later acquirers);
+/// * `Relaxed` — no edge either way; the access still updates
+///   `last_atomic` so plain accesses must be ordered against it.
+pub(crate) fn record_atomic(loc: usize, acc: Acc, order: Ordering) {
     let _ = CTX.try_with(|c| {
         if let Some(ctx) = c.borrow().as_ref() {
             let me = ctx.me;
@@ -252,7 +299,7 @@ pub(crate) fn record_atomic(loc: usize, acc: Acc) {
             let ls = st.locs.entry(loc).or_insert_with(|| LocState::new(n));
             let my = &mut st.thread_vc[me];
             if trace_enabled() {
-                eprintln!("[mc t={} T{me}] atomic {acc:?} @ {loc:#x}", st.time);
+                eprintln!("[mc t={} T{me}] atomic {acc:?} ({order:?}) @ {loc:#x}", st.time);
             }
             // An atomic access races with an unordered plain access by
             // another thread.
@@ -260,26 +307,39 @@ pub(crate) fn record_atomic(loc: usize, acc: Acc) {
             if let Some((wt, wvc)) = &ls.plain_write {
                 if *wt != me && !wvc.le(my) {
                     race = Some(format!(
-                        "atomic {acc:?} by T{me} at {loc:#x} races with plain access by T{wt} \
-                         (no happens-before edge)"
+                        "atomic {acc:?} ({order:?}) by T{me} at {loc:#x} races with plain \
+                         access by T{wt} (no happens-before edge)"
                     ));
                 }
             }
             match acc {
                 Acc::Load => {
-                    my.join(&ls.vc);
+                    if acquires(order) {
+                        my.join(&ls.vc);
+                    }
                 }
                 Acc::Store => {
-                    // Under the serialized scheduler a later load reads
-                    // exactly this store, so release-replace is exact.
-                    ls.vc = my.clone();
+                    if releases(order) {
+                        // Under the serialized scheduler a later load reads
+                        // exactly this store, so release-replace is exact.
+                        ls.vc = my.clone();
+                    }
+                    // Relaxed store: keep the previous release clock
+                    // (conservative; see module docs).
                 }
                 Acc::Rmw => {
-                    my.join(&ls.vc);
-                    ls.vc = my.clone();
+                    if acquires(order) {
+                        my.join(&ls.vc);
+                    }
+                    if releases(order) {
+                        // Join, don't replace: an RMW continues the
+                        // release sequence of the store it read.
+                        let mine = my.clone();
+                        ls.vc.join(&mine);
+                    }
                 }
             }
-            ls.last_atomic[me] = my.get(me);
+            ls.last_atomic[me] = st.thread_vc[me].get(me);
             if let Some(msg) = race {
                 if st.races.len() < MAX_RACE_REPORTS {
                     st.races.push(msg);

@@ -25,7 +25,8 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use turnq_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use turnq_sync::atomic::{AtomicBool, AtomicU64};
+use turnq_sync::ord;
 use std::sync::{Arc, Weak};
 
 use crossbeam_utils::CachePadded;
@@ -76,12 +77,16 @@ struct Slots {
 impl Slots {
     fn release(&self, index: usize) {
         let slot = &self.in_use[index];
-        debug_assert!(slot.in_use.load(Ordering::Relaxed));
+        // ORDERING: RELAXED — owner-only sanity check on our own claim.
+        debug_assert!(slot.in_use.load(ord::RELAXED));
         // Owner-only bump while the slot is still exclusively ours; the
         // Release store below publishes it together with the flag flip.
         let n = slot.releases.load(observer::Ordering::Relaxed);
         slot.releases.store(n + 1, observer::Ordering::Relaxed);
-        slot.in_use.store(false, Ordering::Release);
+        // ORDERING: RELEASE — slot hand-back: orders every per-slot access
+        // of the exiting thread (queue arrays indexed by this tid, tallies)
+        // before the flip; the next claimer's acquire CAS picks it up.
+        slot.in_use.store(false, ord::RELEASE);
     }
 }
 
@@ -178,7 +183,9 @@ impl ThreadRegistry {
             .into_boxed_slice();
         ThreadRegistry {
             slots: Arc::new(Slots {
-                id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+                // ORDERING: RELAXED — unique-id ticket; only atomicity of
+                // the increment matters, nothing is published through it.
+                id: NEXT_REGISTRY_ID.fetch_add(1, ord::RELAXED),
                 in_use,
             }),
         }
@@ -194,7 +201,10 @@ impl ThreadRegistry {
         self.slots
             .in_use
             .iter()
-            .filter(|s| s.in_use.load(Ordering::Acquire))
+            // ORDERING: ACQUIRE — pairs with the release in Slots::release
+            // so a zero count implies the exiting threads' slot writes are
+            // visible to the observer.
+            .filter(|s| s.in_use.load(ord::ACQUIRE))
             .count()
     }
 
@@ -319,10 +329,16 @@ impl ThreadRegistry {
         const GRACE_ROUNDS: usize = 256;
         for round in 0..GRACE_ROUNDS {
             for (i, slot) in self.slots.in_use.iter().enumerate() {
-                if !slot.in_use.load(Ordering::Relaxed)
+                // ORDERING: RELAXED — contention pre-check; the CAS decides.
+                if !slot.in_use.load(ord::RELAXED)
+                    // ORDERING: ACQ_REL / RELAXED — slot claim: acquire pairs
+                    // with the releasing hand-back so the previous owner's
+                    // per-slot state is visible before we reuse the index;
+                    // release makes the claim visible to `registered_count`.
+                    // The failure value (someone else claimed) is discarded.
                     && slot
                         .in_use
-                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
                         .is_ok()
                 {
                     // Owner-only bump: the CAS just gave this thread the

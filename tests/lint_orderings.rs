@@ -1,120 +1,243 @@
-//! Workspace lint: every `Ordering::SeqCst` site must be accounted for in
-//! `docs/orderings.md`.
+//! Workspace lint: the per-site memory-ordering discipline.
 //!
-//! The paper's algorithms are specified under sequential consistency and
-//! this reproduction deliberately keeps almost every atomic at `SeqCst`
-//! (ROADMAP: relaxations are a measured, per-site decision, not a
-//! default). To keep that deliberate, `docs/orderings.md` carries one row
-//! per file — `path | SeqCst count | justification` — and this test fails
-//! when
+//! Production atomics in the queue crates route every ordering through
+//! `turnq_sync::ord` (so `--features seqcst` can collapse them all back
+//! to the paper's SC semantics), and every site must argue its own
+//! happens-before edge. Three checks keep that discipline from rotting:
 //!
-//! * a file uses `SeqCst` but has no row (new sites need a justification),
-//! * a row's count is stale (sites were added or removed silently), or
-//! * a row points at a file that no longer uses `SeqCst` (dead row).
+//! 1. **No raw `Ordering::` in production code** — a raw token bypasses
+//!    the `seqcst` ablation switch and the docs table. Test modules
+//!    (below the first `#[cfg(test)]`) and `observer::Ordering` (the
+//!    always-std telemetry counters) are exempt.
+//! 2. **Every `ord::` site carries an `// ORDERING:` comment** on the
+//!    same line or within the preceding few lines — the per-site
+//!    justification lives next to the code, not only in the doc.
+//! 3. **Per-file, per-kind counts match `docs/orderings.md`** — adding,
+//!    removing, or re-weakening a site forces the doc's machine-checked
+//!    table (and, socially, its per-site tables) to be revisited in the
+//!    same change.
 //!
-//! Comment lines don't count: prose may discuss orderings freely.
+//! Scope: `src/` trees of the five queue crates. `crates/sync` is out of
+//! scope (it *implements* the facade and the race detector and must
+//! spell real orderings), as are bench/test/model-check-harness crates
+//! (there `SeqCst` is the uncontroversial default).
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-fn count_seqcst(text: &str) -> usize {
+/// Crates whose production atomics must go through `ord`.
+const LINTED_CRATES: [&str; 5] = [
+    "crates/core",
+    "crates/hazard",
+    "crates/kp",
+    "crates/threadreg",
+    "crates/baselines",
+];
+
+/// Ordering kinds, in the column order of the docs table.
+const KINDS: [&str; 5] = ["RELAXED", "ACQUIRE", "RELEASE", "ACQ_REL", "SEQ_CST"];
+
+/// How many lines above an `ord::` token its `// ORDERING:` comment may
+/// start. Sized for a long comment block above a multi-line
+/// `compare_exchange` (current worst case in-tree is 10).
+const ORDERING_COMMENT_WINDOW: usize = 12;
+
+/// The production region of a source file: everything above the first
+/// `#[cfg(test)]` line.
+fn production_region(text: &str) -> Vec<&str> {
     text.lines()
-        .filter(|l| {
-            let t = l.trim_start();
-            !t.starts_with("//") && !t.starts_with("//!") && !t.starts_with("///")
-        })
-        .map(|l| l.matches("SeqCst").count())
-        .sum()
+        .take_while(|l| l.trim() != "#[cfg(test)]")
+        .collect()
 }
 
-/// `path -> count` for every *production* source file that uses SeqCst
-/// (`src/` trees only: in test and bench code `SeqCst` is the
-/// uncontroversial default and needs no per-site defense).
-fn measured(root: &Path) -> BTreeMap<String, usize> {
-    let mut src_roots = vec![root.join("src")];
-    for parent in ["crates", "shims"] {
-        let parent = root.join(parent);
-        if !parent.is_dir() {
-            continue;
-        }
-        for entry in fs::read_dir(&parent).expect("readable dir") {
-            let path = entry.expect("readable entry").path();
-            if path.is_dir() {
-                src_roots.push(path.join("src"));
-            }
-        }
-    }
-    let mut out = BTreeMap::new();
-    let mut stack = src_roots;
+fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Every `.rs` file under the linted crates' `src/` trees, as
+/// `(repo-relative path, contents)`, sorted by path.
+fn linted_sources(root: &Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = LINTED_CRATES.iter().map(|c| root.join(c).join("src")).collect();
     while let Some(dir) = stack.pop() {
-        if !dir.is_dir() {
-            continue;
-        }
+        assert!(dir.is_dir(), "expected source dir {} to exist", dir.display());
         for entry in fs::read_dir(&dir).expect("readable dir") {
             let path = entry.expect("readable entry").path();
             if path.is_dir() {
                 stack.push(path);
-            } else if path.to_string_lossy().ends_with(".rs") {
-                let n = count_seqcst(&fs::read_to_string(&path).expect("readable source"));
-                if n > 0 {
-                    let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
-                    out.insert(rel, n);
-                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                let text = fs::read_to_string(&path).expect("readable source");
+                out.push((rel, text));
             }
+        }
+    }
+    out.sort();
+    assert!(!out.is_empty(), "no sources found — wrong manifest dir?");
+    out
+}
+
+/// Occurrences of `needle` in `line` that are full tokens (not preceded
+/// or followed by an identifier character).
+fn token_count(line: &str, needle: &str) -> usize {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    line.match_indices(needle)
+        .filter(|&(i, _)| {
+            let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+            let end = i + needle.len();
+            let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+            before_ok && after_ok
+        })
+        .count()
+}
+
+#[test]
+fn no_raw_ordering_in_production_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut problems = Vec::new();
+    for (file, text) in linted_sources(root) {
+        for (idx, line) in production_region(&text).iter().enumerate() {
+            if is_comment_line(line) {
+                continue;
+            }
+            for (i, _) in line.match_indices("Ordering::") {
+                // `observer::Ordering::Relaxed` is the telemetry-counter
+                // exemption: always std, outside the seqcst ablation.
+                if line[..i].ends_with("observer::") {
+                    continue;
+                }
+                problems.push(format!(
+                    "{file}:{}: raw `Ordering::` in production code — route it \
+                     through `turnq_sync::ord` (see docs/orderings.md)",
+                    idx + 1
+                ));
+            }
+        }
+    }
+    assert!(problems.is_empty(), "{}", problems.join("\n"));
+}
+
+#[test]
+fn every_ord_site_has_an_ordering_comment() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut problems = Vec::new();
+    for (file, text) in linted_sources(root) {
+        let prod = production_region(&text);
+        for (idx, line) in prod.iter().enumerate() {
+            if is_comment_line(line) {
+                continue;
+            }
+            let uses_ord = KINDS.iter().any(|k| token_count(line, &format!("ord::{k}")) > 0);
+            if !uses_ord {
+                continue;
+            }
+            let documented = (0..=ORDERING_COMMENT_WINDOW.min(idx))
+                .any(|back| prod[idx - back].contains("// ORDERING:"));
+            if !documented {
+                problems.push(format!(
+                    "{file}:{}: `ord::` site without an `// ORDERING:` comment \
+                     within {ORDERING_COMMENT_WINDOW} lines — state its \
+                     happens-before edge (see docs/orderings.md)",
+                    idx + 1
+                ));
+            }
+        }
+    }
+    assert!(problems.is_empty(), "{}", problems.join("\n"));
+}
+
+/// `file -> [count per KINDS column]` measured from the sources.
+fn measured(root: &Path) -> BTreeMap<String, [usize; 5]> {
+    let mut out = BTreeMap::new();
+    for (file, text) in linted_sources(root) {
+        let mut counts = [0usize; 5];
+        for line in production_region(&text) {
+            if is_comment_line(line) {
+                continue;
+            }
+            for (col, kind) in KINDS.iter().enumerate() {
+                counts[col] += token_count(line, &format!("ord::{kind}"));
+            }
+        }
+        if counts.iter().any(|&n| n > 0) {
+            out.insert(file, counts);
         }
     }
     out
 }
 
-/// Parse `docs/orderings.md` table rows: `| path | count | justification |`.
-fn allowlist(root: &Path) -> BTreeMap<String, usize> {
+/// Parse the docs/orderings.md count table:
+/// `| path.rs | RELAXED | ACQUIRE | RELEASE | ACQ_REL | SEQ_CST |`.
+fn documented(root: &Path) -> BTreeMap<String, [usize; 5]> {
     let doc = fs::read_to_string(root.join("docs/orderings.md"))
-        .expect("docs/orderings.md must exist (the SeqCst allowlist)");
+        .expect("docs/orderings.md must exist (the per-site ordering table)");
     let mut out = BTreeMap::new();
     for line in doc.lines() {
         let cells: Vec<&str> = line.split('|').map(str::trim).collect();
-        // | path | count | justification |  →  ["", path, count, just, ""]
-        if cells.len() >= 4 && cells[1].ends_with(".rs") {
-            let count: usize = cells[2]
-                .parse()
-                .unwrap_or_else(|_| panic!("bad count in orderings.md row: {line}"));
-            out.insert(cells[1].to_string(), count);
+        // | path | n n n n n |  →  ["", path, n, n, n, n, n, ""]
+        if cells.len() == 8 && cells[1].ends_with(".rs") {
+            let mut counts = [0usize; 5];
+            let mut ok = true;
+            for (col, cell) in cells[2..7].iter().enumerate() {
+                match cell.parse() {
+                    Ok(n) => counts[col] = n,
+                    Err(_) => ok = false,
+                }
+            }
+            if ok {
+                out.insert(cells[1].to_string(), counts);
+            }
         }
     }
-    assert!(!out.is_empty(), "no table rows parsed from docs/orderings.md");
+    assert!(!out.is_empty(), "no count rows parsed from docs/orderings.md");
     out
 }
 
 #[test]
-fn every_seqcst_site_is_accounted_for() {
+fn per_file_counts_match_orderings_md() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let measured = measured(root);
-    let allowed = allowlist(root);
+    let documented = documented(root);
+
+    let render = |c: &[usize; 5]| {
+        KINDS
+            .iter()
+            .zip(c)
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
 
     let mut problems = Vec::new();
-    for (file, &n) in &measured {
-        match allowed.get(file) {
+    for (file, counts) in &measured {
+        match documented.get(file) {
             None => problems.push(format!(
-                "{file}: {n} SeqCst site(s) but no row in docs/orderings.md"
+                "{file}: {} but no row in docs/orderings.md — new sites need \
+                 a row and a per-site justification",
+                render(counts)
             )),
-            Some(&m) if m != n => problems.push(format!(
-                "{file}: {n} SeqCst site(s) but docs/orderings.md says {m} — update the row \
-                 (and its justification, if the new sites change the story)"
+            Some(doc) if doc != counts => problems.push(format!(
+                "{file}: sources say {} but docs/orderings.md says {} — \
+                 update the row (and the per-site table, if the edges changed)",
+                render(counts),
+                render(doc)
             )),
             Some(_) => {}
         }
     }
-    for file in allowed.keys() {
+    for file in documented.keys() {
         if !measured.contains_key(file) {
             problems.push(format!(
-                "{file}: listed in docs/orderings.md but has no SeqCst sites — remove the row"
+                "{file}: listed in docs/orderings.md but has no `ord::` sites — \
+                 remove the row"
             ));
         }
     }
     assert!(
         problems.is_empty(),
-        "SeqCst allowlist out of sync:\n{}",
+        "ordering table out of sync:\n{}",
         problems.join("\n")
     );
 }

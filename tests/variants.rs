@@ -1,12 +1,20 @@
 //! Integration tests for the pluggable variants (§5): composing the Turn
 //! MPSC and SPMC halves into pipelines, and cross-checking them against
 //! the Vyukov MPSC and the bounded SPSC ring on the same workloads.
+//!
+//! Also home of the dual-mode ordering gate: CI runs this suite once on
+//! the relaxed default build and once with `--features seqcst` (which
+//! collapses every `turnq_sync::ord` ordering back to the paper's SC),
+//! so the stress + linearizability oracle below certifies both sides of
+//! the ablation in `docs/orderings.md`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use turnq_repro::baselines::{Full, SpscRing, VyukovMpscQueue};
-use turnq_repro::{TurnMpscQueue, TurnSpmcQueue};
+use turnq_repro::linearize::recorder::RecordConfig;
+use turnq_repro::linearize::{check_history, record_history, CheckResult};
+use turnq_repro::{TurnMpscQueue, TurnQueue, TurnSpmcQueue};
 
 /// Fan-in then fan-out: producers → (Turn MPSC) → router thread →
 /// (Turn SPMC) → consumers. Exercises both variants simultaneously with
@@ -229,4 +237,93 @@ fn bounded_front_unbounded_back() {
         all.sort_unstable();
         assert_eq!(all, (0..TOTAL).collect::<Vec<_>>());
     });
+}
+
+/// The dual-mode ordering gate (see module docs): an 8-thread MPMC
+/// stress with an exactly-once + per-producer-FIFO oracle, then exact
+/// linearizability windows at 8 threads, on whichever ordering mode this
+/// binary was compiled with. `turnq_sync::SEQCST_BUILD` labels the mode
+/// in the test output so CI logs show which leg certified what.
+#[test]
+fn eight_thread_stress_and_oracle_dual_mode() {
+    let mode = if turnq_sync::SEQCST_BUILD { "seqcst" } else { "relaxed" };
+    println!("ordering mode under test: {mode}");
+
+    // --- 8-thread stress: 4 producers + 4 consumers on the full queue.
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 4;
+    const PER: u64 = 10_000;
+    const TOTAL: usize = PRODUCERS * PER as usize;
+
+    let q: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(PRODUCERS + CONSUMERS));
+    let received = Arc::new(AtomicUsize::new(0));
+
+    let lanes: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let h = q.handle().expect("registry slot");
+                for i in 0..PER {
+                    h.enqueue((p as u64) << 40 | i);
+                }
+            });
+        }
+        let sinks: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    let h = q.handle().expect("registry slot");
+                    let mut got = Vec::new();
+                    while received.load(Ordering::SeqCst) < TOTAL {
+                        if let Some(v) = h.dequeue() {
+                            received.fetch_add(1, Ordering::SeqCst);
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        sinks.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly-once delivery...
+    let mut all: Vec<u64> = lanes.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), TOTAL, "[{mode}] stress lost or duplicated items");
+    // ...and per-producer FIFO within each consumer lane.
+    for lane in &lanes {
+        let mut last = [-1i64; PRODUCERS];
+        for &v in lane {
+            let (p, i) = ((v >> 40) as usize, (v & ((1 << 40) - 1)) as i64);
+            assert!(i > last[p], "[{mode}] producer {p} reordered");
+            last[p] = i;
+        }
+    }
+
+    // --- Exact linearizability oracle at 8 threads (short windows keep
+    // the exact checker tractable; each seed is a fresh adversarial
+    // window, as in tests/linearizability.rs).
+    let config = RecordConfig {
+        threads: 8,
+        ops_per_thread: 2,
+        enqueue_bias: 128,
+    };
+    for seed in 500..510 {
+        let q: TurnQueue<u64> = TurnQueue::with_max_threads(config.threads + 1);
+        let history = record_history(&q, config, seed);
+        match check_history(&history) {
+            CheckResult::Linearizable(_) => {}
+            CheckResult::NotLinearizable => {
+                panic!("[{mode}] Turn: NOT linearizable (seed {seed}): {history:?}")
+            }
+            CheckResult::Inconclusive => {
+                panic!("[{mode}] Turn: checker budget exhausted (seed {seed})")
+            }
+        }
+    }
 }
