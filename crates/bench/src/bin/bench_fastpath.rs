@@ -1,0 +1,193 @@
+//! Fast-path ablation benchmark (DESIGN.md §6c): the Figure 2 pairs
+//! protocol on the Turn queue with the fast path **on**
+//! (`fast_tries = DEFAULT_FAST_TRIES`) versus **off** (`fast_tries = 0`,
+//! the paper-literal always-publish queue), across a thread sweep.
+//!
+//! Unlike `bench_orderings` (whose ablation is compile-time), the fast
+//! path budget is a runtime knob on [`TurnQueueBuilder`], so a single
+//! build measures both modes and one invocation writes the whole
+//! artifact — schema `turnq-bench-fastpath/1` in docs/bench_format.md:
+//!
+//! ```text
+//! cargo run -q -p turnq-bench --bin bench_fastpath -- \
+//!     --out=results/BENCH_fastpath.json
+//! ```
+//!
+//! Extra flags beyond the common set: `--threads-list=1,2,4,8`,
+//! `--ratio=P:C` (asymmetric producer:consumer protocol; thread counts
+//! below 2 are dropped from the axis), `--out=PATH` (default
+//! `BENCH_fastpath.json`, `-` prints to stdout).
+
+use std::fmt::Write as _;
+
+use turn_queue::{TurnQueue, TurnQueueBuilder, DEFAULT_FAST_TRIES};
+use turnq_bench::{banner, ratio, scale_from};
+use turnq_harness::stats::median;
+use turnq_harness::throughput::{pairs_once_on, ratio_once_on, split_ratio};
+use turnq_harness::{Args, Scale};
+
+/// Median ops/s plus the queue's accumulated fast-path telemetry (the
+/// queue instance is reused across runs so the counters aggregate).
+struct Cell {
+    ops_per_sec: u64,
+    fast_enq_hit: u64,
+    fast_enq_fallback: u64,
+    fast_deq_hit: u64,
+    fast_deq_fallback: u64,
+}
+
+fn measure_cell(fast_tries: u32, base: &Scale, threads: usize, pc: Option<(usize, usize)>) -> Cell {
+    let scale = Scale { threads, ..*base };
+    let queue: TurnQueue<u64> = TurnQueueBuilder::new()
+        .max_threads(threads)
+        .fast_tries(fast_tries)
+        .build();
+    let mut per_run = Vec::with_capacity(scale.runs);
+    for _ in 0..scale.runs {
+        per_run.push(match pc {
+            Some((p, c)) => {
+                let (prod, cons) = split_ratio(threads, p, c);
+                ratio_once_on(&queue, &scale, prod, cons)
+            }
+            None => pairs_once_on(&queue, &scale),
+        });
+    }
+    // Drain whatever the pairs protocol left in flight before reading the
+    // counters. Only once, after all runs: the main thread takes a registry
+    // slot on its first operation and keeps it, so draining between runs
+    // would starve the workers of the t-sized registry.
+    while queue.dequeue().is_some() {}
+    let snap = queue.telemetry_snapshot();
+    let get = |name: &str| snap.get(name);
+    Cell {
+        ops_per_sec: median(&per_run),
+        fast_enq_hit: get("fast_enq_hit"),
+        fast_enq_fallback: get("fast_enq_fallback"),
+        fast_deq_hit: get("fast_deq_hit"),
+        fast_deq_fallback: get("fast_deq_fallback"),
+    }
+}
+
+fn mode_json(label: &str, fast_tries: u32, cells: &[Cell]) -> String {
+    let col = |f: fn(&Cell) -> u64| {
+        cells.iter().map(|c| f(c).to_string()).collect::<Vec<_>>().join(", ")
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "    \"{label}\": {{");
+    let _ = writeln!(s, "      \"fast_tries\": {fast_tries},");
+    let _ = writeln!(s, "      \"ops_per_sec\": [{}],", col(|c| c.ops_per_sec));
+    let _ = writeln!(s, "      \"fast_enq_hit\": [{}],", col(|c| c.fast_enq_hit));
+    let _ = writeln!(s, "      \"fast_enq_fallback\": [{}],", col(|c| c.fast_enq_fallback));
+    let _ = writeln!(s, "      \"fast_deq_hit\": [{}],", col(|c| c.fast_deq_hit));
+    let _ = writeln!(s, "      \"fast_deq_fallback\": [{}]", col(|c| c.fast_deq_fallback));
+    let _ = write!(s, "    }}");
+    s
+}
+
+fn main() {
+    let args = Args::from_env();
+    let base = scale_from(&args);
+    let pc = args.get_ratio("ratio");
+    let mut threads: Vec<usize> = args
+        .get("threads-list")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads-list: bad thread count"))
+        .collect();
+    assert!(!threads.is_empty(), "--threads-list must name at least one count");
+    if pc.is_some() {
+        // A P:C split needs a thread on each side.
+        threads.retain(|&t| t >= 2);
+        assert!(!threads.is_empty(), "--ratio needs thread counts >= 2");
+    }
+
+    let protocol = match pc {
+        Some((p, c)) => format!("{p}:{c} producer:consumer throughput"),
+        None => "pairs throughput".to_string(),
+    };
+    banner(
+        &format!("Fast-path ablation: {protocol}, fastpath on (fast_tries={DEFAULT_FAST_TRIES}) vs off"),
+        &base,
+    );
+
+    let mut on_cells = Vec::with_capacity(threads.len());
+    let mut off_cells = Vec::with_capacity(threads.len());
+    for &t in &threads {
+        eprintln!("fastpath on:  turn @ {t} threads ...");
+        on_cells.push(measure_cell(DEFAULT_FAST_TRIES, &base, t, pc));
+        eprintln!("fastpath off: turn @ {t} threads ...");
+        off_cells.push(measure_cell(0, &base, t, pc));
+    }
+
+    // Human-readable table.
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}{:>16}",
+        "threads", "on ops/s", "off ops/s", "on/off", "fast-hit share"
+    );
+    for (i, &t) in threads.iter().enumerate() {
+        let on = &on_cells[i];
+        let off = &off_cells[i];
+        let fast_ops = on.fast_enq_hit + on.fast_deq_hit;
+        let all_ops =
+            fast_ops + on.fast_enq_fallback + on.fast_deq_fallback;
+        let share = if all_ops == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * fast_ops as f64 / all_ops as f64)
+        };
+        println!(
+            "{t:<10}{:>14}{:>14}{:>10}{share:>16}",
+            on.ops_per_sec,
+            off.ops_per_sec,
+            ratio(on.ops_per_sec, off.ops_per_sec),
+        );
+    }
+    println!();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"turnq-bench-fastpath/1\",");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"{}\",",
+        if pc.is_some() { "ratio" } else { "pairs" }
+    );
+    if let Some((p, c)) = pc {
+        let _ = writeln!(json, "  \"ratio\": \"{p}:{c}\",");
+    }
+    let _ = writeln!(
+        json,
+        "  \"threads\": [{}],",
+        threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"scale\": {{\"pairs\": {}, \"runs\": {}, \"work_spins\": {}}},",
+        base.pairs, base.runs, base.work_spins
+    );
+    json.push_str("  \"modes\": {\n");
+    json.push_str(&mode_json("fastpath_on", DEFAULT_FAST_TRIES, &on_cells));
+    json.push_str(",\n");
+    json.push_str(&mode_json("fastpath_off", 0, &off_cells));
+    json.push_str("\n  },\n");
+    let speedups: Vec<String> = on_cells
+        .iter()
+        .zip(&off_cells)
+        .map(|(on, off)| {
+            if off.ops_per_sec == 0 {
+                "null".to_string()
+            } else {
+                format!("{:.3}", on.ops_per_sec as f64 / off.ops_per_sec as f64)
+            }
+        })
+        .collect();
+    let _ = writeln!(json, "  \"speedup_on_over_off\": [{}]", speedups.join(", "));
+    json.push_str("}\n");
+
+    let out = args.get("out").unwrap_or("BENCH_fastpath.json");
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json).expect("write fastpath artifact");
+        println!("wrote {out}");
+    }
+}

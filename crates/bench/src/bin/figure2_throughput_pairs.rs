@@ -1,15 +1,21 @@
 //! Figure 2 reproduction: single-enqueue-single-dequeue pairs throughput
 //! vs thread count, plus the right panel's ratio normalized to KP.
+//!
+//! `--ratio=P:C` switches the symmetric pairs protocol to the asymmetric
+//! producer:consumer protocol (see docs/bench_format.md): each thread
+//! count on the axis is split P:C between dedicated producers and
+//! dedicated consumers, so single-thread points are dropped.
 
 use turnq_bench::{banner, ratio, scale_from};
 use turnq_harness::plot::{ascii_chart, Series};
-use turnq_harness::throughput::measure_pairs;
+use turnq_harness::throughput::{measure_pairs, measure_ratio, split_ratio};
 use turnq_harness::{Args, QueueKind, Table};
 
 fn main() {
     let args = Args::from_env();
     let scale = scale_from(&args);
     let kinds = QueueKind::parse_list(args.get("queues"));
+    let pc = args.get_ratio("ratio");
     let mut axis: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32]
         .into_iter()
         .filter(|&t| t <= scale.threads)
@@ -17,7 +23,18 @@ fn main() {
     if axis.last() != Some(&scale.threads) {
         axis.push(scale.threads);
     }
-    banner("Figure 2: enqueue-dequeue pairs throughput (ops/s, median of runs)", &scale);
+    if pc.is_some() {
+        // A P:C split needs a thread on each side.
+        axis.retain(|&t| t >= 2);
+        assert!(!axis.is_empty(), "--ratio needs --threads >= 2");
+    }
+    match pc {
+        Some((p, c)) => banner(
+            &format!("Figure 2 variant: {p}:{c} producer:consumer throughput (ops/s, median of runs)"),
+            &scale,
+        ),
+        None => banner("Figure 2: enqueue-dequeue pairs throughput (ops/s, median of runs)", &scale),
+    }
 
     // results[kind][thread_idx]
     let mut headers = vec!["threads".to_string()];
@@ -32,8 +49,21 @@ fn main() {
         let mut row = vec![threads.to_string()];
         let mut by_kind = Vec::new();
         for (ki, &kind) in kinds.iter().enumerate() {
-            eprintln!("pairs: {} @ {} threads ...", kind.name(), threads);
-            let r = measure_pairs(kind, &s);
+            let r = match pc {
+                Some((p, c)) => {
+                    let (prod, cons) = split_ratio(threads, p, c);
+                    eprintln!(
+                        "ratio: {} @ {} threads ({prod}P:{cons}C) ...",
+                        kind.name(),
+                        threads
+                    );
+                    measure_ratio(kind, &s, prod, cons)
+                }
+                None => {
+                    eprintln!("pairs: {} @ {} threads ...", kind.name(), threads);
+                    measure_pairs(kind, &s)
+                }
+            };
             by_kind.push(r.ops_per_sec);
             chart_series[ki]
                 .points

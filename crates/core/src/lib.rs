@@ -65,7 +65,9 @@ mod queue;
 mod variants;
 
 pub use crturn_mutex::{CRTurnGuard, CRTurnMutex};
-pub use queue::{TurnFamily, TurnHandle, TurnQueue, DEFAULT_MAX_THREADS};
+pub use queue::{
+    TurnFamily, TurnHandle, TurnQueue, TurnQueueBuilder, DEFAULT_FAST_TRIES, DEFAULT_MAX_THREADS,
+};
 // Re-exported so `TurnQueue::pool_stats` is usable without a separate
 // turnq-api dependency.
 pub use turnq_api::PoolStats;

@@ -8,6 +8,41 @@ use turnq_sync::ord;
 /// "No thread" marker for [`Node::deq_tid`] (the paper's `IDX_NONE`).
 pub(crate) const IDX_NONE: i32 = -1;
 
+/// Base of the fast-path claim encoding in [`Node::deq_tid`].
+///
+/// A fast-path dequeue claims a node by CASing `deq_tid` from [`IDX_NONE`]
+/// to `FAST_BASE - turn` (always ≤ -2, so it can never collide with
+/// `IDX_NONE` or a real thread index ≥ 0). The encoded *turn* keeps the
+/// CRTurn dequeue rotation intact: `search_next` decodes the head's
+/// effective turn with [`decode_turn`] whether the head was consumed by the
+/// slow path (`deq_tid == tid`, turn = tid) or the fast path.
+pub(crate) const FAST_BASE: i32 = -2;
+
+/// Encode a dequeue turn as a fast-path claim value (≤ -2).
+#[inline]
+pub(crate) fn encode_fast(turn: i32) -> i32 {
+    FAST_BASE - turn
+}
+
+/// The effective dequeue turn of a consumed node: the assigned thread index
+/// for a slow-path claim, the preserved predecessor turn for a fast-path
+/// claim. `IDX_NONE` (the initial sentinel) passes through unchanged — the
+/// rotation in `search_next` already treats -1 as "start at slot 0".
+#[inline]
+pub(crate) fn decode_turn(raw: i32) -> i32 {
+    if raw <= FAST_BASE {
+        FAST_BASE - raw
+    } else {
+        raw
+    }
+}
+
+/// Whether a raw `deq_tid` value is a fast-path claim.
+#[inline]
+pub(crate) fn is_fast_claim(raw: i32) -> bool {
+    raw <= FAST_BASE
+}
+
 /// A singly-linked-list node carrying one item.
 ///
 /// Field-for-field the paper's `Node` struct:
@@ -103,6 +138,24 @@ impl<T> Node<T> {
 mod tests {
     use super::*;
     use std::sync::atomic::Ordering;
+
+    #[test]
+    fn fast_claim_encoding_round_trips() {
+        // Every normalized turn t ∈ [0, MAX_THREADS) must encode to a value
+        // ≤ FAST_BASE (distinct from IDX_NONE and every real tid) and
+        // decode back to itself; slow-path tids and the sentinel pass
+        // through decode unchanged.
+        for t in 0..64 {
+            let enc = encode_fast(t);
+            assert!(enc <= FAST_BASE, "turn {t} encoded to {enc}");
+            assert!(is_fast_claim(enc));
+            assert_eq!(decode_turn(enc), t);
+            assert!(!is_fast_claim(t));
+            assert_eq!(decode_turn(t), t);
+        }
+        assert!(!is_fast_claim(IDX_NONE));
+        assert_eq!(decode_turn(IDX_NONE), IDX_NONE);
+    }
 
     #[test]
     fn node_is_24_bytes_for_pointer_sized_items() {

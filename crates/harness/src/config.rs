@@ -178,6 +178,24 @@ impl Args {
         })
     }
 
+    /// `--key=P:C` parsed as a `(producers, consumers)` pair, e.g.
+    /// `--ratio=3:1` (see docs/bench_format.md).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed pair or a zero count, like [`get_usize`].
+    ///
+    /// [`get_usize`]: Args::get_usize
+    pub fn get_ratio(&self, key: &str) -> Option<(usize, usize)> {
+        self.get(key).map(|v| {
+            let side = |s: &str| s.parse::<usize>().ok().filter(|&n| n >= 1);
+            match v.split_once(':').map(|(p, c)| (side(p), side(c))) {
+                Some((Some(p), Some(c))) => (p, c),
+                _ => panic!("--{key}={v} is not a valid P:C ratio (expected e.g. 3:1)"),
+            }
+        })
+    }
+
     /// Whether a bare `--flag` was given.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
@@ -247,5 +265,24 @@ mod tests {
         let a = args(&[]);
         assert_eq!(a.get("nope"), None);
         assert_eq!(a.get_usize("nope"), None);
+        assert_eq!(a.get_ratio("ratio"), None);
+    }
+
+    #[test]
+    fn ratio_parses_producer_consumer_pairs() {
+        assert_eq!(args(&["--ratio=3:1"]).get_ratio("ratio"), Some((3, 1)));
+        assert_eq!(args(&["--ratio=1:7"]).get_ratio("ratio"), Some((1, 7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid P:C ratio")]
+    fn ratio_rejects_zero_sides() {
+        let _ = args(&["--ratio=0:2"]).get_ratio("ratio");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid P:C ratio")]
+    fn ratio_rejects_missing_colon() {
+        let _ = args(&["--ratio=4"]).get_ratio("ratio");
     }
 }

@@ -89,6 +89,117 @@ pub fn pairs_once_on<Q: ConcurrentQueue<u64>>(queue: &Q, scale: &Scale) -> u64 {
     ((total_ops as f64) / (elapsed_ns as f64 / 1e9)) as u64
 }
 
+/// Split `total` worker threads into producer and consumer counts in the
+/// proportion `p:c`, keeping at least one thread on each side (so callers
+/// sweeping a thread axis can apply one `--ratio` across it; `total` must
+/// be ≥ 2).
+pub fn split_ratio(total: usize, p: usize, c: usize) -> (usize, usize) {
+    assert!(total >= 2, "a P:C split needs at least 2 threads");
+    assert!(p >= 1 && c >= 1, "both ratio sides must be >= 1");
+    let producers =
+        ((total * p + (p + c) / 2) / (p + c)).clamp(1, total - 1);
+    (producers, total - producers)
+}
+
+/// Asymmetric producer:consumer protocol for one queue — the `--ratio`
+/// variant of the pairs benchmark (used by `bench_fastpath` and
+/// `figure2_throughput_pairs`; see docs/bench_format.md). The scale's
+/// `threads` field is ignored: the run uses `producers + consumers`
+/// worker threads.
+pub fn measure_ratio(
+    kind: QueueKind,
+    scale: &Scale,
+    producers: usize,
+    consumers: usize,
+) -> PairsResult {
+    with_queue_family!(kind, F => measure_ratio_generic::<F>(scale, producers, consumers))
+}
+
+fn measure_ratio_generic<F: QueueFamily>(
+    scale: &Scale,
+    producers: usize,
+    consumers: usize,
+) -> PairsResult {
+    let mut per_run = Vec::with_capacity(scale.runs);
+    for _ in 0..scale.runs {
+        let queue = F::with_max_threads::<u64>(producers + consumers);
+        per_run.push(ratio_once_on(&queue, scale, producers, consumers));
+    }
+    PairsResult {
+        ops_per_sec: median(&per_run),
+    }
+}
+
+/// One asymmetric run against an externally owned queue (which must have
+/// been built for at least `producers + consumers` threads): `producers`
+/// threads push `scale.pairs / producers` items each while `consumers`
+/// threads pop until every pushed item has been consumed. Returns total
+/// operations per second, counting one enqueue and one dequeue per item
+/// (failed pops on a momentarily empty queue are not counted — the metric
+/// stays comparable with [`pairs_once_on`]).
+pub fn ratio_once_on<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    scale: &Scale,
+    producers: usize,
+    consumers: usize,
+) -> u64 {
+    assert!(
+        producers >= 1 && consumers >= 1,
+        "ratio runs need at least one producer and one consumer"
+    );
+    let per_prod = (scale.pairs / producers).max(1);
+    let total = per_prod * producers;
+    let threads = producers + consumers;
+    let barrier = Barrier::new(threads);
+    // Consumed-item count, shared by the consumers so the run terminates
+    // exactly when the last pushed item has been popped (a fixed per-
+    // consumer quota would deadlock whenever another consumer overtakes).
+    let consumed = std::sync::atomic::AtomicUsize::new(0);
+    let origin = Instant::now();
+    // Per-worker spans against a shared origin, as in `pairs_once_on`.
+    let spans: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for p in 0..producers {
+            let barrier = &barrier;
+            let origin = &origin;
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                let start = origin.elapsed().as_nanos() as u64;
+                for i in 0..per_prod {
+                    queue.enqueue(((p * per_prod + i) as u64) + 1);
+                    crate::latency::artificial_work(scale.work_spins, i as u64);
+                }
+                let end = origin.elapsed().as_nanos() as u64;
+                (start, end)
+            }));
+        }
+        for _ in 0..consumers {
+            let barrier = &barrier;
+            let origin = &origin;
+            let consumed = &consumed;
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                let start = origin.elapsed().as_nanos() as u64;
+                while consumed.load(std::sync::atomic::Ordering::Relaxed) < total {
+                    if queue.dequeue().is_some() {
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                let end = origin.elapsed().as_nanos() as u64;
+                (start, end)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let start = spans.iter().map(|s| s.0).min().unwrap();
+    let end = spans.iter().map(|s| s.1).max().unwrap();
+    let elapsed_ns = (end - start).max(1);
+    let total_ops = 2 * total as u64;
+    ((total_ops as f64) / (elapsed_ns as f64 / 1e9)) as u64
+}
+
 /// Result of the burst benchmark: items per second for each side,
 /// median across measured bursts and runs.
 #[derive(Debug, Clone, Copy)]
@@ -221,6 +332,33 @@ mod tests {
         };
         let r = measure_pairs(QueueKind::Turn, &s);
         assert!(r.ops_per_sec > 0);
+    }
+
+    #[test]
+    fn split_ratio_rounds_and_clamps() {
+        assert_eq!(split_ratio(4, 1, 1), (2, 2));
+        assert_eq!(split_ratio(8, 3, 1), (6, 2));
+        assert_eq!(split_ratio(2, 7, 1), (1, 1)); // clamped: one each side
+        assert_eq!(split_ratio(3, 1, 2), (1, 2));
+    }
+
+    #[test]
+    fn ratio_runs_asymmetric_splits() {
+        let s = tiny();
+        for (p, c) in [(1, 1), (3, 1), (1, 3)] {
+            let r = measure_ratio(QueueKind::Turn, &s, p, c);
+            assert!(r.ops_per_sec > 0, "{p}:{c}");
+        }
+    }
+
+    #[test]
+    fn ratio_on_external_queue_consumes_everything() {
+        let s = tiny();
+        let q = turn_queue::TurnQueue::<u64>::with_max_threads(4);
+        let rate = ratio_once_on(&q, &s, 3, 1);
+        assert!(rate > 0);
+        // Every pushed item was consumed: the queue ends empty.
+        assert_eq!(q.dequeue(), None);
     }
 
     #[test]

@@ -625,10 +625,19 @@ fn run_post(
 /// Derivation (constants deliberately generous; the audit's value is in
 /// the *shape* — no term grows with anything but `max_threads`):
 ///
+/// * fast path (DESIGN.md §6c; this crate builds the queue with the
+///   default-on `fastpath` feature): ≤ `FT = DEFAULT_FAST_TRIES = 4`
+///   attempts, each a hazard publish/validate, a panic-flag scan of ≤
+///   `2·mt` consensus slots, and two CASes — ≤ `FT·(2·mt + 12)` accesses;
 /// * helping loop: ≤ `mt + 1` iterations (the paper's turn consensus
 ///   bound), each doing a slot read, tail read + hazard
 ///   publish/validate, an enqueuers/deqself scan of ≤ `mt` slots with one
-///   CAS, a next read and a tail-advance CAS — ≤ `12 + 2·mt` accesses;
+///   CAS, a next read and a tail-advance CAS — ≤ `12 + 2·mt` accesses —
+///   *plus* a `mt + 3` iteration allowance for the verified close that
+///   replaced the paper's blind lines 25-26: the panic flag bounds
+///   post-publish fast interference to one in-flight op per other thread,
+///   each costing at most one extra verification round (together:
+///   `(2·mt + 4)·(12 + 2·mt)`);
 /// * hazard-pointer epilogue: `3·K + 4` (clear K slots, republish);
 /// * retire scan (dequeue only): the R = 0 discipline caps the retired
 ///   backlog at `retired_bound(mt, K) = mt·K + 1` candidates, each
@@ -638,10 +647,12 @@ fn run_post(
 pub fn turn_step_bound(max_threads: usize) -> u64 {
     let mt = max_threads as u64;
     let k = 3; // HPS_PER_THREAD for the Turn queue
-    let helping = (mt + 1) * (12 + 2 * mt);
+    let ft = 4; // turn_queue::DEFAULT_FAST_TRIES
+    let fast = ft * (2 * mt + 12);
+    let helping = (2 * mt + 4) * (12 + 2 * mt);
     let hp = 3 * k + 4;
     let retire = (mt * k + 1) * (mt * k + 4);
-    helping + hp + retire + 2 * mt + 32
+    fast + helping + hp + retire + 2 * mt + 32
 }
 
 /// Step bound for the Kogan–Petrank baseline under the same accounting.
@@ -774,10 +785,11 @@ mod tests {
 
     #[test]
     fn step_bound_is_polynomial_in_max_threads() {
-        // Spot-check the documented closed form.
+        // Spot-check the documented closed form: fast tries + helping with
+        // the verified-close allowance + HP epilogue + retire scan + slack.
         assert_eq!(
             turn_step_bound(2),
-            (3 * 16) + 13 + (7 * 10) + 4 + 32
+            (4 * 16) + (8 * 16) + 13 + (7 * 10) + 4 + 32
         );
         // Monotone and quadratic-bounded: bound(2mt) < 8·bound(mt).
         for mt in 2..16 {

@@ -51,6 +51,24 @@ pub enum CounterId {
     SlotClaim,
     /// Registry slots released (thread exit or explicit release).
     SlotRelease,
+    /// Fast-path enqueues: the uncontended tail-append CAS succeeded with
+    /// no request publication (Turn queue `fastpath` mode).
+    FastEnqHit,
+    /// Fast-path enqueue attempts that lost a race (tail moved or the link
+    /// CAS failed) and retried within the `fast_tries` budget.
+    FastEnqRetry,
+    /// Enqueues that gave up the fast path (budget exhausted or a pending
+    /// slow-path request observed) and fell back to CRTurn publication.
+    FastEnqFallback,
+    /// Fast-path dequeues: the direct head-swing CAS claimed a node (or
+    /// observed emptiness) with no request publication.
+    FastDeqHit,
+    /// Fast-path dequeue attempts that lost a race and retried within the
+    /// `fast_tries` budget.
+    FastDeqRetry,
+    /// Dequeues that gave up the fast path and fell back to the CRTurn
+    /// slow path.
+    FastDeqFallback,
 }
 
 impl CounterId {
@@ -74,6 +92,12 @@ impl CounterId {
         CounterId::ChpReclaim,
         CounterId::SlotClaim,
         CounterId::SlotRelease,
+        CounterId::FastEnqHit,
+        CounterId::FastEnqRetry,
+        CounterId::FastEnqFallback,
+        CounterId::FastDeqHit,
+        CounterId::FastDeqRetry,
+        CounterId::FastDeqFallback,
     ];
 
     /// Short name, used as the key in snapshots and to derive the exported
@@ -98,12 +122,18 @@ impl CounterId {
             CounterId::ChpReclaim => "chp_reclaim",
             CounterId::SlotClaim => "slot_claim",
             CounterId::SlotRelease => "slot_release",
+            CounterId::FastEnqHit => "fast_enq_hit",
+            CounterId::FastEnqRetry => "fast_enq_retry",
+            CounterId::FastEnqFallback => "fast_enq_fallback",
+            CounterId::FastDeqHit => "fast_deq_hit",
+            CounterId::FastDeqRetry => "fast_deq_retry",
+            CounterId::FastDeqFallback => "fast_deq_fallback",
         }
     }
 }
 
 /// Number of counters (row width of a telemetry sheet).
-pub const N_COUNTERS: usize = 18;
+pub const N_COUNTERS: usize = 24;
 
 #[cfg(test)]
 mod tests {

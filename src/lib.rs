@@ -26,7 +26,7 @@
 
 pub use turn_queue::{
     CRTurnGuard, CRTurnMutex, MpscConsumer, SpmcProducer, TurnHandle, TurnMpscQueue, TurnQueue,
-    TurnSpmcQueue, DEFAULT_MAX_THREADS,
+    TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES, DEFAULT_MAX_THREADS,
 };
 pub use turnq_kp::KPQueue;
 

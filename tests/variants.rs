@@ -14,7 +14,7 @@ use std::sync::Arc;
 use turnq_repro::baselines::{Full, SpscRing, VyukovMpscQueue};
 use turnq_repro::linearize::recorder::RecordConfig;
 use turnq_repro::linearize::{check_history, record_history, CheckResult};
-use turnq_repro::{TurnMpscQueue, TurnQueue, TurnSpmcQueue};
+use turnq_repro::{TurnMpscQueue, TurnQueue, TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES};
 
 /// Fan-in then fan-out: producers → (Turn MPSC) → router thread →
 /// (Turn SPMC) → consumers. Exercises both variants simultaneously with
@@ -239,15 +239,23 @@ fn bounded_front_unbounded_back() {
     });
 }
 
-/// The dual-mode ordering gate (see module docs): an 8-thread MPMC
-/// stress with an exactly-once + per-producer-FIFO oracle, then exact
-/// linearizability windows at 8 threads, on whichever ordering mode this
-/// binary was compiled with. `turnq_sync::SEQCST_BUILD` labels the mode
-/// in the test output so CI logs show which leg certified what.
+/// The dual-mode ordering gate (see module docs), run once per fast-path
+/// mode: an 8-thread MPMC stress with an exactly-once +
+/// per-producer-FIFO oracle, then exact linearizability windows at 8
+/// threads. `turnq_sync::SEQCST_BUILD` labels the ordering mode and
+/// `fast_tries` labels the fast-path mode, so together with the seqcst
+/// CI leg this covers all four cells of the
+/// fastpath-{on,off} × {relaxed,seqcst} matrix (DESIGN.md §6c).
 #[test]
 fn eight_thread_stress_and_oracle_dual_mode() {
-    let mode = if turnq_sync::SEQCST_BUILD { "seqcst" } else { "relaxed" };
-    println!("ordering mode under test: {mode}");
+    let ordering = if turnq_sync::SEQCST_BUILD { "seqcst" } else { "relaxed" };
+    for (fastpath, tries) in [("fastpath-on", DEFAULT_FAST_TRIES), ("fastpath-off", 0)] {
+        stress_and_oracle(&format!("{ordering}+{fastpath}"), tries);
+    }
+}
+
+fn stress_and_oracle(mode: &str, fast_tries: u32) {
+    println!("mode under test: {mode} (fast_tries={fast_tries})");
 
     // --- 8-thread stress: 4 producers + 4 consumers on the full queue.
     const PRODUCERS: usize = 4;
@@ -255,7 +263,12 @@ fn eight_thread_stress_and_oracle_dual_mode() {
     const PER: u64 = 10_000;
     const TOTAL: usize = PRODUCERS * PER as usize;
 
-    let q: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(PRODUCERS + CONSUMERS));
+    let q: Arc<TurnQueue<u64>> = Arc::new(
+        TurnQueueBuilder::new()
+            .max_threads(PRODUCERS + CONSUMERS)
+            .fast_tries(fast_tries)
+            .build(),
+    );
     let received = Arc::new(AtomicUsize::new(0));
 
     let lanes: Vec<Vec<u64>> = std::thread::scope(|s| {
@@ -314,7 +327,10 @@ fn eight_thread_stress_and_oracle_dual_mode() {
         enqueue_bias: 128,
     };
     for seed in 500..510 {
-        let q: TurnQueue<u64> = TurnQueue::with_max_threads(config.threads + 1);
+        let q: TurnQueue<u64> = TurnQueueBuilder::new()
+            .max_threads(config.threads + 1)
+            .fast_tries(fast_tries)
+            .build();
         let history = record_history(&q, config, seed);
         match check_history(&history) {
             CheckResult::Linearizable(_) => {}
@@ -325,5 +341,70 @@ fn eight_thread_stress_and_oracle_dual_mode() {
                 panic!("[{mode}] Turn: checker budget exhausted (seed {seed})")
             }
         }
+    }
+}
+
+/// Starvation gate for the fast path's panic flag (DESIGN.md §6c): a
+/// thread whose operations fall back to published slow-path requests
+/// must keep completing while fast-path threads hammer the queue — the
+/// panic-flag scan reroutes the hammer into helping as soon as a request
+/// is published. A broken flag lets the hammer win the tail/head race
+/// forever, which here would hang the victim's join (liveness is the
+/// assertion; the model-check twin in crates/modelcheck/tests/fastpath.rs
+/// proves the step-bound form of the same property deterministically).
+#[test]
+fn published_request_completes_under_fastpath_hammer() {
+    const HAMMERS: usize = 6;
+    const VICTIM_PAIRS: u64 = 4_000;
+    // A 1-try budget makes the victim fall back to the slow path on the
+    // slightest interference while the hammer still runs fast-path ops.
+    let q: Arc<TurnQueue<u64>> = Arc::new(
+        TurnQueueBuilder::new()
+            .max_threads(HAMMERS + 1)
+            .fast_tries(1)
+            .build(),
+    );
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..HAMMERS {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let h = q.handle().expect("registry slot");
+                let mut i = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    h.enqueue((t as u64) << 40 | i);
+                    let _ = h.dequeue();
+                    i += 1;
+                }
+            });
+        }
+        let victim = {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let h = q.handle().expect("registry slot");
+                for i in 0..VICTIM_PAIRS {
+                    h.enqueue(u64::MAX - i);
+                    let _ = h.dequeue();
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        victim.join().expect("victim starved or panicked");
+    });
+    if turnq_repro::telemetry::ENABLED {
+        let snap = q.telemetry_snapshot();
+        assert!(
+            snap.get("fast_enq_hit") + snap.get("fast_deq_hit") > 0,
+            "hammer never took the fast path — the gate tested nothing"
+        );
+        println!(
+            "starvation gate: fast hits enq={} deq={}, slow fallbacks enq={} deq={}",
+            snap.get("fast_enq_hit"),
+            snap.get("fast_deq_hit"),
+            snap.get("fast_enq_fallback"),
+            snap.get("fast_deq_fallback"),
+        );
     }
 }
