@@ -1,0 +1,199 @@
+//! Segment-node ablation benchmark (DESIGN.md §6d): the Figure 2 pairs
+//! protocol on the Turn queue in segment mode (`seg_size =
+//! DEFAULT_SEG_SIZE`) versus per-item mode (`seg_size = 1`, the
+//! paper-literal queue), across a thread sweep.
+//!
+//! Like the fast path, segment geometry is a runtime knob on
+//! [`TurnQueueBuilder`], so a single build measures both modes and one
+//! invocation writes the whole artifact — schema `turnq-bench-segments/1`
+//! in docs/bench_format.md:
+//!
+//! ```text
+//! cargo run -q -p turnq-bench --release --bin bench_segments -- \
+//!     --out=results/BENCH_segments.json
+//! ```
+//!
+//! Extra flags beyond the common set: `--threads-list=1,2,4,8`,
+//! `--seg-size=K` (segmented mode's K, default [`DEFAULT_SEG_SIZE`]),
+//! `--ratio=P:C` (asymmetric producer:consumer protocol; thread counts
+//! below 2 are dropped from the axis), `--out=PATH` (default
+//! `BENCH_segments.json`, `-` prints to stdout).
+
+use std::fmt::Write as _;
+
+use turn_queue::{SegTurnQueue, TurnQueueBuilder, DEFAULT_SEG_SIZE};
+use turnq_bench::{banner, ratio, scale_from};
+use turnq_harness::stats::median;
+use turnq_harness::throughput::{pairs_once_on, ratio_once_on, split_ratio};
+use turnq_harness::{Args, Scale};
+
+/// Median ops/s plus the queue's accumulated segment telemetry (the queue
+/// instance is reused across runs so the counters aggregate).
+struct Cell {
+    ops_per_sec: u64,
+    seg_enq_cell_hit: u64,
+    seg_enq_append: u64,
+    seg_enq_retry: u64,
+    seg_deq_cell_hit: u64,
+    seg_deq_advance: u64,
+    seg_cell_poison: u64,
+}
+
+fn measure_cell(seg_size: usize, base: &Scale, threads: usize, pc: Option<(usize, usize)>) -> Cell {
+    let scale = Scale { threads, ..*base };
+    let queue: SegTurnQueue<u64> = TurnQueueBuilder::new()
+        .max_threads(threads)
+        .seg_size(seg_size)
+        .build_seg();
+    let mut per_run = Vec::with_capacity(scale.runs);
+    for _ in 0..scale.runs {
+        per_run.push(match pc {
+            Some((p, c)) => {
+                let (prod, cons) = split_ratio(threads, p, c);
+                ratio_once_on(&queue, &scale, prod, cons)
+            }
+            None => pairs_once_on(&queue, &scale),
+        });
+    }
+    // Drain what the pairs protocol left in flight before reading the
+    // counters (once, after all runs — see bench_fastpath on why not
+    // between runs).
+    while queue.dequeue().is_some() {}
+    let snap = queue.telemetry_snapshot();
+    let get = |name: &str| snap.get(name);
+    Cell {
+        ops_per_sec: median(&per_run),
+        seg_enq_cell_hit: get("seg_enq_cell_hit"),
+        seg_enq_append: get("seg_enq_append"),
+        seg_enq_retry: get("seg_enq_retry"),
+        seg_deq_cell_hit: get("seg_deq_cell_hit"),
+        seg_deq_advance: get("seg_deq_advance"),
+        seg_cell_poison: get("seg_cell_poison"),
+    }
+}
+
+fn mode_json(label: &str, seg_size: usize, cells: &[Cell]) -> String {
+    let col = |f: fn(&Cell) -> u64| {
+        cells.iter().map(|c| f(c).to_string()).collect::<Vec<_>>().join(", ")
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "    \"{label}\": {{");
+    let _ = writeln!(s, "      \"seg_size\": {seg_size},");
+    let _ = writeln!(s, "      \"ops_per_sec\": [{}],", col(|c| c.ops_per_sec));
+    let _ = writeln!(s, "      \"seg_enq_cell_hit\": [{}],", col(|c| c.seg_enq_cell_hit));
+    let _ = writeln!(s, "      \"seg_enq_append\": [{}],", col(|c| c.seg_enq_append));
+    let _ = writeln!(s, "      \"seg_enq_retry\": [{}],", col(|c| c.seg_enq_retry));
+    let _ = writeln!(s, "      \"seg_deq_cell_hit\": [{}],", col(|c| c.seg_deq_cell_hit));
+    let _ = writeln!(s, "      \"seg_deq_advance\": [{}],", col(|c| c.seg_deq_advance));
+    let _ = writeln!(s, "      \"seg_cell_poison\": [{}]", col(|c| c.seg_cell_poison));
+    let _ = write!(s, "    }}");
+    s
+}
+
+fn main() {
+    let args = Args::from_env();
+    let base = scale_from(&args);
+    let pc = args.get_ratio("ratio");
+    let seg_size = args.get_usize("seg-size").unwrap_or(DEFAULT_SEG_SIZE).max(2);
+    let mut threads: Vec<usize> = args
+        .get("threads-list")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads-list: bad thread count"))
+        .collect();
+    assert!(!threads.is_empty(), "--threads-list must name at least one count");
+    if pc.is_some() {
+        // A P:C split needs a thread on each side.
+        threads.retain(|&t| t >= 2);
+        assert!(!threads.is_empty(), "--ratio needs thread counts >= 2");
+    }
+
+    let protocol = match pc {
+        Some((p, c)) => format!("{p}:{c} producer:consumer throughput"),
+        None => "pairs throughput".to_string(),
+    };
+    banner(
+        &format!("Segment ablation: {protocol}, segmented (seg_size={seg_size}) vs per-item"),
+        &base,
+    );
+
+    let mut seg_cells = Vec::with_capacity(threads.len());
+    let mut item_cells = Vec::with_capacity(threads.len());
+    for &t in &threads {
+        eprintln!("segmented: turn-seg @ {t} threads ...");
+        seg_cells.push(measure_cell(seg_size, &base, t, pc));
+        eprintln!("per-item:  turn     @ {t} threads ...");
+        item_cells.push(measure_cell(1, &base, t, pc));
+    }
+
+    // Human-readable table.
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}{:>16}",
+        "threads", "seg ops/s", "item ops/s", "seg/item", "cell-hit share"
+    );
+    for (i, &t) in threads.iter().enumerate() {
+        let seg = &seg_cells[i];
+        let item = &item_cells[i];
+        let cell_ops = seg.seg_enq_cell_hit + seg.seg_deq_cell_hit;
+        let all_ops = cell_ops + seg.seg_enq_append + seg.seg_deq_advance;
+        let share = if all_ops == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * cell_ops as f64 / all_ops as f64)
+        };
+        println!(
+            "{t:<10}{:>14}{:>14}{:>10}{share:>16}",
+            seg.ops_per_sec,
+            item.ops_per_sec,
+            ratio(seg.ops_per_sec, item.ops_per_sec),
+        );
+    }
+    println!();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"turnq-bench-segments/1\",");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"{}\",",
+        if pc.is_some() { "ratio" } else { "pairs" }
+    );
+    if let Some((p, c)) = pc {
+        let _ = writeln!(json, "  \"ratio\": \"{p}:{c}\",");
+    }
+    let _ = writeln!(
+        json,
+        "  \"threads\": [{}],",
+        threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"scale\": {{\"pairs\": {}, \"runs\": {}, \"work_spins\": {}}},",
+        base.pairs, base.runs, base.work_spins
+    );
+    json.push_str("  \"modes\": {\n");
+    json.push_str(&mode_json("segmented", seg_size, &seg_cells));
+    json.push_str(",\n");
+    json.push_str(&mode_json("per_item", 1, &item_cells));
+    json.push_str("\n  },\n");
+    let speedups: Vec<String> = seg_cells
+        .iter()
+        .zip(&item_cells)
+        .map(|(seg, item)| {
+            if item.ops_per_sec == 0 {
+                "null".to_string()
+            } else {
+                format!("{:.3}", seg.ops_per_sec as f64 / item.ops_per_sec as f64)
+            }
+        })
+        .collect();
+    let _ = writeln!(json, "  \"speedup_seg_over_item\": [{}]", speedups.join(", "));
+    json.push_str("}\n");
+
+    let out = args.get("out").unwrap_or("BENCH_segments.json");
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json).expect("write segments artifact");
+        println!("wrote {out}");
+    }
+}

@@ -17,6 +17,10 @@
 //! * **One allocation per item** — the node is the only heap allocation;
 //!   enqueue/dequeue *requests* are represented by array slots and queue
 //!   nodes, never by separate request objects.
+//! * [`SegTurnQueue`] — the segment-node execution mode (`build_seg`):
+//!   nodes carry `seg_size` FAA-claimed item cells, paying CRTurn consensus
+//!   (and HP/pool traffic) only at segment boundaries; `seg_size = 1` is
+//!   the paper-literal per-item queue.
 //! * [`TurnMpscQueue`] / [`TurnSpmcQueue`] — the paper's observation that
 //!   the enqueue and dequeue halves are independently pluggable, realized
 //!   as single-consumer / single-producer variants.
@@ -62,12 +66,15 @@ mod crturn_mutex;
 mod node;
 mod pool;
 mod queue;
+mod seg;
 mod variants;
 
 pub use crturn_mutex::{CRTurnGuard, CRTurnMutex};
 pub use queue::{
     TurnFamily, TurnHandle, TurnQueue, TurnQueueBuilder, DEFAULT_FAST_TRIES, DEFAULT_MAX_THREADS,
+    DEFAULT_SEG_SIZE,
 };
+pub use seg::{SegHandle, SegTurnFamily, SegTurnQueue};
 // Re-exported so `TurnQueue::pool_stats` is usable without a separate
 // turnq-api dependency.
 pub use turnq_api::PoolStats;

@@ -93,6 +93,16 @@ fn bump(counter: &AtomicU64) {
 pub(crate) struct NodePool<T> {
     slots: Box<[CachePadded<PoolSlot<T>>]>,
     capacity: usize,
+    /// Keep the item payload alive across release/acquire instead of
+    /// dropping it on release. Off for per-item queues (a pooled node must
+    /// not prolong a `T` lifetime); on for the segment mode, where the
+    /// payload is the K-cell ring whose `Box<[SegCell]>` allocation is
+    /// exactly what recycling is meant to amortize — the segment layer
+    /// resets the retained cell array in place on reuse (DESIGN.md §6d).
+    /// Sound either way: release only runs on unreachable nodes, and in
+    /// retain mode every retained ring's cells are already item-free (all
+    /// TAKEN/POISONED before the segment is retired).
+    retain_payload: bool,
     /// Observer-only probes: hit/miss/refill ring events. The exact
     /// hit/miss *counters* stay on the slots above (single source of
     /// truth); the owning queue folds them into telemetry snapshots.
@@ -117,6 +127,7 @@ impl<T> NodePool<T> {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             capacity,
+            retain_payload: false,
             telemetry: TelemetryHandle::disconnected(),
         }
     }
@@ -125,6 +136,13 @@ impl<T> NodePool<T> {
     /// the pool is shared (the queue constructor attaches pre-`Arc`).
     pub(crate) fn attach_telemetry(&mut self, handle: TelemetryHandle) {
         self.telemetry = handle;
+    }
+
+    /// Switch the pool into segment mode: released nodes keep their payload
+    /// (see the `retain_payload` field docs). Must run before the pool is
+    /// shared (the queue constructor configures pre-`Arc`).
+    pub(crate) fn set_retain_payload(&mut self, retain: bool) {
+        self.retain_payload = retain;
     }
 
     /// Per-thread free-list capacity this pool was built with.
@@ -176,8 +194,12 @@ impl<T> NodePool<T> {
         // Drop any leftover payload now, not when the node is reused:
         // pooled nodes must not prolong `T` lifetimes. (On the queue's
         // paths the item was already taken by the assigned dequeuer.)
+        // In retain mode (segment rings) the payload is deliberately kept
+        // so its cell-array allocation can be reset in place on reuse.
         // SAFETY: sole ownership per the contract above.
-        unsafe { *(*ptr).item.get() = None };
+        if !self.retain_payload {
+            unsafe { *(*ptr).item.get() = None };
+        }
         let slot = &self.slots[tid];
         // SAFETY: `tid` exclusivity (caller contract).
         let free = unsafe { &mut *slot.free.get() };
@@ -215,7 +237,8 @@ impl<T> NodePool<T> {
 impl<T> Drop for NodePool<T> {
     fn drop(&mut self) {
         // Exclusive access: free every cached node. `release` already
-        // cleared item payloads, so these are plain node frees.
+        // cleared item payloads (or, in retain mode, the node still owns
+        // its ring payload and `Box::from_raw` drops it here).
         for slot in self.slots.iter() {
             // SAFETY: `&mut self` in Drop — exclusive access to every slot.
             let free = unsafe { &mut *slot.free.get() };
@@ -320,6 +343,38 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 1, "payload dropped on release");
         drop(pool);
         assert_eq!(drops.load(Ordering::SeqCst), 1, "node freed without double drop");
+    }
+
+    #[test]
+    fn retain_mode_keeps_payload_alive_until_reuse_or_drop() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc as StdArc;
+
+        struct D(StdArc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = StdArc::new(AtomicUsize::new(0));
+        let mut pool: NodePool<D> = NodePool::new(1, 4);
+        pool.set_retain_payload(true);
+        let p = Node::alloc(Some(D(StdArc::clone(&drops))), 0);
+        // SAFETY: test-owned fresh node; this thread is the only user of the tid.
+        unsafe { pool.release(0, p) };
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "retain mode must keep the payload for in-place reuse"
+        );
+        assert_eq!(unsafe { pool.acquire(0) }, Some(p));
+        // SAFETY: reacquired with sole ownership; the retained payload is
+        // still there for the caller to reuse.
+        assert!(unsafe { (*(*p).item.get()).is_some() });
+        // SAFETY: sole ownership — freed exactly once; drops the payload.
+        unsafe { drop(Box::from_raw(p)) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "payload dropped with the node");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::pool::{NodePool, PoolSink};
 /// Hazard slot for `tail` during enqueue and `head` during dequeue (the
 /// paper's `kHpTail`/`kHpHead` — one operation runs at a time per thread,
 /// so the slot is shared, as in the reference implementation).
-const HP_HEAD_TAIL: usize = 0;
+pub(crate) const HP_HEAD_TAIL: usize = 0;
 /// Hazard slot for `head->next` (`kHpNext`).
 const HP_NEXT: usize = 1;
 /// Hazard slot for `deqhelp[ldeqTid]` in `casDeqAndHead` (`kHpDeq`), held
@@ -45,6 +45,13 @@ pub const DEFAULT_MAX_THREADS: usize = 32;
 /// attempt scans the consensus array for pending requests, so a large
 /// budget only adds bounded-but-wasted work under contention.
 pub const DEFAULT_FAST_TRIES: u32 = 4;
+
+/// Default segment size (items per linked node) for
+/// [`TurnQueueBuilder::build_seg`] when the `segments` feature is on: 16
+/// cells amortize the consensus/HP/pool traffic ×16 while keeping a
+/// segment within a few cache lines. With the feature off the default
+/// collapses to 1, the paper-literal one-item-per-node configuration.
+pub const DEFAULT_SEG_SIZE: usize = if cfg!(feature = "segments") { 16 } else { 1 };
 
 /// A memory-unbounded multi-producer/multi-consumer wait-free queue.
 ///
@@ -149,6 +156,11 @@ pub struct TurnQueueBuilder {
     pool_capacity: Option<usize>,
     fast_tries: Option<u32>,
     panic_check: bool,
+    pub(crate) seg_size: Option<usize>,
+    pub(crate) seg_drained_guard: bool,
+    /// Set by [`build_seg`](Self::build_seg)'s path only: the inner queue's
+    /// node pool keeps ring payloads across recycling (see `pool.rs`).
+    pub(crate) pool_retain_payload: bool,
 }
 
 impl Default for TurnQueueBuilder {
@@ -160,6 +172,9 @@ impl Default for TurnQueueBuilder {
             pool_capacity: None,
             fast_tries: None,
             panic_check: true,
+            seg_size: None,
+            seg_drained_guard: true,
+            pool_retain_payload: false,
         }
     }
 }
@@ -227,6 +242,39 @@ impl TurnQueueBuilder {
         self
     }
 
+    /// Segment size K for [`build_seg`](Self::build_seg) (DESIGN.md §6d):
+    /// items per linked node. Producers and consumers claim cells inside a
+    /// segment with one FAA each and pay CRTurn consensus only at segment
+    /// boundaries, amortizing consensus, HP publication, and pool traffic
+    /// ×K. Must be a power of two ≥ 1; `seg_size = 1` degenerates to the
+    /// paper-literal one-item-per-node queue (the ablation baseline).
+    /// Unset, defaults to [`DEFAULT_SEG_SIZE`].
+    ///
+    /// Ignored by [`build`](Self::build), which always constructs the
+    /// per-item queue.
+    pub fn seg_size(mut self, k: usize) -> Self {
+        assert!(k >= 1, "seg_size must be at least 1 (got 0)");
+        assert!(
+            k.is_power_of_two(),
+            "seg_size must be a power of two (got {k})"
+        );
+        self.seg_size = Some(k);
+        self
+    }
+
+    /// Test-only: disable the drained-segment guard — the rule that a
+    /// consumer may swing `head` past a segment only after its own FAA
+    /// ticket proves all K cells are covered by unique consumers. Without
+    /// it the head advances as soon as a successor exists, abandoning
+    /// undelivered cells. Exists so the modelcheck mutant suite can
+    /// demonstrate the loss the guard prevents. Never disable it in
+    /// production.
+    #[doc(hidden)]
+    pub fn seg_drained_guard_for_tests(mut self, enabled: bool) -> Self {
+        self.seg_drained_guard = enabled;
+        self
+    }
+
     /// Build the queue.
     pub fn build<T>(self) -> TurnQueue<T> {
         let TurnQueueBuilder {
@@ -236,6 +284,9 @@ impl TurnQueueBuilder {
             pool_capacity,
             fast_tries,
             panic_check,
+            seg_size: _,
+            seg_drained_guard: _,
+            pool_retain_payload,
         } = self;
         assert!(max_threads >= 1, "max_threads must be at least 1");
         assert!(
@@ -284,6 +335,7 @@ impl TurnQueueBuilder {
         let telemetry = Arc::new(TelemetrySheet::new(max_threads));
         let mut pool = NodePool::new(max_threads, pool_capacity);
         pool.attach_telemetry(TelemetryHandle::connected(&telemetry));
+        pool.set_retain_payload(pool_retain_payload);
         let pool = Arc::new(pool);
         let mut hp = HazardPointers::with_sink(
             max_threads,
@@ -307,6 +359,15 @@ impl TurnQueueBuilder {
             fast_tries,
             panic_check,
         }
+    }
+
+    /// Build the segment-node queue (DESIGN.md §6d): linked nodes carry
+    /// [`seg_size`](Self::seg_size) item cells claimed by FAA, with CRTurn
+    /// consensus paid only at segment boundaries. `seg_size = 1` (the
+    /// default with the `segments` feature off) returns the per-item queue
+    /// behind the same interface — the paper-literal ablation.
+    pub fn build_seg<T: Send>(self) -> crate::seg::SegTurnQueue<T> {
+        crate::seg::SegTurnQueue::from_builder(self)
     }
 }
 
@@ -501,7 +562,7 @@ impl<T> TurnQueue<T> {
     /// at which this thread *observed* its request complete — by Inv. 5
     /// always at most `max_threads - 1`, the paper's overtaking bound.
     #[inline]
-    fn record_enqueue(&self, myidx: usize, depth: usize) {
+    pub(crate) fn record_enqueue(&self, myidx: usize, depth: usize) {
         self.telemetry.bump(myidx, CounterId::EnqOps);
         self.telemetry.record_depth(myidx, depth);
         self.telemetry.event(myidx, EventKind::OpFinish, depth as u64);
@@ -537,7 +598,7 @@ impl<T> TurnQueue<T> {
     /// * **Turn inheritance** — the appended node copies the predecessor
     ///   tail's `enq_tid`, so the CRTurn enqueue turn is unchanged by fast
     ///   appends and a published request keeps its place in the rotation.
-    fn try_fast_enqueue(&self, myidx: usize, my_node: *mut Node<T>) -> bool {
+    pub(crate) fn try_fast_enqueue(&self, myidx: usize, my_node: *mut Node<T>) -> bool {
         for _attempt in 0..self.fast_tries {
             // ORDERING: ACQUIRE — candidate for protection only; the
             // SeqCst validation below carries the handshake.
@@ -633,7 +694,7 @@ impl<T> TurnQueue<T> {
 
     /// Paper Algorithm 2 (the slow path): publish the pre-allocated node as
     /// a request, then help until the request is *verifiably* complete.
-    fn slow_enqueue(&self, myidx: usize, my_node: *mut Node<T>) {
+    pub(crate) fn slow_enqueue(&self, myidx: usize, my_node: *mut Node<T>) {
         // Our own request slot, hoisted: the publish, the backoff spin, and
         // every helping-loop iteration re-check it, and the bounds check +
         // CachePadded indirection need not repeat.
@@ -814,7 +875,7 @@ impl<T> TurnQueue<T> {
 
     /// Dequeue counterpart of [`record_enqueue`](Self::record_enqueue).
     #[inline]
-    fn record_dequeue(&self, myidx: usize, depth: usize) {
+    pub(crate) fn record_dequeue(&self, myidx: usize, depth: usize) {
         self.telemetry.bump(myidx, CounterId::DeqOps);
         self.telemetry.record_depth(myidx, depth);
         self.telemetry.event(myidx, EventKind::OpFinish, depth as u64);
@@ -1199,7 +1260,7 @@ impl<T> TurnQueue<T> {
     /// node consumed by the fast path is in no rotation, so the moment the
     /// head passes it, the advance winner is the only thread that can still
     /// name it safely.
-    fn advance_head(&self, lhead: *mut Node<T>, lnext: *mut Node<T>, myidx: usize) {
+    pub(crate) fn advance_head(&self, lhead: *mut Node<T>, lnext: *mut Node<T>, myidx: usize) {
         // ORDERING: SEQ_CST — head advance (Inv. 8): ordered after the
         // closing store/CAS of the consumption in the total order, so a
         // slow owner can always reach its assigned node through deqhelp.
@@ -1802,6 +1863,15 @@ mod tests {
         let src_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
         for entry in std::fs::read_dir(src_dir).unwrap() {
             let path = entry.unwrap().path();
+            // seg.rs is exempt by design: the segment mode (DESIGN.md §6d)
+            // exists precisely to add FAA cell claiming on top of the
+            // CAS-only core. The Table 1 claim is preserved by the paper-
+            // literal configuration (`seg_size = 1` / `build()`), which
+            // never executes seg.rs's FAA paths — everything this test
+            // scans is still CAS-only.
+            if path.file_name().is_some_and(|n| n == "seg.rs") {
+                continue;
+            }
             if path.extension().is_some_and(|e| e == "rs") {
                 let text = std::fs::read_to_string(&path).unwrap();
                 // Only the non-test portion of each module carries the

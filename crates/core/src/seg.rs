@@ -1,0 +1,938 @@
+//! Segment-node execution mode (DESIGN.md §6d): linked nodes carry K item
+//! cells claimed by FAA, so CRTurn consensus, hazard-pointer publication,
+//! and node-pool traffic are paid once per K items instead of once per item.
+//!
+//! The layering reuses the Turn queue wholesale: a [`SegTurnQueue`] is a
+//! `TurnQueue<SegRing<T>>` whose *list protocol* (append consensus, fast
+//! path, head advance, HP reclamation, pooling) is untouched — only the
+//! *payload protocol* changes. Every list node carries a [`SegRing`]: a
+//! `cells` array plus two FAA tickets counters. Producers claim a cell with
+//! one `fetch_add` on the tail ring's `enq_idx`; consumers with one
+//! `fetch_add` on the head ring's `deq_idx`. The consensus machinery runs
+//! only at segment boundaries:
+//!
+//! * a producer whose ticket lands past the boundary appends a fresh ring
+//!   (seeded with its item) through PR 5's fast path or the paper's
+//!   Algorithm 2 slow path, after a bounded number of claim retries;
+//! * a consumer whose ticket lands past the boundary swings `head` past the
+//!   exhausted ring through [`TurnQueue::advance_head`] — the same CAS +
+//!   retire discipline as the per-item fast path.
+//!
+//! **No seal/close bit is needed**: a consumer advances the head only after
+//! drawing ticket `d >= K`, which proves all K cells are covered by unique
+//! consumer tickets (the FAA hands each index out once); and a producer
+//! stalled before its FAA on a passed ring can only draw a ticket `>= K`
+//! (`enq_idx` is monotone), which diverts it to the append path.
+//!
+//! **HP caching**: cell-path operations leave the hazard slot published
+//! when they return. The next operation compares a fresh `SeqCst` load of
+//! the source (`tail`/`head`) against the still-published slot
+//! ([`HazardPointers::protected`](turnq_hazard::HazardPointers::protected));
+//! on a match the protect/validate handshake is skipped — continuous
+//! coverage means the node was never reclaimed, so no ABA is possible and
+//! the original validation verdict stands. Inside a segment this reduces
+//! HP traffic to *zero* stores per operation (the protect store and clear
+//! store both disappear); the slot is re-validated or reset only at
+//! boundaries, which is what makes the "HP publication amortized over K"
+//! claim literal. The price is bounded: at most one node per thread has
+//! its reclamation deferred while a slot idles — the same bound as a
+//! thread stalled mid-operation under classic HP.
+//!
+//! Progress (the honest version, argued in §6d): enqueue stays wait-free
+//! bounded — at most [`SEG_CLAIM_TRIES`] FAA attempts, then the
+//! `O(max_threads)` consensus append. Dequeue is interference-bounded: a
+//! retry implies another consumer took an item, poisoned a cell, or
+//! advanced the head, so it is lock-free in the strict sense and bounded by
+//! `K + max_threads` steps between boundary crossings in any finite
+//! execution. `seg_size = 1` (the [`SegImpl::PerItem`] degeneration)
+//! restores the paper-literal wait-free bound exactly.
+
+use std::marker::PhantomData;
+
+use crossbeam_utils::CachePadded;
+use turnq_api::{
+    ConcurrentQueue, PoolStats, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport,
+};
+use turnq_sync::atomic::AtomicU64;
+use turnq_sync::ord;
+use turnq_telemetry::{CounterId, EventKind, TelemetrySheet, TelemetrySnapshot};
+use turnq_threadreg::RegistryFull;
+
+use crate::node::{
+    encode_fast, Node, SegCell, CELL_EMPTY, CELL_FULL, CELL_POISONED, CELL_TAKEN, IDX_NONE,
+};
+use crate::queue::{TurnQueue, TurnQueueBuilder, DEFAULT_SEG_SIZE, HP_HEAD_TAIL};
+
+/// Bounded FAA claim budget per enqueue before the consensus append
+/// (mirrors `fast_tries`): each attempt is a constant number of steps, so
+/// the budget preserves the wait-free bound while absorbing poison races
+/// and tail movement. Small on purpose — past a couple of retries the
+/// segment is contended enough that appending is the productive move.
+const SEG_CLAIM_TRIES: u32 = 8;
+
+/// The K-cell payload of one segment-mode list node.
+///
+/// `enq_idx`/`deq_idx` are monotone FAA ticket dispensers; `cells[i]` is
+/// owned by the unique holder of enqueue ticket `i` (writer) and the unique
+/// holder of dequeue ticket `i` (reader). The counters sit on their own
+/// cache lines: producers hammer `enq_idx` while consumers hammer
+/// `deq_idx`, and neither should invalidate the other's line.
+/// `repr(C)` with `cells` first: the model checker's race detector tracks
+/// one address per `UnsafeCell`, so the node payload `Option<SegRing<T>>`
+/// is recorded at its base address — which (via the `Box` niche) must not
+/// coincide with an atomically-accessed field, or every `ring_of` payload
+/// read would alias the `enq_idx` FAAs. A `Box` pointer at offset 0 is
+/// never touched atomically, keeping the detector's view exact.
+#[repr(C)]
+pub(crate) struct SegRing<T> {
+    cells: Box<[SegCell<T>]>,
+    enq_idx: CachePadded<AtomicU64>,
+    deq_idx: CachePadded<AtomicU64>,
+}
+
+impl<T> SegRing<T> {
+    /// An empty ring of `k` cells (the initial sentinel's payload).
+    fn fresh(k: usize) -> Self {
+        SegRing {
+            cells: (0..k).map(|_| SegCell::new()).collect(),
+            enq_idx: CachePadded::new(AtomicU64::new(0)),
+            deq_idx: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A ring carrying `item` in cell 0 with enqueue ticket 0 already
+    /// consumed — the payload of a freshly appended segment. Plain
+    /// (non-atomic) initialization: the ring is unreachable until the
+    /// append's linking CAS (release) publishes it.
+    fn seeded(k: usize, item: T) -> Self {
+        let mut ring = Self::fresh(k);
+        ring.reset_seeded(item);
+        ring
+    }
+
+    /// Re-initialize an exclusively-owned ring to the exact state
+    /// [`seeded`](Self::seeded) produces, reusing the cells allocation.
+    /// `&mut self` proves exclusivity, so plain stores are race-free; the
+    /// appending thread's linking CAS (release) publishes them.
+    fn reset_seeded(&mut self, item: T) {
+        *self.enq_idx.get_mut() = 1;
+        *self.deq_idx.get_mut() = 0;
+        for cell in self.cells.iter_mut() {
+            *cell.state.get_mut() = CELL_EMPTY;
+            *cell.item.get_mut() = None;
+        }
+        *self.cells[0].state.get_mut() = CELL_FULL;
+        *self.cells[0].item.get_mut() = Some(item);
+    }
+}
+
+/// The ring carried by a segment-mode list node.
+///
+/// # Safety
+///
+/// `node` must be alive and reachable by the caller — HP-protected and
+/// validated, or exclusively owned. In segment mode every list node
+/// carries `Some(ring)` from construction to drop (`take_item` is never
+/// called on the inner queue), so the payload read cannot race a writer.
+unsafe fn ring_of<'a, T>(node: *mut Node<SegRing<T>>) -> &'a SegRing<T> {
+    // SAFETY: liveness per the contract above; the payload is written only
+    // before the node is published (seed/reset) and after it is reclaimed
+    // (pool reuse), never while a hazard pointer covers it — which is the
+    // declared-shared-read contract `shared_read_ptr` asserts to the model
+    // checker (any unordered writer is still flagged as a race).
+    unsafe { (*turnq_sync::cell::shared_read_ptr(&(*node).item)).as_ref() }
+        .expect("seg-mode list node always carries a ring")
+}
+
+/// The segmented engine: the inner Turn queue over ring payloads plus the
+/// segment geometry.
+struct SegCore<T> {
+    inner: TurnQueue<SegRing<T>>,
+    seg_size: usize,
+    /// The drained-segment guard (always `true` in production): a consumer
+    /// may advance `head` only once its own FAA ticket proves all K cells
+    /// are covered. Disabled only through the hidden
+    /// [`TurnQueueBuilder::seg_drained_guard_for_tests`] knob so the
+    /// modelcheck mutant can demonstrate the item loss the guard prevents.
+    drained_guard: bool,
+}
+
+impl<T> SegCore<T> {
+    /// Pop a recycled node (reusing its retained ring allocation when the
+    /// geometry matches) or allocate a fresh one; either way the node
+    /// carries a ring seeded with `item` and our thread id.
+    fn alloc_seg_node(&self, myidx: usize, item: T) -> *mut Node<SegRing<T>> {
+        // SAFETY: `myidx` is the caller's registered index (the pool's
+        // exclusivity contract, same as `TurnQueue::alloc_node`).
+        match unsafe { self.inner.pool.acquire(myidx) } {
+            Some(recycled) => {
+                // SAFETY: the node came off our own free list — no hazard
+                // pointer covers it, we own it exclusively.
+                let node = unsafe { &mut *recycled };
+                // The pool runs in retain mode (see `set_retain_payload`),
+                // so the node usually still carries its previous ring:
+                // reset it in place and save both heap allocations.
+                let ring = match node.item.get_mut().take() {
+                    Some(mut ring) if ring.cells.len() == self.seg_size => {
+                        ring.reset_seeded(item);
+                        ring
+                    }
+                    _ => SegRing::seeded(self.seg_size, item),
+                };
+                // SAFETY: exclusive ownership as above; the previous
+                // payload was just taken out.
+                unsafe { Node::reset(recycled, Some(ring), myidx as u32) };
+                recycled
+            }
+            None => Node::alloc(Some(SegRing::seeded(self.seg_size, item)), myidx as u32),
+        }
+    }
+
+    /// Segment-mode enqueue: bounded FAA cell claims on the tail ring, then
+    /// the consensus append. Wait-free bounded: at most [`SEG_CLAIM_TRIES`]
+    /// constant-step attempts plus one `O(max_threads)` append.
+    fn enqueue_with(&self, myidx: usize, item: T) {
+        debug_assert!(myidx < self.inner.max_threads());
+        let tel: &TelemetrySheet = &self.inner.telemetry;
+        tel.event(myidx, EventKind::OpStart, 0);
+        let k = self.seg_size as u64;
+        // The item travels through the loop in an Option so a poisoned cell
+        // can hand it back for the next attempt.
+        let mut holder = Some(item);
+        let mut tries = 0u32;
+        while tries < SEG_CLAIM_TRIES {
+            tries += 1;
+            // ORDERING: SEQ_CST — the claim's source read; on the cached
+            // path it is the only handshake load (see below), and it
+            // orders the ticket FAA after this point in the total order.
+            let ltail = self.inner.tail.load(ord::SEQ_CST);
+            // HP caching (§6d): skip protect/validate when our slot —
+            // continuously published since seg code last validated it —
+            // already covers the current tail. Coverage means no retire
+            // scan could reclaim the node in the interim, so the match
+            // proves it is the same live node (no ABA) and the original
+            // validation verdict still stands. Seg code resets the slot
+            // after every inner consensus call (which may return with an
+            // unvalidated pointer published), so a non-null slot value
+            // always traces back to a validated, never-overwritten
+            // protect.
+            if ltail != self.inner.hp.protected(myidx, HP_HEAD_TAIL) {
+                self.inner.hp.protect_ptr(myidx, HP_HEAD_TAIL, ltail);
+                // ORDERING: SEQ_CST — protect/validate handshake
+                // (Algorithm 5, same pattern as the per-item fast path).
+                if ltail != self.inner.tail.load(ord::SEQ_CST) {
+                    tel.bump(myidx, CounterId::SegEnqRetry);
+                    continue;
+                }
+            }
+            // SAFETY: ltail is protected and validated; HP keeps it (and
+            // its ring) alive through the whole claim, including the
+            // poisoned-cell item take-back below.
+            let ring = unsafe { ring_of(ltail) };
+            // ORDERING: SEQ_CST — the ticket dispenser. The FAA must sit in
+            // the same total order as the consumers' `enq_idx` loads in the
+            // empty check and their `deq_idx` FAAs, so "ticket < K" and the
+            // emptiness verdicts agree across threads (the faa_array
+            // baseline uses the same ordering for the same reason).
+            let e = ring.enq_idx.fetch_add(1, ord::SEQ_CST);
+            if e >= k {
+                // Exhausted ring. Ticket exactly K makes us the *designated
+                // appender* — the first producer past the boundary, so
+                // appending immediately is the productive move. Later
+                // tickets retry: the tail has likely moved to a fresh ring.
+                if e == k {
+                    break;
+                }
+                tel.bump(myidx, CounterId::SegEnqRetry);
+                continue;
+            }
+            let cell = &ring.cells[e as usize];
+            // SAFETY: we hold enqueue ticket `e`, the unique writer of
+            // `cells[e]`; the consumer side never touches `item` unless it
+            // observes FULL (published by the CAS below).
+            unsafe { *cell.item.get() = holder.take() };
+            // ORDERING: RELEASE / ACQUIRE — the rendezvous publish: release
+            // makes the item write above visible to the consumer's acquire
+            // read of FULL; on failure (consumer poisoned first) acquire
+            // orders our item take-back after its CAS, though only our own
+            // write is read back.
+            match cell
+                .state
+                .compare_exchange(CELL_EMPTY, CELL_FULL, ord::RELEASE, ord::ACQUIRE)
+            {
+                Ok(_) => {
+                    // HP stays published (caching): the slot keeps
+                    // covering ltail so the next op can skip the
+                    // handshake. Cost: reclamation of at most one node
+                    // per thread is deferred until the slot moves on —
+                    // the same bound as a thread stalled mid-operation.
+                    tel.bump(myidx, CounterId::SegEnqCellHit);
+                    self.inner.record_enqueue(myidx, 0);
+                    return;
+                }
+                Err(state) => {
+                    // Only the dequeue-ticket holder can move the cell out
+                    // of EMPTY besides us, and only to POISONED.
+                    debug_assert_eq!(state, CELL_POISONED);
+                    // SAFETY: a poisoned cell's consumer never reads
+                    // `item`; we are still the unique ticket holder, and
+                    // HP still covers the ring.
+                    holder = unsafe { (*cell.item.get()).take() };
+                    debug_assert!(holder.is_some(), "poisoned cell must return the item");
+                    tel.bump(myidx, CounterId::SegEnqRetry);
+                }
+            }
+        }
+        // Boundary: append a fresh ring seeded with the item through the
+        // same consensus machinery as a per-item enqueue (fast path first,
+        // then Algorithm 2). Those paths manage HP themselves and record
+        // the completed enqueue.
+        let item = holder.take().expect("claim loop always returns the item");
+        let node = self.alloc_seg_node(myidx, item);
+        if !(self.inner.fast_tries() > 0 && self.inner.try_fast_enqueue(myidx, node)) {
+            self.inner.slow_enqueue(myidx, node);
+        }
+        // Reset the HP cache: the consensus paths protect and clear on
+        // their own schedule and can return with an *unvalidated* pointer
+        // still published (e.g. the slow path's backoff-helped return), so
+        // the next op must not treat the slot as a validated cache. One
+        // release store per K items — amortized away.
+        self.inner.hp.clear_one(myidx, HP_HEAD_TAIL);
+        tel.bump(myidx, CounterId::SegEnqAppend);
+    }
+
+    /// Segment-mode dequeue: FAA ticket on the head ring, cell rendezvous,
+    /// boundary advance past exhausted rings. Interference-bounded (§6d):
+    /// every retry implies another thread's completed step.
+    fn dequeue_with(&self, myidx: usize) -> Option<T> {
+        debug_assert!(myidx < self.inner.max_threads());
+        let tel: &TelemetrySheet = &self.inner.telemetry;
+        tel.event(myidx, EventKind::OpStart, 1);
+        let k = self.seg_size as u64;
+        loop {
+            // ORDERING: SEQ_CST — source read; on the cached path it is
+            // the only handshake load (HP caching, argued at the enqueue
+            // counterpart).
+            let lhead = self.inner.head.load(ord::SEQ_CST);
+            if lhead != self.inner.hp.protected(myidx, HP_HEAD_TAIL) {
+                self.inner.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
+                // ORDERING: SEQ_CST — protect/validate handshake
+                // (Algorithm 5).
+                if lhead != self.inner.head.load(ord::SEQ_CST) {
+                    continue;
+                }
+            }
+            // SAFETY: lhead is protected and validated (now or on the
+            // cached-slot round that published it); HP keeps it (and its
+            // ring) alive through the rendezvous below.
+            let lhead_ref = unsafe { &*lhead };
+            // SAFETY: same protection as above.
+            let ring = unsafe { ring_of(lhead) };
+            if !self.drained_guard {
+                // Mutant (test-only, guard disabled): advance as soon as a
+                // successor exists, abandoning undelivered cells — the loss
+                // the modelcheck boundary mutant catches.
+                // ORDERING: SEQ_CST — mirrors the guarded advance below.
+                let lnext = lhead_ref.next.load(ord::SEQ_CST);
+                if !lnext.is_null() {
+                    lhead_ref.cas_deq_tid(IDX_NONE, encode_fast(0));
+                    self.inner.advance_head(lhead, lnext, myidx);
+                    tel.bump(myidx, CounterId::SegDeqAdvance);
+                    continue;
+                }
+            }
+            // Linearizable empty check, the segment analogue of the
+            // per-item `next == null` check (Inv. 11): every filled cell is
+            // covered by a dequeue ticket AND no successor segment exists.
+            // ORDERING: SEQ_CST ×3 — the verdict is conclusive only if the
+            // three loads sit in the single total order with the producers'
+            // `enq_idx` FAA, rendezvous publish, and append link; the
+            // faa_array baseline's triple check carries the same argument.
+            if ring.deq_idx.load(ord::SEQ_CST) >= ring.enq_idx.load(ord::SEQ_CST).min(k)
+                && lhead_ref.next.load(ord::SEQ_CST).is_null()
+            {
+                // HP stays published (caching) — lhead is still the head,
+                // so the slot is a valid cache for the next op.
+                tel.bump(myidx, CounterId::DeqEmpty);
+                tel.event(myidx, EventKind::OpFinish, 0);
+                return None;
+            }
+            // ORDERING: SEQ_CST — ticket dispenser, same total-order
+            // reasoning as the enqueue-side FAA.
+            let d = ring.deq_idx.fetch_add(1, ord::SEQ_CST);
+            if d >= k {
+                // Boundary: all K cells are covered by unique consumer
+                // tickets (the FAA hands each of 0..K out exactly once), so
+                // the ring is fully claimed and the head may pass it.
+                // ORDERING: SEQ_CST — conclusive successor check, ordered
+                // after our FAA (StoreLoad) like the empty check above.
+                let lnext = lhead_ref.next.load(ord::SEQ_CST);
+                if lnext.is_null() {
+                    // HP stays published (caching), as in the verdict above.
+                    tel.bump(myidx, CounterId::DeqEmpty);
+                    tel.event(myidx, EventKind::OpFinish, 0);
+                    return None;
+                }
+                // Mark the outgoing head as fast-claimed so the advance
+                // winner retires it (`advance_head`'s fast-claim duty): in
+                // segment mode no node ever enters a deqself/deqhelp
+                // rotation, so the winner is the only safe retirer. Losing
+                // this CAS is fine — some consumer won it, which is all
+                // `advance_head` needs.
+                lhead_ref.cas_deq_tid(IDX_NONE, encode_fast(0));
+                self.inner.advance_head(lhead, lnext, myidx);
+                tel.bump(myidx, CounterId::SegDeqAdvance);
+                continue;
+            }
+            let cell = &ring.cells[d as usize];
+            // ORDERING: ACQUIRE — rendezvous read: pairs with the
+            // producer's release CAS to FULL, making its item write
+            // visible before the take below.
+            if cell.state.load(ord::ACQUIRE) == CELL_FULL {
+                return Some(self.take_cell(myidx, cell, tel));
+            }
+            // ORDERING: ACQ_REL / ACQUIRE — poison CAS. Success: the
+            // producer must observe POISONED (its CAS to FULL fails) and
+            // reclaim its item; release orders our ticket burn before that.
+            // Failure: the cell went FULL (only the enqueue-ticket holder
+            // can do that), and acquire pairs with its release so the item
+            // is visible.
+            match cell
+                .state
+                .compare_exchange(CELL_EMPTY, CELL_POISONED, ord::ACQ_REL, ord::ACQUIRE)
+            {
+                Ok(_) => {
+                    // Burnt ticket: the producer retries elsewhere with its
+                    // item; we draw the next ticket. Bounded interference —
+                    // at most K poisons per ring, then the boundary.
+                    tel.bump(myidx, CounterId::SegCellPoison);
+                }
+                Err(state) => {
+                    debug_assert_eq!(state, CELL_FULL);
+                    return Some(self.take_cell(myidx, cell, tel));
+                }
+            }
+        }
+    }
+
+    /// Take the item out of a FULL cell we hold the dequeue ticket for.
+    fn take_cell(&self, myidx: usize, cell: &SegCell<T>, tel: &TelemetrySheet) -> T {
+        // SAFETY: we hold the cell's unique dequeue ticket and observed
+        // FULL through an acquire edge: the producer's item write is
+        // visible, it will never touch the cell again, and the ring is
+        // still HP-protected (the slot stays published as a cache).
+        let item = unsafe { (*cell.item.get()).take() };
+        // ORDERING: RELAXED — terminal marker: no protocol decision ever
+        // reads TAKEN (ring reset happens under exclusive ownership); it
+        // exists for debug assertions and post-mortem inspection.
+        cell.state.store(CELL_TAKEN, ord::RELAXED);
+        // HP stays published (caching) — see `enqueue_with`'s cell hit.
+        tel.bump(myidx, CounterId::SegDeqCellHit);
+        self.inner.record_dequeue(myidx, 0);
+        item.expect("FULL cell must carry an item")
+    }
+
+    /// Racy-in-result but memory-safe emptiness probe: the segment version
+    /// of `TurnQueue::is_empty` must dereference the head ring, so unlike
+    /// the per-item hint it takes full HP protection.
+    fn is_empty_probe(&self, myidx: usize) -> bool {
+        let k = self.seg_size as u64;
+        loop {
+            // ORDERING: SEQ_CST — source read; cached-path handshake as in
+            // `dequeue_with`.
+            let lhead = self.inner.head.load(ord::SEQ_CST);
+            if lhead != self.inner.hp.protected(myidx, HP_HEAD_TAIL) {
+                self.inner.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
+                // ORDERING: SEQ_CST — protect/validate handshake.
+                if lhead != self.inner.head.load(ord::SEQ_CST) {
+                    continue;
+                }
+            }
+            // SAFETY: lhead protected and validated (possibly cached).
+            let ring = unsafe { ring_of(lhead) };
+            // ORDERING: SEQ_CST ×3 — same triple check as `dequeue_with`'s
+            // empty verdict (it is that check, without the FAA).
+            let empty = ring.deq_idx.load(ord::SEQ_CST) >= ring.enq_idx.load(ord::SEQ_CST).min(k)
+                // SAFETY: lhead protected and validated above.
+                && unsafe { &*lhead }.next.load(ord::SEQ_CST).is_null();
+            // HP stays published (caching).
+            return empty;
+        }
+    }
+}
+
+/// A Turn queue running in segment-node mode (DESIGN.md §6d): consensus,
+/// HP publication, and pool traffic amortized over `seg_size`-item
+/// segments, FAA cell claims inside each segment.
+///
+/// Built by [`TurnQueueBuilder::build_seg`]; `seg_size = 1` transparently
+/// degenerates to the per-item [`TurnQueue`] (the paper-literal ablation),
+/// including its strict wait-free dequeue bound and 24-byte nodes.
+///
+/// ```
+/// use turn_queue::{SegTurnQueue, TurnQueueBuilder};
+///
+/// let q: SegTurnQueue<u64> = TurnQueueBuilder::new().max_threads(4).seg_size(8).build_seg();
+/// q.enqueue(1);
+/// q.enqueue(2);
+/// assert_eq!(q.dequeue(), Some(1));
+/// assert_eq!(q.dequeue(), Some(2));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+pub struct SegTurnQueue<T> {
+    imp: SegImpl<T>,
+}
+
+enum SegImpl<T> {
+    /// `seg_size == 1`: the per-item Turn queue, verbatim.
+    PerItem(TurnQueue<T>),
+    /// `seg_size >= 2`: the segmented engine.
+    Seg(SegCore<T>),
+}
+
+impl<T: Send> SegTurnQueue<T> {
+    pub(crate) fn from_builder(builder: TurnQueueBuilder) -> Self {
+        let k = builder.seg_size.unwrap_or(DEFAULT_SEG_SIZE);
+        // The setter validates; this re-checks the defaults path.
+        debug_assert!(k >= 1 && k.is_power_of_two());
+        if k == 1 {
+            // Paper-literal degeneration: no ring indirection at all.
+            return SegTurnQueue {
+                imp: SegImpl::PerItem(builder.build()),
+            };
+        }
+        let drained_guard = builder.seg_drained_guard;
+        let mut builder = builder;
+        // Retired segments keep their ring allocation through the pool so
+        // a steady-state append reuses both the node and the cells array.
+        builder.pool_retain_payload = true;
+        let inner: TurnQueue<SegRing<T>> = builder.build();
+        // Seed the sentinel with an empty ring: in segment mode the head
+        // node's payload is *live* (it is the active dequeue segment, not a
+        // consumed dummy), so every list node must carry Some(ring).
+        // ORDERING: RELAXED — single-threaded constructor; whatever shares
+        // the queue afterwards (Arc, scoped spawn) provides the
+        // release/acquire publication edge (same as the builder's dummies).
+        let sentinel = inner.head.load(ord::RELAXED);
+        // SAFETY: the constructor owns the queue exclusively — no other
+        // thread can reach the sentinel yet.
+        unsafe { *(*sentinel).item.get() = Some(SegRing::fresh(k)) };
+        SegTurnQueue {
+            imp: SegImpl::Seg(SegCore {
+                inner,
+                seg_size: k,
+                drained_guard,
+            }),
+        }
+    }
+
+    /// The builder carrying every knob ([`TurnQueueBuilder`]); finish with
+    /// [`build_seg`](TurnQueueBuilder::build_seg).
+    pub fn builder() -> TurnQueueBuilder {
+        TurnQueueBuilder::new()
+    }
+
+    /// Insert `item` at the tail. Wait-free bounded: at most
+    /// [`SEG_CLAIM_TRIES`] FAA cell claims, then one `O(max_threads)`
+    /// consensus append.
+    #[inline]
+    pub fn enqueue(&self, item: T) {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.enqueue(item),
+            SegImpl::Seg(core) => {
+                let tid = core.inner.registry.current_index();
+                core.enqueue_with(tid, item);
+            }
+        }
+    }
+
+    /// Remove and return the head item, or `None` if the queue is empty.
+    #[inline]
+    pub fn dequeue(&self) -> Option<T> {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.dequeue(),
+            SegImpl::Seg(core) => {
+                let tid = core.inner.registry.current_index();
+                core.dequeue_with(tid)
+            }
+        }
+    }
+
+    /// A handle caching the calling thread's registry index (cannot be
+    /// sent to another thread) — the segment counterpart of
+    /// [`TurnQueue::handle`].
+    #[inline]
+    pub fn handle(&self) -> Result<SegHandle<'_, T>, RegistryFull> {
+        let tid = match &self.imp {
+            SegImpl::PerItem(q) => q.registry.try_current_index()?,
+            SegImpl::Seg(core) => core.inner.registry.try_current_index()?,
+        };
+        Ok(SegHandle {
+            queue: self,
+            tid,
+            _not_send: PhantomData,
+        })
+    }
+
+    /// The `max_threads` bound this queue was built with.
+    pub fn max_threads(&self) -> usize {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.max_threads(),
+            SegImpl::Seg(core) => core.inner.max_threads(),
+        }
+    }
+
+    /// Items per segment (1 = per-item degeneration).
+    pub fn seg_size(&self) -> usize {
+        match &self.imp {
+            SegImpl::PerItem(_) => 1,
+            SegImpl::Seg(core) => core.seg_size,
+        }
+    }
+
+    /// The fast-path retry budget of the underlying consensus appends.
+    pub fn fast_tries(&self) -> u32 {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.fast_tries(),
+            SegImpl::Seg(core) => core.inner.fast_tries(),
+        }
+    }
+
+    /// Racy emptiness hint (memory-safe: the segmented probe holds HP
+    /// while it dereferences the head ring).
+    pub fn is_empty(&self) -> bool {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.is_empty(),
+            SegImpl::Seg(core) => {
+                let tid = core.inner.registry.current_index();
+                core.is_empty_probe(tid)
+            }
+        }
+    }
+
+    /// Aggregated counters of the node-recycling pool (all threads).
+    pub fn pool_stats(&self) -> PoolStats {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.pool_stats(),
+            SegImpl::Seg(core) => core.inner.pool_stats(),
+        }
+    }
+
+    /// See [`TurnQueue::telemetry_snapshot`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.telemetry_snapshot(),
+            SegImpl::Seg(core) => core.inner.telemetry_snapshot(),
+        }
+    }
+
+    /// The raw telemetry sheet.
+    pub fn telemetry(&self) -> &TelemetrySheet {
+        match &self.imp {
+            SegImpl::PerItem(q) => q.telemetry(),
+            SegImpl::Seg(core) => core.inner.telemetry(),
+        }
+    }
+}
+
+/// A per-thread handle to a [`SegTurnQueue`] with the registry index
+/// cached. Not `Send`: the cached index is only valid on its thread.
+pub struct SegHandle<'a, T> {
+    queue: &'a SegTurnQueue<T>,
+    tid: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: Send> SegHandle<'_, T> {
+    /// See [`SegTurnQueue::enqueue`].
+    #[inline]
+    pub fn enqueue(&self, item: T) {
+        match &self.queue.imp {
+            SegImpl::PerItem(q) => q.enqueue_with(self.tid, item),
+            SegImpl::Seg(core) => core.enqueue_with(self.tid, item),
+        }
+    }
+
+    /// See [`SegTurnQueue::dequeue`].
+    #[inline]
+    pub fn dequeue(&self) -> Option<T> {
+        match &self.queue.imp {
+            SegImpl::PerItem(q) => q.dequeue_with(self.tid),
+            SegImpl::Seg(core) => core.dequeue_with(self.tid),
+        }
+    }
+
+    /// The registry index this handle caches.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for SegTurnQueue<T> {
+    #[inline]
+    fn enqueue(&self, item: T) {
+        SegTurnQueue::enqueue(self, item);
+    }
+
+    #[inline]
+    fn dequeue(&self) -> Option<T> {
+        SegTurnQueue::dequeue(self)
+    }
+
+    fn max_threads(&self) -> usize {
+        SegTurnQueue::max_threads(self)
+    }
+}
+
+impl<T: Send> QueueIntrospect for SegTurnQueue<T> {
+    fn props() -> QueueProps {
+        // Describes the segmented configuration (seg_size >= 2); the
+        // `seg_size = 1` degeneration has exactly `TurnQueue`'s props.
+        QueueProps {
+            name: "Turn-seg",
+            progress_enqueue: Progress::WaitFreeBounded,
+            // Honest label (§6d): the dequeue retry loop is interference-
+            // bounded — every retry implies another thread's completed
+            // step — which is lock-free, not wait-free bounded.
+            progress_dequeue: Progress::LockFree,
+            consensus: "Turn (CRTurn) at segment boundaries",
+            atomic_instructions: "CAS+FAA",
+            reclamation: "wait-free bounded HP",
+            min_memory: "O(N_threads * seg_size)",
+        }
+    }
+
+    fn size_report() -> SizeReport {
+        SizeReport {
+            // The node header plus the inline ring struct (cells are a
+            // separate allocation of seg_size cells, amortized per item).
+            node_bytes: std::mem::size_of::<Node<SegRing<Box<u64>>>>(),
+            enqueue_request_bytes: 0,
+            dequeue_request_bytes: 0,
+            fixed_per_thread_bytes: 3 * std::mem::size_of::<*mut u8>(),
+            // Two allocations (node + cells) per K items: amortized < 1
+            // per item for every K >= 2; the field is an integer, so
+            // report the floor.
+            min_heap_allocs_per_item: 0,
+            steady_state_allocs_per_item: 0,
+        }
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        Some(SegTurnQueue::pool_stats(self))
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Some(SegTurnQueue::telemetry_snapshot(self))
+    }
+}
+
+/// [`QueueFamily`] selector for the segment-node Turn queue (default
+/// [`DEFAULT_SEG_SIZE`]).
+pub struct SegTurnFamily;
+
+impl QueueFamily for SegTurnFamily {
+    type Queue<T: Send + 'static> = SegTurnQueue<T>;
+    const NAME: &'static str = "turn-seg";
+
+    fn with_max_threads<T: Send + 'static>(max_threads: usize) -> SegTurnQueue<T> {
+        TurnQueueBuilder::new().max_threads(max_threads).build_seg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn seg_queue<T: Send>(max_threads: usize, k: usize) -> SegTurnQueue<T> {
+        TurnQueueBuilder::new()
+            .max_threads(max_threads)
+            .seg_size(k)
+            .build_seg()
+    }
+
+    #[test]
+    fn fifo_across_segment_boundaries() {
+        // 100 items through 4-cell segments: 25 boundary appends and head
+        // advances, every item in order.
+        let q: SegTurnQueue<u32> = seg_queue(2, 4);
+        assert_eq!(q.dequeue(), None);
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved_enq_deq_crossing_boundaries() {
+        let q: SegTurnQueue<u32> = seg_queue(2, 2);
+        q.enqueue(1);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(2);
+        q.enqueue(3);
+        q.enqueue(4); // crosses the 2-cell boundary
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(5);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), Some(5));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn seg_size_one_degenerates_to_per_item() {
+        let q: SegTurnQueue<u32> = seg_queue(2, 1);
+        assert_eq!(q.seg_size(), 1);
+        assert!(matches!(q.imp, SegImpl::PerItem(_)));
+        for i in 0..20 {
+            q.enqueue(i);
+        }
+        for i in 0..20 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "seg_size must be at least 1")]
+    fn seg_size_zero_rejected() {
+        let _ = TurnQueueBuilder::new().seg_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn seg_size_non_power_of_two_rejected() {
+        let _ = TurnQueueBuilder::new().seg_size(12);
+    }
+
+    #[test]
+    fn is_empty_probe_tracks_contents() {
+        let q: SegTurnQueue<u32> = seg_queue(1, 4);
+        assert!(q.is_empty());
+        q.enqueue(1);
+        assert!(!q.is_empty());
+        q.dequeue();
+        assert!(q.is_empty());
+        // Across a boundary: fill a segment + 1, drain it all.
+        for i in 0..5 {
+            q.enqueue(i);
+        }
+        assert!(!q.is_empty());
+        for _ in 0..5 {
+            q.dequeue();
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn segments_recycle_through_pool_with_ring_reuse() {
+        let q: SegTurnQueue<u64> = seg_queue(1, 2);
+        // Each round fills one segment past the boundary, forcing an
+        // append, then drains it, forcing an advance + retire.
+        for round in 0..200u64 {
+            for i in 0..4 {
+                q.enqueue(round * 4 + i);
+            }
+            for i in 0..4 {
+                assert_eq!(q.dequeue(), Some(round * 4 + i));
+            }
+        }
+        assert_eq!(q.dequeue(), None);
+        #[cfg(feature = "node-pool")]
+        {
+            let s = q.pool_stats();
+            assert!(s.hits > 0, "appends must reuse pooled segments: {s:?}");
+        }
+    }
+
+    #[test]
+    fn drop_with_items_left_frees_everything() {
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q: SegTurnQueue<D> = seg_queue(4, 4);
+            for _ in 0..10 {
+                q.enqueue(D(Arc::clone(&drops)));
+            }
+            for _ in 0..3 {
+                q.dequeue();
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 3);
+        }
+        // 3 dequeued + 7 still in cells when the queue dropped.
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn drained_guard_mutant_loses_segment_contents() {
+        // Document the guard's job: with it disabled, the head advances
+        // past a segment the moment a successor exists, abandoning the
+        // K undelivered items — dequeue returns item K+1 first. This is
+        // the deterministic single-thread shadow of the modelcheck
+        // boundary mutant.
+        let k = 4;
+        let q: SegTurnQueue<u32> = TurnQueueBuilder::new()
+            .max_threads(1)
+            .seg_size(k)
+            .seg_drained_guard_for_tests(false)
+            .build_seg();
+        for i in 0..(k as u32 + 1) {
+            q.enqueue(i);
+        }
+        assert_eq!(
+            q.dequeue(),
+            Some(k as u32),
+            "the mutant must skip the first segment's items"
+        );
+    }
+
+    #[test]
+    fn handle_paths_cover_both_modes() {
+        for k in [1usize, 4] {
+            let q: SegTurnQueue<u32> = seg_queue(2, k);
+            let h = q.handle().unwrap();
+            for i in 0..10 {
+                h.enqueue(i);
+            }
+            for i in 0..10 {
+                assert_eq!(h.dequeue(), Some(i));
+            }
+            assert_eq!(h.dequeue(), None);
+            assert!(h.tid() < q.max_threads());
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_cells_and_boundaries() {
+        if !turnq_telemetry::ENABLED {
+            return;
+        }
+        let q: SegTurnQueue<u64> = seg_queue(1, 4);
+        for i in 0..16 {
+            q.enqueue(i);
+        }
+        for i in 0..16 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        let snap = q.telemetry_snapshot();
+        assert_eq!(snap.counter(CounterId::EnqOps), 16, "EnqOps counts items");
+        assert_eq!(snap.counter(CounterId::DeqOps), 16, "DeqOps counts items");
+        // 16 items through 4-cell segments: 3 appends (the seed segment
+        // holds the first 4), each carrying one item; the rest hit cells.
+        assert_eq!(snap.counter(CounterId::SegEnqAppend), 3);
+        assert_eq!(snap.counter(CounterId::SegEnqCellHit), 13);
+        assert!(snap.counter(CounterId::SegDeqAdvance) >= 3);
+    }
+}

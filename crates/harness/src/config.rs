@@ -179,20 +179,40 @@ impl Args {
     }
 
     /// `--key=P:C` parsed as a `(producers, consumers)` pair, e.g.
-    /// `--ratio=3:1` (see docs/bench_format.md).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a malformed pair or a zero count, like [`get_usize`].
-    ///
-    /// [`get_usize`]: Args::get_usize
+    /// `--ratio=3:1` (see docs/bench_format.md). `Ok(None)` when the key
+    /// is absent; `Err` with a usage message on a malformed pair
+    /// (missing `:`, non-integer side) or a zero side — `0:C` and `P:0`
+    /// are rejected here rather than producing a sweep with no thread on
+    /// one side.
+    pub fn try_get_ratio(&self, key: &str) -> Result<Option<(usize, usize)>, String> {
+        let Some(v) = self.get(key) else {
+            return Ok(None);
+        };
+        let Some((p, c)) = v.split_once(':') else {
+            return Err(format!("--{key}={v} is not a valid P:C ratio (expected e.g. 3:1)"));
+        };
+        let side = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--{key}={v} is not a valid P:C ratio (expected e.g. 3:1)"))
+        };
+        let (p, c) = (side(p)?, side(c)?);
+        if p == 0 || c == 0 {
+            return Err(format!(
+                "both sides of --{key}={v} must be >= 1 (a ratio with a zero side \
+                 would leave no producer or no consumer)"
+            ));
+        }
+        Ok(Some((p, c)))
+    }
+
+    /// [`try_get_ratio`](Args::try_get_ratio) for binaries: prints the
+    /// error to stderr and exits with status 2 (a usage error, not a
+    /// panic backtrace).
     pub fn get_ratio(&self, key: &str) -> Option<(usize, usize)> {
-        self.get(key).map(|v| {
-            let side = |s: &str| s.parse::<usize>().ok().filter(|&n| n >= 1);
-            match v.split_once(':').map(|(p, c)| (side(p), side(c))) {
-                Some((Some(p), Some(c))) => (p, c),
-                _ => panic!("--{key}={v} is not a valid P:C ratio (expected e.g. 3:1)"),
-            }
+        self.try_get_ratio(key).unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         })
     }
 
@@ -272,17 +292,27 @@ mod tests {
     fn ratio_parses_producer_consumer_pairs() {
         assert_eq!(args(&["--ratio=3:1"]).get_ratio("ratio"), Some((3, 1)));
         assert_eq!(args(&["--ratio=1:7"]).get_ratio("ratio"), Some((1, 7)));
+        assert_eq!(args(&["--ratio= 2 : 6 "]).try_get_ratio("ratio"), Ok(Some((2, 6))));
+        assert_eq!(args(&[]).try_get_ratio("ratio"), Ok(None));
     }
 
     #[test]
-    #[should_panic(expected = "not a valid P:C ratio")]
-    fn ratio_rejects_zero_sides() {
-        let _ = args(&["--ratio=0:2"]).get_ratio("ratio");
+    fn ratio_rejects_zero_sides_with_clear_error() {
+        for bad in ["0:2", "2:0", "0:0"] {
+            let arg = format!("--ratio={bad}");
+            let err = args(&[&arg]).try_get_ratio("ratio").unwrap_err();
+            assert!(err.contains("must be >= 1"), "{bad}: {err}");
+            assert!(err.contains(bad), "{bad}: error must echo the input: {err}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "not a valid P:C ratio")]
-    fn ratio_rejects_missing_colon() {
-        let _ = args(&["--ratio=4"]).get_ratio("ratio");
+    fn ratio_rejects_malformed_strings_with_clear_error() {
+        for bad in ["4", "3:", ":1", "a:b", "3:1:2", "3;1", ""] {
+            let arg = format!("--ratio={bad}");
+            let err = args(&[&arg]).try_get_ratio("ratio").unwrap_err();
+            assert!(err.contains("not a valid P:C ratio"), "{bad}: {err}");
+            assert!(err.contains("expected e.g. 3:1"), "{bad}: {err}");
+        }
     }
 }

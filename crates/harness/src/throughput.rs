@@ -91,14 +91,32 @@ pub fn pairs_once_on<Q: ConcurrentQueue<u64>>(queue: &Q, scale: &Scale) -> u64 {
 
 /// Split `total` worker threads into producer and consumer counts in the
 /// proportion `p:c`, keeping at least one thread on each side (so callers
-/// sweeping a thread axis can apply one `--ratio` across it; `total` must
-/// be ≥ 2).
+/// sweeping a thread axis can apply one `--ratio` across it). `Err` with
+/// a usage message when the split is impossible: fewer than 2 threads, or
+/// a zero ratio side (which would ask for no producer or no consumer).
+pub fn try_split_ratio(total: usize, p: usize, c: usize) -> Result<(usize, usize), String> {
+    if total < 2 {
+        return Err(format!(
+            "a P:C split needs at least 2 threads (got --threads={total})"
+        ));
+    }
+    if p == 0 || c == 0 {
+        return Err(format!(
+            "both ratio sides must be >= 1 (got {p}:{c}; a zero side would leave \
+             no producer or no consumer)"
+        ));
+    }
+    let producers = ((total * p + (p + c) / 2) / (p + c)).clamp(1, total - 1);
+    Ok((producers, total - producers))
+}
+
+/// [`try_split_ratio`] for binaries: prints the error to stderr and exits
+/// with status 2 (a usage error, not a panic backtrace).
 pub fn split_ratio(total: usize, p: usize, c: usize) -> (usize, usize) {
-    assert!(total >= 2, "a P:C split needs at least 2 threads");
-    assert!(p >= 1 && c >= 1, "both ratio sides must be >= 1");
-    let producers =
-        ((total * p + (p + c) / 2) / (p + c)).clamp(1, total - 1);
-    (producers, total - producers)
+    try_split_ratio(total, p, c).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    })
 }
 
 /// Asymmetric producer:consumer protocol for one queue — the `--ratio`
@@ -340,6 +358,23 @@ mod tests {
         assert_eq!(split_ratio(8, 3, 1), (6, 2));
         assert_eq!(split_ratio(2, 7, 1), (1, 1)); // clamped: one each side
         assert_eq!(split_ratio(3, 1, 2), (1, 2));
+        // Extreme ratios still leave a thread on each side.
+        assert_eq!(try_split_ratio(8, 1000, 1), Ok((7, 1)));
+        assert_eq!(try_split_ratio(8, 1, 1000), Ok((1, 7)));
+    }
+
+    #[test]
+    fn split_ratio_rejects_impossible_splits_with_clear_error() {
+        for total in [0, 1] {
+            let err = try_split_ratio(total, 1, 1).unwrap_err();
+            assert!(err.contains("at least 2 threads"), "{total}: {err}");
+            assert!(err.contains(&total.to_string()), "{total}: {err}");
+        }
+        for (p, c) in [(0, 2), (2, 0), (0, 0)] {
+            let err = try_split_ratio(4, p, c).unwrap_err();
+            assert!(err.contains("must be >= 1"), "{p}:{c}: {err}");
+            assert!(err.contains(&format!("{p}:{c}")), "{p}:{c}: {err}");
+        }
     }
 
     #[test]

@@ -138,6 +138,24 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         self.matrix.protect(tid, index, ptr)
     }
 
+    /// The pointer currently published in hazard slot `index` of thread
+    /// `tid` — the thread's own last [`protect_ptr`](Self::protect_ptr)
+    /// or [`clear`](Self::clear) store.
+    ///
+    /// Exists for the *HP-caching* pattern (DESIGN.md §6d): a caller that
+    /// has kept a slot continuously published since a successful
+    /// protect + validate round may compare a fresh load of the shared
+    /// source against this value. If they match, the covered object was
+    /// never reclaimed in between (every retire scan observed the
+    /// hazard), so no ABA is possible, the old validation verdict still
+    /// stands, and the protect/validate round — two ordered accesses —
+    /// can be skipped. Only the owning thread's reads carry that
+    /// meaning; any other `tid` yields a momentary snapshot.
+    #[inline]
+    pub fn protected(&self, tid: usize, index: usize) -> *mut T {
+        self.matrix.load_own(tid, index)
+    }
+
     /// One load-publish-validate round over `src` (paper Algorithm 5,
     /// `waitFreeBoundedMethod` body): returns `Ok(ptr)` if `src` still held
     /// `ptr` after publication (safe to dereference while the slot stays

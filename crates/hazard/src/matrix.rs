@@ -67,6 +67,17 @@ impl<T> HpMatrix<T> {
         ptr
     }
 
+    /// The pointer currently published in slot (`tid`, `index`).
+    ///
+    /// Intended for the slot's *owner*: only thread `tid` ever stores to
+    /// its row, so for the owner this reads back its own last store and
+    /// needs no ordering (there is no foreign write to synchronize with).
+    #[inline]
+    pub(crate) fn load_own(&self, tid: usize, index: usize) -> *mut T {
+        // ORDERING: RELAXED — own-slot readback; see doc comment.
+        self.slot(tid, index).load(ord::RELAXED)
+    }
+
     /// Clear one slot.
     #[inline]
     pub(crate) fn clear_one(&self, tid: usize, index: usize) {

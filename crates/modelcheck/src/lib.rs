@@ -655,6 +655,32 @@ pub fn turn_step_bound(max_threads: usize) -> u64 {
     fast + helping + hp + retire + 2 * mt + 32
 }
 
+/// Step bound for the Turn queue's segment-node mode (DESIGN.md §6d)
+/// under the same accounting as [`turn_step_bound`].
+///
+/// Derivation (constants generous, shape is what the audit pins):
+///
+/// * FAA claim attempts — an enqueue makes ≤ `SEG_CLAIM_TRIES = 8`
+///   attempts, a dequeue drains at most the `seg_size` cells of the
+///   segment it started on (each poison burns one ticket forever) plus
+///   one attempt per concurrent thread for boundary interference; every
+///   attempt is a hazard publish/validate, one FAA, and a two-atomic cell
+///   rendezvous — ≤ 16 accesses each: `(seg_size + 8 + mt) · 16`;
+/// * the segment boundary itself (consensus append on the enqueue side,
+///   head advance + retire scan on the dequeue side) is exactly the
+///   per-item machinery, so it is covered by [`turn_step_bound`].
+///
+/// The audited scenarios bound boundary crossings per operation to one —
+/// the honest global statement (§6d) is that the dequeue side is
+/// *interference-bounded* (each extra crossing charges another thread's
+/// completed operation), and `seg_size = 1` restores the strict
+/// [`turn_step_bound`] wait-free bound.
+pub fn seg_step_bound(max_threads: usize, seg_size: usize) -> u64 {
+    let mt = max_threads as u64;
+    let k = seg_size as u64;
+    turn_step_bound(max_threads) + (k + 8 + mt) * 16
+}
+
 /// Step bound for the Kogan–Petrank baseline under the same accounting.
 /// KP's helping loop spans all phases ≤ its own, with descriptor
 /// installation CAS loops bounded by `mt`; its constants are larger than

@@ -312,6 +312,20 @@ impl<T> UnsafeCell<T> {
         self.inner.get_mut()
     }
 
+    /// Raw pointer for a *declared shared read*: the caller promises to
+    /// only read through it, and that the location is written solely
+    /// before publication or under exclusive ownership (both still
+    /// checked: the detector flags any write not ordered against this
+    /// read). Unlike [`get`](Self::get) it does not count as a write, so
+    /// concurrent readers — e.g. every thread resolving a segment node's
+    /// ring payload under hazard-pointer cover — do not race each other.
+    #[inline]
+    pub fn get_shared(&self) -> *const T {
+        rt::sync_point();
+        rt::record_plain_read(self.inner.get() as usize);
+        self.inner.get()
+    }
+
     #[inline]
     pub fn into_inner(self) -> T {
         self.inner.into_inner()

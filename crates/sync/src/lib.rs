@@ -53,6 +53,15 @@ mod imp {
     /// Interior-mutability cell (std re-export).
     pub mod cell {
         pub use std::cell::UnsafeCell;
+
+        /// Declared shared read of a cell's contents — see the
+        /// `modelcheck` personality for the contract it asserts. In
+        /// normal builds it is exactly `cell.get()` as a read-only
+        /// pointer.
+        #[inline]
+        pub fn shared_read_ptr<T>(cell: &UnsafeCell<T>) -> *const T {
+            cell.get()
+        }
     }
     /// Spin-loop hint (std re-export).
     pub mod hint {
@@ -88,6 +97,17 @@ mod imp {
     }
     pub mod cell {
         pub use crate::instrumented::UnsafeCell;
+
+        /// Declared shared read: recorded as a plain *read*, which the
+        /// race detector orders against every writer (plain or atomic)
+        /// but not against atomic loads or other reads. For
+        /// publish-then-immutable data read concurrently by many threads
+        /// (the segment mode's ring payload); the caller must only read
+        /// through the returned pointer.
+        #[inline]
+        pub fn shared_read_ptr<T>(cell: &UnsafeCell<T>) -> *const T {
+            cell.get_shared()
+        }
     }
     pub mod hint {
         /// Spin-loop hint. Not a scheduling point: the shared load that any

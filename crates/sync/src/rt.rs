@@ -49,12 +49,16 @@
 //!   `SeqCst` fence) adds ordering on top of accesses the detector
 //!   already tracks via acquire loads.
 //!
-//! Plain accesses (`UnsafeCell`, `Atomic*::get_mut`) are conservatively
-//! treated as writes and must be ordered by happens-before against
-//! *every* other thread's accesses to the same location — exactly the
-//! obligation the node pool's owner-only fast paths discharge via the
+//! Plain accesses (`UnsafeCell::get`, `Atomic*::get_mut`) are
+//! conservatively treated as writes and must be ordered by happens-before
+//! against *every* other thread's accesses to the same location — exactly
+//! the obligation the node pool's owner-only fast paths discharge via the
 //! hazard-pointer scan, and the first thing to break if that protocol is
-//! miscoded.
+//! miscoded. A *declared* plain read (`UnsafeCell::get_shared`, used for
+//! publish-then-immutable data like the segment mode's ring payload) gets
+//! the precise read rules instead: it races with unordered plain writes
+//! and atomic writes, may be concurrent with atomic loads and other plain
+//! reads, and every later writer must be ordered after it.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -113,8 +117,17 @@ struct LocState {
     /// `last_atomic[t]` = `t`'s own clock component at its most recent
     /// atomic access to this location.
     last_atomic: Vec<u64>,
+    /// `last_atomic_write[t]` = `t`'s own clock component at its most
+    /// recent atomic *store or RMW* to this location (a subset of
+    /// `last_atomic`, used by the plain-read rule: a shared read may be
+    /// concurrent with atomic loads, never with atomic writes).
+    last_atomic_write: Vec<u64>,
     /// Most recent plain access (thread, its clock at the access).
     plain_write: Option<(usize, VClock)>,
+    /// `last_plain_read[t]` = `t`'s own clock component at its most recent
+    /// *declared* plain read ([`record_plain_read`]). Writers of any kind
+    /// must be ordered after it.
+    last_plain_read: Vec<u64>,
 }
 
 impl LocState {
@@ -122,7 +135,9 @@ impl LocState {
         LocState {
             vc: VClock::new(n),
             last_atomic: vec![0; n],
+            last_atomic_write: vec![0; n],
             plain_write: None,
+            last_plain_read: vec![0; n],
         }
     }
 }
@@ -302,14 +317,25 @@ pub(crate) fn record_atomic(loc: usize, acc: Acc, order: Ordering) {
                 eprintln!("[mc t={} T{me}] atomic {acc:?} ({order:?}) @ {loc:#x}", st.time);
             }
             // An atomic access races with an unordered plain access by
-            // another thread.
-            let mut race = None;
+            // another thread; an atomic *write* additionally races with an
+            // unordered declared plain read.
+            let mut races = Vec::new();
             if let Some((wt, wvc)) = &ls.plain_write {
                 if *wt != me && !wvc.le(my) {
-                    race = Some(format!(
+                    races.push(format!(
                         "atomic {acc:?} ({order:?}) by T{me} at {loc:#x} races with plain \
                          access by T{wt} (no happens-before edge)"
                     ));
+                }
+            }
+            if matches!(acc, Acc::Store | Acc::Rmw) {
+                for (u, &lr) in ls.last_plain_read.iter().enumerate() {
+                    if u != me && lr > my.get(u) {
+                        races.push(format!(
+                            "atomic {acc:?} ({order:?}) by T{me} at {loc:#x} races with \
+                             plain read by T{u} (no happens-before edge)"
+                        ));
+                    }
                 }
             }
             match acc {
@@ -340,7 +366,10 @@ pub(crate) fn record_atomic(loc: usize, acc: Acc, order: Ordering) {
                 }
             }
             ls.last_atomic[me] = st.thread_vc[me].get(me);
-            if let Some(msg) = race {
+            if matches!(acc, Acc::Store | Acc::Rmw) {
+                ls.last_atomic_write[me] = st.thread_vc[me].get(me);
+            }
+            for msg in races {
                 if st.races.len() < MAX_RACE_REPORTS {
                     st.races.push(msg);
                 }
@@ -380,7 +409,68 @@ pub(crate) fn record_plain(loc: usize) {
                     ));
                 }
             }
+            for (u, &lr) in ls.last_plain_read.iter().enumerate() {
+                if u != me && lr > my.get(u) {
+                    races.push(format!(
+                        "plain access by T{me} at {loc:#x} races with plain read by T{u} \
+                         (no happens-before edge)"
+                    ));
+                }
+            }
             ls.plain_write = Some((me, my));
+            for msg in races {
+                if st.races.len() < MAX_RACE_REPORTS {
+                    st.races.push(msg);
+                }
+            }
+        }
+    });
+}
+
+/// Record a *declared* plain read ([`UnsafeCell::get_shared`] /
+/// `cell::shared_read_ptr`): a non-atomic access the caller promises only
+/// reads through.
+///
+/// Sound race rules for a read: it races with any *write* it is not
+/// ordered against — a plain write ([`record_plain`]) or an atomic
+/// store/RMW — and writers of any kind that follow must in turn be
+/// ordered after it (checked in `record_plain`/`record_atomic` via
+/// `last_plain_read`). Unlike `record_plain` it does **not** race with
+/// atomic loads or with other plain reads, which is what admits the
+/// segment mode's publish-then-immutable ring pointer (read concurrently
+/// by every thread under hazard-pointer cover) without weakening any
+/// write-side obligation.
+pub(crate) fn record_plain_read(loc: usize) {
+    let _ = CTX.try_with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            let me = ctx.me;
+            let mut guard = ctx.shared.lock();
+            let st = &mut *guard;
+            st.thread_vc[me].tick(me);
+            let n = st.thread_vc.len();
+            let my = st.thread_vc[me].clone();
+            let ls = st.locs.entry(loc).or_insert_with(|| LocState::new(n));
+            if trace_enabled() {
+                eprintln!("[mc t={} T{me}] plain read @ {loc:#x}", st.time);
+            }
+            let mut races = Vec::new();
+            for (u, &law) in ls.last_atomic_write.iter().enumerate() {
+                if u != me && law > my.get(u) {
+                    races.push(format!(
+                        "plain read by T{me} at {loc:#x} races with atomic write by T{u} \
+                         (no happens-before edge)"
+                    ));
+                }
+            }
+            if let Some((wt, wvc)) = &ls.plain_write {
+                if *wt != me && !wvc.le(&my) {
+                    races.push(format!(
+                        "plain read by T{me} at {loc:#x} races with plain access by T{wt} \
+                         (no happens-before edge)"
+                    ));
+                }
+            }
+            ls.last_plain_read[me] = my.get(me);
             for msg in races {
                 if st.races.len() < MAX_RACE_REPORTS {
                     st.races.push(msg);

@@ -69,6 +69,23 @@ pub enum CounterId {
     /// Dequeues that gave up the fast path and fell back to the CRTurn
     /// slow path.
     FastDeqFallback,
+    /// Segment-mode enqueues that claimed a cell with one FAA — no
+    /// consensus, no HP republication beyond the segment protection.
+    SegEnqCellHit,
+    /// Segment-mode enqueue cell claims that failed (poisoned cell or a
+    /// ticket past the segment boundary) and retried within the budget.
+    SegEnqRetry,
+    /// Segment-mode enqueues that appended a fresh segment through the
+    /// consensus path (fast append or CRTurn publication).
+    SegEnqAppend,
+    /// Segment-mode dequeues that took an item straight from a cell.
+    SegDeqCellHit,
+    /// Segment-mode head advances past an exhausted segment (consensus
+    /// boundary crossing on the dequeue side).
+    SegDeqAdvance,
+    /// Segment cells burnt by a consumer arriving before its producer
+    /// (EMPTY → POISONED).
+    SegCellPoison,
 }
 
 impl CounterId {
@@ -98,6 +115,12 @@ impl CounterId {
         CounterId::FastDeqHit,
         CounterId::FastDeqRetry,
         CounterId::FastDeqFallback,
+        CounterId::SegEnqCellHit,
+        CounterId::SegEnqRetry,
+        CounterId::SegEnqAppend,
+        CounterId::SegDeqCellHit,
+        CounterId::SegDeqAdvance,
+        CounterId::SegCellPoison,
     ];
 
     /// Short name, used as the key in snapshots and to derive the exported
@@ -128,12 +151,18 @@ impl CounterId {
             CounterId::FastDeqHit => "fast_deq_hit",
             CounterId::FastDeqRetry => "fast_deq_retry",
             CounterId::FastDeqFallback => "fast_deq_fallback",
+            CounterId::SegEnqCellHit => "seg_enq_cell_hit",
+            CounterId::SegEnqRetry => "seg_enq_retry",
+            CounterId::SegEnqAppend => "seg_enq_append",
+            CounterId::SegDeqCellHit => "seg_deq_cell_hit",
+            CounterId::SegDeqAdvance => "seg_deq_advance",
+            CounterId::SegCellPoison => "seg_cell_poison",
         }
     }
 }
 
 /// Number of counters (row width of a telemetry sheet).
-pub const N_COUNTERS: usize = 24;
+pub const N_COUNTERS: usize = 30;
 
 #[cfg(test)]
 mod tests {

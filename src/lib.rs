@@ -25,8 +25,9 @@
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use turn_queue::{
-    CRTurnGuard, CRTurnMutex, MpscConsumer, SpmcProducer, TurnHandle, TurnMpscQueue, TurnQueue,
-    TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES, DEFAULT_MAX_THREADS,
+    CRTurnGuard, CRTurnMutex, MpscConsumer, SegHandle, SegTurnQueue, SpmcProducer, TurnHandle,
+    TurnMpscQueue, TurnQueue, TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES,
+    DEFAULT_MAX_THREADS, DEFAULT_SEG_SIZE,
 };
 pub use turnq_kp::KPQueue;
 

@@ -149,9 +149,21 @@ fn registry_churn_balances_claims_and_releases() {
         });
     }
     // All workers joined and the main thread never registered, so every
-    // claim has a matching release (the release tally is bumped before the
-    // slot flag flips, so joining implies the count is visible).
-    let snap = queue.telemetry_snapshot();
+    // claim will get a matching release — but releases land in TLS
+    // destructors, which can lag the scope join by a beat (DESIGN.md §9).
+    // The release tally is bumped before the slot flag flips, so waiting
+    // for the tallies to balance (and the gauge to drain) is event-driven,
+    // the same idiom as `many_threads_churn_through_one_slot_pool`.
+    let snap = loop {
+        let snap = queue.telemetry_snapshot();
+        if !turnq_telemetry::ENABLED
+            || (snap.counter(CounterId::SlotRelease) == snap.counter(CounterId::SlotClaim)
+                && snap.get("registry_registered") == 0)
+        {
+            break snap;
+        }
+        std::thread::yield_now();
+    };
     if turnq_telemetry::ENABLED {
         assert_eq!(snap.counter(CounterId::SlotClaim), 12);
         assert_eq!(

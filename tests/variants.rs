@@ -14,7 +14,9 @@ use std::sync::Arc;
 use turnq_repro::baselines::{Full, SpscRing, VyukovMpscQueue};
 use turnq_repro::linearize::recorder::RecordConfig;
 use turnq_repro::linearize::{check_history, record_history, CheckResult};
-use turnq_repro::{TurnMpscQueue, TurnQueue, TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES};
+use turnq_repro::{
+    SegTurnQueue, TurnMpscQueue, TurnQueue, TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES,
+};
 
 /// Fan-in then fan-out: producers → (Turn MPSC) → router thread →
 /// (Turn SPMC) → consumers. Exercises both variants simultaneously with
@@ -339,6 +341,112 @@ fn stress_and_oracle(mode: &str, fast_tries: u32) {
             }
             CheckResult::Inconclusive => {
                 panic!("[{mode}] Turn: checker budget exhausted (seed {seed})")
+            }
+        }
+    }
+}
+
+/// The segment-mode twin of the gate above (DESIGN.md §6d), run once
+/// with 16-cell segments and once in the `seg_size = 1` paper-literal
+/// degeneration: the same 8-thread stress oracle plus exact
+/// linearizability windows, over the FAA cell claims, boundary appends,
+/// head advances, and the cached-HP discipline that per-item mode never
+/// exercises. Together with the segments-off CI leg this covers the
+/// seg-{on,off} × {relaxed,seqcst} matrix.
+#[test]
+fn eight_thread_stress_and_oracle_segmented_dual_mode() {
+    let ordering = if turnq_sync::SEQCST_BUILD { "seqcst" } else { "relaxed" };
+    for (label, seg_size) in [("seg-16", 16), ("seg-1", 1)] {
+        seg_stress_and_oracle(&format!("{ordering}+{label}"), seg_size);
+    }
+}
+
+fn seg_stress_and_oracle(mode: &str, seg_size: usize) {
+    println!("mode under test: {mode} (seg_size={seg_size})");
+
+    // --- 8-thread stress: 4 producers + 4 consumers on the segmented
+    // queue, same oracle as the fast-path gate.
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 4;
+    const PER: u64 = 10_000;
+    const TOTAL: usize = PRODUCERS * PER as usize;
+
+    let q: Arc<SegTurnQueue<u64>> = Arc::new(
+        TurnQueueBuilder::new()
+            .max_threads(PRODUCERS + CONSUMERS)
+            .seg_size(seg_size)
+            .build_seg(),
+    );
+    let received = Arc::new(AtomicUsize::new(0));
+
+    let lanes: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let h = q.handle().expect("registry slot");
+                for i in 0..PER {
+                    h.enqueue((p as u64) << 40 | i);
+                }
+            });
+        }
+        let sinks: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    let h = q.handle().expect("registry slot");
+                    let mut got = Vec::new();
+                    while received.load(Ordering::SeqCst) < TOTAL {
+                        if let Some(v) = h.dequeue() {
+                            received.fetch_add(1, Ordering::SeqCst);
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        sinks.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly-once delivery...
+    let mut all: Vec<u64> = lanes.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), TOTAL, "[{mode}] stress lost or duplicated items");
+    // ...and per-producer FIFO within each consumer lane.
+    for lane in &lanes {
+        let mut last = [-1i64; PRODUCERS];
+        for &v in lane {
+            let (p, i) = ((v >> 40) as usize, (v & ((1 << 40) - 1)) as i64);
+            assert!(i > last[p], "[{mode}] producer {p} reordered");
+            last[p] = i;
+        }
+    }
+
+    // --- Exact linearizability oracle at 8 threads, fresh adversarial
+    // windows per seed (the recorder is generic over ConcurrentQueue, so
+    // the segmented queue slots straight in).
+    let config = RecordConfig {
+        threads: 8,
+        ops_per_thread: 2,
+        enqueue_bias: 128,
+    };
+    for seed in 700..710 {
+        let q: SegTurnQueue<u64> = TurnQueueBuilder::new()
+            .max_threads(config.threads + 1)
+            .seg_size(seg_size)
+            .build_seg();
+        let history = record_history(&q, config, seed);
+        match check_history(&history) {
+            CheckResult::Linearizable(_) => {}
+            CheckResult::NotLinearizable => {
+                panic!("[{mode}] Turn-seg: NOT linearizable (seed {seed}): {history:?}")
+            }
+            CheckResult::Inconclusive => {
+                panic!("[{mode}] Turn-seg: checker budget exhausted (seed {seed})")
             }
         }
     }
