@@ -73,11 +73,13 @@ impl<T> Drop for FaaNode<T> {
         // Free any items that were enqueued into this node but never
         // dequeued (possible when the whole queue is dropped).
         for cell in self.items.iter() {
-            // ORDERING: RELAXED — `&mut self` in Drop: no concurrency.
+            // ORDERING(fa.drop-walk): RELAXED — `&mut self` in Drop: no
+            // concurrency.
             let p = cell.load(ord::RELAXED);
             if !p.is_null() && p != taken::<T>() {
-                // SAFETY: cell values other than null/taken are unique
-                // Box::into_raw item pointers owned by the queue.
+                // SAFETY(drop-exclusive): `&mut self` in Drop; cell values
+                // other than null/taken are unique Box::into_raw item
+                // pointers owned by the queue.
                 unsafe { drop(Box::from_raw(p)) };
             }
         }
@@ -95,7 +97,7 @@ pub struct FaaArrayQueue<T> {
     telemetry: Arc<TelemetrySheet>,
 }
 
-// SAFETY: atomics + HP-managed pointers, as in the other queues.
+// SAFETY(send-sync): atomics + HP-managed pointers, as in the other queues.
 unsafe impl<T: Send> Send for FaaArrayQueue<T> {}
 unsafe impl<T: Send> Sync for FaaArrayQueue<T> {}
 
@@ -147,36 +149,39 @@ impl<T> FaaArrayQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            // SAFETY: protected + validated.
+            // SAFETY(hp-validate): protected + validated.
             let tail_ref = unsafe { &*ltail };
-            // ORDERING: SEQ_CST — enqueue ticket: the FAA must be ordered
-            // before our item CAS and inside the total order the dequeuer's
-            // empty check (deqidx/enqidx/next reads) observes.
+            // ORDERING(fa.enq-ticket): SEQ_CST — enqueue ticket: the FAA
+            // must be ordered before our item CAS and inside the total order
+            // the dequeuer's empty check (deqidx/enqidx/next reads)
+            // observes.
             let idx = tail_ref.enqidx.fetch_add(1, ord::SEQ_CST);
             if idx >= BUFFER_SIZE {
                 // Node full: append a fresh node (or help whoever did).
-                // ORDERING: SEQ_CST — protect/validate handshake re-load.
+                // ORDERING(fa.tail-read): SEQ_CST — protect/validate
+                // handshake re-load. pairs=fa.tail-swing
                 if ltail != self.tail.load(ord::SEQ_CST) {
                     continue;
                 }
-                // ORDERING: ACQUIRE — link read; pairs with the linking
-                // CAS's release half.
+                // ORDERING(fa.link-read): ACQUIRE — link read; pairs with
+                // the linking CAS's release half. pairs=fa.link-cas
                 let lnext = tail_ref.next.load(ord::ACQUIRE);
                 if lnext.is_null() {
                     let new_node = FaaNode::alloc(item_ptr);
-                    // ORDERING: SEQ_CST / RELAXED — the linking CAS:
-                    // publishes the new node (items written plainly in
+                    // ORDERING(fa.link-cas): SEQ_CST / RELAXED — the linking
+                    // CAS: publishes the new node (items written plainly in
                     // alloc) and must sit in the total order the empty
                     // check's `next` read observes. Failure value unused
-                    // (our node never escaped; we retry).
+                    // (our node never escaped; we retry). pairs=fa.link-read
                     if tail_ref
                         .next
                         .compare_exchange(ptr::null_mut(), new_node, ord::SEQ_CST, ord::RELAXED)
                         .is_ok()
                     {
-                        // ORDERING: SEQ_CST / RELAXED — tail swing; stays
-                        // in the order try_protect validations read.
-                        // Failure value unused (someone helped).
+                        // ORDERING(fa.tail-swing): SEQ_CST / RELAXED — tail
+                        // swing; stays in the order try_protect validations
+                        // read. Failure value unused (someone helped).
+                        // pairs=fa.tail-read
                         let _ = self.tail.compare_exchange(
                             ltail,
                             new_node,
@@ -193,15 +198,17 @@ impl<T> FaaArrayQueue<T> {
                         .event(tid, EventKind::CasFail, CounterId::CasFailNext as u64);
                     // Lost the append race: reclaim our speculative node
                     // (nobody saw it) but keep the item for the next round.
-                    // SAFETY: new_node never escaped; clear cell 0 first so
+                    // SAFETY(node-unpublished): new_node never escaped; clear cell 0 first so
                     // FaaNode::drop does not free our still-live item.
                     unsafe {
-                        // ORDERING: RELAXED — new_node never escaped.
+                        // ORDERING(fa.spec-reset): RELAXED — new_node never
+                        // escaped.
                         (*new_node).items[0].store(ptr::null_mut(), ord::RELAXED);
                         drop(Box::from_raw(new_node));
                     }
                 } else {
-                    // ORDERING: SEQ_CST / RELAXED — tail swing (see above).
+                    // ORDERING(fa.tail-swing): SEQ_CST / RELAXED — tail swing
+                    // (see above). pairs=fa.tail-read
                     let _ = self.tail.compare_exchange(
                         ltail,
                         lnext,
@@ -211,10 +218,11 @@ impl<T> FaaArrayQueue<T> {
                 }
                 continue;
             }
-            // ORDERING: RELEASE / RELAXED — item publication into our
-            // ticket's cell: release pairs with the dequeuer's acquiring
-            // swap so the boxed payload is visible. A failure means a
-            // dequeuer poisoned the cell; the value is discarded.
+            // ORDERING(fa.cell-publish): RELEASE / RELAXED — item
+            // publication into our ticket's cell: release pairs with the
+            // dequeuer's acquiring swap so the boxed payload is visible. A
+            // failure means a dequeuer poisoned the cell; the value is
+            // discarded. pairs=fa.cell-take
             if tail_ref.items[idx]
                 .compare_exchange(ptr::null_mut(), item_ptr, ord::RELEASE, ord::RELAXED)
                 .is_ok()
@@ -237,12 +245,13 @@ impl<T> FaaArrayQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            // SAFETY: protected + validated.
+            // SAFETY(hp-validate): protected + validated.
             let head_ref = unsafe { &*lhead };
             // Empty check: all tickets consumed and no successor node.
-            // ORDERING: SEQ_CST (all three) — the empty check: the None
-            // answer linearizes against concurrent tickets and appends,
-            // exactly like the Turn queue's Inv. 11 head==tail read.
+            // ORDERING(fa.empty-check): SEQ_CST (all three) — the empty
+            // check: the None answer linearizes against concurrent tickets
+            // and appends, exactly like the Turn queue's Inv. 11 head==tail
+            // read.
             if head_ref.deqidx.load(ord::SEQ_CST) >= head_ref.enqidx.load(ord::SEQ_CST)
                 && head_ref.next.load(ord::SEQ_CST).is_null()
             {
@@ -251,12 +260,14 @@ impl<T> FaaArrayQueue<T> {
                 self.telemetry.event(tid, EventKind::OpFinish, 0);
                 return None;
             }
-            // ORDERING: SEQ_CST — dequeue ticket (see enqueue ticket).
+            // ORDERING(fa.deq-ticket): SEQ_CST — dequeue ticket (see
+            // enqueue ticket).
             let idx = head_ref.deqidx.fetch_add(1, ord::SEQ_CST);
             if idx >= BUFFER_SIZE {
                 // Node drained: advance head, retiring the old node.
-                // ORDERING: SEQ_CST — doubles as link read and empty-check
-                // input (the None below is an emptiness answer).
+                // ORDERING(fa.empty-check): SEQ_CST — doubles as link read
+                // and empty-check input (the None below is an emptiness
+                // answer).
                 let lnext = head_ref.next.load(ord::SEQ_CST);
                 if lnext.is_null() {
                     self.hp.clear(tid);
@@ -264,16 +275,16 @@ impl<T> FaaArrayQueue<T> {
                     self.telemetry.event(tid, EventKind::OpFinish, 0);
                     return None;
                 }
-                // ORDERING: SEQ_CST / RELAXED — head advance; stays in the
-                // order try_protect validations read (retire safety).
-                // Failure value unused.
+                // ORDERING(fa.head-advance): SEQ_CST / RELAXED — head
+                // advance; stays in the order try_protect validations read
+                // (retire safety). Failure value unused.
                 if self
                     .head
                     .compare_exchange(lhead, lnext, ord::SEQ_CST, ord::RELAXED)
                     .is_ok()
                 {
                     self.hp.clear(tid);
-                    // SAFETY: unreachable (head moved past it); the CAS
+                    // SAFETY(retire-unique): unreachable (head moved past it); the CAS
                     // winner is the unique retirer. Every cell is null,
                     // taken, or an item that a straggling enqueuer lost —
                     // FaaNode::drop frees the latter.
@@ -281,10 +292,11 @@ impl<T> FaaArrayQueue<T> {
                 }
                 continue;
             }
-            // ORDERING: ACQUIRE — consume-or-poison swap: acquire pairs
-            // with the enqueuer's release CAS so the boxed payload is
-            // visible before we deref it. The poison marker itself carries
-            // no payload, so the store half needs no release.
+            // ORDERING(fa.cell-take): ACQUIRE — consume-or-poison swap:
+            // acquire pairs with the enqueuer's release CAS so the boxed
+            // payload is visible before we deref it. The poison marker
+            // itself carries no payload, so the store half needs no
+            // release. pairs=fa.cell-publish
             let it = head_ref.items[idx].swap(taken::<T>(), ord::ACQUIRE);
             if it.is_null() {
                 // We beat the enqueuer to this ticket; its cell is burnt
@@ -294,7 +306,8 @@ impl<T> FaaArrayQueue<T> {
             self.hp.clear(tid);
             self.telemetry.bump(tid, CounterId::DeqOps);
             self.telemetry.event(tid, EventKind::OpFinish, 0);
-            // SAFETY: unique swap winner for a real item pointer.
+            // SAFETY(claim-owner): unique swap winner (our FAA ticket) for
+            // a real item pointer.
             return Some(*unsafe { Box::from_raw(it) });
         }
     }
@@ -302,11 +315,13 @@ impl<T> FaaArrayQueue<T> {
 
 impl<T> Drop for FaaArrayQueue<T> {
     fn drop(&mut self) {
-        // ORDERING: RELAXED (both Drop loads) — `&mut self`: no concurrency.
+        // ORDERING(fa.drop-walk): RELAXED (both Drop loads) — `&mut self`
+        // in Drop: no concurrency.
         let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
+            // SAFETY(drop-exclusive): exclusive access; FaaNode::drop
+            // frees residual items.
             let next = unsafe { &*node }.next.load(ord::RELAXED);
-            // SAFETY: exclusive access; FaaNode::drop frees residual items.
             unsafe { drop(Box::from_raw(node)) };
             node = next;
         }

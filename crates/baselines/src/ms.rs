@@ -58,7 +58,8 @@ pub struct MSQueue<T> {
     telemetry: Arc<TelemetrySheet>,
 }
 
-// SAFETY: same reasoning as TurnQueue — atomics + HP-managed raw pointers.
+// SAFETY(send-sync): same reasoning as TurnQueue — atomics + HP-managed
+// raw pointers.
 unsafe impl<T: Send> Send for MSQueue<T> {}
 unsafe impl<T: Send> Sync for MSQueue<T> {}
 
@@ -120,31 +121,36 @@ impl<T> MSQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            // SAFETY: protected + validated by try_protect.
+            // SAFETY(hp-validate): protected + validated by try_protect.
             let ltail_ref = unsafe { &*ltail };
-            // ORDERING: ACQUIRE — link read; pairs with the linking CAS's
-            // release half (crossbeam-standard MS orderings).
+            // ORDERING(ms.link-read): ACQUIRE — link read; pairs with the
+            // linking CAS's release half (crossbeam-standard MS orderings).
+            // pairs=ms.link-cas
             let lnext = ltail_ref.next.load(ord::ACQUIRE);
-            // ORDERING: SEQ_CST — protect/validate handshake re-load,
-            // ordered after the SC hazard publication in try_protect.
+            // ORDERING(ms.tail-read): SEQ_CST — protect/validate handshake
+            // re-load, ordered after the SC hazard publication in
+            // try_protect. pairs=ms.tail-swing
             if ltail != self.tail.load(ord::SEQ_CST) {
                 continue;
             }
             if lnext.is_null() {
-                // ORDERING: RELEASE / RELAXED — the linking CAS publishes
-                // the node's plainly-written item to every acquire link
-                // read; MS needs no total order here because every decision
-                // is re-validated against head/tail. Failure value unused.
+                // ORDERING(ms.link-cas): RELEASE / RELAXED — the linking CAS
+                // publishes the node's plainly-written item to every acquire
+                // link read (and to the winning head advance that takes it);
+                // MS needs no total order here because every decision is
+                // re-validated against head/tail. Failure value unused.
+                // pairs=ms.link-read,ms.head-advance
                 if ltail_ref
                     .next
                     .compare_exchange(ptr::null_mut(), node, ord::RELEASE, ord::RELAXED)
                     .is_ok()
                 {
-                    // ORDERING: SEQ_CST / RELAXED — tail swing: must stay in
-                    // the total order the try_protect validations read (the
-                    // hazard contract: a node is retired only after head
-                    // passed it, and head never passes the tail). Failure
-                    // value unused (someone helped).
+                    // ORDERING(ms.tail-swing): SEQ_CST / RELAXED — tail
+                    // swing: must stay in the total order the try_protect
+                    // validations read (the hazard contract: a node is
+                    // retired only after head passed it, and head never
+                    // passes the tail). Failure value unused (someone
+                    // helped). pairs=ms.tail-read
                     let _ = self.tail.compare_exchange(
                         ltail,
                         node,
@@ -158,7 +164,8 @@ impl<T> MSQueue<T> {
                     .event(tid, EventKind::CasFail, CounterId::CasFailNext as u64);
             } else {
                 // Help swing a lagging tail.
-                // ORDERING: SEQ_CST / RELAXED — tail swing (see above).
+                // ORDERING(ms.tail-swing): SEQ_CST / RELAXED — tail swing
+                // (see above). pairs=ms.tail-read
                 let _ =
                     self.tail
                         .compare_exchange(ltail, lnext, ord::SEQ_CST, ord::RELAXED);
@@ -176,17 +183,19 @@ impl<T> MSQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            // ORDERING: SEQ_CST — emptiness-test input (`lhead == ltail`
-            // below): the None answer must be ordered against concurrent
-            // tail swings.
+            // ORDERING(ms.tail-read): SEQ_CST — emptiness-test input
+            // (`lhead == ltail` below): the None answer must be ordered
+            // against concurrent tail swings. pairs=ms.tail-swing
             let ltail = self.tail.load(ord::SEQ_CST);
-            // SAFETY: lhead protected + validated.
-            // ORDERING: ACQUIRE — candidate link read for protection; the
-            // SC head re-load below validates it.
+            // SAFETY(hp-validate): lhead protected + validated.
+            // ORDERING(ms.link-read): ACQUIRE — candidate link read for
+            // protection; the SC head re-load below validates it.
+            // pairs=ms.link-cas
             let lnext = self
                 .hp
                 .protect_ptr(tid, HP_NEXT, unsafe { &*lhead }.next.load(ord::ACQUIRE));
-            // ORDERING: SEQ_CST — protect/validate handshake re-load.
+            // ORDERING(ms.head-read): SEQ_CST — protect/validate handshake
+            // re-load. pairs=ms.head-advance
             if lhead != self.head.load(ord::SEQ_CST) {
                 continue;
             }
@@ -198,30 +207,32 @@ impl<T> MSQueue<T> {
                     return None; // observed empty
                 }
                 // Tail is lagging: help it, then retry.
-                // ORDERING: SEQ_CST / RELAXED — tail swing (see enqueue).
+                // ORDERING(ms.tail-swing): SEQ_CST / RELAXED — tail swing
+                // (see enqueue). pairs=ms.tail-read
                 let _ =
                     self.tail
                         .compare_exchange(ltail, lnext, ord::SEQ_CST, ord::RELAXED);
                 continue;
             }
-            // ORDERING: SEQ_CST / RELAXED — head advance: the dequeue's
-            // decision point; stays in the total order every try_protect
-            // validation and emptiness check reads. Acquire on success also
-            // carries the enqueuer's item into the take below. Failure
-            // value unused (loop re-protects).
+            // ORDERING(ms.head-advance): SEQ_CST / RELAXED — head advance:
+            // the dequeue's decision point; stays in the total order every
+            // try_protect validation and emptiness check reads. Acquire on
+            // success also carries the enqueuer's item (linking-CAS release)
+            // into the take below. Failure value unused (loop re-protects).
+            // pairs=ms.head-read,ms.link-cas
             if self
                 .head
                 .compare_exchange(lhead, lnext, ord::SEQ_CST, ord::RELAXED)
                 .is_ok()
             {
                 // We won the dequeue; the item in the new sentinel is ours.
-                // SAFETY: unique CAS winner; lnext is protected (HP_NEXT) so
+                // SAFETY(claim-owner): unique CAS winner; lnext is protected (HP_NEXT) so
                 // a concurrent dequeuer that advances past it cannot free it
                 // while we read the item.
                 let item = unsafe { (*lnext).item.get().as_mut().unwrap().take() };
                 debug_assert!(item.is_some());
                 self.hp.clear(tid);
-                // SAFETY: lhead is now unreachable (head moved past it);
+                // SAFETY(retire-unique): lhead is now unreachable (head moved past it);
                 // only the CAS winner retires it.
                 unsafe { self.hp.retire(tid, lhead) };
                 self.telemetry.bump(tid, CounterId::DeqOps);
@@ -237,13 +248,14 @@ impl<T> MSQueue<T> {
 
 impl<T> Drop for MSQueue<T> {
     fn drop(&mut self) {
-        // ORDERING: RELAXED (both Drop loads) — `&mut self`: no concurrency.
+        // ORDERING(ms.drop-walk): RELAXED (both Drop loads) — `&mut self`
+        // in Drop: no concurrency.
         let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
-            // SAFETY: `&mut self` means no concurrent access; every node
+            // SAFETY(drop-exclusive): `&mut self` means no concurrent access; every node
             // in the list is a live Box::into_raw allocation.
             let next = unsafe { &*node }.next.load(ord::RELAXED);
-            // SAFETY: exclusive access; list nodes freed exactly once.
+            // SAFETY(drop-exclusive): exclusive access; list nodes freed exactly once.
             unsafe { drop(Box::from_raw(node)) };
             node = next;
         }

@@ -43,8 +43,8 @@ pub struct SpscRing<T> {
     consumer_claimed: AtomicBool,
 }
 
-// SAFETY: items cross from producer to consumer; slot ownership is
-// partitioned by the head/tail indices.
+// SAFETY(send-sync): items cross from producer to consumer; slot
+// ownership is partitioned by the head/tail indices.
 unsafe impl<T: Send> Send for SpscRing<T> {}
 unsafe impl<T: Send> Sync for SpscRing<T> {}
 
@@ -79,10 +79,10 @@ impl<T> SpscRing<T> {
 
     /// Claim the producer endpoint.
     pub fn producer(&self) -> Option<SpscProducer<'_, T>> {
-        // ORDERING: ACQ_REL / RELAXED — endpoint claim: acquire pairs with
-        // the previous endpoint's release drop so its index writes are
-        // visible to the new owner; release publishes the claim. A failure
-        // just returns None.
+        // ORDERING(sr.endpoint-claim): ACQ_REL / RELAXED — endpoint claim:
+        // acquire pairs with the previous endpoint's release drop so its
+        // index writes are visible to the new owner; release publishes the
+        // claim. A failure just returns None. pairs=sr.endpoint-release
         self.producer_claimed
             .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
             .is_ok()
@@ -94,7 +94,8 @@ impl<T> SpscRing<T> {
 
     /// Claim the consumer endpoint.
     pub fn consumer(&self) -> Option<SpscConsumer<'_, T>> {
-        // ORDERING: ACQ_REL / RELAXED — endpoint claim (see producer()).
+        // ORDERING(sr.endpoint-claim): ACQ_REL / RELAXED — endpoint claim
+        // (see producer()). pairs=sr.endpoint-release
         self.consumer_claimed
             .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
             .is_ok()
@@ -117,11 +118,13 @@ impl<T> SpscRing<T> {
 impl<T> Drop for SpscRing<T> {
     fn drop(&mut self) {
         // Exclusive access: drop the items still in [tail, head).
-        // ORDERING: RELAXED (both) — `&mut self` in Drop: no concurrency.
+        // ORDERING(sr.drop-walk): RELAXED (both) — `&mut self` in Drop:
+        // no concurrency.
         let mut i = self.tail.load(ord::RELAXED);
         let head = self.head.load(ord::RELAXED);
         while i != head {
-            // SAFETY: slots in [tail, head) hold initialized items.
+            // SAFETY(drop-exclusive): `&mut self` in Drop; slots in
+            // [tail, head) hold initialized items.
             unsafe { (*self.slots[i].get()).assume_init_drop() };
             i = self.next(i);
         }
@@ -139,20 +142,23 @@ impl<T> SpscProducer<'_, T> {
     /// the ring is full (bounded memory is the whole point here).
     pub fn try_enqueue(&mut self, item: T) -> Result<(), Full<T>> {
         let ring = self.ring;
-        // ORDERING: RELAXED — producer-owned index; only this endpoint
-        // writes it, so it reads its own latest value.
+        // ORDERING(sr.own-index): RELAXED — producer-owned index; only
+        // this endpoint writes it, so it reads its own latest value.
         let head = ring.head.load(ord::RELAXED);
         let next = ring.next(head);
-        // ORDERING: ACQUIRE — pairs with the consumer's release `tail`
-        // store: observing the freed slot also transfers it back to us
-        // (the consumer's read of the old item happened-before).
+        // ORDERING(sr.tail-read): ACQUIRE — pairs with the consumer's
+        // release `tail` store: observing the freed slot also transfers it
+        // back to us (the consumer's read of the old item happened-before).
+        // pairs=sr.tail-publish
         if next == ring.tail.load(ord::ACQUIRE) {
             return Err(Full(item));
         }
-        // SAFETY: slot `head` is outside [tail, head) — producer territory.
+        // SAFETY(ring-slot): slot `head` is outside [tail, head) —
+        // producer territory between the index publications.
         unsafe { (*ring.slots[head].get()).write(item) };
-        // ORDERING: RELEASE — publishes the slot write above to the
-        // consumer's acquire `head` load (Lamport's classic SPSC edges).
+        // ORDERING(sr.head-publish): RELEASE — publishes the slot write
+        // above to the consumer's acquire `head` load (Lamport's classic
+        // SPSC edges). pairs=sr.head-read
         ring.head.store(next, ord::RELEASE);
         Ok(())
     }
@@ -160,8 +166,9 @@ impl<T> SpscProducer<'_, T> {
 
 impl<T> Drop for SpscProducer<'_, T> {
     fn drop(&mut self) {
-        // ORDERING: RELEASE — endpoint hand-back: orders our index writes
-        // before the next claimer's acquire CAS.
+        // ORDERING(sr.endpoint-release): RELEASE — endpoint hand-back:
+        // orders our index writes before the next claimer's acquire CAS.
+        // pairs=sr.endpoint-claim
         self.ring.producer_claimed.store(false, ord::RELEASE);
     }
 }
@@ -176,18 +183,21 @@ impl<T> SpscConsumer<'_, T> {
     /// Dequeue in a constant number of steps; `None` when empty.
     pub fn dequeue(&mut self) -> Option<T> {
         let ring = self.ring;
-        // ORDERING: RELAXED — consumer-owned index (see producer side).
+        // ORDERING(sr.own-index): RELAXED — consumer-owned index (see
+        // producer side).
         let tail = ring.tail.load(ord::RELAXED);
-        // ORDERING: ACQUIRE — pairs with the producer's release `head`
-        // store: makes the slot's item write visible before we read it.
+        // ORDERING(sr.head-read): ACQUIRE — pairs with the producer's
+        // release `head` store: makes the slot's item write visible before
+        // we read it. pairs=sr.head-publish
         if tail == ring.head.load(ord::ACQUIRE) {
             return None;
         }
-        // SAFETY: slot `tail` is the oldest initialized item; the Release
-        // store below transfers the slot back to the producer.
+        // SAFETY(ring-slot): slot `tail` holds the oldest initialized
+        // item and is consumer territory between the index publications;
+        // the Release store below transfers it back to the producer.
         let item = unsafe { (*ring.slots[tail].get()).assume_init_read() };
-        // ORDERING: RELEASE — transfers the emptied slot back to the
-        // producer's acquire `tail` load.
+        // ORDERING(sr.tail-publish): RELEASE — transfers the emptied slot
+        // back to the producer's acquire `tail` load. pairs=sr.tail-read
         ring.tail.store(ring.next(tail), ord::RELEASE);
         Some(item)
     }
@@ -195,7 +205,8 @@ impl<T> SpscConsumer<'_, T> {
 
 impl<T> Drop for SpscConsumer<'_, T> {
     fn drop(&mut self) {
-        // ORDERING: RELEASE — endpoint hand-back (see producer drop).
+        // ORDERING(sr.endpoint-release): RELEASE — endpoint hand-back (see
+        // producer drop). pairs=sr.endpoint-claim
         self.ring.consumer_claimed.store(false, ord::RELEASE);
     }
 }

@@ -48,8 +48,8 @@ pub struct VyukovMpscQueue<T> {
     consumer_claimed: AtomicBool,
 }
 
-// SAFETY: producers only touch `push_end` (atomic); `pop_end` is guarded by
-// the consumer claim.
+// SAFETY(send-sync): producers only touch `push_end` (atomic); `pop_end`
+// is guarded by the consumer claim.
 unsafe impl<T: Send> Send for VyukovMpscQueue<T> {}
 unsafe impl<T: Send> Sync for VyukovMpscQueue<T> {}
 
@@ -70,25 +70,29 @@ impl<T> VyukovMpscQueue<T> {
     /// Turn queue's claim is CAS-only, this baseline's claim is not.)
     pub fn enqueue(&self, item: T) {
         let node = VNode::alloc(Some(item));
-        // ORDERING: ACQ_REL — the push-end swap: release publishes our
-        // node's plainly-written fields to the *next* producer (which will
-        // dereference it as `prev`); acquire pairs with the previous swap's
-        // release so dereferencing `prev` below is sound.
+        // ORDERING(vy.push-swap): ACQ_REL — the push-end swap: release
+        // publishes our node's plainly-written fields to the *next*
+        // producer (which will dereference it as `prev`); acquire pairs
+        // with the previous swap's release (same site, self-edge) so
+        // dereferencing `prev` below is sound. pairs=vy.push-swap
         let prev = self.push_end.swap(node, ord::ACQ_REL);
         // The queue is momentarily disconnected here — the root cause of
-        // the blocking dequeue. SAFETY: `prev` cannot be freed by the
-        // consumer before this store: the consumer only advances past a
-        // node after reading a non-null `next` from it.
-        // ORDERING: RELEASE — the link store: pairs with the consumer's
-        // acquire `next` load, carrying the item into the dequeue.
+        // the blocking dequeue. SAFETY(cond-alive): `prev` cannot be freed
+        // by the consumer before this store: the consumer only advances
+        // past (and frees) a node after reading a non-null `next` from it,
+        // and this store is what makes `next` non-null.
+        // ORDERING(vy.link-store): RELEASE — the link store: pairs with
+        // the consumer's acquire `next` load, carrying the item into the
+        // dequeue. pairs=vy.link-read
         unsafe { &*prev }.next.store(node, ord::RELEASE);
     }
 
     /// Claim the consumer endpoint; `None` if already claimed.
     pub fn consumer(&self) -> Option<VyukovConsumer<'_, T>> {
-        // ORDERING: ACQ_REL / RELAXED — endpoint claim: acquire pairs with
-        // the previous consumer's release drop (pop_end handover); a
-        // failure just returns None.
+        // ORDERING(vy.consumer-claim): ACQ_REL / RELAXED — endpoint claim:
+        // acquire pairs with the previous consumer's release drop (pop_end
+        // handover); a failure just returns None.
+        // pairs=vy.consumer-release
         if self
             .consumer_claimed
             .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)
@@ -113,10 +117,12 @@ impl<T> Default for VyukovMpscQueue<T> {
 impl<T> Drop for VyukovMpscQueue<T> {
     fn drop(&mut self) {
         // Exclusive access: walk from the pop end and free everything.
-        // SAFETY: `&mut self` in Drop — exclusive access to the whole list.
+        // SAFETY(drop-exclusive): `&mut self` in Drop — exclusive access
+        // to the whole list.
         let mut node = unsafe { *self.pop_end.get() };
         while !node.is_null() {
-            // ORDERING: RELAXED — `&mut self` in Drop: no concurrency.
+            // ORDERING(vy.drop-walk): RELAXED — `&mut self` in Drop: no
+            // concurrency.
             let next = unsafe { &*node }.next.load(ord::RELAXED);
             unsafe { drop(Box::from_raw(node)) };
             node = next;
@@ -138,19 +144,22 @@ impl<T> VyukovConsumer<'_, T> {
     /// item is already "in" the queue but unreachable, which is why the
     /// paper classifies this dequeue as blocking.
     pub fn dequeue(&mut self) -> Option<T> {
-        // SAFETY: exclusive consumer (claim guard).
+        // SAFETY(endpoint-exclusive): exclusive consumer (claim guard).
         let tail = unsafe { *self.queue.pop_end.get() };
-        // ORDERING: ACQUIRE — pairs with the producer's release link
-        // store; makes the node's item visible before take() reads it.
+        // ORDERING(vy.link-read): ACQUIRE — pairs with the producer's
+        // release link store; makes the node's item visible before take()
+        // reads it. pairs=vy.link-store
         let next = unsafe { &*tail }.next.load(ord::ACQUIRE);
         if next.is_null() {
             return None;
         }
-        // SAFETY: `next` is linked and owned by the consumer side now.
+        // SAFETY(endpoint-exclusive): `next` is linked and owned by the
+        // consumer side now.
         let item = unsafe { (*next).item.get().as_mut().unwrap().take() };
         debug_assert!(item.is_some());
         unsafe { *self.queue.pop_end.get() = next };
-        // SAFETY: old stub node is unreachable: producers past it published
+        // SAFETY(endpoint-exclusive): only the claimed consumer frees;
+        // the old stub node is unreachable: producers past it published
         // `next`, and we just followed it.
         unsafe { drop(Box::from_raw(tail)) };
         item
@@ -159,8 +168,9 @@ impl<T> VyukovConsumer<'_, T> {
 
 impl<T> Drop for VyukovConsumer<'_, T> {
     fn drop(&mut self) {
-        // ORDERING: RELEASE — endpoint hand-back: orders our pop_end
-        // writes before the next claimer's acquire CAS.
+        // ORDERING(vy.consumer-release): RELEASE — endpoint hand-back:
+        // orders our pop_end writes before the next claimer's acquire CAS.
+        // pairs=vy.consumer-claim
         self.queue.consumer_claimed.store(false, ord::RELEASE);
     }
 }

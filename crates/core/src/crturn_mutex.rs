@@ -74,23 +74,26 @@ impl CRTurnMutex {
     /// Acquire the lock, blocking (spinning with yields) until granted.
     pub fn lock(&self) -> CRTurnGuard<'_> {
         let me = self.registry.current_index();
-        // ORDERING: SEQ_CST — intent publish, one half of the Dekker with
-        // the unlock scan: either the scan sees our intent (handoff) or we
-        // see its grant write (free/claim); the starvation-freedom bound
-        // counts on published intents being in the scan's total order.
+        // ORDERING(mx.intent-publish): SEQ_CST — intent publish, one half
+        // of the Dekker with the unlock scan: either the scan sees our
+        // intent (handoff) or we see its grant write (free/claim); the
+        // starvation-freedom bound counts on published intents being in
+        // the scan's total order. pairs=mx.unlock-scan
         self.intents[me].store(true, ord::SEQ_CST);
         let mut spins = 0u32;
         loop {
-            // ORDERING: ACQUIRE — pairs with the unlocker's release store
-            // of `grant`, making the previous critical section visible.
+            // ORDERING(mx.grant-acquire): ACQUIRE — pairs with the
+            // unlocker's release store of `grant`, making the previous
+            // critical section visible. pairs=mx.grant-handoff,mx.grant-free
             let g = self.grant.load(ord::ACQUIRE);
             if g == me {
                 // Handed to us by an unlocking holder.
                 break;
             }
-            // ORDERING: ACQUIRE / RELAXED — lock-acquire CAS: success
-            // pairs with the release that freed the lock; a failure value
-            // is discarded and only causes another spin.
+            // ORDERING(mx.claim-cas): ACQUIRE / RELAXED — lock-acquire
+            // CAS: success pairs with the release that freed the lock; a
+            // failure value is discarded and only causes another spin.
+            // pairs=mx.grant-free
             if g == NO_OWNER
                 && self
                     .grant
@@ -113,35 +116,40 @@ impl CRTurnMutex {
 
     /// Unlock, handing off to the next intent to the right (circularly).
     fn unlock(&self, me: usize) {
-        // ORDERING: RELAXED — holder-only sanity check; we wrote (or were
-        // handed) this value ourselves.
+        // ORDERING(mx.holder-check): RELAXED — holder-only sanity check;
+        // we wrote (or were handed) this value ourselves.
         debug_assert_eq!(self.grant.load(ord::RELAXED), me);
-        // ORDERING: RELEASE — the next holder reaches its unlock scan only
-        // through an acquire of `grant`, which orders this clear before
-        // that scan; no thread scans intents without holding the lock.
+        // ORDERING(mx.intent-clear): RELEASE — the next holder reaches
+        // its unlock scan only through an acquire of `grant`, which orders
+        // this clear before that scan; no thread scans intents without
+        // holding the lock. pairs=mx.unlock-scan
         self.intents[me].store(false, ord::RELEASE);
         let n = self.intents.len();
         for d in 1..n {
             let j = (me + d) % n;
-            // ORDERING: SEQ_CST — the unlock scan, the other half of the
-            // Dekker with the intent publish (see lock()).
+            // ORDERING(mx.unlock-scan): SEQ_CST — the unlock scan, the
+            // other half of the Dekker with the intent publish (see
+            // lock()). pairs=mx.intent-publish,mx.intent-clear
             if self.intents[j].load(ord::SEQ_CST) {
                 // Handoff: `grant` moves holder→holder without going
                 // through NO_OWNER, so latecomers cannot barge past `j`.
-                // ORDERING: RELEASE — publishes our critical section to
-                // the acquire load in `j`'s lock() spin.
+                // ORDERING(mx.grant-handoff): RELEASE — publishes our
+                // critical section to the acquire load in `j`'s lock()
+                // spin. pairs=mx.grant-acquire
                 self.grant.store(j, ord::RELEASE);
                 return;
             }
         }
         // No visible intent: free the lock. A requester that published
         // after our scan passed it will acquire via the CAS path.
-        // ORDERING: RELEASE — pairs with the acquire of the claiming CAS.
+        // ORDERING(mx.grant-free): RELEASE — pairs with the acquire of
+        // the claiming CAS and the acquire grant load in lock()'s spin.
+        // pairs=mx.claim-cas,mx.grant-acquire
         self.grant.store(NO_OWNER, ord::RELEASE);
     }
 }
 
-// SAFETY: all state is atomics.
+// SAFETY(send-sync): all state is atomics.
 unsafe impl Send for CRTurnMutex {}
 unsafe impl Sync for CRTurnMutex {}
 

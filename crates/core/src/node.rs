@@ -85,7 +85,7 @@ impl<T> SegCell<T> {
     }
 }
 
-// SAFETY: the ticket discipline above gives `item` at most one writing
+// SAFETY(send-sync): the ticket discipline above gives `item` at most one writing
 // thread (the producer with the cell's enqueue ticket) and one reading
 // thread (the consumer with its dequeue ticket), ordered by the
 // release/acquire edges on `state` (`seg.rs`). `T: Send` because items
@@ -145,7 +145,9 @@ impl<T> Node<T> {
     /// * any previous item payload has already been dropped or taken.
     #[inline]
     pub(crate) unsafe fn reset(ptr: *mut Node<T>, item: Option<T>, enq_tid: u32) {
-        // SAFETY: exclusive ownership per the contract above.
+        // SAFETY(node-unpublished): exclusive ownership per the contract
+        // above — the node is unlinked and reclaimed, reachable by no
+        // other thread until the caller republishes it.
         let node = unsafe { &mut *ptr };
         *node.item.get_mut() = item;
         node.enq_tid = enq_tid;
@@ -157,12 +159,13 @@ impl<T> Node<T> {
     /// Returns whether this call performed the assignment.
     #[inline]
     pub(crate) fn cas_deq_tid(&self, expected: i32, desired: i32) -> bool {
-        // ORDERING: ACQ_REL / ACQUIRE — the write-once assignment: the
-        // per-location CAS order alone decides which helper wins (Inv. 9);
-        // release pairs with the acquire deq_tid loads, and acquire on both
-        // outcomes ensures the winner's assignment is visible before the
-        // caller acts on it. The request-level consensus runs on the
-        // SeqCst deqself/deqhelp scans, not on this field.
+        // ORDERING(n.deqtid-cas): ACQ_REL / ACQUIRE — the write-once
+        // assignment: the per-location CAS order alone decides which
+        // helper wins (Inv. 9); release pairs with the acquire deq_tid
+        // loads, and acquire on both outcomes ensures the winner's
+        // assignment is visible before the caller acts on it. The
+        // request-level consensus runs on the SeqCst deqself/deqhelp
+        // scans, not on this field. pairs=q.deqtid-read
         self.deq_tid
             .compare_exchange(expected, desired, ord::ACQ_REL, ord::ACQUIRE)
             .is_ok()
@@ -177,8 +180,10 @@ impl<T> Node<T> {
     /// never changes), or a context with exclusive access (`Drop`).
     #[inline]
     pub(crate) unsafe fn take_item(&self) -> Option<T> {
-        // SAFETY: unique-owner contract above; no other thread reads or
-        // writes `item` (helpers only compare node *pointers*).
+        // SAFETY(tid-exclusive): unique-owner contract above — the
+        // caller is the thread the node's dequeue was uniquely assigned
+        // to (Inv. 9); no other thread reads or writes `item` (helpers
+        // only compare node *pointers*).
         unsafe { (*self.item.get()).take() }
     }
 }

@@ -80,8 +80,9 @@ impl<T> PoolSlot<T> {
 /// Exact because only the slot's owning thread writes its counters.
 #[inline]
 fn bump(counter: &AtomicU64) {
-    // ORDERING: RELAXED — owner-only counter mirror: one writer per slot,
-    // cross-thread readers take a racy-but-coherent snapshot (stats()).
+    // ORDERING(pl.counter-mirror): RELAXED — owner-only counter mirror:
+    // one writer per slot, cross-thread readers take a racy-but-coherent
+    // snapshot (stats()).
     counter.store(counter.load(ord::RELAXED) + 1, ord::RELAXED);
 }
 
@@ -109,7 +110,7 @@ pub(crate) struct NodePool<T> {
     telemetry: TelemetryHandle,
 }
 
-// SAFETY: slot `i` is only accessed by the thread registered at index `i`
+// SAFETY(send-sync): slot `i` is only accessed by the thread registered at index `i`
 // (module-doc contract), except under exclusive access (`Drop`). The raw
 // node pointers may own `T` payloads, but the pool is only reachable
 // through `TurnQueue`/its variants, whose `Send`/`Sync` impls require
@@ -160,13 +161,14 @@ impl<T> NodePool<T> {
     #[inline]
     pub(crate) unsafe fn acquire(&self, tid: usize) -> Option<*mut Node<T>> {
         let slot = &self.slots[tid];
-        // SAFETY: `tid` exclusivity (caller contract) makes this the only
-        // access to the list.
+        // SAFETY(tid-exclusive): `tid` exclusivity (caller contract)
+        // makes this the only access to the list.
         let free = unsafe { &mut *slot.free.get() };
         match free.pop() {
             Some(ptr) => {
-                // ORDERING: RELAXED — owner-only gauge mirror of the free
-                // list's length; readers are racy by contract.
+                // ORDERING(pl.counter-mirror): RELAXED — owner-only gauge
+                // mirror of the free list's length; readers are racy by
+                // contract.
                 slot.len.store(free.len() as u64, ord::RELAXED);
                 bump(&slot.hits);
                 self.telemetry.event(tid, EventKind::PoolHit, 0);
@@ -196,22 +198,26 @@ impl<T> NodePool<T> {
         // paths the item was already taken by the assigned dequeuer.)
         // In retain mode (segment rings) the payload is deliberately kept
         // so its cell-array allocation can be reset in place on reuse.
-        // SAFETY: sole ownership per the contract above.
+        // SAFETY(pool-owner): sole ownership per the contract above —
+        // the node is on its way into this thread's free list.
         if !self.retain_payload {
             unsafe { *(*ptr).item.get() = None };
         }
         let slot = &self.slots[tid];
-        // SAFETY: `tid` exclusivity (caller contract).
+        // SAFETY(tid-exclusive): `tid` exclusivity (caller contract).
         let free = unsafe { &mut *slot.free.get() };
         if free.len() < self.capacity {
             free.push(ptr);
-            // ORDERING: RELAXED — owner-only gauge mirror, as in acquire.
+            // ORDERING(pl.counter-mirror): RELAXED — owner-only gauge
+            // mirror, as in acquire.
             slot.len.store(free.len() as u64, ord::RELAXED);
             bump(&slot.recycled);
             self.telemetry.event(tid, EventKind::PoolRefill, 0);
         } else {
             bump(&slot.overflows);
-            // SAFETY: sole ownership; allocated by `Box::into_raw`.
+            // SAFETY(pool-owner): sole ownership; allocated by
+            // `Box::into_raw` — overflow bypasses the list back to the
+            // allocator.
             unsafe { drop(Box::from_raw(ptr)) };
         }
     }
@@ -221,9 +227,9 @@ impl<T> NodePool<T> {
     pub(crate) fn stats(&self) -> PoolStats {
         let mut s = PoolStats::default();
         for slot in self.slots.iter() {
-            // ORDERING: RELAXED — racy cross-thread snapshot of owner-only
-            // counters; each value is individually coherent, which is all
-            // the documented contract promises.
+            // ORDERING(pl.counter-mirror): RELAXED — racy cross-thread
+            // snapshot of owner-only counters; each value is individually
+            // coherent, which is all the documented contract promises.
             s.hits += slot.hits.load(ord::RELAXED);
             s.misses += slot.misses.load(ord::RELAXED);
             s.recycled += slot.recycled.load(ord::RELAXED);
@@ -240,10 +246,12 @@ impl<T> Drop for NodePool<T> {
         // cleared item payloads (or, in retain mode, the node still owns
         // its ring payload and `Box::from_raw` drops it here).
         for slot in self.slots.iter() {
-            // SAFETY: `&mut self` in Drop — exclusive access to every slot.
+            // SAFETY(drop-exclusive): `&mut self` in Drop — exclusive
+            // access to every slot.
             let free = unsafe { &mut *slot.free.get() };
             for &ptr in free.iter() {
-                // SAFETY: the pool owns its cached nodes exclusively.
+                // SAFETY(drop-exclusive): the pool owns its cached nodes
+                // exclusively.
                 unsafe { drop(Box::from_raw(ptr)) };
             }
             free.clear();
@@ -266,7 +274,7 @@ impl<T> PoolSink<T> {
 impl<T> ReclaimSink<Node<T>> for PoolSink<T> {
     // SAFETY: contract inherited from `ReclaimSink::reclaim` — `ptr` is unreachable and exclusively owned.
     unsafe fn reclaim(&self, tid: usize, ptr: *mut Node<T>) {
-        // SAFETY: the sink contract is exactly the release contract — sole
+        // SAFETY(sink-contract): the sink contract is exactly the release contract — sole
         // ownership of an unreachable `Box::into_raw` pointer, called with
         // the scanning thread's index (or exclusively during drop).
         unsafe { self.pool.release(tid, ptr) };

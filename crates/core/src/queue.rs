@@ -124,7 +124,7 @@ pub struct TurnQueue<T> {
     panic_check: bool,
 }
 
-// SAFETY: all shared mutable state is atomics; raw node pointers are
+// SAFETY(send-sync): all shared mutable state is atomics; raw node pointers are
 // managed by the hazard-pointer protocol; items move between threads, hence
 // `T: Send`. Consumers on any thread may receive items, so `Sync` also only
 // needs `T: Send` (a queue never shares `&T`).
@@ -325,9 +325,9 @@ impl TurnQueueBuilder {
         // Each dequeue slot starts with its own unique dummy so that
         // `deqself[i] != deqhelp[i]` (no open request) and the first
         // `retire(prReq)` retires a dummy rather than a live node.
-        // ORDERING: RELAXED — single-threaded constructor; whatever shares
-        // the queue afterwards (Arc, scoped spawn) provides the
-        // release/acquire publication edge.
+        // ORDERING(q.ctor-init): RELAXED — single-threaded constructor;
+        // whatever shares the queue afterwards (Arc, scoped spawn) provides
+        // the release/acquire publication edge.
         for i in 0..max_threads {
             deqself[i].store(Node::<T>::alloc(None, 0), ord::RELAXED);
             deqhelp[i].store(Node::<T>::alloc(None, 0), ord::RELAXED);
@@ -451,13 +451,13 @@ impl<T> TurnQueue<T> {
     /// [`Node::alloc`] produces.
     #[inline]
     pub(crate) fn alloc_node(&self, myidx: usize, item: Option<T>) -> *mut Node<T> {
-        // SAFETY: `myidx` is the caller's registered index (the same
-        // exclusivity contract as `hp.retire`).
+        // SAFETY(pool-owner): `myidx` is the caller's registered index (the
+        // same exclusivity contract as `hp.retire`).
         match unsafe { self.pool.acquire(myidx) } {
             Some(recycled) => {
-                // SAFETY: the node came off our own free list, so we own it
-                // exclusively and its previous payload was cleared on
-                // release.
+                // SAFETY(pool-owner): the node came off our own free list, so
+                // we own it exclusively and its previous payload was cleared
+                // on release.
                 unsafe { Node::reset(recycled, item, myidx as u32) };
                 recycled
             }
@@ -523,8 +523,8 @@ impl<T> TurnQueue<T> {
     /// the call. (A linearizable emptiness *check* is what `dequeue()`
     /// returning `None` provides.)
     pub fn is_empty(&self) -> bool {
-        // ORDERING: RELAXED — documented racy hint; no algorithm decision
-        // reads it, so no happens-before edge is required.
+        // ORDERING(q.empty-hint): RELAXED — documented racy hint; no
+        // algorithm decision reads it, so no happens-before edge is required.
         self.head.load(ord::RELAXED) == self.tail.load(ord::RELAXED)
     }
 
@@ -600,14 +600,16 @@ impl<T> TurnQueue<T> {
     ///   appends and a published request keeps its place in the rotation.
     pub(crate) fn try_fast_enqueue(&self, myidx: usize, my_node: *mut Node<T>) -> bool {
         for _attempt in 0..self.fast_tries {
-            // ORDERING: ACQUIRE — candidate for protection only; the
-            // SeqCst validation below carries the handshake.
+            // ORDERING(q.tail-candidate): ACQUIRE — candidate for protection
+            // only; the SeqCst validation below carries the handshake.
+            // pairs=q.tail-advance
             let ltail = self
                 .hp
                 .protect_ptr(myidx, HP_HEAD_TAIL, self.tail.load(ord::ACQUIRE));
-            // ORDERING: SEQ_CST — protect/validate handshake (Algorithm 5),
-            // exactly as in the slow path; it also orders the panic scan
-            // below after this point in the total order.
+            // ORDERING(q.tail-validate): SEQ_CST — protect/validate handshake
+            // (Algorithm 5), exactly as in the slow path; it also orders the
+            // panic scan below after this point in the total order.
+            // pairs=q.tail-advance
             if ltail != self.tail.load(ord::SEQ_CST) {
                 self.telemetry.bump(myidx, CounterId::FastEnqRetry);
                 continue;
@@ -615,17 +617,19 @@ impl<T> TurnQueue<T> {
             if self.panic_check && self.enqueue_request_pending() {
                 break; // a published request must not be starved — fall back
             }
-            // SAFETY: ltail is protected and validated; HP keeps it alive.
+            // SAFETY(hp-validate): ltail is protected and validated; HP
+            // keeps it alive.
             let ltail_ref = unsafe { &*ltail };
             // Inherit the tail's turn position before publishing the node.
-            // SAFETY: my_node is exclusively ours until the linking CAS
-            // below succeeds (fresh allocation or own-pool node), so a
-            // plain field write is race-free.
+            // SAFETY(node-unpublished): my_node is exclusively ours until
+            // the linking CAS below succeeds (fresh allocation or own-pool
+            // node), so a plain field write is race-free.
             unsafe { (*my_node).enq_tid = ltail_ref.enq_tid };
-            // ORDERING: ACQ_REL / ACQUIRE — the linking CAS, same edge as
-            // the slow path's line 18: release publishes the node payload
-            // (and the enq_tid write above) to every later acquire read of
-            // `next`; the per-location CAS order decides the race.
+            // ORDERING(q.link-cas): ACQ_REL / ACQUIRE — the linking CAS,
+            // same edge as the slow path's line 18: release publishes the
+            // node payload (and the enq_tid write above) to every later
+            // acquire read of `next`; the per-location CAS order decides the
+            // race. pairs=q.next-read,q.fast-empty-check
             match ltail_ref.next.compare_exchange(
                 ptr::null_mut(),
                 my_node,
@@ -633,8 +637,10 @@ impl<T> TurnQueue<T> {
                 ord::ACQUIRE,
             ) {
                 Ok(_) => {
-                    // ORDERING: SEQ_CST — tail advance (Inv. 2), same as the
-                    // slow path; losing it just means a helper advanced.
+                    // ORDERING(q.tail-advance): SEQ_CST — tail advance
+                    // (Inv. 2), same as the slow path; losing it just means a
+                    // helper advanced.
+                    // pairs=q.tail-candidate,q.tail-validate,q.empty-check
                     if self
                         .tail
                         .compare_exchange(ltail, my_node, ord::SEQ_CST, ord::SEQ_CST)
@@ -653,12 +659,14 @@ impl<T> TurnQueue<T> {
                     self.telemetry.bump(myidx, CounterId::FastEnqRetry);
                     // Lost the link race: help the winner's tail advance so
                     // the next attempt starts from fresh state (MS-style).
-                    // ORDERING: ACQUIRE — pairs with the winning link CAS's
-                    // release half.
+                    // ORDERING(q.next-read): ACQUIRE — pairs with the winning
+                    // link CAS's release half. pairs=q.link-cas
                     let lnext = ltail_ref.next.load(ord::ACQUIRE);
                     if !lnext.is_null() {
-                        // ORDERING: SEQ_CST — tail advance (Inv. 2); failure
-                        // means someone else already advanced it.
+                        // ORDERING(q.tail-advance): SEQ_CST — tail advance
+                        // (Inv. 2); failure means someone else already
+                        // advanced it.
+                        // pairs=q.tail-candidate,q.tail-validate,q.empty-check
                         let _ = self.tail.compare_exchange(
                             ltail,
                             lnext,
@@ -671,8 +679,8 @@ impl<T> TurnQueue<T> {
         }
         // Fallback: the node goes through the consensus protocol after all,
         // so it must carry our own thread id again (§2.1).
-        // SAFETY: my_node is still exclusively ours — every linking CAS
-        // above failed.
+        // SAFETY(node-unpublished): my_node is still exclusively ours —
+        // every linking CAS above failed.
         unsafe { (*my_node).enq_tid = myidx as u32 };
         self.telemetry.bump(myidx, CounterId::FastEnqFallback);
         false
@@ -682,11 +690,12 @@ impl<T> TurnQueue<T> {
     /// enqueue request currently published?
     #[inline]
     fn enqueue_request_pending(&self) -> bool {
-        // ORDERING: SEQ_CST — the panic flag is only a guarantee if this
-        // scan sits in the same total order as the slow path's line-4
-        // publish (StoreLoad): once a publish is ordered before the scan,
-        // the scanning thread *must* fall back, bounding the fast appends
-        // that can land after the publish to one per thread.
+        // ORDERING(q.enq-panic-scan): SEQ_CST — the panic flag is only a
+        // guarantee if this scan sits in the same total order as the slow
+        // path's line-4 publish (StoreLoad): once a publish is ordered
+        // before the scan, the scanning thread *must* fall back, bounding
+        // the fast appends that can land after the publish to one per
+        // thread. pairs=q.enq-publish
         self.enqueuers
             .iter()
             .any(|slot| !slot.load(ord::SEQ_CST).is_null())
@@ -699,18 +708,20 @@ impl<T> TurnQueue<T> {
         // every helping-loop iteration re-check it, and the bounds check +
         // CachePadded indirection need not repeat.
         let my_slot = &self.enqueuers[myidx];
-        // ORDERING: SEQ_CST — consensus publish (line 4). Helpers scan
-        // `enqueuers` starting at the tail's enq_tid + 1, and we stop
-        // helping after max_threads iterations (line 26 then closes our own
-        // slot); the Inv. 5 bound needs every scan that follows this store
-        // in the single total order to observe it — a StoreLoad guarantee
-        // weaker orderings do not give.
+        // ORDERING(q.enq-publish): SEQ_CST — consensus publish (line 4).
+        // Helpers scan `enqueuers` starting at the tail's enq_tid + 1, and
+        // we stop helping after max_threads iterations (line 26 then closes
+        // our own slot); the Inv. 5 bound needs every scan that follows this
+        // store in the single total order to observe it — a StoreLoad
+        // guarantee weaker orderings do not give.
+        // pairs=q.enq-panic-scan,q.enq-scan,q.enq-turn-close
         my_slot.store(my_node, ord::SEQ_CST); // line 4: publish request
         // Optional deliberate backoff (§4.1): our request is published, so
         // helpers can finish it while we spin instead of contending.
         for _ in 0..self.backoff_spins {
-            // ORDERING: ACQUIRE — completion hint; pairs with the helper's
-            // slot-clearing CAS. A stale non-null read only spins once more.
+            // ORDERING(q.enq-complete): ACQUIRE — completion hint; pairs
+            // with the helper's slot-clearing CAS. A stale non-null read
+            // only spins once more. pairs=q.enq-turn-close
             if my_slot.load(ord::ACQUIRE).is_null() {
                 self.record_enqueue(myidx, 0); // helped before we took a step
                 return; // a helper inserted our node
@@ -721,8 +732,9 @@ impl<T> TurnQueue<T> {
         loop {
             // line 5
             // line 6: a helper inserted our node and cleared our slot.
-            // ORDERING: ACQUIRE — pairs with the helper's clearing CAS; a
-            // stale non-null read costs one more (bounded) iteration.
+            // ORDERING(q.enq-complete): ACQUIRE — pairs with the helper's
+            // clearing CAS; a stale non-null read costs one more (bounded)
+            // iteration. pairs=q.enq-turn-close
             if my_slot.load(ord::ACQUIRE).is_null() {
                 self.hp.clear(myidx); // line 7
                 self.record_enqueue(myidx, iter.min(self.max_threads - 1));
@@ -743,28 +755,32 @@ impl<T> TurnQueue<T> {
             // lines 10-11: protect + validate tail (Algorithm 5 pattern —
             // a failed validation means the tail advanced, i.e. some
             // request completed, so we charge it to our bounded loop).
-            // ORDERING: ACQUIRE — candidate for protection only; the
-            // SeqCst validation below carries the handshake.
+            // ORDERING(q.tail-candidate): ACQUIRE — candidate for protection
+            // only; the SeqCst validation below carries the handshake.
+            // pairs=q.tail-advance
             let ltail = self
                 .hp
                 .protect_ptr(myidx, HP_HEAD_TAIL, self.tail.load(ord::ACQUIRE));
-            // ORDERING: SEQ_CST — validation read of the protect/validate
-            // handshake (Algorithm 5): it must follow the hazard store in
-            // the total order so a concurrent retire scan either sees our
-            // hazard or we see the newer tail (StoreLoad).
+            // ORDERING(q.tail-validate): SEQ_CST — validation read of the
+            // protect/validate handshake (Algorithm 5): it must follow the
+            // hazard store in the total order so a concurrent retire scan
+            // either sees our hazard or we see the newer tail (StoreLoad).
+            // pairs=q.tail-advance
             if ltail != self.tail.load(ord::SEQ_CST) {
                 iter += 1;
                 continue;
             }
-            // SAFETY: ltail is protected and validated; HP keeps it alive.
+            // SAFETY(hp-validate): ltail is protected and validated; HP
+            // keeps it alive.
             let ltail_ref = unsafe { &*ltail };
             // lines 12-15: before inserting after the tail node, ensure the
             // tail node itself is no longer an open request (Inv. 7 — this
             // is what prevents double insertion).
             let turn_slot = &self.enqueuers[ltail_ref.enq_tid as usize];
-            // ORDERING: SEQ_CST — consensus scan + close (Inv. 7): the
-            // check and the clearing CAS participate in the same total
-            // order as the line-4 publish, preventing double insertion.
+            // ORDERING(q.enq-turn-close): SEQ_CST — consensus scan + close
+            // (Inv. 7): the check and the clearing CAS participate in the
+            // same total order as the line-4 publish, preventing double
+            // insertion. pairs=q.enq-publish,q.enq-complete
             if turn_slot.load(ord::SEQ_CST) == ltail {
                 let _ = turn_slot.compare_exchange(
                     ltail,
@@ -776,22 +792,24 @@ impl<T> TurnQueue<T> {
             // lines 16-22: help the first open request to the right of the
             // current turn (the CRTurn consensus step, Inv. 1).
             for j in 1..=self.max_threads {
-                // ORDERING: SEQ_CST — consensus scan (lines 16-22): must
-                // observe every line-4 publish that precedes it in the
-                // total order, or a request could be skipped for a whole
-                // turn and overrun the Inv. 5 helping bound.
+                // ORDERING(q.enq-scan): SEQ_CST — consensus scan
+                // (lines 16-22): must observe every line-4 publish that
+                // precedes it in the total order, or a request could be
+                // skipped for a whole turn and overrun the Inv. 5 helping
+                // bound. pairs=q.enq-publish,q.enq-close
                 let node_to_help = self.enqueuers
                     [(j + ltail_ref.enq_tid as usize) % self.max_threads]
                     .load(ord::SEQ_CST);
                 if node_to_help.is_null() {
                     continue;
                 }
-                // ORDERING: ACQ_REL / ACQUIRE — the linking CAS (line 18).
-                // Release publishes the node's payload to every later
-                // acquire read of `next`; acquire on both outcomes pairs
-                // with the winning link so the line-23 read below sees a
-                // non-null next. The per-location CAS order alone decides
+                // ORDERING(q.link-cas): ACQ_REL / ACQUIRE — the linking CAS
+                // (line 18). Release publishes the node's payload to every
+                // later acquire read of `next`; acquire on both outcomes
+                // pairs with the winning link so the line-23 read below sees
+                // a non-null next. The per-location CAS order alone decides
                 // the race, so SeqCst buys nothing here.
+                // pairs=q.next-read,q.fast-empty-check
                 match ltail_ref.next.compare_exchange(
                     ptr::null_mut(),
                     node_to_help,
@@ -818,12 +836,14 @@ impl<T> TurnQueue<T> {
             }
             // lines 23-24: advance the tail past whatever got inserted
             // (Inv. 2 — tail only advances after an insertion).
-            // ORDERING: ACQUIRE — pairs with the linking CAS's release so
-            // the advancing CAS publishes a fully-initialized node.
+            // ORDERING(q.next-read): ACQUIRE — pairs with the linking CAS's
+            // release so the advancing CAS publishes a fully-initialized
+            // node. pairs=q.link-cas
             let lnext = ltail_ref.next.load(ord::ACQUIRE);
-            // ORDERING: SEQ_CST — tail advance (Inv. 2): the new tail's
-            // enq_tid defines the next turn, so the advance must sit in the
-            // same total order as the `enqueuers` publishes and scans.
+            // ORDERING(q.tail-advance): SEQ_CST — tail advance (Inv. 2): the
+            // new tail's enq_tid defines the next turn, so the advance must
+            // sit in the same total order as the `enqueuers` publishes and
+            // scans. pairs=q.tail-candidate,q.tail-validate,q.empty-check
             if !lnext.is_null()
                 && self
                     .tail
@@ -848,16 +868,19 @@ impl<T> TurnQueue<T> {
     /// (the panic scan) — so "linked" can only mean "tail or tail's next",
     /// and a node observed there stays in the list forever.
     fn verified_close_enqueue(&self, myidx: usize, my_node: *mut Node<T>) -> bool {
-        // ORDERING: ACQUIRE — candidate; SeqCst validation follows.
+        // ORDERING(q.tail-candidate): ACQUIRE — candidate; SeqCst validation
+        // follows. pairs=q.tail-advance
         let ltail = self
             .hp
             .protect_ptr(myidx, HP_HEAD_TAIL, self.tail.load(ord::ACQUIRE));
-        // ORDERING: SEQ_CST — protect/validate handshake (Algorithm 5).
+        // ORDERING(q.tail-validate): SEQ_CST — protect/validate handshake
+        // (Algorithm 5). pairs=q.tail-advance
         if ltail != self.tail.load(ord::SEQ_CST) {
             return false;
         }
-        // SAFETY: ltail protected and validated just above.
-        // ORDERING: ACQUIRE — pairs with the linking CAS's release half.
+        // SAFETY(hp-validate): ltail protected and validated just above.
+        // ORDERING(q.next-read): ACQUIRE — pairs with the linking CAS's
+        // release half. pairs=q.link-cas
         let linked =
             ltail == my_node || unsafe { &*ltail }.next.load(ord::ACQUIRE) == my_node;
         if !linked {
@@ -866,9 +889,10 @@ impl<T> TurnQueue<T> {
         self.hp.clear(myidx); // line 25
         // line 26: the node is verifiably in the list, so closing our own
         // slot cannot lose it.
-        // ORDERING: RELEASE — as in the paper: scans treat null as "no open
-        // request", so observing the close late is always safe; it only
-        // must not be reordered before the verification reads above.
+        // ORDERING(q.enq-close): RELEASE — as in the paper: scans treat null
+        // as "no open request", so observing the close late is always safe;
+        // it only must not be reordered before the verification reads above.
+        // pairs=q.enq-scan
         self.enqueuers[myidx].store(ptr::null_mut(), ord::RELEASE);
         true
     }
@@ -908,13 +932,15 @@ impl<T> TurnQueue<T> {
     /// advance past it retires it (see [`advance_head`](Self::advance_head)).
     fn try_fast_dequeue(&self, myidx: usize) -> Option<Option<T>> {
         for _attempt in 0..self.fast_tries {
-            // ORDERING: ACQUIRE — candidate for protection only; the
-            // SeqCst validation below carries the handshake.
+            // ORDERING(q.head-candidate): ACQUIRE — candidate for
+            // protection only; the SeqCst validation below carries the
+            // handshake. pairs=q.head-advance
             let lhead = self
                 .hp
                 .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(ord::ACQUIRE));
-            // ORDERING: SEQ_CST — protect/validate handshake (Algorithm 5);
-            // also orders the panic scan below after this point.
+            // ORDERING(q.head-validate): SEQ_CST — protect/validate
+            // handshake (Algorithm 5); also orders the panic scan below
+            // after this point. pairs=q.head-advance
             if lhead != self.head.load(ord::SEQ_CST) {
                 self.telemetry.bump(myidx, CounterId::FastDeqRetry);
                 continue;
@@ -922,13 +948,14 @@ impl<T> TurnQueue<T> {
             if self.panic_check && self.dequeue_request_pending() {
                 break; // a published request must not be starved — fall back
             }
-            // SAFETY: lhead is protected and validated; HP keeps it alive.
+            // SAFETY(hp-validate): lhead is protected and validated; HP
+            // keeps it alive.
             let lhead_ref = unsafe { &*lhead };
-            // ORDERING: SEQ_CST — linearization point of the fast empty
-            // check: `next == null` on the validated head means the queue
-            // is empty, and like the slow path's head == tail check
-            // (Inv. 11) it must be ordered against enqueue's publish and
-            // link in the single total order.
+            // ORDERING(q.fast-empty-check): SEQ_CST — linearization point
+            // of the fast empty check: `next == null` on the validated head
+            // means the queue is empty, and like the slow path's head ==
+            // tail check (Inv. 11) it must be ordered against enqueue's
+            // publish and link in the single total order. pairs=q.link-cas
             let next_ptr = lhead_ref.next.load(ord::SEQ_CST);
             if next_ptr.is_null() {
                 self.hp.clear(myidx);
@@ -937,18 +964,21 @@ impl<T> TurnQueue<T> {
                 self.telemetry.event(myidx, EventKind::OpFinish, 0);
                 return Some(None);
             }
-            // ORDERING: SEQ_CST — protect/validate handshake for HP_NEXT.
+            // ORDERING(q.head-validate): SEQ_CST — protect/validate
+            // handshake for HP_NEXT (head re-load). pairs=q.head-advance
             let lnext = self.hp.protect_ptr(myidx, HP_NEXT, next_ptr);
             if lhead != self.head.load(ord::SEQ_CST) {
                 self.telemetry.bump(myidx, CounterId::FastDeqRetry);
                 continue;
             }
-            // SAFETY: lnext protected (HP_NEXT) and head re-validated.
+            // SAFETY(hp-validate): lnext protected (HP_NEXT) and head
+            // re-validated.
             let lnext_ref = unsafe { &*lnext };
             // Claim the node, preserving the head's effective turn
             // (normalized so the encoding never collides with IDX_NONE).
-            // ORDERING: ACQUIRE — the head node's claim field is write-once
-            // and was fixed before the head CAS that made lhead the head.
+            // ORDERING(q.deqtid-read): ACQUIRE — the head node's claim
+            // field is write-once and was fixed before the head CAS that
+            // made lhead the head. pairs=n.deqtid-cas
             let turn = decode_turn(lhead_ref.deq_tid.load(ord::ACQUIRE))
                 .rem_euclid(self.max_threads as i32);
             if !lnext_ref.cas_deq_tid(IDX_NONE, encode_fast(turn)) {
@@ -960,9 +990,9 @@ impl<T> TurnQueue<T> {
             // The claim is ours: advance the head (a losing CAS means a
             // helper advanced it for us) and take the item.
             self.advance_head(lhead, lnext, myidx);
-            // SAFETY: the winning claim CAS above makes us the unique item
-            // owner (Inv. 9 analogue); HP_NEXT keeps lnext alive until the
-            // clear below.
+            // SAFETY(claim-owner): the winning claim CAS above makes us the
+            // unique item owner (Inv. 9 analogue); HP_NEXT keeps lnext
+            // alive until the clear below.
             let taken = unsafe { lnext_ref.take_item() };
             debug_assert!(taken.is_some(), "claimed node must still hold its item");
             self.hp.clear(myidx);
@@ -979,11 +1009,13 @@ impl<T> TurnQueue<T> {
     #[inline]
     fn dequeue_request_pending(&self) -> bool {
         (0..self.max_threads).any(|i| {
-            // ORDERING: SEQ_CST — same consensus-scan reasoning as
-            // `search_next` line 38 and the enqueue-side panic flag: the
-            // open/closed decision must sit in the same total order as the
-            // line-5 publish, so a thread that published before this scan
-            // is guaranteed to be seen and to force our fallback.
+            // ORDERING(q.deq-panic-scan): SEQ_CST — same consensus-scan
+            // reasoning as `search_next` line 38 and the enqueue-side panic
+            // flag: the open/closed decision must sit in the same total
+            // order as the line-5 publish, so a thread that published
+            // before this scan is guaranteed to be seen and to force our
+            // fallback.
+            // pairs=q.deq-publish,q.deq-rollback,q.deq-close-cas,q.deq-close-own
             self.deqself[i].load(ord::SEQ_CST) == self.deqhelp[i].load(ord::SEQ_CST)
         })
     }
@@ -994,24 +1026,27 @@ impl<T> TurnQueue<T> {
         // helping loop (same reasoning as in `enqueue_with`).
         let my_deqself = &self.deqself[myidx];
         let my_deqhelp = &self.deqhelp[myidx];
-        // ORDERING: RELAXED — deqself[myidx] is written only by this
-        // thread; reading back our own last store needs no inter-thread
-        // edge.
+        // ORDERING(q.deqself-readback): RELAXED — deqself[myidx] is written
+        // only by this thread; reading back our own last store needs no
+        // inter-thread edge.
         let pr_req = my_deqself.load(ord::RELAXED); // line 3
-        // ORDERING: ACQUIRE — pairs with the release of the closing
-        // store/CAS that last wrote deqhelp[myidx] (previous dequeue).
+        // ORDERING(q.deq-complete): ACQUIRE — pairs with the release of
+        // the closing store/CAS that last wrote deqhelp[myidx] (previous
+        // dequeue). pairs=q.deq-close-cas,q.deq-close-own
         let my_req = my_deqhelp.load(ord::ACQUIRE); // line 4
         // line 5: `deqself[i] == deqhelp[i]` opens the request.
-        // ORDERING: SEQ_CST — consensus publish: helpers scan deqself ==
-        // deqhelp to find open requests (line 38); like the enqueue-side
-        // line 4, the Inv. 5/11 arguments need this store totally ordered
-        // with those scans and with the head == tail emptiness check.
+        // ORDERING(q.deq-publish): SEQ_CST — consensus publish: helpers
+        // scan deqself == deqhelp to find open requests (line 38); like
+        // the enqueue-side line 4, the Inv. 5/11 arguments need this store
+        // totally ordered with those scans and with the head == tail
+        // emptiness check. pairs=q.deq-scan,q.deq-panic-scan
         my_deqself.store(my_req, ord::SEQ_CST);
         // Optional deliberate backoff (§4.1); the loop's line-7 check picks
         // up a request satisfied during the spin.
         for _ in 0..self.backoff_spins {
-            // ORDERING: ACQUIRE — completion hint; pairs with the closing
-            // CAS. A stale read only spins once more.
+            // ORDERING(q.deq-complete): ACQUIRE — completion hint; pairs
+            // with the closing CAS. A stale read only spins once more.
+            // pairs=q.deq-close-cas,q.deq-close-own
             if my_deqhelp.load(ord::ACQUIRE) != my_req {
                 break;
             }
@@ -1030,42 +1065,49 @@ impl<T> TurnQueue<T> {
         // `max_threads - 1`, for the histogram).
         let depth = loop {
             // line 7: request already satisfied by a helper.
-            // ORDERING: ACQUIRE — pairs with the closing CAS's release; a
-            // stale read costs one more (bounded) iteration.
+            // ORDERING(q.deq-complete): ACQUIRE — pairs with the closing
+            // CAS's release; a stale read costs one more (bounded)
+            // iteration. pairs=q.deq-close-cas,q.deq-close-own
             if my_deqhelp.load(ord::ACQUIRE) != my_req {
                 break iter.min(self.max_threads - 1);
             }
             // lines 8-9: protect + validate head.
-            // ORDERING: ACQUIRE — candidate for protection; the SeqCst
-            // validation below carries the handshake.
+            // ORDERING(q.head-candidate): ACQUIRE — candidate for
+            // protection; the SeqCst validation below carries the
+            // handshake. pairs=q.head-advance
             let lhead = self
                 .hp
                 .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(ord::ACQUIRE));
-            // ORDERING: SEQ_CST — protect/validate handshake (StoreLoad
-            // against concurrent retire scans), as on the enqueue side.
+            // ORDERING(q.head-validate): SEQ_CST — protect/validate
+            // handshake (StoreLoad against concurrent retire scans), as on
+            // the enqueue side. pairs=q.head-advance
             if lhead != self.head.load(ord::SEQ_CST) {
                 iter += 1;
                 continue;
             }
-            // ORDERING: SEQ_CST — emptiness check (line 10): head == tail
-            // must be evaluated against the same total order as enqueue's
-            // publish and tail advance, or a dequeuer could return None
-            // for an item whose enqueue already linearized (Inv. 11).
+            // ORDERING(q.empty-check): SEQ_CST — emptiness check (line
+            // 10): head == tail must be evaluated against the same total
+            // order as enqueue's publish and tail advance, or a dequeuer
+            // could return None for an item whose enqueue already
+            // linearized (Inv. 11). pairs=q.tail-advance
             if lhead == self.tail.load(ord::SEQ_CST) {
                 // lines 10-18: queue looks empty — attempt to give up.
-                // ORDERING: SEQ_CST — the rollback closes our request in
-                // the same total order the helpers' scans read; give_up's
-                // re-checks below rely on it (§2.3.1).
+                // ORDERING(q.deq-rollback): SEQ_CST — the rollback closes
+                // our request in the same total order the helpers' scans
+                // read; give_up's re-checks below rely on it (§2.3.1).
+                // pairs=q.deq-scan,q.deq-panic-scan
                 my_deqself.store(pr_req, ord::SEQ_CST); // line 11: rollback
                 self.give_up(my_req, myidx); // line 12
-                // ORDERING: SEQ_CST — conclusive only if ordered after the
-                // rollback store above (StoreLoad): a helper that missed
-                // the rollback may still have closed our request.
+                // ORDERING(q.rollback-check): SEQ_CST — conclusive only if
+                // ordered after the rollback store above (StoreLoad): a
+                // helper that missed the rollback may still have closed our
+                // request. pairs=q.deq-close-cas
                 if my_deqhelp.load(ord::SEQ_CST) != my_req {
                     // lines 13-15: a helper satisfied us after all; restore
                     // the bookkeeping and fall through to return the item.
-                    // ORDERING: RELAXED — as in the paper: only this thread
-                    // reads deqself[myidx] before its next line-5 publish.
+                    // ORDERING(q.deqself-restore): RELAXED — as in the
+                    // paper: only this thread reads deqself[myidx] before
+                    // its next line-5 publish.
                     my_deqself.store(my_req, ord::RELAXED);
                     break iter.min(self.max_threads - 1);
                 }
@@ -1076,14 +1118,17 @@ impl<T> TurnQueue<T> {
                 self.telemetry.event(myidx, EventKind::OpFinish, iter as u64);
                 return None; // line 18 — Inv. 11: no node was assigned to us
             }
-            // SAFETY: lhead protected (line 8) and validated (line 9).
-            // ORDERING: ACQUIRE — pairs with the linking CAS's release so
-            // the node we are about to assign and dereference is fully
-            // initialized. (This is the edge the weak-ordering mutant in
-            // turnq-modelcheck drops.)
+            // SAFETY(hp-validate): lhead protected (line 8) and validated
+            // (line 9).
+            // ORDERING(q.next-read): ACQUIRE — pairs with the linking
+            // CAS's release so the node we are about to assign and
+            // dereference is fully initialized. (This is the edge the
+            // weak-ordering mutant in turnq-modelcheck drops.)
+            // pairs=q.link-cas
             let next_ptr = unsafe { &*lhead }.next.load(ord::ACQUIRE);
             // lines 20-21: protect + validate head->next.
-            // ORDERING: SEQ_CST — protect/validate handshake for HP_NEXT.
+            // ORDERING(q.head-validate): SEQ_CST — protect/validate
+            // handshake for HP_NEXT. pairs=q.head-advance
             let lnext = self.hp.protect_ptr(myidx, HP_NEXT, next_ptr);
             if lhead != self.head.load(ord::SEQ_CST) {
                 iter += 1;
@@ -1099,19 +1144,24 @@ impl<T> TurnQueue<T> {
         // lines 24-28: our request is satisfied; make sure the head has
         // moved past the node we were assigned (Inv. 8 guarantees the node
         // stays reachable to us through deqhelp even after that).
-        // ORDERING: ACQUIRE — pairs with the closing store/CAS's release:
-        // makes the assigning thread's writes (deq_tid, the link it read
-        // through) visible before we dereference my_node below.
+        // ORDERING(q.deq-complete): ACQUIRE — pairs with the closing
+        // store/CAS's release: makes the assigning thread's writes
+        // (deq_tid, the link it read through) visible before we
+        // dereference my_node below. pairs=q.deq-close-cas,q.deq-close-own
         let my_node = my_deqhelp.load(ord::ACQUIRE);
-        // ORDERING: ACQUIRE — candidate; SeqCst validation follows.
+        // ORDERING(q.head-candidate): ACQUIRE — candidate; SeqCst
+        // validation follows. pairs=q.head-advance
         let lhead = self
             .hp
             .protect_ptr(myidx, HP_HEAD_TAIL, self.head.load(ord::ACQUIRE));
-        // ORDERING: SEQ_CST (validate) / ACQUIRE (next read) — the same
-        // edges as the helping loop; the head advance itself is
-        // `advance_head`, which also retires a fast-claimed old head.
+        // ORDERING(q.head-validate): SEQ_CST — the same validate edge as
+        // the helping loop; the head advance itself is `advance_head`,
+        // which also retires a fast-claimed old head. pairs=q.head-advance
         if lhead == self.head.load(ord::SEQ_CST)
-            // SAFETY: lhead protected + validated (short-circuit order).
+            // SAFETY(hp-validate): lhead protected + validated
+            // (short-circuit order).
+            // ORDERING(q.next-read): ACQUIRE — pairs with the linking
+            // CAS's release, as in the helping loop. pairs=q.link-cas
             && my_node == unsafe { &*lhead }.next.load(ord::ACQUIRE)
         {
             self.advance_head(lhead, my_node, myidx);
@@ -1120,17 +1170,20 @@ impl<T> TurnQueue<T> {
         // line 30: retire the node from two dequeues ago — only now is it
         // out of both deqself[myidx] and deqhelp[myidx] (§2.4), and Inv. 10
         // says we are the only thread that may retire it.
-        // SAFETY: pr_req is a unique Box-allocated node, now unreachable
-        // from every shared variable, retired exactly once (Inv. 10).
+        // SAFETY(retire-unique): pr_req is a unique Box-allocated node, now
+        // unreachable from every shared variable, retired exactly once
+        // (Inv. 10).
         unsafe { self.hp.retire(myidx, pr_req) };
         // line 31: the item belongs to us — unique assignment (Inv. 9).
-        // SAFETY: my_node is reachable through deqhelp[myidx] (Inv. 8) and
-        // only retired by us, two dequeues from now.
-        // ORDERING: ACQUIRE — deq_tid is write-once (IDX_NONE → tid, by
-        // CAS); acquire pairs with that CAS's release half.
+        // SAFETY(tid-exclusive): my_node is reachable through
+        // deqhelp[myidx] (Inv. 8) and only retired by us, two dequeues
+        // from now.
+        // ORDERING(q.deqtid-read): ACQUIRE — deq_tid is write-once
+        // (IDX_NONE → tid, by CAS); acquire pairs with that CAS's release
+        // half. pairs=n.deqtid-cas
         let assigned = unsafe { &*my_node }.deq_tid.load(ord::ACQUIRE);
         debug_assert_eq!(assigned, myidx as i32, "node must be assigned to us");
-        // SAFETY: see above.
+        // SAFETY(tid-exclusive): see above.
         let taken = unsafe { (*my_node).take_item() };
         debug_assert!(taken.is_some(), "assigned node must still hold its item");
         self.record_dequeue(myidx, depth);
@@ -1141,17 +1194,19 @@ impl<T> TurnQueue<T> {
     /// request the node `lnext` should be assigned to, assign it by CAS,
     /// and return the final assignment.
     fn search_next(&self, lhead: *mut Node<T>, lnext: *mut Node<T>) -> i32 {
-        // SAFETY: both pointers are protected by the caller's hazard slots
-        // (HP_HEAD_TAIL and HP_NEXT) and validated against head.
+        // SAFETY(hp-inherited): both pointers are protected by the
+        // caller's hazard slots (HP_HEAD_TAIL and HP_NEXT) and validated
+        // against head.
         let lhead_ref = unsafe { &*lhead };
         let lnext_ref = unsafe { &*lnext };
         // The dequeue turn is the deqTid of the current head (the last
         // satisfied request); IDX_NONE (initial sentinel) starts at slot 0,
         // and a fast-claimed head (≤ -2) decodes back to the turn it
         // preserved, so fast consumption leaves the rotation where it was.
-        // ORDERING: ACQUIRE — the head node's deq_tid is write-once and was
-        // fixed before the head CAS that made lhead the head; the SeqCst
-        // head validation in our caller already ordered that CAS before us.
+        // ORDERING(q.deqtid-read): ACQUIRE — the head node's deq_tid is
+        // write-once and was fixed before the head CAS that made lhead the
+        // head; the SeqCst head validation in our caller already ordered
+        // that CAS before us. pairs=n.deqtid-cas
         let turn = decode_turn(lhead_ref.deq_tid.load(ord::ACQUIRE));
         for d in 1..=self.max_threads as i32 {
             let id_deq = (turn + d).rem_euclid(self.max_threads as i32) as usize;
@@ -1161,24 +1216,27 @@ impl<T> TurnQueue<T> {
             // misread as open, but then line 39's check fails because the
             // head must have advanced twice for that reuse to happen,
             // meaning lnext is already assigned.
-            // ORDERING: SEQ_CST — consensus scan (line 38): open/closed is
-            // decided against the same total order as the line-5 publish
-            // and line-11 rollback stores; a weaker read could skip a
-            // request's turn and break the Inv. 5/11 helping bound.
+            // ORDERING(q.deq-scan): SEQ_CST — consensus scan (line 38):
+            // open/closed is decided against the same total order as the
+            // line-5 publish and line-11 rollback stores; a weaker read
+            // could skip a request's turn and break the Inv. 5/11 helping
+            // bound. pairs=q.deq-publish,q.deq-rollback
             if self.deqself[id_deq].load(ord::SEQ_CST)
                 != self.deqhelp[id_deq].load(ord::SEQ_CST)
             {
                 continue;
             }
-            // ORDERING: ACQUIRE — write-once field; the per-location CAS
-            // order of cas_deq_tid decides the assignment race (line 40).
+            // ORDERING(q.deqtid-read): ACQUIRE — write-once field; the
+            // per-location CAS order of cas_deq_tid decides the assignment
+            // race (line 40). pairs=n.deqtid-cas
             if lnext_ref.deq_tid.load(ord::ACQUIRE) == IDX_NONE {
                 // line 40
                 lnext_ref.cas_deq_tid(IDX_NONE, id_deq as i32);
             }
             break;
         }
-        // ORDERING: ACQUIRE — write-once field; see above.
+        // ORDERING(q.deqtid-read): ACQUIRE — write-once field; see above.
+        // pairs=n.deqtid-cas
         lnext_ref.deq_tid.load(ord::ACQUIRE) // line 44
     }
 
@@ -1186,8 +1244,10 @@ impl<T> TurnQueue<T> {
     /// assigned node into the owner's `deqhelp` slot (closing the request),
     /// then advance the head.
     fn cas_deq_and_head(&self, lhead: *mut Node<T>, lnext: *mut Node<T>, myidx: usize) {
-        // SAFETY: lnext protected by the caller (HP_NEXT) and assigned.
-        // ORDERING: ACQUIRE — write-once field set by cas_deq_tid.
+        // SAFETY(hp-inherited): lnext protected by the caller (HP_NEXT)
+        // and assigned.
+        // ORDERING(q.deqtid-read): ACQUIRE — write-once field set by
+        // cas_deq_tid. pairs=n.deqtid-cas
         let ldeq_tid = unsafe { &*lnext }.deq_tid.load(ord::ACQUIRE);
         debug_assert_ne!(ldeq_tid, IDX_NONE);
         if is_fast_claim(ldeq_tid) {
@@ -1200,30 +1260,34 @@ impl<T> TurnQueue<T> {
         let ldeq_tid = usize::try_from(ldeq_tid).expect("assigned tid is non-negative");
         if ldeq_tid == myidx {
             // line 50: closing our own request needs no CAS.
-            // ORDERING: RELEASE — as in the paper: publishes the assigned
-            // node (and everything it reaches) to the acquire loads of
-            // deqhelp[myidx]; only this thread opens/closes its own slot,
-            // so no total-order constraint applies.
+            // ORDERING(q.deq-close-own): RELEASE — as in the paper:
+            // publishes the assigned node (and everything it reaches) to
+            // the acquire loads of deqhelp[myidx]; only this thread
+            // opens/closes its own slot, so no total-order constraint
+            // applies. pairs=q.deq-complete,q.deq-panic-scan
             self.deqhelp[ldeq_tid].store(lnext, ord::RELEASE);
         } else {
             // lines 52-54. The hazard on deqhelp[ldeqTid] is *not* for a
             // dereference — it pins the old value so it cannot go through
             // retire→free→realloc→enqueue→dequeue and reappear here, which
             // would let the CAS succeed on a stale request (ABA, §2.4).
-            // ORDERING: ACQUIRE — candidate for the ABA-pinning hazard; a
-            // stale value only makes the CAS below fail harmlessly.
+            // ORDERING(q.deqhelp-pin): ACQUIRE — candidate for the
+            // ABA-pinning hazard; a stale value only makes the CAS below
+            // fail harmlessly. pairs=q.deq-close-cas
             let ldeqhelp = self.hp.protect_ptr(
                 myidx,
                 HP_DEQ,
                 self.deqhelp[ldeq_tid].load(ord::ACQUIRE),
             );
-            // ORDERING: SEQ_CST — the head re-check is the §2.4 validation
-            // that the pinned request state is still current.
+            // ORDERING(q.head-validate): SEQ_CST — the head re-check is
+            // the §2.4 validation that the pinned request state is still
+            // current. pairs=q.head-advance
             if ldeqhelp != lnext && lhead == self.head.load(ord::SEQ_CST) {
-                // ORDERING: SEQ_CST — closing CAS (line 53): must sit in
-                // the same total order as the owner's line-5 publish and
-                // line-11 rollback, or a rolled-back request could be
-                // "satisfied" and the item lost (Inv. 9).
+                // ORDERING(q.deq-close-cas): SEQ_CST — closing CAS (line
+                // 53): must sit in the same total order as the owner's
+                // line-5 publish and line-11 rollback, or a rolled-back
+                // request could be "satisfied" and the item lost (Inv. 9).
+                // pairs=q.deq-complete,q.rollback-check,q.deqhelp-pin,q.deq-panic-scan
                 match self.deqhelp[ldeq_tid].compare_exchange(
                     ldeqhelp,
                     lnext,
@@ -1261,18 +1325,21 @@ impl<T> TurnQueue<T> {
     /// head passes it, the advance winner is the only thread that can still
     /// name it safely.
     pub(crate) fn advance_head(&self, lhead: *mut Node<T>, lnext: *mut Node<T>, myidx: usize) {
-        // ORDERING: SEQ_CST — head advance (Inv. 8): ordered after the
-        // closing store/CAS of the consumption in the total order, so a
-        // slow owner can always reach its assigned node through deqhelp.
+        // ORDERING(q.head-advance): SEQ_CST — head advance (Inv. 8):
+        // ordered after the closing store/CAS of the consumption in the
+        // total order, so a slow owner can always reach its assigned node
+        // through deqhelp. pairs=q.head-candidate,q.head-validate
         match self
             .head
             .compare_exchange(lhead, lnext, ord::SEQ_CST, ord::SEQ_CST)
         {
             Ok(_) => {
-                // SAFETY: lhead is protected by the caller's hazard slot.
-                // ORDERING: ACQUIRE — write-once claim field.
+                // SAFETY(hp-inherited): lhead is protected by the caller's
+                // hazard slot.
+                // ORDERING(q.deqtid-read): ACQUIRE — write-once claim
+                // field. pairs=n.deqtid-cas
                 if is_fast_claim(unsafe { &*lhead }.deq_tid.load(ord::ACQUIRE)) {
-                    // SAFETY: we won the unique lhead→lnext advance; a
+                    // SAFETY(retire-unique): we won the unique lhead→lnext advance; a
                     // fast-claimed node is unreachable from every shared
                     // variable once the head passes it (never in
                     // enqueuers/deqself/deqhelp), so it is retired exactly
@@ -1294,33 +1361,40 @@ impl<T> TurnQueue<T> {
     /// or make sure the first node of the queue gets assigned — possibly to
     /// itself — before returning (§2.3.1).
     fn give_up(&self, my_req: *mut Node<T>, myidx: usize) {
-        // ORDERING: SEQ_CST — ordered after our line-11 rollback store
-        // (StoreLoad), mirroring the emptiness-check reasoning (§2.3.1).
+        // ORDERING(q.head-candidate): SEQ_CST — ordered after our line-11
+        // rollback store (StoreLoad), mirroring the emptiness-check
+        // reasoning (§2.3.1); validated below before any dereference.
+        // pairs=q.head-advance
         let lhead = self.head.load(ord::SEQ_CST); // line 61
-        // ORDERING: SEQ_CST — conclusive only if ordered after the
-        // rollback; a stale "unsatisfied" would leak an assigned node.
+        // ORDERING(q.rollback-check): SEQ_CST — conclusive only if ordered
+        // after the rollback; a stale "unsatisfied" would leak an assigned
+        // node. pairs=q.deq-close-cas
         if self.deqhelp[myidx].load(ord::SEQ_CST) != my_req {
             return; // line 62: someone satisfied us — dequeue() will see it
         }
-        // ORDERING: SEQ_CST — emptiness re-check against the same total
-        // order as enqueue's publish and tail advance (line 63).
+        // ORDERING(q.empty-check): SEQ_CST — emptiness re-check against
+        // the same total order as enqueue's publish and tail advance (line
+        // 63). pairs=q.tail-advance
         if lhead == self.tail.load(ord::SEQ_CST) {
             return; // line 63: still empty — the rollback stands
         }
         // lines 64-65: protect + validate head. A change means a dequeue
         // completed; the head advance publishes our rollback (§2.3.1).
         self.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
-        // ORDERING: SEQ_CST — protect/validate handshake (lines 64-65).
+        // ORDERING(q.head-validate): SEQ_CST — protect/validate handshake
+        // (lines 64-65). pairs=q.head-advance
         if lhead != self.head.load(ord::SEQ_CST) {
             return;
         }
         // lines 66-67: protect + validate head->next.
-        // SAFETY: lhead protected and validated just above.
-        // ORDERING: ACQUIRE (next read, pairs with the linking CAS) then
-        // SEQ_CST (protect/validate handshake for HP_NEXT, lines 66-67).
+        // SAFETY(hp-validate): lhead protected and validated just above.
+        // ORDERING(q.next-read): ACQUIRE — next read, pairs with the
+        // linking CAS's release. pairs=q.link-cas
         let lnext = self
             .hp
             .protect_ptr(myidx, HP_NEXT, unsafe { &*lhead }.next.load(ord::ACQUIRE));
+        // ORDERING(q.head-validate): SEQ_CST — protect/validate handshake
+        // for HP_NEXT (lines 66-67). pairs=q.head-advance
         if lhead != self.head.load(ord::SEQ_CST) {
             return;
         }
@@ -1328,7 +1402,7 @@ impl<T> TurnQueue<T> {
         // request is open, assign it to ourselves (re-satisfying the
         // request we are rolling back).
         if self.search_next(lhead, lnext) == IDX_NONE {
-            // SAFETY: lnext protected (HP_NEXT) and validated.
+            // SAFETY(hp-validate): lnext protected (HP_NEXT) and validated.
             unsafe { &*lnext }.cas_deq_tid(IDX_NONE, myidx as i32);
         }
         self.cas_deq_and_head(lhead, lnext, myidx); // line 71
@@ -1348,20 +1422,21 @@ impl<T> Drop for TurnQueue<T> {
         // (dropped by Node's Option). The request-tracking slots hold
         // already-dequeued nodes (items taken) plus the initial dummies;
         // `deqhelp[i]` may alias the current head sentinel, so dedupe.
-        // ORDERING: RELAXED — `&mut self`: no concurrent access anywhere
-        // in this destructor, so plain coherence is enough (all loads
-        // below share this justification).
+        // ORDERING(q.drop-walk): RELAXED — `&mut self`: no concurrent
+        // access anywhere in this destructor, so plain coherence is enough
+        // (all loads below share this justification).
         let mut to_free: Vec<*mut Node<T>> = Vec::new();
         let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
             to_free.push(node);
-            // SAFETY: the node is alive: this context owns it exclusively (or frees it last).
-            // ORDERING: RELAXED — &mut self, see above.
+            // SAFETY(drop-exclusive): the node is alive: this context owns
+            // it exclusively (or frees it last).
+            // ORDERING(q.drop-walk): RELAXED — &mut self, see above.
             node = unsafe { &*node }.next.load(ord::RELAXED);
         }
         for slots in [&self.deqself, &self.deqhelp] {
             for slot in slots.iter() {
-                // ORDERING: RELAXED — &mut self, see above.
+                // ORDERING(q.drop-walk): RELAXED — &mut self, see above.
                 let p = slot.load(ord::RELAXED);
                 if !p.is_null() && !to_free.contains(&p) {
                     to_free.push(p);
@@ -1371,11 +1446,12 @@ impl<T> Drop for TurnQueue<T> {
         for slot in self.enqueuers.iter() {
             // A published-but-never-inserted request is impossible once all
             // threads returned from enqueue() (Inv. 6).
-            // ORDERING: RELAXED — &mut self, see above.
+            // ORDERING(q.drop-walk): RELAXED — &mut self, see above.
             debug_assert!(slot.load(ord::RELAXED).is_null());
         }
         for p in to_free {
-            // SAFETY: collected exactly once each; exclusive access.
+            // SAFETY(drop-exclusive): collected exactly once each;
+            // exclusive access.
             unsafe { drop(Box::from_raw(p)) };
         }
         // Retired-but-protected nodes are freed by HazardPointers::drop.

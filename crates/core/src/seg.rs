@@ -135,7 +135,7 @@ impl<T> SegRing<T> {
 /// carries `Some(ring)` from construction to drop (`take_item` is never
 /// called on the inner queue), so the payload read cannot race a writer.
 unsafe fn ring_of<'a, T>(node: *mut Node<SegRing<T>>) -> &'a SegRing<T> {
-    // SAFETY: liveness per the contract above; the payload is written only
+    // SAFETY(hp-inherited): liveness per the contract above; the payload is written only
     // before the node is published (seed/reset) and after it is reclaimed
     // (pool reuse), never while a hazard pointer covers it — which is the
     // declared-shared-read contract `shared_read_ptr` asserts to the model
@@ -162,12 +162,13 @@ impl<T> SegCore<T> {
     /// geometry matches) or allocate a fresh one; either way the node
     /// carries a ring seeded with `item` and our thread id.
     fn alloc_seg_node(&self, myidx: usize, item: T) -> *mut Node<SegRing<T>> {
-        // SAFETY: `myidx` is the caller's registered index (the pool's
-        // exclusivity contract, same as `TurnQueue::alloc_node`).
+        // SAFETY(pool-owner): `myidx` is the caller's registered index
+        // (the pool's exclusivity contract, same as
+        // `TurnQueue::alloc_node`).
         match unsafe { self.inner.pool.acquire(myidx) } {
             Some(recycled) => {
-                // SAFETY: the node came off our own free list — no hazard
-                // pointer covers it, we own it exclusively.
+                // SAFETY(pool-owner): the node came off our own free list
+                // — no hazard pointer covers it, we own it exclusively.
                 let node = unsafe { &mut *recycled };
                 // The pool runs in retain mode (see `set_retain_payload`),
                 // so the node usually still carries its previous ring:
@@ -179,8 +180,8 @@ impl<T> SegCore<T> {
                     }
                     _ => SegRing::seeded(self.seg_size, item),
                 };
-                // SAFETY: exclusive ownership as above; the previous
-                // payload was just taken out.
+                // SAFETY(node-unpublished): exclusive ownership as above;
+                // the previous payload was just taken out.
                 unsafe { Node::reset(recycled, Some(ring), myidx as u32) };
                 recycled
             }
@@ -202,9 +203,10 @@ impl<T> SegCore<T> {
         let mut tries = 0u32;
         while tries < SEG_CLAIM_TRIES {
             tries += 1;
-            // ORDERING: SEQ_CST — the claim's source read; on the cached
-            // path it is the only handshake load (see below), and it
-            // orders the ticket FAA after this point in the total order.
+            // ORDERING(q.tail-validate): SEQ_CST — the claim's source
+            // read; on the cached path it is the only handshake load (see
+            // below), and it orders the ticket FAA after this point in the
+            // total order. pairs=q.tail-advance
             let ltail = self.inner.tail.load(ord::SEQ_CST);
             // HP caching (§6d): skip protect/validate when our slot —
             // continuously published since seg code last validated it —
@@ -218,22 +220,24 @@ impl<T> SegCore<T> {
             // protect.
             if ltail != self.inner.hp.protected(myidx, HP_HEAD_TAIL) {
                 self.inner.hp.protect_ptr(myidx, HP_HEAD_TAIL, ltail);
-                // ORDERING: SEQ_CST — protect/validate handshake
-                // (Algorithm 5, same pattern as the per-item fast path).
+                // ORDERING(q.tail-validate): SEQ_CST — protect/validate
+                // handshake (Algorithm 5, same pattern as the per-item
+                // fast path). pairs=q.tail-advance
                 if ltail != self.inner.tail.load(ord::SEQ_CST) {
                     tel.bump(myidx, CounterId::SegEnqRetry);
                     continue;
                 }
             }
-            // SAFETY: ltail is protected and validated; HP keeps it (and
-            // its ring) alive through the whole claim, including the
-            // poisoned-cell item take-back below.
+            // SAFETY(hp-validate): ltail is protected and validated; HP
+            // keeps it (and its ring) alive through the whole claim,
+            // including the poisoned-cell item take-back below.
             let ring = unsafe { ring_of(ltail) };
-            // ORDERING: SEQ_CST — the ticket dispenser. The FAA must sit in
-            // the same total order as the consumers' `enq_idx` loads in the
-            // empty check and their `deq_idx` FAAs, so "ticket < K" and the
-            // emptiness verdicts agree across threads (the faa_array
-            // baseline uses the same ordering for the same reason).
+            // ORDERING(sg.enq-ticket): SEQ_CST — the ticket dispenser.
+            // The FAA must sit in the same total order as the consumers'
+            // `enq_idx` loads in the empty check and their `deq_idx` FAAs,
+            // so "ticket < K" and the emptiness verdicts agree across
+            // threads (the faa_array baseline uses the same ordering for
+            // the same reason).
             let e = ring.enq_idx.fetch_add(1, ord::SEQ_CST);
             if e >= k {
                 // Exhausted ring. Ticket exactly K makes us the *designated
@@ -247,15 +251,17 @@ impl<T> SegCore<T> {
                 continue;
             }
             let cell = &ring.cells[e as usize];
-            // SAFETY: we hold enqueue ticket `e`, the unique writer of
-            // `cells[e]`; the consumer side never touches `item` unless it
-            // observes FULL (published by the CAS below).
+            // SAFETY(claim-owner): we hold enqueue ticket `e` (won by the
+            // FAA above), the unique writer of `cells[e]`; the consumer
+            // side never touches `item` unless it observes FULL (published
+            // by the CAS below).
             unsafe { *cell.item.get() = holder.take() };
-            // ORDERING: RELEASE / ACQUIRE — the rendezvous publish: release
-            // makes the item write above visible to the consumer's acquire
-            // read of FULL; on failure (consumer poisoned first) acquire
-            // orders our item take-back after its CAS, though only our own
-            // write is read back.
+            // ORDERING(sg.cell-publish): RELEASE / ACQUIRE — the
+            // rendezvous publish: release makes the item write above
+            // visible to the consumer's acquire read of FULL; on failure
+            // (consumer poisoned first) acquire orders our item take-back
+            // after its CAS, though only our own write is read back.
+            // pairs=sg.cell-read,sg.cell-poison
             match cell
                 .state
                 .compare_exchange(CELL_EMPTY, CELL_FULL, ord::RELEASE, ord::ACQUIRE)
@@ -274,9 +280,9 @@ impl<T> SegCore<T> {
                     // Only the dequeue-ticket holder can move the cell out
                     // of EMPTY besides us, and only to POISONED.
                     debug_assert_eq!(state, CELL_POISONED);
-                    // SAFETY: a poisoned cell's consumer never reads
-                    // `item`; we are still the unique ticket holder, and
-                    // HP still covers the ring.
+                    // SAFETY(claim-owner): a poisoned cell's consumer
+                    // never reads `item`; we are still the unique ticket
+                    // holder, and HP still covers the ring.
                     holder = unsafe { (*cell.item.get()).take() };
                     debug_assert!(holder.is_some(), "poisoned cell must return the item");
                     tel.bump(myidx, CounterId::SegEnqRetry);
@@ -310,29 +316,30 @@ impl<T> SegCore<T> {
         tel.event(myidx, EventKind::OpStart, 1);
         let k = self.seg_size as u64;
         loop {
-            // ORDERING: SEQ_CST — source read; on the cached path it is
-            // the only handshake load (HP caching, argued at the enqueue
-            // counterpart).
+            // ORDERING(q.head-validate): SEQ_CST — source read; on the
+            // cached path it is the only handshake load (HP caching,
+            // argued at the enqueue counterpart). pairs=q.head-advance
             let lhead = self.inner.head.load(ord::SEQ_CST);
             if lhead != self.inner.hp.protected(myidx, HP_HEAD_TAIL) {
                 self.inner.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
-                // ORDERING: SEQ_CST — protect/validate handshake
-                // (Algorithm 5).
+                // ORDERING(q.head-validate): SEQ_CST — protect/validate
+                // handshake (Algorithm 5). pairs=q.head-advance
                 if lhead != self.inner.head.load(ord::SEQ_CST) {
                     continue;
                 }
             }
-            // SAFETY: lhead is protected and validated (now or on the
-            // cached-slot round that published it); HP keeps it (and its
-            // ring) alive through the rendezvous below.
+            // SAFETY(hp-validate): lhead is protected and validated (now
+            // or on the cached-slot round that published it); HP keeps it
+            // (and its ring) alive through the rendezvous below.
             let lhead_ref = unsafe { &*lhead };
-            // SAFETY: same protection as above.
+            // SAFETY(hp-validate): same protection as above.
             let ring = unsafe { ring_of(lhead) };
             if !self.drained_guard {
                 // Mutant (test-only, guard disabled): advance as soon as a
                 // successor exists, abandoning undelivered cells — the loss
                 // the modelcheck boundary mutant catches.
-                // ORDERING: SEQ_CST — mirrors the guarded advance below.
+                // ORDERING(q.fast-empty-check): SEQ_CST — mirrors the
+                // guarded advance below. pairs=q.link-cas
                 let lnext = lhead_ref.next.load(ord::SEQ_CST);
                 if !lnext.is_null() {
                     lhead_ref.cas_deq_tid(IDX_NONE, encode_fast(0));
@@ -344,11 +351,15 @@ impl<T> SegCore<T> {
             // Linearizable empty check, the segment analogue of the
             // per-item `next == null` check (Inv. 11): every filled cell is
             // covered by a dequeue ticket AND no successor segment exists.
-            // ORDERING: SEQ_CST ×3 — the verdict is conclusive only if the
-            // three loads sit in the single total order with the producers'
-            // `enq_idx` FAA, rendezvous publish, and append link; the
-            // faa_array baseline's triple check carries the same argument.
+            // ORDERING(sg.empty-verdict): SEQ_CST — the verdict is
+            // conclusive only if these loads sit in the single total order
+            // with the producers' `enq_idx` FAA, rendezvous publish, and
+            // append link; the faa_array baseline's triple check carries
+            // the same argument.
             if ring.deq_idx.load(ord::SEQ_CST) >= ring.enq_idx.load(ord::SEQ_CST).min(k)
+                // ORDERING(q.fast-empty-check): SEQ_CST — the successor
+                // half of the verdict, against the append link.
+                // pairs=q.link-cas
                 && lhead_ref.next.load(ord::SEQ_CST).is_null()
             {
                 // HP stays published (caching) — lhead is still the head,
@@ -357,15 +368,16 @@ impl<T> SegCore<T> {
                 tel.event(myidx, EventKind::OpFinish, 0);
                 return None;
             }
-            // ORDERING: SEQ_CST — ticket dispenser, same total-order
-            // reasoning as the enqueue-side FAA.
+            // ORDERING(sg.deq-ticket): SEQ_CST — ticket dispenser, same
+            // total-order reasoning as the enqueue-side FAA.
             let d = ring.deq_idx.fetch_add(1, ord::SEQ_CST);
             if d >= k {
                 // Boundary: all K cells are covered by unique consumer
                 // tickets (the FAA hands each of 0..K out exactly once), so
                 // the ring is fully claimed and the head may pass it.
-                // ORDERING: SEQ_CST — conclusive successor check, ordered
-                // after our FAA (StoreLoad) like the empty check above.
+                // ORDERING(q.fast-empty-check): SEQ_CST — conclusive
+                // successor check, ordered after our FAA (StoreLoad) like
+                // the empty check above. pairs=q.link-cas
                 let lnext = lhead_ref.next.load(ord::SEQ_CST);
                 if lnext.is_null() {
                     // HP stays published (caching), as in the verdict above.
@@ -385,18 +397,18 @@ impl<T> SegCore<T> {
                 continue;
             }
             let cell = &ring.cells[d as usize];
-            // ORDERING: ACQUIRE — rendezvous read: pairs with the
-            // producer's release CAS to FULL, making its item write
-            // visible before the take below.
+            // ORDERING(sg.cell-read): ACQUIRE — rendezvous read: pairs
+            // with the producer's release CAS to FULL, making its item
+            // write visible before the take below. pairs=sg.cell-publish
             if cell.state.load(ord::ACQUIRE) == CELL_FULL {
                 return Some(self.take_cell(myidx, cell, tel));
             }
-            // ORDERING: ACQ_REL / ACQUIRE — poison CAS. Success: the
-            // producer must observe POISONED (its CAS to FULL fails) and
-            // reclaim its item; release orders our ticket burn before that.
-            // Failure: the cell went FULL (only the enqueue-ticket holder
-            // can do that), and acquire pairs with its release so the item
-            // is visible.
+            // ORDERING(sg.cell-poison): ACQ_REL / ACQUIRE — poison CAS.
+            // Success: the producer must observe POISONED (its CAS to FULL
+            // fails) and reclaim its item; release orders our ticket burn
+            // before that. Failure: the cell went FULL (only the
+            // enqueue-ticket holder can do that), and acquire pairs with
+            // its release so the item is visible. pairs=sg.cell-publish
             match cell
                 .state
                 .compare_exchange(CELL_EMPTY, CELL_POISONED, ord::ACQ_REL, ord::ACQUIRE)
@@ -417,14 +429,16 @@ impl<T> SegCore<T> {
 
     /// Take the item out of a FULL cell we hold the dequeue ticket for.
     fn take_cell(&self, myidx: usize, cell: &SegCell<T>, tel: &TelemetrySheet) -> T {
-        // SAFETY: we hold the cell's unique dequeue ticket and observed
-        // FULL through an acquire edge: the producer's item write is
-        // visible, it will never touch the cell again, and the ring is
-        // still HP-protected (the slot stays published as a cache).
+        // SAFETY(ring-slot): we hold the cell's unique dequeue ticket
+        // and observed FULL through an acquire edge: the producer's item
+        // write is visible, it will never touch the cell again, and the
+        // ring is still HP-protected (the slot stays published as a
+        // cache).
         let item = unsafe { (*cell.item.get()).take() };
-        // ORDERING: RELAXED — terminal marker: no protocol decision ever
-        // reads TAKEN (ring reset happens under exclusive ownership); it
-        // exists for debug assertions and post-mortem inspection.
+        // ORDERING(sg.cell-taken): RELAXED — terminal marker: no
+        // protocol decision ever reads TAKEN (ring reset happens under
+        // exclusive ownership); it exists for debug assertions and
+        // post-mortem inspection.
         cell.state.store(CELL_TAKEN, ord::RELAXED);
         // HP stays published (caching) — see `enqueue_with`'s cell hit.
         tel.bump(myidx, CounterId::SegDeqCellHit);
@@ -438,22 +452,28 @@ impl<T> SegCore<T> {
     fn is_empty_probe(&self, myidx: usize) -> bool {
         let k = self.seg_size as u64;
         loop {
-            // ORDERING: SEQ_CST — source read; cached-path handshake as in
-            // `dequeue_with`.
+            // ORDERING(q.head-validate): SEQ_CST — source read;
+            // cached-path handshake as in `dequeue_with`.
+            // pairs=q.head-advance
             let lhead = self.inner.head.load(ord::SEQ_CST);
             if lhead != self.inner.hp.protected(myidx, HP_HEAD_TAIL) {
                 self.inner.hp.protect_ptr(myidx, HP_HEAD_TAIL, lhead);
-                // ORDERING: SEQ_CST — protect/validate handshake.
+                // ORDERING(q.head-validate): SEQ_CST — protect/validate
+                // handshake. pairs=q.head-advance
                 if lhead != self.inner.head.load(ord::SEQ_CST) {
                     continue;
                 }
             }
-            // SAFETY: lhead protected and validated (possibly cached).
+            // SAFETY(hp-validate): lhead protected and validated
+            // (possibly cached).
             let ring = unsafe { ring_of(lhead) };
-            // ORDERING: SEQ_CST ×3 — same triple check as `dequeue_with`'s
-            // empty verdict (it is that check, without the FAA).
+            // ORDERING(sg.empty-verdict): SEQ_CST — same triple check as
+            // `dequeue_with`'s empty verdict (it is that check, without
+            // the FAA).
             let empty = ring.deq_idx.load(ord::SEQ_CST) >= ring.enq_idx.load(ord::SEQ_CST).min(k)
-                // SAFETY: lhead protected and validated above.
+                // SAFETY(hp-validate): lhead protected and validated above.
+                // ORDERING(q.fast-empty-check): SEQ_CST — successor half.
+                // pairs=q.link-cas
                 && unsafe { &*lhead }.next.load(ord::SEQ_CST).is_null();
             // HP stays published (caching).
             return empty;
@@ -510,12 +530,13 @@ impl<T: Send> SegTurnQueue<T> {
         // Seed the sentinel with an empty ring: in segment mode the head
         // node's payload is *live* (it is the active dequeue segment, not a
         // consumed dummy), so every list node must carry Some(ring).
-        // ORDERING: RELAXED — single-threaded constructor; whatever shares
-        // the queue afterwards (Arc, scoped spawn) provides the
-        // release/acquire publication edge (same as the builder's dummies).
+        // ORDERING(q.ctor-init): RELAXED — single-threaded constructor;
+        // whatever shares the queue afterwards (Arc, scoped spawn)
+        // provides the release/acquire publication edge (same as the
+        // builder's dummies).
         let sentinel = inner.head.load(ord::RELAXED);
-        // SAFETY: the constructor owns the queue exclusively — no other
-        // thread can reach the sentinel yet.
+        // SAFETY(node-unpublished): the constructor owns the queue
+        // exclusively — no other thread can reach the sentinel yet.
         unsafe { *(*sentinel).item.get() = Some(SegRing::fresh(k)) };
         SegTurnQueue {
             imp: SegImpl::Seg(SegCore {

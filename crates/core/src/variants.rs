@@ -63,14 +63,17 @@ impl<T> TurnMpscQueue<T> {
     /// Racy emptiness hint (consumer-side `dequeue()` returning `None` is
     /// the authoritative check). True when no *visible* item is linked.
     pub fn is_empty(&self) -> bool {
-        // ORDERING: ACQUIRE — the dereference below needs the node's
-        // initialization (published by the release half of the store/CAS
-        // that installed it); the answer itself is a racy hint.
+        // ORDERING(vr.empty-head): ACQUIRE — the dereference below needs
+        // the node's initialization (published by the release half of the
+        // store/CAS that installed it); the answer itself is a racy hint.
+        // pairs=vr.head-advance
         let head = self.inner.head.load(ord::ACQUIRE);
-        // SAFETY: the consumer is the only thread that frees nodes, so the
-        // head cannot be freed between this load and the dereference — at
-        // worst this is a stale answer, which a hint permits.
-        // ORDERING: ACQUIRE — null-or-linked hint; pairs with the link.
+        // SAFETY(endpoint-exclusive): the consumer is the only thread that
+        // frees nodes, so the head cannot be freed between this load and
+        // the dereference — at worst this is a stale answer, which a hint
+        // permits.
+        // ORDERING(q.next-read): ACQUIRE — null-or-linked hint; pairs with
+        // the link. pairs=q.link-cas
         unsafe { &*head }.next.load(ord::ACQUIRE).is_null()
     }
 
@@ -89,10 +92,10 @@ impl<T> TurnMpscQueue<T> {
     /// Claim the consumer endpoint. Returns `None` if it is already
     /// claimed. The endpoint is released when the returned guard drops.
     pub fn consumer(&self) -> Option<MpscConsumer<'_, T>> {
-        // ORDERING: ACQ_REL / ACQUIRE — endpoint claim: acquire pairs with
-        // the releasing store of a previous guard's drop (so this consumer
-        // sees its predecessor's head advances); release publishes the
-        // claim itself.
+        // ORDERING(vr.claim-cas): ACQ_REL / ACQUIRE — endpoint claim:
+        // acquire pairs with the releasing store of a previous guard's
+        // drop (so this consumer sees its predecessor's head advances);
+        // release publishes the claim itself. pairs=vr.claim-release
         if self
             .consumer_claimed
             .compare_exchange(false, true, ord::ACQ_REL, ord::ACQUIRE)
@@ -110,7 +113,7 @@ impl<T> TurnMpscQueue<T> {
     }
 }
 
-// SAFETY: same argument as TurnQueue (delegated state).
+// SAFETY(send-sync): same argument as TurnQueue (delegated state).
 unsafe impl<T: Send> Send for TurnMpscQueue<T> {}
 unsafe impl<T: Send> Sync for TurnMpscQueue<T> {}
 
@@ -128,32 +131,36 @@ impl<T> MpscConsumer<'_, T> {
     #[inline]
     pub fn dequeue(&mut self) -> Option<T> {
         let inner = &self.queue.inner;
-        // ORDERING: RELAXED — single-consumer contract: only this endpoint
-        // ever advances head, so this reads back our own last store (or the
-        // claim handoff, ordered by the endpoint CAS).
+        // ORDERING(vr.head-own): RELAXED — single-consumer contract: only
+        // this endpoint ever advances head, so this reads back our own
+        // last store (or the claim handoff, ordered by the endpoint CAS).
         let lhead = inner.head.load(ord::RELAXED);
-        // SAFETY: only this consumer retires nodes, and it retires a node
-        // strictly after moving head past it, so the current head is alive.
-        // ORDERING: ACQUIRE — pairs with the enqueuers' linking CAS
-        // release; makes the node's payload visible to take_item below.
+        // SAFETY(endpoint-exclusive): only this consumer retires nodes,
+        // and it retires a node strictly after moving head past it, so the
+        // current head is alive.
+        // ORDERING(q.next-read): ACQUIRE — pairs with the enqueuers'
+        // linking CAS release; makes the node's payload visible to
+        // take_item below. pairs=q.link-cas
         let lnext = unsafe { &*lhead }.next.load(ord::ACQUIRE);
         if lnext.is_null() {
             return None;
         }
-        // SAFETY: lnext is reachable from the live head; nothing retires it
-        // before we advance head past it below.
+        // SAFETY(endpoint-exclusive): lnext is reachable from the live
+        // head; nothing retires it before we advance head past it below.
         let item = unsafe { (*lnext).take_item() };
         debug_assert!(item.is_some());
-        // ORDERING: RELEASE — publishes the advance to the is_empty hint
-        // and to a successor consumer (via the endpoint claim CAS); no
-        // other protocol step reads head in MPSC mode.
+        // ORDERING(vr.head-advance): RELEASE — publishes the advance to
+        // the is_empty hint and to a successor consumer (via the endpoint
+        // claim CAS); no other protocol step reads head in MPSC mode.
+        // pairs=vr.empty-head
         inner.head.store(lnext, ord::RELEASE);
         // The old head may still be protected by an enqueuer whose tail
         // snapshot lags (tail can point at the before-last node, Inv. 3),
         // so retirement must go through the HP domain.
-        // SAFETY: lhead is now unreachable: head moved past it, and its
-        // enqueuers slot was cleared before lnext could be linked after it
-        // (paper lines 12-15). Retired exactly once (only we retire).
+        // SAFETY(retire-unique): lhead is now unreachable: head moved
+        // past it, and its enqueuers slot was cleared before lnext could
+        // be linked after it (paper lines 12-15). Retired exactly once
+        // (only we retire).
         unsafe { inner.hp.retire(self.tid, lhead) };
         item
     }
@@ -161,8 +168,9 @@ impl<T> MpscConsumer<'_, T> {
 
 impl<T> Drop for MpscConsumer<'_, T> {
     fn drop(&mut self) {
-        // ORDERING: RELEASE — hands our head advances to the next claimant
-        // (whose claim CAS acquires).
+        // ORDERING(vr.claim-release): RELEASE — hands our head advances
+        // to the next claimant (whose claim CAS acquires).
+        // pairs=vr.claim-cas
         self.queue.consumer_claimed.store(false, ord::RELEASE);
     }
 }
@@ -225,7 +233,8 @@ impl<T> TurnSpmcQueue<T> {
     /// Claim the producer endpoint. Returns `None` if it is already
     /// claimed. The endpoint is released when the returned guard drops.
     pub fn producer(&self) -> Option<SpmcProducer<'_, T>> {
-        // ORDERING: ACQ_REL / ACQUIRE — endpoint claim; see consumer().
+        // ORDERING(vr.claim-cas): ACQ_REL / ACQUIRE — endpoint claim; see
+        // consumer(). pairs=vr.claim-release
         if self
             .producer_claimed
             .compare_exchange(false, true, ord::ACQ_REL, ord::ACQUIRE)
@@ -243,7 +252,7 @@ impl<T> TurnSpmcQueue<T> {
     }
 }
 
-// SAFETY: same argument as TurnQueue (delegated state).
+// SAFETY(send-sync): same argument as TurnQueue (delegated state).
 unsafe impl<T: Send> Send for TurnSpmcQueue<T> {}
 unsafe impl<T: Send> Sync for TurnSpmcQueue<T> {}
 
@@ -265,30 +274,34 @@ impl<T> SpmcProducer<'_, T> {
         // is unchanged).
         let node = inner.alloc_node(self.tid as usize, Some(item));
         // Only this producer writes tail, so the load needs no validation.
-        // ORDERING: RELAXED — single-producer contract: reads back our own
-        // last store (or the claim handoff, ordered by the endpoint CAS).
+        // ORDERING(vr.tail-own): RELAXED — single-producer contract:
+        // reads back our own last store (or the claim handoff, ordered by
+        // the endpoint CAS).
         let ltail = inner.tail.load(ord::RELAXED);
-        // SAFETY: dequeuers retire only nodes strictly behind head, and
-        // head never passes tail (a dequeuer that sees head == tail takes
-        // the empty path), so the tail node is alive.
-        // ORDERING: RELEASE — the link publishes the node's payload to the
-        // dequeuers' acquire loads of `next`.
+        // SAFETY(endpoint-exclusive): dequeuers retire only nodes strictly
+        // behind head, and head never passes tail (a dequeuer that sees
+        // head == tail takes the empty path), so the tail node is alive.
+        // ORDERING(q.link-cas): RELEASE — the single-producer form of the
+        // linking CAS: publishes the node's payload to the dequeuers'
+        // acquire loads of `next`. pairs=q.next-read,q.fast-empty-check
         unsafe { &*ltail }.next.store(node, ord::RELEASE);
         // Publishing tail *after* the link preserves Inv. 3 (tail points to
         // the last or before-last node), which the Turn dequeue relies on
         // for its emptiness check.
-        // ORDERING: SEQ_CST — stands in for the full queue's tail-advance
-        // CAS: the dequeue-side head == tail emptiness check (Inv. 11)
-        // reads tail in the single total order, so the publication must
-        // participate in it too.
+        // ORDERING(q.tail-advance): SEQ_CST — stands in for the full
+        // queue's tail-advance CAS: the dequeue-side head == tail
+        // emptiness check (Inv. 11) reads tail in the single total order,
+        // so the publication must participate in it too.
+        // pairs=q.empty-check
         inner.tail.store(node, ord::SEQ_CST);
     }
 }
 
 impl<T> Drop for SpmcProducer<'_, T> {
     fn drop(&mut self) {
-        // ORDERING: RELEASE — hands our tail advances to the next claimant
-        // (whose claim CAS acquires).
+        // ORDERING(vr.claim-release): RELEASE — hands our tail advances
+        // to the next claimant (whose claim CAS acquires).
+        // pairs=vr.claim-cas
         self.queue.producer_claimed.store(false, ord::RELEASE);
     }
 }

@@ -65,7 +65,9 @@ pub struct ConditionalHazardPointers<T: ConditionalReclaim, S: ReclaimSink<T> = 
     telemetry: TelemetryHandle,
 }
 
-// SAFETY: identical reasoning to `HazardPointers`.
+// SAFETY(send-sync): identical reasoning to `HazardPointers` — raw
+// pointers are managed under the HP protocol, retired rows are
+// owner-exclusive, `S` is `Send + Sync` by the supertraits.
 unsafe impl<T: ConditionalReclaim + Send, S: ReclaimSink<T>> Send
     for ConditionalHazardPointers<T, S>
 {
@@ -144,12 +146,15 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
         self.telemetry.bump(tid, CounterId::HpProtect);
-        // ORDERING: ACQUIRE — candidate load; staleness is caught by the
-        // validation below (see HazardPointers::try_protect).
+        // ORDERING(chp.try-candidate): ACQUIRE — candidate load;
+        // staleness is caught by the validation below (see
+        // HazardPointers::try_protect). pairs=extern(the release that
+        // published the candidate is the caller's source site)
         let ptr = src.load(ord::ACQUIRE);
         self.matrix.protect(tid, index, ptr);
-        // ORDERING: SEQ_CST — validating re-load, ordered after the SC
-        // protect store (StoreLoad vs the retire scan's SC fence).
+        // ORDERING(chp.try-validate): SEQ_CST — validating re-load,
+        // ordered after the SC protect store (StoreLoad vs the retire
+        // scan's SC fence).
         let now = src.load(ord::SEQ_CST);
         if now == ptr {
             Ok(ptr)
@@ -177,7 +182,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
 
     /// Number of objects thread `tid` has retired but not yet freed.
     pub fn retired_count(&self, tid: usize) -> usize {
-        // ORDERING: RELAXED — monitoring gauge; the list is owner-private.
+        // ORDERING(chp.backlog-gauge): RELAXED — monitoring gauge; the
+        // list is owner-private.
         self.retired[tid].len.load(ord::RELAXED)
     }
 
@@ -195,13 +201,14 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
     /// object again.
     pub unsafe fn retire(&self, tid: usize, ptr: *mut T) {
         let row = &self.retired[tid];
-        // SAFETY: `tid` exclusivity (caller contract).
+        // SAFETY(tid-exclusive): `tid` exclusivity (caller contract).
         let list = unsafe { &mut *row.list.get() };
         self.telemetry.bump(tid, CounterId::ChpRetire);
         self.telemetry.event(tid, EventKind::HpRetire, 0);
         list.push(ptr);
         self.scan(tid, list);
-        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        // ORDERING(chp.backlog-gauge): RELAXED — backlog gauge mirror (see
+        // retired_count).
         row.len.store(list.len(), ord::RELAXED);
     }
 
@@ -213,16 +220,17 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
     /// `tid` is the caller's registered index (exclusive use).
     pub unsafe fn flush(&self, tid: usize) {
         let row = &self.retired[tid];
-        // SAFETY: `tid` exclusivity (caller contract).
+        // SAFETY(tid-exclusive): `tid` exclusivity (caller contract).
         let list = unsafe { &mut *row.list.get() };
         self.scan(tid, list);
-        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        // ORDERING(chp.backlog-gauge): RELAXED — backlog gauge mirror (see
+        // retired_count).
         row.len.store(list.len(), ord::RELAXED);
     }
 
     fn scan(&self, tid: usize, list: &mut Vec<*mut T>) {
         self.telemetry.bump(tid, CounterId::ChpScan);
-        // ORDERING: SEQ_CST fence — scan-side half of the protect/scan
+        // ORDERING(chp.scan-fence): SEQ_CST fence — scan-side half of the protect/scan
         // Dekker (see HazardPointers::retire); licenses the acquire slot
         // loads in `HpMatrix::is_protected` and additionally orders the
         // `can_reclaim` condition reads below against the consuming
@@ -232,17 +240,18 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> ConditionalHazardPointers<T, S> {
         let mut i = 0;
         while i < list.len() {
             let candidate = list[i];
-            // SAFETY: retired objects stay allocated until this scan
-            // reclaims them, so reading the condition is in-bounds; the
-            // condition only reads atomics (trait contract).
+            // SAFETY(retired-alive): retired objects stay allocated until
+            // this scan reclaims them, so reading the condition is
+            // in-bounds; the condition only reads atomics (trait
+            // contract).
             let reclaimable = unsafe { (*candidate).can_reclaim() };
             if reclaimable && !self.matrix.is_protected(candidate) {
                 list.swap_remove(i);
                 reclaimed += 1;
                 self.telemetry.event(tid, EventKind::HpFree, 0);
-                // SAFETY: unprotected, condition satisfied — per the trait
-                // contract nothing will dereference it again. The sink
-                // becomes sole owner.
+                // SAFETY(sink-contract): unprotected, condition satisfied
+                // — per the trait contract nothing will dereference it
+                // again. The sink becomes sole owner.
                 unsafe { self.sink.reclaim(tid, candidate) };
             } else {
                 i += 1;
@@ -258,7 +267,8 @@ impl<T: ConditionalReclaim, S: ReclaimSink<T>> Drop for ConditionalHazardPointer
         // Exclusive access at drop: conditions are moot, deliver everything
         // to the sink.
         for (tid, row) in self.retired.iter().enumerate() {
-            // SAFETY: `&mut self` in Drop — exclusive access to every row.
+            // SAFETY(drop-exclusive): `&mut self` in Drop — exclusive
+            // access to every row; the sink call inherits it.
             let list = unsafe { &mut *row.list.get() };
             for &ptr in list.iter() {
                 unsafe { self.sink.reclaim(tid, ptr) };

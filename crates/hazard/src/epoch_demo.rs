@@ -50,7 +50,8 @@ pub struct EpochDomain<T> {
     retired: Box<[CachePadded<Bucket<T>>]>,
 }
 
-// SAFETY: same per-thread exclusivity discipline as the HP domains.
+// SAFETY(send-sync): same per-thread exclusivity discipline as the HP
+// domains — shared state is atomics plus owner-exclusive retired rows.
 unsafe impl<T: Send> Send for EpochDomain<T> {}
 unsafe impl<T: Send> Sync for EpochDomain<T> {}
 
@@ -74,7 +75,7 @@ impl<T> EpochDomain<T> {
     /// Enter a critical section: announce the current global epoch.
     /// This is wait-free population-oblivious (Table 2's `wfpo` row).
     pub fn pin(&self, tid: usize) {
-        // ORDERING: SEQ_CST (both) — the announce/scan Dekker of classic
+        // ORDERING(ep.pin-announce): SEQ_CST (both) — the announce/scan Dekker of classic
         // EBR: the announcement store must be ordered before the reader's
         // subsequent shared loads and visible to `try_advance` scans. This
         // demo exists to reproduce Table 2's blocking behaviour, not to win
@@ -85,22 +86,24 @@ impl<T> EpochDomain<T> {
 
     /// Leave the critical section.
     pub fn unpin(&self, tid: usize) {
-        // ORDERING: RELEASE — orders the critical section's reads before
-        // quiescence; an advance that observes QUIESCENT may free what the
-        // section was reading.
+        // ORDERING(ep.quiesce): RELEASE — orders the critical section's
+        // reads before quiescence; an advance that observes QUIESCENT may
+        // free what the section was reading. pairs=ep.advance-scan
         self.local_epochs[tid].store(QUIESCENT, ord::RELEASE);
     }
 
     /// Number of objects thread `tid` has retired but not freed.
     pub fn retired_count(&self, tid: usize) -> usize {
-        // ORDERING: RELAXED — monitoring gauge; the list is owner-private.
+        // ORDERING(ep.backlog-gauge): RELAXED — monitoring gauge; the
+        // list is owner-private.
         self.retired[tid].len.load(ord::RELAXED)
     }
 
     /// Current global epoch (for the demo's reporting).
     pub fn global_epoch(&self) -> usize {
-        // ORDERING: SEQ_CST — reporting, but kept in the protocol's total
-        // order so demo assertions about epoch movement are exact.
+        // ORDERING(ep.epoch-read): SEQ_CST — reporting, but kept in the
+        // protocol's total order so demo assertions about epoch movement
+        // are exact.
         self.global_epoch.load(ord::SEQ_CST)
     }
 
@@ -119,49 +122,55 @@ impl<T> EpochDomain<T> {
     /// a unique, unlinked
     /// `Box::into_raw` allocation.
     pub unsafe fn retire(&self, tid: usize, ptr: *mut T) {
-        // ORDERING: SEQ_CST — retirement-epoch tag; must not read an epoch
-        // older than any still-pinned reader's announcement (SC demo, see pin).
+        // ORDERING(ep.epoch-read): SEQ_CST — retirement-epoch tag; must
+        // not read an epoch older than any still-pinned reader's
+        // announcement (SC demo, see pin).
         let epoch = self.global_epoch.load(ord::SEQ_CST);
-        // SAFETY: `tid` exclusivity (caller contract).
+        // SAFETY(tid-exclusive): `tid` exclusivity (caller contract).
         let list = unsafe { &mut *self.retired[tid].list.get() };
         list.push((epoch, ptr));
 
         self.try_advance();
 
         // Free entries at least two epochs old.
-        // ORDERING: SEQ_CST — free-threshold read (SC demo, see pin).
+        // ORDERING(ep.epoch-read): SEQ_CST — free-threshold read (SC
+        // demo, see pin).
         let current = self.global_epoch.load(ord::SEQ_CST);
         let mut i = 0;
         while i < list.len() {
             let (e, p) = list[i];
             if current >= e + 2 {
                 list.swap_remove(i);
-                // SAFETY: every thread pinned since epoch `e + 1` cannot
-                // hold a reference to an object unlinked in epoch `e`.
+                // SAFETY(epoch-guard): every thread pinned since epoch
+                // `e + 1` cannot hold a reference to an object unlinked in
+                // epoch `e`.
                 unsafe { drop(Box::from_raw(p)) };
             } else {
                 i += 1;
             }
         }
-        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        // ORDERING(ep.backlog-gauge): RELAXED — backlog gauge mirror
+        // (see retired_count).
         self.retired[tid].len.store(list.len(), ord::RELAXED);
     }
 
     /// Advance the global epoch iff all pinned threads have caught up.
     fn try_advance(&self) {
-        // ORDERING: SEQ_CST — advance precondition scan (SC demo, see pin).
+        // ORDERING(ep.epoch-read): SEQ_CST — advance precondition scan
+        // (SC demo, see pin).
         let e = self.global_epoch.load(ord::SEQ_CST);
         for le in self.local_epochs.iter() {
-            // ORDERING: SEQ_CST — must observe every announcement ordered
-            // before this scan (SC demo, see pin).
+            // ORDERING(ep.advance-scan): SEQ_CST — must observe every
+            // announcement ordered before this scan (SC demo, see pin).
+            // pairs=ep.quiesce
             let v = le.load(ord::SEQ_CST);
             if v != QUIESCENT && v != e {
                 return; // a lagging reader blocks the advance
             }
         }
         // Multiple threads may race here; CAS keeps the epoch monotonic.
-        // ORDERING: SEQ_CST / SEQ_CST — monotonic epoch advance (SC demo,
-        // see pin); the failure load is discarded.
+        // ORDERING(ep.epoch-advance): SEQ_CST / SEQ_CST — monotonic epoch
+        // advance (SC demo, see pin); the failure load is discarded.
         let _ = self
             .global_epoch
             .compare_exchange(e, e + 1, ord::SEQ_CST, ord::SEQ_CST);
@@ -171,7 +180,8 @@ impl<T> EpochDomain<T> {
 impl<T> Drop for EpochDomain<T> {
     fn drop(&mut self) {
         for bucket in self.retired.iter() {
-            // SAFETY: `&mut self` in Drop — exclusive access to every row.
+            // SAFETY(drop-exclusive): `&mut self` in Drop — exclusive
+            // access to every row.
             let list = unsafe { &mut *bucket.list.get() };
             for &(_, ptr) in list.iter() {
                 unsafe { drop(Box::from_raw(ptr)) };

@@ -57,7 +57,7 @@ pub struct HazardPointers<T, S: ReclaimSink<T> = BoxDropSink> {
     telemetry: TelemetryHandle,
 }
 
-// SAFETY: the raw pointers inside are managed under the HP protocol; the
+// SAFETY(send-sync): the raw pointers inside are managed under the HP protocol; the
 // per-thread retired lists are only mutated by their owning thread (enforced
 // by the `tid` contract on the unsafe methods). `S` is `Send + Sync` by the
 // `ReclaimSink` supertraits.
@@ -170,13 +170,16 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         src: &turnq_sync::atomic::AtomicPtr<T>,
     ) -> Result<*mut T, *mut T> {
         self.telemetry.bump(tid, CounterId::HpProtect);
-        // ORDERING: ACQUIRE — candidate load; any stale value is caught by
-        // the validation below, so this read needs no SC slot of its own.
+        // ORDERING(hp.try-candidate): ACQUIRE — candidate load; any stale
+        // value is caught by the validation below, so this read needs no SC
+        // slot of its own. pairs=extern(the release that published the
+        // candidate is the caller's source site, e.g. a queue's link CAS)
         let ptr = src.load(ord::ACQUIRE);
         self.matrix.protect(tid, index, ptr);
-        // ORDERING: SEQ_CST — the validating re-load: must be ordered after
-        // the SC protect store (StoreLoad) so that a retire scan missing our
-        // hazard implies this load sees the post-unlink value and fails.
+        // ORDERING(hp.try-validate): SEQ_CST — the validating re-load:
+        // must be ordered after the SC protect store (StoreLoad) so that a
+        // retire scan missing our hazard implies this load sees the
+        // post-unlink value and fails.
         let now = src.load(ord::SEQ_CST);
         if now == ptr {
             Ok(ptr)
@@ -209,8 +212,9 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
     /// [`retired_bound`](crate::retired_bound): each entry that survives a
     /// scan is pinned by one of the `max_threads × k` hazard slots.
     pub fn retired_count(&self, tid: usize) -> usize {
-        // ORDERING: RELAXED — monitoring gauge; readers want a recent value,
-        // not an ordered one, and the list itself is owner-private.
+        // ORDERING(hp.backlog-gauge): RELAXED — monitoring gauge; readers
+        // want a recent value, not an ordered one, and the list itself is
+        // owner-private.
         self.retired[tid].len.load(ord::RELAXED)
     }
 
@@ -236,17 +240,18 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         self.telemetry.bump(tid, CounterId::HpRetire);
         self.telemetry.event(tid, EventKind::HpRetire, 0);
         let row = &self.retired[tid];
-        // SAFETY: `tid` exclusivity (caller contract) makes this the only
-        // mutable access to the list.
+        // SAFETY(tid-exclusive): `tid` exclusivity (caller contract)
+        // makes this the only mutable access to the list.
         let list = unsafe { &mut *row.list.get() };
         list.push(ptr);
         if list.len() <= self.scan_threshold {
-            // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+            // ORDERING(hp.backlog-gauge): RELAXED — backlog gauge mirror
+            // (see retired_count).
             row.len.store(list.len(), ord::RELAXED);
             return;
         }
         self.telemetry.bump(tid, CounterId::HpScan);
-        // ORDERING: SEQ_CST fence — scan-side half of the protect/scan
+        // ORDERING(hp.scan-fence): SEQ_CST fence — scan-side half of the protect/scan
         // Dekker. A reader's SC protect store ordered before this fence is
         // guaranteed visible to the acquire slot loads below (C11 SC-fence
         // rule); one ordered after it has its SC validating re-load ordered
@@ -264,7 +269,7 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
                 list.swap_remove(i);
                 reclaimed += 1;
                 self.telemetry.event(tid, EventKind::HpFree, 0);
-                // SAFETY: unreachable from shared memory (caller contract)
+                // SAFETY(retire-unique): unreachable from shared memory (caller contract)
                 // and not protected by any published-and-validated hazard:
                 // a reader that published after unlinking fails validation
                 // and never dereferences. The sink becomes sole owner.
@@ -273,7 +278,8 @@ impl<T, S: ReclaimSink<T>> HazardPointers<T, S> {
         }
         self.telemetry.add(tid, CounterId::HpReclaim, reclaimed);
         self.telemetry.event(tid, EventKind::HpScan, reclaimed);
-        // ORDERING: RELAXED — backlog gauge mirror (see retired_count).
+        // ORDERING(hp.backlog-gauge): RELAXED — backlog gauge mirror (see
+        // retired_count).
         row.len.store(list.len(), ord::RELAXED);
     }
 }
@@ -285,7 +291,9 @@ impl<T, S: ReclaimSink<T>> Drop for HazardPointers<T, S> {
         // contract, and protection no longer matters — no thread can be
         // inside a protected dereference while the domain is being dropped.
         for (tid, row) in self.retired.iter().enumerate() {
-            // SAFETY: `&mut self` in Drop — exclusive access to every row.
+            // SAFETY(drop-exclusive): `&mut self` in Drop — exclusive
+            // access to every row; the sink call inherits that exclusive
+            // ownership.
             let list = unsafe { &mut *row.list.get() };
             for &ptr in list.iter() {
                 unsafe { self.sink.reclaim(tid, ptr) };

@@ -59,10 +59,11 @@ impl<T> HpMatrix<T> {
     /// either observe this store or be observed by the validation.
     #[inline]
     pub(crate) fn protect(&self, tid: usize, index: usize, ptr: *mut T) -> *mut T {
-        // ORDERING: SEQ_CST — hazard publication, reader half of the
-        // protect/scan Dekker: the SC store and the SC validating re-load
-        // in `try_protect` bracket the slot write into the single total
-        // order the retire scan's SC fence also participates in (Alg. 5).
+        // ORDERING(mtx.protect-publish): SEQ_CST — hazard publication,
+        // reader half of the protect/scan Dekker: the SC store and the SC
+        // validating re-load in `try_protect` bracket the slot write into
+        // the single total order the retire scan's SC fence also
+        // participates in (Alg. 5). pairs=mtx.scan-read
         self.slot(tid, index).store(ptr, ord::SEQ_CST);
         ptr
     }
@@ -74,17 +75,19 @@ impl<T> HpMatrix<T> {
     /// needs no ordering (there is no foreign write to synchronize with).
     #[inline]
     pub(crate) fn load_own(&self, tid: usize, index: usize) -> *mut T {
-        // ORDERING: RELAXED — own-slot readback; see doc comment.
+        // ORDERING(mtx.slot-own): RELAXED — own-slot readback; see doc
+        // comment.
         self.slot(tid, index).load(ord::RELAXED)
     }
 
     /// Clear one slot.
     #[inline]
     pub(crate) fn clear_one(&self, tid: usize, index: usize) {
-        // ORDERING: RELEASE — un-publication: orders the protected
-        // dereferences (program-order before this) before the clear, so a
-        // scan that observes the null cannot reclaim under a still-running
-        // dereference. Nothing is read after the store, so no acquire side.
+        // ORDERING(mtx.slot-clear): RELEASE — un-publication: orders the
+        // protected dereferences (program-order before this) before the
+        // clear, so a scan that observes the null cannot reclaim under a
+        // still-running dereference. Nothing is read after the store, so no
+        // acquire side. pairs=mtx.scan-read
         self.slot(tid, index).store(std::ptr::null_mut(), ord::RELEASE);
     }
 
@@ -109,9 +112,10 @@ impl<T> HpMatrix<T> {
     pub(crate) fn is_protected(&self, ptr: *mut T) -> bool {
         self.slots
             .iter()
-            // ORDERING: ACQUIRE — retire-scan slot read; missing-hazard
-            // freedom comes from the caller's SC fence (doc above), acquire
-            // additionally orders the reclaim after the observed clear.
+            // ORDERING(mtx.scan-read): ACQUIRE — retire-scan slot read;
+            // missing-hazard freedom comes from the caller's SC fence (doc
+            // above), acquire additionally orders the reclaim after the
+            // observed clear. pairs=mtx.protect-publish,mtx.slot-clear
             .any(|slot| slot.load(ord::ACQUIRE) == ptr)
     }
 

@@ -37,8 +37,8 @@ pub struct BoxDropSink;
 impl<T> ReclaimSink<T> for BoxDropSink {
     // SAFETY: contract inherited from `ReclaimSink::reclaim` — `ptr` is unreachable and exclusively owned.
     unsafe fn reclaim(&self, _tid: usize, ptr: *mut T) {
-        // SAFETY: forwarded from the caller contract — `ptr` came from
-        // `Box::into_raw` and we are its sole owner.
+        // SAFETY(sink-contract): forwarded from the caller contract —
+        // `ptr` came from `Box::into_raw` and we are its sole owner.
         unsafe { drop(Box::from_raw(ptr)) };
     }
 }

@@ -50,21 +50,24 @@ impl<T> ConditionalReclaim for KpNode<T> {
         // Safe to delete once the value has been taken (or never existed,
         // as for the sentinel). Until then the consuming thread may still
         // reach this node through its descriptor, GC-style (§3.2).
-        // ORDERING: ACQUIRE — pairs with the consumer's release null-store:
-        // observing null orders every access the consumer made to this node
-        // before the reclaim that a true condition licenses.
+        // ORDERING(kp.value-null-read): ACQUIRE — pairs with the
+        // consumer's release null-store: observing null orders every access
+        // the consumer made to this node before the reclaim that a true
+        // condition licenses. pairs=kp.value-consume
         self.value.load(ord::ACQUIRE).is_null()
     }
 }
 
 impl<T> Drop for KpNode<T> {
     fn drop(&mut self) {
-        // ORDERING: RELAXED — `&mut self` in Drop: no concurrency.
+        // ORDERING(kp.drop-walk): RELAXED — `&mut self` in Drop: no
+        // concurrency.
         let v = self.value.load(ord::RELAXED);
         if !v.is_null() {
             // The value was enqueued but never consumed (queue teardown).
-            // SAFETY: value pointers are unique Box::into_raw allocations
-            // owned by the node until consumed.
+            // SAFETY(drop-exclusive): value pointers are unique
+            // Box::into_raw allocations owned by the node until consumed;
+            // `&mut self` in Drop makes this the only access.
             unsafe { drop(Box::from_raw(v)) };
         }
     }
@@ -109,8 +112,8 @@ pub struct KPQueue<T> {
     telemetry: Arc<TelemetrySheet>,
 }
 
-// SAFETY: atomics plus HP/CHP-managed raw pointers; items are moved across
-// threads (`T: Send`).
+// SAFETY(send-sync): atomics plus HP/CHP-managed raw pointers; items are
+// moved across threads (`T: Send`).
 unsafe impl<T: Send> Send for KPQueue<T> {}
 unsafe impl<T: Send> Sync for KPQueue<T> {}
 
@@ -209,7 +212,8 @@ impl<T> KPQueue<T> {
         // completed descriptor can only be displaced by ourselves, so the
         // raw load is stable — but protect anyway for uniformity.
         let my_desc = self.protect_desc(tid, tid);
-        // SAFETY: protected; `my_desc` is our own completed descriptor.
+        // SAFETY(hp-validate): protected; `my_desc` is our own completed
+        // descriptor.
         let node = unsafe { &*my_desc }.node;
         if node.is_null() {
             self.clear_all(tid);
@@ -221,38 +225,46 @@ impl<T> KPQueue<T> {
         // value we return lives in `node.next`. `node` is kept alive
         // because *we* are its retirer (below); `next_node` is kept alive
         // by its non-null value slot (the CHP condition).
-        // SAFETY: owner-retires discipline, see crate docs.
-        // ORDERING: ACQUIRE — reads the link published by the linking
-        // CAS's release half; makes next_node's contents (incl. the boxed
-        // value pointer) visible before we dereference them.
+        // SAFETY(retire-unique): owner-retires discipline, see crate
+        // docs — we are this node's unique retirer and have not retired it
+        // yet, so the CHP domain keeps it allocated.
+        // ORDERING(kp.link-read): ACQUIRE — reads the link published by
+        // the linking CAS's release half; makes next_node's contents
+        // (incl. the boxed value pointer) visible before we dereference
+        // them. pairs=kp.link-cas
         let next_node = unsafe { &*node }.next.load(ord::ACQUIRE);
         debug_assert!(!next_node.is_null());
-        // SAFETY: CHP keeps next_node allocated while value is non-null; we
-        // are the unique consumer of this value (node.deqTid == tid).
+        // SAFETY(cond-alive): CHP keeps next_node allocated while value
+        // is non-null; we are the unique consumer of this value
+        // (node.deqTid == tid).
         let next_ref = unsafe { &*next_node };
-        // ORDERING: ACQUIRE — the boxed payload behind this pointer is
-        // dereferenced below; acquire (with the link acquire above) keeps
-        // the enqueuer's allocation visible. We are the unique consumer, so
-        // no later write to the slot exists yet.
+        // ORDERING(kp.value-read): ACQUIRE — the boxed payload behind
+        // this pointer is dereferenced below; acquire (with the link
+        // acquire above) keeps the enqueuer's allocation visible. We are
+        // the unique consumer, so no later write to the slot exists yet.
+        // pairs=kp.link-cas
         let value = next_ref.value.load(ord::ACQUIRE);
         debug_assert!(!value.is_null(), "value consumed twice");
         // Null the slot: this *is* the CHP reclamation condition for
         // next_node — after this store no thread dereferences it again
         // through a descriptor.
-        // ORDERING: RELEASE — the CHP reclamation condition: orders our
-        // final accesses to next_node before the null that lets a scanning
-        // thread (acquire condition read behind its SC fence) free it.
+        // ORDERING(kp.value-consume): RELEASE — the CHP reclamation
+        // condition: orders our final accesses to next_node before the
+        // null that lets a scanning thread (acquire condition read behind
+        // its SC fence) free it. pairs=kp.value-null-read
         next_ref.value.store(ptr::null_mut(), ord::RELEASE);
         self.clear_all(tid);
         // Retire the old head we were assigned. It is unreachable from the
         // list (head advanced past it in help_finish_deq before our
         // operation completed) and we are its unique retirer.
-        // SAFETY: see above; CHP defers the free until its value slot is
-        // nulled by the thread consuming *its* value.
+        // SAFETY(retire-unique): see above; CHP defers the free until
+        // its value slot is nulled by the thread consuming *its* value.
         unsafe { self.node_hp.retire(tid, node) };
         self.telemetry.bump(tid, CounterId::DeqOps);
         self.telemetry.event(tid, EventKind::OpFinish, 0);
-        // SAFETY: unique Box::into_raw value pointer, unique consumer.
+        // SAFETY(tid-exclusive): unique Box::into_raw value pointer; the
+        // node's dequeue was assigned to our registered tid, making us its
+        // unique consumer.
         Some(*unsafe { Box::from_raw(value) })
     }
 
@@ -262,7 +274,7 @@ impl<T> KPQueue<T> {
     fn install_descriptor(&self, tid: usize, desc: *mut OpDesc<T>) {
         loop {
             let cur = self.protect_desc(tid, tid);
-            // ORDERING: SEQ_CST / RELAXED — phase announcement, the Dekker
+            // ORDERING(kp.announce-cas): SEQ_CST / RELAXED — phase announcement, the Dekker
             // half paired with every helper's SC descriptor scans: the new
             // descriptor must be in the total order before our own
             // `max_phase`/`help` scans so concurrent announcers cannot
@@ -273,8 +285,9 @@ impl<T> KPQueue<T> {
                 .is_ok()
             {
                 self.desc_hp.clear_one(tid, D_HP_CUR);
-                // SAFETY: `cur` is now unlinked; the CAS winner is the
-                // unique retirer of the displaced descriptor.
+                // SAFETY(retire-unique): `cur` is now unlinked; the CAS
+                // winner is the unique retirer of the displaced
+                // descriptor.
                 unsafe { self.desc_hp.retire(tid, cur) };
                 return;
             }
@@ -296,7 +309,7 @@ impl<T> KPQueue<T> {
         let mut max = -1;
         for i in 0..self.max_threads {
             let desc = self.protect_desc(tid, i);
-            // SAFETY: protected + validated.
+            // SAFETY(hp-validate): protected + validated.
             let phase = unsafe { &*desc }.phase;
             max = max.max(phase);
         }
@@ -307,7 +320,7 @@ impl<T> KPQueue<T> {
     /// `isStillPending(tid, phase)` from the KP paper.
     fn is_still_pending(&self, tid: usize, owner: usize, phase: i64) -> bool {
         let desc = self.protect_desc(tid, owner);
-        // SAFETY: protected + validated.
+        // SAFETY(hp-validate): protected + validated.
         let d = unsafe { &*desc };
         d.pending && d.phase <= phase
     }
@@ -316,7 +329,7 @@ impl<T> KPQueue<T> {
     fn help(&self, tid: usize, phase: i64) {
         for i in 0..self.max_threads {
             let desc = self.protect_desc(tid, i);
-            // SAFETY: protected + validated.
+            // SAFETY(hp-validate): protected + validated.
             let d = unsafe { &*desc };
             let (pending, d_phase, enqueue) = (d.pending, d.phase, d.enqueue);
             if pending && d_phase <= phase {
@@ -336,19 +349,21 @@ impl<T> KPQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            // SAFETY: protected + validated.
-            // ORDERING: ACQUIRE — link read; pairs with the linking CAS's
-            // release half so the appended node's fields are visible.
+            // SAFETY(hp-validate): protected + validated.
+            // ORDERING(kp.link-read): ACQUIRE — link read; pairs with the
+            // linking CAS's release half so the appended node's fields are
+            // visible. pairs=kp.link-cas
             let next = unsafe { &*last }.next.load(ord::ACQUIRE);
-            // ORDERING: SEQ_CST — protect/validate handshake re-load (Alg. 5
-            // pattern): ordered after the SC hazard publication.
+            // ORDERING(kp.tail-read): SEQ_CST — protect/validate
+            // handshake re-load (Alg. 5 pattern): ordered after the SC
+            // hazard publication. pairs=kp.tail-advance
             if last != self.tail.load(ord::SEQ_CST) {
                 continue;
             }
             if next.is_null() {
                 if self.is_still_pending(tid, owner, phase) {
                     let desc = self.protect_desc(tid, owner);
-                    // SAFETY: protected + validated.
+                    // SAFETY(hp-validate): protected + validated.
                     let d = unsafe { &*desc };
                     // The descriptor may have transitioned to a different
                     // operation; only append for a pending enqueue.
@@ -356,12 +371,12 @@ impl<T> KPQueue<T> {
                         continue;
                     }
                     let node = d.node;
-                    // ORDERING: SEQ_CST / RELAXED — the linking CAS: the
+                    // ORDERING(kp.link-cas): SEQ_CST / RELAXED — the linking CAS: the
                     // enqueue's visibility point. Success releases the
                     // node's plainly-written fields to every acquire link
                     // read and keeps the append in the protocol's total
                     // order; a failure value is discarded (retry observes
-                    // state afresh).
+                    // state afresh). pairs=kp.link-read,kp.value-read
                     if unsafe { &*last }
                         .next
                         .compare_exchange(ptr::null_mut(), node, ord::SEQ_CST, ord::RELAXED)
@@ -384,9 +399,10 @@ impl<T> KPQueue<T> {
             Ok(p) => p,
             Err(_) => return, // tail moved: someone else finished it
         };
-        // SAFETY: protected + validated.
-        // ORDERING: ACQUIRE — candidate link read for protection; the SC
-        // tail re-load below is what validates it.
+        // SAFETY(hp-validate): protected + validated.
+        // ORDERING(kp.link-read): ACQUIRE — candidate link read for
+        // protection; the SC tail re-load below is what validates it.
+        // pairs=kp.link-cas
         let next = self
             .node_hp
             .protect_ptr(tid, N_HP_NEXT, unsafe { &*last }.next.load(ord::ACQUIRE));
@@ -394,21 +410,23 @@ impl<T> KPQueue<T> {
         // been retired (nodes are only retired once head passed them, and
         // head never passes the tail). This is the validation whose absence
         // is the YMC use-after-free the paper reports (§4).
-        // ORDERING: SEQ_CST — the validating re-load after the SC hazard
-        // publication (the check whose absence is YMC's use-after-free).
+        // ORDERING(kp.tail-read): SEQ_CST — the validating re-load after
+        // the SC hazard publication (the check whose absence is YMC's
+        // use-after-free). pairs=kp.tail-advance
         if last != self.tail.load(ord::SEQ_CST) {
             return;
         }
         if next.is_null() {
             return;
         }
-        // SAFETY: next is protected and proven live by the tail check.
+        // SAFETY(hp-validate): next is protected and proven live by the
+        // tail check.
         let owner = unsafe { &*next }.enq_tid;
         if owner == IDX_NONE {
             // The sentinel cannot be mid-enqueue; nothing to finish.
-            // ORDERING: SEQ_CST / RELAXED — tail advance; must stay in the
-            // total order every try_protect validation reads. Failure value
-            // unused.
+            // ORDERING(kp.tail-advance): SEQ_CST / RELAXED — tail
+            // advance; must stay in the total order every try_protect
+            // validation reads. Failure value unused. pairs=kp.tail-read
             let _ = self
                 .tail
                 .compare_exchange(last, next, ord::SEQ_CST, ord::RELAXED);
@@ -416,30 +434,33 @@ impl<T> KPQueue<T> {
         }
         let owner = owner as usize;
         let cur_desc = self.protect_desc(tid, owner);
-        // SAFETY: protected + validated.
+        // SAFETY(hp-validate): protected + validated.
         let d = unsafe { &*cur_desc };
-        // ORDERING: SEQ_CST — re-validation that `next` is still the node
-        // being appended at the current tail.
+        // ORDERING(kp.tail-read): SEQ_CST — re-validation that `next` is
+        // still the node being appended at the current tail.
+        // pairs=kp.tail-advance
         if last == self.tail.load(ord::SEQ_CST) && d.node == next {
             if d.pending {
                 let new_desc = OpDesc::alloc(d.phase, false, true, next);
-                // ORDERING: SEQ_CST / RELAXED — descriptor transition
-                // (pending→done): releases new_desc's plain fields and
-                // stays in the announcement total order (see
-                // install_descriptor). Failure value unused (loser frees).
+                // ORDERING(kp.desc-transition): SEQ_CST / RELAXED —
+                // descriptor transition (pending→done): releases
+                // new_desc's plain fields and stays in the announcement
+                // total order (see install_descriptor). Failure value
+                // unused (loser frees).
                 if self.state[owner]
                     .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                     .is_ok()
                 {
                     self.desc_hp.clear_one(tid, D_HP_CUR);
-                    // SAFETY: unlinked by our CAS; unique retirer.
+                    // SAFETY(retire-unique): unlinked by our CAS; unique retirer.
                     unsafe { self.desc_hp.retire(tid, cur_desc) };
                 } else {
-                    // SAFETY: new_desc never escaped.
+                    // SAFETY(node-unpublished): new_desc never escaped.
                     unsafe { drop(Box::from_raw(new_desc)) };
                 }
             }
-            // ORDERING: SEQ_CST / RELAXED — tail advance (see above).
+            // ORDERING(kp.tail-advance): SEQ_CST / RELAXED — tail
+            // advance (see above). pairs=kp.tail-read
             let _ = self
                 .tail
                 .compare_exchange(last, next, ord::SEQ_CST, ord::RELAXED);
@@ -453,14 +474,17 @@ impl<T> KPQueue<T> {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            // ORDERING: SEQ_CST — emptiness test input (`first == last`
-            // below): must be ordered against concurrent tail advances the
-            // same way the Turn queue's Inv. 11 check is.
+            // ORDERING(kp.tail-read): SEQ_CST — emptiness test input
+            // (`first == last` below): must be ordered against concurrent
+            // tail advances the same way the Turn queue's Inv. 11 check
+            // is. pairs=kp.tail-advance
             let last = self.tail.load(ord::SEQ_CST);
-            // SAFETY: first protected + validated.
-            // ORDERING: ACQUIRE — link read (pairs with the linking CAS).
+            // SAFETY(hp-validate): first protected + validated.
+            // ORDERING(kp.link-read): ACQUIRE — link read.
+            // pairs=kp.link-cas
             let next = unsafe { &*first }.next.load(ord::ACQUIRE);
-            // ORDERING: SEQ_CST — protect/validate handshake re-load.
+            // ORDERING(kp.head-read): SEQ_CST — protect/validate
+            // handshake re-load. pairs=kp.head-advance
             if first != self.head.load(ord::SEQ_CST) {
                 continue;
             }
@@ -468,26 +492,28 @@ impl<T> KPQueue<T> {
                 if next.is_null() {
                     // Queue empty: complete the dequeue with no node.
                     let cur_desc = self.protect_desc(tid, owner);
-                    // SAFETY: protected + validated.
+                    // SAFETY(hp-validate): protected + validated.
                     let d = unsafe { &*cur_desc };
-                    // ORDERING: SEQ_CST — empty-path re-validation: the
-                    // None answer linearizes against this tail read.
+                    // ORDERING(kp.tail-read): SEQ_CST — empty-path
+                    // re-validation: the None answer linearizes against
+                    // this tail read. pairs=kp.tail-advance
                     if last != self.tail.load(ord::SEQ_CST) {
                         continue;
                     }
                     if d.pending && !d.enqueue && d.phase <= phase {
                         let new_desc = OpDesc::alloc(d.phase, false, false, ptr::null_mut());
-                        // ORDERING: SEQ_CST / RELAXED — descriptor
-                        // transition (see help_finish_enq).
+                        // ORDERING(kp.desc-transition): SEQ_CST /
+                        // RELAXED — descriptor transition (see
+                        // help_finish_enq).
                         if self.state[owner]
                             .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                             .is_ok()
                         {
                             self.desc_hp.clear_one(tid, D_HP_CUR);
-                            // SAFETY: unlinked by our CAS; unique retirer.
+                            // SAFETY(retire-unique): unlinked by our CAS; unique retirer.
                             unsafe { self.desc_hp.retire(tid, cur_desc) };
                         } else {
-                            // SAFETY: never escaped.
+                            // SAFETY(node-unpublished): never escaped.
                             unsafe { drop(Box::from_raw(new_desc)) };
                         }
                     }
@@ -497,40 +523,42 @@ impl<T> KPQueue<T> {
                 }
             } else {
                 let cur_desc = self.protect_desc(tid, owner);
-                // SAFETY: protected + validated.
+                // SAFETY(hp-validate): protected + validated.
                 let d = unsafe { &*cur_desc };
                 let node = d.node;
                 if !(d.pending && !d.enqueue && d.phase <= phase) {
                     break; // no longer pending
                 }
-                // ORDERING: SEQ_CST — candidate-head re-validation before
-                // recording it in the owner's descriptor.
+                // ORDERING(kp.head-read): SEQ_CST — candidate-head
+                // re-validation before recording it in the owner's
+                // descriptor. pairs=kp.head-advance
                 if first == self.head.load(ord::SEQ_CST) && node != first {
                     // Record the candidate head in the descriptor first
                     // (pointer write only — `node` is never dereferenced
                     // through a descriptor by helpers).
                     let new_desc = OpDesc::alloc(d.phase, true, false, first);
-                    // ORDERING: SEQ_CST / RELAXED — descriptor transition
-                    // (see help_finish_enq).
+                    // ORDERING(kp.desc-transition): SEQ_CST / RELAXED —
+                    // descriptor transition (see help_finish_enq).
                     if self.state[owner]
                         .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                         .is_ok()
                     {
                         self.desc_hp.clear_one(tid, D_HP_CUR);
-                        // SAFETY: unlinked by our CAS; unique retirer.
+                        // SAFETY(retire-unique): unlinked by our CAS; unique retirer.
                         unsafe { self.desc_hp.retire(tid, cur_desc) };
                     } else {
-                        // SAFETY: never escaped.
+                        // SAFETY(node-unpublished): never escaped.
                         unsafe { drop(Box::from_raw(new_desc)) };
                         continue;
                     }
                 }
-                // SAFETY: first still protected from above.
-                // ORDERING: ACQ_REL / RELAXED — write-once assignment: the
-                // per-location CAS order alone picks the winner; release
-                // pairs with help_finish_deq's acquire deq_tid read, and
-                // the discarded failure value needs no edge (the follow-up
-                // help_finish_deq re-reads it).
+                // SAFETY(hp-validate): first still protected from above.
+                // ORDERING(kp.deqtid-cas): ACQ_REL / RELAXED — write-once
+                // assignment: the per-location CAS order alone picks the
+                // winner; release pairs with help_finish_deq's acquire
+                // deq_tid read, and the discarded failure value needs no
+                // edge (the follow-up help_finish_deq re-reads it).
+                // pairs=kp.deqtid-read
                 let _ = unsafe { &*first }.deq_tid.compare_exchange(
                     IDX_NONE,
                     owner as i32,
@@ -549,42 +577,44 @@ impl<T> KPQueue<T> {
             Ok(p) => p,
             Err(_) => return, // head moved: that dequeue is finished
         };
-        // SAFETY: protected + validated.
+        // SAFETY(hp-validate): protected + validated.
         let first_ref = unsafe { &*first };
-        // ORDERING: ACQUIRE — link read (pairs with the linking CAS).
+        // ORDERING(kp.link-read): ACQUIRE — link read. pairs=kp.link-cas
         let next = first_ref.next.load(ord::ACQUIRE);
-        // ORDERING: ACQUIRE — pairs with the ACQ_REL assignment CAS in
-        // help_deq: the recorded candidate in the owner's descriptor is
-        // visible once we see the owner id.
+        // ORDERING(kp.deqtid-read): ACQUIRE — pairs with the ACQ_REL
+        // assignment CAS in help_deq: the recorded candidate in the
+        // owner's descriptor is visible once we see the owner id.
+        // pairs=kp.deqtid-cas
         let owner = first_ref.deq_tid.load(ord::ACQUIRE);
         if owner == IDX_NONE {
             return;
         }
         let owner = owner as usize;
         let cur_desc = self.protect_desc(tid, owner);
-        // SAFETY: protected + validated.
+        // SAFETY(hp-validate): protected + validated.
         let d = unsafe { &*cur_desc };
-        // ORDERING: SEQ_CST — protect/validate handshake re-load.
+        // ORDERING(kp.head-read): SEQ_CST — protect/validate handshake
+        // re-load. pairs=kp.head-advance
         if first == self.head.load(ord::SEQ_CST) && !next.is_null() {
             if d.pending {
                 let new_desc = OpDesc::alloc(d.phase, false, false, d.node);
-                // ORDERING: SEQ_CST / RELAXED — descriptor transition (see
-                // help_finish_enq).
+                // ORDERING(kp.desc-transition): SEQ_CST / RELAXED —
+                // descriptor transition (see help_finish_enq).
                 if self.state[owner]
                     .compare_exchange(cur_desc, new_desc, ord::SEQ_CST, ord::RELAXED)
                     .is_ok()
                 {
                     self.desc_hp.clear_one(tid, D_HP_CUR);
-                    // SAFETY: unlinked by our CAS; unique retirer.
+                    // SAFETY(retire-unique): unlinked by our CAS; unique retirer.
                     unsafe { self.desc_hp.retire(tid, cur_desc) };
                 } else {
-                    // SAFETY: never escaped.
+                    // SAFETY(node-unpublished): never escaped.
                     unsafe { drop(Box::from_raw(new_desc)) };
                 }
             }
-            // ORDERING: SEQ_CST / RELAXED — head advance; stays in the
-            // total order the protect/validate re-loads observe. Failure
-            // value unused.
+            // ORDERING(kp.head-advance): SEQ_CST / RELAXED — head
+            // advance; stays in the total order the protect/validate
+            // re-loads observe. Failure value unused. pairs=kp.head-read
             let _ = self
                 .head
                 .compare_exchange(first, next, ord::SEQ_CST, ord::RELAXED);
@@ -596,7 +626,7 @@ impl<T> KPQueue<T> {
         self.desc_hp.clear(tid);
         // Conditions may have become true since our last retire; flush so
         // the backlog honours its bound even on one-sided workloads.
-        // SAFETY: tid is ours.
+        // SAFETY(tid-exclusive): tid is ours.
         unsafe { self.node_hp.flush(tid) };
     }
 }
@@ -606,20 +636,23 @@ impl<T> Drop for KPQueue<T> {
         // Exclusive access. Free the list (KpNode::drop releases any
         // unconsumed boxed values) and the final descriptors; the HP/CHP
         // domains free their retired backlogs in their own Drops.
-        // ORDERING: RELAXED (all Drop loads) — `&mut self`: no concurrency.
+        // ORDERING(kp.drop-walk): RELAXED (all Drop loads) — `&mut
+        // self`: no concurrency.
         let mut node = self.head.load(ord::RELAXED);
         while !node.is_null() {
+            // SAFETY(drop-exclusive): `&mut self` in Drop — list nodes are
+            // uniquely owned here.
             let next = unsafe { &*node }.next.load(ord::RELAXED);
-            // SAFETY: list nodes are uniquely owned here.
             unsafe { drop(Box::from_raw(node)) };
             node = next;
         }
         for slot in self.state.iter() {
             let desc = slot.load(ord::RELAXED);
             if !desc.is_null() {
-                // SAFETY: the resident descriptor was never retired; the
-                // nodes it points to are owned by the list (already freed)
-                // or the CHP backlog — OpDesc::drop does not touch them.
+                // SAFETY(drop-exclusive): the resident descriptor was
+                // never retired; the nodes it points to are owned by the
+                // list (already freed) or the CHP backlog — OpDesc::drop
+                // does not touch them.
                 unsafe { drop(Box::from_raw(desc)) };
             }
         }

@@ -1,0 +1,5 @@
+//! Known-bad: the cfg literal misspells a feature, so the guarded code
+//! silently never compiles in. The `cfg-feature` pass must flag it.
+
+#[cfg(feature = "telemtry")]
+pub fn typo_gated() {}

@@ -1,0 +1,9 @@
+//! Companion code for `bad_orderings_doc.md`: exactly one ACQUIRE site,
+//! so the doc's count row (which claims two) and its ghost-only per-site
+//! table are both wrong. Used by the `ordering-counts` / `ordering-docs`
+//! fixture tests.
+
+pub fn read(v: &AtomicUsize) -> usize {
+    // ORDERING(fx.read): ACQUIRE load. pairs=extern(fixture harness)
+    v.load(ord::ACQUIRE)
+}

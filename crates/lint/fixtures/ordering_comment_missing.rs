@@ -1,0 +1,6 @@
+//! Known-bad: an `ord::` site with no ORDERING comment in range. The
+//! `ordering-comment` pass must flag it.
+
+pub fn read(v: &AtomicUsize) -> usize {
+    v.load(ord::ACQUIRE)
+}

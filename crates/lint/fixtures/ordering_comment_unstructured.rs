@@ -1,0 +1,8 @@
+//! Known-bad: the comment exists but carries no `(<site-id>)` tag, so the
+//! site cannot join the pairing graph or the doc tables. The
+//! `ordering-comment` pass must flag it.
+
+pub fn read(v: &AtomicUsize) -> usize {
+    // ORDERING: acquire, pairs with a release store somewhere.
+    v.load(ord::ACQUIRE)
+}

@@ -1,0 +1,10 @@
+//! Known-bad: `fx.store` lists `fx.load` as its partner, but `fx.load`
+//! does not list `fx.store` back. The `ordering-pairs` pass must flag the
+//! asymmetry.
+
+pub fn demo(v: &AtomicUsize) -> usize {
+    // ORDERING(fx.store): RELEASE store of the value. pairs=fx.load
+    v.store(1, ord::RELEASE);
+    // ORDERING(fx.load): ACQUIRE load. pairs=extern(claimed elsewhere)
+    v.load(ord::ACQUIRE)
+}

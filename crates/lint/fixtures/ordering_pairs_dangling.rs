@@ -1,0 +1,7 @@
+//! Known-bad: `pairs=` names a site that exists nowhere in the code. The
+//! `ordering-pairs` pass must flag the dangling edge.
+
+pub fn read(v: &AtomicUsize) -> usize {
+    // ORDERING(fx.read): ACQUIRE load of the published value. pairs=fx.ghost
+    v.load(ord::ACQUIRE)
+}

@@ -1,0 +1,8 @@
+//! Known-bad: a RELAXED-only site claiming a pairing edge it cannot
+//! create. The `ordering-pairs` pass must flag the bogus claim. (The pair
+//! target is itself so the only finding is the relaxed-only one.)
+
+pub fn count(v: &AtomicUsize) {
+    // ORDERING(fx.count): RELAXED statistics bump. pairs=fx.count
+    v.fetch_add(1, ord::RELAXED);
+}

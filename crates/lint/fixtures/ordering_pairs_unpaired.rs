@@ -1,0 +1,8 @@
+//! Known-bad: a RELEASE site with no `pairs=` declaration and no
+//! `pairs=extern(...)` escape — half a happens-before edge. The
+//! `ordering-pairs` pass must flag it.
+
+pub fn publish(v: &AtomicUsize) {
+    // ORDERING(fx.publish): RELEASE store; partner left unstated.
+    v.store(1, ord::RELEASE);
+}

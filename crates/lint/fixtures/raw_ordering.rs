@@ -1,0 +1,9 @@
+//! Known-bad: a raw `Ordering::` token in production code bypasses the
+//! `turnq_sync::ord` facade and the seqcst ablation switch. The
+//! `raw-ordering` pass must flag it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,8 @@
+//! Known-bad: the SAFETY prose lives in a doc comment, which documents
+//! the API but does not justify the block — only a plain `//` comment
+//! counts. The `safety-comment` pass must flag the block.
+
+/// SAFETY: prose in rustdoc does not vouch for the block below.
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! Known-bad: the only SAFETY text sits inside a string literal — the
+//! false negative of the retired regex walker. The lexer blanks string
+//! contents, so the `safety-comment` pass must still flag the block.
+
+pub fn deref(p: *const u8) -> u8 {
+    let _msg = "SAFETY: not a comment, just a string";
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Known-bad: an `unsafe` block with no justification comment at all.
+//! The `safety-comment` pass must flag it.
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

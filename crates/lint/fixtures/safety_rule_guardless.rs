@@ -1,0 +1,8 @@
+//! Known-bad: tagged `hp-validate` but the enclosing function contains
+//! none of the rule's guard tokens — the stale-comment case the guard
+//! mechanism exists to catch. The `safety-rule` pass must flag it.
+
+pub fn deref(p: *const u8) -> u8 {
+    // SAFETY(hp-validate): the pointer is validated, trust me.
+    unsafe { *p }
+}

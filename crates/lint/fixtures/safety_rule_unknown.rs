@@ -1,0 +1,7 @@
+//! Known-bad: the tag names a rule the docs/lints.md catalogue does not
+//! define. The `safety-rule` pass must flag it.
+
+pub fn deref(p: *const u8) -> u8 {
+    // SAFETY(no-such-rule): confidently citing a rule that does not exist.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! Known-bad (queue-crate production code): a plain `// SAFETY:` comment
+//! without a rule tag. Fine workspace-wide, but the `safety-rule` pass
+//! requires `SAFETY(<rule-id>):` naming a docs/lints.md catalogue rule.
+
+pub fn deref(p: *const u8) -> u8 {
+    // SAFETY: p is valid (says who?).
+    unsafe { *p }
+}

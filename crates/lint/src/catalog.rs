@@ -1,0 +1,119 @@
+//! The SAFETY rule catalogue, parsed from `docs/lints.md`.
+//!
+//! Every `unsafe` site in the queue crates must carry a
+//! `SAFETY(<rule-id>):` tag naming a rule from this catalogue; rules may
+//! additionally require a *guard token* — an identifier that must appear in
+//! the enclosing function's code (e.g. `protect`/`protected`/`load_own` for
+//! `hp-validate`) — which is what kills the stale-comment false negative:
+//! a comment can go stale, but the guard token check re-anchors the claim
+//! to the code actually present.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub id: String,
+    /// Identifiers, one of which must appear (as a token) in the enclosing
+    /// function of any site tagged with this rule. Empty = no structural
+    /// guard.
+    pub guards: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+pub struct Catalog {
+    pub rules: BTreeMap<String, Rule>,
+}
+
+impl Catalog {
+    /// Parse the rule table out of `docs/lints.md`. Rows look like
+    /// `| `rule-id` | `guard` `tokens` | rationale |` (a `—` guards cell
+    /// means no structural guard).
+    pub fn parse(doc: &str) -> Catalog {
+        let mut rules = BTreeMap::new();
+        // Only the table whose header has a "guard tokens" *column* is the
+        // catalogue — the pass-overview table also has backticked first
+        // cells (and even mentions "guard tokens" in prose) and must not
+        // contribute rule IDs, so the phrase must be the second column's
+        // header cell, not merely appear somewhere in the row.
+        let mut in_table = false;
+        for line in doc.lines() {
+            if !line.trim_start().starts_with('|') {
+                in_table = false;
+                continue;
+            }
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            if cells.get(2) == Some(&"guard tokens") {
+                in_table = true;
+                continue;
+            }
+            if !in_table {
+                continue;
+            }
+            if cells.len() < 4 {
+                continue;
+            }
+            let Some(id) = backticked(cells[1]).into_iter().next() else {
+                continue;
+            };
+            if !is_rule_id(&id) {
+                continue;
+            }
+            let guards = backticked(cells[2]);
+            rules.insert(id.clone(), Rule { id, guards });
+        }
+        Catalog { rules }
+    }
+}
+
+/// All backtick-quoted tokens in a table cell.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(start) = rest.find('`') {
+        let Some(len) = rest[start + 1..].find('`') else {
+            break;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + 1 + len + 1..];
+    }
+    out
+}
+
+/// Rule and site IDs share a grammar: lowercase kebab/dotted identifiers.
+pub fn is_rule_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().next().is_some_and(|b| b.is_ascii_lowercase())
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'.' || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rule_rows() {
+        let c = Catalog::parse(
+            "| id | guard tokens | rationale |\n\
+             |----|--------------|-----------|\n\
+             | `hp-validate` | `protect` `protected` `load_own` | deref of protected ptr |\n\
+             | `drop-exclusive` | — | `&mut self` exclusivity |\n",
+        );
+        assert_eq!(c.rules.len(), 2);
+        assert_eq!(c.rules["hp-validate"].guards.len(), 3);
+        assert!(c.rules["drop-exclusive"].guards.is_empty());
+    }
+
+    #[test]
+    fn prose_mention_of_guard_tokens_does_not_open_the_table() {
+        // The pass-overview table mentions "guard tokens" inside a row's
+        // prose cell; the rows after it must not become rules.
+        let c = Catalog::parse(
+            "| pass | scope | checks |\n\
+             |------|-------|--------|\n\
+             | `safety-rule` | queue crates | rules with guard tokens are verified |\n\
+             | `raw-ordering` | queue crates | no raw tokens |\n",
+        );
+        assert!(c.rules.is_empty(), "{:?}", c.rules.keys().collect::<Vec<_>>());
+    }
+}

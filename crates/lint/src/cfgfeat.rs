@@ -1,0 +1,161 @@
+//! The `cfg-feature` pass: the feature matrix must be closed.
+//!
+//! Two halves:
+//!
+//! * **Source side** — every `feature = "<name>"` literal in a
+//!   `#[cfg(...)]` / `#[cfg_attr(...)]` / `cfg!(...)` position must name a
+//!   feature the owning crate's Cargo.toml declares (explicit `[features]`
+//!   key or implicit optional-dependency feature). A typo'd or undeclared
+//!   feature silently compiles the guarded code *out* forever — exactly
+//!   the failure mode the matrix pass exists to catch.
+//! * **Manifest side** — every `[features]` enable-list entry resolves:
+//!   `dep:name` names a real dependency, `dep/feat` (or `dep?/feat`) names
+//!   a real dependency and, when the dependency is a workspace member, a
+//!   feature that member declares; a plain `feat` names another local
+//!   feature. This closes feature *forwarding* through the workspace.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::FileModel;
+use crate::manifest::Manifest;
+use crate::report::Finding;
+
+/// `feature = "<name>"` string literals in the file, as `(line, name)`.
+pub fn source_features(model: &FileModel) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for lit in &model.strings {
+        let Some(code) = model.code.get(lit.line - 1) else {
+            continue;
+        };
+        if lit.col <= code.len() && is_feature_position(&code[..lit.col]) {
+            out.push((lit.line, lit.content.clone()));
+        }
+    }
+    out
+}
+
+/// Does the code before the opening quote end with `feature =`?
+fn is_feature_position(before: &str) -> bool {
+    let Some(before) = before.trim_end().strip_suffix('=') else {
+        return false;
+    };
+    let before = before.trim_end();
+    before.ends_with("feature")
+        && !before.as_bytes()[..before.len() - "feature".len()]
+            .last()
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Source half: `cfg(feature = ...)` names vs the owning crate's
+/// declarations. `manifest_rel` is only used in the message.
+pub fn check_source(rel: &str, model: &FileModel, manifest_rel: &str, declared: &BTreeSet<String>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (line, name) in source_features(model) {
+        if !declared.contains(&name) {
+            out.push(Finding::new(
+                "cfg-feature",
+                rel,
+                line,
+                format!(
+                    "`feature = \"{name}\"` is not declared in {manifest_rel} — \
+                     the guarded code can never compile in"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Manifest half: every `[features]` enable-list entry resolves.
+/// `by_name` maps workspace package names to their parsed manifests.
+pub fn check_manifest(rel: &str, manifest: &Manifest, by_name: &BTreeMap<String, &Manifest>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let declared = manifest.declared_features();
+    for (feature, entries) in &manifest.features {
+        for entry in entries {
+            if let Some(dep) = entry.strip_prefix("dep:") {
+                if !manifest.deps.contains_key(dep) {
+                    out.push(Finding::new(
+                        "cfg-feature",
+                        rel,
+                        0,
+                        format!("feature `{feature}` enables `{entry}` but `{dep}` is not a dependency"),
+                    ));
+                }
+            } else if let Some((dep, dep_feat)) = entry.split_once('/') {
+                let dep = dep.trim_end_matches('?');
+                if !manifest.deps.contains_key(dep) {
+                    out.push(Finding::new(
+                        "cfg-feature",
+                        rel,
+                        0,
+                        format!("feature `{feature}` enables `{entry}` but `{dep}` is not a dependency"),
+                    ));
+                } else if let Some(dep_manifest) = by_name.get(dep) {
+                    if !dep_manifest.declared_features().contains(dep_feat) {
+                        out.push(Finding::new(
+                            "cfg-feature",
+                            rel,
+                            0,
+                            format!(
+                                "feature `{feature}` forwards `{entry}` but workspace crate \
+                                 `{dep}` declares no feature `{dep_feat}`"
+                            ),
+                        ));
+                    }
+                }
+                // A non-workspace dependency's features are outside our
+                // model — nothing to check (does not occur in-tree: every
+                // dependency is a workspace member or a local shim).
+            } else if !declared.contains(entry) {
+                out.push(Finding::new(
+                    "cfg-feature",
+                    rel,
+                    0,
+                    format!("feature `{feature}` enables `{entry}`, which is not a declared feature"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_cfg_feature_literals() {
+        let m = FileModel::parse(
+            "#[cfg(feature = \"segments\")]\nmod seg;\n#[cfg(all(test, feature=\"fastpath\"))]\nfn f() { if cfg!(feature = \"telemetry\") {} }\nlet s = \"feature = \\\"nope\\\"\";\n",
+        );
+        let names: Vec<String> = source_features(&m).into_iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["segments", "fastpath", "telemetry"]);
+    }
+
+    #[test]
+    fn undeclared_feature_is_flagged() {
+        let m = FileModel::parse("#[cfg(feature = \"segmnets\")]\nmod seg;\n");
+        let declared: BTreeSet<String> = ["segments".to_string()].into();
+        let f = check_source("x.rs", &m, "crates/x/Cargo.toml", &declared);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("segmnets"));
+    }
+
+    #[test]
+    fn manifest_forwarding_is_checked() {
+        let core = Manifest::parse(
+            "[package]\nname = \"core\"\n[features]\nsegments = []\n",
+        );
+        let root = Manifest::parse(
+            "[package]\nname = \"root\"\n[features]\nsegments = [\"core/segments\"]\nbroken = [\"core/nope\", \"ghost/x\", \"undeclared-local\"]\n[dependencies]\ncore = { path = \"crates/core\" }\n",
+        );
+        let by_name: BTreeMap<String, &Manifest> = [("core".to_string(), &core)].into();
+        let f = check_manifest("Cargo.toml", &root, &by_name);
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(f.len(), 3, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("no feature `nope`")));
+        assert!(msgs.iter().any(|m| m.contains("`ghost` is not a dependency")));
+        assert!(msgs.iter().any(|m| m.contains("`undeclared-local`")));
+    }
+}

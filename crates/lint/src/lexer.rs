@@ -1,0 +1,507 @@
+//! A comment/string-aware scanner for Rust sources.
+//!
+//! This is deliberately *not* a parser: the protocol lints need exactly
+//! three views of a file that line-based heuristics get wrong —
+//!
+//! * **code** with every comment removed and every string/char literal
+//!   blanked (so `"SAFETY:"` inside a string or an `unsafe` keyword quoted
+//!   in a message can never satisfy or trigger a check),
+//! * **comments**, each tagged as doc (`///`, `//!`, `/** */`) or plain
+//!   (`//`, `/* */`) — the SAFETY/ORDERING conventions live in plain
+//!   comments; doc text is prose and must not satisfy them,
+//! * **function spans** from brace tracking, so a rule's guard token can be
+//!   required "in the enclosing function" instead of "somewhere nearby".
+//!
+//! The lexer handles line/block (nested) comments, string, raw-string
+//! (`r#".."#`), byte-string and char literals, and the char-vs-lifetime
+//! ambiguity. It does not expand macros and does not need to: every
+//! convention it audits is textual by design.
+
+/// One comment line (block comments contribute one entry per line).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: usize,
+    /// Comment text without the `//`/`/*` markers.
+    pub text: String,
+    /// Doc comment (`///`, `//!`, `/**`, `/*!`)?
+    pub doc: bool,
+}
+
+/// One string literal (its *content*, which is blanked out of `code`).
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based source line of the opening quote.
+    pub line: usize,
+    /// Byte offset of the opening quote within that line's `code` text.
+    pub col: usize,
+    pub content: String,
+}
+
+/// A `fn` item span (decl line through closing brace line, 1-based
+/// inclusive), from brace tracking over the blanked code.
+#[derive(Debug, Clone, Copy)]
+pub struct FnSpan {
+    pub start: usize,
+    pub end: usize,
+}
+
+/// The scanned views of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Per-line code with comments stripped and literal contents blanked
+    /// (quotes kept, so `""` still reads as a literal position).
+    pub code: Vec<String>,
+    /// Original lines (for messages and the `#[cfg(test)]` boundary).
+    pub raw: Vec<String>,
+    pub comments: Vec<Comment>,
+    pub strings: Vec<StrLit>,
+    pub fns: Vec<FnSpan>,
+    /// Number of leading lines in the production region: everything above
+    /// the first line that is exactly `#[cfg(test)]`.
+    pub prod_lines: usize,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Occurrences of `needle` in `line` as full tokens (not embedded in an
+/// identifier).
+pub fn token_positions(line: &str, needle: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    line.match_indices(needle)
+        .filter(|&(i, _)| {
+            let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+            let end = i + needle.len();
+            let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+            before_ok && after_ok
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Does `line` contain `needle` as a full token?
+pub fn has_token(line: &str, needle: &str) -> bool {
+    !token_positions(line, needle).is_empty()
+}
+
+impl FileModel {
+    pub fn parse(text: &str) -> FileModel {
+        let chars: Vec<char> = text.chars().collect();
+        let mut code_lines: Vec<String> = Vec::new();
+        let mut comments: Vec<Comment> = Vec::new();
+        let mut strings: Vec<StrLit> = Vec::new();
+
+        let mut cur = String::new(); // current code line
+        let mut line_no = 1usize;
+        let mut i = 0usize;
+        let n = chars.len();
+
+        // Push helpers are written as closures over locals via macros to
+        // keep the state machine a single loop.
+        macro_rules! newline {
+            () => {{
+                code_lines.push(std::mem::take(&mut cur));
+                line_no += 1;
+            }};
+        }
+
+        while i < n {
+            let c = chars[i];
+            match c {
+                '\n' => {
+                    newline!();
+                    i += 1;
+                }
+                '/' if i + 1 < n && chars[i + 1] == '/' => {
+                    // Line comment. Doc: `///` (but not `////`) or `//!`.
+                    let mut j = i + 2;
+                    let doc = (j < n && chars[j] == '!')
+                        || (j < n && chars[j] == '/' && !(j + 1 < n && chars[j + 1] == '/'));
+                    if j < n && (chars[j] == '/' || chars[j] == '!') {
+                        j += 1;
+                    }
+                    let start = j;
+                    while j < n && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    comments.push(Comment {
+                        line: line_no,
+                        text: chars[start..j].iter().collect::<String>().trim().to_string(),
+                        doc,
+                    });
+                    i = j; // the '\n' (or EOF) is handled by the loop
+                }
+                '/' if i + 1 < n && chars[i + 1] == '*' => {
+                    // Block comment, possibly nested, possibly doc.
+                    let mut j = i + 2;
+                    let doc = j < n
+                        && (chars[j] == '!' || (chars[j] == '*' && !(j + 1 < n && chars[j + 1] == '/')));
+                    let mut depth = 1usize;
+                    let mut text = String::new();
+                    while j < n && depth > 0 {
+                        if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                            depth += 1;
+                            j += 2;
+                            text.push_str("/*");
+                        } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                            depth -= 1;
+                            j += 2;
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        } else if chars[j] == '\n' {
+                            comments.push(Comment {
+                                line: line_no,
+                                text: std::mem::take(&mut text).trim().trim_start_matches('*').trim().to_string(),
+                                doc,
+                            });
+                            newline!();
+                            j += 1;
+                        } else {
+                            text.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    comments.push(Comment {
+                        line: line_no,
+                        text: text.trim().trim_start_matches('*').trim().to_string(),
+                        doc,
+                    });
+                    i = j;
+                }
+                '"' => {
+                    // String literal (cooked). Blank the content.
+                    let col = cur.len();
+                    cur.push('"');
+                    let start_line = line_no;
+                    let mut content = String::new();
+                    let mut j = i + 1;
+                    while j < n {
+                        match chars[j] {
+                            '\\' if j + 1 < n => {
+                                content.push(chars[j]);
+                                content.push(chars[j + 1]);
+                                j += 2;
+                            }
+                            '"' => break,
+                            '\n' => {
+                                content.push('\n');
+                                newline!();
+                                j += 1;
+                            }
+                            other => {
+                                content.push(other);
+                                j += 1;
+                            }
+                        }
+                    }
+                    cur.push('"');
+                    strings.push(StrLit {
+                        line: start_line,
+                        col,
+                        content,
+                    });
+                    i = j + 1;
+                }
+                'r' | 'b' if Self::starts_raw_or_byte(&chars, i, &cur) => {
+                    // r"..", r#"..."#, br"..", b"..", b'..'
+                    let mut j = i;
+                    let mut prefix = String::new();
+                    while j < n && (chars[j] == 'r' || chars[j] == 'b') && prefix.len() < 2 {
+                        prefix.push(chars[j]);
+                        j += 1;
+                    }
+                    let raw = prefix.contains('r');
+                    if j < n && chars[j] == '\'' && !raw {
+                        // byte char literal b'x'
+                        cur.push_str("b''");
+                        j += 1; // opening quote
+                        while j < n && chars[j] != '\'' {
+                            if chars[j] == '\\' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    let mut hashes = 0usize;
+                    while raw && j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j >= n || chars[j] != '"' {
+                        // Not a literal after all (e.g. identifier `r` / `b`).
+                        cur.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    let col = cur.len();
+                    cur.push('"');
+                    let start_line = line_no;
+                    let mut content = String::new();
+                    j += 1; // past opening quote
+                    'outer: while j < n {
+                        if chars[j] == '"' {
+                            if !raw {
+                                break;
+                            }
+                            // need `"` followed by `hashes` hashes
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += hashes; // consume hashes below via +1
+                                break 'outer;
+                            }
+                            content.push('"');
+                            j += 1;
+                        } else if chars[j] == '\\' && !raw && j + 1 < n {
+                            content.push(chars[j]);
+                            content.push(chars[j + 1]);
+                            j += 2;
+                        } else if chars[j] == '\n' {
+                            content.push('\n');
+                            newline!();
+                            j += 1;
+                        } else {
+                            content.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    cur.push('"');
+                    strings.push(StrLit {
+                        line: start_line,
+                        col,
+                        content,
+                    });
+                    i = j + 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime/label.
+                    let next = chars.get(i + 1).copied();
+                    let after = chars.get(i + 2).copied();
+                    let is_char =
+                        matches!((next, after), (Some('\\'), _) | (Some(_), Some('\'')));
+                    if is_char {
+                        cur.push_str("' '");
+                        let mut j = i + 1;
+                        while j < n && chars[j] != '\'' {
+                            if chars[j] == '\\' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else {
+                        cur.push('\'');
+                        i += 1;
+                    }
+                }
+                other => {
+                    cur.push(other);
+                    i += 1;
+                }
+            }
+        }
+        code_lines.push(cur);
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        // `lines()` drops a trailing empty segment; keep vectors aligned.
+        let mut code = code_lines;
+        while code.len() > raw.len() {
+            let tail = code.pop().unwrap();
+            debug_assert!(tail.trim().is_empty(), "misaligned lexer output: {tail:?}");
+        }
+        while code.len() < raw.len() {
+            code.push(String::new());
+        }
+
+        let prod_lines = raw
+            .iter()
+            .position(|l| l.trim() == "#[cfg(test)]")
+            .unwrap_or(raw.len());
+        let fns = Self::fn_spans(&code);
+        FileModel {
+            code,
+            raw,
+            comments,
+            strings,
+            fns,
+            prod_lines,
+        }
+    }
+
+    /// Is the `r`/`b` at `chars[i]` the start of a raw/byte literal (rather
+    /// than part of an identifier)?
+    fn starts_raw_or_byte(chars: &[char], i: usize, cur: &str) -> bool {
+        if cur
+            .as_bytes()
+            .last()
+            .is_some_and(|&b| is_ident(b))
+        {
+            return false; // mid-identifier, e.g. `var` / `ptr`
+        }
+        let mut j = i;
+        let mut seen = 0;
+        while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && seen < 2 {
+            j += 1;
+            seen += 1;
+        }
+        match chars.get(j) {
+            Some('"') => true,
+            Some('#') => {
+                // raw string needs an `r` in the prefix
+                chars[i..j].contains(&'r') && {
+                    let mut k = j;
+                    while k < chars.len() && chars[k] == '#' {
+                        k += 1;
+                    }
+                    chars.get(k) == Some(&'"')
+                }
+            }
+            Some('\'') => chars[i..j] == ['b'],
+            _ => false,
+        }
+    }
+
+    /// Brace-tracked `fn` item spans over the blanked code.
+    fn fn_spans(code: &[String]) -> Vec<FnSpan> {
+        let mut spans = Vec::new();
+        let mut depth = 0usize;
+        // (decl_depth, decl_line) not yet at its body `{`.
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        // (decl_line, depth inside body)
+        let mut open: Vec<(usize, usize)> = Vec::new();
+        for (idx, line) in code.iter().enumerate() {
+            let line_no = idx + 1;
+            for pos in token_positions(line, "fn") {
+                let _ = pos;
+                pending.push((depth, line_no));
+            }
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if let Some(&(d, l)) = pending.last() {
+                            if d == depth - 1 {
+                                pending.pop();
+                                open.push((l, depth));
+                            }
+                        }
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if let Some(&(l, d)) = open.last() {
+                            if d == depth + 1 {
+                                open.pop();
+                                spans.push(FnSpan {
+                                    start: l,
+                                    end: line_no,
+                                });
+                            }
+                        }
+                    }
+                    ';' => {
+                        // A signature-only decl (trait method) never gets a
+                        // body; drop it once its `;` arrives at decl depth.
+                        if let Some(&(d, _)) = pending.last() {
+                            if d == depth {
+                                pending.pop();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        spans
+    }
+
+    /// The innermost `fn` span containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<FnSpan> {
+        self.fns
+            .iter()
+            .filter(|s| s.start <= line && line <= s.end)
+            .min_by_key(|s| s.end - s.start)
+            .copied()
+    }
+
+    /// Plain (non-doc) comments on `line`.
+    pub fn plain_comments_on(&self, line: usize) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line == line && !c.doc)
+    }
+
+    /// Does the code of lines `[start, end]` (1-based, inclusive) contain
+    /// `needle` as a token?
+    pub fn span_has_token(&self, start: usize, end: usize, needle: &str) -> bool {
+        let lo = start.saturating_sub(1);
+        let hi = end.min(self.code.len());
+        self.code[lo..hi].iter().any(|l| has_token(l, needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let m = FileModel::parse(
+            "let x = \"// not a comment; SAFETY: fake\"; // real comment\nlet y = 1;\n",
+        );
+        assert_eq!(m.code[0].matches('"').count(), 2);
+        assert!(!m.code[0].contains("SAFETY"));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].text, "real comment");
+        assert!(!m.comments[0].doc);
+        assert_eq!(m.strings.len(), 1);
+        assert!(m.strings[0].content.contains("SAFETY: fake"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let m = FileModel::parse("/// SAFETY: prose\n//! inner\n// plain\nfn f() {}\n");
+        let docs: Vec<bool> = m.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let m = FileModel::parse(
+            "let a = r#\"unsafe { }\"#; let b = 'x'; let c = '\\n'; let l: &'static str = \"s\";\n",
+        );
+        assert!(!m.code[0].contains("unsafe"));
+        assert_eq!(m.strings.len(), 2);
+        assert!(m.strings[0].content.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let m = FileModel::parse("/* a /* b */ c\n d */ let x = 1;\n");
+        assert!(m.code[0].trim().is_empty());
+        assert!(m.code[1].contains("let x"));
+        assert_eq!(m.comments.len(), 2);
+    }
+
+    #[test]
+    fn fn_spans_track_braces() {
+        let src = "fn outer() {\n    let f = || {\n    };\n}\nfn two() { }\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!((m.fns[0].start, m.fns[0].end), (1, 4));
+        assert_eq!((m.fns[1].start, m.fns[1].end), (5, 5));
+        assert_eq!(m.enclosing_fn(2).unwrap().start, 1);
+        assert!(m.enclosing_fn(6).is_none());
+    }
+
+    #[test]
+    fn production_region_boundary() {
+        let m = FileModel::parse("fn a() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(m.prod_lines, 1);
+    }
+}

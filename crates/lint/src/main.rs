@@ -1,0 +1,155 @@
+//! `turnq-lint` — run the workspace protocol analyzer from the command
+//! line.
+//!
+//! ```text
+//! turnq-lint [--root <dir>] [--json <file>] [--dump-sites] [--quiet]
+//! ```
+//!
+//! Exit status: 0 when every pass is clean, 1 when there are findings,
+//! 2 on usage/IO errors. `--json` writes the versioned `turnq-lint/1`
+//! report (schema in `docs/lints.md`); `--dump-sites` prints per-site
+//! table skeletons for `docs/orderings.md` maintenance instead of
+//! analyzing.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use turnq_lint::ordering::KINDS;
+use turnq_lint::{run_workspace, Workspace};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    dump_sites: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        dump_sites: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |it: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+            inline
+                .clone()
+                .or_else(|| it.next())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value(&mut it)?),
+            "--json" => args.json = Some(PathBuf::from(value(&mut it)?)),
+            "--dump-sites" => args.dump_sites = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: turnq-lint [--root <dir>] [--json <file>] [--dump-sites] [--quiet]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Markdown skeleton of the per-site tables, grouped by defining file —
+/// the starting point when docs/orderings.md needs a new row.
+fn dump_sites(ws: &Workspace) -> String {
+    let sites = ws.ordering_sites();
+    let mut by_file: Vec<(String, Vec<&String>)> = Vec::new();
+    for (id, site) in &sites {
+        let file = site.locs.first().map(|(f, _)| f.clone()).unwrap_or_default();
+        match by_file.iter_mut().find(|(f, _)| *f == file) {
+            Some((_, ids)) => ids.push(id),
+            None => by_file.push((file, vec![id])),
+        }
+    }
+    let mut out = String::new();
+    for (file, ids) in by_file {
+        out.push_str(&format!("### {file}\n\n"));
+        out.push_str("| site | orderings | pairs | edge |\n|------|-----------|-------|------|\n");
+        for id in ids {
+            let site = &sites[id];
+            let kinds: Vec<&str> = KINDS.iter().filter(|k| site.kinds.contains(*k)).copied().collect();
+            let pairs = if site.is_extern && site.pairs.is_empty() {
+                "pairs=extern(...)".to_string()
+            } else if site.pairs.is_empty() {
+                "—".to_string()
+            } else {
+                format!(
+                    "pairs={}",
+                    site.pairs.iter().map(|p| format!("`{p}`")).collect::<Vec<_>>().join(",")
+                )
+            };
+            out.push_str(&format!("| `{id}` | {} | {pairs} | TODO |\n", kinds.join("+")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.dump_sites {
+        match Workspace::load(&args.root) {
+            Ok(ws) => {
+                print!("{}", dump_sites(&ws));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("turnq-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match run_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("turnq-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("turnq-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+    }
+    let s = &report.stats;
+    eprintln!(
+        "turnq-lint: {} file(s), {} unsafe site(s), {} ord token(s) across {} ordering site(s), \
+         {} pair edge(s), {} rule(s) — {} finding(s)",
+        s.files_scanned,
+        s.unsafe_sites,
+        s.ord_tokens,
+        s.ordering_sites,
+        s.pair_edges,
+        s.rules,
+        report.findings.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

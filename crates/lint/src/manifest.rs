@@ -1,0 +1,181 @@
+//! A minimal Cargo.toml reader — just enough structure for the
+//! cfg/feature-matrix pass, with no TOML dependency.
+//!
+//! It understands the subset of TOML this workspace's manifests use:
+//! `[section]` headers, `key = value` lines, multi-line arrays, inline
+//! tables (`{ path = "..", workspace = true, optional = true }`), and `#`
+//! comments. That subset is a *checked* assumption: anything the parser
+//! cannot read shows up as a missing feature/dependency and fails loudly,
+//! never silently passes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One dependency edge as the feature pass needs it.
+#[derive(Debug, Default, Clone)]
+pub struct Dep {
+    /// `path = "..."`, relative to the manifest's directory.
+    pub path: Option<String>,
+    /// `workspace = true` — resolve through `[workspace.dependencies]`.
+    pub workspace: bool,
+    pub optional: bool,
+}
+
+/// Parsed view of one Cargo.toml.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// `[package] name`, absent for a virtual workspace root.
+    pub name: Option<String>,
+    /// `[features]`: name -> enable-list entries (`"feat"`, `"dep/feat"`,
+    /// `"dep?/feat"`, `"dep:name"`).
+    pub features: BTreeMap<String, Vec<String>>,
+    /// All `[dependencies]`/`[dev-dependencies]`/`[build-dependencies]`
+    /// (and the workspace table, for the root manifest).
+    pub deps: BTreeMap<String, Dep>,
+    /// `[workspace.dependencies]` only (root manifest).
+    pub workspace_deps: BTreeMap<String, Dep>,
+}
+
+impl Manifest {
+    /// Feature names this crate declares: explicit `[features]` keys plus
+    /// the implicit feature of every `optional = true` dependency.
+    pub fn declared_features(&self) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self.features.keys().cloned().collect();
+        for (name, dep) in &self.deps {
+            if dep.optional {
+                out.insert(name.clone());
+            }
+        }
+        out
+    }
+
+    pub fn parse(text: &str) -> Manifest {
+        let mut m = Manifest::default();
+        let mut section = String::new();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            let line = strip_comment(line);
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            if let Some(name) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().trim_matches('[').trim_matches(']').to_string();
+                continue;
+            }
+            let Some(eq) = t.find('=') else { continue };
+            let key = t[..eq].trim().trim_matches('"').to_string();
+            let mut value = t[eq + 1..].trim().to_string();
+            // Accumulate a multi-line array.
+            if value.starts_with('[') && !balanced(&value) {
+                for more in lines.by_ref() {
+                    let more = strip_comment(more);
+                    value.push(' ');
+                    value.push_str(more.trim());
+                    if balanced(&value) {
+                        break;
+                    }
+                }
+            }
+            match section.as_str() {
+                "package" if key == "name" => {
+                    m.name = Some(value.trim_matches('"').to_string());
+                }
+                "features" => {
+                    m.features.insert(key, parse_string_array(&value));
+                }
+                "dependencies" | "dev-dependencies" | "build-dependencies" => {
+                    m.deps.insert(key, parse_dep(&value));
+                }
+                "workspace.dependencies" => {
+                    let dep = parse_dep(&value);
+                    m.deps.insert(key.clone(), dep.clone());
+                    m.workspace_deps.insert(key, dep);
+                }
+                _ => {}
+            }
+        }
+        m
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string would break this, but no manifest in the
+    // workspace quotes a hash; the trade is taken for zero dependencies.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn balanced(value: &str) -> bool {
+    value.matches('[').count() <= value.matches(']').count()
+}
+
+fn parse_string_array(value: &str) -> Vec<String> {
+    let inner = value.trim().trim_start_matches('[').trim_end_matches(']');
+    inner
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_dep(value: &str) -> Dep {
+    let mut dep = Dep::default();
+    let v = value.trim();
+    if !v.starts_with('{') {
+        return dep; // plain version string
+    }
+    let inner = v.trim_start_matches('{').trim_end_matches('}');
+    for part in inner.split(',') {
+        let Some((k, val)) = part.split_once('=') else {
+            continue;
+        };
+        let k = k.trim();
+        let val = val.trim();
+        match k {
+            "path" => dep.path = Some(val.trim_matches('"').to_string()),
+            "workspace" => dep.workspace = val == "true",
+            "optional" => dep.optional = val == "true",
+            _ => {}
+        }
+    }
+    dep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_features_deps_and_arrays() {
+        let m = Manifest::parse(
+            r#"
+[package]
+name = "x"
+
+[features]
+default = ["telemetry"] # comment
+telemetry = [
+    "dep-a/probe",
+    "dep-b/telemetry",
+]
+
+[dependencies]
+dep-a = { path = "../a" }
+dep-b = { workspace = true, optional = true }
+plain = "1.0"
+"#,
+        );
+        assert_eq!(m.features["default"], vec!["telemetry"]);
+        assert_eq!(
+            m.features["telemetry"],
+            vec!["dep-a/probe", "dep-b/telemetry"]
+        );
+        assert_eq!(m.deps["dep-a"].path.as_deref(), Some("../a"));
+        assert!(m.deps["dep-b"].workspace);
+        assert!(m.deps["dep-b"].optional);
+        assert!(m.declared_features().contains("dep-b"));
+        assert!(!m.declared_features().contains("dep-a"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Doc-side half of the metrics catalogue check.
+//!
+//! The full check needs `turnq_telemetry::all_metric_names()` — a *linked*
+//! symbol, which a dependency-free binary cannot have. So the comparison
+//! stays in `tests/lint_metrics.rs` (a thin wrapper), and this module owns
+//! the parsing and diffing it shares with nothing else in the binary.
+
+use std::collections::BTreeSet;
+
+/// Metric names claimed by `docs/metrics.md`: the backtick-quoted first
+/// cell of each table row (`| `metric` | ... |`) with the `turnq_` prefix.
+pub fn documented_metrics(doc: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in doc.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() >= 3 {
+            if let Some(name) = cells[1].strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+                if name.starts_with("turnq_") {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Both-direction diff, as human-readable problem lines (empty = in sync).
+pub fn diff_metrics(documented: &BTreeSet<String>, exported: &BTreeSet<String>) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in exported {
+        if !documented.contains(name) {
+            problems.push(format!(
+                "{name}: exported by turnq_telemetry::all_metric_names() but not \
+                 catalogued in docs/metrics.md — add a table row"
+            ));
+        }
+    }
+    for name in documented {
+        if !exported.contains(name) {
+            problems.push(format!(
+                "{name}: catalogued in docs/metrics.md but not exported — remove \
+                 the row (or add the metric to counters.rs / snapshot.rs)"
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_diffs() {
+        let doc = "| `turnq_enq_ops_total` | counter | x |\n| prose | no | entry |\n";
+        let documented = documented_metrics(doc);
+        assert_eq!(documented.len(), 1);
+        let exported: BTreeSet<String> =
+            ["turnq_enq_ops_total".to_string(), "turnq_new_one".to_string()].into();
+        let problems = diff_metrics(&documented, &exported);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("turnq_new_one"));
+    }
+}

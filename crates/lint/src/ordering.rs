@@ -1,0 +1,644 @@
+//! The ORDERING passes: per-site comments, the release↔acquire pairing
+//! graph, and agreement with `docs/orderings.md`.
+//!
+//! Production atomics in the queue crates route every ordering through
+//! `turnq_sync::ord` (so `--features seqcst` can collapse them back to the
+//! paper's SC semantics), and every site must argue its own happens-before
+//! edge in structured form:
+//!
+//! ```text
+//! // ORDERING(q.enq-publish): SEQ_CST store ... pairs=q.enq-scan,q.enq-turn-close
+//! self.enqueuers[tid].store(node, ord::SEQ_CST);
+//! ```
+//!
+//! * `raw-ordering` — no raw `Ordering::` tokens in production code
+//!   (`observer::Ordering`, the always-std telemetry counters, is exempt).
+//! * `ordering-comment` — every `ord::` site sits under a *structured*
+//!   `// ORDERING(<site-id>):` comment within [`WINDOW`] lines.
+//! * `ordering-counts` — per-file, per-kind token counts match the
+//!   machine-checked table in `docs/orderings.md`.
+//! * `ordering-pairs` — the pairing graph is closed: every `pairs=` target
+//!   exists, pairing is symmetric (if A lists B, B lists A), and every
+//!   site with an ACQUIRE/RELEASE/ACQ_REL kind declares a partner (or
+//!   `pairs=extern(<reason>)` for edges completed by downstream callers).
+//!   SEQ_CST sites are valid partners — an SC store is also a release, an
+//!   SC load also an acquire.
+//! * `ordering-docs` — the site-ID set in the code and the per-site tables
+//!   of `docs/orderings.md` agree in both directions, the doc's kinds
+//!   cover the code's, and the declared pairs match.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::catalog::is_rule_id;
+use crate::lexer::{token_positions, FileModel};
+use crate::report::Finding;
+
+/// Ordering kinds, in the column order of the docs count table.
+pub const KINDS: [&str; 5] = ["RELAXED", "ACQUIRE", "RELEASE", "ACQ_REL", "SEQ_CST"];
+
+/// How many lines above an `ord::` token its `// ORDERING(...)` comment
+/// may start. Sized for a long comment block above a multi-line
+/// `compare_exchange`.
+pub const WINDOW: usize = 12;
+
+/// One `ord::` code line attributed to a site ID.
+#[derive(Debug, Clone)]
+pub struct Occurrence {
+    pub file: String,
+    /// 1-based code line of the `ord::` token(s).
+    pub line: usize,
+    pub id: String,
+    pub kinds: Vec<&'static str>,
+    /// `pairs=` targets declared in the governing comment block.
+    pub pairs: Vec<String>,
+    /// `pairs=extern(<reason>)` — the partner lives outside the linted
+    /// sites (e.g. a library-level acquire completed by the caller).
+    pub is_extern: bool,
+}
+
+/// A logical ordering site: one ID, possibly several code locations.
+#[derive(Debug, Default, Clone)]
+pub struct Site {
+    pub kinds: BTreeSet<&'static str>,
+    pub pairs: BTreeSet<String>,
+    pub is_extern: bool,
+    /// `(file, line)` of every occurrence, in scan order.
+    pub locs: Vec<(String, usize)>,
+}
+
+/// Scan one production file: structured-comment findings, attributed
+/// occurrences, and the per-kind token counts for the counts pass.
+pub fn collect(rel: &str, model: &FileModel) -> (Vec<Finding>, Vec<Occurrence>, [usize; 5]) {
+    let mut findings = Vec::new();
+    let mut occurrences = Vec::new();
+    let mut counts = [0usize; 5];
+    for idx in 0..model.prod_lines.min(model.code.len()) {
+        let line = idx + 1;
+        let code = &model.code[idx];
+        let mut kinds: Vec<&'static str> = Vec::new();
+        for (col, kind) in KINDS.iter().enumerate() {
+            let n = token_positions(code, &format!("ord::{kind}")).len();
+            counts[col] += n;
+            for _ in 0..n {
+                kinds.push(kind);
+            }
+        }
+        if kinds.is_empty() {
+            continue;
+        }
+        let Some(comment_line) = nearest_ordering_comment(model, line) else {
+            findings.push(Finding::new(
+                "ordering-comment",
+                rel,
+                line,
+                format!(
+                    "`ord::` site without an `// ORDERING(<site-id>):` comment within \
+                     {WINDOW} lines — state its happens-before edge (see docs/orderings.md)"
+                ),
+            ));
+            continue;
+        };
+        let block = comment_block_text(model, comment_line);
+        let Some(id) = parse_ordering_tag(&block) else {
+            findings.push(Finding::new(
+                "ordering-comment",
+                rel,
+                line,
+                "unstructured ORDERING comment — use `// ORDERING(<site-id>): ...` \
+                 with a site ID from docs/orderings.md",
+            ));
+            continue;
+        };
+        let (pairs, is_extern) = parse_pairs(&block);
+        occurrences.push(Occurrence {
+            file: rel.to_string(),
+            line,
+            id,
+            kinds,
+            pairs,
+            is_extern,
+        });
+    }
+    (findings, occurrences, counts)
+}
+
+/// Nearest line (searching upward from the site, [`WINDOW`] lines max)
+/// whose plain comment text contains `ORDERING`.
+fn nearest_ordering_comment(model: &FileModel, line: usize) -> Option<usize> {
+    let lo = line.saturating_sub(WINDOW);
+    (lo..=line)
+        .rev()
+        .find(|&l| model.plain_comments_on(l).any(|c| c.text.contains("ORDERING")))
+}
+
+/// The joined text of the plain-comment block starting at `line` (an
+/// `ORDERING(...)` tag's `pairs=` may sit on a continuation line).
+///
+/// The block runs *downward* only — the tag line is found by upward
+/// search, so everything above it belongs to other comments — and stops
+/// before any second `ORDERING` tag: trailing comments on code lines
+/// (`foo(); // line 3`) can glue adjacent comment blocks into one
+/// contiguous run, and without the cut a site would steal the next
+/// site's `pairs=` list.
+fn comment_block_text(model: &FileModel, line: usize) -> String {
+    let has_plain = |l: usize| model.plain_comments_on(l).next().is_some();
+    let mut out = String::new();
+    let mut l = line;
+    loop {
+        for c in model.plain_comments_on(l) {
+            out.push_str(&c.text);
+            out.push(' ');
+        }
+        if !has_plain(l + 1) {
+            break;
+        }
+        l += 1;
+    }
+    if let Some(first) = out.find("ORDERING") {
+        let after = first + "ORDERING".len();
+        if let Some(next) = out[after..].find("ORDERING") {
+            out.truncate(after + next);
+        }
+    }
+    out
+}
+
+/// `ORDERING(<site-id>): ...` → `Some(site-id)`.
+fn parse_ordering_tag(text: &str) -> Option<String> {
+    let pos = text.find("ORDERING")?;
+    let rest = text[pos + "ORDERING".len()..].strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let id = rest[..close].trim();
+    if rest[close + 1..].trim_start().starts_with(':') && is_rule_id(id) {
+        Some(id.to_string())
+    } else {
+        None
+    }
+}
+
+/// `pairs=q.a,q.b` → `(["q.a", "q.b"], false)`;
+/// `pairs=extern(<reason>)` → `([], true)`.
+///
+/// Site IDs are namespaced (always contain a `.`), which is what lets the
+/// tokenizer stop cleanly when prose follows the list — a bare word after
+/// a comma is not an ID. Whitespace around `=` and `,` is tolerated (doc
+/// cells strip their backticks into spaces before parsing).
+fn parse_pairs(text: &str) -> (Vec<String>, bool) {
+    let Some(pos) = text.find("pairs=") else {
+        return (Vec::new(), false);
+    };
+    let mut rest = text[pos + "pairs=".len()..].trim_start();
+    if rest.starts_with("extern(") {
+        return (Vec::new(), true);
+    }
+    let mut pairs = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || "-._".contains(c)))
+            .unwrap_or(rest.len());
+        // A sentence-ending period after the last ID is punctuation.
+        let id = rest[..end].trim_end_matches('.');
+        if !is_rule_id(id) || !id.contains('.') {
+            break;
+        }
+        pairs.push(id.to_string());
+        rest = rest[end..].trim_start();
+        match rest.strip_prefix(',') {
+            Some(next) => rest = next,
+            None => break,
+        }
+    }
+    (pairs, false)
+}
+
+/// Union occurrences (possibly from many files) into the site map.
+pub fn aggregate(occurrences: &[Occurrence]) -> BTreeMap<String, Site> {
+    let mut sites: BTreeMap<String, Site> = BTreeMap::new();
+    for occ in occurrences {
+        let site = sites.entry(occ.id.clone()).or_default();
+        site.kinds.extend(occ.kinds.iter().copied());
+        site.pairs.extend(occ.pairs.iter().cloned());
+        site.is_extern |= occ.is_extern;
+        site.locs.push((occ.file.clone(), occ.line));
+    }
+    sites
+}
+
+/// The pairing-graph pass. Also returns the number of distinct
+/// (unordered) edges for the report stats.
+pub fn check_pairs(sites: &BTreeMap<String, Site>) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for (id, site) in sites {
+        let (file, line) = site.locs.first().cloned().unwrap_or_default();
+        for target in &site.pairs {
+            match sites.get(target) {
+                None => findings.push(Finding::new(
+                    "ordering-pairs",
+                    &file,
+                    line,
+                    format!("site `{id}` pairs with `{target}`, which does not exist in the code"),
+                )),
+                Some(other) => {
+                    if !other.pairs.contains(id) {
+                        findings.push(Finding::new(
+                            "ordering-pairs",
+                            &file,
+                            line,
+                            format!(
+                                "asymmetric pairing: `{id}` lists `{target}` but \
+                                 `{target}` does not list `{id}` back"
+                            ),
+                        ));
+                    }
+                    let edge = if id < target {
+                        (id.clone(), target.clone())
+                    } else {
+                        (target.clone(), id.clone())
+                    };
+                    edges.insert(edge);
+                }
+            }
+        }
+        let needs_pair = site.kinds.iter().any(|k| matches!(*k, "ACQUIRE" | "RELEASE" | "ACQ_REL"));
+        if needs_pair && site.pairs.is_empty() && !site.is_extern {
+            findings.push(Finding::new(
+                "ordering-pairs",
+                &file,
+                line,
+                format!(
+                    "release/acquire site `{id}` ({}) declares no `pairs=` partner — \
+                     name the other side of its edge, or `pairs=extern(<reason>)`",
+                    render_kinds(&site.kinds)
+                ),
+            ));
+        }
+        let claims_edge = !site.pairs.is_empty() || site.is_extern;
+        if site.kinds.iter().all(|k| *k == "RELAXED") && claims_edge {
+            findings.push(Finding::new(
+                "ordering-pairs",
+                &file,
+                line,
+                format!(
+                    "relaxed-only site `{id}` declares `pairs=` — a RELAXED access \
+                     creates no edge; drop the claim or strengthen the site"
+                ),
+            ));
+        }
+    }
+    (findings, edges.len())
+}
+
+fn render_kinds(kinds: &BTreeSet<&'static str>) -> String {
+    // Render in KINDS (strength) order rather than alphabetical.
+    KINDS
+        .iter()
+        .filter(|k| kinds.contains(*k))
+        .copied()
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// The `raw-ordering` pass: no `Ordering::` tokens in production code.
+pub fn check_raw(rel: &str, model: &FileModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for idx in 0..model.prod_lines.min(model.code.len()) {
+        let code = &model.code[idx];
+        for (i, _) in code.match_indices("Ordering::") {
+            // `observer::Ordering::Relaxed` is the telemetry-counter
+            // exemption: always std, outside the seqcst ablation.
+            if code[..i].ends_with("observer::") {
+                continue;
+            }
+            out.push(Finding::new(
+                "raw-ordering",
+                rel,
+                idx + 1,
+                "raw `Ordering::` in production code — route it through \
+                 `turnq_sync::ord` (see docs/orderings.md)",
+            ));
+        }
+    }
+    out
+}
+
+/// Parse the docs/orderings.md machine-checked count table:
+/// `| crates/.../file.rs | n | n | n | n | n |`.
+pub fn documented_counts(doc: &str) -> BTreeMap<String, [usize; 5]> {
+    let mut out = BTreeMap::new();
+    for line in doc.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() == 8 && cells[1].ends_with(".rs") {
+            let mut counts = [0usize; 5];
+            let mut ok = true;
+            for (col, cell) in cells[2..7].iter().enumerate() {
+                match cell.parse() {
+                    Ok(n) => counts[col] = n,
+                    Err(_) => ok = false,
+                }
+            }
+            if ok {
+                out.insert(cells[1].to_string(), counts);
+            }
+        }
+    }
+    out
+}
+
+/// The `ordering-counts` pass: measured per-file counts vs the doc table.
+pub fn check_counts(
+    measured: &BTreeMap<String, [usize; 5]>,
+    documented: &BTreeMap<String, [usize; 5]>,
+) -> Vec<Finding> {
+    let render = |c: &[usize; 5]| {
+        KINDS
+            .iter()
+            .zip(c)
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let mut out = Vec::new();
+    for (file, counts) in measured {
+        if counts.iter().all(|&n| n == 0) {
+            continue;
+        }
+        match documented.get(file) {
+            None => out.push(Finding::new(
+                "ordering-counts",
+                file,
+                0,
+                format!(
+                    "{} but no row in the docs/orderings.md count table — new sites \
+                     need a row and a per-site justification",
+                    render(counts)
+                ),
+            )),
+            Some(doc) if doc != counts => out.push(Finding::new(
+                "ordering-counts",
+                file,
+                0,
+                format!(
+                    "sources say {} but docs/orderings.md says {} — update the row \
+                     (and the per-site table, if the edges changed)",
+                    render(counts),
+                    render(doc)
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for file in documented.keys() {
+        let present = measured.get(file).is_some_and(|c| c.iter().any(|&n| n > 0));
+        if !present {
+            out.push(Finding::new(
+                "ordering-counts",
+                "docs/orderings.md",
+                0,
+                format!("{file}: listed in the count table but has no `ord::` sites — remove the row"),
+            ));
+        }
+    }
+    out
+}
+
+/// A site row from the per-site tables of docs/orderings.md.
+#[derive(Debug, Default, Clone)]
+pub struct DocSite {
+    pub line: usize,
+    pub kinds: BTreeSet<&'static str>,
+    pub pairs: BTreeSet<String>,
+    pub is_extern: bool,
+}
+
+/// Parse the per-site tables: `| `<site-id>` | <orderings> | pairs | edge |`.
+/// The count-table rows (8 cells, first cell a path) are skipped; any
+/// other table row whose first cell is a backticked site ID counts.
+pub fn doc_sites(doc: &str) -> BTreeMap<String, DocSite> {
+    let mut out: BTreeMap<String, DocSite> = BTreeMap::new();
+    for (idx, line) in doc.lines().enumerate() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| id | orderings | pairs | edge |` → ["", id, ord, pairs, edge, ""]
+        if cells.len() != 6 {
+            continue;
+        }
+        let first = cells[1];
+        if !first.starts_with('`') {
+            continue;
+        }
+        let id = first.trim_matches('`').trim();
+        if !is_rule_id(id) || !id.contains('.') {
+            continue; // site IDs are namespaced (`q.`, `hp.`, ...)
+        }
+        let site = out.entry(id.to_string()).or_default();
+        if site.line == 0 {
+            site.line = idx + 1;
+        }
+        for kind in KINDS {
+            if !token_positions(cells[2], kind).is_empty() {
+                site.kinds.insert(kind);
+            }
+        }
+        let (pairs, is_extern) = parse_pairs(&cells[3].replace('`', " "));
+        site.pairs.extend(pairs);
+        site.is_extern |= is_extern;
+    }
+    out
+}
+
+/// The `ordering-docs` pass: both-direction ID agreement between the code
+/// sites and the per-site tables, plus kind coverage and pairs agreement.
+pub fn check_docs(code: &BTreeMap<String, Site>, doc: &BTreeMap<String, DocSite>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (id, site) in code {
+        let (file, line) = site.locs.first().cloned().unwrap_or_default();
+        let Some(doc_site) = doc.get(id) else {
+            out.push(Finding::new(
+                "ordering-docs",
+                &file,
+                line,
+                format!("site `{id}` has no row in the per-site tables of docs/orderings.md"),
+            ));
+            continue;
+        };
+        let missing: Vec<&str> = site.kinds.difference(&doc_site.kinds).copied().collect();
+        if !missing.is_empty() {
+            out.push(Finding::new(
+                "ordering-docs",
+                "docs/orderings.md",
+                doc_site.line,
+                format!(
+                    "site `{id}`: code uses {} but the doc row does not mention it",
+                    missing.join("+")
+                ),
+            ));
+        }
+        let code_pairs = normalized_pairs(&site.pairs, site.is_extern);
+        let docd_pairs = normalized_pairs(&doc_site.pairs, doc_site.is_extern);
+        if code_pairs != docd_pairs {
+            out.push(Finding::new(
+                "ordering-docs",
+                "docs/orderings.md",
+                doc_site.line,
+                format!(
+                    "site `{id}`: code declares pairs [{}] but the doc row says [{}]",
+                    render_set(&code_pairs),
+                    render_set(&docd_pairs)
+                ),
+            ));
+        }
+    }
+    for (id, doc_site) in doc {
+        if !code.contains_key(id) {
+            out.push(Finding::new(
+                "ordering-docs",
+                "docs/orderings.md",
+                doc_site.line,
+                format!("site `{id}` is documented but no ORDERING({id}) comment exists in the code"),
+            ));
+        }
+    }
+    out
+}
+
+fn normalized_pairs(pairs: &BTreeSet<String>, is_extern: bool) -> BTreeSet<String> {
+    let mut out = pairs.clone();
+    if is_extern {
+        out.insert("extern".to_string());
+    }
+    out
+}
+
+fn render_set(set: &BTreeSet<String>) -> String {
+    set.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(src)
+    }
+
+    #[test]
+    fn structured_comment_attributes_site() {
+        let m = model(
+            "fn f(a: &A) {\n    // ORDERING(q.x): ACQUIRE load pairs=q.y\n    a.v.load(ord::ACQUIRE);\n}\n",
+        );
+        let (f, occ, counts) = collect("f.rs", &m);
+        assert!(f.is_empty());
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].id, "q.x");
+        assert_eq!(occ[0].pairs, vec!["q.y"]);
+        assert_eq!(counts, [0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn unstructured_comment_is_flagged() {
+        let m = model("fn f(a: &A) {\n    // ORDERING: acquire load.\n    a.v.load(ord::ACQUIRE);\n}\n");
+        let (f, occ, _) = collect("f.rs", &m);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unstructured"));
+        assert!(occ.is_empty());
+    }
+
+    #[test]
+    fn missing_comment_is_flagged() {
+        let m = model("fn f(a: &A) {\n    a.v.load(ord::ACQUIRE);\n}\n");
+        let (f, _, _) = collect("f.rs", &m);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("without an"));
+    }
+
+    #[test]
+    fn pairs_on_continuation_line() {
+        let m = model(
+            "fn f(a: &A) {\n    // ORDERING(q.x): RELEASE store, partner is the helper's\n    // acquire re-read. pairs=q.y\n    a.v.store(1, ord::RELEASE);\n}\n",
+        );
+        let (_, occ, _) = collect("f.rs", &m);
+        assert_eq!(occ[0].pairs, vec!["q.y"]);
+    }
+
+    #[test]
+    fn pair_graph_symmetry_and_dangling() {
+        let src = "fn f(a: &A) {\n\
+                   \x20   // ORDERING(q.a): RELEASE store pairs=q.b\n\
+                   \x20   a.v.store(1, ord::RELEASE);\n\
+                   \x20   // ORDERING(q.b): ACQUIRE load pairs=q.a\n\
+                   \x20   a.v.load(ord::ACQUIRE);\n\
+                   \x20   // ORDERING(q.c): ACQUIRE load pairs=q.missing\n\
+                   \x20   a.w.load(ord::ACQUIRE);\n\
+                   \x20   // ORDERING(q.d): RELEASE store pairs=q.a\n\
+                   \x20   a.w.store(1, ord::RELEASE);\n\
+                   }\n";
+        let (_, occ, _) = collect("f.rs", &model(src));
+        let sites = aggregate(&occ);
+        let (f, edges) = check_pairs(&sites);
+        assert_eq!(edges, 2); // a<->b and the asymmetric d->a edge
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("does not exist")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("asymmetric")), "{msgs:?}");
+    }
+
+    #[test]
+    fn unpaired_release_and_extern_escape() {
+        let src = "fn f(a: &A) {\n\
+                   \x20   // ORDERING(q.a): RELEASE store, no partner declared.\n\
+                   \x20   a.v.store(1, ord::RELEASE);\n\
+                   \x20   // ORDERING(q.b): ACQUIRE load pairs=extern(caller completes)\n\
+                   \x20   a.v.load(ord::ACQUIRE);\n\
+                   }\n";
+        let (_, occ, _) = collect("f.rs", &model(src));
+        let (f, _) = check_pairs(&aggregate(&occ));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`q.a`"));
+        assert!(f[0].message.contains("no `pairs=`"));
+    }
+
+    #[test]
+    fn seq_cst_site_is_a_valid_partner() {
+        let src = "fn f(a: &A) {\n\
+                   \x20   // ORDERING(q.a): ACQUIRE load pairs=q.b\n\
+                   \x20   a.v.load(ord::ACQUIRE);\n\
+                   \x20   // ORDERING(q.b): SEQ_CST store pairs=q.a\n\
+                   \x20   a.v.store(1, ord::SEQ_CST);\n\
+                   }\n";
+        let (_, occ, _) = collect("f.rs", &model(src));
+        let (f, edges) = check_pairs(&aggregate(&occ));
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(edges, 1);
+    }
+
+    #[test]
+    fn doc_sites_roundtrip() {
+        let doc = "\
+| id | orderings | pairs | edge |\n\
+|----|-----------|-------|------|\n\
+| `q.a` | RELEASE store | `q.b` (pairs=`q.b`) | publish |\n\
+| `q.b` | ACQUIRE load; SEQ_CST re-check | pairs=`q.a` | consume |\n";
+        let sites = doc_sites(doc);
+        assert_eq!(sites.len(), 2);
+        assert!(sites["q.b"].kinds.contains("ACQUIRE"));
+        assert!(sites["q.b"].kinds.contains("SEQ_CST"));
+        assert_eq!(sites["q.a"].pairs.iter().next().map(String::as_str), Some("q.b"));
+    }
+
+    #[test]
+    fn docs_divergence_is_flagged_both_directions() {
+        let src = "fn f(a: &A) {\n\
+                   \x20   // ORDERING(q.a): RELEASE store pairs=extern(demo)\n\
+                   \x20   a.v.store(1, ord::RELEASE);\n\
+                   }\n";
+        let (_, occ, _) = collect("f.rs", &model(src));
+        let code = aggregate(&occ);
+        let doc = doc_sites(
+            "| `q.a` | RELEASE store | pairs=extern(demo) | publish |\n\
+             | `q.ghost` | ACQUIRE | pairs=extern(x) | gone |\n",
+        );
+        let f = check_docs(&code, &doc);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("q.ghost"));
+    }
+}

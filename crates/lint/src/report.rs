@@ -1,0 +1,163 @@
+//! Findings and the versioned `turnq-lint/1` JSON report.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free); the
+//! schema is documented in `docs/lints.md` and validated in CI with the
+//! same python-assertion pattern the bench artifacts use
+//! (`docs/bench_format.md`).
+
+use std::fmt::Write as _;
+
+/// Identifiers of every analyzer pass, in report order.
+pub const PASSES: [&str; 8] = [
+    "safety-comment",
+    "safety-rule",
+    "raw-ordering",
+    "ordering-comment",
+    "ordering-counts",
+    "ordering-pairs",
+    "ordering-docs",
+    "cfg-feature",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// One of [`PASSES`].
+    pub pass: &'static str,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line, 0 for file- or workspace-level findings.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(pass: &'static str, file: impl Into<String>, line: usize, message: impl Into<String>) -> Finding {
+        Finding {
+            pass,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.pass, self.message)
+        } else {
+            write!(f, "{}: [{}] {}", self.file, self.pass, self.message)
+        }
+    }
+}
+
+/// Workspace-level statistics — proof the walk saw what it should have.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    pub files_scanned: usize,
+    pub unsafe_sites: usize,
+    pub ord_tokens: usize,
+    pub ordering_sites: usize,
+    pub pair_edges: usize,
+    pub rules: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub root: String,
+    pub stats: Stats,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one pass.
+    pub fn by_pass(&self, pass: &str) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.pass == pass).collect()
+    }
+
+    /// The versioned machine-readable report (`schema: "turnq-lint/1"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"turnq-lint/1\",\n");
+        let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
+        let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        out.push_str("  \"stats\": {\n");
+        let s = &self.stats;
+        let _ = writeln!(out, "    \"files_scanned\": {},", s.files_scanned);
+        let _ = writeln!(out, "    \"unsafe_sites\": {},", s.unsafe_sites);
+        let _ = writeln!(out, "    \"ord_tokens\": {},", s.ord_tokens);
+        let _ = writeln!(out, "    \"ordering_sites\": {},", s.ordering_sites);
+        let _ = writeln!(out, "    \"pair_edges\": {},", s.pair_edges);
+        let _ = writeln!(out, "    \"rules\": {}", s.rules);
+        out.push_str("  },\n");
+        out.push_str("  \"passes\": [");
+        for (i, p) in PASSES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(p));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"pass\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.pass),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            root: ".".into(),
+            ..Default::default()
+        };
+        r.findings.push(Finding::new("safety-rule", "a\\b.rs", 3, "say \"no\""));
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"turnq-lint/1\""));
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("say \\\"no\\\""));
+    }
+}

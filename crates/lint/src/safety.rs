@@ -1,0 +1,249 @@
+//! The SAFETY passes.
+//!
+//! * `safety-comment` (workspace-wide): every `unsafe` block / `unsafe
+//!   impl` / `unsafe fn` needs a justification — a *plain* `// SAFETY:`
+//!   comment on the same line or within [`LOOKBACK`] lines above (an
+//!   `unsafe fn` may use a `# Safety` doc section instead). Unlike the
+//!   retired line-heuristic walker, a `SAFETY` appearing inside a string
+//!   literal or a doc comment does **not** satisfy the check (the lexer
+//!   separates those), and the `unsafe` keyword inside strings/comments
+//!   does not trigger it.
+//! * `safety-rule` (queue crates, production region): the justification
+//!   must be a *tagged* `SAFETY(<rule-id>):` naming a rule from the
+//!   `docs/lints.md` catalogue, and if the rule requires guard tokens, one
+//!   of them must appear in the enclosing function — the analyzer
+//!   cross-checks the claim against the code actually present, so a stale
+//!   comment alone can no longer vouch for an `unsafe` site.
+
+use crate::catalog::{is_rule_id, Catalog};
+use crate::lexer::FileModel;
+use crate::report::Finding;
+
+/// How many lines above an `unsafe` site may hold its justification.
+pub const LOOKBACK: usize = 14;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { ... }` (or an `unsafe` expression position).
+    Block,
+    /// `unsafe impl ...` / `unsafe trait ...`.
+    Impl,
+    /// `unsafe fn` declaration.
+    FnDecl,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct UnsafeSite {
+    /// 1-based line.
+    pub line: usize,
+    pub kind: UnsafeKind,
+}
+
+/// Every `unsafe` keyword in the file's code (comments and strings never
+/// match — they were blanked by the lexer).
+pub fn unsafe_sites(model: &FileModel) -> Vec<UnsafeSite> {
+    let mut out = Vec::new();
+    for (idx, line) in model.code.iter().enumerate() {
+        for pos in crate::lexer::token_positions(line, "unsafe") {
+            let rest = line[pos + "unsafe".len()..].trim_start();
+            let kind = if rest.starts_with("fn") && !rest[2..].starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+                UnsafeKind::FnDecl
+            } else if rest.starts_with("impl") || rest.starts_with("trait") {
+                UnsafeKind::Impl
+            } else {
+                UnsafeKind::Block
+            };
+            out.push(UnsafeSite { line: idx + 1, kind });
+        }
+    }
+    out
+}
+
+/// The nearest plain (non-doc) comment containing `SAFETY`, on the site's
+/// line or within [`LOOKBACK`] lines above. Returns `(comment line,
+/// rule tag)` where the tag is `Some(rule-id)` for `SAFETY(<rule-id>):`
+/// form and `None` for a bare `SAFETY:`.
+pub fn nearest_safety_comment(model: &FileModel, line: usize) -> Option<(usize, Option<String>)> {
+    let lo = line.saturating_sub(LOOKBACK);
+    for l in (lo..=line).rev() {
+        for c in model.plain_comments_on(l) {
+            if let Some(pos) = c.text.find("SAFETY") {
+                return Some((l, parse_tag(&c.text[pos..])));
+            }
+        }
+    }
+    None
+}
+
+/// `SAFETY(<rule-id>): ...` → `Some(rule-id)`; anything else → `None`.
+fn parse_tag(text: &str) -> Option<String> {
+    let rest = text.strip_prefix("SAFETY")?;
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let id = rest[..close].trim();
+    if rest[close + 1..].trim_start().starts_with(':') && is_rule_id(id) {
+        Some(id.to_string())
+    } else {
+        None
+    }
+}
+
+/// Is there a `# Safety` doc section within the lookback window (accepted
+/// for `unsafe fn` declarations only)?
+fn has_safety_doc_section(model: &FileModel, line: usize) -> bool {
+    let lo = line.saturating_sub(LOOKBACK);
+    model
+        .comments
+        .iter()
+        .any(|c| c.doc && c.line >= lo && c.line <= line && c.text.contains("# Safety"))
+}
+
+/// Workspace-wide pass: every `unsafe` site carries a justification.
+pub fn check_comment(rel: &str, model: &FileModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for site in unsafe_sites(model) {
+        let justified = nearest_safety_comment(model, site.line).is_some()
+            || (site.kind == UnsafeKind::FnDecl && has_safety_doc_section(model, site.line));
+        if !justified {
+            out.push(Finding::new(
+                "safety-comment",
+                rel,
+                site.line,
+                format!(
+                    "`unsafe` {} without a plain `// SAFETY:` comment within {LOOKBACK} lines \
+                     (string literals and doc comments do not count)",
+                    match site.kind {
+                        UnsafeKind::Block => "block",
+                        UnsafeKind::Impl => "impl",
+                        UnsafeKind::FnDecl => "fn declaration",
+                    }
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Queue-crate pass: production-region `unsafe` blocks and impls must use
+/// tagged `SAFETY(<rule-id>):` form, the rule must exist, and the rule's
+/// guard token (if any) must appear in the enclosing function.
+pub fn check_rules(rel: &str, model: &FileModel, catalog: &Catalog) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for site in unsafe_sites(model) {
+        if site.line > model.prod_lines || site.kind == UnsafeKind::FnDecl {
+            // Test modules answer to `safety-comment` only; `unsafe fn`
+            // contracts live in `# Safety` docs, and their *obligations*
+            // are discharged at the inner `unsafe {}` blocks
+            // (`unsafe_op_in_unsafe_fn` is denied workspace-wide).
+            continue;
+        }
+        let Some((_, tag)) = nearest_safety_comment(model, site.line) else {
+            continue; // already a `safety-comment` finding
+        };
+        let Some(rule_id) = tag else {
+            out.push(Finding::new(
+                "safety-rule",
+                rel,
+                site.line,
+                "untagged SAFETY comment — queue-crate unsafe sites need \
+                 `SAFETY(<rule-id>):` with a rule from docs/lints.md",
+            ));
+            continue;
+        };
+        let Some(rule) = catalog.rules.get(&rule_id) else {
+            out.push(Finding::new(
+                "safety-rule",
+                rel,
+                site.line,
+                format!("unknown SAFETY rule `{rule_id}` — not in the docs/lints.md catalogue"),
+            ));
+            continue;
+        };
+        if !rule.guards.is_empty() {
+            let (start, end) = match model.enclosing_fn(site.line) {
+                Some(span) => (span.start, span.end),
+                None => (1, model.code.len()),
+            };
+            let guarded = rule.guards.iter().any(|g| model.span_has_token(start, end, g));
+            if !guarded {
+                out.push(Finding::new(
+                    "safety-rule",
+                    rel,
+                    site.line,
+                    format!(
+                        "rule `{rule_id}` requires one of its guard tokens ({}) in the \
+                         enclosing function, none found — the tag does not match the code",
+                        rule.guards.join("/")
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::parse(
+            "| rule | guard tokens | x |\n\
+             | `hp-validate` | `protect` `protected` `load_own` | x |\n\
+             | `drop-exclusive` | — | x |\n",
+        )
+    }
+
+    #[test]
+    fn tagged_and_guarded_site_is_clean() {
+        let m = FileModel::parse(
+            "fn f(hp: &Hp) {\n    let p = hp.protect(0);\n    // SAFETY(hp-validate): protected + validated.\n    unsafe { &*p };\n}\n",
+        );
+        assert!(check_comment("f.rs", &m).is_empty());
+        assert!(check_rules("f.rs", &m, &catalog()).is_empty());
+    }
+
+    #[test]
+    fn guardless_tag_is_flagged() {
+        let m = FileModel::parse(
+            "fn f(p: *const u8) {\n    // SAFETY(hp-validate): protected + validated.\n    unsafe { &*p };\n}\n",
+        );
+        let f = check_rules("f.rs", &m, &catalog());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("guard token"));
+    }
+
+    #[test]
+    fn safety_inside_string_does_not_count() {
+        let m = FileModel::parse(
+            "fn f(p: *const u8) {\n    let _msg = \"SAFETY: not a comment\";\n    unsafe { &*p };\n}\n",
+        );
+        assert_eq!(check_comment("f.rs", &m).len(), 1);
+    }
+
+    #[test]
+    fn safety_in_doc_comment_does_not_count() {
+        let m = FileModel::parse(
+            "/// SAFETY: prose in docs.\nfn f(p: *const u8) {\n    unsafe { &*p };\n}\n",
+        );
+        assert_eq!(check_comment("f.rs", &m).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let m = FileModel::parse(
+            "/// Does things.\n///\n/// # Safety\n/// Caller must own `p`.\npub unsafe fn f(p: *mut u8) {}\n",
+        );
+        assert!(check_comment("f.rs", &m).is_empty());
+        assert!(check_rules("f.rs", &m, &catalog()).is_empty());
+    }
+
+    #[test]
+    fn test_region_needs_no_tag() {
+        let m = FileModel::parse(
+            "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) {\n        // SAFETY: test-owned.\n        unsafe { &*p };\n    }\n}\n",
+        );
+        assert!(check_rules("f.rs", &m, &catalog()).is_empty());
+        assert!(check_comment("f.rs", &m).is_empty());
+    }
+}

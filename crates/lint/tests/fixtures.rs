@@ -1,0 +1,249 @@
+//! The known-bad fixture corpus: one file per failure mode under
+//! `crates/lint/fixtures/`, each asserted to produce *exactly* its
+//! expected finding when run through the pass that owns it.
+//!
+//! This is the analyzer's regression floor — a refactor that silently
+//! stops a pass from firing fails here, not in production (where the
+//! tree is clean and a dead pass looks identical to a passing one). The
+//! fixtures directory is excluded from the workspace walk
+//! (`turnq_lint::FIXTURES_DIR`), which the last test pins down.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use turnq_lint::catalog::Catalog;
+use turnq_lint::lexer::FileModel;
+use turnq_lint::manifest::Manifest;
+use turnq_lint::report::Finding;
+use turnq_lint::{cfgfeat, ordering, safety, Workspace};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn model(name: &str) -> FileModel {
+    FileModel::parse(&fixture(name))
+}
+
+/// The *real* catalogue — fixture expectations track the shipped rules.
+fn real_catalog() -> Catalog {
+    let doc = fs::read_to_string(repo_root().join("docs/lints.md")).expect("docs/lints.md");
+    let c = Catalog::parse(&doc);
+    assert!(!c.rules.is_empty(), "no rules parsed from docs/lints.md");
+    c
+}
+
+/// Assert exactly one finding from `pass` whose message contains `needle`.
+fn assert_single(findings: &[Finding], pass: &str, needle: &str) {
+    assert_eq!(findings.len(), 1, "expected exactly one finding, got: {findings:#?}");
+    assert_eq!(findings[0].pass, pass, "wrong pass: {findings:#?}");
+    assert!(
+        findings[0].message.contains(needle),
+        "message lacks {needle:?}: {findings:#?}"
+    );
+}
+
+// --- safety-comment ---
+
+#[test]
+fn untagged_unsafe_block_fires_safety_comment() {
+    let f = safety::check_comment("fx.rs", &model("safety_comment_untagged.rs"));
+    assert_single(&f, "safety-comment", "without a plain `// SAFETY:` comment");
+}
+
+#[test]
+fn safety_inside_string_literal_does_not_satisfy() {
+    let f = safety::check_comment("fx.rs", &model("safety_comment_string.rs"));
+    assert_single(&f, "safety-comment", "string literals and doc comments do not count");
+}
+
+#[test]
+fn safety_inside_doc_comment_does_not_satisfy() {
+    let f = safety::check_comment("fx.rs", &model("safety_comment_doc.rs"));
+    assert_single(&f, "safety-comment", "without a plain `// SAFETY:` comment");
+}
+
+// --- safety-rule ---
+
+#[test]
+fn plain_safety_comment_fires_untagged_rule() {
+    let m = model("safety_rule_untagged.rs");
+    assert!(safety::check_comment("fx.rs", &m).is_empty(), "comment pass should accept it");
+    let f = safety::check_rules("fx.rs", &m, &real_catalog());
+    assert_single(&f, "safety-rule", "untagged SAFETY comment");
+}
+
+#[test]
+fn unknown_rule_id_is_flagged() {
+    let f = safety::check_rules("fx.rs", &model("safety_rule_unknown.rs"), &real_catalog());
+    assert_single(&f, "safety-rule", "unknown SAFETY rule `no-such-rule`");
+}
+
+#[test]
+fn rule_without_its_guard_token_is_flagged() {
+    let f = safety::check_rules("fx.rs", &model("safety_rule_guardless.rs"), &real_catalog());
+    assert_single(&f, "safety-rule", "guard token");
+    assert!(f[0].message.contains("hp-validate"), "{f:#?}");
+}
+
+// --- raw-ordering ---
+
+#[test]
+fn raw_ordering_token_is_flagged() {
+    let f = ordering::check_raw("fx.rs", &model("raw_ordering.rs"));
+    assert_single(&f, "raw-ordering", "raw `Ordering::`");
+}
+
+// --- ordering-comment ---
+
+#[test]
+fn ord_site_without_comment_is_flagged() {
+    let (f, occ, counts) = ordering::collect("fx.rs", &model("ordering_comment_missing.rs"));
+    assert_single(&f, "ordering-comment", "without an `// ORDERING(<site-id>):` comment");
+    assert!(occ.is_empty());
+    assert_eq!(counts, [0, 1, 0, 0, 0]);
+}
+
+#[test]
+fn unstructured_ordering_comment_is_flagged() {
+    let (f, occ, _) = ordering::collect("fx.rs", &model("ordering_comment_unstructured.rs"));
+    assert_single(&f, "ordering-comment", "unstructured ORDERING comment");
+    assert!(occ.is_empty());
+}
+
+// --- ordering-pairs ---
+
+fn pair_findings(name: &str) -> Vec<Finding> {
+    let (f, occ, _) = ordering::collect("fx.rs", &model(name));
+    assert!(f.is_empty(), "fixture {name} should parse cleanly: {f:#?}");
+    ordering::check_pairs(&ordering::aggregate(&occ)).0
+}
+
+#[test]
+fn dangling_pair_target_is_flagged() {
+    let f = pair_findings("ordering_pairs_dangling.rs");
+    assert_single(&f, "ordering-pairs", "`fx.ghost`, which does not exist");
+}
+
+#[test]
+fn asymmetric_pairing_is_flagged() {
+    let f = pair_findings("ordering_pairs_asymmetric.rs");
+    assert_single(&f, "ordering-pairs", "asymmetric pairing");
+    assert!(f[0].message.contains("`fx.store`"), "{f:#?}");
+}
+
+#[test]
+fn unpaired_release_site_is_flagged() {
+    let f = pair_findings("ordering_pairs_unpaired.rs");
+    assert_single(&f, "ordering-pairs", "declares no `pairs=` partner");
+}
+
+#[test]
+fn relaxed_only_site_with_pairs_is_flagged() {
+    let f = pair_findings("ordering_pairs_relaxed.rs");
+    assert_single(&f, "ordering-pairs", "relaxed-only site `fx.count`");
+}
+
+// --- ordering-counts / ordering-docs ---
+
+#[test]
+fn count_row_mismatch_is_flagged() {
+    let (f, _, counts) = ordering::collect("fixtures/counts_code.rs", &model("counts_code.rs"));
+    assert!(f.is_empty(), "{f:#?}");
+    let measured: BTreeMap<String, [usize; 5]> =
+        [("fixtures/counts_code.rs".to_string(), counts)].into();
+    let documented = ordering::documented_counts(&fixture("bad_orderings_doc.md"));
+    assert_eq!(documented.len(), 1, "one count row expected: {documented:?}");
+    let f = ordering::check_counts(&measured, &documented);
+    assert_single(&f, "ordering-counts", "update the row");
+}
+
+#[test]
+fn doc_site_divergence_is_flagged_both_directions() {
+    let (_, occ, _) = ordering::collect("fixtures/counts_code.rs", &model("counts_code.rs"));
+    let code = ordering::aggregate(&occ);
+    let doc = ordering::doc_sites(&fixture("bad_orderings_doc.md"));
+    let f = ordering::check_docs(&code, &doc);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|x| x.pass == "ordering-docs"), "{f:#?}");
+    assert!(
+        f.iter().any(|x| x.message.contains("`fx.read` has no row")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.message.contains("`fx.ghost` is documented but no ORDERING")),
+        "{f:#?}"
+    );
+}
+
+// --- cfg-feature ---
+
+#[test]
+fn undeclared_cfg_feature_is_flagged() {
+    let declared: BTreeSet<String> = ["telemetry".to_string()].into();
+    let f = cfgfeat::check_source(
+        "fx.rs",
+        &model("cfg_feature_bad.rs"),
+        "crates/fx/Cargo.toml",
+        &declared,
+    );
+    assert_single(&f, "cfg-feature", "`feature = \"telemtry\"` is not declared");
+}
+
+#[test]
+fn broken_manifest_forwarding_is_flagged() {
+    let manifest = Manifest::parse(&fixture("bad_manifest.toml"));
+    let dep = Manifest::parse("[package]\nname = \"turnq-dep\"\n[features]\nreal = []\n");
+    let by_name: BTreeMap<String, &Manifest> = [("turnq-dep".to_string(), &dep)].into();
+    let f = cfgfeat::check_manifest("fixtures/bad_manifest.toml", &manifest, &by_name);
+    let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+    assert_eq!(f.len(), 4, "{msgs:#?}");
+    assert!(f.iter().all(|x| x.pass == "cfg-feature"));
+    assert!(msgs.iter().any(|m| m.contains("`ghost` is not a dependency")), "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`phantom` is not a dependency")), "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("declares no feature `nope`")), "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`undeclared-local`")), "{msgs:#?}");
+}
+
+// --- corpus hygiene ---
+
+#[test]
+fn workspace_walk_excludes_the_fixture_corpus() {
+    let root = repo_root().canonicalize().expect("repo root");
+    let on_disk = fs::read_dir(root.join(turnq_lint::FIXTURES_DIR))
+        .expect("fixtures dir")
+        .count();
+    assert!(on_disk >= 8, "fixture corpus unexpectedly small ({on_disk} files)");
+    let ws = Workspace::load(&root).expect("workspace load");
+    let leaked: Vec<&str> = ws
+        .files
+        .iter()
+        .map(|f| f.rel.as_str())
+        .filter(|rel| rel.starts_with(turnq_lint::FIXTURES_DIR))
+        .collect();
+    assert!(leaked.is_empty(), "fixtures leaked into the walk: {leaked:?}");
+}
+
+#[test]
+fn shipped_tree_is_clean() {
+    let root = repo_root().canonicalize().expect("repo root");
+    let report = turnq_lint::run_workspace(&root).expect("analyze");
+    assert!(
+        report.clean(),
+        "{} finding(s) in the shipped tree:\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -77,15 +77,17 @@ struct Slots {
 impl Slots {
     fn release(&self, index: usize) {
         let slot = &self.in_use[index];
-        // ORDERING: RELAXED — owner-only sanity check on our own claim.
+        // ORDERING(tr.slot-peek): RELAXED — owner-only sanity check on
+        // our own claim.
         debug_assert!(slot.in_use.load(ord::RELAXED));
         // Owner-only bump while the slot is still exclusively ours; the
         // Release store below publishes it together with the flag flip.
         let n = slot.releases.load(observer::Ordering::Relaxed);
         slot.releases.store(n + 1, observer::Ordering::Relaxed);
-        // ORDERING: RELEASE — slot hand-back: orders every per-slot access
-        // of the exiting thread (queue arrays indexed by this tid, tallies)
-        // before the flip; the next claimer's acquire CAS picks it up.
+        // ORDERING(tr.slot-release): RELEASE — slot hand-back: orders
+        // every per-slot access of the exiting thread (queue arrays indexed
+        // by this tid, tallies) before the flip; the next claimer's acquire
+        // CAS picks it up. pairs=tr.slot-claim,tr.count-read
         slot.in_use.store(false, ord::RELEASE);
     }
 }
@@ -183,8 +185,9 @@ impl ThreadRegistry {
             .into_boxed_slice();
         ThreadRegistry {
             slots: Arc::new(Slots {
-                // ORDERING: RELAXED — unique-id ticket; only atomicity of
-                // the increment matters, nothing is published through it.
+                // ORDERING(tr.id-ticket): RELAXED — unique-id ticket;
+                // only atomicity of the increment matters, nothing is
+                // published through it.
                 id: NEXT_REGISTRY_ID.fetch_add(1, ord::RELAXED),
                 in_use,
             }),
@@ -201,9 +204,10 @@ impl ThreadRegistry {
         self.slots
             .in_use
             .iter()
-            // ORDERING: ACQUIRE — pairs with the release in Slots::release
-            // so a zero count implies the exiting threads' slot writes are
-            // visible to the observer.
+            // ORDERING(tr.count-read): ACQUIRE — pairs with the release
+            // in Slots::release so a zero count implies the exiting
+            // threads' slot writes are visible to the observer.
+            // pairs=tr.slot-release
             .filter(|s| s.in_use.load(ord::ACQUIRE))
             .count()
     }
@@ -329,13 +333,15 @@ impl ThreadRegistry {
         const GRACE_ROUNDS: usize = 256;
         for round in 0..GRACE_ROUNDS {
             for (i, slot) in self.slots.in_use.iter().enumerate() {
-                // ORDERING: RELAXED — contention pre-check; the CAS decides.
+                // ORDERING(tr.slot-peek): RELAXED — contention pre-check;
+                // the CAS decides.
                 if !slot.in_use.load(ord::RELAXED)
-                    // ORDERING: ACQ_REL / RELAXED — slot claim: acquire pairs
-                    // with the releasing hand-back so the previous owner's
-                    // per-slot state is visible before we reuse the index;
-                    // release makes the claim visible to `registered_count`.
-                    // The failure value (someone else claimed) is discarded.
+                    // ORDERING(tr.slot-claim): ACQ_REL / RELAXED — slot
+                    // claim: acquire pairs with the releasing hand-back so
+                    // the previous owner's per-slot state is visible before
+                    // we reuse the index; release makes the claim visible
+                    // to `registered_count`. The failure value (someone
+                    // else claimed) is discarded. pairs=tr.slot-release
                     && slot
                         .in_use
                         .compare_exchange(false, true, ord::ACQ_REL, ord::RELAXED)

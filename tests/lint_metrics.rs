@@ -4,47 +4,29 @@
 //! `turnq_telemetry::all_metric_names()` is the machine-readable list of
 //! every metric the snapshot exporters can emit (fully prefixed, e.g.
 //! `turnq_enq_ops_total`). `docs/metrics.md` is the human catalogue. Like
-//! `tests/lint_orderings.rs` for SeqCst sites, this test fails when either
-//! side drifts:
+//! `tests/lint_orderings.rs` for ordering sites, this test fails when
+//! either side drifts:
 //!
 //! * a metric exists in code but is missing from the catalogue (new
 //!   metrics need documented meaning and recording site), or
 //! * the catalogue names a `turnq_`-prefixed metric the code no longer
 //!   exports (stale doc entry).
 //!
-//! The doc may mention derived samples (`turnq_helping_depth_count`,
-//! label syntax) freely — the reverse check only considers backtick-quoted
-//! table-cell entries, where each row's first cell is the metric itself.
+//! The doc parsing lives in `turnq_lint::metrics` (shared with the
+//! analyzer's other doc parsers); this check is not a binary pass because
+//! it needs the *linked* `turnq_telemetry::all_metric_names()` symbol —
+//! only `cargo test` sees the real exported set.
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
-
-/// Metric names claimed by the catalogue: the backtick-quoted first cell
-/// of each table row (`| `metric` | ... |`).
-fn documented(doc: &str) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    for line in doc.lines() {
-        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
-        // | `metric` | ... |  →  ["", "`metric`", ..., ""]
-        if cells.len() >= 3 {
-            let cell = cells[1];
-            if let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
-                if name.starts_with("turnq_") {
-                    out.insert(name.to_string());
-                }
-            }
-        }
-    }
-    out
-}
 
 #[test]
 fn every_metric_is_catalogued_and_no_doc_entry_is_stale() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let doc = fs::read_to_string(root.join("docs/metrics.md"))
         .expect("docs/metrics.md must exist (the metrics catalogue)");
-    let documented = documented(&doc);
+    let documented = turnq_lint::metrics::documented_metrics(&doc);
     assert!(
         !documented.is_empty(),
         "no `turnq_...` table entries parsed from docs/metrics.md"
@@ -52,23 +34,7 @@ fn every_metric_is_catalogued_and_no_doc_entry_is_stale() {
 
     let exported: BTreeSet<String> = turnq_telemetry::all_metric_names().into_iter().collect();
 
-    let mut problems = Vec::new();
-    for name in &exported {
-        if !documented.contains(name) {
-            problems.push(format!(
-                "{name}: exported by turnq_telemetry::all_metric_names() but not \
-                 catalogued in docs/metrics.md — add a table row"
-            ));
-        }
-    }
-    for name in &documented {
-        if !exported.contains(name) {
-            problems.push(format!(
-                "{name}: catalogued in docs/metrics.md but not exported — remove \
-                 the row (or add the metric to counters.rs / snapshot.rs)"
-            ));
-        }
-    }
+    let problems = turnq_lint::metrics::diff_metrics(&documented, &exported);
     assert!(
         problems.is_empty(),
         "metrics catalogue out of sync:\n{}",

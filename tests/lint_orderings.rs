@@ -1,243 +1,61 @@
 //! Workspace lint: the per-site memory-ordering discipline.
 //!
-//! Production atomics in the queue crates route every ordering through
-//! `turnq_sync::ord` (so `--features seqcst` can collapse them all back
-//! to the paper's SC semantics), and every site must argue its own
-//! happens-before edge. Three checks keep that discipline from rotting:
+//! Thin wrapper over the `turnq-lint` analyzer library (`crates/lint`) —
+//! the same passes the `turnq-lint` binary runs in CI, so `cargo test`
+//! and the binary can never disagree. Production atomics in the queue
+//! crates route every ordering through `turnq_sync::ord` (so
+//! `--features seqcst` can collapse them all back to the paper's SC
+//! semantics), and every site must argue its own happens-before edge.
+//! This test gates the five ORDERING passes:
 //!
-//! 1. **No raw `Ordering::` in production code** — a raw token bypasses
-//!    the `seqcst` ablation switch and the docs table. Test modules
-//!    (below the first `#[cfg(test)]`) and `observer::Ordering` (the
-//!    always-std telemetry counters) are exempt.
-//! 2. **Every `ord::` site carries an `// ORDERING:` comment** on the
-//!    same line or within the preceding few lines — the per-site
-//!    justification lives next to the code, not only in the doc.
-//! 3. **Per-file, per-kind counts match `docs/orderings.md`** — adding,
-//!    removing, or re-weakening a site forces the doc's machine-checked
-//!    table (and, socially, its per-site tables) to be revisited in the
-//!    same change.
+//! * `raw-ordering`: no raw `Ordering::` tokens in production code — a
+//!   raw token bypasses the `seqcst` ablation switch and the docs table
+//!   (`observer::Ordering`, the always-std telemetry counters, is
+//!   exempt).
+//! * `ordering-comment`: every `ord::` site sits under a structured
+//!   `// ORDERING(<site-id>):` comment within a few lines — the
+//!   justification lives next to the code, not only in the doc.
+//! * `ordering-counts`: per-file, per-kind `ord::` token counts match
+//!   the count table in `docs/orderings.md`, so re-weakening a site
+//!   forces the doc to be revisited in the same change.
+//! * `ordering-pairs`: the `pairs=` graph is closed and symmetric —
+//!   every ACQUIRE/RELEASE/ACQ_REL site names the other side of its
+//!   happens-before edge (or `pairs=extern(<reason>)`), RELAXED-only
+//!   sites name none, and no declared partner is dangling.
+//! * `ordering-docs`: the per-site tables in `docs/orderings.md` and
+//!   the code's site IDs agree in both directions (kinds and pairs).
 //!
 //! Scope: `src/` trees of the five queue crates. `crates/sync` is out of
 //! scope (it *implements* the facade and the race detector and must
 //! spell real orderings), as are bench/test/model-check-harness crates
-//! (there `SeqCst` is the uncontroversial default).
+//! (there `SeqCst` is the uncontroversial default). The known-bad corpus
+//! under `crates/lint/fixtures/` proves each pass fires; see
+//! `crates/lint/tests/fixtures.rs`.
 
-use std::collections::BTreeMap;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// Crates whose production atomics must go through `ord`.
-const LINTED_CRATES: [&str; 5] = [
-    "crates/core",
-    "crates/hazard",
-    "crates/kp",
-    "crates/threadreg",
-    "crates/baselines",
+const ORDERING_PASSES: [&str; 5] = [
+    "raw-ordering",
+    "ordering-comment",
+    "ordering-counts",
+    "ordering-pairs",
+    "ordering-docs",
 ];
 
-/// Ordering kinds, in the column order of the docs table.
-const KINDS: [&str; 5] = ["RELAXED", "ACQUIRE", "RELEASE", "ACQ_REL", "SEQ_CST"];
-
-/// How many lines above an `ord::` token its `// ORDERING:` comment may
-/// start. Sized for a long comment block above a multi-line
-/// `compare_exchange` (current worst case in-tree is 10).
-const ORDERING_COMMENT_WINDOW: usize = 12;
-
-/// The production region of a source file: everything above the first
-/// `#[cfg(test)]` line.
-fn production_region(text: &str) -> Vec<&str> {
-    text.lines()
-        .take_while(|l| l.trim() != "#[cfg(test)]")
-        .collect()
-}
-
-fn is_comment_line(line: &str) -> bool {
-    line.trim_start().starts_with("//")
-}
-
-/// Every `.rs` file under the linted crates' `src/` trees, as
-/// `(repo-relative path, contents)`, sorted by path.
-fn linted_sources(root: &Path) -> Vec<(String, String)> {
-    let mut out = Vec::new();
-    let mut stack: Vec<PathBuf> = LINTED_CRATES.iter().map(|c| root.join(c).join("src")).collect();
-    while let Some(dir) = stack.pop() {
-        assert!(dir.is_dir(), "expected source dir {} to exist", dir.display());
-        for entry in fs::read_dir(&dir).expect("readable dir") {
-            let path = entry.expect("readable entry").path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
-                let text = fs::read_to_string(&path).expect("readable source");
-                out.push((rel, text));
-            }
-        }
-    }
-    out.sort();
-    assert!(!out.is_empty(), "no sources found — wrong manifest dir?");
-    out
-}
-
-/// Occurrences of `needle` in `line` that are full tokens (not preceded
-/// or followed by an identifier character).
-fn token_count(line: &str, needle: &str) -> usize {
-    let bytes = line.as_bytes();
-    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    line.match_indices(needle)
-        .filter(|&(i, _)| {
-            let before_ok = i == 0 || !is_ident(bytes[i - 1]);
-            let end = i + needle.len();
-            let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
-            before_ok && after_ok
-        })
-        .count()
-}
-
 #[test]
-fn no_raw_ordering_in_production_code() {
+fn ordering_sites_are_commented_paired_and_documented() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut problems = Vec::new();
-    for (file, text) in linted_sources(root) {
-        for (idx, line) in production_region(&text).iter().enumerate() {
-            if is_comment_line(line) {
-                continue;
-            }
-            for (i, _) in line.match_indices("Ordering::") {
-                // `observer::Ordering::Relaxed` is the telemetry-counter
-                // exemption: always std, outside the seqcst ablation.
-                if line[..i].ends_with("observer::") {
-                    continue;
-                }
-                problems.push(format!(
-                    "{file}:{}: raw `Ordering::` in production code — route it \
-                     through `turnq_sync::ord` (see docs/orderings.md)",
-                    idx + 1
-                ));
-            }
-        }
-    }
-    assert!(problems.is_empty(), "{}", problems.join("\n"));
-}
-
-#[test]
-fn every_ord_site_has_an_ordering_comment() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut problems = Vec::new();
-    for (file, text) in linted_sources(root) {
-        let prod = production_region(&text);
-        for (idx, line) in prod.iter().enumerate() {
-            if is_comment_line(line) {
-                continue;
-            }
-            let uses_ord = KINDS.iter().any(|k| token_count(line, &format!("ord::{k}")) > 0);
-            if !uses_ord {
-                continue;
-            }
-            let documented = (0..=ORDERING_COMMENT_WINDOW.min(idx))
-                .any(|back| prod[idx - back].contains("// ORDERING:"));
-            if !documented {
-                problems.push(format!(
-                    "{file}:{}: `ord::` site without an `// ORDERING:` comment \
-                     within {ORDERING_COMMENT_WINDOW} lines — state its \
-                     happens-before edge (see docs/orderings.md)",
-                    idx + 1
-                ));
-            }
-        }
-    }
-    assert!(problems.is_empty(), "{}", problems.join("\n"));
-}
-
-/// `file -> [count per KINDS column]` measured from the sources.
-fn measured(root: &Path) -> BTreeMap<String, [usize; 5]> {
-    let mut out = BTreeMap::new();
-    for (file, text) in linted_sources(root) {
-        let mut counts = [0usize; 5];
-        for line in production_region(&text) {
-            if is_comment_line(line) {
-                continue;
-            }
-            for (col, kind) in KINDS.iter().enumerate() {
-                counts[col] += token_count(line, &format!("ord::{kind}"));
-            }
-        }
-        if counts.iter().any(|&n| n > 0) {
-            out.insert(file, counts);
-        }
-    }
-    out
-}
-
-/// Parse the docs/orderings.md count table:
-/// `| path.rs | RELAXED | ACQUIRE | RELEASE | ACQ_REL | SEQ_CST |`.
-fn documented(root: &Path) -> BTreeMap<String, [usize; 5]> {
-    let doc = fs::read_to_string(root.join("docs/orderings.md"))
-        .expect("docs/orderings.md must exist (the per-site ordering table)");
-    let mut out = BTreeMap::new();
-    for line in doc.lines() {
-        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
-        // | path | n n n n n |  →  ["", path, n, n, n, n, n, ""]
-        if cells.len() == 8 && cells[1].ends_with(".rs") {
-            let mut counts = [0usize; 5];
-            let mut ok = true;
-            for (col, cell) in cells[2..7].iter().enumerate() {
-                match cell.parse() {
-                    Ok(n) => counts[col] = n,
-                    Err(_) => ok = false,
-                }
-            }
-            if ok {
-                out.insert(cells[1].to_string(), counts);
-            }
-        }
-    }
-    assert!(!out.is_empty(), "no count rows parsed from docs/orderings.md");
-    out
-}
-
-#[test]
-fn per_file_counts_match_orderings_md() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let measured = measured(root);
-    let documented = documented(root);
-
-    let render = |c: &[usize; 5]| {
-        KINDS
-            .iter()
-            .zip(c)
-            .map(|(k, n)| format!("{k}={n}"))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-
-    let mut problems = Vec::new();
-    for (file, counts) in &measured {
-        match documented.get(file) {
-            None => problems.push(format!(
-                "{file}: {} but no row in docs/orderings.md — new sites need \
-                 a row and a per-site justification",
-                render(counts)
-            )),
-            Some(doc) if doc != counts => problems.push(format!(
-                "{file}: sources say {} but docs/orderings.md says {} — \
-                 update the row (and the per-site table, if the edges changed)",
-                render(counts),
-                render(doc)
-            )),
-            Some(_) => {}
-        }
-    }
-    for file in documented.keys() {
-        if !measured.contains_key(file) {
-            problems.push(format!(
-                "{file}: listed in docs/orderings.md but has no `ord::` sites — \
-                 remove the row"
-            ));
-        }
-    }
+    let report = turnq_lint::run_workspace(root).expect("workspace walk");
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| ORDERING_PASSES.contains(&f.pass))
+        .map(|f| f.to_string())
+        .collect();
     assert!(
-        problems.is_empty(),
-        "ordering table out of sync:\n{}",
-        problems.join("\n")
+        findings.is_empty(),
+        "{} ORDERING finding(s):\n{}",
+        findings.len(),
+        findings.join("\n")
     );
 }

@@ -1,130 +1,42 @@
 //! Workspace lint: every `unsafe` site must carry its justification.
 //!
-//! The reclamation protocol's correctness argument lives in the `SAFETY:`
-//! comments — an `unsafe` block without one is an unreviewable claim.
-//! This test walks every Rust source in the workspace and fails if
+//! Thin wrapper over the `turnq-lint` analyzer library (`crates/lint`) —
+//! the same passes the `turnq-lint` binary runs in CI, so `cargo test`
+//! and the binary can never disagree. This test gates the two SAFETY
+//! passes:
 //!
-//! * an `unsafe { ... }` block or `unsafe impl` has no `// SAFETY:`
-//!   comment on the same line or within the few lines above it, or
-//! * an `unsafe fn` declaration has neither a `# Safety` doc section nor
-//!   a `SAFETY:` comment above it (private helpers may use either).
+//! * `safety-comment` (workspace-wide): every `unsafe` block / `unsafe
+//!   impl` has a plain `// SAFETY:` comment within a few lines above (an
+//!   `unsafe fn` may use a `# Safety` doc section instead). The lexer is
+//!   comment/string-aware: a `SAFETY` inside a string literal or a doc
+//!   comment does **not** satisfy the check — the false negative the
+//!   original line-heuristic walker had.
+//! * `safety-rule` (queue-crate production code): the comment is a
+//!   tagged `SAFETY(<rule-id>):` naming a rule from the `docs/lints.md`
+//!   catalogue, and rules with guard tokens are cross-checked against
+//!   the enclosing function — a stale comment alone cannot vouch for an
+//!   `unsafe` site.
 //!
-//! It is a plain file walk (no syn, no registry deps) with a line-based
-//! heuristic: lines inside `//`-comments and attributes are skipped, and
-//! the string `unsafe_code` (lint names) is ignored. Test code is held to
-//! the same standard as production code.
+//! The known-bad corpus under `crates/lint/fixtures/` (excluded from the
+//! walk) proves each pass actually fires; see
+//! `crates/lint/tests/fixtures.rs`.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// How many lines above an `unsafe` site may hold its justification.
-/// Large enough for a comment paragraph plus an attribute or two, small
-/// enough that a stale comment from an unrelated site cannot satisfy it.
-const LOOKBACK: usize = 14;
-
-fn rust_sources(root: &Path, out: &mut Vec<PathBuf>) {
-    for entry in fs::read_dir(root).expect("readable dir") {
-        let entry = entry.expect("readable entry");
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name == ".git" {
-                continue;
-            }
-            rust_sources(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// The audited keyword, built by concatenation so this lint's own source
-/// (which necessarily talks about it in code, not just comments) never
-/// matches itself — the same trick `turn-queue`'s bound-audit test uses
-/// for its forbidden-pattern needles.
-fn kw() -> String {
-    ["un", "safe"].concat()
-}
-
-/// Does this line *introduce* unsafe code (as opposed to mentioning it in
-/// a comment, string, or lint name)?
-fn introduces_unsafe(line: &str) -> bool {
-    let trimmed = line.trim_start();
-    if trimmed.starts_with("//") || trimmed.starts_with("#[") || trimmed.starts_with("#!") {
-        return false;
-    }
-    // Strip a trailing line comment so a code line with a chatty comment
-    // about the keyword still passes.
-    let code = match trimmed.find("//") {
-        Some(pos) => &trimmed[..pos],
-        None => trimmed,
-    };
-    let kw = kw();
-    if !code.contains(&kw) || code.contains(&format!("{kw}_code")) {
-        return false;
-    }
-    // Word-boundary check: the keyword followed by whitespace, `{`, or EOL.
-    code.split(&kw).skip(1).any(|after| {
-        after.is_empty() || after.starts_with(char::is_whitespace) || after.starts_with('{')
-    })
-}
-
-fn is_unsafe_fn_decl(line: &str) -> bool {
-    let code = line.trim_start();
-    code.contains(&format!("{} fn", kw())) && !code.trim_start().starts_with("//")
-}
-
-fn has_justification(lines: &[&str], idx: usize, decl: bool) -> bool {
-    if lines[idx].contains("SAFETY") {
-        return true;
-    }
-    let start = idx.saturating_sub(LOOKBACK);
-    lines[start..idx].iter().rev().any(|l| {
-        l.contains("SAFETY") || (decl && l.contains("# Safety"))
-    })
-}
+use std::path::Path;
 
 #[test]
-fn every_unsafe_site_has_a_safety_comment() {
+fn every_unsafe_site_is_justified_and_rule_tagged() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut files = Vec::new();
-    for dir in ["crates", "shims", "src", "tests", "benches", "examples"] {
-        let d = root.join(dir);
-        if d.is_dir() {
-            rust_sources(&d, &mut files);
-        }
-    }
+    let report = turnq_lint::run_workspace(root).expect("workspace walk");
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.pass == "safety-comment" || f.pass == "safety-rule")
+        .map(|f| f.to_string())
+        .collect();
     assert!(
-        files.len() > 30,
-        "workspace walk looks broken: only {} Rust files found",
-        files.len()
-    );
-
-    let mut offenders = Vec::new();
-    for file in &files {
-        let text = fs::read_to_string(file).expect("readable source");
-        let lines: Vec<&str> = text.lines().collect();
-        for (i, line) in lines.iter().enumerate() {
-            if !introduces_unsafe(line) {
-                continue;
-            }
-            let decl = is_unsafe_fn_decl(line);
-            if !has_justification(&lines, i, decl) {
-                offenders.push(format!(
-                    "{}:{}: {}",
-                    file.strip_prefix(root).unwrap_or(file).display(),
-                    i + 1,
-                    line.trim()
-                ));
-            }
-        }
-    }
-    assert!(
-        offenders.is_empty(),
-        "{} without an adjacent SAFETY justification ({} sites):\n{}",
-        kw(),
-        offenders.len(),
-        offenders.join("\n")
+        findings.is_empty(),
+        "{} SAFETY finding(s):\n{}",
+        findings.len(),
+        findings.join("\n")
     );
 }
