@@ -27,7 +27,9 @@ use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
 use std::sync::Arc;
 use turnq_hazard::HazardPointers;
-use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
+use turnq_telemetry::{
+    CounterId, EventKind, OpKey, OpTimer, TelemetryHandle, TelemetrySheet, TelemetrySnapshot,
+};
 use turnq_threadreg::ThreadRegistry;
 
 /// Item slots per node.
@@ -142,6 +144,8 @@ impl<T> FaaArrayQueue<T> {
     /// Lock-free enqueue: take a ticket, CAS the item into the cell.
     pub fn enqueue(&self, item: T) {
         let tid = self.registry.current_index();
+        // Single-path baseline: all latency lands under the slow-path key.
+        let timer = OpTimer::start();
         self.telemetry.event(tid, EventKind::OpStart, 0);
         let item_ptr = Box::into_raw(Box::new(item));
         loop {
@@ -191,6 +195,8 @@ impl<T> FaaArrayQueue<T> {
                         self.hp.clear(tid);
                         self.telemetry.bump(tid, CounterId::EnqOps);
                         self.telemetry.event(tid, EventKind::OpFinish, 0);
+                        self.telemetry
+                            .record_latency(tid, OpKey::EnqSlow, timer.nanos());
                         return;
                     }
                     self.telemetry.bump(tid, CounterId::CasFailNext);
@@ -230,6 +236,8 @@ impl<T> FaaArrayQueue<T> {
                 self.hp.clear(tid);
                 self.telemetry.bump(tid, CounterId::EnqOps);
                 self.telemetry.event(tid, EventKind::OpFinish, 0);
+                self.telemetry
+                    .record_latency(tid, OpKey::EnqSlow, timer.nanos());
                 return;
             }
             // A dequeuer poisoned our cell; burn the ticket and retry.
@@ -239,6 +247,7 @@ impl<T> FaaArrayQueue<T> {
     /// Lock-free dequeue: take a ticket, swap the cell out.
     pub fn dequeue(&self) -> Option<T> {
         let tid = self.registry.current_index();
+        let timer = OpTimer::start();
         self.telemetry.event(tid, EventKind::OpStart, 1);
         loop {
             let lhead = match self.hp.try_protect(tid, HP_NODE, &self.head) {
@@ -258,6 +267,8 @@ impl<T> FaaArrayQueue<T> {
                 self.hp.clear(tid);
                 self.telemetry.bump(tid, CounterId::DeqEmpty);
                 self.telemetry.event(tid, EventKind::OpFinish, 0);
+                self.telemetry
+                    .record_latency(tid, OpKey::DeqSlow, timer.nanos());
                 return None;
             }
             // ORDERING(fa.deq-ticket): SEQ_CST — dequeue ticket (see
@@ -273,6 +284,8 @@ impl<T> FaaArrayQueue<T> {
                     self.hp.clear(tid);
                     self.telemetry.bump(tid, CounterId::DeqEmpty);
                     self.telemetry.event(tid, EventKind::OpFinish, 0);
+                    self.telemetry
+                        .record_latency(tid, OpKey::DeqSlow, timer.nanos());
                     return None;
                 }
                 // ORDERING(fa.head-advance): SEQ_CST / RELAXED — head
@@ -306,6 +319,8 @@ impl<T> FaaArrayQueue<T> {
             self.hp.clear(tid);
             self.telemetry.bump(tid, CounterId::DeqOps);
             self.telemetry.event(tid, EventKind::OpFinish, 0);
+            self.telemetry
+                .record_latency(tid, OpKey::DeqSlow, timer.nanos());
             // SAFETY(claim-owner): unique swap winner (our FAA ticket) for
             // a real item pointer.
             return Some(*unsafe { Box::from_raw(it) });

@@ -19,7 +19,9 @@ use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
 use std::sync::Arc;
 use turnq_hazard::HazardPointers;
-use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
+use turnq_telemetry::{
+    CounterId, EventKind, OpKey, OpTimer, TelemetryHandle, TelemetrySheet, TelemetrySnapshot,
+};
 use turnq_threadreg::ThreadRegistry;
 
 /// Hazard slot for head/tail.
@@ -114,6 +116,8 @@ impl<T> MSQueue<T> {
     }
 
     pub(crate) fn enqueue_with(&self, tid: usize, item: T) {
+        // Single-path baseline: all latency lands under the slow-path key.
+        let timer = OpTimer::start();
         self.telemetry.event(tid, EventKind::OpStart, 0);
         let node = MsNode::alloc(Some(item));
         loop {
@@ -174,9 +178,12 @@ impl<T> MSQueue<T> {
         self.hp.clear(tid);
         self.telemetry.bump(tid, CounterId::EnqOps);
         self.telemetry.event(tid, EventKind::OpFinish, 0);
+        self.telemetry
+            .record_latency(tid, OpKey::EnqSlow, timer.nanos());
     }
 
     pub(crate) fn dequeue_with(&self, tid: usize) -> Option<T> {
+        let timer = OpTimer::start();
         self.telemetry.event(tid, EventKind::OpStart, 1);
         loop {
             let lhead = match self.hp.try_protect(tid, HP_HEAD_TAIL, &self.head) {
@@ -204,6 +211,8 @@ impl<T> MSQueue<T> {
                     self.hp.clear(tid);
                     self.telemetry.bump(tid, CounterId::DeqEmpty);
                     self.telemetry.event(tid, EventKind::OpFinish, 0);
+                    self.telemetry
+                        .record_latency(tid, OpKey::DeqSlow, timer.nanos());
                     return None; // observed empty
                 }
                 // Tail is lagging: help it, then retry.
@@ -237,6 +246,8 @@ impl<T> MSQueue<T> {
                 unsafe { self.hp.retire(tid, lhead) };
                 self.telemetry.bump(tid, CounterId::DeqOps);
                 self.telemetry.event(tid, EventKind::OpFinish, 0);
+                self.telemetry
+                    .record_latency(tid, OpKey::DeqSlow, timer.nanos());
                 return item;
             }
             self.telemetry.bump(tid, CounterId::CasFailHead);

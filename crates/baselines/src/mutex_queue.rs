@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
-use turnq_telemetry::{CounterId, TelemetrySheet, TelemetrySnapshot};
+use turnq_telemetry::{CounterId, OpKey, OpTimer, TelemetrySheet, TelemetrySnapshot};
 
 /// A blocking MPMC queue: `parking_lot::Mutex<VecDeque<T>>`.
 pub struct MutexQueue<T> {
@@ -46,13 +46,21 @@ impl<T> MutexQueue<T> {
 
     /// Blocking enqueue.
     pub fn enqueue(&self, item: T) {
+        // The timer starts *before* the lock so the sample includes the
+        // lock wait — that wait is exactly the fat tail this baseline
+        // exists to show. Recording happens under the lock, which keeps
+        // row 0 single-writer.
+        let timer = OpTimer::start();
         let mut q = self.inner.lock();
         q.push_back(item);
         self.telemetry.bump(0, CounterId::EnqOps);
+        self.telemetry
+            .record_latency(0, OpKey::EnqSlow, timer.nanos());
     }
 
     /// Blocking dequeue.
     pub fn dequeue(&self) -> Option<T> {
+        let timer = OpTimer::start();
         let mut q = self.inner.lock();
         let item = q.pop_front();
         self.telemetry.bump(
@@ -63,6 +71,8 @@ impl<T> MutexQueue<T> {
                 CounterId::DeqEmpty
             },
         );
+        self.telemetry
+            .record_latency(0, OpKey::DeqSlow, timer.nanos());
         item
     }
 

@@ -1,0 +1,518 @@
+//! SLO-gated soak run: production-shaped traffic against the Turn queue
+//! variants, judged by the in-queue latency attribution instead of an
+//! external timing harness. Writes a machine-readable
+//! `results/BENCH_soak.json` artifact — schema `turnq-bench-soak/1` in
+//! `docs/bench_format.md` — and exits non-zero when any SLO fails, so CI
+//! can gate on it directly.
+//!
+//! Traffic shape (deliberately *not* the symmetric pairs protocol of the
+//! throughput benches):
+//!
+//! * **Bursty arrivals** — producers enqueue in xorshift-sized bursts
+//!   (1..=burst_max) separated by yield gaps, the on/off pattern that
+//!   makes tails, not means, the interesting statistic.
+//! * **Asymmetric ratio** — `--ratio=P:C` producers to consumers
+//!   (default 3:2), so one side is persistently pressured.
+//! * **Thread churn** — a churn lane spawns short-lived threads that do a
+//!   handful of ops and exit, exercising registry slot claim/release and
+//!   the helping machinery's view of a changing thread population.
+//!
+//! SLOs per variant (all evaluated from the post-quiescence snapshot):
+//!
+//! 1. `helping_depth_bound` — observed max helping depth ≤ threads − 1
+//!    (the paper's overtaking bound, now a runtime gate).
+//! 2. `pool_miss_rate` — node-pool misses / acquisitions ≤ 0.5, measured
+//!    over a short symmetric probe window run after the role-split phase
+//!    (trivially passes when the pool is disabled). Measured that way
+//!    because recycling lands in the *retiring* thread's free list: under
+//!    pure role split the producing side is structurally cold and a
+//!    global miss ratio would read ≈ 1.0 no matter how healthy the pool
+//!    is. The pool's contract is steady-state mixed traffic; the probe
+//!    holds it to exactly that.
+//! 3. `enq_p999_ns` / 4. `deq_p999_ns` — worst populated per-path p999
+//!    under the latency budget (default 250 ms; soak machines are noisy,
+//!    the budget catches stalls, not scheduler jitter).
+//! 5. `stall_dumps` — the flight recorder never fired at that same
+//!    threshold.
+//! 6. `latency_conservation` — per-path latency sample counts exactly
+//!    partition the op counters (the attribution itself is audited).
+//!
+//! Flags: `--duration-secs=N` (default 10), `--ratio=P:C` (default 3:2),
+//! `--burst-max=N` (default 32), `--latency-budget-ms=N` (default 250),
+//! `--variants=turn,turn_nofast,seg` (default all), `--out=PATH`
+//! (default `results/BENCH_soak.json`; `-` prints to stdout).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use turn_queue::{SegTurnQueue, TurnQueue};
+use turnq_harness::Args;
+use turnq_telemetry::{CounterId, OpKey, TelemetrySnapshot};
+
+/// The soak driver is generic over the queue variant through this minimal
+/// facade (monomorphized per variant; no virtual dispatch inside the op
+/// loops — the closure-per-thread pattern below keeps the hot path as a
+/// direct call).
+trait SoakQueue: Sync {
+    fn enqueue(&self, v: u64);
+    fn dequeue(&self) -> Option<u64>;
+    fn snapshot(&self) -> TelemetrySnapshot;
+    fn stall_reports(&self) -> Vec<String>;
+}
+
+impl SoakQueue for TurnQueue<u64> {
+    fn enqueue(&self, v: u64) {
+        TurnQueue::enqueue(self, v);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        TurnQueue::dequeue(self)
+    }
+    fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry_snapshot()
+    }
+    fn stall_reports(&self) -> Vec<String> {
+        self.telemetry().take_stall_reports()
+    }
+}
+
+impl SoakQueue for SegTurnQueue<u64> {
+    fn enqueue(&self, v: u64) {
+        SegTurnQueue::enqueue(self, v);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        SegTurnQueue::dequeue(self)
+    }
+    fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry_snapshot()
+    }
+    fn stall_reports(&self) -> Vec<String> {
+        self.telemetry().take_stall_reports()
+    }
+}
+
+/// Soak configuration, fully resolved from the CLI.
+struct Config {
+    duration: Duration,
+    producers: usize,
+    consumers: usize,
+    /// Concurrent short-lived churn lanes (each serially respawns threads).
+    churn_lanes: usize,
+    burst_max: u64,
+    latency_budget_ns: u64,
+    variants: Vec<String>,
+    out: String,
+}
+
+impl Config {
+    fn from_args(args: &Args) -> Config {
+        let (p, c) = args.get_ratio("ratio").unwrap_or((3, 2));
+        Config {
+            duration: Duration::from_secs(
+                args.get_usize("duration-secs").unwrap_or(10) as u64
+            ),
+            producers: p.max(1),
+            consumers: c.max(1),
+            churn_lanes: 1,
+            burst_max: args.get_usize("burst-max").unwrap_or(32).max(1) as u64,
+            latency_budget_ns: args.get_usize("latency-budget-ms").unwrap_or(250) as u64
+                * 1_000_000,
+            variants: args
+                .get("variants")
+                .unwrap_or("turn,turn_nofast,seg")
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .collect(),
+            out: args
+                .get("out")
+                .unwrap_or("results/BENCH_soak.json")
+                .to_string(),
+        }
+    }
+
+    /// Registry slots: workers + churn lanes + main (warm-up and drain),
+    /// plus one spare because a churned thread's slot release lands in a
+    /// TLS destructor that can lag its join by a beat.
+    fn max_threads(&self) -> usize {
+        self.producers + self.consumers + self.churn_lanes + 2
+    }
+}
+
+/// Tiny xorshift64* so burst shapes differ across threads without pulling
+/// a rand dependency into the bin.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Drive production-shaped traffic at `queue` for the configured
+/// duration; returns total ops (enq + deq attempts) for throughput.
+fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config) -> u64 {
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..cfg.producers {
+            let (stop, ops) = (&stop, &ops);
+            s.spawn(move || {
+                let mut rng = 0x9e37_79b9_7f4a_7c15_u64 ^ (p as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Burst on: 1..=burst_max back-to-back enqueues.
+                    let burst = xorshift(&mut rng) % cfg.burst_max + 1;
+                    for i in 0..burst {
+                        queue.enqueue((p as u64) << 32 | (local + i));
+                    }
+                    local += burst;
+                    ops.fetch_add(burst, Ordering::Relaxed);
+                    // Burst off: a short think-time gap.
+                    for _ in 0..(xorshift(&mut rng) % 4) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for _ in 0..cfg.consumers {
+            let (stop, ops) = (&stop, &ops);
+            s.spawn(move || {
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if queue.dequeue().is_none() {
+                        std::thread::yield_now();
+                    }
+                    local += 1;
+                    if local.is_multiple_of(1024) {
+                        ops.fetch_add(1024, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        for lane in 0..cfg.churn_lanes {
+            let stop = &stop;
+            s.spawn(move || {
+                // Serially spawn short-lived threads: claim a slot, do a
+                // few ops, exit (slot released by the TLS destructor).
+                let mut rng = 0xdead_beef_cafe_f00d_u64 ^ (lane as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let n = xorshift(&mut rng) % 64 + 1;
+                    std::thread::scope(|inner| {
+                        inner.spawn(|| {
+                            for i in 0..n {
+                                if i % 2 == 0 {
+                                    queue.enqueue(u64::MAX - i);
+                                } else {
+                                    let _ = queue.dequeue();
+                                }
+                            }
+                        });
+                    });
+                    // Give the TLS slot release a beat before reclaiming
+                    // the lane with a fresh thread.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Drain so the final snapshot obeys enq_ops == deq_ops and the queue
+    // drops empty.
+    let mut drained = 0u64;
+    while queue.dequeue().is_some() {
+        drained += 1;
+    }
+    ops.load(Ordering::Relaxed) + drained
+}
+
+/// Steady-state pool probe: every worker runs symmetric enqueue/dequeue
+/// pairs against the already-hot queue, so each thread's own retires feed
+/// the free list its next acquisitions draw from. The pool-miss SLO is
+/// evaluated over this window (see the module docs for why the role-split
+/// phase cannot measure it).
+fn pool_probe<Q: SoakQueue>(queue: &Q, cfg: &Config) {
+    const PAIRS: u64 = 20_000;
+    std::thread::scope(|s| {
+        for _ in 0..(cfg.producers + cfg.consumers) {
+            s.spawn(|| {
+                for i in 0..PAIRS {
+                    queue.enqueue(i);
+                    let _ = queue.dequeue();
+                }
+            });
+        }
+    });
+    while queue.dequeue().is_some() {} // rebalance: pairs can interleave
+}
+
+/// Full per-variant drive: role-split soak, pre-probe snapshot, pool
+/// probe, final snapshot. Latency/depth/stall SLOs read the final
+/// snapshot (whole run); the pool SLO reads the probe-window delta.
+fn drive<Q: SoakQueue>(
+    queue: &Q,
+    cfg: &Config,
+) -> (TelemetrySnapshot, TelemetrySnapshot, u64, Vec<String>) {
+    let ops = soak(queue, cfg);
+    let pre_probe = queue.snapshot();
+    pool_probe(queue, cfg);
+    (pre_probe, queue.snapshot(), ops, queue.stall_reports())
+}
+
+/// One SLO verdict.
+struct Slo {
+    name: &'static str,
+    value: f64,
+    threshold: f64,
+    /// `value <= threshold` for every SLO below (they are all ceilings).
+    pass: bool,
+}
+
+fn slo(name: &'static str, value: f64, threshold: f64) -> Slo {
+    Slo {
+        name,
+        value,
+        threshold,
+        pass: value <= threshold,
+    }
+}
+
+/// Worst p999 across the populated paths of one op direction.
+fn worst_p999(snap: &TelemetrySnapshot, keys: &[OpKey]) -> u64 {
+    keys.iter()
+        .map(|&k| snap.latency(k))
+        .filter(|s| s.count() > 0)
+        .filter_map(|s| s.quantile(0.999))
+        .max()
+        .unwrap_or(0)
+}
+
+fn evaluate_slos(
+    snap: &TelemetrySnapshot,
+    pre_probe: &TelemetrySnapshot,
+    cfg: &Config,
+    max_threads: usize,
+) -> Vec<Slo> {
+    const ENQ: [OpKey; 4] = [
+        OpKey::EnqFast,
+        OpKey::EnqSlow,
+        OpKey::EnqHelped,
+        OpKey::EnqSegCell,
+    ];
+    const DEQ: [OpKey; 4] = [
+        OpKey::DeqFast,
+        OpKey::DeqSlow,
+        OpKey::DeqHelped,
+        OpKey::DeqSegCell,
+    ];
+    let depth = snap.helping_depth_max().map_or(0.0, |d| d as f64);
+    // Probe-window deltas (see the module docs' rationale for SLO 2).
+    let probe_miss = snap.get("pool_miss") - pre_probe.get("pool_miss");
+    let probe_acq = snap.get("pool_hit") - pre_probe.get("pool_hit") + probe_miss;
+    let miss_rate = if probe_acq == 0 {
+        0.0
+    } else {
+        probe_miss as f64 / probe_acq as f64
+    };
+    let enq_samples: u64 = ENQ.iter().map(|&k| snap.latency(k).count()).sum();
+    let deq_samples: u64 = DEQ.iter().map(|&k| snap.latency(k).count()).sum();
+    let enq_drift = enq_samples.abs_diff(snap.counter(CounterId::EnqOps));
+    let deq_drift = deq_samples
+        .abs_diff(snap.counter(CounterId::DeqOps) + snap.counter(CounterId::DeqEmpty));
+    vec![
+        slo("helping_depth_bound", depth, (max_threads - 1) as f64),
+        slo("pool_miss_rate", miss_rate, 0.5),
+        slo(
+            "enq_p999_ns",
+            worst_p999(snap, &ENQ) as f64,
+            cfg.latency_budget_ns as f64,
+        ),
+        slo(
+            "deq_p999_ns",
+            worst_p999(snap, &DEQ) as f64,
+            cfg.latency_budget_ns as f64,
+        ),
+        slo(
+            "stall_dumps",
+            snap.counter(CounterId::StallDump) as f64,
+            0.0,
+        ),
+        slo(
+            "latency_conservation_drift",
+            (enq_drift + deq_drift) as f64,
+            0.0,
+        ),
+    ]
+}
+
+/// Per-variant JSON fragment: op counters, per-path latency quantiles,
+/// SLO verdicts.
+fn variant_json(
+    name: &str,
+    ops_per_sec: u64,
+    snap: &TelemetrySnapshot,
+    slos: &[Slo],
+    stall_reports: &[String],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    {{\"name\": \"{name}\", \"ops_per_sec\": {ops_per_sec}, \
+         \"enq_ops\": {}, \"deq_ops\": {}, \"deq_empty\": {}, \
+         \"stall_reports\": {},\n      \"latency_ns\": {{",
+        snap.counter(CounterId::EnqOps),
+        snap.counter(CounterId::DeqOps),
+        snap.counter(CounterId::DeqEmpty),
+        stall_reports.len(),
+    );
+    let mut first = true;
+    for series in snap.latency_series() {
+        if series.count() == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\"{}\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \
+             \"p9999\": {}, \"max\": {}}}",
+            series.key().name(),
+            series.count(),
+            series.quantile(0.5).unwrap_or(0),
+            series.quantile(0.99).unwrap_or(0),
+            series.quantile(0.999).unwrap_or(0),
+            series.quantile(0.9999).unwrap_or(0),
+            series.max(),
+        );
+    }
+    out.push_str("},\n      \"slos\": [");
+    for (i, s) in slos.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"value\": {}, \"threshold\": {}, \"pass\": {}}}",
+            s.name, s.value, s.threshold, s.pass
+        );
+    }
+    let _ = write!(
+        out,
+        "],\n      \"pass\": {}}}",
+        slos.iter().all(|s| s.pass)
+    );
+    out
+}
+
+fn run_variant(name: &str, cfg: &Config) -> Option<String> {
+    let max_threads = cfg.max_threads();
+    // The stall watchdog runs armed at the same budget the SLO checks, so
+    // a breach leaves a flight-recorder dump alongside the failed gate.
+    let builder = TurnQueue::<u64>::builder()
+        .max_threads(max_threads)
+        .stall_threshold_ns(cfg.latency_budget_ns);
+    eprintln!(
+        "soak: {name} ({}s, {}p:{}c, burst<= {}) ...",
+        cfg.duration.as_secs(),
+        cfg.producers,
+        cfg.consumers,
+        cfg.burst_max
+    );
+    let started = Instant::now();
+    let (pre_probe, snap, ops, reports) = match name {
+        "turn" => drive(&builder.build::<u64>(), cfg),
+        "turn_nofast" => drive(&builder.fast_tries(0).build::<u64>(), cfg),
+        "seg" => drive(&builder.build_seg::<u64>(), cfg),
+        other => {
+            eprintln!("soak: unknown variant '{other}' (skipped)");
+            return None;
+        }
+    };
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let ops_per_sec = (ops as f64 / elapsed) as u64;
+    let slos = if turnq_telemetry::ENABLED {
+        evaluate_slos(&snap, &pre_probe, cfg, max_threads)
+    } else {
+        Vec::new() // nothing measurable to gate on
+    };
+    for s in &slos {
+        eprintln!(
+            "  slo {:<26} {:>14.2} <= {:>14.2}  {}",
+            s.name,
+            s.value,
+            s.threshold,
+            if s.pass { "pass" } else { "FAIL" }
+        );
+    }
+    for r in &reports {
+        eprintln!("  stall report: {r}");
+    }
+    Some(variant_json(name, ops_per_sec, &snap, &slos, &reports))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = Config::from_args(&args);
+    println!(
+        "Soak: SLO-gated burst/churn traffic ({}s, ratio {}:{}, {} variant(s))",
+        cfg.duration.as_secs(),
+        cfg.producers,
+        cfg.consumers,
+        cfg.variants.len()
+    );
+    if !turnq_telemetry::ENABLED {
+        println!("(telemetry feature OFF — SLOs cannot be evaluated; run records throughput only)\n");
+    }
+
+    let fragments: Vec<String> = cfg
+        .variants
+        .iter()
+        .filter_map(|v| run_variant(v, &cfg))
+        .collect();
+    assert!(!fragments.is_empty(), "no known variants selected");
+
+    let all_pass = !fragments.iter().any(|f| f.ends_with("\"pass\": false}"));
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"turnq-bench-soak/1\",");
+    let _ = writeln!(
+        json,
+        "  \"telemetry_enabled\": {},",
+        turnq_telemetry::ENABLED
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"duration_secs\": {}, \"producers\": {}, \"consumers\": {}, \
+         \"churn_lanes\": {}, \"max_threads\": {}, \"burst_max\": {}, \
+         \"latency_budget_ns\": {}}},",
+        cfg.duration.as_secs(),
+        cfg.producers,
+        cfg.consumers,
+        cfg.churn_lanes,
+        cfg.max_threads(),
+        cfg.burst_max,
+        cfg.latency_budget_ns
+    );
+    json.push_str("  \"variants\": [\n");
+    json.push_str(&fragments.join(",\n"));
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"pass\": {all_pass}");
+    json.push_str("}\n");
+
+    if cfg.out == "-" {
+        print!("{json}");
+    } else {
+        if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&cfg.out, &json).expect("write soak artifact");
+        println!("wrote {}", cfg.out);
+    }
+    if turnq_telemetry::ENABLED && !all_pass {
+        eprintln!("soak: SLO FAILURE — see artifact");
+        std::process::exit(1);
+    }
+    println!("soak: all SLOs passed");
+}

@@ -17,7 +17,9 @@ use turnq_api::{
     ConcurrentQueue, PoolStats, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport,
 };
 use turnq_hazard::HazardPointers;
-use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
+use turnq_telemetry::{
+    CounterId, EventKind, OpKey, OpTimer, TelemetryHandle, TelemetrySheet, TelemetrySnapshot,
+};
 use turnq_threadreg::{RegistryFull, ThreadRegistry};
 
 use crate::node::{decode_turn, encode_fast, is_fast_claim, Node, IDX_NONE};
@@ -122,6 +124,17 @@ pub struct TurnQueue<T> {
     /// hidden [`TurnQueueBuilder::panic_check_for_tests`] knob so the
     /// modelcheck mutant can prove the guard is load-bearing.
     panic_check: bool,
+    /// Stall-watchdog threshold in nanoseconds (`u64::MAX` = disabled):
+    /// when a completed operation's measured latency reaches it, the
+    /// flight recorder dumps a structured report (consensus-array request
+    /// states plus the per-thread event rings) into the telemetry sheet.
+    /// Checked once per completed op on an already-recorded latency, so
+    /// the wait-free bound is unaffected.
+    stall_threshold_ns: u64,
+    /// Test-only injected busy-wait (nanoseconds, 0 = off) before an
+    /// operation's finish is recorded, so the stall watchdog can be
+    /// provoked deterministically. Bounded spin — wait-freedom holds.
+    inject_op_delay_ns: u64,
 }
 
 // SAFETY(send-sync): all shared mutable state is atomics; raw node pointers are
@@ -156,6 +169,8 @@ pub struct TurnQueueBuilder {
     pool_capacity: Option<usize>,
     fast_tries: Option<u32>,
     panic_check: bool,
+    stall_threshold_ns: u64,
+    inject_op_delay_ns: u64,
     pub(crate) seg_size: Option<usize>,
     pub(crate) seg_drained_guard: bool,
     /// Set by [`build_seg`](Self::build_seg)'s path only: the inner queue's
@@ -172,6 +187,8 @@ impl Default for TurnQueueBuilder {
             pool_capacity: None,
             fast_tries: None,
             panic_check: true,
+            stall_threshold_ns: u64::MAX,
+            inject_op_delay_ns: 0,
             seg_size: None,
             seg_drained_guard: true,
             pool_retain_payload: false,
@@ -232,6 +249,31 @@ impl TurnQueueBuilder {
         self
     }
 
+    /// Stall-watchdog threshold in nanoseconds: a completed operation
+    /// whose measured wall-clock latency reaches `ns` triggers the flight
+    /// recorder — a structured JSON report of the consensus-array request
+    /// states and the per-thread event rings, retrievable through
+    /// [`TelemetrySheet::take_stall_reports`]. `u64::MAX` (the default)
+    /// disables the watchdog; any threshold is observer-only and cannot
+    /// affect wait-freedom (the check is one compare on a latency the
+    /// telemetry recorder already produced). Inert when the telemetry
+    /// `probe` feature is off.
+    pub fn stall_threshold_ns(mut self, ns: u64) -> Self {
+        self.stall_threshold_ns = ns;
+        self
+    }
+
+    /// Test-only: busy-wait `ns` nanoseconds inside every operation just
+    /// before its finish is recorded, inflating the measured latency so
+    /// the stall watchdog can be provoked deterministically. Bounded
+    /// spin, so the wait-free bound gains a constant; never set it in
+    /// production.
+    #[doc(hidden)]
+    pub fn inject_op_delay_for_tests(mut self, ns: u64) -> Self {
+        self.inject_op_delay_ns = ns;
+        self
+    }
+
     /// Test-only: disable the fast path's pending-request ("panic flag")
     /// scan. This deliberately breaks the wait-free bound — it exists so
     /// the modelcheck mutant suite can demonstrate the starvation the scan
@@ -284,6 +326,8 @@ impl TurnQueueBuilder {
             pool_capacity,
             fast_tries,
             panic_check,
+            stall_threshold_ns,
+            inject_op_delay_ns,
             seg_size: _,
             seg_drained_guard: _,
             pool_retain_payload,
@@ -358,6 +402,8 @@ impl TurnQueueBuilder {
             backoff_spins,
             fast_tries,
             panic_check,
+            stall_threshold_ns,
+            inject_op_delay_ns,
         }
     }
 
@@ -558,26 +604,120 @@ impl<T> TurnQueue<T> {
     }
 
     /// Record a finished enqueue: ops counter, helping-depth histogram
-    /// bucket, and the finish event. `depth` is the helping-loop iteration
-    /// at which this thread *observed* its request complete — by Inv. 5
-    /// always at most `max_threads - 1`, the paper's overtaking bound.
+    /// bucket, the finish event, and the path-attributed latency sample.
+    /// `depth` is the helping-loop iteration at which this thread
+    /// *observed* its request complete — by Inv. 5 always at most
+    /// `max_threads - 1`, the paper's overtaking bound.
     #[inline]
-    pub(crate) fn record_enqueue(&self, myidx: usize, depth: usize) {
+    pub(crate) fn record_enqueue(&self, myidx: usize, depth: usize, timer: &OpTimer, key: OpKey) {
         self.telemetry.bump(myidx, CounterId::EnqOps);
         self.telemetry.record_depth(myidx, depth);
         self.telemetry.event(myidx, EventKind::OpFinish, depth as u64);
+        self.finish_op(myidx, timer, key);
+    }
+
+    /// The start→finish latency tail shared by every op exit (including
+    /// empty dequeues, which skip the depth histogram but still have a
+    /// latency): record the sample under its path key, then run the stall
+    /// watchdog. Observer-only — one clock read, owner-only plain stores,
+    /// and a single compare; no branch feeds back into the algorithm.
+    #[inline]
+    pub(crate) fn finish_op(&self, myidx: usize, timer: &OpTimer, key: OpKey) {
+        if self.inject_op_delay_ns > 0 {
+            // Test-only seeded stall: a *bounded* spin, so the wait-free
+            // bound gains a constant (never enabled in production).
+            let start = std::time::Instant::now();
+            while (start.elapsed().as_nanos() as u64) < self.inject_op_delay_ns {
+                turnq_sync::hint::spin_loop();
+            }
+        }
+        let nanos = timer.nanos();
+        self.telemetry.record_latency(myidx, key, nanos);
+        if turnq_telemetry::ENABLED && nanos >= self.stall_threshold_ns {
+            self.flight_record(myidx, key, nanos);
+        }
+    }
+
+    /// The stall watchdog fired: count it, ring it, and dump the flight
+    /// recorder — a JSON report of who was doing what when the op
+    /// overran its threshold. `#[cold]`: never on a healthy hot path.
+    #[cold]
+    fn flight_record(&self, myidx: usize, key: OpKey, nanos: u64) {
+        self.telemetry.bump(myidx, CounterId::StallDump);
+        self.telemetry.event(myidx, EventKind::StallDump, nanos);
+        let report = self.stall_report_json(myidx, key, nanos);
+        // Best-effort by design: a lost report under report-storm
+        // contention only loses observability, never progress.
+        let _ = self.telemetry.report_stall(report);
+    }
+
+    /// Build the flight-recorder "black box": the stalled op's identity,
+    /// the consensus-array request states (which threads have open
+    /// enqueue/dequeue requests right now), and every thread's recent
+    /// event trail, with the stalled thread's last events called out.
+    fn stall_report_json(&self, myidx: usize, key: OpKey, nanos: u64) -> String {
+        use std::fmt::Write as _;
+        const LAST_K: usize = 16;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"turnq-stall-report/1\",\"thread\":{myidx},\
+             \"op\":\"{}\",\"path\":\"{}\",\"latency_ns\":{nanos},\
+             \"threshold_ns\":{},\"requests\":[",
+            key.op(),
+            key.path(),
+            self.stall_threshold_ns
+        );
+        for tid in 0..self.max_threads {
+            let _ = write!(
+                out,
+                "{}{{\"tid\":{tid},\"enq_open\":{},\"deq_open\":{}}}",
+                if tid == 0 { "" } else { "," },
+                self.enqueue_request_open(tid),
+                self.dequeue_request_open(tid),
+            );
+        }
+        out.push_str("],\"events\":{");
+        for tid in 0..self.max_threads {
+            let _ = write!(out, "{}\"{tid}\":[", if tid == 0 { "" } else { "," });
+            for (i, ev) in self.telemetry.events(tid).iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"kind\":\"{}\",\"arg\":{}}}",
+                    if i == 0 { "" } else { "," },
+                    ev.kind.name(),
+                    ev.arg
+                );
+            }
+            out.push(']');
+        }
+        out.push_str("},\"stalled_thread_events\":[");
+        let trail = self.telemetry.events(myidx);
+        let tail = trail.len().saturating_sub(LAST_K);
+        for (i, ev) in trail[tail..].iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"kind\":\"{}\",\"arg\":{}}}",
+                if i == 0 { "" } else { "," },
+                ev.kind.name(),
+                ev.arg
+            );
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Enqueue entry point: fast path first (if enabled), then the paper's
     /// Algorithm 2 slow path. `myidx` is the caller's registered index.
     pub(crate) fn enqueue_with(&self, myidx: usize, item: T) {
         debug_assert!(myidx < self.max_threads);
+        let timer = OpTimer::start();
         self.telemetry.event(myidx, EventKind::OpStart, 0);
         let my_node = self.alloc_node(myidx, Some(item)); // line 3
-        if self.fast_tries > 0 && self.try_fast_enqueue(myidx, my_node) {
+        if self.fast_tries > 0 && self.try_fast_enqueue(myidx, my_node, &timer) {
             return;
         }
-        self.slow_enqueue(myidx, my_node);
+        self.slow_enqueue(myidx, my_node, &timer);
     }
 
     /// Fast-path enqueue (DESIGN.md §6c): up to `fast_tries` direct
@@ -598,7 +738,12 @@ impl<T> TurnQueue<T> {
     /// * **Turn inheritance** — the appended node copies the predecessor
     ///   tail's `enq_tid`, so the CRTurn enqueue turn is unchanged by fast
     ///   appends and a published request keeps its place in the rotation.
-    pub(crate) fn try_fast_enqueue(&self, myidx: usize, my_node: *mut Node<T>) -> bool {
+    pub(crate) fn try_fast_enqueue(
+        &self,
+        myidx: usize,
+        my_node: *mut Node<T>,
+        timer: &OpTimer,
+    ) -> bool {
         for _attempt in 0..self.fast_tries {
             // ORDERING(q.tail-candidate): ACQUIRE — candidate for protection
             // only; the SeqCst validation below carries the handshake.
@@ -652,7 +797,8 @@ impl<T> TurnQueue<T> {
                     }
                     self.hp.clear(myidx);
                     self.telemetry.bump(myidx, CounterId::FastEnqHit);
-                    self.record_enqueue(myidx, 0);
+                    self.telemetry.event(myidx, EventKind::FastHit, 0);
+                    self.record_enqueue(myidx, 0, timer, OpKey::EnqFast);
                     return true;
                 }
                 Err(_) => {
@@ -683,27 +829,34 @@ impl<T> TurnQueue<T> {
         // every linking CAS above failed.
         unsafe { (*my_node).enq_tid = myidx as u32 };
         self.telemetry.bump(myidx, CounterId::FastEnqFallback);
+        self.telemetry.event(myidx, EventKind::FastFallback, 0);
         false
     }
 
-    /// Panic-flag scan of the enqueue consensus array: is any slow-path
-    /// enqueue request currently published?
+    /// Is thread `i`'s slow-path enqueue request currently published?
+    /// One probe of the consensus array, shared by the panic-flag scan
+    /// and the flight recorder's request-state dump.
     #[inline]
-    fn enqueue_request_pending(&self) -> bool {
+    fn enqueue_request_open(&self, i: usize) -> bool {
         // ORDERING(q.enq-panic-scan): SEQ_CST — the panic flag is only a
         // guarantee if this scan sits in the same total order as the slow
         // path's line-4 publish (StoreLoad): once a publish is ordered
         // before the scan, the scanning thread *must* fall back, bounding
         // the fast appends that can land after the publish to one per
         // thread. pairs=q.enq-publish
-        self.enqueuers
-            .iter()
-            .any(|slot| !slot.load(ord::SEQ_CST).is_null())
+        !self.enqueuers[i].load(ord::SEQ_CST).is_null()
+    }
+
+    /// Panic-flag scan of the enqueue consensus array: is any slow-path
+    /// enqueue request currently published?
+    #[inline]
+    fn enqueue_request_pending(&self) -> bool {
+        (0..self.max_threads).any(|i| self.enqueue_request_open(i))
     }
 
     /// Paper Algorithm 2 (the slow path): publish the pre-allocated node as
     /// a request, then help until the request is *verifiably* complete.
-    pub(crate) fn slow_enqueue(&self, myidx: usize, my_node: *mut Node<T>) {
+    pub(crate) fn slow_enqueue(&self, myidx: usize, my_node: *mut Node<T>, timer: &OpTimer) {
         // Our own request slot, hoisted: the publish, the backoff spin, and
         // every helping-loop iteration re-check it, and the bounds check +
         // CachePadded indirection need not repeat.
@@ -723,7 +876,8 @@ impl<T> TurnQueue<T> {
             // with the helper's slot-clearing CAS. A stale non-null read
             // only spins once more. pairs=q.enq-turn-close
             if my_slot.load(ord::ACQUIRE).is_null() {
-                self.record_enqueue(myidx, 0); // helped before we took a step
+                // Helped before we took a step.
+                self.record_enqueue(myidx, 0, timer, OpKey::EnqHelped);
                 return; // a helper inserted our node
             }
             turnq_sync::hint::spin_loop();
@@ -737,7 +891,13 @@ impl<T> TurnQueue<T> {
             // iteration. pairs=q.enq-turn-close
             if my_slot.load(ord::ACQUIRE).is_null() {
                 self.hp.clear(myidx); // line 7
-                self.record_enqueue(myidx, iter.min(self.max_threads - 1));
+                let depth = iter.min(self.max_threads - 1);
+                let key = if depth == 0 {
+                    OpKey::EnqHelped
+                } else {
+                    OpKey::EnqSlow
+                };
+                self.record_enqueue(myidx, depth, timer, key);
                 return;
             }
             // Paper lines 25-26 close the slot *blindly* after max_threads
@@ -749,7 +909,7 @@ impl<T> TurnQueue<T> {
             // the flag-removed mutant this is the loop the modelcheck step
             // auditor trips on as a step-bound violation.
             if iter >= self.max_threads && self.verified_close_enqueue(myidx, my_node) {
-                self.record_enqueue(myidx, self.max_threads - 1);
+                self.record_enqueue(myidx, self.max_threads - 1, timer, OpKey::EnqSlow);
                 return;
             }
             // lines 10-11: protect + validate tail (Algorithm 5 pattern —
@@ -899,23 +1059,25 @@ impl<T> TurnQueue<T> {
 
     /// Dequeue counterpart of [`record_enqueue`](Self::record_enqueue).
     #[inline]
-    pub(crate) fn record_dequeue(&self, myidx: usize, depth: usize) {
+    pub(crate) fn record_dequeue(&self, myidx: usize, depth: usize, timer: &OpTimer, key: OpKey) {
         self.telemetry.bump(myidx, CounterId::DeqOps);
         self.telemetry.record_depth(myidx, depth);
         self.telemetry.event(myidx, EventKind::OpFinish, depth as u64);
+        self.finish_op(myidx, timer, key);
     }
 
     /// Dequeue entry point: fast path first (if enabled), then the paper's
     /// Algorithm 3 slow path.
     pub(crate) fn dequeue_with(&self, myidx: usize) -> Option<T> {
         debug_assert!(myidx < self.max_threads);
+        let timer = OpTimer::start();
         self.telemetry.event(myidx, EventKind::OpStart, 1);
         if self.fast_tries > 0 {
-            if let Some(result) = self.try_fast_dequeue(myidx) {
+            if let Some(result) = self.try_fast_dequeue(myidx, &timer) {
                 return result;
             }
         }
-        self.slow_dequeue(myidx)
+        self.slow_dequeue(myidx, &timer)
     }
 
     /// Fast-path dequeue (DESIGN.md §6c): up to `fast_tries` direct head
@@ -930,7 +1092,7 @@ impl<T> TurnQueue<T> {
     /// slow helper wins the head CAS; a fast-claimed node sits in no
     /// thread's `deqself`/`deqhelp` rotation, so the winner of the head
     /// advance past it retires it (see [`advance_head`](Self::advance_head)).
-    fn try_fast_dequeue(&self, myidx: usize) -> Option<Option<T>> {
+    fn try_fast_dequeue(&self, myidx: usize, timer: &OpTimer) -> Option<Option<T>> {
         for _attempt in 0..self.fast_tries {
             // ORDERING(q.head-candidate): ACQUIRE — candidate for
             // protection only; the SeqCst validation below carries the
@@ -961,7 +1123,11 @@ impl<T> TurnQueue<T> {
                 self.hp.clear(myidx);
                 self.telemetry.bump(myidx, CounterId::FastDeqHit);
                 self.telemetry.bump(myidx, CounterId::DeqEmpty);
+                self.telemetry.event(myidx, EventKind::FastHit, 1);
                 self.telemetry.event(myidx, EventKind::OpFinish, 0);
+                // Empty dequeues skip the depth histogram but still have a
+                // latency, attributed to the path that proved emptiness.
+                self.finish_op(myidx, timer, OpKey::DeqFast);
                 return Some(None);
             }
             // ORDERING(q.head-validate): SEQ_CST — protect/validate
@@ -997,31 +1163,39 @@ impl<T> TurnQueue<T> {
             debug_assert!(taken.is_some(), "claimed node must still hold its item");
             self.hp.clear(myidx);
             self.telemetry.bump(myidx, CounterId::FastDeqHit);
-            self.record_dequeue(myidx, 0);
+            self.telemetry.event(myidx, EventKind::FastHit, 1);
+            self.record_dequeue(myidx, 0, timer, OpKey::DeqFast);
             return Some(taken);
         }
         self.telemetry.bump(myidx, CounterId::FastDeqFallback);
+        self.telemetry.event(myidx, EventKind::FastFallback, 1);
         None
     }
 
+    /// Is thread `i`'s slow-path dequeue request currently open
+    /// (`deqself[i] == deqhelp[i]`)? One probe of the consensus arrays,
+    /// shared by the panic-flag scan and the flight recorder's dump.
+    #[inline]
+    fn dequeue_request_open(&self, i: usize) -> bool {
+        // ORDERING(q.deq-panic-scan): SEQ_CST — same consensus-scan
+        // reasoning as `search_next` line 38 and the enqueue-side panic
+        // flag: the open/closed decision must sit in the same total
+        // order as the line-5 publish, so a thread that published
+        // before this scan is guaranteed to be seen and to force our
+        // fallback.
+        // pairs=q.deq-publish,q.deq-rollback,q.deq-close-cas,q.deq-close-own
+        self.deqself[i].load(ord::SEQ_CST) == self.deqhelp[i].load(ord::SEQ_CST)
+    }
+
     /// Panic-flag scan of the dequeue consensus arrays: is any slow-path
-    /// dequeue request currently open (`deqself[i] == deqhelp[i]`)?
+    /// dequeue request currently open?
     #[inline]
     fn dequeue_request_pending(&self) -> bool {
-        (0..self.max_threads).any(|i| {
-            // ORDERING(q.deq-panic-scan): SEQ_CST — same consensus-scan
-            // reasoning as `search_next` line 38 and the enqueue-side panic
-            // flag: the open/closed decision must sit in the same total
-            // order as the line-5 publish, so a thread that published
-            // before this scan is guaranteed to be seen and to force our
-            // fallback.
-            // pairs=q.deq-publish,q.deq-rollback,q.deq-close-cas,q.deq-close-own
-            self.deqself[i].load(ord::SEQ_CST) == self.deqhelp[i].load(ord::SEQ_CST)
-        })
+        (0..self.max_threads).any(|i| self.dequeue_request_open(i))
     }
 
     /// Paper Algorithm 3 (the slow path).
-    fn slow_dequeue(&self, myidx: usize) -> Option<T> {
+    fn slow_dequeue(&self, myidx: usize, timer: &OpTimer) -> Option<T> {
         // Our own request slots, hoisted out of the backoff spin and the
         // helping loop (same reasoning as in `enqueue_with`).
         let my_deqself = &self.deqself[myidx];
@@ -1113,9 +1287,11 @@ impl<T> TurnQueue<T> {
                 }
                 self.hp.clear(myidx); // line 17
                 // Empty dequeues do not enter the depth histogram — it
-                // counts completed transfers only.
+                // counts completed transfers only — but they do carry a
+                // latency sample under the slow-path key.
                 self.telemetry.bump(myidx, CounterId::DeqEmpty);
                 self.telemetry.event(myidx, EventKind::OpFinish, iter as u64);
+                self.finish_op(myidx, timer, OpKey::DeqSlow);
                 return None; // line 18 — Inv. 11: no node was assigned to us
             }
             // SAFETY(hp-validate): lhead protected (line 8) and validated
@@ -1186,7 +1362,12 @@ impl<T> TurnQueue<T> {
         // SAFETY(tid-exclusive): see above.
         let taken = unsafe { (*my_node).take_item() };
         debug_assert!(taken.is_some(), "assigned node must still hold its item");
-        self.record_dequeue(myidx, depth);
+        let key = if depth == 0 {
+            OpKey::DeqHelped
+        } else {
+            OpKey::DeqSlow
+        };
+        self.record_dequeue(myidx, depth, timer, key);
         taken
     }
 

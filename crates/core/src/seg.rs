@@ -55,7 +55,7 @@ use turnq_api::{
 };
 use turnq_sync::atomic::AtomicU64;
 use turnq_sync::ord;
-use turnq_telemetry::{CounterId, EventKind, TelemetrySheet, TelemetrySnapshot};
+use turnq_telemetry::{CounterId, EventKind, OpKey, OpTimer, TelemetrySheet, TelemetrySnapshot};
 use turnq_threadreg::RegistryFull;
 
 use crate::node::{
@@ -195,6 +195,7 @@ impl<T> SegCore<T> {
     fn enqueue_with(&self, myidx: usize, item: T) {
         debug_assert!(myidx < self.inner.max_threads());
         let tel: &TelemetrySheet = &self.inner.telemetry;
+        let timer = OpTimer::start();
         tel.event(myidx, EventKind::OpStart, 0);
         let k = self.seg_size as u64;
         // The item travels through the loop in an Option so a poisoned cell
@@ -273,7 +274,8 @@ impl<T> SegCore<T> {
                     // per thread is deferred until the slot moves on —
                     // the same bound as a thread stalled mid-operation.
                     tel.bump(myidx, CounterId::SegEnqCellHit);
-                    self.inner.record_enqueue(myidx, 0);
+                    tel.event(myidx, EventKind::SegCellClaim, 0);
+                    self.inner.record_enqueue(myidx, 0, &timer, OpKey::EnqSegCell);
                     return;
                 }
                 Err(state) => {
@@ -295,8 +297,12 @@ impl<T> SegCore<T> {
         // the completed enqueue.
         let item = holder.take().expect("claim loop always returns the item");
         let node = self.alloc_seg_node(myidx, item);
-        if !(self.inner.fast_tries() > 0 && self.inner.try_fast_enqueue(myidx, node)) {
-            self.inner.slow_enqueue(myidx, node);
+        // The consensus paths record the latency under their own keys
+        // (EnqFast / EnqSlow / EnqHelped) with the segment op's timer, so
+        // an append's full cost — claim attempts included — is attributed
+        // to the path that completed it.
+        if !(self.inner.fast_tries() > 0 && self.inner.try_fast_enqueue(myidx, node, &timer)) {
+            self.inner.slow_enqueue(myidx, node, &timer);
         }
         // Reset the HP cache: the consensus paths protect and clear on
         // their own schedule and can return with an *unvalidated* pointer
@@ -305,6 +311,7 @@ impl<T> SegCore<T> {
         // release store per K items — amortized away.
         self.inner.hp.clear_one(myidx, HP_HEAD_TAIL);
         tel.bump(myidx, CounterId::SegEnqAppend);
+        tel.event(myidx, EventKind::SegAppend, 0);
     }
 
     /// Segment-mode dequeue: FAA ticket on the head ring, cell rendezvous,
@@ -313,6 +320,7 @@ impl<T> SegCore<T> {
     fn dequeue_with(&self, myidx: usize) -> Option<T> {
         debug_assert!(myidx < self.inner.max_threads());
         let tel: &TelemetrySheet = &self.inner.telemetry;
+        let timer = OpTimer::start();
         tel.event(myidx, EventKind::OpStart, 1);
         let k = self.seg_size as u64;
         loop {
@@ -366,6 +374,7 @@ impl<T> SegCore<T> {
                 // so the slot is a valid cache for the next op.
                 tel.bump(myidx, CounterId::DeqEmpty);
                 tel.event(myidx, EventKind::OpFinish, 0);
+                self.inner.finish_op(myidx, &timer, OpKey::DeqSegCell);
                 return None;
             }
             // ORDERING(sg.deq-ticket): SEQ_CST — ticket dispenser, same
@@ -383,6 +392,7 @@ impl<T> SegCore<T> {
                     // HP stays published (caching), as in the verdict above.
                     tel.bump(myidx, CounterId::DeqEmpty);
                     tel.event(myidx, EventKind::OpFinish, 0);
+                    self.inner.finish_op(myidx, &timer, OpKey::DeqSegCell);
                     return None;
                 }
                 // Mark the outgoing head as fast-claimed so the advance
@@ -401,7 +411,7 @@ impl<T> SegCore<T> {
             // with the producer's release CAS to FULL, making its item
             // write visible before the take below. pairs=sg.cell-publish
             if cell.state.load(ord::ACQUIRE) == CELL_FULL {
-                return Some(self.take_cell(myidx, cell, tel));
+                return Some(self.take_cell(myidx, cell, tel, &timer));
             }
             // ORDERING(sg.cell-poison): ACQ_REL / ACQUIRE — poison CAS.
             // Success: the producer must observe POISONED (its CAS to FULL
@@ -421,14 +431,14 @@ impl<T> SegCore<T> {
                 }
                 Err(state) => {
                     debug_assert_eq!(state, CELL_FULL);
-                    return Some(self.take_cell(myidx, cell, tel));
+                    return Some(self.take_cell(myidx, cell, tel, &timer));
                 }
             }
         }
     }
 
     /// Take the item out of a FULL cell we hold the dequeue ticket for.
-    fn take_cell(&self, myidx: usize, cell: &SegCell<T>, tel: &TelemetrySheet) -> T {
+    fn take_cell(&self, myidx: usize, cell: &SegCell<T>, tel: &TelemetrySheet, timer: &OpTimer) -> T {
         // SAFETY(ring-slot): we hold the cell's unique dequeue ticket
         // and observed FULL through an acquire edge: the producer's item
         // write is visible, it will never touch the cell again, and the
@@ -442,7 +452,8 @@ impl<T> SegCore<T> {
         cell.state.store(CELL_TAKEN, ord::RELAXED);
         // HP stays published (caching) — see `enqueue_with`'s cell hit.
         tel.bump(myidx, CounterId::SegDeqCellHit);
-        self.inner.record_dequeue(myidx, 0);
+        tel.event(myidx, EventKind::SegCellClaim, 1);
+        self.inner.record_dequeue(myidx, 0, timer, OpKey::DeqSegCell);
         item.expect("FULL cell must carry an item")
     }
 
@@ -554,7 +565,7 @@ impl<T: Send> SegTurnQueue<T> {
     }
 
     /// Insert `item` at the tail. Wait-free bounded: at most
-    /// [`SEG_CLAIM_TRIES`] FAA cell claims, then one `O(max_threads)`
+    /// `SEG_CLAIM_TRIES` FAA cell claims, then one `O(max_threads)`
     /// consensus append.
     #[inline]
     pub fn enqueue(&self, item: T) {

@@ -19,6 +19,7 @@
 use std::marker::PhantomData;
 use turnq_sync::atomic::AtomicBool;
 use turnq_sync::ord;
+use turnq_telemetry::{CounterId, EventKind, OpKey, OpTimer};
 
 use crate::queue::TurnQueue;
 
@@ -84,7 +85,8 @@ impl<T> TurnMpscQueue<T> {
 
     /// Telemetry aggregate of the underlying Turn queue (the wait-free
     /// enqueue side records ops, helping and CAS-retry counters; the
-    /// exclusive consumer walk records nothing).
+    /// exclusive consumer walk records its op counters and latency under
+    /// the slow-path dequeue key — it is the only dequeue path here).
     pub fn telemetry_snapshot(&self) -> turnq_telemetry::TelemetrySnapshot {
         self.inner.telemetry_snapshot()
     }
@@ -131,6 +133,8 @@ impl<T> MpscConsumer<'_, T> {
     #[inline]
     pub fn dequeue(&mut self) -> Option<T> {
         let inner = &self.queue.inner;
+        let timer = OpTimer::start();
+        inner.telemetry.event(self.tid, EventKind::OpStart, 1);
         // ORDERING(vr.head-own): RELAXED — single-consumer contract: only
         // this endpoint ever advances head, so this reads back our own
         // last store (or the claim handoff, ordered by the endpoint CAS).
@@ -143,6 +147,9 @@ impl<T> MpscConsumer<'_, T> {
         // take_item below. pairs=q.link-cas
         let lnext = unsafe { &*lhead }.next.load(ord::ACQUIRE);
         if lnext.is_null() {
+            inner.telemetry.bump(self.tid, CounterId::DeqEmpty);
+            inner.telemetry.event(self.tid, EventKind::OpFinish, 0);
+            inner.finish_op(self.tid, &timer, OpKey::DeqSlow);
             return None;
         }
         // SAFETY(endpoint-exclusive): lnext is reachable from the live
@@ -162,6 +169,7 @@ impl<T> MpscConsumer<'_, T> {
         // be linked after it (paper lines 12-15). Retired exactly once
         // (only we retire).
         unsafe { inner.hp.retire(self.tid, lhead) };
+        inner.record_dequeue(self.tid, 0, &timer, OpKey::DeqSlow);
         item
     }
 }
@@ -225,7 +233,8 @@ impl<T> TurnSpmcQueue<T> {
 
     /// Telemetry aggregate of the underlying Turn queue (the wait-free
     /// dequeue side records ops, helping and CAS-retry counters; the
-    /// exclusive producer link-and-advance records nothing).
+    /// exclusive producer link-and-advance records its op counters and
+    /// latency under the slow-path enqueue key — its only path).
     pub fn telemetry_snapshot(&self) -> turnq_telemetry::TelemetrySnapshot {
         self.inner.telemetry_snapshot()
     }
@@ -269,6 +278,8 @@ impl<T> SpmcProducer<'_, T> {
     #[inline]
     pub fn enqueue(&mut self, item: T) {
         let inner = &self.queue.inner;
+        let timer = OpTimer::start();
+        inner.telemetry.event(self.tid as usize, EventKind::OpStart, 0);
         // Reuse a recycled node from this producer's pool list when one is
         // available (the pool's acquire is also O(1), so the progress bound
         // is unchanged).
@@ -294,6 +305,7 @@ impl<T> SpmcProducer<'_, T> {
         // so the publication must participate in it too.
         // pairs=q.empty-check
         inner.tail.store(node, ord::SEQ_CST);
+        inner.record_enqueue(self.tid as usize, 0, &timer, OpKey::EnqSlow);
     }
 }
 

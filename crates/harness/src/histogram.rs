@@ -10,6 +10,13 @@
 //! The quantile semantics mirror [`crate::stats::quantile_sorted`]
 //! (nearest-rank), so at equal inputs the histogram answer differs from
 //! the exact answer only by the bucket width — a property the tests check.
+//!
+//! The bucket math itself is shared with the in-queue latency recorder
+//! (`turnq_telemetry::latency`): both sides index and invert through the
+//! same pure functions, so the sheet-resident per-path histograms and
+//! this external accumulator can never disagree beyond resolution.
+
+use turnq_telemetry::latency;
 
 /// Log-linear histogram for `u64` values (nanoseconds, typically).
 #[derive(Debug, Clone)]
@@ -23,7 +30,7 @@ pub struct LatencyHistogram {
     min_seen: u64,
 }
 
-const RANGES: usize = 64;
+const RANGES: usize = latency::RANGES;
 
 impl LatencyHistogram {
     /// A histogram with `2^sub_bucket_bits` linear sub-buckets per
@@ -47,33 +54,20 @@ impl LatencyHistogram {
         Self::new(6)
     }
 
-    /// Flat bucket index for `value`.
+    /// Flat bucket index for `value` (shared math:
+    /// [`turnq_telemetry::latency::bucket_index`]).
     ///
     /// Range 0 covers `[0, 2^b)` with width-1 buckets (exact); range
     /// `r ≥ 1` covers `[2^(b+r-1), 2^(b+r))` with `2^b` buckets of width
     /// `2^(r-1)` — bounded relative error `2^-b` per value.
     fn index(&self, value: u64) -> usize {
-        let b = self.sub_bucket_bits;
-        if value < (1u64 << b) {
-            return value as usize;
-        }
-        let msb = 63 - u64::leading_zeros(value); // >= b here
-        let range = (msb - b + 1) as usize;
-        let sub = ((value >> (range - 1)) - (1u64 << b)) as usize;
-        let idx = (range << b) + sub;
-        idx.min(self.counts.len() - 1)
+        latency::bucket_index(self.sub_bucket_bits, value).min(self.counts.len() - 1)
     }
 
-    /// Lowest value representable by bucket `idx` (inverse of `index`).
+    /// Lowest value representable by bucket `idx` (inverse of `index`;
+    /// shared math: [`turnq_telemetry::latency::bucket_low`]).
     fn bucket_low(&self, idx: usize) -> u64 {
-        let b = self.sub_bucket_bits;
-        let range = idx >> b;
-        let sub = (idx & ((1usize << b) - 1)) as u64;
-        if range == 0 {
-            sub
-        } else {
-            ((1u64 << b) + sub) << (range - 1)
-        }
+        latency::bucket_low(self.sub_bucket_bits, idx)
     }
 
     /// Record one value.
@@ -129,6 +123,10 @@ impl LatencyHistogram {
         assert!(self.total > 0, "quantile of empty histogram");
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        if rank == self.total {
+            // p = 100 is the exact tracked maximum, not a bucket low.
+            return self.max_seen;
+        }
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -218,6 +216,49 @@ mod tests {
     fn empty_quantile_panics() {
         let h = LatencyHistogram::new(6);
         let _ = h.quantile(0.5);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_instead_of_wrapping() {
+        let mut h = LatencyHistogram::new(6);
+        for v in [u64::MAX, u64::MAX - 1, 1u64 << 63, u64::MAX / 2] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantiles stay within the recorded extremes — the top of the
+        // domain cannot over-report past max or wrap to a small value.
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            let got = h.quantile(q);
+            assert!(got >= h.min() && got <= h.max(), "q={q}: {got}");
+            assert!(got >= u64::MAX / 4, "q={q}: wrapped to {got}");
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact_extremes() {
+        let mut h = LatencyHistogram::new(4);
+        for v in [3u64, 900, 77_000, 5_000_000] {
+            h.record(v);
+        }
+        // p=0 clamps to the exact min, p=100 to the exact max, even
+        // though interior quantiles only resolve to bucket lows.
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 5_000_000);
+    }
+
+    #[test]
+    fn harness_and_sheet_bucketing_agree() {
+        use turnq_telemetry::latency as shared;
+        // The harness histogram and the in-queue recorder share index
+        // math: at equal resolution, every value lands in the same
+        // bucket with the same lower bound.
+        let h = LatencyHistogram::new(shared::SHEET_SUB_BUCKET_BITS);
+        for v in [0u64, 1, 15, 16, 1_000, 123_456_789, u64::MAX] {
+            let idx = h.index(v);
+            assert_eq!(idx, shared::bucket_index(shared::SHEET_SUB_BUCKET_BITS, v).min(h.counts.len() - 1));
+            assert_eq!(h.bucket_low(idx), shared::bucket_low(shared::SHEET_SUB_BUCKET_BITS, idx));
+        }
     }
 
     proptest! {

@@ -9,7 +9,9 @@ use crossbeam_utils::CachePadded;
 use turnq_api::{ConcurrentQueue, Progress, QueueFamily, QueueIntrospect, QueueProps, SizeReport};
 use std::sync::Arc;
 use turnq_hazard::{ConditionalHazardPointers, ConditionalReclaim, HazardPointers};
-use turnq_telemetry::{CounterId, EventKind, TelemetryHandle, TelemetrySheet, TelemetrySnapshot};
+use turnq_telemetry::{
+    CounterId, EventKind, OpKey, OpTimer, TelemetryHandle, TelemetrySheet, TelemetrySnapshot,
+};
 use turnq_threadreg::ThreadRegistry;
 
 const IDX_NONE: i32 = -1;
@@ -187,6 +189,9 @@ impl<T> KPQueue<T> {
     }
 
     pub(crate) fn enqueue_with(&self, tid: usize, item: T) {
+        // Every KP op runs the full helping protocol — a single path, so
+        // all latency lands under the slow-path key.
+        let timer = OpTimer::start();
         self.telemetry.event(tid, EventKind::OpStart, 0);
         let value = Box::into_raw(Box::new(item));
         let phase = self.max_phase(tid) + 1;
@@ -198,9 +203,12 @@ impl<T> KPQueue<T> {
         self.clear_all(tid);
         self.telemetry.bump(tid, CounterId::EnqOps);
         self.telemetry.event(tid, EventKind::OpFinish, 0);
+        self.telemetry
+            .record_latency(tid, OpKey::EnqSlow, timer.nanos());
     }
 
     pub(crate) fn dequeue_with(&self, tid: usize) -> Option<T> {
+        let timer = OpTimer::start();
         self.telemetry.event(tid, EventKind::OpStart, 1);
         let phase = self.max_phase(tid) + 1;
         let desc = OpDesc::alloc(phase, true, false, ptr::null_mut());
@@ -219,6 +227,8 @@ impl<T> KPQueue<T> {
             self.clear_all(tid);
             self.telemetry.bump(tid, CounterId::DeqEmpty);
             self.telemetry.event(tid, EventKind::OpFinish, 0);
+            self.telemetry
+                .record_latency(tid, OpKey::DeqSlow, timer.nanos());
             return None; // empty queue
         }
         // Our request was assigned `node` (the head at linearization); the
@@ -262,6 +272,8 @@ impl<T> KPQueue<T> {
         unsafe { self.node_hp.retire(tid, node) };
         self.telemetry.bump(tid, CounterId::DeqOps);
         self.telemetry.event(tid, EventKind::OpFinish, 0);
+        self.telemetry
+            .record_latency(tid, OpKey::DeqSlow, timer.nanos());
         // SAFETY(tid-exclusive): unique Box::into_raw value pointer; the
         // node's dequeue was assigned to our registered tid, making us its
         // unique consumer.

@@ -412,7 +412,7 @@ pub struct DocSite {
     pub is_extern: bool,
 }
 
-/// Parse the per-site tables: `| `<site-id>` | <orderings> | pairs | edge |`.
+/// Parse the per-site tables: ``| `<site-id>` | <orderings> | pairs | edge |``.
 /// The count-table rows (8 cells, first cell a path) are skipped; any
 /// other table row whose first cell is a backticked site ID counts.
 pub fn doc_sites(doc: &str) -> BTreeMap<String, DocSite> {

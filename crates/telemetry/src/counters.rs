@@ -86,6 +86,9 @@ pub enum CounterId {
     /// Segment cells burnt by a consumer arriving before its producer
     /// (EMPTY → POISONED).
     SegCellPoison,
+    /// Flight-recorder dumps: operations whose latency crossed the stall
+    /// watchdog threshold and produced a black-box report.
+    StallDump,
 }
 
 impl CounterId {
@@ -121,6 +124,7 @@ impl CounterId {
         CounterId::SegDeqCellHit,
         CounterId::SegDeqAdvance,
         CounterId::SegCellPoison,
+        CounterId::StallDump,
     ];
 
     /// Short name, used as the key in snapshots and to derive the exported
@@ -157,12 +161,13 @@ impl CounterId {
             CounterId::SegDeqCellHit => "seg_deq_cell_hit",
             CounterId::SegDeqAdvance => "seg_deq_advance",
             CounterId::SegCellPoison => "seg_cell_poison",
+            CounterId::StallDump => "stall_dump",
         }
     }
 }
 
 /// Number of counters (row width of a telemetry sheet).
-pub const N_COUNTERS: usize = 30;
+pub const N_COUNTERS: usize = 31;
 
 #[cfg(test)]
 mod tests {

@@ -40,11 +40,29 @@ pub enum EventKind {
     PoolMiss,
     /// A reclaimed node refilled the pool (`arg` unused).
     PoolRefill,
+    /// An operation completed on the fast path (`arg`: 0 = enqueue,
+    /// 1 = dequeue) — §6c's direct append/head swing, no request
+    /// publication.
+    FastHit,
+    /// The fast-path budget was exhausted (or the panic flag observed)
+    /// and the operation fell back to the consensus slow path (`arg`:
+    /// 0 = enqueue, 1 = dequeue).
+    FastFallback,
+    /// A segment cell was claimed by FAA (`arg`: 0 = enqueue cell fill,
+    /// 1 = dequeue cell take) — §6d, no consensus involved.
+    SegCellClaim,
+    /// A fresh segment was appended through the consensus boundary path
+    /// (`arg` unused).
+    SegAppend,
+    /// The stall watchdog fired and dumped a flight-recorder report
+    /// (`arg` = the operation's latency in nanoseconds, truncated to 56
+    /// bits).
+    StallDump,
 }
 
 impl EventKind {
-    #[cfg_attr(not(feature = "probe"), allow(dead_code))]
-    const ALL: [EventKind; 11] = [
+    /// Every kind, in discriminant order (`ALL[i] as usize == i`).
+    pub const ALL: [EventKind; 16] = [
         EventKind::OpStart,
         EventKind::OpFinish,
         EventKind::HelpOther,
@@ -56,11 +74,38 @@ impl EventKind {
         EventKind::PoolHit,
         EventKind::PoolMiss,
         EventKind::PoolRefill,
+        EventKind::FastHit,
+        EventKind::FastFallback,
+        EventKind::SegCellClaim,
+        EventKind::SegAppend,
+        EventKind::StallDump,
     ];
 
     #[cfg_attr(not(feature = "probe"), allow(dead_code))]
     fn from_code(code: u8) -> Option<EventKind> {
         EventKind::ALL.get(code as usize).copied()
+    }
+
+    /// Short snake_case name, used by the flight-recorder JSON reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::OpStart => "op_start",
+            EventKind::OpFinish => "op_finish",
+            EventKind::HelpOther => "help_other",
+            EventKind::CasFail => "cas_fail",
+            EventKind::HpProtect => "hp_protect",
+            EventKind::HpScan => "hp_scan",
+            EventKind::HpRetire => "hp_retire",
+            EventKind::HpFree => "hp_free",
+            EventKind::PoolHit => "pool_hit",
+            EventKind::PoolMiss => "pool_miss",
+            EventKind::PoolRefill => "pool_refill",
+            EventKind::FastHit => "fast_hit",
+            EventKind::FastFallback => "fast_fallback",
+            EventKind::SegCellClaim => "seg_cell_claim",
+            EventKind::SegAppend => "seg_append",
+            EventKind::StallDump => "stall_dump",
+        }
     }
 }
 
@@ -117,5 +162,17 @@ mod tests {
     #[test]
     fn bad_kind_byte_is_rejected() {
         assert_eq!(unpack(0xff << ARG_BITS), None);
+    }
+
+    #[test]
+    fn all_is_dense_with_unique_names() {
+        let mut names = Vec::new();
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "ALL out of order at {}", k.name());
+            names.push(k.name());
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
     }
 }

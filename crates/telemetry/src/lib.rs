@@ -41,14 +41,17 @@
 
 mod counters;
 mod events;
+pub mod latency;
 mod sheet;
 mod snapshot;
 
 pub use counters::{CounterId, N_COUNTERS};
 pub use events::{Event, EventKind, RING_CAPACITY};
+pub use latency::{OpKey, OpTimer, N_OP_KEYS};
 pub use sheet::{TelemetryHandle, TelemetrySheet};
 pub use snapshot::{
-    all_metric_names, TelemetrySnapshot, EXTRA_COUNTER_NAMES, GAUGE_NAMES, HISTOGRAM_NAMES,
+    all_metric_names, LatencySeries, TelemetrySnapshot, EXTRA_COUNTER_NAMES, GAUGE_NAMES,
+    HISTOGRAM_NAMES,
 };
 
 /// `true` when this build records (`probe` feature on). With probes off,

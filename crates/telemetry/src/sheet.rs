@@ -28,7 +28,24 @@ use crate::events::EventKind;
 #[cfg(feature = "probe")]
 use crate::events::{pack, unpack, RING_CAPACITY};
 use crate::events::Event;
+use crate::latency::OpKey;
+#[cfg(feature = "probe")]
+use crate::latency::{bucket_index, N_OP_KEYS, RANGES, SHEET_SUB_BUCKET_BITS};
 use crate::snapshot::TelemetrySnapshot;
+
+/// Flat buckets per latency series at the sheet resolution.
+#[cfg(feature = "probe")]
+const LAT_BUCKETS: usize = RANGES << SHEET_SUB_BUCKET_BITS;
+
+/// `(count, sum, max, min)` cells per latency series.
+#[cfg(feature = "probe")]
+const LAT_STATS: usize = 4;
+
+/// Flight-recorder reports kept per sheet; later dumps only bump the
+/// `stall_dump` counter (a black box records the first incident, not an
+/// unbounded log).
+#[cfg(feature = "probe")]
+const MAX_STALL_REPORTS: usize = 32;
 
 /// One thread's private recording area. Padded so rows never share a
 /// cache line with a neighbour's hot cells.
@@ -44,6 +61,11 @@ struct ThreadRow {
     /// Total events ever recorded by this thread; the next write goes to
     /// `ring[ring_pos % RING_CAPACITY]`.
     ring_pos: AtomicU64,
+    /// Latency histograms: `N_OP_KEYS` log-linear series flattened as
+    /// `key * LAT_BUCKETS + bucket` (shared bucket math, `latency.rs`).
+    lat: Box<[AtomicU64]>,
+    /// Per-series `(count, sum, max, min)` cells, `LAT_STATS` per key.
+    lat_stats: Box<[AtomicU64]>,
 }
 
 #[cfg(feature = "probe")]
@@ -54,6 +76,12 @@ impl ThreadRow {
             depth: (0..depth_buckets).map(|_| AtomicU64::new(0)).collect(),
             ring: std::array::from_fn(|_| AtomicU64::new(0)),
             ring_pos: AtomicU64::new(0),
+            lat: (0..N_OP_KEYS * LAT_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            // min cells (offset 3) start at u64::MAX so the first sample
+            // always wins.
+            lat_stats: (0..N_OP_KEYS * LAT_STATS)
+                .map(|i| AtomicU64::new(if i % LAT_STATS == 3 { u64::MAX } else { 0 }))
+                .collect(),
         }
     }
 
@@ -76,6 +104,12 @@ pub struct TelemetrySheet {
     max_threads: usize,
     #[cfg(feature = "probe")]
     rows: Box<[CachePadded<ThreadRow>]>,
+    /// Flight-recorder reports from the stall watchdog. Recording side
+    /// only ever `try_lock`s (never blocks — a report dropped under
+    /// contention is acceptable, the `stall_dump` counter still counts
+    /// it), so wait-freedom is untouched.
+    #[cfg(feature = "probe")]
+    stall_reports: std::sync::Mutex<Vec<String>>,
 }
 
 impl TelemetrySheet {
@@ -89,6 +123,8 @@ impl TelemetrySheet {
             rows: (0..max_threads)
                 .map(|_| CachePadded::new(ThreadRow::new(max_threads)))
                 .collect(),
+            #[cfg(feature = "probe")]
+            stall_reports: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -128,6 +164,68 @@ impl TelemetrySheet {
             let d = depth.min(row.depth.len() - 1);
             row.bump(&row.depth[d], 1);
         }
+    }
+
+    /// Record one operation latency sample (nanoseconds) on `tid`'s row
+    /// under the `key` series (operation × path class).
+    ///
+    /// Same owner-only plain-store discipline as [`bump`](Self::bump):
+    /// one histogram-bucket increment plus four stat-cell stores, no RMW,
+    /// no loop.
+    #[inline(always)]
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn record_latency(&self, tid: usize, key: OpKey, nanos: u64) {
+        #[cfg(feature = "probe")]
+        {
+            let row = &self.rows[tid];
+            let bucket = bucket_index(SHEET_SUB_BUCKET_BITS, nanos);
+            row.bump(&row.lat[(key as usize) * LAT_BUCKETS + bucket], 1);
+            let s = (key as usize) * LAT_STATS;
+            row.bump(&row.lat_stats[s], 1);
+            row.bump(&row.lat_stats[s + 1], nanos);
+            let max = &row.lat_stats[s + 2];
+            if nanos > max.load(Ordering::Relaxed) {
+                max.store(nanos, Ordering::Relaxed);
+            }
+            let min = &row.lat_stats[s + 3];
+            if nanos < min.load(Ordering::Relaxed) {
+                min.store(nanos, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Store a flight-recorder report (non-blocking; drops the report if
+    /// another thread holds the sink or the cap is reached). Returns
+    /// whether the report was kept.
+    #[cfg_attr(not(feature = "probe"), allow(unused_variables))]
+    pub fn report_stall(&self, report: String) -> bool {
+        #[cfg(feature = "probe")]
+        {
+            if let Ok(mut log) = self.stall_reports.try_lock() {
+                if log.len() < MAX_STALL_REPORTS {
+                    log.push(report);
+                    return true;
+                }
+            }
+            false
+        }
+        #[cfg(not(feature = "probe"))]
+        false
+    }
+
+    /// Drain the stored flight-recorder reports (aggregation side; may
+    /// block briefly on the sink lock).
+    pub fn take_stall_reports(&self) -> Vec<String> {
+        #[cfg(feature = "probe")]
+        {
+            let mut log = self
+                .stall_reports
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *log)
+        }
+        #[cfg(not(feature = "probe"))]
+        Vec::new()
     }
 
     /// Append an event to `tid`'s ring (overwrites oldest-first).
@@ -181,6 +279,26 @@ impl TelemetrySheet {
             }
             for (d, cell) in row.depth.iter().enumerate() {
                 snap.add_depth_bucket(d, cell.load(Ordering::Relaxed));
+            }
+            for key in OpKey::ALL {
+                let s = (key as usize) * LAT_STATS;
+                let count = row.lat_stats[s].load(Ordering::Relaxed);
+                if count == 0 {
+                    continue;
+                }
+                snap.add_latency_stats(
+                    key,
+                    count,
+                    row.lat_stats[s + 1].load(Ordering::Relaxed),
+                    row.lat_stats[s + 2].load(Ordering::Relaxed),
+                    row.lat_stats[s + 3].load(Ordering::Relaxed),
+                );
+                for b in 0..LAT_BUCKETS {
+                    let n = row.lat[(key as usize) * LAT_BUCKETS + b].load(Ordering::Relaxed);
+                    if n > 0 {
+                        snap.add_latency_bucket(key, b, n);
+                    }
+                }
             }
         }
         snap
@@ -322,6 +440,37 @@ mod tests {
         assert_eq!(events.len(), crate::events::RING_CAPACITY);
         assert_eq!(events.first().unwrap().arg, 3);
         assert_eq!(events.last().unwrap().arg, crate::events::RING_CAPACITY as u64 + 2);
+    }
+
+    #[test]
+    fn latency_samples_land_in_their_series() {
+        let sheet = TelemetrySheet::new(2);
+        sheet.record_latency(0, OpKey::EnqFast, 5);
+        sheet.record_latency(0, OpKey::EnqFast, 100);
+        sheet.record_latency(1, OpKey::EnqFast, 7);
+        sheet.record_latency(1, OpKey::DeqSlow, 1_000_000);
+        let snap = sheet.snapshot();
+        let fast = snap.latency(OpKey::EnqFast);
+        assert_eq!(fast.count(), 3);
+        assert_eq!(fast.sum(), 112);
+        assert_eq!(fast.max(), 100);
+        assert_eq!(fast.min(), 5);
+        let slow = snap.latency(OpKey::DeqSlow);
+        assert_eq!(slow.count(), 1);
+        assert_eq!(snap.latency(OpKey::DeqFast).count(), 0);
+    }
+
+    #[test]
+    fn stall_reports_are_kept_up_to_the_cap_and_drained() {
+        let sheet = TelemetrySheet::new(1);
+        for i in 0..(MAX_STALL_REPORTS + 5) {
+            let kept = sheet.report_stall(format!("report {i}"));
+            assert_eq!(kept, i < MAX_STALL_REPORTS);
+        }
+        let reports = sheet.take_stall_reports();
+        assert_eq!(reports.len(), MAX_STALL_REPORTS);
+        assert_eq!(reports[0], "report 0");
+        assert!(sheet.take_stall_reports().is_empty());
     }
 
     #[test]

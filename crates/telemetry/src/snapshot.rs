@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::counters::CounterId;
+use crate::latency::{bucket_high, bucket_low, OpKey, SHEET_SUB_BUCKET_BITS};
 
 /// Counter names that exist only at snapshot level (folded in from the
 /// node pool's own exact per-slot stats rather than double-counted on the
@@ -26,8 +27,10 @@ pub const GAUGE_NAMES: &[&str] = &[
     "queue_size",
 ];
 
-/// Histogram metric names (exported with a `depth` label per bucket).
-pub const HISTOGRAM_NAMES: &[&str] = &["helping_depth"];
+/// Histogram metric names (exported in cumulative Prometheus form:
+/// `_bucket{le=...}`/`_sum`/`_count`; `op_latency_ns` additionally
+/// carries `op`/`path` labels per series).
+pub const HISTOGRAM_NAMES: &[&str] = &["helping_depth", "op_latency_ns"];
 
 /// Every exported metric name, fully prefixed, for the `docs/metrics.md`
 /// lint: counters as `turnq_<name>_total`, gauges as `turnq_<name>`,
@@ -43,6 +46,118 @@ pub fn all_metric_names() -> Vec<String> {
     out
 }
 
+/// One aggregated latency series: operation × path class, log-linear
+/// buckets at the sheet resolution ([`SHEET_SUB_BUCKET_BITS`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySeries {
+    key: OpKey,
+    count: u64,
+    sum: u64,
+    max: u64,
+    /// `u64::MAX` while empty (first sample always wins).
+    min: u64,
+    /// Sparse nonzero buckets, ascending by flat index.
+    buckets: Vec<(usize, u64)>,
+}
+
+impl LatencySeries {
+    fn empty(key: OpKey) -> Self {
+        LatencySeries {
+            key,
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Which operation × path series this is.
+    pub fn key(&self) -> OpKey {
+        self.key
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (nanoseconds).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank quantile, reported as the lower bound of the bucket
+    /// containing that rank clamped to the exact `[min, max]` — the same
+    /// semantics as the harness histogram, so it never over-reports.
+    /// `None` when the series is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // p = 100 is the exact tracked maximum, not a bucket low.
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(
+                    bucket_low(SHEET_SUB_BUCKET_BITS, idx).clamp(self.min(), self.max),
+                );
+            }
+        }
+        Some(self.max)
+    }
+
+    fn add_bucket(&mut self, idx: usize, n: u64) {
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += n,
+            Err(pos) => self.buckets.insert(pos, (idx, n)),
+        }
+    }
+
+    fn add_stats(&mut self, count: u64, sum: u64, max: u64, min: u64) {
+        self.count += count;
+        self.sum += sum;
+        self.max = self.max.max(max);
+        self.min = self.min.min(min);
+    }
+
+    fn merge(&mut self, other: &LatencySeries) {
+        self.add_stats(other.count, other.sum, other.max, other.min);
+        for &(idx, n) in &other.buckets {
+            self.add_bucket(idx, n);
+        }
+    }
+}
+
 /// An aggregated, owned view of one sheet (plus whatever derived metrics
 /// the owner folded in). Always available — with the `probe` feature off
 /// every value is zero.
@@ -55,6 +170,8 @@ pub struct TelemetrySnapshot {
     /// Helping-depth histogram; bucket `d` counts operations completed at
     /// observed depth `d`.
     helping_depth: Vec<u64>,
+    /// Per-path latency series, indexed by `OpKey as usize`.
+    latency: Vec<LatencySeries>,
 }
 
 impl TelemetrySnapshot {
@@ -64,6 +181,7 @@ impl TelemetrySnapshot {
             counters: CounterId::ALL.iter().map(|c| (c.name(), 0)).collect(),
             gauges: Vec::new(),
             helping_depth: vec![0; depth_buckets],
+            latency: OpKey::ALL.iter().map(|&k| LatencySeries::empty(k)).collect(),
         }
     }
 
@@ -104,6 +222,34 @@ impl TelemetrySnapshot {
             self.helping_depth.resize(d + 1, 0);
         }
         self.helping_depth[d] += n;
+    }
+
+    /// Add `n` samples to latency bucket `idx` of the `key` series (sheet
+    /// resolution, [`SHEET_SUB_BUCKET_BITS`]).
+    pub fn add_latency_bucket(&mut self, key: OpKey, idx: usize, n: u64) {
+        self.latency[key as usize].add_bucket(idx, n);
+    }
+
+    /// Fold per-thread `(count, sum, max, min)` stats into the `key`
+    /// series.
+    pub fn add_latency_stats(&mut self, key: OpKey, count: u64, sum: u64, max: u64, min: u64) {
+        self.latency[key as usize].add_stats(count, sum, max, min);
+    }
+
+    /// The latency series for one operation × path class.
+    pub fn latency(&self, key: OpKey) -> &LatencySeries {
+        &self.latency[key as usize]
+    }
+
+    /// Every latency series, in [`OpKey::ALL`] order.
+    pub fn latency_series(&self) -> &[LatencySeries] {
+        &self.latency
+    }
+
+    /// Total latency samples across every series (equals completed
+    /// operations, including empty dequeues, once quiesced).
+    pub fn latency_count(&self) -> u64 {
+        self.latency.iter().map(|s| s.count).sum()
     }
 
     /// A counter's total by id.
@@ -168,12 +314,19 @@ impl TelemetrySnapshot {
                 self.add_depth_bucket(d, n);
             }
         }
+        for series in &other.latency {
+            self.latency[series.key as usize].merge(series);
+        }
     }
 
     /// Prometheus text exposition format. Counter names are exported as
-    /// `turnq_<name>_total`, gauges as `turnq_<name>`, and the
-    /// helping-depth histogram as one `turnq_helping_depth{depth="d"}`
-    /// sample per non-empty bucket plus a `_count` convenience sample.
+    /// `turnq_<name>_total`, gauges as `turnq_<name>`, and the histograms
+    /// in proper cumulative form — `_bucket{le="..."}` samples ending in
+    /// `le="+Inf"`, plus `_sum` and `_count` — so real scrapers can
+    /// compute quantiles. `turnq_helping_depth` buckets are the depth
+    /// values themselves; `turnq_op_latency_ns` emits one series per
+    /// recorded operation × path class (`op`/`path` labels),
+    /// log-linear-bucketed in nanoseconds.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for &(name, v) in &self.counters {
@@ -185,17 +338,43 @@ impl TelemetrySnapshot {
             let _ = writeln!(out, "turnq_{name} {v}");
         }
         let _ = writeln!(out, "# TYPE turnq_helping_depth histogram");
+        let mut cum = 0u64;
         for (d, &n) in self.helping_depth.iter().enumerate() {
-            if n > 0 {
-                let _ = writeln!(out, "turnq_helping_depth{{depth=\"{d}\"}} {n}");
-            }
+            cum += n;
+            let _ = writeln!(out, "turnq_helping_depth_bucket{{le=\"{d}\"}} {cum}");
         }
-        let _ = writeln!(out, "turnq_helping_depth_count {}", self.helping_depth_count());
+        let _ = writeln!(out, "turnq_helping_depth_bucket{{le=\"+Inf\"}} {cum}");
+        let sum: u64 = self
+            .helping_depth
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| d as u64 * n)
+            .sum();
+        let _ = writeln!(out, "turnq_helping_depth_sum {sum}");
+        let _ = writeln!(out, "turnq_helping_depth_count {cum}");
+        let _ = writeln!(out, "# TYPE turnq_op_latency_ns histogram");
+        for series in &self.latency {
+            if series.count == 0 {
+                continue;
+            }
+            let labels = format!("op=\"{}\",path=\"{}\"", series.key.op(), series.key.path());
+            let mut cum = 0u64;
+            for &(idx, n) in &series.buckets {
+                cum += n;
+                let le = bucket_high(SHEET_SUB_BUCKET_BITS, idx);
+                let _ = writeln!(out, "turnq_op_latency_ns_bucket{{{labels},le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "turnq_op_latency_ns_bucket{{{labels},le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "turnq_op_latency_ns_sum{{{labels}}} {}", series.sum);
+            let _ = writeln!(out, "turnq_op_latency_ns_count{{{labels}}} {}", series.count);
+        }
         out
     }
 
     /// JSON object: `{"counters": {...}, "gauges": {...},
-    /// "helping_depth": [...]}`. Keys are the short metric names.
+    /// "helping_depth": [...], "latency": {...}}`. Keys are the short
+    /// metric names; each latency series reports count/sum/min/max and
+    /// the p50/p99/p999/p9999 quantiles (nanoseconds, 0 when empty).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, &(name, v)) in self.counters.iter().enumerate() {
@@ -218,7 +397,28 @@ impl TelemetrySnapshot {
             }
             let _ = write!(out, "{n}");
         }
-        out.push_str("]}");
+        out.push_str("],\"latency\":{");
+        for (i, series) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let q = |p: f64| series.quantile(p).unwrap_or(0);
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p99\":{},\"p999\":{},\"p9999\":{}}}",
+                series.key.name(),
+                series.count,
+                series.sum,
+                series.min(),
+                series.max,
+                q(0.50),
+                q(0.99),
+                q(0.999),
+                q(0.9999),
+            );
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -267,8 +467,69 @@ mod tests {
         let text = snap.to_prometheus();
         assert!(text.contains("turnq_enq_ops_total 42"));
         assert!(text.contains("turnq_queue_size 1"));
-        assert!(text.contains("turnq_helping_depth{depth=\"0\"} 42"));
+        assert!(text.contains("turnq_helping_depth_bucket{le=\"0\"} 42"));
         assert!(text.contains("turnq_helping_depth_count 42"));
+    }
+
+    #[test]
+    fn prometheus_histograms_are_cumulative_with_inf_sum_count() {
+        let mut snap = TelemetrySnapshot::empty(3);
+        // Depth histogram: 5 ops at depth 0, 2 at depth 2.
+        snap.add_depth_bucket(0, 5);
+        snap.add_depth_bucket(2, 2);
+        // One latency series: two samples, 3 ns and 100 ns.
+        snap.add_latency_bucket(OpKey::EnqFast, 3, 1);
+        snap.add_latency_bucket(
+            OpKey::EnqFast,
+            crate::latency::bucket_index(SHEET_SUB_BUCKET_BITS, 100),
+            1,
+        );
+        snap.add_latency_stats(OpKey::EnqFast, 2, 103, 100, 3);
+        let text = snap.to_prometheus();
+        // Buckets are cumulative and end at +Inf == _count.
+        assert!(text.contains("turnq_helping_depth_bucket{le=\"0\"} 5"), "{text}");
+        assert!(text.contains("turnq_helping_depth_bucket{le=\"1\"} 5"), "{text}");
+        assert!(text.contains("turnq_helping_depth_bucket{le=\"2\"} 7"), "{text}");
+        assert!(text.contains("turnq_helping_depth_bucket{le=\"+Inf\"} 7"), "{text}");
+        assert!(text.contains("turnq_helping_depth_sum 4"), "{text}"); // 0*5 + 2*2
+        assert!(text.contains("turnq_helping_depth_count 7"), "{text}");
+        // The old per-bucket gauge form is gone.
+        assert!(!text.contains("depth=\""), "{text}");
+        // Latency series carries op/path labels and the same invariants.
+        assert!(
+            text.contains("turnq_op_latency_ns_bucket{op=\"enq\",path=\"fast\",le=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("turnq_op_latency_ns_bucket{op=\"enq\",path=\"fast\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("turnq_op_latency_ns_sum{op=\"enq\",path=\"fast\"} 103"),
+            "{text}"
+        );
+        assert!(
+            text.contains("turnq_op_latency_ns_count{op=\"enq\",path=\"fast\"} 2"),
+            "{text}"
+        );
+        // Empty series are not exported (but the TYPE header is).
+        assert!(text.contains("# TYPE turnq_op_latency_ns histogram"));
+        assert!(!text.contains("path=\"seg_cell\""));
+    }
+
+    #[test]
+    fn latency_quantiles_interpolate_and_clamp() {
+        let mut snap = TelemetrySnapshot::empty(2);
+        // 10 samples of exactly 7 ns (range-0 bucket: exact).
+        snap.add_latency_bucket(OpKey::DeqSlow, 7, 10);
+        snap.add_latency_stats(OpKey::DeqSlow, 10, 70, 7, 7);
+        let s = snap.latency(OpKey::DeqSlow);
+        assert_eq!(s.quantile(0.0), Some(7));
+        assert_eq!(s.quantile(0.5), Some(7));
+        assert_eq!(s.quantile(1.0), Some(7));
+        assert_eq!(s.mean(), 7);
+        // Empty series answer None, not a panic.
+        assert_eq!(snap.latency(OpKey::EnqHelped).quantile(0.999), None);
     }
 
     #[test]
@@ -294,5 +555,7 @@ mod tests {
         assert!(names.iter().any(|n| n == "turnq_enq_ops_total"));
         assert!(names.iter().any(|n| n == "turnq_helping_depth"));
         assert!(names.iter().any(|n| n == "turnq_pool_hit_total"));
+        assert!(names.iter().any(|n| n == "turnq_op_latency_ns"));
+        assert!(names.iter().any(|n| n == "turnq_stall_dump_total"));
     }
 }

@@ -89,6 +89,30 @@ fn main() {
     // feature is off): op counts, helping pressure, CAS retries, hazard-
     // pointer and node-pool traffic. All threads are joined, so the
     // snapshot is exact — Prometheus text, ready to scrape or diff.
+    let snap = queue.telemetry_snapshot();
     println!("\n--- telemetry snapshot ---");
-    print!("{}", queue.telemetry_snapshot().to_prometheus());
+    print!("{}", snap.to_prometheus());
+
+    // Each operation also recorded its wall-clock latency, attributed to
+    // the path it actually took (fast append, consensus slow path, helped
+    // by another thread, segment cell). Per-path quantiles come straight
+    // out of the in-queue histograms — no external timing harness needed.
+    println!("\n--- op latency by path (ns) ---");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>8}",
+        "op_path", "count", "p50", "p99", "p999"
+    );
+    for series in snap.latency_series() {
+        if series.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<12} {:>10} {:>8} {:>8} {:>8}",
+            series.key().name(),
+            series.count(),
+            series.quantile(0.5).unwrap_or(0),
+            series.quantile(0.99).unwrap_or(0),
+            series.quantile(0.999).unwrap_or(0),
+        );
+    }
 }

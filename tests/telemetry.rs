@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use turnq_repro::telemetry::CounterId;
+use turnq_repro::telemetry::{CounterId, OpKey};
 use turnq_repro::TurnQueue;
 
 const THREADS: usize = 8;
@@ -179,6 +179,108 @@ fn registry_churn_balances_claims_and_releases() {
 }
 
 #[test]
+fn latency_samples_account_for_every_operation() {
+    let queue: Arc<TurnQueue<u64>> = Arc::new(TurnQueue::with_max_threads(THREADS + 1));
+    let _ = churn(&queue);
+    while queue.dequeue().is_some() {}
+
+    let snap = queue.telemetry_snapshot();
+    if turnq_telemetry::ENABLED {
+        // Every enqueue exits through exactly one path class.
+        let enq_samples: u64 = [OpKey::EnqFast, OpKey::EnqSlow, OpKey::EnqHelped, OpKey::EnqSegCell]
+            .iter()
+            .map(|&k| snap.latency(k).count())
+            .sum();
+        assert_eq!(
+            enq_samples,
+            snap.counter(CounterId::EnqOps),
+            "enqueue latency samples must partition completed enqueues"
+        );
+        // Dequeues record a latency whether or not they found an item.
+        let deq_samples: u64 = [OpKey::DeqFast, OpKey::DeqSlow, OpKey::DeqHelped, OpKey::DeqSegCell]
+            .iter()
+            .map(|&k| snap.latency(k).count())
+            .sum();
+        assert_eq!(
+            deq_samples,
+            snap.counter(CounterId::DeqOps) + snap.counter(CounterId::DeqEmpty),
+            "dequeue latency samples must cover item and empty returns"
+        );
+        // Quantiles are well-formed on every populated series.
+        for series in snap.latency_series() {
+            if series.count() == 0 {
+                continue;
+            }
+            let p50 = series.quantile(0.5).unwrap();
+            let p999 = series.quantile(0.999).unwrap();
+            assert!(series.min() <= p50 && p50 <= p999 && p999 <= series.max());
+        }
+    } else {
+        assert_eq!(snap.latency_count(), 0, "probe-off builds record nothing");
+        for key in OpKey::ALL {
+            assert_eq!(snap.latency(key).count(), 0);
+            assert_eq!(snap.latency(key).quantile(0.5), None);
+        }
+    }
+}
+
+#[test]
+fn seeded_stall_triggers_the_flight_recorder() {
+    // Threshold of 1 ns + an injected 100 µs busy-wait: every operation
+    // "stalls", so the flight recorder provably fires.
+    let queue: TurnQueue<u64> = TurnQueue::<u64>::builder()
+        .max_threads(2)
+        .stall_threshold_ns(1)
+        .inject_op_delay_for_tests(100_000)
+        .build();
+    queue.enqueue(7);
+    assert_eq!(queue.dequeue(), Some(7));
+
+    let snap = queue.telemetry_snapshot();
+    let reports = queue.telemetry().take_stall_reports();
+    if turnq_telemetry::ENABLED {
+        assert!(
+            snap.counter(CounterId::StallDump) >= 2,
+            "both ops overran the threshold: {}",
+            snap.counter(CounterId::StallDump)
+        );
+        assert!(!reports.is_empty(), "flight recorder must capture a dump");
+        let report = &reports[0];
+        assert!(report.contains("\"schema\":\"turnq-stall-report/1\""), "{report}");
+        assert!(report.contains("\"latency_ns\":"), "{report}");
+        assert!(report.contains("\"enq_open\":"), "{report}");
+        // The stalled thread's event trail is part of the black box: the
+        // first report is the enqueue's, so its trail ends at that op.
+        assert!(report.contains("\"stalled_thread_events\":["), "{report}");
+        assert!(report.contains("\"kind\":\"op_start\""), "{report}");
+        assert!(report.contains("\"kind\":\"op_finish\""), "{report}");
+        // Reports parse as JSON as far as our hand-rolled writer promises:
+        // balanced braces, no trailing comma before a close.
+        assert_eq!(
+            report.matches('{').count(),
+            report.matches('}').count(),
+            "unbalanced braces: {report}"
+        );
+        assert!(!report.contains(",]") && !report.contains(",}"), "{report}");
+    } else {
+        assert_eq!(snap.counter(CounterId::StallDump), 0);
+        assert!(reports.is_empty(), "probe-off builds never dump");
+    }
+}
+
+#[test]
+fn watchdog_off_by_default_records_no_dumps() {
+    let queue: TurnQueue<u64> = TurnQueue::with_max_threads(2);
+    for i in 0..100 {
+        queue.enqueue(i);
+    }
+    while queue.dequeue().is_some() {}
+    let snap = queue.telemetry_snapshot();
+    assert_eq!(snap.counter(CounterId::StallDump), 0);
+    assert!(queue.telemetry().take_stall_reports().is_empty());
+}
+
+#[test]
 fn exporters_agree_with_the_snapshot() {
     let queue: TurnQueue<u64> = TurnQueue::with_max_threads(2);
     for i in 0..100 {
@@ -191,8 +293,39 @@ fn exporters_agree_with_the_snapshot() {
     if turnq_telemetry::ENABLED {
         assert!(prom.contains("turnq_enq_ops_total 100"), "{prom}");
         assert!(json.contains("\"enq_ops\":100"), "{json}");
+        // The histograms are exposed in proper cumulative Prometheus form:
+        // every populated op/path series closes with an `le="+Inf"` bucket
+        // matching its `_count`, and bucket values never decrease.
+        assert!(prom.contains("# TYPE turnq_op_latency_ns histogram"), "{prom}");
+        for series in snap.latency_series().iter().filter(|s| s.count() > 0) {
+            let labels = format!(
+                "op=\"{}\",path=\"{}\"",
+                series.key().op(),
+                series.key().path()
+            );
+            let inf = format!(
+                "turnq_op_latency_ns_bucket{{{labels},le=\"+Inf\"}} {}",
+                series.count()
+            );
+            assert!(prom.contains(&inf), "missing {inf} in:\n{prom}");
+            let mut last = 0u64;
+            for line in prom.lines().filter(|l| {
+                l.starts_with("turnq_op_latency_ns_bucket") && l.contains(&labels)
+            }) {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "non-cumulative bucket: {line}\n{prom}");
+                last = v;
+            }
+            assert_eq!(last, series.count());
+        }
+        let depth_inf = format!(
+            "turnq_helping_depth_bucket{{le=\"+Inf\"}} {}",
+            snap.helping_depth_count()
+        );
+        assert!(prom.contains(&depth_inf), "{prom}");
     } else {
         assert!(prom.contains("turnq_enq_ops_total 0"));
         assert!(json.contains("\"enq_ops\":0"));
+        assert!(!prom.contains("turnq_op_latency_ns_bucket"), "{prom}");
     }
 }
