@@ -1,0 +1,245 @@
+//! Sharded front-end benchmark (DESIGN.md §6e): the Figure 2 pairs
+//! protocol — or the `--ratio=P:C` asymmetric variant — on the
+//! multi-lane [`ShardedTurnQueue`] versus a single [`SegTurnQueue`]
+//! baseline, across a high-thread-count sweep. This is the scalability
+//! claim of the sharded crate made reproducible: past the point where
+//! one head/tail pair saturates, N coordination-free lanes must pull
+//! ahead.
+//!
+//! One invocation writes the whole artifact — schema
+//! `turnq-bench-sharded/1` in docs/bench_format.md:
+//!
+//! ```text
+//! cargo run -q -p turnq-bench --release --bin bench_sharded -- \
+//!     --out=results/BENCH_sharded.json
+//! ```
+//!
+//! Extra flags beyond the common set: `--threads-list=8,16,32,64`,
+//! `--lanes=N` (requested lane count, resolved per thread count by
+//! [`split_lanes`]; default 8), `--ratio=P:C` (asymmetric
+//! producer:consumer protocol), `--seg-size=K` (per-lane and baseline
+//! segment size), `--out=PATH` (default `BENCH_sharded.json`, `-` prints
+//! to stdout).
+
+use std::fmt::Write as _;
+
+use turn_queue::{SegTurnQueue, TurnQueueBuilder};
+use turnq_bench::{banner, ratio, scale_from};
+use turnq_harness::stats::median;
+use turnq_harness::throughput::{pairs_once_on, ratio_once_on, split_lanes, split_ratio};
+use turnq_harness::{Args, Scale};
+use turnq_sharded::{ShardedBuilder, ShardedTurnQueue};
+
+/// Median ops/s plus the accumulated shard counters (zero for the
+/// single-queue baseline; the queue instance is reused across runs so the
+/// counters aggregate).
+struct Cell {
+    ops_per_sec: u64,
+    shard_enq_home: u64,
+    shard_deq_hit: u64,
+    shard_deq_steal: u64,
+    shard_sweep_empty: u64,
+}
+
+/// Drive `runs` protocol rounds against one queue and collect the cell.
+fn drive<Q: turnq_api::ConcurrentQueue<u64>>(
+    queue: &Q,
+    scale: &Scale,
+    threads: usize,
+    pc: Option<(usize, usize)>,
+    snapshot: impl FnOnce() -> Option<turnq_telemetry::TelemetrySnapshot>,
+) -> Cell {
+    let scale = Scale { threads, ..*scale };
+    let mut per_run = Vec::with_capacity(scale.runs);
+    for _ in 0..scale.runs {
+        per_run.push(match pc {
+            Some((p, c)) => {
+                let (prod, cons) = split_ratio(threads, p, c);
+                ratio_once_on(queue, &scale, prod, cons)
+            }
+            None => pairs_once_on(queue, &scale),
+        });
+    }
+    // Drain what the pairs protocol left in flight before reading the
+    // counters (once, after all runs — see bench_fastpath on why not
+    // between runs).
+    while queue.dequeue().is_some() {}
+    let get = |snap: &Option<turnq_telemetry::TelemetrySnapshot>, name: &str| {
+        snap.as_ref().map_or(0, |s| s.get(name))
+    };
+    let snap = snapshot();
+    Cell {
+        ops_per_sec: median(&per_run),
+        shard_enq_home: get(&snap, "shard_enq_home"),
+        shard_deq_hit: get(&snap, "shard_deq_hit"),
+        shard_deq_steal: get(&snap, "shard_deq_steal"),
+        shard_sweep_empty: get(&snap, "shard_sweep_empty"),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let base = scale_from(&args);
+    let pc = args.get_ratio("ratio");
+    let lanes_req = args.get_usize("lanes").unwrap_or(8);
+    let seg_size = args.get_usize("seg-size");
+    let mut threads: Vec<usize> = args
+        .get("threads-list")
+        .unwrap_or("8,16,32,64")
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads-list: bad thread count"))
+        .collect();
+    assert!(!threads.is_empty(), "--threads-list must name at least one count");
+    if pc.is_some() {
+        threads.retain(|&t| t >= 2);
+        assert!(!threads.is_empty(), "--ratio needs thread counts >= 2");
+    }
+
+    let protocol = match pc {
+        Some((p, c)) => format!("{p}:{c} producer:consumer throughput"),
+        None => "pairs throughput".to_string(),
+    };
+    banner(
+        &format!("Sharded front-end: {protocol}, {lanes_req}-lane sharded vs single turn-seg"),
+        &base,
+    );
+
+    let mut lanes = Vec::with_capacity(threads.len());
+    let mut ks = Vec::with_capacity(threads.len());
+    let mut sharded_cells = Vec::with_capacity(threads.len());
+    let mut single_cells = Vec::with_capacity(threads.len());
+    for &t in &threads {
+        let l = split_lanes(t, lanes_req);
+        lanes.push(l);
+        eprintln!("sharded: turn-sharded ({l} lanes) @ {t} threads ...");
+        let mut b = ShardedBuilder::new().lanes(l).max_threads(t);
+        if let Some(k) = seg_size {
+            b = b.seg_size(k);
+        }
+        let q: ShardedTurnQueue<u64> = b.build();
+        ks.push(q.relaxation_k());
+        sharded_cells.push(drive(&q, &base, t, pc, || Some(q.telemetry_snapshot())));
+        eprintln!("single:  turn-seg @ {t} threads ...");
+        let mut b = TurnQueueBuilder::new().max_threads(t);
+        if let Some(k) = seg_size {
+            b = b.seg_size(k);
+        }
+        let q: SegTurnQueue<u64> = b.build_seg();
+        single_cells.push(drive(&q, &base, t, pc, || None));
+    }
+
+    // Human-readable table.
+    println!(
+        "{:<10}{:>7}{:>16}{:>14}{:>10}{:>14}",
+        "threads", "lanes", "sharded ops/s", "single ops/s", "speedup", "steal share"
+    );
+    for (i, &t) in threads.iter().enumerate() {
+        let sh = &sharded_cells[i];
+        let si = &single_cells[i];
+        let deqs = sh.shard_deq_hit + sh.shard_deq_steal;
+        let steal = if deqs == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * sh.shard_deq_steal as f64 / deqs as f64)
+        };
+        println!(
+            "{t:<10}{:>7}{:>16}{:>14}{:>10}{steal:>14}",
+            lanes[i],
+            sh.ops_per_sec,
+            si.ops_per_sec,
+            ratio(sh.ops_per_sec, si.ops_per_sec),
+        );
+    }
+    println!();
+
+    let list = |f: &dyn Fn(usize) -> String| {
+        (0..threads.len()).map(f).collect::<Vec<_>>().join(", ")
+    };
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"turnq-bench-sharded/1\",");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"{}\",",
+        if pc.is_some() { "ratio" } else { "pairs" }
+    );
+    if let Some((p, c)) = pc {
+        let _ = writeln!(json, "  \"ratio\": \"{p}:{c}\",");
+    }
+    let _ = writeln!(json, "  \"threads\": [{}],", list(&|i| threads[i].to_string()));
+    let _ = writeln!(json, "  \"lanes\": [{}],", list(&|i| lanes[i].to_string()));
+    let _ = writeln!(json, "  \"relaxation_k\": [{}],", list(&|i| ks[i].to_string()));
+    let _ = writeln!(
+        json,
+        "  \"scale\": {{\"pairs\": {}, \"runs\": {}, \"work_spins\": {}}},",
+        base.pairs, base.runs, base.work_spins
+    );
+    // Lane-level contention relief only turns into wall-clock speedup when
+    // lanes actually run in parallel; record the hardware so readers (and
+    // CI validators) can interpret the speedup column (docs/bench_format.md).
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str("  \"modes\": {\n    \"sharded\": {\n");
+    let col = |f: &dyn Fn(&Cell) -> u64, cells: &[Cell]| {
+        cells.iter().map(|c| f(c).to_string()).collect::<Vec<_>>().join(", ")
+    };
+    let _ = writeln!(
+        json,
+        "      \"ops_per_sec\": [{}],",
+        col(&|c| c.ops_per_sec, &sharded_cells)
+    );
+    let _ = writeln!(
+        json,
+        "      \"shard_enq_home\": [{}],",
+        col(&|c| c.shard_enq_home, &sharded_cells)
+    );
+    let _ = writeln!(
+        json,
+        "      \"shard_deq_hit\": [{}],",
+        col(&|c| c.shard_deq_hit, &sharded_cells)
+    );
+    let _ = writeln!(
+        json,
+        "      \"shard_deq_steal\": [{}],",
+        col(&|c| c.shard_deq_steal, &sharded_cells)
+    );
+    let _ = writeln!(
+        json,
+        "      \"shard_sweep_empty\": [{}]",
+        col(&|c| c.shard_sweep_empty, &sharded_cells)
+    );
+    json.push_str("    },\n    \"single\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"ops_per_sec\": [{}]",
+        col(&|c| c.ops_per_sec, &single_cells)
+    );
+    json.push_str("    }\n  },\n");
+    let speedups: Vec<String> = sharded_cells
+        .iter()
+        .zip(&single_cells)
+        .map(|(sh, si)| {
+            if si.ops_per_sec == 0 {
+                "null".to_string()
+            } else {
+                format!("{:.3}", sh.ops_per_sec as f64 / si.ops_per_sec as f64)
+            }
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"speedup_sharded_over_single\": [{}]",
+        speedups.join(", ")
+    );
+    json.push_str("}\n");
+
+    let out = args.get("out").unwrap_or("BENCH_sharded.json");
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json).expect("write sharded artifact");
+        println!("wrote {out}");
+    }
+}

@@ -36,10 +36,16 @@
 //!    threshold.
 //! 6. `latency_conservation` — per-path latency sample counts exactly
 //!    partition the op counters (the attribution itself is audited).
+//! 7. `observed_drift` (sharded variant only) — every enqueued value is a
+//!    global ticket and every successful dequeue draws a stamp; the
+//!    maximum |ticket − stamp| over the soak must stay within the queue's
+//!    declared relaxation bound `k = lanes × lane_occupancy_bound`. A
+//!    lane the sweep stopped visiting would grow the gap without bound,
+//!    so this is the k-contract as a production gate (DESIGN.md §6e).
 //!
 //! Flags: `--duration-secs=N` (default 10), `--ratio=P:C` (default 3:2),
 //! `--burst-max=N` (default 32), `--latency-budget-ms=N` (default 250),
-//! `--variants=turn,turn_nofast,seg` (default all), `--out=PATH`
+//! `--variants=turn,turn_nofast,seg,sharded` (default all), `--out=PATH`
 //! (default `results/BENCH_soak.json`; `-` prints to stdout).
 
 use std::fmt::Write as _;
@@ -48,6 +54,7 @@ use std::time::{Duration, Instant};
 
 use turn_queue::{SegTurnQueue, TurnQueue};
 use turnq_harness::Args;
+use turnq_sharded::{ShardedBuilder, ShardedTurnQueue};
 use turnq_telemetry::{CounterId, OpKey, TelemetrySnapshot};
 
 /// The soak driver is generic over the queue variant through this minimal
@@ -91,6 +98,57 @@ impl SoakQueue for SegTurnQueue<u64> {
     }
 }
 
+impl SoakQueue for ShardedTurnQueue<u64> {
+    fn enqueue(&self, v: u64) {
+        ShardedTurnQueue::enqueue(self, v);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        ShardedTurnQueue::dequeue(self)
+    }
+    fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry_snapshot()
+    }
+    fn stall_reports(&self) -> Vec<String> {
+        self.take_stall_reports()
+    }
+}
+
+/// Global enqueue-ticket / dequeue-stamp pair behind the `observed_drift`
+/// SLO: every enqueued value *is* its ticket, every successful dequeue
+/// draws a stamp, and the running max of |ticket − stamp| records how far
+/// delivery strayed from arrival order. On the strict-FIFO variants the
+/// gap stays within the concurrency slack (in-flight ops reorder tickets
+/// by at most ~threads + backlog); on the sharded variant it is gated by
+/// the declared relaxation bound `k`.
+struct DriftMeter {
+    ticket: AtomicU64,
+    stamp: AtomicU64,
+    max_drift: AtomicU64,
+}
+
+impl DriftMeter {
+    fn new() -> DriftMeter {
+        DriftMeter {
+            ticket: AtomicU64::new(0),
+            stamp: AtomicU64::new(0),
+            max_drift: AtomicU64::new(0),
+        }
+    }
+
+    fn ticket(&self) -> u64 {
+        self.ticket.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn observe(&self, v: u64) {
+        let s = self.stamp.fetch_add(1, Ordering::Relaxed);
+        self.max_drift.fetch_max(v.abs_diff(s), Ordering::Relaxed);
+    }
+
+    fn max(&self) -> u64 {
+        self.max_drift.load(Ordering::Relaxed)
+    }
+}
+
 /// Soak configuration, fully resolved from the CLI.
 struct Config {
     duration: Duration,
@@ -119,7 +177,7 @@ impl Config {
                 * 1_000_000,
             variants: args
                 .get("variants")
-                .unwrap_or("turn,turn_nofast,seg")
+                .unwrap_or("turn,turn_nofast,seg,sharded")
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .collect(),
@@ -151,7 +209,7 @@ fn xorshift(state: &mut u64) -> u64 {
 
 /// Drive production-shaped traffic at `queue` for the configured
 /// duration; returns total ops (enq + deq attempts) for throughput.
-fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config) -> u64 {
+fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config, drift: &DriftMeter) -> u64 {
     let stop = AtomicBool::new(false);
     let ops = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -159,14 +217,13 @@ fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config) -> u64 {
             let (stop, ops) = (&stop, &ops);
             s.spawn(move || {
                 let mut rng = 0x9e37_79b9_7f4a_7c15_u64 ^ (p as u64 + 1);
-                let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    // Burst on: 1..=burst_max back-to-back enqueues.
+                    // Burst on: 1..=burst_max back-to-back enqueues, each
+                    // carrying its global arrival ticket (SLO 7).
                     let burst = xorshift(&mut rng) % cfg.burst_max + 1;
-                    for i in 0..burst {
-                        queue.enqueue((p as u64) << 32 | (local + i));
+                    for _ in 0..burst {
+                        queue.enqueue(drift.ticket());
                     }
-                    local += burst;
                     ops.fetch_add(burst, Ordering::Relaxed);
                     // Burst off: a short think-time gap.
                     for _ in 0..(xorshift(&mut rng) % 4) {
@@ -180,8 +237,9 @@ fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config) -> u64 {
             s.spawn(move || {
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    if queue.dequeue().is_none() {
-                        std::thread::yield_now();
+                    match queue.dequeue() {
+                        Some(v) => drift.observe(v),
+                        None => std::thread::yield_now(),
                     }
                     local += 1;
                     if local.is_multiple_of(1024) {
@@ -202,9 +260,9 @@ fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config) -> u64 {
                         inner.spawn(|| {
                             for i in 0..n {
                                 if i % 2 == 0 {
-                                    queue.enqueue(u64::MAX - i);
-                                } else {
-                                    let _ = queue.dequeue();
+                                    queue.enqueue(drift.ticket());
+                                } else if let Some(v) = queue.dequeue() {
+                                    drift.observe(v);
                                 }
                             }
                         });
@@ -219,9 +277,11 @@ fn soak<Q: SoakQueue>(queue: &Q, cfg: &Config) -> u64 {
         stop.store(true, Ordering::Relaxed);
     });
     // Drain so the final snapshot obeys enq_ops == deq_ops and the queue
-    // drops empty.
+    // drops empty. Drained items are late deliveries, not reordering: they
+    // still draw stamps so a backlogged-but-honest queue is not penalized.
     let mut drained = 0u64;
-    while queue.dequeue().is_some() {
+    while let Some(v) = queue.dequeue() {
+        drift.observe(v);
         drained += 1;
     }
     ops.load(Ordering::Relaxed) + drained
@@ -249,15 +309,25 @@ fn pool_probe<Q: SoakQueue>(queue: &Q, cfg: &Config) {
 
 /// Full per-variant drive: role-split soak, pre-probe snapshot, pool
 /// probe, final snapshot. Latency/depth/stall SLOs read the final
-/// snapshot (whole run); the pool SLO reads the probe-window delta.
+/// snapshot (whole run); the pool SLO reads the probe-window delta; the
+/// drift maximum is captured after the post-soak drain (the pool probe's
+/// symmetric pairs do not carry tickets and never touch the meter).
 fn drive<Q: SoakQueue>(
     queue: &Q,
     cfg: &Config,
-) -> (TelemetrySnapshot, TelemetrySnapshot, u64, Vec<String>) {
-    let ops = soak(queue, cfg);
+) -> (TelemetrySnapshot, TelemetrySnapshot, u64, Vec<String>, u64) {
+    let drift = DriftMeter::new();
+    let ops = soak(queue, cfg, &drift);
+    let observed_drift = drift.max();
     let pre_probe = queue.snapshot();
     pool_probe(queue, cfg);
-    (pre_probe, queue.snapshot(), ops, queue.stall_reports())
+    (
+        pre_probe,
+        queue.snapshot(),
+        ops,
+        queue.stall_reports(),
+        observed_drift,
+    )
 }
 
 /// One SLO verdict.
@@ -293,6 +363,7 @@ fn evaluate_slos(
     pre_probe: &TelemetrySnapshot,
     cfg: &Config,
     max_threads: usize,
+    drift_gate: Option<(u64, usize)>,
 ) -> Vec<Slo> {
     const ENQ: [OpKey; 4] = [
         OpKey::EnqFast,
@@ -320,7 +391,7 @@ fn evaluate_slos(
     let enq_drift = enq_samples.abs_diff(snap.counter(CounterId::EnqOps));
     let deq_drift = deq_samples
         .abs_diff(snap.counter(CounterId::DeqOps) + snap.counter(CounterId::DeqEmpty));
-    vec![
+    let mut slos = vec![
         slo("helping_depth_bound", depth, (max_threads - 1) as f64),
         slo("pool_miss_rate", miss_rate, 0.5),
         slo(
@@ -343,7 +414,13 @@ fn evaluate_slos(
             (enq_drift + deq_drift) as f64,
             0.0,
         ),
-    ]
+    ];
+    // SLO 7, k-relaxed variants only: the observed ticket/stamp gap must
+    // stay within the queue's declared relaxation bound.
+    if let Some((observed, k)) = drift_gate {
+        slos.push(slo("observed_drift", observed as f64, k as f64));
+    }
+    slos
 }
 
 /// Per-variant JSON fragment: op counters, per-path latency quantiles,
@@ -422,10 +499,28 @@ fn run_variant(name: &str, cfg: &Config) -> Option<String> {
         cfg.burst_max
     );
     let started = Instant::now();
-    let (pre_probe, snap, ops, reports) = match name {
+    // `Some(k)` marks a k-relaxed variant: its observed ticket/stamp drift
+    // is gated by SLO 7 at its own declared bound. Strict-FIFO variants
+    // still meter drift (the tickets are the workload values either way)
+    // but are not gated on it.
+    let mut relaxation_k = None;
+    let (pre_probe, snap, ops, reports, observed_drift) = match name {
         "turn" => drive(&builder.build::<u64>(), cfg),
         "turn_nofast" => drive(&builder.fast_tries(0).build::<u64>(), cfg),
         "seg" => drive(&builder.build_seg::<u64>(), cfg),
+        "sharded" => {
+            // Generous per-lane bound: the gate is for catastrophic lane
+            // starvation (a lane the sweep stopped visiting), not for the
+            // backlog wobble of a healthy run.
+            let q: ShardedTurnQueue<u64> = ShardedBuilder::new()
+                .lanes(4)
+                .max_threads(max_threads)
+                .lane_occupancy_bound(1 << 16)
+                .stall_threshold_ns(cfg.latency_budget_ns)
+                .build();
+            relaxation_k = Some(q.relaxation_k());
+            drive(&q, cfg)
+        }
         other => {
             eprintln!("soak: unknown variant '{other}' (skipped)");
             return None;
@@ -434,7 +529,13 @@ fn run_variant(name: &str, cfg: &Config) -> Option<String> {
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let ops_per_sec = (ops as f64 / elapsed) as u64;
     let slos = if turnq_telemetry::ENABLED {
-        evaluate_slos(&snap, &pre_probe, cfg, max_threads)
+        evaluate_slos(
+            &snap,
+            &pre_probe,
+            cfg,
+            max_threads,
+            relaxation_k.map(|k| (observed_drift, k)),
+        )
     } else {
         Vec::new() // nothing measurable to gate on
     };

@@ -98,6 +98,11 @@ pub struct TurnQueue<T> {
     /// frees, every enqueue allocates — the pre-pool behavior).
     pub(crate) pool: Arc<NodePool<T>>,
     pub(crate) registry: ThreadRegistry,
+    /// True when the registry was supplied through
+    /// [`TurnQueueBuilder::registry`]: its tallies belong to the external
+    /// owner and are excluded from this queue's snapshot (a sharded
+    /// front-end would otherwise fold the same registry once per lane).
+    registry_shared: bool,
     /// Observer-only telemetry sheet: op/helping/CAS-fail counters, the
     /// helping-depth histogram, and per-thread event rings. Shared (via
     /// handles) with the hazard domain and the node pool. Recording is
@@ -176,6 +181,7 @@ pub struct TurnQueueBuilder {
     /// Set by [`build_seg`](Self::build_seg)'s path only: the inner queue's
     /// node pool keeps ring payloads across recycling (see `pool.rs`).
     pub(crate) pool_retain_payload: bool,
+    registry: Option<ThreadRegistry>,
 }
 
 impl Default for TurnQueueBuilder {
@@ -192,6 +198,7 @@ impl Default for TurnQueueBuilder {
             seg_size: None,
             seg_drained_guard: true,
             pool_retain_payload: false,
+            registry: None,
         }
     }
 }
@@ -246,6 +253,24 @@ impl TurnQueueBuilder {
     /// off.
     pub fn fast_tries(mut self, tries: u32) -> Self {
         self.fast_tries = Some(tries);
+        self
+    }
+
+    /// Share an externally owned [`ThreadRegistry`] instead of creating a
+    /// private one. Queues built over the same registry see the same dense
+    /// thread index for a given thread (one TLS cache entry and one slot
+    /// claim per thread for the whole group) — the sharded front-end
+    /// (`turnq-sharded`) builds every lane over one registry so producer
+    /// lane affinity and each lane's consensus-array index agree.
+    ///
+    /// The registry's capacity must equal this builder's `max_threads`
+    /// (asserted at build: every per-thread array is indexed by the
+    /// registry's dense index). A queue sharing a registry does **not**
+    /// fold the registry tallies (`registry_registered`, `slot_claim`,
+    /// `slot_release`) into its [`telemetry_snapshot`](TurnQueue::telemetry_snapshot) —
+    /// the registry's owner reports them exactly once.
+    pub fn registry(mut self, registry: ThreadRegistry) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -331,12 +356,22 @@ impl TurnQueueBuilder {
             seg_size: _,
             seg_drained_guard: _,
             pool_retain_payload,
+            registry,
         } = self;
         assert!(max_threads >= 1, "max_threads must be at least 1");
         assert!(
             max_threads <= u32::MAX as usize,
             "max_threads must fit the node's enq_tid field"
         );
+        if let Some(reg) = &registry {
+            assert!(
+                reg.capacity() == max_threads,
+                "shared registry capacity {} must equal max_threads {max_threads} \
+                 (per-thread arrays are indexed by the registry's dense index)",
+                reg.capacity()
+            );
+        }
+        let registry_shared = registry.is_some();
         let pool_capacity = pool_capacity.unwrap_or_else(|| {
             if cfg!(feature = "node-pool") {
                 // One free list can then absorb the worst-case reclamation
@@ -397,7 +432,8 @@ impl TurnQueueBuilder {
             deqhelp,
             hp,
             pool,
-            registry: ThreadRegistry::new(max_threads),
+            registry: registry.unwrap_or_else(|| ThreadRegistry::new(max_threads)),
+            registry_shared,
             telemetry,
             backoff_spins,
             fast_tries,
@@ -535,9 +571,11 @@ impl<T> TurnQueue<T> {
             snap.add_counter("pool_overflow", pool.overflows);
             snap.set_gauge("pool_pooled_now", pool.pooled_now);
             snap.set_gauge("hp_retired_backlog", self.hp.retired_backlog() as u64);
-            snap.set_gauge("registry_registered", self.registry.registered_count() as u64);
-            snap.add_counter("slot_claim", self.registry.slot_claims());
-            snap.add_counter("slot_release", self.registry.slot_releases());
+            if !self.registry_shared {
+                snap.set_gauge("registry_registered", self.registry.registered_count() as u64);
+                snap.add_counter("slot_claim", self.registry.slot_claims());
+                snap.add_counter("slot_release", self.registry.slot_releases());
+            }
         }
         snap
     }

@@ -119,6 +119,40 @@ pub fn split_ratio(total: usize, p: usize, c: usize) -> (usize, usize) {
     })
 }
 
+/// Resolve a requested sharded lane count against a worker thread count
+/// (the `--lanes` sibling of [`try_split_ratio`], used by `bench_sharded`):
+/// lanes beyond the thread count's next power of two would only be swept,
+/// never fed, so the request is clamped down to it. `Err` with a usage
+/// message when the request is unusable: no threads, zero lanes, or a
+/// non-power-of-two count (which the sharded builder's affinity mask
+/// cannot express — surfaced here as a usage error instead of a panic).
+pub fn try_split_lanes(n_threads: usize, lanes: usize) -> Result<usize, String> {
+    if n_threads < 1 {
+        return Err(format!(
+            "a lane split needs at least 1 thread (got --threads={n_threads})"
+        ));
+    }
+    if lanes == 0 {
+        return Err("lane count must be >= 1 (got --lanes=0)".to_string());
+    }
+    if !lanes.is_power_of_two() {
+        return Err(format!(
+            "lane count must be a power of two (got --lanes={lanes}; producer \
+             affinity is a mask of the dense thread index)"
+        ));
+    }
+    Ok(lanes.min(n_threads.next_power_of_two()))
+}
+
+/// [`try_split_lanes`] for binaries: prints the error to stderr and exits
+/// with status 2 (a usage error, not a panic backtrace).
+pub fn split_lanes(n_threads: usize, lanes: usize) -> usize {
+    try_split_lanes(n_threads, lanes).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    })
+}
+
 /// Asymmetric producer:consumer protocol for one queue — the `--ratio`
 /// variant of the pairs benchmark (used by `bench_fastpath` and
 /// `figure2_throughput_pairs`; see docs/bench_format.md). The scale's
@@ -374,6 +408,30 @@ mod tests {
             let err = try_split_ratio(4, p, c).unwrap_err();
             assert!(err.contains("must be >= 1"), "{p}:{c}: {err}");
             assert!(err.contains(&format!("{p}:{c}")), "{p}:{c}: {err}");
+        }
+    }
+
+    #[test]
+    fn split_lanes_clamps_to_the_thread_count() {
+        assert_eq!(split_lanes(32, 8), 8);
+        assert_eq!(split_lanes(8, 8), 8);
+        // More lanes than threads could feed: clamped to the thread
+        // count's next power of two.
+        assert_eq!(split_lanes(4, 16), 4);
+        assert_eq!(split_lanes(6, 16), 8);
+        assert_eq!(split_lanes(1, 2), 1);
+    }
+
+    #[test]
+    fn split_lanes_rejects_bad_requests_with_clear_error() {
+        let err = try_split_lanes(0, 4).unwrap_err();
+        assert!(err.contains("at least 1 thread"), "{err}");
+        let err = try_split_lanes(8, 0).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        for lanes in [3, 6, 12] {
+            let err = try_split_lanes(8, lanes).unwrap_err();
+            assert!(err.contains("power of two"), "{lanes}: {err}");
+            assert!(err.contains(&format!("--lanes={lanes}")), "{lanes}: {err}");
         }
     }
 

@@ -1,5 +1,18 @@
 //! Wing & Gong linearizability search, specialised for FIFO queues with
 //! distinct values.
+//!
+//! Two oracle modes share one search:
+//!
+//! * **Strict FIFO** ([`check_history`]): a dequeue must return the model
+//!   queue's head, `None` only on an empty model — the paper's contract.
+//! * **k-relaxed FIFO** ([`check_history_relaxed`]): a dequeue may return
+//!   any of the first `k` pending enqueues, and `None` is legal iff fewer
+//!   than `k` items are pending at the linearization point. This is the
+//!   correctness currency of the sharded front-end (`turnq-sharded`,
+//!   DESIGN.md §6e): N FIFO lanes drained from lane heads drift by at most
+//!   `k = lanes × lane_occupancy_bound` positions, and a full-sweep empty
+//!   verdict can miss at most the same `k` items. `k = 1` degenerates to
+//!   the strict mode exactly (position 0 only; `None` iff length 0).
 
 use std::collections::{HashSet, VecDeque};
 
@@ -39,6 +52,25 @@ pub fn check_history(history: &History) -> CheckResult {
 
 /// [`check_history`] with an explicit search budget.
 pub fn check_history_bounded(history: &History, max_states: usize) -> CheckResult {
+    check_history_relaxed_bounded(history, 1, max_states)
+}
+
+/// Check a queue history against the k-relaxed FIFO oracle: a dequeue may
+/// return any of the first `k` pending enqueues, and `None` is legal iff
+/// the model holds fewer than `k` items at the linearization point.
+/// `k = 1` is exactly [`check_history`]. Same history requirements
+/// (complete, distinct values).
+pub fn check_history_relaxed(history: &History, k: usize) -> CheckResult {
+    check_history_relaxed_bounded(history, k, DEFAULT_MAX_STATES)
+}
+
+/// [`check_history_relaxed`] with an explicit search budget.
+pub fn check_history_relaxed_bounded(
+    history: &History,
+    k: usize,
+    max_states: usize,
+) -> CheckResult {
+    assert!(k >= 1, "relaxation bound k must be at least 1");
     let ops = history.sorted_by_start();
     // Fast structural rejections: a value dequeued twice or dequeued but
     // never enqueued can never linearize.
@@ -60,6 +92,7 @@ pub fn check_history_bounded(history: &History, max_states: usize) -> CheckResul
 
     let mut searcher = Searcher {
         ops: &ops,
+        k,
         seen: HashSet::new(),
         states: 0,
         max_states,
@@ -74,6 +107,9 @@ pub fn check_history_bounded(history: &History, max_states: usize) -> CheckResul
 
 struct Searcher<'a> {
     ops: &'a [OpRecord],
+    /// Relaxation bound: dequeues may take from the first `k` positions,
+    /// `None` requires length < `k`. 1 = strict FIFO.
+    k: usize,
     /// Memo of (linearized mask, queue contents) configurations already
     /// proven dead ends.
     seen: HashSet<(u64, Vec<u64>)>,
@@ -115,20 +151,28 @@ impl Searcher<'_> {
             if op.start > min_end {
                 continue; // some pending op finished strictly before this one began
             }
-            // Apply against the sequential queue model.
+            // Apply against the sequential k-relaxed queue model. A
+            // dequeued value must sit within the first `k` positions;
+            // `removed_at` remembers which so the undo reinserts exactly
+            // there (k = 1: position 0 and pop/push_front, the strict
+            // model).
+            let mut removed_at = 0usize;
             let applied = match op.kind {
                 OpKind::Enqueue(v) => {
                     queue.push_back(v);
                     true
                 }
-                OpKind::Dequeue(expected) => match (queue.front().copied(), expected) {
-                    (Some(f), Some(e)) if f == e => {
-                        queue.pop_front();
-                        true
+                OpKind::Dequeue(Some(e)) => {
+                    match queue.iter().take(self.k).position(|&q| q == e) {
+                        Some(p) => {
+                            removed_at = p;
+                            queue.remove(p);
+                            true
+                        }
+                        None => false,
                     }
-                    (None, None) => true,
-                    _ => false,
-                },
+                }
+                OpKind::Dequeue(None) => queue.len() < self.k,
             };
             if !applied {
                 continue;
@@ -145,7 +189,7 @@ impl Searcher<'_> {
                 OpKind::Enqueue(_) => {
                     queue.pop_back();
                 }
-                OpKind::Dequeue(Some(v)) => queue.push_front(v),
+                OpKind::Dequeue(Some(v)) => queue.insert(removed_at, v),
                 OpKind::Dequeue(None) => {}
             }
         }
@@ -282,6 +326,97 @@ mod tests {
                 OpKind::Enqueue(v) => model.push_back(v),
                 OpKind::Dequeue(Some(v)) => assert_eq!(model.pop_front(), Some(v)),
                 OpKind::Dequeue(None) => assert!(model.is_empty()),
+            }
+        }
+        assert_eq!(witness.len(), 4);
+    }
+
+    #[test]
+    fn relaxed_k_accepts_drift_within_k_only() {
+        // Strictly ordered enqueues 1,2,3; dequeue 2 first (position 1).
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Enqueue(2), 2, 3),
+            op(0, OpKind::Enqueue(3), 4, 5),
+            op(0, OpKind::Dequeue(Some(2)), 6, 7),
+            op(0, OpKind::Dequeue(Some(1)), 8, 9),
+            op(0, OpKind::Dequeue(Some(3)), 10, 11),
+        ]);
+        assert_eq!(check_history(&h), CheckResult::NotLinearizable);
+        assert_eq!(check_history_relaxed(&h, 1), CheckResult::NotLinearizable);
+        assert!(check_history_relaxed(&h, 2).is_ok());
+    }
+
+    #[test]
+    fn relaxed_rejects_over_k_drift() {
+        // Dequeue of the item at pending position 2 needs k >= 3 — the
+        // seeded over-k mutant the oracle must stay live against.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Enqueue(2), 2, 3),
+            op(0, OpKind::Enqueue(3), 4, 5),
+            op(0, OpKind::Dequeue(Some(3)), 6, 7),
+        ]);
+        assert_eq!(check_history_relaxed(&h, 2), CheckResult::NotLinearizable);
+        assert!(check_history_relaxed(&h, 3).is_ok());
+    }
+
+    #[test]
+    fn relaxed_none_requires_fewer_than_k_pending() {
+        // Two items pending when the None is the only orderable verdict:
+        // legal iff len < k, so k = 2 rejects and k = 3 accepts.
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Enqueue(2), 2, 3),
+            op(1, OpKind::Dequeue(None), 4, 5),
+        ]);
+        assert_eq!(check_history_relaxed(&h, 1), CheckResult::NotLinearizable);
+        assert_eq!(check_history_relaxed(&h, 2), CheckResult::NotLinearizable);
+        assert!(check_history_relaxed(&h, 3).is_ok());
+    }
+
+    #[test]
+    fn relaxed_still_rejects_structural_violations() {
+        // Relaxation never forgives loss, duplication, or invention.
+        let dup = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Dequeue(Some(1)), 2, 3),
+            op(1, OpKind::Dequeue(Some(1)), 2, 3),
+        ]);
+        assert_eq!(check_history_relaxed(&dup, 64), CheckResult::NotLinearizable);
+        let invented = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Dequeue(Some(9)), 2, 3),
+        ]);
+        assert_eq!(check_history_relaxed(&invented, 64), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn relaxed_witness_replays_against_the_relaxed_model() {
+        let h = History::new(vec![
+            op(0, OpKind::Enqueue(1), 0, 1),
+            op(0, OpKind::Enqueue(2), 2, 3),
+            op(0, OpKind::Dequeue(Some(2)), 4, 5),
+            op(0, OpKind::Dequeue(Some(1)), 6, 7),
+        ]);
+        let k = 2;
+        let CheckResult::Linearizable(witness) = check_history_relaxed(&h, k) else {
+            panic!("expected linearizable at k=2");
+        };
+        let ops = h.sorted_by_start();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for &i in &witness {
+            match ops[i].kind {
+                OpKind::Enqueue(v) => model.push_back(v),
+                OpKind::Dequeue(Some(v)) => {
+                    let p = model
+                        .iter()
+                        .take(k)
+                        .position(|&q| q == v)
+                        .expect("witness dequeued outside the first k");
+                    model.remove(p);
+                }
+                OpKind::Dequeue(None) => assert!(model.len() < k),
             }
         }
         assert_eq!(witness.len(), 4);

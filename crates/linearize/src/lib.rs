@@ -17,6 +17,9 @@ pub mod checker;
 pub mod history;
 pub mod recorder;
 
-pub use checker::{check_history, check_history_bounded, CheckResult};
+pub use checker::{
+    check_history, check_history_bounded, check_history_relaxed,
+    check_history_relaxed_bounded, CheckResult,
+};
 pub use history::{History, OpKind, OpRecord};
 pub use recorder::record_history;

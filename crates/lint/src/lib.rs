@@ -45,12 +45,13 @@ use report::{Finding, Report, Stats};
 /// Crates whose production `src/` trees answer to the protocol passes
 /// (`safety-rule`, `raw-ordering`, `ordering-*`). Everything else answers
 /// to `safety-comment` and `cfg-feature` only.
-pub const LINTED_CRATES: [&str; 5] = [
+pub const LINTED_CRATES: [&str; 6] = [
     "crates/core",
     "crates/hazard",
     "crates/kp",
     "crates/threadreg",
     "crates/baselines",
+    "crates/sharded",
 ];
 
 /// Top-level directories the workspace walk covers.

@@ -44,7 +44,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use turnq_linearize::{check_history_bounded, CheckResult, History, OpKind, OpRecord};
+use turnq_linearize::{check_history_relaxed_bounded, CheckResult, History, OpKind, OpRecord};
 use turnq_sync::rt::{self, Chooser, Decision, RunOutcome, ThreadPool};
 
 // The explorer only makes sense on the instrumented runtime.
@@ -108,6 +108,13 @@ pub struct Config {
     pub step_bound: Option<u64>,
     /// State budget for the linearizability checker.
     pub max_states: usize,
+    /// FIFO-relaxation bound `k` handed to the linearizability oracle:
+    /// a dequeue may return any of the first `k` pending enqueues, and a
+    /// `None` is legal iff fewer than `k` items are pending at the
+    /// linearization point (`turnq_linearize::check_history_relaxed`).
+    /// The default 1 is the strict FIFO oracle; sharded-queue scenarios
+    /// set it to `ShardedTurnQueue::relaxation_k()`.
+    pub relaxed_k: usize,
 }
 
 impl Default for Config {
@@ -121,6 +128,7 @@ impl Default for Config {
             step_limit: 100_000,
             step_bound: None,
             max_states: 2_000_000,
+            relaxed_k: 1,
         }
     }
 }
@@ -578,12 +586,20 @@ fn evaluate(
     }
     let history = logger.history();
     if !history.is_empty() {
-        match check_history_bounded(&history, cfg.max_states) {
+        match check_history_relaxed_bounded(&history, cfg.relaxed_k, cfg.max_states) {
             CheckResult::Linearizable(_) => {}
             CheckResult::NotLinearizable => {
                 return violation(
                     "not-linearizable",
-                    format!("history admits no legal FIFO linearization: {:?}", history.ops),
+                    format!(
+                        "history admits no legal {} linearization: {:?}",
+                        if cfg.relaxed_k == 1 {
+                            "FIFO".to_string()
+                        } else {
+                            format!("k-relaxed (k={}) FIFO", cfg.relaxed_k)
+                        },
+                        history.ops
+                    ),
                 );
             }
             CheckResult::Inconclusive => report.inconclusive += 1,
@@ -679,6 +695,25 @@ pub fn seg_step_bound(max_threads: usize, seg_size: usize) -> u64 {
     let mt = max_threads as u64;
     let k = seg_size as u64;
     turn_step_bound(max_threads) + (k + 8 + mt) * 16
+}
+
+/// Step bound for the sharded front-end (`turnq-sharded`, DESIGN.md §6e)
+/// under the same accounting as [`seg_step_bound`].
+///
+/// * **Enqueue** touches exactly one lane (one registry read for the home
+///   lane plus one lane enqueue), so its bound is the lane bound plus a
+///   small routing allowance.
+/// * **Dequeue** sweeps at most `lanes` lanes, each probe costing at most
+///   one full lane dequeue (the found-item case pays one; an all-empty
+///   sweep pays `lanes` empty probes, each far cheaper than a full
+///   dequeue but bounded by one here for slack), plus the owner-only
+///   cursor load/store.
+///
+/// The multiplier keeps the audit's shape honest: nothing grows with
+/// anything but `max_threads`, `seg_size`, and the configured `lanes`.
+pub fn sharded_step_bound(max_threads: usize, seg_size: usize, lanes: usize) -> u64 {
+    let lanes = lanes as u64;
+    lanes * seg_step_bound(max_threads, seg_size) + 8
 }
 
 /// Step bound for the Kogan–Petrank baseline under the same accounting.

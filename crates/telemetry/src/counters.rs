@@ -89,6 +89,18 @@ pub enum CounterId {
     /// Flight-recorder dumps: operations whose latency crossed the stall
     /// watchdog threshold and produced a black-box report.
     StallDump,
+    /// Sharded front-end: enqueues routed to the producer's home lane
+    /// (every sharded enqueue — affinity means there is no other route).
+    ShardEnqHome,
+    /// Sharded front-end: dequeues satisfied by the thread's rotating
+    /// cursor lane (first lane probed in the sweep).
+    ShardDeqHit,
+    /// Sharded front-end: dequeues satisfied by a later lane in the sweep
+    /// (stolen from another producer's home lane).
+    ShardDeqSteal,
+    /// Sharded front-end: full sweeps that observed every lane empty and
+    /// returned `None` (the relaxed-emptiness verdict, DESIGN.md §6e).
+    ShardSweepEmpty,
 }
 
 impl CounterId {
@@ -125,6 +137,10 @@ impl CounterId {
         CounterId::SegDeqAdvance,
         CounterId::SegCellPoison,
         CounterId::StallDump,
+        CounterId::ShardEnqHome,
+        CounterId::ShardDeqHit,
+        CounterId::ShardDeqSteal,
+        CounterId::ShardSweepEmpty,
     ];
 
     /// Short name, used as the key in snapshots and to derive the exported
@@ -162,12 +178,16 @@ impl CounterId {
             CounterId::SegDeqAdvance => "seg_deq_advance",
             CounterId::SegCellPoison => "seg_cell_poison",
             CounterId::StallDump => "stall_dump",
+            CounterId::ShardEnqHome => "shard_enq_home",
+            CounterId::ShardDeqHit => "shard_deq_hit",
+            CounterId::ShardDeqSteal => "shard_deq_steal",
+            CounterId::ShardSweepEmpty => "shard_sweep_empty",
         }
     }
 }
 
 /// Number of counters (row width of a telemetry sheet).
-pub const N_COUNTERS: usize = 31;
+pub const N_COUNTERS: usize = 35;
 
 #[cfg(test)]
 mod tests {

@@ -51,7 +51,7 @@ pub use latency::{OpKey, OpTimer, N_OP_KEYS};
 pub use sheet::{TelemetryHandle, TelemetrySheet};
 pub use snapshot::{
     all_metric_names, LatencySeries, TelemetrySnapshot, EXTRA_COUNTER_NAMES, GAUGE_NAMES,
-    HISTOGRAM_NAMES,
+    HISTOGRAM_NAMES, LANE_GAUGE_NAMES,
 };
 
 /// `true` when this build records (`probe` feature on). With probes off,

@@ -27,6 +27,11 @@ pub const GAUGE_NAMES: &[&str] = &[
     "queue_size",
 ];
 
+/// Lane-indexed gauge families (one value per queue lane, exported with a
+/// `lane="i"` label). Only the sharded front-end records these; every
+/// other queue leaves them absent.
+pub const LANE_GAUGE_NAMES: &[&str] = &["shard_lane_occupancy"];
+
 /// Histogram metric names (exported in cumulative Prometheus form:
 /// `_bucket{le=...}`/`_sum`/`_count`; `op_latency_ns` additionally
 /// carries `op`/`path` labels per series).
@@ -42,6 +47,7 @@ pub fn all_metric_names() -> Vec<String> {
         .collect();
     out.extend(EXTRA_COUNTER_NAMES.iter().map(|n| format!("turnq_{n}_total")));
     out.extend(GAUGE_NAMES.iter().map(|n| format!("turnq_{n}")));
+    out.extend(LANE_GAUGE_NAMES.iter().map(|n| format!("turnq_{n}")));
     out.extend(HISTOGRAM_NAMES.iter().map(|n| format!("turnq_{n}")));
     out
 }
@@ -167,6 +173,9 @@ pub struct TelemetrySnapshot {
     counters: Vec<(&'static str, u64)>,
     /// Point-in-time gauges folded in by the owner.
     gauges: Vec<(&'static str, u64)>,
+    /// Lane-indexed gauges: `(family, lane, value)` rows, ascending by
+    /// `(family, lane)`. Empty for every non-sharded queue.
+    lane_gauges: Vec<(&'static str, usize, u64)>,
     /// Helping-depth histogram; bucket `d` counts operations completed at
     /// observed depth `d`.
     helping_depth: Vec<u64>,
@@ -180,6 +189,7 @@ impl TelemetrySnapshot {
         TelemetrySnapshot {
             counters: CounterId::ALL.iter().map(|c| (c.name(), 0)).collect(),
             gauges: Vec::new(),
+            lane_gauges: Vec::new(),
             helping_depth: vec![0; depth_buckets],
             latency: OpKey::ALL.iter().map(|&k| LatencySeries::empty(k)).collect(),
         }
@@ -214,6 +224,36 @@ impl TelemetrySnapshot {
         } else {
             self.gauges.push((name, v));
         }
+    }
+
+    /// Set lane `lane` of the lane-indexed gauge family `name` to `v`
+    /// (must be listed in [`LANE_GAUGE_NAMES`]).
+    pub fn set_lane_gauge(&mut self, name: &'static str, lane: usize, v: u64) {
+        debug_assert!(
+            LANE_GAUGE_NAMES.contains(&name),
+            "unknown lane gauge {name:?} — add it to LANE_GAUGE_NAMES"
+        );
+        match self
+            .lane_gauges
+            .binary_search_by_key(&(name, lane), |&(n, l, _)| (n, l))
+        {
+            Ok(pos) => self.lane_gauges[pos].2 = v,
+            Err(pos) => self.lane_gauges.insert(pos, (name, lane, v)),
+        }
+    }
+
+    /// One lane's value in a lane-indexed gauge family (0 if absent).
+    pub fn lane_gauge(&self, name: &str, lane: usize) -> u64 {
+        self.lane_gauges
+            .iter()
+            .find(|&&(n, l, _)| n == name && l == lane)
+            .map_or(0, |&(_, _, v)| v)
+    }
+
+    /// All lane-gauge rows (`(family, lane, value)`), ascending by
+    /// `(family, lane)`.
+    pub fn lane_gauges(&self) -> &[(&'static str, usize, u64)] {
+        &self.lane_gauges
     }
 
     /// Add `n` to histogram bucket `d` (the snapshot grows to fit).
@@ -309,6 +349,10 @@ impl TelemetrySnapshot {
                 self.gauges.push((name, v));
             }
         }
+        for &(name, lane, v) in &other.lane_gauges {
+            let cur = self.lane_gauge(name, lane);
+            self.set_lane_gauge(name, lane, cur + v);
+        }
         for (d, &n) in other.helping_depth.iter().enumerate() {
             if n > 0 {
                 self.add_depth_bucket(d, n);
@@ -336,6 +380,14 @@ impl TelemetrySnapshot {
         for &(name, v) in &self.gauges {
             let _ = writeln!(out, "# TYPE turnq_{name} gauge");
             let _ = writeln!(out, "turnq_{name} {v}");
+        }
+        let mut last_family = "";
+        for &(name, lane, v) in &self.lane_gauges {
+            if name != last_family {
+                let _ = writeln!(out, "# TYPE turnq_{name} gauge");
+                last_family = name;
+            }
+            let _ = writeln!(out, "turnq_{name}{{lane=\"{lane}\"}} {v}");
         }
         let _ = writeln!(out, "# TYPE turnq_helping_depth histogram");
         let mut cum = 0u64;
@@ -389,6 +441,28 @@ impl TelemetrySnapshot {
                 out.push(',');
             }
             let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"lane_gauges\":{");
+        let mut first_lane_row = true;
+        let mut open_family = "";
+        for &(name, lane, v) in &self.lane_gauges {
+            if name != open_family {
+                if !open_family.is_empty() {
+                    out.push('}');
+                }
+                if !first_lane_row {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{{");
+                open_family = name;
+                first_lane_row = false;
+            } else {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{lane}\":{v}");
+        }
+        if !open_family.is_empty() {
+            out.push('}');
         }
         out.push_str("},\"helping_depth\":[");
         for (d, &n) in self.helping_depth.iter().enumerate() {
@@ -543,6 +617,34 @@ mod tests {
         assert!(json.contains("\"helping_depth\":[0,0]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn lane_gauges_merge_export_and_read_back() {
+        let mut a = TelemetrySnapshot::empty(2);
+        a.set_lane_gauge("shard_lane_occupancy", 1, 5);
+        a.set_lane_gauge("shard_lane_occupancy", 0, 2);
+        assert_eq!(a.lane_gauge("shard_lane_occupancy", 0), 2);
+        assert_eq!(a.lane_gauge("shard_lane_occupancy", 1), 5);
+        assert_eq!(a.lane_gauge("shard_lane_occupancy", 7), 0);
+        // Rows come back sorted by lane regardless of insertion order.
+        assert_eq!(
+            a.lane_gauges(),
+            &[("shard_lane_occupancy", 0, 2), ("shard_lane_occupancy", 1, 5)]
+        );
+
+        let mut b = TelemetrySnapshot::empty(2);
+        b.set_lane_gauge("shard_lane_occupancy", 1, 3);
+        a.merge(&b);
+        assert_eq!(a.lane_gauge("shard_lane_occupancy", 1), 8);
+
+        let text = a.to_prometheus();
+        assert!(text.contains("turnq_shard_lane_occupancy{lane=\"0\"} 2"), "{text}");
+        assert!(text.contains("turnq_shard_lane_occupancy{lane=\"1\"} 8"), "{text}");
+
+        let json = a.to_json();
+        assert!(json.contains("\"lane_gauges\":{\"shard_lane_occupancy\":{\"0\":2,\"1\":8}}"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`hazard`] — wait-free-bounded Hazard Pointers and Conditional Hazard
 //!   Pointers (`turnq-hazard`);
 //! * [`KPQueue`] — the Kogan–Petrank port with HP + CHP (`turnq-kp`);
+//! * [`ShardedTurnQueue`] — the coordination-free multi-lane front-end
+//!   with bounded k-relaxation (`turnq-sharded`, DESIGN.md §6e);
 //! * [`baselines`] — Michael–Scott, mutex, Vyukov MPSC, FAA-array
 //!   (`turnq-baselines`);
 //! * [`harness`] — the paper's measurement protocols (`turnq-harness`);
@@ -30,12 +32,14 @@ pub use turn_queue::{
     DEFAULT_MAX_THREADS, DEFAULT_SEG_SIZE,
 };
 pub use turnq_kp::KPQueue;
+pub use turnq_sharded::{ShardedBuilder, ShardedTurnFamily, ShardedTurnQueue};
 
 pub use turnq_api as api;
 pub use turnq_baselines as baselines;
 pub use turnq_harness as harness;
 pub use turnq_hazard as hazard;
 pub use turnq_linearize as linearize;
+pub use turnq_sharded as sharded;
 pub use turnq_telemetry as telemetry;
 pub use turnq_threadreg as threadreg;
 
