@@ -8,6 +8,7 @@
 //! exactly the trade the memory-unbounded MPMC queues of the paper refuse
 //! to make.
 
+use turnq_api::{Progress, QueueIntrospect, QueueProps, SizeReport};
 use turnq_sync::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
@@ -208,6 +209,34 @@ impl<T> Drop for SpscConsumer<'_, T> {
         // ORDERING(sr.endpoint-release): RELEASE — endpoint hand-back (see
         // producer drop). pairs=sr.endpoint-claim
         self.ring.consumer_claimed.store(false, ord::RELEASE);
+    }
+}
+
+impl<T> QueueIntrospect for SpscRing<T> {
+    fn props() -> QueueProps {
+        QueueProps {
+            name: "SPSC-ring",
+            // Both ends: a constant number of steps (§1.1's strongest
+            // class) — bought by refusing enqueues on a full ring.
+            progress_enqueue: Progress::WaitFreePopulationOblivious,
+            progress_dequeue: Progress::WaitFreePopulationOblivious,
+            consensus: "none (one thread per end)",
+            atomic_instructions: "none (load/store)",
+            reclamation: "none (pre-allocated ring)",
+            min_memory: "O(capacity)",
+        }
+    }
+
+    fn size_report() -> SizeReport {
+        SizeReport {
+            // No list nodes: one bare item slot per ring entry.
+            node_bytes: 0,
+            enqueue_request_bytes: 0,
+            dequeue_request_bytes: 0,
+            fixed_per_thread_bytes: 0, // endpoints borrow the ring
+            min_heap_allocs_per_item: 0,
+            steady_state_allocs_per_item: 0,
+        }
     }
 }
 

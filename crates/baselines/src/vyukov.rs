@@ -11,6 +11,7 @@
 //! Included as a comparison point for the MPSC variant of the Turn queue
 //! (whose enqueue is wait-free *bounded* and never disconnects the list).
 
+use turnq_api::{Progress, QueueIntrospect, QueueProps, SizeReport};
 use turnq_sync::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::ptr;
@@ -172,6 +173,33 @@ impl<T> Drop for VyukovConsumer<'_, T> {
         // orders our pop_end writes before the next claimer's acquire CAS.
         // pairs=vy.consumer-claim
         self.queue.consumer_claimed.store(false, ord::RELEASE);
+    }
+}
+
+impl<T> QueueIntrospect for VyukovMpscQueue<T> {
+    fn props() -> QueueProps {
+        QueueProps {
+            name: "Vyukov",
+            // One swap + one store, regardless of contention.
+            progress_enqueue: Progress::WaitFreePopulationOblivious,
+            // §1: a lagging enqueuer blocks every dequeue past its gap.
+            progress_dequeue: Progress::Blocking,
+            consensus: "swap on push end",
+            atomic_instructions: "XCHG",
+            reclamation: "consumer-only free",
+            min_memory: "O(1)",
+        }
+    }
+
+    fn size_report() -> SizeReport {
+        SizeReport {
+            node_bytes: std::mem::size_of::<VNode<u64>>(),
+            enqueue_request_bytes: 0,
+            dequeue_request_bytes: 0,
+            fixed_per_thread_bytes: 0, // endpoints borrow the queue
+            min_heap_allocs_per_item: 1,
+            steady_state_allocs_per_item: 1, // no recycling layer
+        }
     }
 }
 

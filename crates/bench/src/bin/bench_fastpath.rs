@@ -146,6 +146,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"turnq-bench-fastpath/1\",");
+    json.push_str(&turnq_bench::hardware_json_lines());
     let _ = writeln!(
         json,
         "  \"benchmark\": \"{}\",",

@@ -142,6 +142,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"turnq-bench-orderings/1\",");
+    json.push_str(&turnq_bench::hardware_json_lines());
     let _ = writeln!(json, "  \"benchmark\": \"pairs\",");
     json.push_str("  \"modes\": {\n");
     let _ = write!(json, "    \"{mode}\": {section}");

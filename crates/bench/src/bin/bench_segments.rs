@@ -152,6 +152,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"turnq-bench-segments/1\",");
+    json.push_str(&turnq_bench::hardware_json_lines());
     let _ = writeln!(
         json,
         "  \"benchmark\": \"{}\",",

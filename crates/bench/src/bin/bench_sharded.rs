@@ -176,11 +176,7 @@ fn main() {
     // Lane-level contention relief only turns into wall-clock speedup when
     // lanes actually run in parallel; record the hardware so readers (and
     // CI validators) can interpret the speedup column (docs/bench_format.md).
-    let _ = writeln!(
-        json,
-        "  \"hardware_threads\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
+    json.push_str(&turnq_bench::hardware_json_lines());
     json.push_str("  \"modes\": {\n    \"sharded\": {\n");
     let col = |f: &dyn Fn(&Cell) -> u64, cells: &[Cell]| {
         cells.iter().map(|c| f(c).to_string()).collect::<Vec<_>>().join(", ")

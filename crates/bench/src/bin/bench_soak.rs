@@ -45,7 +45,8 @@
 //!
 //! Flags: `--duration-secs=N` (default 10), `--ratio=P:C` (default 3:2),
 //! `--burst-max=N` (default 32), `--latency-budget-ms=N` (default 250),
-//! `--variants=turn,turn_nofast,seg,sharded` (default all), `--out=PATH`
+//! `--variants=turn,turn_nofast,seg,sharded,bounded` (default all),
+//! `--out=PATH`
 //! (default `results/BENCH_soak.json`; `-` prints to stdout).
 
 use std::fmt::Write as _;
@@ -53,6 +54,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use turn_queue::{SegTurnQueue, TurnQueue};
+use turnq_bounded::{BoundedBuilder, BoundedQueue, MAX_CAPACITY};
 use turnq_harness::Args;
 use turnq_sharded::{ShardedBuilder, ShardedTurnQueue};
 use turnq_telemetry::{CounterId, OpKey, TelemetrySnapshot};
@@ -95,6 +97,24 @@ impl SoakQueue for SegTurnQueue<u64> {
     }
     fn stall_reports(&self) -> Vec<String> {
         self.telemetry().take_stall_reports()
+    }
+}
+
+impl SoakQueue for BoundedQueue<u64> {
+    fn enqueue(&self, v: u64) {
+        // The spinning adapter: backpressure (`Full`) throttles the
+        // producers instead of growing a backlog — the bounded variant's
+        // production shape.
+        <BoundedQueue<u64> as turnq_api::ConcurrentQueue<u64>>::enqueue(self, v);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        self.try_dequeue()
+    }
+    fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry().snapshot()
+    }
+    fn stall_reports(&self) -> Vec<String> {
+        Vec::new() // no stall watchdog: the ring has no unbounded waits
     }
 }
 
@@ -177,7 +197,7 @@ impl Config {
                 * 1_000_000,
             variants: args
                 .get("variants")
-                .unwrap_or("turn,turn_nofast,seg,sharded")
+                .unwrap_or("turn,turn_nofast,seg,sharded,bounded")
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .collect(),
@@ -508,6 +528,16 @@ fn run_variant(name: &str, cfg: &Config) -> Option<String> {
         "turn" => drive(&builder.build::<u64>(), cfg),
         "turn_nofast" => drive(&builder.fast_tries(0).build::<u64>(), cfg),
         "seg" => drive(&builder.build_seg::<u64>(), cfg),
+        "bounded" => {
+            // Max ring capacity: the soak's burst backlog regularly
+            // exceeds it, so the variant exercises real backpressure
+            // (producers spin on `Full`) — strict FIFO, not drift-gated.
+            let q: BoundedQueue<u64> = BoundedBuilder::new()
+                .capacity(MAX_CAPACITY)
+                .max_threads(max_threads)
+                .build();
+            drive(&q, cfg)
+        }
         "sharded" => {
             // Generous per-lane bound: the gate is for catastrophic lane
             // starvation (a lane the sweep stopped visiting), not for the
@@ -578,6 +608,7 @@ fn main() {
     let all_pass = !fragments.iter().any(|f| f.ends_with("\"pass\": false}"));
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"turnq-bench-soak/1\",");
+    json.push_str(&turnq_bench::hardware_json_lines());
     let _ = writeln!(
         json,
         "  \"telemetry_enabled\": {},",

@@ -58,6 +58,7 @@ fn main() {
     // docs/bench_format.md).
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"turnq-bench-telemetry/1\",");
+    json.push_str(&turnq_bench::hardware_json_lines());
     let _ = writeln!(json, "  \"benchmark\": \"pairs\",");
     let _ = writeln!(
         json,

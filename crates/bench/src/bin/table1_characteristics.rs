@@ -5,8 +5,28 @@
 //! drift from the code. Rows for FK and YMC (which this repository does
 //! not implement — the paper excludes both from all measurements) are
 //! printed from the paper's own text for completeness.
+//!
+//! Beyond the `--queues=` MPMC set, the table always carries the
+//! memory-bounded comparison rows (`turnq-bounded` plus the Vyukov MPSC
+//! and SPSC-ring baselines) so the bounded ring is read against the
+//! designs it actually competes with, not only the unbounded queues.
 
+use turnq_api::{QueueIntrospect, QueueProps};
+use turnq_baselines::{SpscRing, VyukovMpscQueue};
+use turnq_bounded::BoundedQueue;
 use turnq_harness::{Args, QueueKind, Table};
+
+fn add_props_row(table: &mut Table, p: QueueProps) {
+    table.add_row(vec![
+        p.name.to_string(),
+        p.progress_enqueue.to_string(),
+        p.progress_dequeue.to_string(),
+        p.consensus.to_string(),
+        p.atomic_instructions.to_string(),
+        p.reclamation.to_string(),
+        p.min_memory.to_string(),
+    ]);
+}
 
 fn main() {
     let args = Args::from_env();
@@ -23,17 +43,14 @@ fn main() {
         "min memory",
     ]);
     for kind in kinds {
-        let p = kind.props();
-        table.add_row(vec![
-            p.name.to_string(),
-            p.progress_enqueue.to_string(),
-            p.progress_dequeue.to_string(),
-            p.consensus.to_string(),
-            p.atomic_instructions.to_string(),
-            p.reclamation.to_string(),
-            p.min_memory.to_string(),
-        ]);
+        add_props_row(&mut table, kind.props());
     }
+    // The memory-bounded designs (not part of the unbounded-MPMC
+    // `QueueKind` dispatch: Vyukov is MPSC, the ring is SPSC, and the
+    // bounded MPMC ring can refuse an enqueue).
+    add_props_row(&mut table, BoundedQueue::<u64>::props());
+    add_props_row(&mut table, VyukovMpscQueue::<u64>::props());
+    add_props_row(&mut table, SpscRing::<u64>::props());
     println!("{table}");
 
     println!("not implemented here (excluded from all of the paper's own benchmarks, §4):");

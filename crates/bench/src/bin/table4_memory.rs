@@ -8,11 +8,110 @@
 //! balance after dropping the queue doubles as a leak check (the test the
 //! FK queue fails per §4).
 
-use turnq_harness::memusage::{alloc_snapshot, measure_memory};
+use turnq_api::{QueueIntrospect, SizeReport};
+use turnq_baselines::{SpscRing, VyukovMpscQueue};
+use turnq_bounded::BoundedFamily;
+use turnq_harness::memusage::{alloc_snapshot, measure_family, measure_memory, MemMeasurement};
 use turnq_harness::{Args, QueueKind, Table};
 
 #[global_allocator]
 static ALLOC: turnq_harness::CountingAllocator = turnq_harness::CountingAllocator;
+
+/// `measure_family`'s two-window protocol on the Vyukov queue's native
+/// endpoint API (it is MPSC, so it cannot sit behind the MPMC
+/// `QueueFamily` dispatch).
+fn measure_vyukov(items: u64) -> MemMeasurement {
+    let q: VyukovMpscQueue<u64> = VyukovMpscQueue::new();
+    q.enqueue(0);
+    let mut rx = q.consumer().expect("consumer free");
+    let _ = rx.dequeue();
+
+    let before = alloc_snapshot();
+    for i in 0..items {
+        q.enqueue(i);
+        let got = rx.dequeue();
+        debug_assert_eq!(got, Some(i));
+    }
+    let mid = alloc_snapshot();
+    for i in 0..items {
+        q.enqueue(i);
+        let got = rx.dequeue();
+        debug_assert_eq!(got, Some(i));
+    }
+    let steady = alloc_snapshot();
+    drop(rx);
+    drop(q);
+    let after = alloc_snapshot();
+
+    MemMeasurement {
+        allocs_per_item: (mid.allocs - before.allocs) as f64 / items as f64,
+        steady_allocs_per_item: (steady.allocs - mid.allocs) as f64 / items as f64,
+        leaked_allocs: (after.allocs - before.allocs) as i64
+            - (after.frees - before.frees) as i64,
+        pool: None,
+    }
+}
+
+/// The same two-window protocol on the SPSC ring's native endpoints.
+fn measure_spsc(items: u64) -> MemMeasurement {
+    let ring: SpscRing<u64> = SpscRing::with_capacity(1024);
+    let (mut tx, mut rx) = ring.split().expect("endpoints free");
+    tx.try_enqueue(0).expect("ring not full");
+    let _ = rx.dequeue();
+
+    let before = alloc_snapshot();
+    for i in 0..items {
+        tx.try_enqueue(i).expect("ring not full");
+        let got = rx.dequeue();
+        debug_assert_eq!(got, Some(i));
+    }
+    let mid = alloc_snapshot();
+    for i in 0..items {
+        tx.try_enqueue(i).expect("ring not full");
+        let got = rx.dequeue();
+        debug_assert_eq!(got, Some(i));
+    }
+    let steady = alloc_snapshot();
+    drop(tx);
+    drop(rx);
+    drop(ring);
+    let after = alloc_snapshot();
+
+    MemMeasurement {
+        allocs_per_item: (mid.allocs - before.allocs) as f64 / items as f64,
+        steady_allocs_per_item: (steady.allocs - mid.allocs) as f64 / items as f64,
+        leaked_allocs: (after.allocs - before.allocs) as i64
+            - (after.frees - before.frees) as i64,
+        pool: None,
+    }
+}
+
+fn add_measured_row(table: &mut Table, name: &str, r: SizeReport, m: MemMeasurement) {
+    table.add_row(vec![
+        name.to_string(),
+        r.node_bytes.to_string(),
+        r.enqueue_request_bytes.to_string(),
+        r.dequeue_request_bytes.to_string(),
+        r.fixed_per_thread_bytes.to_string(),
+        format!(
+            "{:.2} (min {})",
+            m.allocs_per_item, r.min_heap_allocs_per_item
+        ),
+        format!(
+            "{:.4} (claim {})",
+            m.steady_allocs_per_item, r.steady_state_allocs_per_item
+        ),
+        match m.pool {
+            Some(p) => format!(
+                "{:.1}% ({} recycled)",
+                p.hit_rate() * 100.0,
+                p.recycled
+            ),
+            None => "-".to_string(),
+        },
+        m.leaked_allocs.to_string(),
+    ]);
+}
 
 fn main() {
     let args = Args::from_env();
@@ -32,34 +131,41 @@ fn main() {
         "leak after drop",
     ]);
     for &kind in &kinds {
-        let r = kind.size_report();
         eprintln!("measuring allocations for {} ({items} items) ...", kind.name());
-        let m = measure_memory(kind, items);
-        table.add_row(vec![
-            kind.name().to_string(),
-            r.node_bytes.to_string(),
-            r.enqueue_request_bytes.to_string(),
-            r.dequeue_request_bytes.to_string(),
-            r.fixed_per_thread_bytes.to_string(),
-            format!(
-                "{:.2} (min {})",
-                m.allocs_per_item, r.min_heap_allocs_per_item
-            ),
-            format!(
-                "{:.4} (claim {})",
-                m.steady_allocs_per_item, r.steady_state_allocs_per_item
-            ),
-            match m.pool {
-                Some(p) => format!(
-                    "{:.1}% ({} recycled)",
-                    p.hit_rate() * 100.0,
-                    p.recycled
-                ),
-                None => "-".to_string(),
-            },
-            m.leaked_allocs.to_string(),
-        ]);
+        add_measured_row(
+            &mut table,
+            kind.name(),
+            kind.size_report(),
+            measure_memory(kind, items),
+        );
     }
+    // The memory-bounded comparison rows (outside the `--queues=` MPMC
+    // dispatch: Vyukov is MPSC, the ring is SPSC, and the bounded MPMC
+    // ring is pre-allocated — see table1). The measured columns make the
+    // contrast the point: 0.0000 steady allocs/item against the node
+    // queues' per-item heap traffic.
+    use turnq_api::QueueFamily;
+    eprintln!("measuring allocations for Bounded ({items} items) ...");
+    add_measured_row(
+        &mut table,
+        "Bounded",
+        <BoundedFamily as QueueFamily>::Queue::<u64>::size_report(),
+        measure_family::<BoundedFamily>(items),
+    );
+    eprintln!("measuring allocations for Vyukov ({items} items) ...");
+    add_measured_row(
+        &mut table,
+        "Vyukov",
+        VyukovMpscQueue::<u64>::size_report(),
+        measure_vyukov(items),
+    );
+    eprintln!("measuring allocations for SPSC-ring ({items} items) ...");
+    add_measured_row(
+        &mut table,
+        "SPSC-ring",
+        SpscRing::<u64>::size_report(),
+        measure_spsc(items),
+    );
     println!("{table}");
     println!("paper reference (Table 4):");
     println!("  KP:   node 24, req 80/80, fixed 8/thread, 5+ allocs/item (Java OpDesc = 80 B;");

@@ -31,6 +31,38 @@ pub fn scale_from(args: &Args) -> Scale {
     base.apply_args(args)
 }
 
+/// Hardware threads visible to this process — every JSON artifact records
+/// it (schema requirement, docs/bench_format.md): absolute numbers are
+/// environment-dependent, and a validator or reader interpreting a
+/// speedup column needs to know how much real parallelism backed it.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// CPU model string when the platform exposes one (`/proc/cpuinfo`'s
+/// `model name` on Linux); `None` elsewhere. Recorded next to
+/// [`hardware_threads`] in every artifact when readable.
+pub fn cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let line = info.lines().find(|l| l.starts_with("model name"))?;
+    let model = line.split(':').nth(1)?.trim();
+    if model.is_empty() {
+        return None;
+    }
+    Some(model.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// The shared `"hardware_threads": …[, "cpu_model": …]` JSON fragment —
+/// two spaces of indentation, no trailing newline after the last line;
+/// callers append it as top-level object members.
+pub fn hardware_json_lines() -> String {
+    let mut s = format!("  \"hardware_threads\": {},\n", hardware_threads());
+    if let Some(model) = cpu_model() {
+        s.push_str(&format!("  \"cpu_model\": \"{model}\",\n"));
+    }
+    s
+}
+
 /// `x.yz×` ratio formatting used by the Figure 2/3 ratio panels.
 pub fn ratio(numerator: u64, denominator: u64) -> String {
     if denominator == 0 {

@@ -98,7 +98,7 @@ pub struct MemMeasurement {
 /// (cold, then steady-state), excluding construction.
 pub fn measure_memory(kind: QueueKind, items: u64) -> MemMeasurement {
     assert!(items > 0);
-    with_queue_family!(kind, F => measure_generic::<F>(items))
+    with_queue_family!(kind, F => measure_family::<F>(items))
 }
 
 /// Compatibility wrapper for [`measure_memory`]: `(allocs_per_item,
@@ -108,7 +108,10 @@ pub fn measure_allocs_per_item(kind: QueueKind, items: u64) -> (f64, i64) {
     (m.allocs_per_item, m.leaked_allocs)
 }
 
-fn measure_generic<F: QueueFamily>(items: u64) -> MemMeasurement {
+/// [`measure_memory`] for a [`QueueFamily`] outside the [`QueueKind`]
+/// dispatch table (e.g. `turnq-bounded`, which the harness crate cannot
+/// depend on without a cycle).
+pub fn measure_family<F: QueueFamily>(items: u64) -> MemMeasurement {
     let queue = F::with_max_threads::<u64>(2);
     // Warm the structure (first ops may lazily allocate registry slots).
     queue.enqueue(0);

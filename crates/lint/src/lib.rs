@@ -45,13 +45,14 @@ use report::{Finding, Report, Stats};
 /// Crates whose production `src/` trees answer to the protocol passes
 /// (`safety-rule`, `raw-ordering`, `ordering-*`). Everything else answers
 /// to `safety-comment` and `cfg-feature` only.
-pub const LINTED_CRATES: [&str; 6] = [
+pub const LINTED_CRATES: [&str; 7] = [
     "crates/core",
     "crates/hazard",
     "crates/kp",
     "crates/threadreg",
     "crates/baselines",
     "crates/sharded",
+    "crates/bounded",
 ];
 
 /// Top-level directories the workspace walk covers.

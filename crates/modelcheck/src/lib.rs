@@ -725,6 +725,35 @@ pub fn kp_step_bound(max_threads: usize) -> u64 {
     6 * turn_step_bound(max_threads)
 }
 
+/// Step bound for the bounded MPMC ring (`turnq-bounded`, DESIGN.md §6f)
+/// under the same accounting as [`turn_step_bound`].
+///
+/// Derivation (constants generous, shape is what the audit pins — the
+/// terms grow only with `max_threads` and the configured `capacity`):
+///
+/// * **Helping scan + defer window** — every operation scans the
+///   `max_threads` request slots (one load, at most one verdict CAS each)
+///   and spins a constant defer window: `2·mt + 64`;
+/// * **One ring operation** (index pop or index push) — the requester
+///   runs FAA-claimed rounds on a ring of `n = 2·capacity` entries. A
+///   round is one FAA, one entry load, ≤ 3 entry CAS arms, and the
+///   threshold/catchup accounting — ≤ 16 accesses. Rounds are bounded by
+///   the threshold mechanism: the counter starts at `3·capacity − 1`,
+///   every failed round decrements it, and only enqueuers already past
+///   their install (≤ one in-flight per other thread, the defer window's
+///   contribution) can reset it — ≤ `3·n + mt + 8` rounds:
+///   `(3·n + mt + 8)·16`;
+/// * an enqueue or dequeue is **two** ring operations (free-index pop +
+///   allocated-index push, or the mirror image) plus request-slot
+///   publish/unpublish bookkeeping: `2·ring_op + 16`.
+pub fn bounded_step_bound(max_threads: usize, capacity: usize) -> u64 {
+    let mt = max_threads as u64;
+    let n = 2 * capacity as u64;
+    let help = 2 * mt + 64;
+    let ring_op = (3 * n + mt + 8) * 16;
+    help + 2 * ring_op + 16
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -856,6 +885,23 @@ mod tests {
         for mt in 2..16 {
             assert!(turn_step_bound(mt) < turn_step_bound(mt + 1));
             assert!(turn_step_bound(2 * mt) < 8 * turn_step_bound(mt));
+        }
+    }
+
+    #[test]
+    fn bounded_step_bound_is_linear_in_threads_and_capacity() {
+        // Spot-check the documented closed form at mt = 2, capacity = 2
+        // (n = 4): help 68 + 2·(12+2+8)·16 + 16.
+        assert_eq!(bounded_step_bound(2, 2), 68 + 2 * ((12 + 2 + 8) * 16) + 16);
+        // Monotone in both arguments, linear-bounded: doubling either
+        // input less than triples the bound.
+        for mt in 1..16 {
+            for cap in [1usize, 2, 4, 64, 1024] {
+                assert!(bounded_step_bound(mt, cap) < bounded_step_bound(mt + 1, cap));
+                assert!(bounded_step_bound(mt, cap) < bounded_step_bound(mt, cap * 2));
+                assert!(bounded_step_bound(2 * mt, cap) < 3 * bounded_step_bound(mt, cap));
+                assert!(bounded_step_bound(mt, 2 * cap) < 3 * bounded_step_bound(mt, cap));
+            }
         }
     }
 }

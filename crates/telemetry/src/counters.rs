@@ -101,6 +101,35 @@ pub enum CounterId {
     /// Sharded front-end: full sweeps that observed every lane empty and
     /// returned `None` (the relaxed-emptiness verdict, DESIGN.md §6e).
     ShardSweepEmpty,
+    /// Bounded ring: enqueues completed entirely on the FAA fast path
+    /// (no request slot published).
+    BqEnqFast,
+    /// Bounded ring: enqueues that exhausted their fast tries and went
+    /// through the per-thread request slot (helped slow path).
+    BqEnqSlow,
+    /// Bounded ring: dequeues completed entirely on the FAA fast path.
+    BqDeqFast,
+    /// Bounded ring: dequeues that went through the request slot.
+    BqDeqSlow,
+    /// Bounded ring: `try_enqueue` calls that returned `Full` (free-index
+    /// ring empty — the backpressure verdict).
+    BqFull,
+    /// Bounded ring: dequeues that returned `None` (threshold-counter
+    /// emptiness verdict, DESIGN.md §6f).
+    BqEmpty,
+    /// Bounded ring: helping rounds run on *other* threads' request
+    /// slots (the O(MAX_THREADS) helping scan).
+    BqHelpRound,
+    /// Bounded ring: ring tickets burned without transferring a value
+    /// (lost claim races, poisoned cycles, abandoned reservations).
+    BqTicketBurn,
+    /// Bounded ring: free indices recycled through the owner thread's
+    /// one-slot cache — a dequeue handed its slot index straight to the
+    /// same thread's next enqueue, skipping both `fq` ring rounds.
+    BqIdxCache,
+    /// Sharded front-end (bounded-lane mode): enqueues that observed the
+    /// home ring `Full` and overflowed into the unbounded Turn spill lane.
+    ShardEnqSpill,
 }
 
 impl CounterId {
@@ -141,6 +170,16 @@ impl CounterId {
         CounterId::ShardDeqHit,
         CounterId::ShardDeqSteal,
         CounterId::ShardSweepEmpty,
+        CounterId::BqEnqFast,
+        CounterId::BqEnqSlow,
+        CounterId::BqDeqFast,
+        CounterId::BqDeqSlow,
+        CounterId::BqFull,
+        CounterId::BqEmpty,
+        CounterId::BqHelpRound,
+        CounterId::BqTicketBurn,
+        CounterId::BqIdxCache,
+        CounterId::ShardEnqSpill,
     ];
 
     /// Short name, used as the key in snapshots and to derive the exported
@@ -182,12 +221,22 @@ impl CounterId {
             CounterId::ShardDeqHit => "shard_deq_hit",
             CounterId::ShardDeqSteal => "shard_deq_steal",
             CounterId::ShardSweepEmpty => "shard_sweep_empty",
+            CounterId::BqEnqFast => "bq_enq_fast",
+            CounterId::BqEnqSlow => "bq_enq_slow",
+            CounterId::BqDeqFast => "bq_deq_fast",
+            CounterId::BqDeqSlow => "bq_deq_slow",
+            CounterId::BqFull => "bq_full",
+            CounterId::BqEmpty => "bq_empty",
+            CounterId::BqHelpRound => "bq_help_round",
+            CounterId::BqTicketBurn => "bq_ticket_burn",
+            CounterId::BqIdxCache => "bq_idx_cache",
+            CounterId::ShardEnqSpill => "shard_enq_spill",
         }
     }
 }
 
 /// Number of counters (row width of a telemetry sheet).
-pub const N_COUNTERS: usize = 35;
+pub const N_COUNTERS: usize = 45;
 
 #[cfg(test)]
 mod tests {

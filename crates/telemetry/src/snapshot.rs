@@ -25,6 +25,8 @@ pub const GAUGE_NAMES: &[&str] = &[
     "chp_retired_backlog",
     "registry_registered",
     "queue_size",
+    "bq_capacity",
+    "bq_len_hint",
 ];
 
 /// Lane-indexed gauge families (one value per queue lane, exported with a

@@ -31,11 +31,13 @@ pub use turn_queue::{
     TurnMpscQueue, TurnQueue, TurnQueueBuilder, TurnSpmcQueue, DEFAULT_FAST_TRIES,
     DEFAULT_MAX_THREADS, DEFAULT_SEG_SIZE,
 };
+pub use turnq_bounded::{BoundedBuilder, BoundedFamily, BoundedQueue};
 pub use turnq_kp::KPQueue;
 pub use turnq_sharded::{ShardedBuilder, ShardedTurnFamily, ShardedTurnQueue};
 
 pub use turnq_api as api;
 pub use turnq_baselines as baselines;
+pub use turnq_bounded as bounded;
 pub use turnq_harness as harness;
 pub use turnq_hazard as hazard;
 pub use turnq_linearize as linearize;
